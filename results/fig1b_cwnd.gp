@@ -1,0 +1,8 @@
+set datafile separator ','
+set title "CircuitStart source cwnd, bottleneck 3 hop(s) away"
+set xlabel "time [ms]"
+set ylabel "source cwnd [KB]"
+set key bottom right
+set grid
+plot '< grep "^cwnd_kb," fig1b_cwnd.csv' using 2:3 with steps lw 2 title "cwnd_kb", \
+     '< grep "^optimal_kb," fig1b_cwnd.csv' using 2:3 with steps lw 2 title "optimal_kb"

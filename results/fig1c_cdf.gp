@@ -1,0 +1,9 @@
+set datafile separator ','
+set title "Time to last byte, 50 concurrent circuits"
+set xlabel "time to last byte [s]"
+set ylabel "cumulative distribution"
+set key bottom right
+set grid
+set yrange [0:1]
+plot '< grep "^with_circuitstart," fig1c_cdf.csv' using 2:3 with steps lw 2 title "with_circuitstart", \
+     '< grep "^without_circuitstart," fig1c_cdf.csv' using 2:3 with steps lw 2 title "without_circuitstart"
