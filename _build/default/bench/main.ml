@@ -1,0 +1,652 @@
+(* Reproduction harness: one entry per figure panel and table of the
+   paper's evaluation (DESIGN.md section 2), each printing the series or
+   rows it regenerates and writing CSV next to the terminal rendering.
+
+   Usage:
+     bench/main.exe                 run every figure and table
+     bench/main.exe fig1a table-gamma ...
+                                    run a subset
+     bench/main.exe --micro         additionally run Bechamel
+                                    micro-benchmarks
+     bench/main.exe --out DIR       CSV output directory (default
+                                    results/) *)
+
+let out_dir = ref "results"
+
+let section title =
+  Printf.printf "\n================================================================\n";
+  Printf.printf "%s\n" title;
+  Printf.printf "================================================================\n"
+
+let write_csv name contents =
+  let path = Filename.concat !out_dir name in
+  Analysis.Csv_out.write_file ~path contents;
+  Printf.printf "[csv] %s\n" path
+
+(* ------------------------------------------------------------------ *)
+(* Figure 1, upper panels: source cwnd traces *)
+
+let cell_wire_size = Backtap.Wire.cell_size
+
+let trace_config ~strategy ~distance =
+  { Workload.Trace_experiment.default_config with
+    Workload.Trace_experiment.strategy;
+    bottleneck_distance = distance;
+  }
+
+let kb = Analysis.Series.kb_of_cells ~cell_size:cell_wire_size
+
+let fig1_panel ~name ~distance () =
+  section
+    (Printf.sprintf "Figure 1 (%s): source cwnd, distance to bottleneck: %d hop%s" name
+       distance
+       (if distance = 1 then "" else "s"));
+  let r =
+    Workload.Trace_experiment.run
+      (trace_config ~strategy:Circuitstart.Controller.Circuit_start ~distance)
+  in
+  let x_max = 600. in
+  (* Resample the change points into a step function so the staircase
+     of doubling rounds is visible in the plot. *)
+  let series =
+    let points = r.source_cwnd in
+    let n = 120 in
+    Array.init (n + 1) (fun i ->
+        let x = float_of_int i *. x_max /. float_of_int n in
+        let v =
+          Array.fold_left
+            (fun acc (t, v) -> if Analysis.Series.ms_of_time t <= x then v else acc)
+            (match points with [||] -> 0. | _ -> snd points.(0))
+            points
+        in
+        (x, kb v))
+  in
+  let optimal = kb (float_of_int r.optimal_source_cells) in
+  let dashed = Analysis.Series.constant ~x_max ~step:25. optimal in
+  print_string
+    (Analysis.Ascii_plot.render ~x_label:"time [ms]" ~y_label:"source cwnd [KB]"
+       [
+         { Analysis.Ascii_plot.label = "CircuitStart source cwnd"; glyph = '*';
+           points = series };
+         { Analysis.Ascii_plot.label = "optimal (model)"; glyph = '-'; points = dashed };
+       ]);
+  Printf.printf
+    "optimal=%0.1fKB (%d cells)  peak=%0.1fKB  settled=%0.1fKB  exit->%s cells  ttlb=%s\n"
+    optimal r.optimal_source_cells (kb r.peak_cells) (kb r.settled_cells)
+    (match r.exit_cells with Some c -> string_of_int c | None -> "-")
+    (match r.time_to_last_byte with
+    | Some t -> Printf.sprintf "%.3fs" (Engine.Time.to_sec_f t)
+    | None -> "incomplete");
+  write_csv
+    (Printf.sprintf "%s_cwnd.csv" name)
+    (Analysis.Csv_out.series_csv [ ("cwnd_kb", series); ("optimal_kb", dashed) ]);
+  write_csv
+    (Printf.sprintf "%s_cwnd.gp" name)
+    (Analysis.Gnuplot.series_script
+       ~csv_file:(Printf.sprintf "%s_cwnd.csv" name)
+       ~title:
+         (Printf.sprintf "CircuitStart source cwnd, bottleneck %d hop(s) away" distance)
+       ~x_label:"time [ms]" ~y_label:"source cwnd [KB]"
+       ~series:[ "cwnd_kb"; "optimal_kb" ])
+
+let fig1a () = fig1_panel ~name:"fig1a" ~distance:1 ()
+let fig1b () = fig1_panel ~name:"fig1b" ~distance:3 ()
+
+(* ------------------------------------------------------------------ *)
+(* Figure 1, bottom panel: TTLB CDF with vs without CircuitStart *)
+
+let star_config transport =
+  { Workload.Star_experiment.default_config with Workload.Star_experiment.transport }
+
+let fig1c () =
+  section "Figure 1 (fig1c): CDF of time to last byte, 50 concurrent circuits";
+  let cs =
+    Workload.Star_experiment.run
+      (star_config (Workload.Star_experiment.Backtap Circuitstart.Controller.Circuit_start))
+  in
+  let ss =
+    Workload.Star_experiment.run
+      (star_config (Workload.Star_experiment.Backtap Circuitstart.Controller.Slow_start))
+  in
+  let cdf_cs = Analysis.Cdf.of_samples cs.ttlb_seconds in
+  let cdf_ss = Analysis.Cdf.of_samples ss.ttlb_seconds in
+  let to_series cdf = Array.of_list (Analysis.Cdf.points cdf) in
+  print_string
+    (Analysis.Ascii_plot.render ~x_label:"time to last byte [s]"
+       ~y_label:"cumulative distribution"
+       [
+         { Analysis.Ascii_plot.label = "with CircuitStart"; glyph = '*';
+           points = to_series cdf_cs };
+         { Analysis.Ascii_plot.label = "without CircuitStart (slow start)"; glyph = 'o';
+           points = to_series cdf_ss };
+       ]);
+  Printf.printf "completed: with=%d/%d without=%d/%d\n" cs.completed cs.total ss.completed
+    ss.total;
+  Printf.printf "median: with=%.2fs without=%.2fs   p90: with=%.2fs without=%.2fs\n"
+    (Analysis.Cdf.quantile cdf_cs 0.5)
+    (Analysis.Cdf.quantile cdf_ss 0.5)
+    (Analysis.Cdf.quantile cdf_cs 0.9)
+    (Analysis.Cdf.quantile cdf_ss 0.9);
+  Printf.printf
+    "largest horizontal gap (CircuitStart earlier by): %.3fs   (paper: up to ~0.5s)\n"
+    (Analysis.Cdf.horizontal_gap ~better:cdf_cs ~worse:cdf_ss);
+  write_csv "fig1c_cdf.csv"
+    (Analysis.Csv_out.cdf_csv
+       [ ("with_circuitstart", cdf_cs); ("without_circuitstart", cdf_ss) ]);
+  write_csv "fig1c_cdf.gp"
+    (Analysis.Gnuplot.cdf_script ~csv_file:"fig1c_cdf.csv"
+       ~title:"Time to last byte, 50 concurrent circuits"
+       ~x_label:"time to last byte [s]"
+       ~series:[ "with_circuitstart"; "without_circuitstart" ])
+
+(* ------------------------------------------------------------------ *)
+(* T1: startup-scheme comparison (extra table) *)
+
+let table_startup () =
+  section "Table T1 (extra): transport comparison on the 50-circuit star";
+  let t =
+    Analysis.Table.create
+      ~columns:
+        [ "transport"; "done"; "median TTLB"; "p90 TTLB"; "cell lat (mean/max)";
+          "max queue"; "Jain"; "retx" ]
+  in
+  let row name transport =
+    let r = Workload.Star_experiment.run (star_config transport) in
+    let cdf = Analysis.Cdf.of_samples r.ttlb_seconds in
+    let retx =
+      List.fold_left
+        (fun acc (o : Workload.Star_experiment.circuit_outcome) ->
+          acc + o.retransmissions)
+        0 r.outcomes
+    in
+    let jain =
+      Analysis.Fairness.jain_index
+        (Analysis.Fairness.throughputs_bytes_per_sec
+           ~bytes_each:Workload.Star_experiment.default_config.transfer_bytes
+           r.ttlb_seconds)
+    in
+    Analysis.Table.add_row t
+      [
+        name;
+        Printf.sprintf "%d/%d" r.completed r.total;
+        Printf.sprintf "%.2fs" (Analysis.Cdf.quantile cdf 0.5);
+        Printf.sprintf "%.2fs" (Analysis.Cdf.quantile cdf 0.9);
+        Printf.sprintf "%.0f/%.0fms"
+          (Engine.Stats.Online.mean r.cell_latency *. 1e3)
+          (Engine.Stats.Online.max r.cell_latency *. 1e3);
+        Format.asprintf "%a" Engine.Units.pp_bytes r.max_link_queue_bytes;
+        Printf.sprintf "%.3f" jain;
+        string_of_int retx;
+      ]
+  in
+  row "circuitstart" (Workload.Star_experiment.Backtap Circuitstart.Controller.Circuit_start);
+  row "slowstart" (Workload.Star_experiment.Backtap Circuitstart.Controller.Slow_start);
+  row "sendme" Workload.Star_experiment.Legacy_sendme;
+  print_string (Analysis.Table.render t);
+  print_string
+    "(SENDME wins raw bulk TTLB by dumping its whole end-to-end window into\n\
+     relay queues - the 'max queue' column is the bufferbloat the tailored\n\
+     transports exist to avoid.)\n"
+
+(* ------------------------------------------------------------------ *)
+(* T2: gamma ablation *)
+
+let table_gamma () =
+  section "Table T2 (extra): gamma ablation (trace, distance 2)";
+  let t =
+    Analysis.Table.create
+      ~columns:[ "gamma"; "peak cells"; "exit cells"; "settled"; "|err| vs opt"; "ttlb" ]
+  in
+  List.iter
+    (fun gamma ->
+      let params = Circuitstart.Params.with_gamma Circuitstart.Params.default gamma in
+      let r =
+        Workload.Trace_experiment.run
+          { (trace_config ~strategy:Circuitstart.Controller.Circuit_start ~distance:2) with
+            Workload.Trace_experiment.params;
+          }
+      in
+      Analysis.Table.add_row t
+        [
+          Printf.sprintf "%.0f" gamma;
+          Printf.sprintf "%.0f" r.peak_cells;
+          (match r.exit_cells with Some c -> string_of_int c | None -> "-");
+          Printf.sprintf "%.0f" r.settled_cells;
+          Printf.sprintf "%.0f" (Float.abs (r.settled_cells -. float_of_int r.optimal_source_cells));
+          (match r.time_to_last_byte with
+          | Some x -> Printf.sprintf "%.3fs" (Engine.Time.to_sec_f x)
+          | None -> "-");
+        ])
+    [ 1.; 2.; 4.; 8.; 16. ];
+  print_string (Analysis.Table.render t)
+
+(* ------------------------------------------------------------------ *)
+(* T3: bottleneck-distance sweep *)
+
+let table_distance () =
+  section "Table T3 (extra): bottleneck distance sweep (4-relay circuit)";
+  let t =
+    Analysis.Table.create
+      ~columns:
+        [ "distance"; "scheme"; "peak"; "peak/opt"; "settled"; "|err|"; "ttlb" ]
+  in
+  List.iter
+    (fun distance ->
+      List.iter
+        (fun (name, strategy) ->
+          let r =
+            Workload.Trace_experiment.run
+              { (trace_config ~strategy ~distance) with
+                Workload.Trace_experiment.relay_count = 4;
+              }
+          in
+          let opt = float_of_int r.optimal_source_cells in
+          Analysis.Table.add_row t
+            [
+              string_of_int distance;
+              name;
+              Printf.sprintf "%.0f" r.peak_cells;
+              Printf.sprintf "%.1fx" (r.peak_cells /. opt);
+              Printf.sprintf "%.0f" r.settled_cells;
+              Printf.sprintf "%.0f" (Float.abs (r.settled_cells -. opt));
+              (match r.time_to_last_byte with
+              | Some x -> Printf.sprintf "%.3fs" (Engine.Time.to_sec_f x)
+              | None -> "-");
+            ])
+        [ ("circuitstart", Circuitstart.Controller.Circuit_start);
+          ("slowstart", Circuitstart.Controller.Slow_start) ])
+    [ 1; 2; 3; 4 ];
+  print_string (Analysis.Table.render t)
+
+(* ------------------------------------------------------------------ *)
+(* T4: optimal-model accuracy *)
+
+let table_optmodel () =
+  section "Table T4 (extra): analytic optimum vs settled window";
+  let t =
+    Analysis.Table.create
+      ~columns:[ "bottleneck"; "model W* (cells)"; "settled"; "settled/W*" ]
+  in
+  let ratios = ref [] in
+  List.iter
+    (fun mbit ->
+      let r =
+        Workload.Trace_experiment.run
+          { (trace_config ~strategy:Circuitstart.Controller.Circuit_start ~distance:2) with
+            Workload.Trace_experiment.bottleneck_rate = Engine.Units.Rate.mbit mbit;
+            (* Large enough that the window converges before the data
+               runs out even at the fast end of the sweep. *)
+            transfer_bytes = Engine.Units.mib 8;
+            horizon = Engine.Time.s 20;
+          }
+      in
+      let ratio = r.settled_cells /. float_of_int r.optimal_source_cells in
+      ratios := ratio :: !ratios;
+      Analysis.Table.add_row t
+        [
+          Printf.sprintf "%dMbit/s" mbit;
+          string_of_int r.optimal_source_cells;
+          Printf.sprintf "%.0f" r.settled_cells;
+          Printf.sprintf "%.2f" ratio;
+        ])
+    [ 1; 2; 3; 5; 8; 12 ];
+  print_string (Analysis.Table.render t);
+  let arr = Array.of_list !ratios in
+  Printf.printf "mean settled/W* ratio: %.2f (1.00 = perfect backpropagation)\n"
+    (Array.fold_left ( +. ) 0. arr /. float_of_int (Array.length arr))
+
+(* ------------------------------------------------------------------ *)
+(* T-comp: compensation-mode ablation *)
+
+let table_compensation () =
+  section "Table T-comp (extra): overshooting-compensation ablation (distance 3)";
+  let t =
+    Analysis.Table.create
+      ~columns:[ "scheme"; "exit cells"; "settled"; "optimal"; "ttlb" ]
+  in
+  let row name strategy compensation =
+    let params = { Circuitstart.Params.default with Circuitstart.Params.compensation } in
+    let r =
+      Workload.Trace_experiment.run
+        { (trace_config ~strategy ~distance:3) with Workload.Trace_experiment.params }
+    in
+    Analysis.Table.add_row t
+      [
+        name;
+        (match r.exit_cells with Some c -> string_of_int c | None -> "-");
+        Printf.sprintf "%.0f" r.settled_cells;
+        string_of_int r.optimal_source_cells;
+        (match r.time_to_last_byte with
+        | Some x -> Printf.sprintf "%.3fs" (Engine.Time.to_sec_f x)
+        | None -> "-");
+      ]
+  in
+  row "rate-based (default)" Circuitstart.Controller.Circuit_start
+    Circuitstart.Params.Rate_based;
+  row "acked-count (literal)" Circuitstart.Controller.Circuit_start
+    Circuitstart.Params.Acked_count;
+  row "halving (slow start)" Circuitstart.Controller.Slow_start
+    Circuitstart.Params.Rate_based;
+  print_string (Analysis.Table.render t)
+
+(* ------------------------------------------------------------------ *)
+(* T5: adaptive extension (paper section 3, future work) *)
+
+let table_adaptive () =
+  section "Table T5 (extra): reacting to a bandwidth step (3 -> 12 Mbit/s)";
+  let t =
+    Analysis.Table.create
+      ~columns:
+        [ "variant"; "opt before"; "opt after"; "cwnd@step"; "reaction"; "final cwnd" ]
+  in
+  List.iter
+    (fun adaptive ->
+      let r =
+        Workload.Adaptive_experiment.run
+          { Workload.Adaptive_experiment.default_config with adaptive }
+      in
+      Analysis.Table.add_row t
+        [
+          (if adaptive then "adaptive re-probe" else "base algorithm");
+          string_of_int r.optimal_before_cells;
+          string_of_int r.optimal_after_cells;
+          Printf.sprintf "%.0f" r.cwnd_at_step;
+          (match r.reaction_time with
+          | Some x -> Printf.sprintf "%.0fms" (Engine.Time.to_ms_f x)
+          | None -> "never");
+          Printf.sprintf "%.0f" r.final_cwnd;
+        ])
+    [ true; false ];
+  print_string (Analysis.Table.render t)
+
+(* ------------------------------------------------------------------ *)
+(* fig-backprop: every hop's window on one canvas — the paper's
+   backpropagation claim, visualised. *)
+
+let fig_backprop () =
+  section "Figure (extra): backpropagation — all hop windows, bottleneck 3 hops away";
+  let r =
+    Workload.Trace_experiment.run
+      (trace_config ~strategy:Circuitstart.Controller.Circuit_start ~distance:3)
+  in
+  let x_max = 800. in
+  let resample points =
+    Array.init 121 (fun i ->
+        let x = float_of_int i *. x_max /. 120. in
+        let v =
+          Array.fold_left
+            (fun acc (t, v) -> if Analysis.Series.ms_of_time t <= x then v else acc)
+            2. points
+        in
+        (x, kb v))
+  in
+  let glyphs = [| '0'; '1'; '2'; '3' |] in
+  let specs =
+    List.mapi
+      (fun i points ->
+        { Analysis.Ascii_plot.label = Printf.sprintf "hop %d window" i;
+          glyph = glyphs.(i mod 4); points = resample points })
+      r.hop_cwnds
+  in
+  print_string
+    (Analysis.Ascii_plot.render ~x_label:"time [ms]" ~y_label:"cwnd [KB]" specs);
+  Printf.printf
+    "every hop settles near the propagated minimum (%d cells) without any
+     explicit signalling - the paper's backpropagation.
+"
+    r.propagated_cells;
+  write_csv "fig_backprop.csv"
+    (Analysis.Csv_out.series_csv
+       (List.mapi (fun i p -> (Printf.sprintf "hop%d_kb" i, resample p)) r.hop_cwnds))
+
+(* ------------------------------------------------------------------ *)
+(* table-loss: bounded relay queues force drops; hop reliability must
+   recover them without losing the figure's properties. *)
+
+let table_loss () =
+  section "Table T-loss (extra): bounded link queues (drops + retransmission)";
+  let t =
+    Analysis.Table.create
+      ~columns:[ "queue cap"; "scheme"; "done"; "retx"; "settled"; "ttlb" ]
+  in
+  List.iter
+    (fun (label, queue) ->
+      List.iter
+        (fun (name, strategy) ->
+          let r =
+            Workload.Trace_experiment.run
+              { (trace_config ~strategy ~distance:2) with
+                Workload.Trace_experiment.link_queue = queue;
+              }
+          in
+          Analysis.Table.add_row t
+            [
+              label;
+              name;
+              (if r.time_to_last_byte <> None then "yes" else "no");
+              string_of_int r.retransmissions;
+              Printf.sprintf "%.0f" r.settled_cells;
+              (match r.time_to_last_byte with
+              | Some x -> Printf.sprintf "%.3fs" (Engine.Time.to_sec_f x)
+              | None -> "-");
+            ])
+        [ ("circuitstart", Circuitstart.Controller.Circuit_start);
+          ("slowstart", Circuitstart.Controller.Slow_start) ])
+    [
+      ("unbounded", Netsim.Nqueue.unbounded);
+      ("64 pkts", Netsim.Nqueue.packets 64);
+      ("16 pkts", Netsim.Nqueue.packets 16);
+      ("8 pkts", Netsim.Nqueue.packets 8);
+    ];
+  print_string (Analysis.Table.render t)
+
+(* ------------------------------------------------------------------ *)
+(* table-seeds: is the F1c improvement robust to the random network? *)
+
+let table_seeds () =
+  section "Table T-seeds (extra): F1c improvement across random networks";
+  let t =
+    Analysis.Table.create
+      ~columns:[ "seed"; "median with"; "median without"; "gap"; "dominates" ]
+  in
+  let gaps = ref [] in
+  List.iter
+    (fun seed ->
+      let run strategy =
+        Workload.Star_experiment.run
+          { (star_config (Workload.Star_experiment.Backtap strategy)) with
+            Workload.Star_experiment.seed;
+          }
+      in
+      let cs = run Circuitstart.Controller.Circuit_start in
+      let ss = run Circuitstart.Controller.Slow_start in
+      let cdf_cs = Analysis.Cdf.of_samples cs.ttlb_seconds in
+      let cdf_ss = Analysis.Cdf.of_samples ss.ttlb_seconds in
+      let gap = Analysis.Cdf.horizontal_gap ~better:cdf_cs ~worse:cdf_ss in
+      gaps := gap :: !gaps;
+      Analysis.Table.add_row t
+        [
+          string_of_int seed;
+          Printf.sprintf "%.2fs" (Analysis.Cdf.quantile cdf_cs 0.5);
+          Printf.sprintf "%.2fs" (Analysis.Cdf.quantile cdf_ss 0.5);
+          Printf.sprintf "%.2fs" gap;
+          string_of_bool (Analysis.Cdf.dominates ~better:cdf_cs ~worse:cdf_ss);
+        ])
+    [ 1; 2; 3 ];
+  print_string (Analysis.Table.render t);
+  let arr = Array.of_list !gaps in
+  Printf.printf "mean gap %.2fs over %d paired networks (paper: 'up to 0.5s')
+"
+    (Array.fold_left ( +. ) 0. arr /. float_of_int (Array.length arr))
+    (Array.length arr)
+
+(* ------------------------------------------------------------------ *)
+(* table-cross: unresponsive background load on the bottleneck *)
+
+let table_cross () =
+  section "Table T-cross (extra): CBR background load on the bottleneck relay";
+  let t =
+    Analysis.Table.create
+      ~columns:
+        [ "CBR load"; "W* (unloaded)"; "fair target"; "settled"; "goodput share";
+          "ttlb" ]
+  in
+  List.iter
+    (fun load ->
+      let r =
+        Workload.Contention_experiment.run
+          { Workload.Contention_experiment.default_config with cbr_load = load }
+      in
+      Analysis.Table.add_row t
+        [
+          Printf.sprintf "%.0f%%" (load *. 100.);
+          string_of_int r.optimal_cells;
+          Printf.sprintf "%.0f" r.expected_cells;
+          Printf.sprintf "%.0f" r.settled_cells;
+          (match r.goodput_share with
+          | Some s -> Printf.sprintf "%.0f%%" (s *. 100.)
+          | None -> "-");
+          (match r.time_to_last_byte with
+          | Some x -> Printf.sprintf "%.3fs" (Engine.Time.to_sec_f x)
+          | None -> "-");
+        ])
+    [ 0.; 0.25; 0.5; 0.75 ];
+  print_string (Analysis.Table.render t);
+  print_string
+    "Delay-based control settles onto the residual capacity instead of
+     fighting the unresponsive flow - 'behave much like background traffic'.
+"
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one Test.make per experiment plus the
+   engine hot paths, all grouped in one run. *)
+
+let micro () =
+  section "Bechamel micro-benchmarks";
+  let open Bechamel in
+  let quick_trace distance () =
+    ignore
+      (Workload.Trace_experiment.run
+         { (trace_config ~strategy:Circuitstart.Controller.Circuit_start ~distance) with
+           Workload.Trace_experiment.transfer_bytes = Engine.Units.kib 64;
+           horizon = Engine.Time.s 3;
+         })
+  in
+  let quick_star transport () =
+    ignore
+      (Workload.Star_experiment.run
+         { (star_config transport) with
+           Workload.Star_experiment.circuit_count = 4;
+           relay_count = 8;
+           transfer_bytes = Engine.Units.kib 64;
+           horizon = Engine.Time.s 30;
+         })
+  in
+  let event_queue_churn () =
+    let q = Engine.Event_queue.create () in
+    for i = 0 to 999 do
+      ignore (Engine.Event_queue.add q ~time:(Engine.Time.us (i * 37 mod 1000)) i)
+    done;
+    let rec drain () = match Engine.Event_queue.pop q with Some _ -> drain () | None -> () in
+    drain ()
+  in
+  let rng_churn () =
+    let rng = Engine.Rng.create 1 in
+    for _ = 1 to 1000 do
+      ignore (Engine.Rng.int rng 1000)
+    done
+  in
+  let controller_churn () =
+    let c = Circuitstart.Controller.create Circuitstart.Controller.Circuit_start in
+    let now = ref Engine.Time.zero in
+    for _ = 1 to 1000 do
+      now := Engine.Time.add !now (Engine.Time.us 500);
+      Circuitstart.Controller.on_feedback c ~now:!now ~rtt:(Engine.Time.ms 40) ()
+    done
+  in
+  let tests =
+    Test.make_grouped ~name:"circuitstart"
+      [
+        Test.make ~name:"engine/event-queue-1k" (Staged.stage event_queue_churn);
+        Test.make ~name:"engine/rng-1k" (Staged.stage rng_churn);
+        Test.make ~name:"core/controller-1k-feedbacks" (Staged.stage controller_churn);
+        Test.make ~name:"fig1a/trace-d1" (Staged.stage (quick_trace 1));
+        Test.make ~name:"fig1b/trace-d3" (Staged.stage (quick_trace 3));
+        Test.make ~name:"fig1c/star-circuitstart"
+          (Staged.stage
+             (quick_star
+                (Workload.Star_experiment.Backtap Circuitstart.Controller.Circuit_start)));
+        Test.make ~name:"t1/star-sendme"
+          (Staged.stage (quick_star Workload.Star_experiment.Legacy_sendme));
+      ]
+  in
+  let benchmark () =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+    in
+    let instances = Toolkit.Instance.[ monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) ~kde:(Some 10) () in
+    let raw = Benchmark.all cfg instances tests in
+    List.map (fun instance -> Analyze.all ols instance raw) instances
+  in
+  let results = benchmark () in
+  List.iter
+    (fun result ->
+      Hashtbl.iter
+        (fun name ols ->
+          match Analyze.OLS.estimates ols with
+          | Some [ t ] -> Printf.printf "%-32s %12.0f ns/run\n" name t
+          | _ -> Printf.printf "%-32s (no estimate)\n" name)
+        result)
+    results
+
+(* ------------------------------------------------------------------ *)
+
+let all_targets =
+  [
+    ("fig1a", fig1a);
+    ("fig1b", fig1b);
+    ("fig1c", fig1c);
+    ("table-startup", table_startup);
+    ("table-gamma", table_gamma);
+    ("table-distance", table_distance);
+    ("table-optmodel", table_optmodel);
+    ("table-compensation", table_compensation);
+    ("table-adaptive", table_adaptive);
+    ("fig-backprop", fig_backprop);
+    ("table-loss", table_loss);
+    ("table-cross", table_cross);
+    ("table-seeds", table_seeds);
+  ]
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let rec parse args acc_names micro_flag =
+    match args with
+    | [] -> (List.rev acc_names, micro_flag)
+    | "--micro" :: rest -> parse rest acc_names true
+    | "--out" :: dir :: rest ->
+        out_dir := dir;
+        parse rest acc_names micro_flag
+    | name :: rest -> parse rest (name :: acc_names) micro_flag
+  in
+  let names, micro_flag = parse args [] false in
+  let targets =
+    match names with
+    | [] -> all_targets
+    | names ->
+        List.map
+          (fun name ->
+            match List.assoc_opt name all_targets with
+            | Some f -> (name, f)
+            | None ->
+                Printf.eprintf "unknown target %s; known: %s\n" name
+                  (String.concat ", " (List.map fst all_targets));
+                exit 2)
+          names
+  in
+  List.iter (fun (_, f) -> f ()) targets;
+  if micro_flag then micro ();
+  Printf.printf "\nDone: %d target%s%s.\n" (List.length targets)
+    (if List.length targets = 1 then "" else "s")
+    (if micro_flag then " + micro benchmarks" else "")

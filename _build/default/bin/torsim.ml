@@ -1,0 +1,413 @@
+(* torsim: command-line front end for the CircuitStart simulator.
+
+   Subcommands:
+     trace     single-circuit cwnd trace (Figure 1, upper panels)
+     cdf       N concurrent circuits, TTLB distribution (Figure 1, bottom)
+     optimal   analytic optimal-window model for a path
+     adaptive  bandwidth-step reaction experiment (paper section 3)
+     sweep     gamma / distance parameter sweeps *)
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Shared argument parsers *)
+
+let strategy_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "circuitstart" | "cs" -> Ok Circuitstart.Controller.Circuit_start
+    | "slowstart" | "ss" -> Ok Circuitstart.Controller.Slow_start
+    | s -> (
+        match String.index_opt s ':' with
+        | Some i when String.sub s 0 i = "fixed" -> (
+            match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+            | Some n when n > 0 -> Ok (Circuitstart.Controller.Fixed n)
+            | _ -> Error (`Msg "fixed:<n> needs a positive integer"))
+        | _ -> Error (`Msg (Printf.sprintf "unknown strategy %S" s)))
+  in
+  let print fmt = function
+    | Circuitstart.Controller.Circuit_start -> Format.pp_print_string fmt "circuitstart"
+    | Circuitstart.Controller.Slow_start -> Format.pp_print_string fmt "slowstart"
+    | Circuitstart.Controller.Fixed n -> Format.fprintf fmt "fixed:%d" n
+  in
+  Arg.conv (parse, print)
+
+let strategy_arg =
+  let doc = "Startup strategy: circuitstart, slowstart or fixed:N." in
+  Arg.(
+    value
+    & opt strategy_conv Circuitstart.Controller.Circuit_start
+    & info [ "strategy" ] ~docv:"STRATEGY" ~doc)
+
+let gamma_arg =
+  let doc = "Vegas ramp-up exit threshold gamma, in cells (paper: 4)." in
+  Arg.(value & opt float 4. & info [ "gamma" ] ~docv:"GAMMA" ~doc)
+
+let seed_arg =
+  let doc = "Random seed (identical seeds give identical runs)." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let csv_arg =
+  let doc = "Write the raw series as CSV to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
+
+let bytes_arg default =
+  let doc = "Transfer size in KiB." in
+  Arg.(value & opt int default & info [ "kib" ] ~docv:"KIB" ~doc)
+
+let params_with_gamma gamma =
+  Circuitstart.Params.with_gamma Circuitstart.Params.default gamma
+
+let kb = Analysis.Series.kb_of_cells ~cell_size:Backtap.Wire.cell_size
+
+(* ------------------------------------------------------------------ *)
+(* trace *)
+
+let run_trace strategy distance bottleneck_mbit kib gamma csv =
+  let config =
+    { Workload.Trace_experiment.default_config with
+      Workload.Trace_experiment.strategy;
+      bottleneck_distance = distance;
+      bottleneck_rate = Engine.Units.Rate.mbit bottleneck_mbit;
+      transfer_bytes = Engine.Units.kib kib;
+      params = params_with_gamma gamma;
+    }
+  in
+  match Workload.Trace_experiment.validate_config config with
+  | Error msg -> `Error (false, msg)
+  | Ok config ->
+      let r = Workload.Trace_experiment.run config in
+      let series =
+        Array.map (fun (t, v) -> (Analysis.Series.ms_of_time t, kb v)) r.source_cwnd
+      in
+      let x_max = Float.max 600. (Analysis.Series.y_max (Array.map (fun (x, _) -> (0., x)) series)) in
+      let dashed =
+        Analysis.Series.constant ~x_max ~step:25. (kb (float_of_int r.optimal_source_cells))
+      in
+      print_string
+        (Analysis.Ascii_plot.render ~x_label:"time [ms]" ~y_label:"source cwnd [KB]"
+           [
+             { Analysis.Ascii_plot.label = "source cwnd"; glyph = '*'; points = series };
+             { Analysis.Ascii_plot.label = "optimal (model)"; glyph = '-'; points = dashed };
+           ]);
+      Printf.printf
+        "optimal=%d cells  propagated=%d  peak=%.0f  settled=%.0f  exit=%s  ttlb=%s  retx=%d\n"
+        r.optimal_source_cells r.propagated_cells r.peak_cells r.settled_cells
+        (match r.exit_cells with Some c -> string_of_int c | None -> "-")
+        (match r.time_to_last_byte with
+        | Some t -> Printf.sprintf "%.3fs" (Engine.Time.to_sec_f t)
+        | None -> "incomplete")
+        r.retransmissions;
+      (match csv with
+      | Some path ->
+          Analysis.Csv_out.write_file ~path
+            (Analysis.Csv_out.series_csv [ ("source_cwnd_kb", series) ]);
+          Printf.printf "wrote %s\n" path
+      | None -> ());
+      `Ok ()
+
+let trace_cmd =
+  let distance =
+    Arg.(
+      value & opt int 1
+      & info [ "distance" ] ~docv:"HOPS" ~doc:"Bottleneck distance from the source, in hops (1-3).")
+  in
+  let bneck =
+    Arg.(
+      value & opt int 3
+      & info [ "bottleneck-mbit" ] ~docv:"MBIT" ~doc:"Bottleneck relay access rate, Mbit/s.")
+  in
+  let doc = "Single-circuit congestion-window trace (Figure 1, upper panels)." in
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(
+      ret (const run_trace $ strategy_arg $ distance $ bneck $ bytes_arg 1024 $ gamma_arg $ csv_arg))
+
+(* ------------------------------------------------------------------ *)
+(* cdf *)
+
+let transport_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "circuitstart" | "cs" ->
+        Ok (Workload.Star_experiment.Backtap Circuitstart.Controller.Circuit_start)
+    | "slowstart" | "ss" ->
+        Ok (Workload.Star_experiment.Backtap Circuitstart.Controller.Slow_start)
+    | "sendme" -> Ok Workload.Star_experiment.Legacy_sendme
+    | s -> Error (`Msg (Printf.sprintf "unknown transport %S" s))
+  in
+  let print fmt = function
+    | Workload.Star_experiment.Backtap Circuitstart.Controller.Circuit_start ->
+        Format.pp_print_string fmt "circuitstart"
+    | Workload.Star_experiment.Backtap Circuitstart.Controller.Slow_start ->
+        Format.pp_print_string fmt "slowstart"
+    | Workload.Star_experiment.Backtap (Circuitstart.Controller.Fixed n) ->
+        Format.fprintf fmt "fixed:%d" n
+    | Workload.Star_experiment.Legacy_sendme -> Format.pp_print_string fmt "sendme"
+  in
+  Arg.conv (parse, print)
+
+let run_cdf transport circuits relays kib seed csv =
+  let config =
+    { Workload.Star_experiment.default_config with
+      Workload.Star_experiment.transport;
+      circuit_count = circuits;
+      relay_count = relays;
+      transfer_bytes = Engine.Units.kib kib;
+      seed;
+    }
+  in
+  match Workload.Star_experiment.validate_config config with
+  | Error msg -> `Error (false, msg)
+  | Ok config ->
+      let r = Workload.Star_experiment.run config in
+      if Array.length r.ttlb_seconds = 0 then
+        `Error (false, "no transfer completed within the horizon")
+      else begin
+        let cdf = Analysis.Cdf.of_samples r.ttlb_seconds in
+        print_string
+          (Analysis.Ascii_plot.render ~x_label:"time to last byte [s]"
+             ~y_label:"cumulative distribution"
+             [
+               { Analysis.Ascii_plot.label = "TTLB CDF"; glyph = '*';
+                 points = Array.of_list (Analysis.Cdf.points cdf) };
+             ]);
+        Printf.printf
+          "completed %d/%d   median=%.2fs  p10=%.2fs  p90=%.2fs  max queue=%s  events=%d\n"
+          r.completed r.total
+          (Analysis.Cdf.quantile cdf 0.5)
+          (Analysis.Cdf.quantile cdf 0.1)
+          (Analysis.Cdf.quantile cdf 0.9)
+          (Format.asprintf "%a" Engine.Units.pp_bytes r.max_link_queue_bytes)
+          r.wall_events;
+        (match csv with
+        | Some path ->
+            Analysis.Csv_out.write_file ~path (Analysis.Csv_out.cdf_csv [ ("ttlb", cdf) ]);
+            Printf.printf "wrote %s\n" path
+        | None -> ());
+        `Ok ()
+      end
+
+let cdf_cmd =
+  let transport =
+    Arg.(
+      value
+      & opt transport_conv
+          (Workload.Star_experiment.Backtap Circuitstart.Controller.Circuit_start)
+      & info [ "transport" ] ~docv:"T" ~doc:"circuitstart, slowstart or sendme.")
+  in
+  let circuits =
+    Arg.(value & opt int 50 & info [ "circuits" ] ~docv:"N" ~doc:"Concurrent circuits.")
+  in
+  let relays =
+    Arg.(value & opt int 30 & info [ "relays" ] ~docv:"N" ~doc:"Relays in the network.")
+  in
+  let doc = "Concurrent circuits over a random star; TTLB distribution (Figure 1, bottom)." in
+  Cmd.v (Cmd.info "cdf" ~doc)
+    Term.(
+      ret (const run_cdf $ transport $ circuits $ relays $ bytes_arg 500 $ seed_arg $ csv_arg))
+
+(* ------------------------------------------------------------------ *)
+(* optimal *)
+
+let run_optimal rates delays =
+  let specs =
+    try
+      let rates = List.map float_of_string (String.split_on_char ',' rates) in
+      let delays =
+        match delays with
+        | "" -> List.map (fun _ -> 10.) rates
+        | d -> List.map float_of_string (String.split_on_char ',' d)
+      in
+      if List.length rates <> List.length delays then
+        failwith "rates and delays must have the same length";
+      List.map2
+        (fun mbit d ->
+          { Optmodel.Path_model.rate = Engine.Units.Rate.mbit_f mbit;
+            access_delay = Engine.Time.of_ms_f d })
+        rates delays
+    with Failure msg -> (
+      prerr_endline msg;
+      exit 2)
+  in
+  match Optmodel.Path_model.of_specs specs with
+  | exception Invalid_argument msg -> `Error (false, msg)
+  | path ->
+      Printf.printf "bottleneck: %s at position %d\n"
+        (Format.asprintf "%a" Engine.Units.Rate.pp (Optmodel.Optimal_window.bottleneck_rate path))
+        (Optmodel.Optimal_window.bottleneck_position path);
+      for hop = 0 to Optmodel.Path_model.hop_count path - 1 do
+        Printf.printf "hop %d: feedback RTT %s  W* = %d cells (%.1f KB)\n" hop
+          (Engine.Time.to_string (Optmodel.Optimal_window.hop_feedback_rtt path hop))
+          (Optmodel.Optimal_window.hop_window_cells path hop)
+          (kb (float_of_int (Optmodel.Optimal_window.hop_window_cells path hop)))
+      done;
+      Printf.printf "source W* = %d cells; backpropagated estimate = %d cells\n"
+        (Optmodel.Optimal_window.source_window_cells path)
+        (Optmodel.Optimal_window.propagated_estimate_cells path);
+      `Ok ()
+
+let optimal_cmd =
+  let rates =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "rates" ] ~docv:"MBITS"
+          ~doc:"Comma-separated access rates along the path (client first), Mbit/s.")
+  in
+  let delays =
+    Arg.(
+      value & opt string ""
+      & info [ "delays" ] ~docv:"MS"
+          ~doc:"Comma-separated one-way access delays, ms (default 10 each).")
+  in
+  let doc = "Analytic optimal congestion window for a path (the dashed line)." in
+  Cmd.v (Cmd.info "optimal" ~doc) Term.(ret (const run_optimal $ rates $ delays))
+
+(* ------------------------------------------------------------------ *)
+(* adaptive *)
+
+let run_adaptive adaptive step_mbit =
+  let config =
+    { Workload.Adaptive_experiment.default_config with
+      Workload.Adaptive_experiment.adaptive;
+      stepped_rate = Engine.Units.Rate.mbit step_mbit;
+    }
+  in
+  match Workload.Adaptive_experiment.validate_config config with
+  | Error msg -> `Error (false, msg)
+  | Ok config ->
+      let r = Workload.Adaptive_experiment.run config in
+      Printf.printf
+        "optimal %d -> %d cells; window at step %.0f; reaction %s; final %.0f\n"
+        r.optimal_before_cells r.optimal_after_cells r.cwnd_at_step
+        (match r.reaction_time with
+        | Some t -> Printf.sprintf "%.0fms" (Engine.Time.to_ms_f t)
+        | None -> "never")
+        r.final_cwnd;
+      `Ok ()
+
+let adaptive_cmd =
+  let adaptive =
+    Arg.(value & flag & info [ "adaptive" ] ~doc:"Enable the adaptive re-probe extension.")
+  in
+  let step =
+    Arg.(
+      value & opt int 12
+      & info [ "step-mbit" ] ~docv:"MBIT" ~doc:"Bottleneck rate after the step, Mbit/s.")
+  in
+  let doc = "Mid-transfer bandwidth step: how fast does the window follow? (paper section 3)." in
+  Cmd.v (Cmd.info "adaptive" ~doc) Term.(ret (const run_adaptive $ adaptive $ step))
+
+(* ------------------------------------------------------------------ *)
+(* cross *)
+
+let run_cross load kib =
+  let config =
+    { Workload.Contention_experiment.default_config with
+      Workload.Contention_experiment.cbr_load = load;
+      transfer_bytes = Engine.Units.kib kib;
+    }
+  in
+  match Workload.Contention_experiment.validate_config config with
+  | Error msg -> `Error (false, msg)
+  | Ok config ->
+      let r = Workload.Contention_experiment.run config in
+      Printf.printf
+        "unloaded W*=%d cells; fair target %.0f; settled %.0f; goodput share %s; ttlb %s
+"
+        r.optimal_cells r.expected_cells r.settled_cells
+        (match r.goodput_share with
+        | Some s -> Printf.sprintf "%.0f%%" (s *. 100.)
+        | None -> "-")
+        (match r.time_to_last_byte with
+        | Some t -> Printf.sprintf "%.3fs" (Engine.Time.to_sec_f t)
+        | None -> "incomplete");
+      `Ok ()
+
+let cross_cmd =
+  let load =
+    Arg.(
+      value & opt float 0.5
+      & info [ "load" ] ~docv:"FRACTION"
+          ~doc:"CBR background load as a fraction of the bottleneck rate, in [0, 0.9].")
+  in
+  let doc = "Share the bottleneck with unresponsive background traffic." in
+  Cmd.v (Cmd.info "cross" ~doc) Term.(ret (const run_cross $ load $ bytes_arg 2048))
+
+(* ------------------------------------------------------------------ *)
+(* sweep *)
+
+let run_sweep param values =
+  let values =
+    try List.map float_of_string (String.split_on_char ',' values)
+    with Failure _ ->
+      prerr_endline "values must be a comma-separated list of numbers";
+      exit 2
+  in
+  let t =
+    Analysis.Table.create ~columns:[ param; "peak"; "exit"; "settled"; "optimal"; "ttlb" ]
+  in
+  let run config label =
+    let r = Workload.Trace_experiment.run config in
+    Analysis.Table.add_row t
+      [
+        label;
+        Printf.sprintf "%.0f" r.peak_cells;
+        (match r.exit_cells with Some c -> string_of_int c | None -> "-");
+        Printf.sprintf "%.0f" r.settled_cells;
+        string_of_int r.optimal_source_cells;
+        (match r.time_to_last_byte with
+        | Some x -> Printf.sprintf "%.3fs" (Engine.Time.to_sec_f x)
+        | None -> "-");
+      ]
+  in
+  (match param with
+  | "gamma" ->
+      List.iter
+        (fun g ->
+          run
+            { Workload.Trace_experiment.default_config with
+              Workload.Trace_experiment.bottleneck_distance = 2;
+              params = params_with_gamma g;
+            }
+            (Printf.sprintf "%.0f" g))
+        values
+  | "distance" ->
+      List.iter
+        (fun d ->
+          run
+            { Workload.Trace_experiment.default_config with
+              Workload.Trace_experiment.relay_count = 4;
+              bottleneck_distance = int_of_float d;
+            }
+            (Printf.sprintf "%.0f" d))
+        values
+  | p ->
+      prerr_endline (Printf.sprintf "unknown sweep parameter %S (gamma|distance)" p);
+      exit 2);
+  print_string (Analysis.Table.render t);
+  `Ok ()
+
+let sweep_cmd =
+  let param =
+    Arg.(
+      value & opt string "gamma"
+      & info [ "param" ] ~docv:"P" ~doc:"Parameter to sweep: gamma or distance.")
+  in
+  let values =
+    Arg.(
+      value & opt string "1,2,4,8,16"
+      & info [ "values" ] ~docv:"LIST" ~doc:"Comma-separated values.")
+  in
+  let doc = "Parameter sweeps over the single-circuit trace experiment." in
+  Cmd.v (Cmd.info "sweep" ~doc) Term.(ret (const run_sweep $ param $ values))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let doc = "CircuitStart: a slow start for multi-hop anonymity systems (simulator)" in
+  let info = Cmd.info "torsim" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ trace_cmd; cdf_cmd; optimal_cmd; adaptive_cmd; sweep_cmd; cross_cmd ]))

@@ -1,0 +1,1 @@
+examples/bottleneck_trace.ml: Analysis Array Backtap Engine List Printf Workload

@@ -1,0 +1,1 @@
+examples/gamma_ablation.ml: Analysis Circuitstart Engine List Printf Workload

@@ -1,0 +1,1 @@
+examples/multi_stream.ml: Backtap Circuitstart Engine Format List Option Printf Tor_model Workload

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Backtap Circuitstart Engine Format List Optmodel Printf Tor_model Workload

@@ -1,0 +1,1 @@
+examples/star_cdf.ml: Analysis Array Circuitstart Engine Format List Printf Workload

@@ -1,0 +1,1 @@
+examples/star_cdf.mli:

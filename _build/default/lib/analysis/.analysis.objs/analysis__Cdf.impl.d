@@ -1,0 +1,1 @@
+lib/analysis/cdf.ml: Array Float Stdlib

@@ -1,0 +1,1 @@
+lib/analysis/csv_out.ml: Array Buffer Cdf Filename Fun List Printf Sys

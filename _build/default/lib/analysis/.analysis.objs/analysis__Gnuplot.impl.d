@@ -1,0 +1,1 @@
+lib/analysis/gnuplot.ml: List Printf String

@@ -1,0 +1,1 @@
+lib/analysis/table.ml: Engine List Printf Stdlib String

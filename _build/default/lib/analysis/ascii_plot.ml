@@ -1,0 +1,54 @@
+type spec = { label : string; glyph : char; points : Series.t }
+
+let bounds specs =
+  let fold f init =
+    List.fold_left
+      (fun acc spec -> Array.fold_left (fun acc p -> f acc p) acc spec.points)
+      init specs
+  in
+  let x_min = fold (fun acc (x, _) -> Float.min acc x) Float.infinity in
+  let x_max = fold (fun acc (x, _) -> Float.max acc x) Float.neg_infinity in
+  let y_min = fold (fun acc (_, y) -> Float.min acc y) Float.infinity in
+  let y_max = fold (fun acc (_, y) -> Float.max acc y) Float.neg_infinity in
+  (x_min, x_max, y_min, y_max)
+
+let render ?(width = 72) ?(height = 20) ?(x_label = "x") ?(y_label = "y") specs =
+  let total_points = List.fold_left (fun acc s -> acc + Array.length s.points) 0 specs in
+  if total_points = 0 then "(no data to plot)\n"
+  else begin
+    let x_min, x_max, y_min, y_max = bounds specs in
+    let x_span = if x_max > x_min then x_max -. x_min else 1. in
+    let y_span = if y_max > y_min then y_max -. y_min else 1. in
+    let canvas = Array.make_matrix height width ' ' in
+    let plot_point glyph (x, y) =
+      let col =
+        int_of_float (Float.round ((x -. x_min) /. x_span *. float_of_int (width - 1)))
+      in
+      let row =
+        height - 1
+        - int_of_float
+            (Float.round ((y -. y_min) /. y_span *. float_of_int (height - 1)))
+      in
+      if col >= 0 && col < width && row >= 0 && row < height then
+        canvas.(row).(col) <- glyph
+    in
+    List.iter (fun spec -> Array.iter (plot_point spec.glyph) spec.points) specs;
+    let buf = Buffer.create ((width + 12) * (height + 4)) in
+    Buffer.add_string buf (Printf.sprintf "%s (max %.2f)\n" y_label y_max);
+    Array.iteri
+      (fun row line ->
+        let edge = if row = 0 || row = height - 1 then "+" else "|" in
+        Buffer.add_string buf edge;
+        Buffer.add_string buf (String.init width (fun c -> line.(c)));
+        Buffer.add_char buf '\n')
+      canvas;
+    Buffer.add_string buf
+      (Printf.sprintf "%-10.2f%s%10.2f  [%s]\n" x_min
+         (String.make (Stdlib.max 1 (width - 18)) ' ')
+         x_max x_label);
+    List.iter
+      (fun spec ->
+        Buffer.add_string buf (Printf.sprintf "  %c = %s\n" spec.glyph spec.label))
+      specs;
+    Buffer.contents buf
+  end

@@ -1,0 +1,20 @@
+(** Terminal rendering of figures.
+
+    The bench harness prints each reproduced figure panel as an ASCII
+    plot so shape comparisons against the paper need no plotting
+    toolchain.  Multiple series share one canvas, each with its own
+    glyph; axes are annotated with min/max. *)
+
+type spec = { label : string; glyph : char; points : Series.t }
+
+val render :
+  ?width:int ->
+  ?height:int ->
+  ?x_label:string ->
+  ?y_label:string ->
+  spec list ->
+  string
+(** [render specs] draws all series on a shared canvas ([width] x
+    [height] characters, default 72 x 20), with a legend line per
+    series.  Later series overdraw earlier ones where they collide.
+    Empty input or all-empty series yield a note instead of a plot. *)

@@ -1,0 +1,40 @@
+(** Empirical cumulative distribution functions.
+
+    Figure 1's bottom panel plots the CDF of time-to-last-byte for two
+    systems; the paper's claim "improve ... by up to 0.5 seconds" is
+    the largest horizontal gap between the curves.  This module builds
+    CDFs from samples and computes exactly those comparisons. *)
+
+type t
+
+val of_samples : float array -> t
+(** Raises [Invalid_argument] on an empty array or non-finite
+    samples. *)
+
+val count : t -> int
+
+val fraction_below : t -> float -> float
+(** [fraction_below cdf x] is P(sample <= x), in [\[0, 1\]]. *)
+
+val quantile : t -> float -> float
+(** [quantile cdf q] for [q] in [\[0, 1\]]: the smallest sample [x]
+    with [fraction_below cdf x >= q].  Raises [Invalid_argument]
+    outside the range. *)
+
+val points : t -> (float * float) list
+(** Step points [(value, cumulative fraction)], ascending, one per
+    distinct value. *)
+
+val min_value : t -> float
+val max_value : t -> float
+val mean : t -> float
+
+val horizontal_gap : better:t -> worse:t -> float
+(** The largest [quantile worse q - quantile better q] over a fine grid
+    of [q] — "how many seconds earlier does the better system reach the
+    same completion fraction", the paper's improvement metric.  Can be
+    negative if [better] never leads. *)
+
+val dominates : better:t -> worse:t -> bool
+(** Whether [better]'s curve is nowhere to the right of [worse]'s
+    (checked on the quantile grid). *)

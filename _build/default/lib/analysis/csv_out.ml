@@ -1,0 +1,34 @@
+let series_csv labelled =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "series,x,y\n";
+  List.iter
+    (fun (label, series) ->
+      Array.iter
+        (fun (x, y) -> Buffer.add_string buf (Printf.sprintf "%s,%.6f,%.6f\n" label x y))
+        series)
+    labelled;
+  Buffer.contents buf
+
+let cdf_csv labelled =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "series,value,fraction\n";
+  List.iter
+    (fun (label, cdf) ->
+      List.iter
+        (fun (v, f) -> Buffer.add_string buf (Printf.sprintf "%s,%.6f,%.6f\n" label v f))
+        (Cdf.points cdf))
+    labelled;
+  Buffer.contents buf
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ when Sys.file_exists dir -> ()
+  end
+
+let write_file ~path contents =
+  mkdir_p (Filename.dirname path);
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)

@@ -1,0 +1,14 @@
+(** CSV export for external plotting (gnuplot, matplotlib).
+
+    Everything the ASCII renderings show can also be written as CSV so
+    the paper's figures can be redrawn exactly. *)
+
+val series_csv : (string * Series.t) list -> string
+(** Long-format CSV [series,x,y] for any number of labelled series. *)
+
+val cdf_csv : (string * Cdf.t) list -> string
+(** Long-format CSV [series,value,fraction] of CDF step points. *)
+
+val write_file : path:string -> string -> unit
+(** Write contents to [path], creating parent directories as needed.
+    Raises [Sys_error] on failure. *)

@@ -1,0 +1,31 @@
+let header ~title ~x_label ~y_label =
+  String.concat "\n"
+    [
+      "set datafile separator ','";
+      Printf.sprintf "set title %S" title;
+      Printf.sprintf "set xlabel %S" x_label;
+      Printf.sprintf "set ylabel %S" y_label;
+      "set key bottom right";
+      "set grid";
+    ]
+
+let plot_lines ~csv_file ~series ~using ~style =
+  let one i name =
+    Printf.sprintf
+      "%s '< grep \"^%s,\" %s' using %s with %s title %S"
+      (if i = 0 then "plot" else "    ")
+      name csv_file using style name
+  in
+  String.concat ", \\\n" (List.mapi one series)
+
+let series_script ~csv_file ~title ~x_label ~y_label ~series =
+  header ~title ~x_label ~y_label
+  ^ "\n"
+  ^ plot_lines ~csv_file ~series ~using:"2:3" ~style:"steps lw 2"
+  ^ "\n"
+
+let cdf_script ~csv_file ~title ~x_label ~series =
+  header ~title ~x_label ~y_label:"cumulative distribution"
+  ^ "\nset yrange [0:1]\n"
+  ^ plot_lines ~csv_file ~series ~using:"2:3" ~style:"steps lw 2"
+  ^ "\n"

@@ -1,0 +1,20 @@
+(** Gnuplot script generation.
+
+    For readers who want the paper's figures as actual plots: every
+    figure the bench harness writes as CSV also gets a ready-to-run
+    gnuplot script (expects the CSV next to it). *)
+
+val series_script :
+  csv_file:string ->
+  title:string ->
+  x_label:string ->
+  y_label:string ->
+  series:string list ->
+  string
+(** A script plotting the named series from a long-format
+    [series,x,y] CSV written by {!Csv_out.series_csv}. *)
+
+val cdf_script :
+  csv_file:string -> title:string -> x_label:string -> series:string list -> string
+(** A script plotting CDF step curves from a [series,value,fraction]
+    CSV written by {!Csv_out.cdf_csv}. *)

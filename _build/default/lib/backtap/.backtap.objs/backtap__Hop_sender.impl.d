@@ -1,0 +1,1 @@
+lib/backtap/hop_sender.ml: Circuitstart Engine Float Hashtbl Netsim Option Queue Stdlib Tor_model Wire

@@ -1,0 +1,1 @@
+lib/backtap/hop_sender.mli: Circuitstart Engine Netsim Tor_model

@@ -1,0 +1,1 @@
+lib/backtap/node.ml: Format Hashtbl Netsim Tor_model Wire

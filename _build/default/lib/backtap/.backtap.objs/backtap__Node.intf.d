@@ -1,0 +1,1 @@
+lib/backtap/node.mli: Netsim Tor_model

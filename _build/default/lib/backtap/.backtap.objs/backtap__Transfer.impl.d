@@ -1,0 +1,1 @@
+lib/backtap/transfer.ml: Array Circuitstart Engine Hashtbl Hop_sender Int List Netsim Node Option Printf Tor_model Wire

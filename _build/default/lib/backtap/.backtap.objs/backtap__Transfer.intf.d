@@ -1,0 +1,1 @@
+lib/backtap/transfer.mli: Circuitstart Engine Hop_sender Netsim Node Tor_model

@@ -1,0 +1,1 @@
+lib/backtap/wire.ml: Format Netsim Tor_model

@@ -1,0 +1,1 @@
+lib/backtap/wire.mli: Netsim Tor_model

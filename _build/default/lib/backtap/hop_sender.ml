@@ -1,0 +1,161 @@
+type pending = {
+  cell : Tor_model.Cell.t;
+  mutable transmitted : bool;  (* has left this node's access link *)
+  mutable sent_at : Engine.Time.t;  (* wire-departure instant *)
+  mutable retransmitted : bool;
+  mutable backoff : int;  (* doublings applied to the next RTO *)
+  mutable timer : Engine.Sim.handle option;
+}
+
+type t = {
+  sb : Tor_model.Switchboard.t;
+  circuit : Tor_model.Circuit_id.t;
+  succ : Netsim.Node_id.t;
+  controller : Circuitstart.Controller.t;
+  sim : Engine.Sim.t;
+  rto_min : Engine.Time.t;
+  rto_initial : Engine.Time.t;
+  backlog : (Tor_model.Cell.t * (unit -> unit) option) Queue.t;
+  inflight : (int, pending) Hashtbl.t;
+  mutable next_seq : int;
+  mutable sent : int;
+  mutable retx : int;
+  mutable spurious : int;
+  (* Jacobson/Karels estimator state, in seconds. *)
+  mutable srtt : float option;
+  mutable rttvar : float;
+}
+
+let create ~sb ~circuit ~succ ~controller ?(rto_min = Engine.Time.ms 400)
+    ?(rto_initial = Engine.Time.s 1) () =
+  {
+    sb;
+    circuit;
+    succ;
+    controller;
+    sim = Netsim.Network.sim (Tor_model.Switchboard.network sb);
+    rto_min;
+    rto_initial;
+    backlog = Queue.create ();
+    inflight = Hashtbl.create 64;
+    next_seq = 0;
+    sent = 0;
+    retx = 0;
+    spurious = 0;
+    srtt = None;
+    rttvar = 0.;
+  }
+
+let controller t = t.controller
+let cwnd t = Circuitstart.Controller.cwnd t.controller
+let inflight t = Hashtbl.length t.inflight
+let queue_length t = Queue.length t.backlog
+let cells_sent t = t.sent
+let retransmissions t = t.retx
+let spurious_feedback t = t.spurious
+let idle t = Queue.is_empty t.backlog && Hashtbl.length t.inflight = 0
+
+let srtt t = Option.map Engine.Time.of_sec_f t.srtt
+
+let rto t =
+  match t.srtt with
+  | None -> t.rto_initial
+  | Some srtt ->
+      let rto = Engine.Time.of_sec_f (srtt +. (4. *. t.rttvar)) in
+      Engine.Time.max rto t.rto_min
+
+let max_backoff = 6
+
+(* Put the cell on the wire.  All timing is anchored at the actual wire
+   departure (the access link's serialization start): the RTT clock and
+   the retransmission timer start there, and — on the first
+   transmission only — [ack] fires there, because that instant is this
+   node's act of forwarding (the predecessor's feedback is due then,
+   not when the cell was merely queued).  The retransmission timer
+   backs off exponentially: Karn's rule freezes the estimator during
+   retransmissions, so without backoff an RTO below the loaded RTT
+   would retransmit every cell forever (congestion collapse). *)
+let rec wire_send t ~hop_seq ?ack (p : pending) =
+  let first = not p.transmitted in
+  let attempt_on_wire = ref false in
+  let retransmit () =
+    if Hashtbl.mem t.inflight hop_seq then begin
+      p.retransmitted <- true;
+      p.backoff <- Stdlib.min max_backoff (p.backoff + 1);
+      t.retx <- t.retx + 1;
+      wire_send t ~hop_seq p
+    end
+  in
+  Tor_model.Switchboard.send_payload t.sb ~dst:t.succ ~size:Wire.cell_size
+    ~on_transmit:(fun () ->
+      attempt_on_wire := true;
+      (* Disarm the queued-drop watchdog, if one was set. *)
+      (match p.timer with Some h -> Engine.Sim.cancel t.sim h | None -> ());
+      p.transmitted <- true;
+      p.sent_at <- Engine.Sim.now t.sim;
+      (if first then match ack with Some f -> f () | None -> ());
+      let delay = Engine.Time.mul_int (rto t) (1 lsl p.backoff) in
+      p.timer <- Some (Engine.Sim.schedule_after t.sim delay retransmit))
+    (Wire.Bt_cell { hop_seq; cell = p.cell });
+  (* Still sitting in our own access link's queue: a tail drop there
+     would never fire on_transmit, so arm a watchdog that retries
+     unless the cell made it onto the wire in the meantime. *)
+  if not !attempt_on_wire then begin
+    let delay = Engine.Time.mul_int (rto t) (1 lsl p.backoff) in
+    p.timer <-
+      Some
+        (Engine.Sim.schedule_after t.sim delay (fun () ->
+             if not !attempt_on_wire then retransmit ()))
+  end
+
+(* Move backlog cells onto the wire while the window allows. *)
+let rec pump t =
+  if
+    Hashtbl.length t.inflight < Circuitstart.Controller.send_allowance t.controller
+    && not (Queue.is_empty t.backlog)
+  then begin
+    let cell, ack = Queue.pop t.backlog in
+    let hop_seq = t.next_seq in
+    t.next_seq <- hop_seq + 1;
+    t.sent <- t.sent + 1;
+    let p =
+      { cell; transmitted = false; sent_at = Engine.Sim.now t.sim;
+        retransmitted = false; backoff = 0; timer = None }
+    in
+    Hashtbl.add t.inflight hop_seq p;
+    wire_send t ~hop_seq ?ack p;
+    pump t
+  end
+
+let submit t ?ack cell =
+  Queue.push (cell, ack) t.backlog;
+  pump t
+
+let sample_rtt t rtt_s =
+  match t.srtt with
+  | None ->
+      t.srtt <- Some rtt_s;
+      t.rttvar <- rtt_s /. 2.
+  | Some srtt ->
+      let err = rtt_s -. srtt in
+      t.srtt <- Some (srtt +. (0.125 *. err));
+      t.rttvar <- (0.75 *. t.rttvar) +. (0.25 *. Float.abs err)
+
+let on_feedback t ~hop_seq =
+  match Hashtbl.find_opt t.inflight hop_seq with
+  | None -> t.spurious <- t.spurious + 1
+  | Some p ->
+      Hashtbl.remove t.inflight hop_seq;
+      (match p.timer with Some h -> Engine.Sim.cancel t.sim h | None -> ());
+      let now = Engine.Sim.now t.sim in
+      if not p.retransmitted then begin
+        let rtt = Engine.Time.diff now p.sent_at in
+        if Engine.Time.(rtt > Engine.Time.zero) then begin
+          sample_rtt t (Engine.Time.to_sec_f rtt);
+          (* If nothing is waiting locally, the window is not what
+             limits this hop; rounds without pressure must not grow. *)
+          let window_limited = not (Queue.is_empty t.backlog) in
+          Circuitstart.Controller.on_feedback t.controller ~now ~rtt ~window_limited ()
+        end
+      end;
+      pump t

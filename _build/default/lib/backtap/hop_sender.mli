@@ -1,0 +1,59 @@
+(** The windowed sender of one hop.
+
+    One instance lives at each node that forwards a circuit's cells to
+    a successor (the client and every relay; the server has none).  It
+    owns the hop's {!Circuitstart.Controller.t}, keeps at most [cwnd]
+    cells in flight, measures the cell→feedback RTT per transmission,
+    and retransmits cells whose feedback does not arrive (Jacobson RTO,
+    Karn's rule for samples).
+
+    The caller attaches an [ack] to each submitted cell; it fires at
+    the instant the cell is put on the wire towards the successor —
+    "when forwarding a cell to its successor, each relay issues a
+    feedback message to its predecessor" (paper §2) is implemented by
+    passing the feedback emission as that [ack]. *)
+
+type t
+
+val create :
+  sb:Tor_model.Switchboard.t ->
+  circuit:Tor_model.Circuit_id.t ->
+  succ:Netsim.Node_id.t ->
+  controller:Circuitstart.Controller.t ->
+  ?rto_min:Engine.Time.t ->
+  ?rto_initial:Engine.Time.t ->
+  unit ->
+  t
+(** [rto_min] defaults to 400 ms, [rto_initial] to 1 s.  Consecutive
+    retransmissions of the same cell back off exponentially (doubling,
+    capped at 64x) — under Karn's rule the estimator is frozen while
+    retransmissions are in progress, so backoff is what re-opens the
+    window for a fresh sample. *)
+
+val submit : t -> ?ack:(unit -> unit) -> Tor_model.Cell.t -> unit
+(** Queue a cell; it is transmitted as soon as the window allows.
+    [ack] (default none) fires when the cell first goes on the wire. *)
+
+val on_feedback : t -> hop_seq:int -> unit
+(** Process a feedback message from the successor: frees the window
+    slot, samples the RTT (unless the cell was retransmitted) and
+    drives the controller.  Unknown or duplicate sequence numbers are
+    counted and otherwise ignored. *)
+
+val controller : t -> Circuitstart.Controller.t
+val cwnd : t -> int
+val inflight : t -> int
+val queue_length : t -> int
+(** Cells submitted but not yet transmitted (local backlog, not the
+    link queue). *)
+
+val cells_sent : t -> int
+(** First transmissions (excludes retransmissions). *)
+
+val retransmissions : t -> int
+val spurious_feedback : t -> int
+val idle : t -> bool
+(** No backlog and nothing in flight. *)
+
+val srtt : t -> Engine.Time.t option
+(** Smoothed RTT estimate, once at least one sample exists. *)

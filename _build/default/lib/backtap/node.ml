@@ -1,0 +1,42 @@
+type flow = {
+  on_cell : from:Netsim.Node_id.t -> hop_seq:int -> Tor_model.Cell.t -> unit;
+  on_feedback : hop_seq:int -> unit;
+}
+
+type t = {
+  sb : Tor_model.Switchboard.t;
+  flows : (int, flow) Hashtbl.t;
+  mutable orphans : int;
+}
+
+let dispatch t (p : Netsim.Packet.t) =
+  match p.payload with
+  | Wire.Bt_cell { hop_seq; cell } -> (
+      match Hashtbl.find_opt t.flows (Tor_model.Circuit_id.to_int cell.circuit) with
+      | Some flow -> flow.on_cell ~from:p.src ~hop_seq cell
+      | None -> t.orphans <- t.orphans + 1)
+  | Wire.Bt_feedback { circuit; hop_seq } -> (
+      match Hashtbl.find_opt t.flows (Tor_model.Circuit_id.to_int circuit) with
+      | Some flow -> flow.on_feedback ~hop_seq
+      | None -> t.orphans <- t.orphans + 1)
+  | _ -> t.orphans <- t.orphans + 1
+
+let install sb =
+  let t = { sb; flows = Hashtbl.create 16; orphans = 0 } in
+  Tor_model.Switchboard.set_aux_handler sb (dispatch t);
+  t
+
+let switchboard t = t.sb
+
+let register_flow t circuit flow =
+  let key = Tor_model.Circuit_id.to_int circuit in
+  if Hashtbl.mem t.flows key then
+    invalid_arg
+      (Format.asprintf "Backtap.Node.register_flow: %a already registered"
+         Tor_model.Circuit_id.pp circuit);
+  Hashtbl.add t.flows key flow
+
+let unregister_flow t circuit =
+  Hashtbl.remove t.flows (Tor_model.Circuit_id.to_int circuit)
+
+let orphan_messages t = t.orphans

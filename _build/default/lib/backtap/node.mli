@@ -1,0 +1,29 @@
+(** Per-node BackTap dispatch.
+
+    One [Node.t] per network node running BackTap.  It claims the
+    switchboard's auxiliary handler and routes incoming hop envelopes
+    and feedback messages to the per-circuit flow registered by a
+    deployment.  Several circuits (deployments) share one node. *)
+
+type t
+
+type flow = {
+  on_cell : from:Netsim.Node_id.t -> hop_seq:int -> Tor_model.Cell.t -> unit;
+      (** A cell arrived from a neighbouring hop. *)
+  on_feedback : hop_seq:int -> unit;
+      (** Feedback from this node's successor on that circuit. *)
+}
+
+val install : Tor_model.Switchboard.t -> t
+(** Claims the switchboard's aux-handler slot. *)
+
+val switchboard : t -> Tor_model.Switchboard.t
+
+val register_flow : t -> Tor_model.Circuit_id.t -> flow -> unit
+(** Raises [Invalid_argument] if the circuit already has a flow
+    here. *)
+
+val unregister_flow : t -> Tor_model.Circuit_id.t -> unit
+
+val orphan_messages : t -> int
+(** Envelopes or feedback for circuits with no registered flow. *)

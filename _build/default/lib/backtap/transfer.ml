@@ -1,0 +1,248 @@
+type stream_state = {
+  stream_id : int;
+  source : Tor_model.Stream.Source.t;
+  str_sink : Tor_model.Stream.Sink.t;
+  mutable str_completed_at : Engine.Time.t option;
+}
+
+type t = {
+  circuit : Tor_model.Circuit.t;
+  node_of : Netsim.Node_id.t -> Node.t;
+  streams : stream_state list;  (* at least one; cells interleave round-robin *)
+  sim : Engine.Sim.t;
+  senders : Hop_sender.t array;  (* position 0 = client, one per hop *)
+  (* (stream, seq) -> client wire-departure instant, for end-to-end cell
+     latency; entries are consumed at first delivery so duplicates do
+     not sample twice. *)
+  cell_departures : (int * int, Engine.Time.t) Hashtbl.t;
+  cell_latency : Engine.Stats.Online.t;
+  mutable started : bool;
+  mutable first_sent_at : Engine.Time.t option;
+  mutable on_complete : (Engine.Time.t -> unit) option;
+}
+
+let stream_of t id = List.find_opt (fun s -> s.stream_id = id) t.streams
+let all_complete t = List.for_all (fun s -> Tor_model.Stream.Sink.complete s.str_sink) t.streams
+
+let sb_of t node = Node.switchboard (t.node_of node)
+
+let feedback_to t node ~pred ~hop_seq =
+  Tor_model.Switchboard.send_payload (sb_of t node) ~dst:pred ~size:Wire.feedback_size
+    (Wire.Bt_feedback { circuit = t.circuit.Tor_model.Circuit.id; hop_seq })
+
+(* Flow at a forwarding relay (has both a predecessor and a successor). *)
+let relay_flow t ~node ~pred ~sender =
+  {
+    Node.on_cell =
+      (fun ~from ~hop_seq cell ->
+        if Netsim.Node_id.equal from pred then
+          let peeled = Tor_model.Crypto_sim.peel cell in
+          Hop_sender.submit sender
+            ~ack:(fun () -> feedback_to t node ~pred ~hop_seq)
+            peeled
+        else ());
+    on_feedback = (fun ~hop_seq -> Hop_sender.on_feedback sender ~hop_seq);
+  }
+
+(* Flow at the server endpoint: deliver and acknowledge immediately. *)
+let server_flow t ~pred =
+  let server = t.circuit.Tor_model.Circuit.server in
+  {
+    Node.on_cell =
+      (fun ~from ~hop_seq cell ->
+        if Netsim.Node_id.equal from pred then begin
+          (match Tor_model.Crypto_sim.exposed cell with
+          | Some cmd ->
+              let now = Engine.Sim.now t.sim in
+              (match cmd with
+              | Tor_model.Cell.Relay_data { stream_id; seq; _ } -> (
+                  (match Hashtbl.find_opt t.cell_departures (stream_id, seq) with
+                  | Some dep ->
+                      Hashtbl.remove t.cell_departures (stream_id, seq);
+                      Engine.Stats.Online.add t.cell_latency
+                        (Engine.Time.to_sec_f (Engine.Time.diff now dep))
+                  | None -> ());
+                  match stream_of t stream_id with
+                  | Some st ->
+                      let was_complete = Tor_model.Stream.Sink.complete st.str_sink in
+                      Tor_model.Stream.Sink.deliver st.str_sink ~now cmd;
+                      if (not was_complete) && Tor_model.Stream.Sink.complete st.str_sink
+                      then begin
+                        st.str_completed_at <- Some now;
+                        if all_complete t then begin
+                          match t.on_complete with Some f -> f now | None -> ()
+                        end
+                      end
+                  | None -> () (* data for an unknown stream: drop *))
+              | Tor_model.Cell.Relay_sendme _ | Tor_model.Cell.Relay_end _ -> ())
+          | None ->
+              (* A still-wrapped cell at the server is a layering bug. *)
+              failwith "Backtap.Transfer: cell reached server with layers left");
+          feedback_to t server ~pred ~hop_seq
+        end);
+    on_feedback = (fun ~hop_seq:_ -> ());
+  }
+
+let client_flow ~sender =
+  {
+    Node.on_cell = (fun ~from:_ ~hop_seq:_ _cell -> ());
+    on_feedback = (fun ~hop_seq -> Hop_sender.on_feedback sender ~hop_seq);
+  }
+
+let deploy_streams ~node_of ~circuit ~streams ~strategy
+    ?(params = Circuitstart.Params.default) ?trace ?on_complete () =
+  if streams = [] then invalid_arg "Backtap.Transfer.deploy_streams: no streams";
+  let ids = List.map fst streams in
+  if List.length (List.sort_uniq Int.compare ids) <> List.length ids then
+    invalid_arg "Backtap.Transfer.deploy_streams: duplicate stream id";
+  let nodes = Tor_model.Circuit.nodes circuit in
+  let node_arr = Array.of_list nodes in
+  let hops = Array.length node_arr - 1 in
+  let client_sb = Node.switchboard (node_of circuit.Tor_model.Circuit.client) in
+  let sim = Netsim.Network.sim (Tor_model.Switchboard.network client_sb) in
+  let make_sender pos =
+    let controller = Circuitstart.Controller.create ~params strategy in
+    Circuitstart.Controller.set_debug_label controller
+      (Printf.sprintf "%s/hop%d"
+         (Tor_model.Circuit_id.to_int circuit.Tor_model.Circuit.id |> string_of_int)
+         pos);
+    (match trace with
+    | Some (registry, prefix) ->
+        let key = Printf.sprintf "%s/cwnd/%d" prefix pos in
+        Engine.Trace.record registry key (Engine.Sim.now sim)
+          (float_of_int (Circuitstart.Controller.cwnd controller));
+        Circuitstart.Controller.set_on_change controller (fun ~now v ->
+            Engine.Trace.record registry key now (float_of_int v))
+    | None -> ());
+    Hop_sender.create
+      ~sb:(Node.switchboard (node_of node_arr.(pos)))
+      ~circuit:circuit.Tor_model.Circuit.id ~succ:node_arr.(pos + 1) ~controller ()
+  in
+  let senders = Array.init hops make_sender in
+  let t =
+    {
+      circuit;
+      node_of;
+      streams =
+        List.map
+          (fun (stream_id, bytes) ->
+            { stream_id;
+              source = Tor_model.Stream.Source.create ~stream_id ~bytes;
+              str_sink = Tor_model.Stream.Sink.create ~expected_bytes:bytes;
+              str_completed_at = None })
+          streams;
+      sim;
+      senders;
+      cell_departures = Hashtbl.create 256;
+      cell_latency = Engine.Stats.Online.create ();
+      started = false;
+      first_sent_at = None;
+      on_complete;
+    }
+  in
+  (* Client flow at position 0. *)
+  Node.register_flow
+    (node_of circuit.Tor_model.Circuit.client)
+    circuit.Tor_model.Circuit.id
+    (client_flow ~sender:senders.(0));
+  (* Relay flows at positions 1 .. hops-1. *)
+  for pos = 1 to hops - 1 do
+    Node.register_flow (node_of node_arr.(pos)) circuit.Tor_model.Circuit.id
+      (relay_flow t ~node:node_arr.(pos) ~pred:node_arr.(pos - 1) ~sender:senders.(pos))
+  done;
+  (* Server flow at the last position. *)
+  Node.register_flow
+    (node_of circuit.Tor_model.Circuit.server)
+    circuit.Tor_model.Circuit.id
+    (server_flow t ~pred:node_arr.(hops - 1));
+  t
+
+let deploy ~node_of ~circuit ~bytes ~strategy ?params ?trace ?(stream_id = 0)
+    ?on_complete () =
+  deploy_streams ~node_of ~circuit ~streams:[ (stream_id, bytes) ] ~strategy ?params
+    ?trace ?on_complete ()
+
+let start t =
+  if t.started then invalid_arg "Backtap.Transfer.start: already started";
+  t.started <- true;
+  t.first_sent_at <- Some (Engine.Sim.now t.sim);
+  let layers = Tor_model.Circuit.layer_count t.circuit in
+  let submit cell =
+    (* Stamp the client's wire departure (not the submit — the whole
+       file is queued up-front) for end-to-end latency. *)
+    let ack =
+      match Tor_model.Cell.relay_cmd cell with
+      | Some (Tor_model.Cell.Relay_data { stream_id; seq; _ }) ->
+          Some
+            (fun () ->
+              Hashtbl.replace t.cell_departures (stream_id, seq) (Engine.Sim.now t.sim))
+      | _ -> None
+    in
+    Hop_sender.submit t.senders.(0) ?ack cell
+  in
+  (* Round-robin across streams so concurrent streams share the circuit
+     fairly (as Tor's cell scheduler interleaves streams). *)
+  let rec feed pending =
+    let progressed, still =
+      List.fold_left
+        (fun (progressed, still) st ->
+          match
+            Tor_model.Stream.Source.next_cell st.source t.circuit.Tor_model.Circuit.id
+              ~layers
+          with
+          | Some cell ->
+              submit cell;
+              (true, st :: still)
+          | None -> (progressed, still))
+        (false, []) pending
+    in
+    if progressed then feed (List.rev still)
+  in
+  feed t.streams
+
+let circuit t = t.circuit
+let complete t = all_complete t
+let first_sent_at t = t.first_sent_at
+
+let completed_at t =
+  (* The instant the *last* stream finished, once every stream has. *)
+  List.fold_left
+    (fun acc st ->
+      match (acc, st.str_completed_at) with
+      | Some a, Some b -> Some (Engine.Time.max a b)
+      | _, None | None, _ -> None)
+    (match t.streams with
+    | st :: _ -> st.str_completed_at
+    | [] -> None)
+    (match t.streams with [] -> [] | _ :: rest -> rest)
+
+let time_to_last_byte t =
+  match (t.first_sent_at, completed_at t) with
+  | Some a, Some b -> Some (Engine.Time.diff b a)
+  | _ -> None
+
+let sink t =
+  match t.streams with st :: _ -> st.str_sink | [] -> assert false
+
+let stream_sink t stream_id = Option.map (fun st -> st.str_sink) (stream_of t stream_id)
+
+let stream_completed_at t stream_id =
+  Option.bind (stream_of t stream_id) (fun st -> st.str_completed_at)
+
+let stream_ids t = List.map (fun st -> st.stream_id) t.streams
+
+let sender_at t pos =
+  if pos >= 0 && pos < Array.length t.senders then Some t.senders.(pos) else None
+
+let senders t = Array.to_list t.senders
+
+let cell_latency_stats t = t.cell_latency
+
+let total_retransmissions t =
+  Array.fold_left (fun acc s -> acc + Hop_sender.retransmissions s) 0 t.senders
+
+let teardown t =
+  List.iter
+    (fun node ->
+      Node.unregister_flow (t.node_of node) t.circuit.Tor_model.Circuit.id)
+    (Tor_model.Circuit.nodes t.circuit)

@@ -1,0 +1,100 @@
+(** A fixed-size transfer over one circuit, relayed hop-by-hop with
+    BackTap and a pluggable startup strategy.
+
+    Deployment wires every node on the path:
+
+    - the {b client} owns a {!Hop_sender} towards the guard and feeds
+      it the whole transfer (the window, not the application, paces the
+      wire);
+    - each {b relay} owns a sender towards its successor; an incoming
+      cell is peeled one onion layer and submitted with an [ack] that
+      emits the BackTap feedback to the predecessor at the forwarding
+      instant;
+    - the {b server} delivers exposed cells to the sink and emits
+      feedback immediately (delivery is its act of forwarding).
+
+    Every hop runs its own controller instance with the same strategy
+    and parameters — the paper's backpropagation is an emergent
+    property of this arrangement, which {!sender_at} lets tests
+    observe hop by hop. *)
+
+type t
+
+val deploy :
+  node_of:(Netsim.Node_id.t -> Node.t) ->
+  circuit:Tor_model.Circuit.t ->
+  bytes:int ->
+  strategy:Circuitstart.Controller.strategy ->
+  ?params:Circuitstart.Params.t ->
+  ?trace:Engine.Trace.t * string ->
+  ?stream_id:int ->
+  ?on_complete:(Engine.Time.t -> unit) ->
+  unit ->
+  t
+(** Prepare (but do not start) a [bytes]-byte transfer.  [node_of] must
+    return the BackTap node state of every node on the path.  With
+    [trace = (registry, prefix)], each hop's window is recorded as
+    series ["<prefix>/cwnd/<position>"] in cells (position 0 = client),
+    with an initial point at deployment time.  [on_complete] fires once
+    when the sink has every byte. *)
+
+val deploy_streams :
+  node_of:(Netsim.Node_id.t -> Node.t) ->
+  circuit:Tor_model.Circuit.t ->
+  streams:(int * int) list ->
+  strategy:Circuitstart.Controller.strategy ->
+  ?params:Circuitstart.Params.t ->
+  ?trace:Engine.Trace.t * string ->
+  ?on_complete:(Engine.Time.t -> unit) ->
+  unit ->
+  t
+(** Multiplex several application streams over one circuit, as Tor
+    does: [streams] is a list of [(stream_id, bytes)] with distinct
+    ids; their cells interleave round-robin at the client (Tor's cell
+    scheduler), share every hop window, and are demultiplexed to
+    per-stream sinks at the server.  [on_complete] fires when the last
+    stream finishes.  Raises [Invalid_argument] on an empty list or
+    duplicate ids. *)
+
+val start : t -> unit
+(** Inject the transfer at the client.  Raises [Invalid_argument] if
+    called twice. *)
+
+val circuit : t -> Tor_model.Circuit.t
+val complete : t -> bool
+val first_sent_at : t -> Engine.Time.t option
+val completed_at : t -> Engine.Time.t option
+(** When the last byte of the *last* stream arrived ([None] until every
+    stream is complete). *)
+
+val time_to_last_byte : t -> Engine.Time.t option
+(** [completed_at - first_sent_at]; [None] until complete. *)
+
+val sink : t -> Tor_model.Stream.Sink.t
+(** The first stream's sink (the only one for {!deploy}). *)
+
+val stream_sink : t -> int -> Tor_model.Stream.Sink.t option
+(** A specific stream's sink, by id. *)
+
+val stream_completed_at : t -> int -> Engine.Time.t option
+(** When that stream's last byte arrived. *)
+
+val stream_ids : t -> int list
+
+val sender_at : t -> int -> Hop_sender.t option
+(** The hop sender at path position [i] (0 = client); [None] for the
+    server position or out of range. *)
+
+val senders : t -> Hop_sender.t list
+(** All hop senders, client first. *)
+
+val cell_latency_stats : t -> Engine.Stats.Online.t
+(** End-to-end per-cell latency samples: client wire departure to
+    server delivery (duplicates from retransmission sample once, at
+    first delivery).  This is the interactivity metric — it exposes
+    queueing along the whole circuit. *)
+
+val total_retransmissions : t -> int
+
+val teardown : t -> unit
+(** Unregister the circuit's flows at every node. *)

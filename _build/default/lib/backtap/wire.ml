@@ -1,0 +1,19 @@
+type Netsim.Payload.t +=
+  | Bt_cell of { hop_seq : int; cell : Tor_model.Cell.t }
+  | Bt_feedback of { circuit : Tor_model.Circuit_id.t; hop_seq : int }
+
+let cell_size = Tor_model.Cell.size + 8
+let feedback_size = 43
+
+let registered = ref false
+
+let register_printer () =
+  if not !registered then begin
+    registered := true;
+    Netsim.Payload.describe (function
+      | Bt_cell { hop_seq; cell } ->
+          Some (Format.asprintf "bt#%d %a" hop_seq Tor_model.Cell.pp cell)
+      | Bt_feedback { circuit; hop_seq } ->
+          Some (Format.asprintf "fb %a #%d" Tor_model.Circuit_id.pp circuit hop_seq)
+      | _ -> None)
+  end

@@ -1,0 +1,1 @@
+lib/core/controller.ml: Array Engine Float Format Params Printf Queue Stdlib Sys

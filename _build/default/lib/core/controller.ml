@@ -1,0 +1,407 @@
+type strategy = Circuit_start | Slow_start | Fixed of int
+type phase = Ramp_up | Avoidance
+
+type t = {
+  params : Params.t;
+  strategy : strategy;
+  mutable cwnd : int;
+  mutable phase : phase;
+  mutable base_rtt : Engine.Time.t option;
+  mutable latest_diff : float option;
+  (* Round bookkeeping: a round ends after [round_target] feedbacks.
+     [round_base] is the window at the start of the round; during a
+     Circuit_start ramp-up round the send allowance interpolates from
+     it to the doubled [cwnd]. *)
+  mutable round_target : int;
+  mutable round_base : int;
+  mutable acked_in_round : int;
+  mutable round_rtt_sum : float;  (* seconds, for the round mean *)
+  mutable round_rtt_min : float;  (* seconds, for the ramp-up exit test *)
+  mutable round_started_at : Engine.Time.t option;
+  (* Delivery rate of the previous ramp-up round plus consecutive-round
+     counters for the exit decision — the ramp ends when the feedback
+     rate stops accelerating persistently, not merely when RTTs inflate
+     (a successor that is itself still ramping inflates RTTs and stalls
+     the rate for a round at a time). *)
+  mutable prev_rate : float option;
+  mutable stall_rounds : int;
+  mutable queue_rounds : int;
+  mutable limited_in_round : bool;
+  mutable rounds : int;
+  mutable exits : int;
+  mutable exit_cwnd : int option;
+  (* Countdown: re-apply rate-based compensation over the first few
+     avoidance rounds.  Right after a ramp-up exit the bottleneck is
+     still draining the overshoot at exactly its service rate, so the
+     sliding feedback count measured then is the cleanest estimate of
+     the bandwidth-delay product; taking the running maximum over a few
+     rounds rides out a cascade of neighbouring hops that are still
+     compensating themselves. *)
+  mutable recalibrate : int;
+  mutable calm_rounds : int;
+  (* Timestamps of feedbacks within the last baseRtt, for rate-based
+     overshooting compensation. *)
+  recent_feedbacks : Engine.Time.t Queue.t;
+  (* Sliding-rate readings of the last few rounds.  A hop whose
+     feedback stream is momentarily starved (a successor applying its
+     own compensation) must not mistake the trough for the path rate:
+     compensation uses the recent peak. *)
+  rate_history : int array;
+  mutable rate_history_idx : int;
+  mutable round_count1_max : int;  (* best 1-RTT feedback count this round *)
+  mutable samples_total : int;
+  mutable on_change : (now:Engine.Time.t -> int -> unit) option;
+  mutable debug_label : string;
+}
+
+let debug =
+  match Sys.getenv_opt "CIRCUITSTART_DEBUG" with Some _ -> true | None -> false
+
+let create ?(params = Params.default) strategy =
+  let params =
+    match Params.validate params with
+    | Ok p -> p
+    | Error msg -> invalid_arg ("Controller.create: " ^ msg)
+  in
+  let cwnd, phase =
+    match strategy with
+    | Fixed n ->
+        if n < 1 then invalid_arg "Controller.create: Fixed window must be positive";
+        (n, Avoidance)
+    | Circuit_start | Slow_start -> (params.initial_cwnd, Ramp_up)
+  in
+  {
+    params;
+    strategy;
+    cwnd;
+    phase;
+    base_rtt = None;
+    latest_diff = None;
+    round_target = cwnd;
+    round_base = cwnd;
+    acked_in_round = 0;
+    round_rtt_sum = 0.;
+    round_rtt_min = Float.infinity;
+    round_started_at = None;
+    prev_rate = None;
+    stall_rounds = 0;
+    queue_rounds = 0;
+    limited_in_round = false;
+    rounds = 0;
+    exits = 0;
+    exit_cwnd = None;
+    recalibrate = 0;
+    calm_rounds = 0;
+    recent_feedbacks = Queue.create ();
+    rate_history = Array.make 8 0;
+    rate_history_idx = 0;
+    round_count1_max = 0;
+    samples_total = 0;
+    on_change = None;
+    debug_label = "?";
+  }
+
+let strategy t = t.strategy
+let params t = t.params
+let cwnd t = t.cwnd
+let phase t = t.phase
+let base_rtt t = t.base_rtt
+let latest_diff t = t.latest_diff
+let rounds_completed t = t.rounds
+let ramp_up_exits t = t.exits
+let exit_cwnd t = t.exit_cwnd
+let set_on_change t f = t.on_change <- Some f
+let set_debug_label t label = t.debug_label <- label
+
+let send_allowance t =
+  match (t.phase, t.strategy) with
+  | Ramp_up, Circuit_start ->
+      (* Feedback-clocked doubling: each feedback admits the cell it
+         freed plus one growth cell, so the round's train leaves at 2x
+         the feedback pace rather than as a line-rate burst. *)
+      Stdlib.min t.cwnd (t.round_base + (2 * t.acked_in_round))
+  | Ramp_up, (Slow_start | Fixed _) | Avoidance, _ -> t.cwnd
+
+let set_cwnd t ~now v =
+  let v = Stdlib.min t.params.max_cwnd (Stdlib.max t.params.min_cwnd v) in
+  if v <> t.cwnd then begin
+    t.cwnd <- v;
+    match t.on_change with Some f -> f ~now v | None -> ()
+  end
+
+let start_round ?now t =
+  t.round_target <- t.cwnd;
+  t.round_base <- t.cwnd;
+  t.acked_in_round <- 0;
+  t.round_rtt_sum <- 0.;
+  t.round_rtt_min <- Float.infinity;
+  t.round_started_at <- now;
+  t.round_count1_max <- 0;
+  t.limited_in_round <- false
+
+(* diff = cwnd * currentRtt / baseRtt - cwnd, in cells. *)
+let vegas_diff t ~rtt_s =
+  match t.base_rtt with
+  | None -> 0.
+  | Some base ->
+      let base_s = Engine.Time.to_sec_f base in
+      float_of_int t.cwnd *. ((rtt_s /. base_s) -. 1.)
+
+(* The delivery rate this hop currently sustains: feedbacks that
+   arrived within the last baseRtt.  Counting over a fixed window keeps
+   the signal robust against round-duration jitter (pipeline fill,
+   allowance pacing), which a cells-per-round-duration measure is
+   not. *)
+let rate_window_rtts = 3
+
+(* Feedbacks within the last [rtts] baseRtts (the deque retains
+   [rate_window_rtts] worth). *)
+let count_within t ~now ~rtts =
+  match t.base_rtt with
+  | None -> Queue.length t.recent_feedbacks
+  | Some base ->
+      let cutoff = Engine.Time.sub now (Engine.Time.mul_int base rtts) in
+      Queue.fold
+        (fun acc ts -> if Engine.Time.(ts > cutoff) then acc + 1 else acc)
+        0 t.recent_feedbacks
+
+(* Burst-proof rate: average over the full window.  A queue release can
+   dump a whole flight of feedbacks into one RTT; averaging across a
+   few RTTs bounds that inflation. *)
+let sliding_rate_cells t =
+  int_of_float
+    (Float.round
+       (float_of_int (Queue.length t.recent_feedbacks) /. float_of_int rate_window_rtts))
+
+let record_round_rate t ~now =
+  (* The ring keeps the best *instantaneous* (one-RTT) reading of each
+     round: compensation wants the recent sustained peak, which neither
+     a starved trough (round ending mid-stall) nor the exact round
+     boundary must erase. *)
+  ignore now;
+  t.rate_history.(t.rate_history_idx mod Array.length t.rate_history) <-
+    t.round_count1_max;
+  t.rate_history_idx <- t.rate_history_idx + 1
+
+let recent_peak_rate_cells t ~now =
+  let current = Stdlib.max (count_within t ~now ~rtts:1) t.round_count1_max in
+  Array.fold_left Stdlib.max current t.rate_history
+
+let leave_ramp_up t ~now ~new_cwnd ~recalibrate =
+  if debug then
+    Printf.eprintf "[%8.1fms] %s EXIT ramp-up: cwnd %d -> %d (sliding=%d)\n"
+      (Engine.Time.to_ms_f now) t.debug_label t.cwnd new_cwnd (sliding_rate_cells t);
+  t.exits <- t.exits + 1;
+  set_cwnd t ~now new_cwnd;
+  if t.exit_cwnd = None then t.exit_cwnd <- Some t.cwnd;
+  t.phase <- Avoidance;
+  t.recalibrate <- (if recalibrate then 50 else 0);
+  t.calm_rounds <- 0;
+  t.prev_rate <- None;
+  t.stall_rounds <- 0;
+  t.queue_rounds <- 0;
+  start_round ~now t
+
+let enter_ramp_up t ~now =
+  t.phase <- Ramp_up;
+  t.calm_rounds <- 0;
+  t.prev_rate <- None;
+  t.stall_rounds <- 0;
+  t.queue_rounds <- 0;
+  start_round ~now t
+
+let double_round t ~now =
+  t.rounds <- t.rounds + 1;
+  let base = t.cwnd in
+  set_cwnd t ~now (t.cwnd * 2);
+  start_round ~now t;
+  (* One round = one RTT = the flight at the round's start; the
+     allowance interpolates from that flight up to the doubled
+     window. *)
+  t.round_base <- base;
+  t.round_target <- base
+
+(* Overshooting compensation: the amount of data acknowledged within
+   the current round (= the last baseRtt) — the train prefix the
+   successor forwarded without additional delay, which is the minimal
+   window that keeps the bottleneck busy. *)
+let compensated_cwnd t ~now =
+  match t.params.compensation with
+  | Params.Acked_count -> t.acked_in_round
+  | Params.Rate_based -> recent_peak_rate_cells t ~now
+
+(* Ramp-up exit decision, evaluated at round boundaries.
+
+   Two signals combine.  (1) The Vegas queue estimate of the paper,
+   with currentRtt taken as the round's *minimum* sample so that
+   transient waits (the previous round's doubling burst, a successor's
+   window step) do not masquerade as congestion — only a queue that
+   never drained within the round inflates the minimum.  (2) The
+   feedback *rate*: while the path is still opening up, the round-over-
+   round delivery rate doubles; at the bottleneck it stops growing.  A
+   stalled rate together with an inflated minimum RTT is a bottleneck;
+   a rate stalled for two consecutive rounds means the path has
+   converged even if the queue sits upstream of this hop.  Testing at
+   round boundaries keeps the decision on whole packet trains, which is
+   what the discrete rounds are for (paper, end of §2 "Algorithm
+   Description"). *)
+(* A round in which the window never constrained sending (upstream
+   starvation, application-limited) says nothing about the path: do not
+   grow on it, do not let its rate into the stall detector, and never
+   exit ramp-up because of it. *)
+
+let rate_stall_ratio = 1.5
+
+(* Exit when the signals are persistent: two consecutive rounds of
+   stalled rate with a standing queue (the bottleneck is saturated), or
+   three consecutive stalled rounds even without a local queue (the
+   path has converged; the queue sits at another hop).  One bad round
+   is forgiven — in a cascade of ramping hops, a successor's doubling
+   lands up to a round boundary later than ours and stalls us
+   transiently. *)
+let should_exit_ramp_up t ~now =
+  let diff_mean =
+    vegas_diff t ~rtt_s:(t.round_rtt_sum /. float_of_int (Stdlib.max 1 t.acked_in_round))
+  in
+  let rate = float_of_int (sliding_rate_cells t) in
+  let growth =
+    match t.prev_rate with
+    | None -> 2.
+    | Some p when p > 0. -> rate /. p
+    | Some _ -> 2.
+  in
+  let stalled = growth < rate_stall_ratio in
+  record_round_rate t ~now;
+  t.prev_rate <- Some rate;
+  t.stall_rounds <- (if stalled then t.stall_rounds + 1 else 0);
+  t.queue_rounds <- (if diff_mean > t.params.gamma then t.queue_rounds + 1 else 0);
+  if debug then
+    Printf.eprintf
+      "[%8.1fms] %s round end: cwnd=%d target=%d rate=%.0f growth=%.2f diff_mean=%.2f stall=%d queue=%d\n"
+      (Engine.Time.to_ms_f now) t.debug_label t.cwnd t.round_target rate growth
+      diff_mean t.stall_rounds t.queue_rounds;
+  t.queue_rounds >= 2 || t.stall_rounds >= 3
+
+let ramp_up_round_end t ~now =
+  if not t.limited_in_round then begin
+    t.rounds <- t.rounds + 1;
+    start_round ~now t
+  end
+  else
+    match t.strategy with
+    | Fixed _ -> ()
+    | Circuit_start ->
+        if should_exit_ramp_up t ~now then
+          leave_ramp_up t ~now
+            ~new_cwnd:(compensated_cwnd t ~now)
+            ~recalibrate:(t.params.compensation = Params.Rate_based)
+        else double_round t ~now
+    | Slow_start ->
+        (* The conventional baseline's exit happens per sample (see
+           [ramp_up_feedback]); reaching the round boundary just rolls
+           the round over. *)
+        t.rounds <- t.rounds + 1;
+        start_round ~now t
+
+let ramp_up_feedback t ~now ~diff_sample =
+  (match t.strategy with
+  | Slow_start ->
+      (* The traditional transplant: continuous growth (one cell per
+         feedback = doubling per RTT), and the plain Vegas slow-start
+         exit — the first sample whose diff exceeds gamma ends the
+         ramp, halving the window.  No packet-train analysis: in a
+         multi-hop cascade this mistakes a successor's own ramp-up for
+         congestion, which is precisely the deficiency CircuitStart's
+         round-based timing analysis removes (paper §2). *)
+      if diff_sample > t.params.gamma && t.samples_total >= 4 then
+        leave_ramp_up t ~now ~new_cwnd:(t.cwnd / 2) ~recalibrate:false
+      else begin
+        if t.limited_in_round then set_cwnd t ~now (t.cwnd + 1);
+        if t.acked_in_round >= t.round_target then ramp_up_round_end t ~now
+      end
+  | Circuit_start | Fixed _ ->
+      if t.acked_in_round >= t.round_target then ramp_up_round_end t ~now)
+
+let avoidance_round_end t ~now =
+  let mean_rtt_s = t.round_rtt_sum /. float_of_int t.acked_in_round in
+  let diff = vegas_diff t ~rtt_s:mean_rtt_s in
+  t.rounds <- t.rounds + 1;
+  record_round_rate t ~now;
+  if t.recalibrate > 0 then begin
+    (* Overshooting compensation, second application: while the
+       bottleneck drains the ramp-up overshoot it forwards at exactly
+       its service rate, so the feedback count of the last baseRtt
+       reveals the optimal window; track its maximum and suppress the
+       Vegas shrink until the drain completes (round-mean diff back
+       under beta) — the standing queue is the overshoot's legacy, not
+       the current window's doing.  A round cap bounds the phase. *)
+    set_cwnd t ~now (Stdlib.max t.cwnd (sliding_rate_cells t));
+    t.recalibrate <- (if diff <= t.params.beta then 0 else t.recalibrate - 1);
+    start_round ~now t
+  end
+  else begin
+  (match t.strategy with
+  | Fixed _ -> ()
+  | Circuit_start | Slow_start ->
+      if diff > t.params.beta then begin
+        set_cwnd t ~now (t.cwnd - 1);
+        t.calm_rounds <- 0
+      end
+      else if diff < t.params.alpha && t.limited_in_round then begin
+        set_cwnd t ~now (t.cwnd + 1);
+        t.calm_rounds <- t.calm_rounds + 1
+      end
+      else t.calm_rounds <- 0);
+  if
+    t.params.adaptive
+    && t.calm_rounds >= t.params.re_probe_after
+    && (match t.strategy with Circuit_start | Slow_start -> true | Fixed _ -> false)
+  then enter_ramp_up t ~now
+  else start_round ~now t
+  end
+
+let on_feedback t ~now ~rtt ?(window_limited = true) () =
+  if Engine.Time.(rtt <= Engine.Time.zero) then
+    invalid_arg "Controller.on_feedback: rtt must be positive";
+  (match t.base_rtt with
+  | None -> t.base_rtt <- Some rtt
+  | Some b -> if Engine.Time.(rtt < b) then t.base_rtt <- Some rtt);
+  t.acked_in_round <- t.acked_in_round + 1;
+  t.samples_total <- t.samples_total + 1;
+  if window_limited then t.limited_in_round <- true;
+  (* Maintain the sliding feedback window (several baseRtts: averaging
+     across a few RTTs keeps the rate estimate burst-proof — a queue
+     release can dump a whole flight of feedbacks into one RTT). *)
+  Queue.push now t.recent_feedbacks;
+  (match t.base_rtt with
+  | Some base ->
+      let cutoff = Engine.Time.sub now (Engine.Time.mul_int base rate_window_rtts) in
+      let rec drop () =
+        match Queue.peek_opt t.recent_feedbacks with
+        | Some ts when Engine.Time.(ts <= cutoff) ->
+            ignore (Queue.pop t.recent_feedbacks : Engine.Time.t);
+            drop ()
+        | Some _ | None -> ()
+      in
+      drop ()
+  | None -> ());
+  let c1 = count_within t ~now ~rtts:1 in
+  if c1 > t.round_count1_max then t.round_count1_max <- c1;
+  if t.round_started_at = None then
+    (* The round effectively began when its first cell left. *)
+    t.round_started_at <- Some (Engine.Time.sub now rtt);
+  let rtt_s = Engine.Time.to_sec_f rtt in
+  t.round_rtt_sum <- t.round_rtt_sum +. rtt_s;
+  if rtt_s < t.round_rtt_min then t.round_rtt_min <- rtt_s;
+  match t.phase with
+  | Ramp_up ->
+      let diff_sample = vegas_diff t ~rtt_s in
+      t.latest_diff <- Some diff_sample;
+      ramp_up_feedback t ~now ~diff_sample
+  | Avoidance ->
+      t.latest_diff <- Some (vegas_diff t ~rtt_s);
+      if t.acked_in_round >= t.round_target then avoidance_round_end t ~now
+
+let pp_phase fmt = function
+  | Ramp_up -> Format.pp_print_string fmt "ramp-up"
+  | Avoidance -> Format.pp_print_string fmt "avoidance"

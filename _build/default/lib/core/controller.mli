@@ -1,0 +1,98 @@
+(** The per-hop congestion window controller.
+
+    This is the paper's contribution, §2.  One controller instance
+    governs one hop sender (a relay's window toward its successor).
+    The transport calls {!on_feedback} once per feedback message — each
+    feedback means "the successor forwarded one cell" and carries the
+    measured cell→feedback round-trip time.  The controller maintains
+    the congestion window in cells.
+
+    Three startup strategies are provided:
+
+    - {!strategy.Circuit_start} — the paper's algorithm.  The window
+      doubles in discrete rounds: one round = one full window of
+      feedback, so the window doubles once per RTT.  Transmission stays
+      feedback-clocked within the round (see {!send_allowance}): the
+      round's packet train leaves at twice the pace of the incoming
+      feedback instead of as a line-rate burst, which is what makes the
+      train's timing analysable.  On every feedback the Vegas estimate
+      [diff = cwnd * currentRtt / baseRtt - cwnd] is evaluated against
+      [gamma]; exceeding it ends ramp-up with *overshooting
+      compensation*: the cwnd is set to the number of cells
+      acknowledged within the current round so far — the train prefix
+      the successor forwarded without queueing, an estimate of the
+      optimal window.
+    - {!strategy.Slow_start} — the conventional baseline ("without
+      CircuitStart"): cwnd += 1 per feedback (continuous doubling per
+      RTT), same [gamma] exit test, and the cwnd is *halved* on exit.
+    - {!strategy.Fixed} — a constant window (oracle/ablation baseline).
+
+    After ramp-up every strategy performs Vegas-like congestion
+    avoidance, adjusting once per round using the round's mean RTT:
+    [diff < alpha] grows by one cell, [diff > beta] shrinks by one.
+    Rounds in which the sender never filled its window (application- or
+    upstream-limited) do not grow the window — growing an unused window
+    would only store up a future burst.  With {!Params.t.adaptive}
+    set, [re_probe_after] consecutive calm window-limited rounds
+    re-enter ramp-up (the paper's future-work extension). *)
+
+type strategy =
+  | Circuit_start
+  | Slow_start
+  | Fixed of int  (** Constant window of this many cells. *)
+
+type phase = Ramp_up | Avoidance
+
+type t
+
+val create : ?params:Params.t -> strategy -> t
+(** Raises [Invalid_argument] if the parameters fail
+    {!Params.validate}, or if [Fixed n] has [n < 1]. *)
+
+val strategy : t -> strategy
+val params : t -> Params.t
+
+val cwnd : t -> int
+(** Current congestion window, cells. *)
+
+val send_allowance : t -> int
+(** How many cells may be in flight right now, [<= cwnd].  During a
+    [Circuit_start] ramp-up round this grows from the previous
+    window's worth by two cells per feedback until it reaches the
+    doubled [cwnd]; in every other phase/strategy it equals [cwnd].
+    Senders must gate on this, not on [cwnd]. *)
+
+val phase : t -> phase
+
+val on_feedback :
+  t -> now:Engine.Time.t -> rtt:Engine.Time.t -> ?window_limited:bool -> unit -> unit
+(** Account one feedback message whose cell experienced [rtt].
+    [window_limited] (default [true]) says whether the sender was
+    actually constrained by the window around this feedback; rounds
+    that were never window-limited do not grow.  Raises
+    [Invalid_argument] if [rtt] is not positive. *)
+
+val base_rtt : t -> Engine.Time.t option
+(** Minimum RTT observed so far. *)
+
+val latest_diff : t -> float option
+(** The Vegas [diff] (cells) computed at the most recent feedback. *)
+
+val rounds_completed : t -> int
+(** Number of completed rounds (ramp-up and avoidance). *)
+
+val ramp_up_exits : t -> int
+(** How many times ramp-up was left (> 1 only with [adaptive]). *)
+
+val exit_cwnd : t -> int option
+(** The window chosen at the first ramp-up exit (the compensated value
+    for [Circuit_start], the halved value for [Slow_start]). *)
+
+val set_on_change : t -> (now:Engine.Time.t -> int -> unit) -> unit
+(** Hook invoked with the new window on every subsequent change (for
+    cwnd traces).  The caller records the starting point itself. *)
+
+val set_debug_label : t -> string -> unit
+(** Label used by the [CIRCUITSTART_DEBUG] diagnostic output. *)
+
+val pp_phase : Format.formatter -> phase -> unit

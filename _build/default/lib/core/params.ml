@@ -1,0 +1,46 @@
+type compensation = Rate_based | Acked_count
+
+type t = {
+  initial_cwnd : int;
+  min_cwnd : int;
+  max_cwnd : int;
+  gamma : float;
+  alpha : float;
+  beta : float;
+  compensation : compensation;
+  adaptive : bool;
+  re_probe_after : int;
+}
+
+let default =
+  {
+    initial_cwnd = 2;
+    min_cwnd = 2;
+    max_cwnd = 65536;
+    gamma = 4.;
+    alpha = 2.;
+    beta = 4.;
+    compensation = Rate_based;
+    adaptive = false;
+    re_probe_after = 8;
+  }
+
+let validate t =
+  if t.min_cwnd < 1 then Error "min_cwnd must be at least 1"
+  else if t.initial_cwnd < t.min_cwnd then Error "initial_cwnd below min_cwnd"
+  else if t.max_cwnd < t.initial_cwnd then Error "max_cwnd below initial_cwnd"
+  else if not (Float.is_finite t.gamma) || t.gamma <= 0. then
+    Error "gamma must be positive"
+  else if not (Float.is_finite t.alpha) || t.alpha < 0. then
+    Error "alpha must be non-negative"
+  else if not (Float.is_finite t.beta) || t.beta < t.alpha then
+    Error "beta must be at least alpha"
+  else if t.re_probe_after < 1 then Error "re_probe_after must be positive"
+  else Ok t
+
+let with_gamma t gamma = { t with gamma }
+
+let pp fmt t =
+  Format.fprintf fmt
+    "initial=%d min=%d max=%d gamma=%.1f alpha=%.1f beta=%.1f adaptive=%b" t.initial_cwnd
+    t.min_cwnd t.max_cwnd t.gamma t.alpha t.beta t.adaptive

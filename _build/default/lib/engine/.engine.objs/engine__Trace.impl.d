@@ -1,0 +1,1 @@
+lib/engine/trace.ml: Array Buffer Hashtbl List Printf String Time Timeseries

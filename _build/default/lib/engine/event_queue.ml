@@ -1,0 +1,113 @@
+type 'a entry = {
+  time : Time.t;
+  seq : int;
+  payload : 'a;
+  mutable cancelled : bool;
+  mutable fired : bool;
+}
+
+type handle = H : 'a entry -> handle
+
+type 'a t = {
+  mutable heap : 'a entry array;
+  (* [heap] slots >= [len] are stale; a dummy entry fills slot 0 lazily. *)
+  mutable len : int;
+  mutable next_seq : int;
+  mutable live : int;
+}
+
+let create () = { heap = [||]; len = 0; next_seq = 0; live = 0 }
+
+let entry_before a b =
+  let c = Time.compare a.time b.time in
+  if c <> 0 then c < 0 else a.seq < b.seq
+
+let grow q =
+  let cap = Array.length q.heap in
+  if q.len = cap then begin
+    let ncap = Stdlib.max 16 (cap * 2) in
+    let nheap = Array.make ncap q.heap.(0) in
+    Array.blit q.heap 0 nheap 0 q.len;
+    q.heap <- nheap
+  end
+
+let rec sift_up q i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if entry_before q.heap.(i) q.heap.(parent) then begin
+      let tmp = q.heap.(i) in
+      q.heap.(i) <- q.heap.(parent);
+      q.heap.(parent) <- tmp;
+      sift_up q parent
+    end
+  end
+
+let rec sift_down q i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < q.len && entry_before q.heap.(l) q.heap.(!smallest) then smallest := l;
+  if r < q.len && entry_before q.heap.(r) q.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    let tmp = q.heap.(i) in
+    q.heap.(i) <- q.heap.(!smallest);
+    q.heap.(!smallest) <- tmp;
+    sift_down q !smallest
+  end
+
+let add q ~time payload =
+  let entry = { time; seq = q.next_seq; payload; cancelled = false; fired = false } in
+  q.next_seq <- q.next_seq + 1;
+  if Array.length q.heap = 0 then q.heap <- Array.make 16 entry;
+  grow q;
+  q.heap.(q.len) <- entry;
+  q.len <- q.len + 1;
+  q.live <- q.live + 1;
+  sift_up q (q.len - 1);
+  H entry
+
+let cancel q (H entry) =
+  (* Cancelling an event that already fired must be a no-op, and must
+     not touch [live]: the pop already accounted for it. *)
+  if not entry.cancelled && not entry.fired then begin
+    entry.cancelled <- true;
+    q.live <- q.live - 1
+  end
+
+let is_cancelled _q (H entry) = entry.cancelled
+
+let remove_top q =
+  let top = q.heap.(0) in
+  q.len <- q.len - 1;
+  if q.len > 0 then begin
+    q.heap.(0) <- q.heap.(q.len);
+    sift_down q 0
+  end;
+  top
+
+let rec pop q =
+  if q.len = 0 then None
+  else
+    let top = remove_top q in
+    if top.cancelled then pop q
+    else begin
+      q.live <- q.live - 1;
+      top.fired <- true;
+      Some (top.time, top.payload)
+    end
+
+let rec peek_time q =
+  if q.len = 0 then None
+  else
+    let top = q.heap.(0) in
+    if top.cancelled then begin
+      ignore (remove_top q);
+      peek_time q
+    end
+    else Some top.time
+
+let size q = q.live
+let is_empty q = q.live = 0
+
+let clear q =
+  q.len <- 0;
+  q.live <- 0

@@ -1,0 +1,50 @@
+(** The simulator's future event list.
+
+    A binary min-heap ordered by (time, insertion sequence number): two
+    events scheduled for the same instant fire in the order they were
+    scheduled.  That stability matters — a relay that enqueues a cell and
+    then arms a timer for the same instant relies on the cell handler
+    running first — and it is what makes whole simulations
+    deterministic.
+
+    Cancellation is lazy: a cancelled event stays in the heap, marked,
+    and is discarded when it surfaces.  This keeps [cancel] O(1) at the
+    cost of heap slots, which is the right trade-off for retransmission
+    timers that are almost always cancelled. *)
+
+type 'a t
+(** A queue of events carrying payloads of type ['a]. *)
+
+type handle
+(** Names a scheduled event so it can be cancelled. *)
+
+val create : unit -> 'a t
+(** A fresh, empty queue. *)
+
+val add : 'a t -> time:Time.t -> 'a -> handle
+(** [add q ~time x] schedules [x] at [time] and returns its handle.
+    [time] may be in the queue's past; ordering is by time alone, the
+    queue does not know the current instant. *)
+
+val cancel : 'a t -> handle -> unit
+(** [cancel q h] marks the event named by [h] as cancelled.  Cancelling
+    twice, or cancelling an already-fired event, is a no-op. *)
+
+val is_cancelled : 'a t -> handle -> bool
+(** Whether the event was cancelled (fired events report [false]). *)
+
+val pop : 'a t -> (Time.t * 'a) option
+(** [pop q] removes and returns the earliest live event, skipping
+    cancelled entries.  [None] iff no live events remain. *)
+
+val peek_time : 'a t -> Time.t option
+(** The instant of the earliest live event, without removing it. *)
+
+val size : 'a t -> int
+(** Number of live (non-cancelled, non-popped) events. *)
+
+val is_empty : 'a t -> bool
+(** [is_empty q] iff {!size} is zero. *)
+
+val clear : 'a t -> unit
+(** Drop all events. *)

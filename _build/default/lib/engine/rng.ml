@@ -1,0 +1,119 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+(* SplitMix64 output function (Stafford's Mix13 variant). *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = mix64 (Int64.of_int seed) }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t = { state = bits64 t }
+let copy t = { state = t.state }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling on the top bits to stay unbiased. *)
+  let bound64 = Int64.of_int bound in
+  let rec draw () =
+    let r = Int64.shift_right_logical (bits64 t) 1 in
+    let v = Int64.rem r bound64 in
+    (* Reject values in the final, partial copy of [0, bound). *)
+    if Int64.compare (Int64.sub r v) (Int64.sub (Int64.sub Int64.max_int bound64) 1L) > 0
+    then draw ()
+    else Int64.to_int v
+  in
+  draw ()
+
+let int_in t lo hi =
+  if lo > hi then invalid_arg "Rng.int_in: empty range";
+  lo + int t (hi - lo + 1)
+
+let unit_float t =
+  (* 53 uniform mantissa bits in [0, 1). *)
+  let r = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float r *. (1. /. 9007199254740992.)
+
+let float t bound =
+  if not (Float.is_finite bound) || bound <= 0. then
+    invalid_arg "Rng.float: bound must be positive and finite";
+  unit_float t *. bound
+
+let float_in t lo hi =
+  if not (Float.is_finite lo && Float.is_finite hi) || lo >= hi then
+    invalid_arg "Rng.float_in: empty or non-finite range";
+  lo +. (unit_float t *. (hi -. lo))
+
+let bool t = Int64.compare (Int64.logand (bits64 t) 1L) 0L <> 0
+
+let exponential t ~mean =
+  if not (Float.is_finite mean) || mean <= 0. then
+    invalid_arg "Rng.exponential: mean must be positive";
+  let u = 1. -. unit_float t in
+  -.mean *. Float.log u
+
+let normal t ~mu ~sigma =
+  if not (Float.is_finite sigma) || sigma < 0. then
+    invalid_arg "Rng.normal: sigma must be non-negative";
+  let u1 = 1. -. unit_float t and u2 = unit_float t in
+  let z = Float.sqrt (-2. *. Float.log u1) *. Float.cos (2. *. Float.pi *. u2) in
+  mu +. (sigma *. z)
+
+let lognormal t ~mu ~sigma = Float.exp (normal t ~mu ~sigma)
+
+let pareto t ~shape ~scale =
+  if shape <= 0. || scale <= 0. then
+    invalid_arg "Rng.pareto: shape and scale must be positive";
+  let u = 1. -. unit_float t in
+  scale /. Float.pow u (1. /. shape)
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let pick t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.pick: empty array";
+  arr.(int t (Array.length arr))
+
+let pick_weighted t arr =
+  let total =
+    Array.fold_left
+      (fun acc (_, w) ->
+        if not (Float.is_finite w) || w < 0. then
+          invalid_arg "Rng.pick_weighted: weights must be non-negative";
+        acc +. w)
+      0. arr
+  in
+  if total <= 0. then invalid_arg "Rng.pick_weighted: zero total weight";
+  let x = float t total in
+  let n = Array.length arr in
+  let rec go i acc =
+    if i = n - 1 then fst arr.(i)
+    else
+      let acc = acc +. snd arr.(i) in
+      if x < acc then fst arr.(i) else go (i + 1) acc
+  in
+  go 0 0.
+
+let sample_without_replacement t k arr =
+  let n = Array.length arr in
+  if k < 0 || k > n then invalid_arg "Rng.sample_without_replacement";
+  let idx = Array.init n (fun i -> i) in
+  (* Partial Fisher-Yates: only the first k slots need shuffling. *)
+  for i = 0 to k - 1 do
+    let j = i + int t (n - i) in
+    let tmp = idx.(i) in
+    idx.(i) <- idx.(j);
+    idx.(j) <- tmp
+  done;
+  Array.init k (fun i -> arr.(idx.(i)))

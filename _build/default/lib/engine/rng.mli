@@ -1,0 +1,84 @@
+(** Deterministic, splittable pseudo-random numbers.
+
+    The simulator must be reproducible: the same seed must yield the same
+    relay network, the same circuits and the same event schedule, so that
+    "with CircuitStart" and "without CircuitStart" runs are paired
+    (identical workloads, differing only in the algorithm).  The global
+    [Random] state cannot give that guarantee once components draw in
+    data-dependent order, so every component receives its own generator,
+    obtained with {!split}.
+
+    The core generator is SplitMix64 (Steele, Lea & Flood, OOPSLA'14):
+    64-bit state, 64-bit output, passes BigCrush, and supports cheap
+    splitting by deriving a child seed from the parent stream. *)
+
+type t
+(** A mutable generator. *)
+
+val create : int -> t
+(** [create seed] is a fresh generator.  Different seeds give independent
+    streams; the same seed always gives the same stream. *)
+
+val split : t -> t
+(** [split t] derives a new generator whose stream is independent of the
+    parent's subsequent output.  Advances [t]. *)
+
+val copy : t -> t
+(** [copy t] duplicates the current state; both copies then produce the
+    same stream.  Useful for paired experiments. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].  Raises
+    [Invalid_argument] if [bound <= 0].  Unbiased (rejection
+    sampling). *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] (inclusive).  Raises
+    [Invalid_argument] if [lo > hi]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)].  [bound] must be
+    positive and finite. *)
+
+val float_in : t -> float -> float -> float
+(** [float_in t lo hi] is uniform in [\[lo, hi)]. *)
+
+val bool : t -> bool
+(** A fair coin flip. *)
+
+val exponential : t -> mean:float -> float
+(** [exponential t ~mean] draws from Exp(1/mean).  [mean] must be
+    positive. *)
+
+val normal : t -> mu:float -> sigma:float -> float
+(** [normal t ~mu ~sigma] draws from N(mu, sigma^2) via Box–Muller.
+    [sigma] must be non-negative. *)
+
+val lognormal : t -> mu:float -> sigma:float -> float
+(** [lognormal t ~mu ~sigma] draws X with ln X ~ N(mu, sigma^2) — the
+    canonical heavy-tailed model for relay bandwidths. *)
+
+val pareto : t -> shape:float -> scale:float -> float
+(** [pareto t ~shape ~scale] draws from a Pareto distribution with the
+    given shape (alpha) and scale (minimum value).  Both must be
+    positive. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val pick : t -> 'a array -> 'a
+(** [pick t arr] is a uniformly random element.  Raises
+    [Invalid_argument] on an empty array. *)
+
+val pick_weighted : t -> ('a * float) array -> 'a
+(** [pick_weighted t arr] picks an element with probability proportional
+    to its weight.  Weights must be non-negative with a positive sum;
+    raises [Invalid_argument] otherwise. *)
+
+val sample_without_replacement : t -> int -> 'a array -> 'a array
+(** [sample_without_replacement t k arr] is [k] distinct elements of
+    [arr], uniformly.  Raises [Invalid_argument] if [k < 0] or
+    [k > Array.length arr]. *)

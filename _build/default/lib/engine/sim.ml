@@ -1,0 +1,73 @@
+type t = {
+  queue : (unit -> unit) Event_queue.t;
+  mutable clock : Time.t;
+  mutable stopped : bool;
+  mutable executed : int;
+}
+
+type handle = Event_queue.handle
+
+let create () =
+  { queue = Event_queue.create (); clock = Time.zero; stopped = false; executed = 0 }
+
+let now t = t.clock
+
+let schedule_at t time f =
+  if Time.(time < t.clock) then
+    invalid_arg
+      (Format.asprintf "Sim.schedule_at: %a is before now (%a)" Time.pp time Time.pp
+         t.clock);
+  Event_queue.add t.queue ~time f
+
+let schedule_after t delay f =
+  if Time.is_negative delay then invalid_arg "Sim.schedule_after: negative delay";
+  schedule_at t (Time.add t.clock delay) f
+
+let schedule_now t f = schedule_at t t.clock f
+let cancel t h = Event_queue.cancel t.queue h
+
+let every t period f ~stop =
+  if Time.(period <= Time.zero) then invalid_arg "Sim.every: period must be positive";
+  let rec arm () =
+    ignore
+      (schedule_after t period (fun () ->
+           if not (stop ()) then begin
+             f ();
+             arm ()
+           end))
+  in
+  arm ()
+
+let stop t = t.stopped <- true
+
+let run ?until ?max_events t =
+  t.stopped <- false;
+  let budget = ref (Option.value max_events ~default:max_int) in
+  let rec loop () =
+    if t.stopped || !budget <= 0 then ()
+    else
+      match Event_queue.peek_time t.queue with
+      | None -> ()
+      | Some time -> (
+          match until with
+          | Some limit when Time.(time > limit) -> t.clock <- limit
+          | _ -> (
+              match Event_queue.pop t.queue with
+              | None -> ()
+              | Some (time, f) ->
+                  t.clock <- time;
+                  t.executed <- t.executed + 1;
+                  decr budget;
+                  f ();
+                  loop ()))
+  in
+  loop ();
+  (* An empty queue with a horizon still advances the clock to it, so a
+     caller sampling [now] after [run ~until] sees the horizon. *)
+  match until with
+  | Some limit when (not t.stopped) && Time.(t.clock < limit) && Event_queue.is_empty t.queue ->
+      t.clock <- limit
+  | _ -> ()
+
+let events_executed t = t.executed
+let pending_events t = Event_queue.size t.queue

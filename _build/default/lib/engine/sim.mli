@@ -1,0 +1,61 @@
+(** The discrete-event scheduler.
+
+    A [Sim.t] owns the simulated clock and the future event list.  All
+    model components schedule closures against it; [run] drains the
+    queue, advancing the clock to each event's timestamp.  There is no
+    global state: several independent simulations can coexist, which the
+    test suite uses extensively.
+
+    Closures scheduled at the same instant run in scheduling order
+    (see {!Event_queue}). *)
+
+type t
+
+type handle = Event_queue.handle
+(** Names a pending event for cancellation. *)
+
+val create : unit -> t
+(** A fresh simulation at time {!Time.zero} with an empty event list. *)
+
+val now : t -> Time.t
+(** The current simulated instant. *)
+
+val schedule_at : t -> Time.t -> (unit -> unit) -> handle
+(** [schedule_at sim time f] runs [f] when the clock reaches [time].
+    Raises [Invalid_argument] if [time] is before {!now} — scheduling
+    into the past is always a model bug. *)
+
+val schedule_after : t -> Time.t -> (unit -> unit) -> handle
+(** [schedule_after sim delay f] is
+    [schedule_at sim (Time.add (now sim) delay) f].  Raises
+    [Invalid_argument] on a negative [delay]. *)
+
+val schedule_now : t -> (unit -> unit) -> handle
+(** [schedule_now sim f] runs [f] at the current instant, after all
+    handlers already scheduled for this instant. *)
+
+val cancel : t -> handle -> unit
+(** Cancel a pending event (no-op if it already ran or was cancelled). *)
+
+val every : t -> Time.t -> (unit -> unit) -> stop:(unit -> bool) -> unit
+(** [every sim period f ~stop] runs [f] each [period], starting one
+    [period] from now, until [stop ()] becomes true (checked before each
+    firing).  Raises [Invalid_argument] if [period] is not positive. *)
+
+val run : ?until:Time.t -> ?max_events:int -> t -> unit
+(** [run sim] executes events in timestamp order until the queue is
+    empty, the clock passes [until], [max_events] events have run, or
+    {!stop} is called.  Events with timestamp exactly [until] still
+    run.  When stopping because of [until], the clock is left at
+    [until]. *)
+
+val stop : t -> unit
+(** Makes the innermost running {!run} return after the current event
+    handler finishes. *)
+
+val events_executed : t -> int
+(** Total number of events executed so far (cancelled events are not
+    counted). *)
+
+val pending_events : t -> int
+(** Number of live events still scheduled. *)

@@ -1,0 +1,127 @@
+module Online = struct
+  type t = {
+    mutable n : int;
+    mutable mean : float;
+    mutable m2 : float;
+    mutable mn : float;
+    mutable mx : float;
+    mutable total : float;
+  }
+
+  let create () = { n = 0; mean = 0.; m2 = 0.; mn = nan; mx = nan; total = 0. }
+
+  let add t x =
+    t.n <- t.n + 1;
+    t.total <- t.total +. x;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.n);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+    if t.n = 1 then begin
+      t.mn <- x;
+      t.mx <- x
+    end
+    else begin
+      if x < t.mn then t.mn <- x;
+      if x > t.mx then t.mx <- x
+    end
+
+  let count t = t.n
+  let mean t = if t.n = 0 then nan else t.mean
+  let variance t = if t.n < 2 then 0. else t.m2 /. float_of_int (t.n - 1)
+  let stddev t = Float.sqrt (variance t)
+  let min t = t.mn
+  let max t = t.mx
+  let sum t = t.total
+
+  let merge a b =
+    if a.n = 0 then { b with n = b.n }
+    else if b.n = 0 then { a with n = a.n }
+    else begin
+      let n = a.n + b.n in
+      let delta = b.mean -. a.mean in
+      let nf = float_of_int n in
+      let mean = a.mean +. (delta *. float_of_int b.n /. nf) in
+      let m2 =
+        a.m2 +. b.m2 +. (delta *. delta *. float_of_int a.n *. float_of_int b.n /. nf)
+      in
+      {
+        n;
+        mean;
+        m2;
+        mn = Stdlib.min a.mn b.mn;
+        mx = Stdlib.max a.mx b.mx;
+        total = a.total +. b.total;
+      }
+    end
+
+  let pp fmt t =
+    if t.n = 0 then Format.fprintf fmt "(no samples)"
+    else
+      Format.fprintf fmt "n=%d mean=%.4g sd=%.4g min=%.4g max=%.4g" t.n (mean t)
+        (stddev t) t.mn t.mx
+end
+
+module Histogram = struct
+  type t = { width : float; counts : (int, int ref) Hashtbl.t; mutable total : int }
+
+  let create ~bin_width =
+    if not (Float.is_finite bin_width) || bin_width <= 0. then
+      invalid_arg "Histogram.create: bin width must be positive";
+    { width = bin_width; counts = Hashtbl.create 64; total = 0 }
+
+  let bin_of t x = int_of_float (Float.floor (x /. t.width))
+
+  let add t x =
+    let b = bin_of t x in
+    (match Hashtbl.find_opt t.counts b with
+    | Some r -> incr r
+    | None -> Hashtbl.add t.counts b (ref 1));
+    t.total <- t.total + 1
+
+  let count t = t.total
+
+  let bins t =
+    Hashtbl.fold (fun b r acc -> (float_of_int b *. t.width, !r) :: acc) t.counts []
+    |> List.sort (fun (a, _) (b, _) -> Float.compare a b)
+
+  let mode_bin t =
+    List.fold_left
+      (fun best (edge, c) ->
+        match best with
+        | Some (_, bc) when bc >= c -> best
+        | _ -> Some (edge, c))
+      None (bins t)
+end
+
+let percentile xs p =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.percentile: empty array";
+  if not (Float.is_finite p) || p < 0. || p > 100. then
+    invalid_arg "Stats.percentile: p must be in [0, 100]";
+  let sorted = Array.copy xs in
+  Array.sort Float.compare sorted;
+  let rank = p /. 100. *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor rank) in
+  let hi = int_of_float (Float.ceil rank) in
+  if lo = hi then sorted.(lo)
+  else
+    let frac = rank -. float_of_int lo in
+    (sorted.(lo) *. (1. -. frac)) +. (sorted.(hi) *. frac)
+
+let median xs = percentile xs 50.
+
+let cdf_points xs =
+  let n = Array.length xs in
+  if n = 0 then []
+  else begin
+    let sorted = Array.copy xs in
+    Array.sort Float.compare sorted;
+    let nf = float_of_int n in
+    (* One step per distinct value, at the fraction of samples <= it. *)
+    let rec go i acc =
+      if i < 0 then acc
+      else if i < n - 1 && Float.equal sorted.(i) sorted.(i + 1) then go (i - 1) acc
+      else go (i - 1) ((sorted.(i), float_of_int (i + 1) /. nf) :: acc)
+    in
+    go (n - 1) []
+  end

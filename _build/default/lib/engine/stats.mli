@@ -1,0 +1,70 @@
+(** Online and offline statistics.
+
+    {!Online} accumulates count/mean/variance/min/max in O(1) memory
+    (Welford's algorithm) — used for per-flow and per-queue counters
+    that live for a whole simulation.  {!Histogram} buckets samples at a
+    fixed width.  The array helpers compute percentiles and empirical
+    CDFs for the evaluation figures. *)
+
+module Online : sig
+  type t
+  (** A mutable accumulator. *)
+
+  val create : unit -> t
+  val add : t -> float -> unit
+
+  val count : t -> int
+  val mean : t -> float
+  (** Mean of the samples; [nan] if empty. *)
+
+  val variance : t -> float
+  (** Unbiased sample variance; [0.] with fewer than two samples. *)
+
+  val stddev : t -> float
+  val min : t -> float
+  (** Smallest sample; [nan] if empty. *)
+
+  val max : t -> float
+  (** Largest sample; [nan] if empty. *)
+
+  val sum : t -> float
+  val merge : t -> t -> t
+  (** [merge a b] is a fresh accumulator equivalent to having seen both
+      sample streams (Chan's parallel update). *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
+module Histogram : sig
+  type t
+
+  val create : bin_width:float -> t
+  (** Bins are [\[k*w, (k+1)*w)].  Raises [Invalid_argument] if
+      [bin_width <= 0.]. *)
+
+  val add : t -> float -> unit
+  (** Add a sample.  Negative samples go to negative bins. *)
+
+  val count : t -> int
+  val bins : t -> (float * int) list
+  (** Non-empty bins as [(lower_edge, count)], sorted by edge. *)
+
+  val mode_bin : t -> (float * int) option
+  (** The fullest bin, ties broken towards the lower edge. *)
+end
+
+(** {1 Array statistics} *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] for [p] in [\[0, 100\]], linear interpolation
+    between closest ranks ([xs] need not be sorted; a sorted copy is
+    made).  Raises [Invalid_argument] on an empty array or [p] outside
+    the range. *)
+
+val median : float array -> float
+(** [median xs = percentile xs 50.]. *)
+
+val cdf_points : float array -> (float * float) list
+(** [cdf_points xs] is the empirical CDF as [(value, fraction <= value)]
+    steps, sorted by value, one point per distinct sample.  Empty input
+    gives []. *)

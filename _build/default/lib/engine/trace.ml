@@ -1,0 +1,27 @@
+type t = (string, Timeseries.t) Hashtbl.t
+
+let create () : t = Hashtbl.create 32
+
+let series t key =
+  match Hashtbl.find_opt t key with
+  | Some ts -> ts
+  | None ->
+      let ts = Timeseries.create ~name:key () in
+      Hashtbl.add t key ts;
+      ts
+
+let find t key = Hashtbl.find_opt t key
+let record t key time v = Timeseries.record (series t key) time v
+let keys t = Hashtbl.fold (fun k _ acc -> k :: acc) t [] |> List.sort String.compare
+
+let to_csv t buf =
+  Buffer.add_string buf "series,time_s,value\n";
+  List.iter
+    (fun key ->
+      let ts = series t key in
+      Array.iter
+        (fun (time, v) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s,%.9f,%.6f\n" key (Time.to_sec_f time) v))
+        (Timeseries.points ts))
+    (keys t)

@@ -1,0 +1,28 @@
+(** Named probe registry.
+
+    Model components publish time series under string keys
+    (["circuit0/cwnd"], ["relay3/queue"]); experiment drivers collect
+    them afterwards without threading series through every constructor.
+    A registry belongs to one simulation run. *)
+
+type t
+
+val create : unit -> t
+
+val series : t -> string -> Timeseries.t
+(** [series t key] returns the series registered under [key], creating
+    an empty one on first use. *)
+
+val find : t -> string -> Timeseries.t option
+(** [find t key] is the series under [key], if any was created. *)
+
+val record : t -> string -> Time.t -> float -> unit
+(** [record t key time v] appends to the series under [key]
+    (creating it if needed). *)
+
+val keys : t -> string list
+(** All registered keys, sorted. *)
+
+val to_csv : t -> Buffer.t -> unit
+(** Append all series as CSV rows [series,time_s,value] (times in
+    seconds), grouped by key in sorted order. *)

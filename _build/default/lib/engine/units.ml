@@ -1,0 +1,52 @@
+let kib n = n * 1024
+let mib n = n * 1024 * 1024
+
+let pp_bytes fmt n =
+  if n < 1024 then Format.fprintf fmt "%dB" n
+  else if n < 1024 * 1024 then Format.fprintf fmt "%.1fKiB" (float_of_int n /. 1024.)
+  else Format.fprintf fmt "%.1fMiB" (float_of_int n /. (1024. *. 1024.))
+
+module Rate = struct
+  type t = int (* bits per second, > 0 *)
+
+  let bps n =
+    if n <= 0 then invalid_arg "Rate.bps: rate must be positive";
+    n
+
+  let kbit n = bps (n * 1_000)
+  let mbit n = bps (n * 1_000_000)
+
+  let mbit_f x =
+    if not (Float.is_finite x) || x <= 0. then
+      invalid_arg "Rate.mbit_f: rate must be positive and finite";
+    Stdlib.max 1 (int_of_float (x *. 1e6))
+
+  let to_bps r = r
+  let to_bytes_per_sec r = float_of_int r /. 8.
+
+  let transmission_time r bytes =
+    if bytes < 0 then invalid_arg "Rate.transmission_time: negative size";
+    (* ceil (bytes * 8 * 1e9 / r) nanoseconds, in int64 to avoid
+       overflow for large transfers on slow links. *)
+    let bits = Int64.mul (Int64.of_int bytes) 8L in
+    let num = Int64.mul bits 1_000_000_000L in
+    let r64 = Int64.of_int r in
+    let q = Int64.div num r64 in
+    let q = if Int64.equal (Int64.rem num r64) 0L then q else Int64.succ q in
+    Time.of_ns64 q
+
+  let bdp_bytes r rtt = int_of_float (to_bytes_per_sec r *. Time.to_sec_f rtt)
+  let min a b = Stdlib.min a b
+  let compare = Stdlib.compare
+  let equal = Int.equal
+
+  let scale r x =
+    if not (Float.is_finite x) || x <= 0. then
+      invalid_arg "Rate.scale: factor must be positive and finite";
+    Stdlib.max 1 (int_of_float (float_of_int r *. x))
+
+  let pp fmt r =
+    if r < 1_000 then Format.fprintf fmt "%dbit/s" r
+    else if r < 1_000_000 then Format.fprintf fmt "%.0fkbit/s" (float_of_int r /. 1e3)
+    else Format.fprintf fmt "%.1fMbit/s" (float_of_int r /. 1e6)
+end

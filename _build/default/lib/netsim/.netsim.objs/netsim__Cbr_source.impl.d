@@ -1,0 +1,1 @@
+lib/netsim/cbr_source.ml: Engine Network Node_id Payload

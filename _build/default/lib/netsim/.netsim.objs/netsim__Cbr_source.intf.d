@@ -1,0 +1,1 @@
+lib/netsim/cbr_source.mli: Engine Network Node_id

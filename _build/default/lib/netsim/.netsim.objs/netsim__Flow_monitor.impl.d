@@ -1,0 +1,1 @@
+lib/netsim/flow_monitor.ml: Engine Hashtbl Int List Option

@@ -1,0 +1,1 @@
+lib/netsim/link.mli: Engine Format Node_id Nqueue Packet

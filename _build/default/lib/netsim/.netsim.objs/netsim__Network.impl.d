@@ -1,0 +1,1 @@
+lib/netsim/network.ml: Array Engine Format Int Int64 Link List Node_id Option Packet Set Topology

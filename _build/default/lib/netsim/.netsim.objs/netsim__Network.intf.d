@@ -1,0 +1,1 @@
+lib/netsim/network.mli: Engine Node_id Packet Payload Topology

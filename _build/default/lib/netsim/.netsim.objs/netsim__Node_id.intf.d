@@ -1,0 +1,1 @@
+lib/netsim/node_id.mli: Format Map Set

@@ -1,0 +1,1 @@
+lib/netsim/nqueue.ml: Packet Queue

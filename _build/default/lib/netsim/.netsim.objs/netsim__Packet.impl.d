@@ -1,0 +1,1 @@
+lib/netsim/packet.ml: Engine Format Node_id Payload

@@ -1,0 +1,1 @@
+lib/netsim/payload.ml: Format Printf String

@@ -1,0 +1,1 @@
+lib/netsim/topology.ml: Array Engine Format Hashtbl Link List Node_id Nqueue Packet Stdlib

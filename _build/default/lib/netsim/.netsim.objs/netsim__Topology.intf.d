@@ -1,0 +1,1 @@
+lib/netsim/topology.mli: Engine Link Node_id Nqueue Packet

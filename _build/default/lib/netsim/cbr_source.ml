@@ -1,0 +1,41 @@
+type Payload.t += Cbr of int  (** Sequence number, for diagnostics. *)
+
+type t = {
+  net : Network.t;
+  src : Node_id.t;
+  dst : Node_id.t;
+  packet_size : int;
+  mutable rate : Engine.Units.Rate.t;
+  mutable stopped : bool;
+  mutable sent : int;
+}
+
+let interval t =
+  (* One packet per serialization time at the nominal rate = exactly
+     [rate] on the wire. *)
+  Engine.Units.Rate.transmission_time t.rate t.packet_size
+
+let rec arm t =
+  if not t.stopped then
+    ignore
+      (Engine.Sim.schedule_after (Network.sim t.net) (interval t) (fun () ->
+           if not t.stopped then begin
+             let p =
+               Network.make_packet t.net ~src:t.src ~dst:t.dst ~size:t.packet_size
+                 (Cbr t.sent)
+             in
+             t.sent <- t.sent + 1;
+             Network.send t.net p;
+             arm t
+           end))
+
+let start net ~src ~dst ~rate ?(packet_size = 512) () =
+  if packet_size <= 0 then invalid_arg "Cbr_source.start: packet size must be positive";
+  let t = { net; src; dst; packet_size; rate; stopped = false; sent = 0 } in
+  arm t;
+  t
+
+let set_rate t rate = t.rate <- rate
+let stop t = t.stopped <- true
+let packets_sent t = t.sent
+let bytes_sent t = t.sent * t.packet_size

@@ -1,0 +1,44 @@
+type flow = {
+  tx_packets : int;
+  tx_bytes : int;
+  rx_packets : int;
+  rx_bytes : int;
+  first_tx : Engine.Time.t option;
+  last_rx : Engine.Time.t option;
+}
+
+let empty_flow =
+  { tx_packets = 0; tx_bytes = 0; rx_packets = 0; rx_bytes = 0; first_tx = None;
+    last_rx = None }
+
+type t = (int, flow) Hashtbl.t
+
+let create () : t = Hashtbl.create 32
+
+let update t flow f =
+  let cur = Option.value (Hashtbl.find_opt t flow) ~default:empty_flow in
+  Hashtbl.replace t flow (f cur)
+
+let on_tx t ~flow ~bytes ~now =
+  update t flow (fun s ->
+      { s with
+        tx_packets = s.tx_packets + 1;
+        tx_bytes = s.tx_bytes + bytes;
+        first_tx = (match s.first_tx with Some _ as x -> x | None -> Some now) })
+
+let on_rx t ~flow ~bytes ~now =
+  update t flow (fun s ->
+      { s with
+        rx_packets = s.rx_packets + 1;
+        rx_bytes = s.rx_bytes + bytes;
+        last_rx = Some now })
+
+let stats t ~flow = Hashtbl.find_opt t flow
+
+let time_to_last_byte t ~flow =
+  match Hashtbl.find_opt t flow with
+  | Some { first_tx = Some a; last_rx = Some b; _ } -> Some (Engine.Time.diff b a)
+  | _ -> None
+
+let flows t = Hashtbl.fold (fun k _ acc -> k :: acc) t [] |> List.sort Int.compare
+let total_rx_bytes t = Hashtbl.fold (fun _ s acc -> acc + s.rx_bytes) t 0

@@ -1,0 +1,99 @@
+type t = {
+  sim : Engine.Sim.t;
+  src : Node_id.t;
+  dst : Node_id.t;
+  mutable rate : Engine.Units.Rate.t;
+  delay : Engine.Time.t;
+  queue : Nqueue.t;
+  mutable receiver : (Packet.t -> unit) option;
+  mutable busy : bool;
+  mutable delivered : int;
+  mutable delivered_bytes : int;
+  mutable blackholed : int;
+  mutable busy_time : Engine.Time.t;
+  (* Packet id -> callback fired when serialization of that packet
+     starts (the moment it is truly "on the wire"). *)
+  on_transmit : (int, unit -> unit) Hashtbl.t;
+}
+
+let create sim ~src ~dst ~rate ~delay ?(queue = Nqueue.unbounded) () =
+  if Engine.Time.is_negative delay then invalid_arg "Link.create: negative delay";
+  {
+    sim;
+    src;
+    dst;
+    rate;
+    delay;
+    queue = Nqueue.create queue;
+    receiver = None;
+    busy = false;
+    delivered = 0;
+    delivered_bytes = 0;
+    blackholed = 0;
+    busy_time = Engine.Time.zero;
+    on_transmit = Hashtbl.create 16;
+  }
+
+let src t = t.src
+let dst t = t.dst
+let rate t = t.rate
+let delay t = t.delay
+let set_receiver t f = t.receiver <- Some f
+
+let deliver t (p : Packet.t) =
+  match t.receiver with
+  | None -> t.blackholed <- t.blackholed + 1
+  | Some f ->
+      t.delivered <- t.delivered + 1;
+      t.delivered_bytes <- t.delivered_bytes + p.size;
+      f p
+
+(* Serialize [p]; when its last bit is on the wire, schedule the
+   propagation-delayed delivery and start on the next queued packet. *)
+let rec transmit t (p : Packet.t) =
+  t.busy <- true;
+  (match Hashtbl.find_opt t.on_transmit p.id with
+  | Some f ->
+      Hashtbl.remove t.on_transmit p.id;
+      f ()
+  | None -> ());
+  let tx_time = Engine.Units.Rate.transmission_time t.rate p.size in
+  t.busy_time <- Engine.Time.add t.busy_time tx_time;
+  ignore
+    (Engine.Sim.schedule_after t.sim tx_time (fun () ->
+         ignore
+           (Engine.Sim.schedule_after t.sim t.delay (fun () -> deliver t p));
+         match Nqueue.dequeue t.queue with
+         | Some next -> transmit t next
+         | None -> t.busy <- false))
+
+let send t ?on_transmit p =
+  (match on_transmit with
+  | Some f -> Hashtbl.replace t.on_transmit p.Packet.id f
+  | None -> ());
+  if t.busy then begin
+    if not (Nqueue.enqueue t.queue p) then
+      (* Dropped at the tail: the packet will never serialize. *)
+      Hashtbl.remove t.on_transmit p.Packet.id
+  end
+  else transmit t p
+
+let busy t = t.busy
+let queue_length t = Nqueue.length t.queue
+let queue_bytes t = Nqueue.byte_length t.queue
+let queue_drops t = Nqueue.drops t.queue
+let queue_high_watermark_bytes t = Nqueue.high_watermark_bytes t.queue
+let packets_delivered t = t.delivered
+let bytes_delivered t = t.delivered_bytes
+let packets_blackholed t = t.blackholed
+
+let set_rate t rate = t.rate <- rate
+
+let utilization t horizon =
+  if Engine.Time.(horizon <= Engine.Time.zero) then
+    invalid_arg "Link.utilization: horizon must be positive";
+  Float.min 1. (Engine.Time.ratio t.busy_time horizon)
+
+let pp fmt t =
+  Format.fprintf fmt "%a->%a %a %a q=%d" Node_id.pp t.src Node_id.pp t.dst
+    Engine.Units.Rate.pp t.rate Engine.Time.pp t.delay (queue_length t)

@@ -1,0 +1,68 @@
+(** Unidirectional point-to-point link.
+
+    Models the three delays of a real wire: queueing (in a drop-tail
+    {!Nqueue}), serialization (packet size / link rate) and propagation
+    (fixed).  The transmitter serializes one packet at a time;
+    back-to-back packets leave the wire exactly one serialization time
+    apart, which is what turns a window burst into the "packet train"
+    CircuitStart analyses.
+
+    Delivery invokes the receiver callback installed with
+    {!set_receiver}; a link with no receiver black-holes (counted). *)
+
+type t
+
+val create :
+  Engine.Sim.t ->
+  src:Node_id.t ->
+  dst:Node_id.t ->
+  rate:Engine.Units.Rate.t ->
+  delay:Engine.Time.t ->
+  ?queue:Nqueue.capacity ->
+  unit ->
+  t
+(** [create sim ~src ~dst ~rate ~delay ()] is an idle link.  [queue]
+    defaults to {!Nqueue.unbounded}.  Raises [Invalid_argument] on a
+    negative [delay]. *)
+
+val src : t -> Node_id.t
+val dst : t -> Node_id.t
+val rate : t -> Engine.Units.Rate.t
+val delay : t -> Engine.Time.t
+
+val set_rate : t -> Engine.Units.Rate.t -> unit
+(** Change the link rate at runtime (takes effect from the next
+    serialization; the packet currently on the wire is unaffected).
+    Models capacity changes for the adaptive experiments. *)
+
+val set_receiver : t -> (Packet.t -> unit) -> unit
+(** Install the handler run (at the destination) when a packet arrives. *)
+
+val send : t -> ?on_transmit:(unit -> unit) -> Packet.t -> unit
+(** Hand a packet to the transmitter.  If the transmitter is busy the
+    packet queues; if the queue is full it is dropped silently (the
+    drop is visible in {!queue_drops}).  [on_transmit] fires at the
+    instant the packet's serialization starts — when it is truly on
+    the wire; it never fires for a dropped packet. *)
+
+val busy : t -> bool
+(** Whether a packet is currently being serialized. *)
+
+val queue_length : t -> int
+val queue_bytes : t -> int
+val queue_drops : t -> int
+
+val queue_high_watermark_bytes : t -> int
+(** Largest queue occupancy ever observed on this link. *)
+
+val packets_delivered : t -> int
+val bytes_delivered : t -> int
+val packets_blackholed : t -> int
+(** Packets that arrived with no receiver installed. *)
+
+val utilization : t -> Engine.Time.t -> float
+(** [utilization t horizon] is the fraction of [\[0, horizon\]] the
+    transmitter spent serializing, in [\[0, 1\]].  Raises
+    [Invalid_argument] if [horizon] is not positive. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,49 @@
+(** Routed packet delivery over a topology.
+
+    [Network] computes static shortest-path routes (Dijkstra over link
+    propagation delay, hop count as tie-breaker), installs forwarding
+    handlers on every link, and exposes node-to-node [send].  A packet
+    travels link by link through intermediate nodes (e.g. the star hub)
+    and is handed to the destination's local handler on arrival.
+
+    Routes are computed when the network is built; the topology must be
+    fully wired first.  This matches the experiments, whose graphs are
+    static. *)
+
+type t
+
+val create : Topology.t -> t
+(** Build routing tables and claim every link's receiver slot. *)
+
+val topology : t -> Topology.t
+val sim : t -> Engine.Sim.t
+
+val set_local_handler : t -> Node_id.t -> (Packet.t -> unit) -> unit
+(** [set_local_handler net n f] makes [f] receive every packet whose
+    final destination is [n].  Without a handler such packets count as
+    {!undeliverable}. *)
+
+val make_packet :
+  t -> src:Node_id.t -> dst:Node_id.t -> size:int -> Payload.t -> Packet.t
+(** Fresh packet stamped with the current simulation time. *)
+
+val send : t -> ?on_transmit:(unit -> unit) -> Packet.t -> unit
+(** Inject a packet at its source node.  [on_transmit] fires when the
+    packet's serialization on the source's own access link starts —
+    the node's true "on the wire" instant (later forwarding hops do
+    not re-fire it).  Raises [Failure] if the destination is
+    unreachable from the source. *)
+
+val path : t -> Node_id.t -> Node_id.t -> Node_id.t list option
+(** [path net a b] is the node sequence [a; ...; b] a packet follows,
+    or [None] if unreachable.  [path net a a = Some [a]]. *)
+
+val hop_count : t -> Node_id.t -> Node_id.t -> int option
+(** Number of links on the route. *)
+
+val path_delay : t -> Node_id.t -> Node_id.t -> Engine.Time.t option
+(** Sum of one-way propagation delays along the route (no
+    serialization or queueing). *)
+
+val undeliverable : t -> int
+(** Packets that reached a node with no local handler. *)

@@ -1,0 +1,68 @@
+type capacity = { max_packets : int option; max_bytes : int option }
+
+let unbounded = { max_packets = None; max_bytes = None }
+
+let packets n =
+  if n <= 0 then invalid_arg "Nqueue.packets: capacity must be positive";
+  { max_packets = Some n; max_bytes = None }
+
+let bytes n =
+  if n <= 0 then invalid_arg "Nqueue.bytes: capacity must be positive";
+  { max_packets = None; max_bytes = Some n }
+
+type t = {
+  capacity : capacity;
+  q : Packet.t Queue.t;
+  mutable cur_bytes : int;
+  mutable drops : int;
+  mutable dropped_bytes : int;
+  mutable enqueued : int;
+  mutable hwm : int;
+}
+
+let create capacity =
+  { capacity; q = Queue.create (); cur_bytes = 0; drops = 0; dropped_bytes = 0;
+    enqueued = 0; hwm = 0 }
+
+let fits t (p : Packet.t) =
+  let ok_packets =
+    match t.capacity.max_packets with
+    | None -> true
+    | Some m -> Queue.length t.q < m
+  in
+  let ok_bytes =
+    match t.capacity.max_bytes with
+    | None -> true
+    | Some m -> t.cur_bytes + p.size <= m
+  in
+  ok_packets && ok_bytes
+
+let enqueue t p =
+  if fits t p then begin
+    Queue.push p t.q;
+    t.cur_bytes <- t.cur_bytes + p.Packet.size;
+    t.enqueued <- t.enqueued + 1;
+    if t.cur_bytes > t.hwm then t.hwm <- t.cur_bytes;
+    true
+  end
+  else begin
+    t.drops <- t.drops + 1;
+    t.dropped_bytes <- t.dropped_bytes + p.Packet.size;
+    false
+  end
+
+let dequeue t =
+  match Queue.take_opt t.q with
+  | None -> None
+  | Some p ->
+      t.cur_bytes <- t.cur_bytes - p.Packet.size;
+      Some p
+
+let peek t = Queue.peek_opt t.q
+let length t = Queue.length t.q
+let byte_length t = t.cur_bytes
+let is_empty t = Queue.is_empty t.q
+let drops t = t.drops
+let dropped_bytes t = t.dropped_bytes
+let enqueued_total t = t.enqueued
+let high_watermark_bytes t = t.hwm

@@ -1,0 +1,52 @@
+(** Bounded drop-tail FIFO for link egress.
+
+    Capacity can be limited in packets, bytes, or both; an arriving
+    packet that does not fit is dropped (tail drop), exactly like ns-3's
+    default [DropTailQueue].  The queue keeps occupancy and drop
+    statistics that the evaluation reads back. *)
+
+type t
+
+type capacity = {
+  max_packets : int option;  (** [None] = unlimited. *)
+  max_bytes : int option;  (** [None] = unlimited. *)
+}
+
+val unbounded : capacity
+val packets : int -> capacity
+(** [packets n] limits to [n] packets; raises [Invalid_argument] if
+    [n <= 0]. *)
+
+val bytes : int -> capacity
+(** [bytes n] limits to [n] bytes; raises [Invalid_argument] if
+    [n <= 0]. *)
+
+val create : capacity -> t
+
+val enqueue : t -> Packet.t -> bool
+(** [enqueue q p] appends [p]; [false] means the packet was dropped
+    because either limit would be exceeded. *)
+
+val dequeue : t -> Packet.t option
+(** Remove and return the head packet. *)
+
+val peek : t -> Packet.t option
+val length : t -> int
+(** Packets currently queued. *)
+
+val byte_length : t -> int
+(** Bytes currently queued. *)
+
+val is_empty : t -> bool
+
+(** {1 Statistics} *)
+
+val drops : t -> int
+(** Packets rejected so far. *)
+
+val dropped_bytes : t -> int
+val enqueued_total : t -> int
+(** Packets accepted so far (including those since dequeued). *)
+
+val high_watermark_bytes : t -> int
+(** Largest byte occupancy ever observed. *)

@@ -1,0 +1,29 @@
+(** Packets on the wire.
+
+    A packet is addressed node-to-node (source and final destination);
+    intermediate hops forward it unchanged.  [size] is the wire size
+    used for serialization-time and queue-occupancy accounting and is
+    fixed at creation — the substrate never inspects the payload. *)
+
+type t = private {
+  id : int;  (** Unique per {!fresh_id_state}; for tracing and tests. *)
+  src : Node_id.t;
+  dst : Node_id.t;
+  size : int;  (** Wire size in bytes, > 0. *)
+  payload : Payload.t;
+  sent_at : Engine.Time.t;  (** Creation instant (source timestamp). *)
+}
+
+type id_state
+(** Generator of unique packet ids (one per network, so ids are dense
+    and runs are reproducible). *)
+
+val fresh_id_state : unit -> id_state
+
+val make :
+  id_state -> src:Node_id.t -> dst:Node_id.t -> size:int -> now:Engine.Time.t ->
+  Payload.t -> t
+(** [make ids ~src ~dst ~size ~now payload] is a fresh packet.  Raises
+    [Invalid_argument] if [size <= 0]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,13 @@
+type t = ..
+type t += Raw of string
+
+let printers : (t -> string option) list ref = ref []
+let describe f = printers := !printers @ [ f ]
+
+let pp fmt p =
+  let builtin = function Raw s -> Some (Printf.sprintf "raw[%d]" (String.length s)) | _ -> None in
+  let rec try_printers = function
+    | [] -> "<payload>"
+    | f :: rest -> ( match f p with Some s -> s | None -> try_printers rest)
+  in
+  Format.pp_print_string fmt (try_printers (builtin :: !printers))

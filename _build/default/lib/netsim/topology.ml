@@ -1,0 +1,118 @@
+type t = {
+  sim : Engine.Sim.t;
+  ids : Packet.id_state;
+  mutable node_names : string array;
+  mutable count : int;
+  (* Directed adjacency: links.(a) is the outgoing links of node a,
+     keyed by destination, in insertion order. *)
+  adjacency : (int, (int * Link.t) list ref) Hashtbl.t;
+}
+
+let create sim =
+  { sim; ids = Packet.fresh_id_state (); node_names = [||]; count = 0;
+    adjacency = Hashtbl.create 64 }
+
+let sim t = t.sim
+let packet_ids t = t.ids
+
+let add_node t ~name =
+  if t.count = Array.length t.node_names then begin
+    let ncap = Stdlib.max 16 (t.count * 2) in
+    let names = Array.make ncap "" in
+    Array.blit t.node_names 0 names 0 t.count;
+    t.node_names <- names
+  end;
+  t.node_names.(t.count) <- name;
+  let id = Node_id.of_int t.count in
+  t.count <- t.count + 1;
+  id
+
+let node_count t = t.count
+let nodes t = List.init t.count Node_id.of_int
+
+let check_node t id =
+  if Node_id.to_int id >= t.count then
+    invalid_arg (Format.asprintf "Topology: unknown node %a" Node_id.pp id)
+
+let name t id =
+  if Node_id.to_int id >= t.count then raise Not_found;
+  t.node_names.(Node_id.to_int id)
+
+let out_links t a =
+  match Hashtbl.find_opt t.adjacency (Node_id.to_int a) with
+  | Some r -> r
+  | None ->
+      let r = ref [] in
+      Hashtbl.add t.adjacency (Node_id.to_int a) r;
+      r
+
+let link t a b =
+  match Hashtbl.find_opt t.adjacency (Node_id.to_int a) with
+  | None -> None
+  | Some r -> List.assoc_opt (Node_id.to_int b) !r
+
+let connect_directed t a b ~rate ~delay ?(queue = Nqueue.unbounded) () =
+  check_node t a;
+  check_node t b;
+  if Node_id.equal a b then invalid_arg "Topology.connect: self-loop";
+  if link t a b <> None then
+    invalid_arg
+      (Format.asprintf "Topology.connect: %a->%a already connected" Node_id.pp a
+         Node_id.pp b);
+  let l = Link.create t.sim ~src:a ~dst:b ~rate ~delay ~queue () in
+  let r = out_links t a in
+  r := !r @ [ (Node_id.to_int b, l) ]
+
+let connect t a b ~rate ~delay ?queue () =
+  connect_directed t a b ~rate ~delay ?queue ();
+  connect_directed t b a ~rate ~delay ?queue ()
+
+let neighbors t a =
+  match Hashtbl.find_opt t.adjacency (Node_id.to_int a) with
+  | None -> []
+  | Some r -> List.map (fun (b, _) -> Node_id.of_int b) !r
+
+let links t =
+  Hashtbl.fold (fun _ r acc -> List.rev_append (List.map snd !r) acc) t.adjacency []
+
+let line sim ~names ~rate ~delay ?queue () =
+  if List.length names < 2 then invalid_arg "Topology.line: need at least two nodes";
+  let t = create sim in
+  let ids = List.map (fun name -> add_node t ~name) names in
+  let rec wire = function
+    | a :: (b :: _ as rest) ->
+        connect t a b ~rate ~delay ?queue ();
+        wire rest
+    | [ _ ] | [] -> ()
+  in
+  wire ids;
+  (t, ids)
+
+let dumbbell sim ~left ~right ~bottleneck_rate ~bottleneck_delay ?queue () =
+  if left = [] || right = [] then invalid_arg "Topology.dumbbell: empty side";
+  let t = create sim in
+  let router_l = add_node t ~name:"routerL" in
+  let router_r = add_node t ~name:"routerR" in
+  connect t router_l router_r ~rate:bottleneck_rate ~delay:bottleneck_delay ?queue ();
+  let attach router (name, rate, delay) =
+    let id = add_node t ~name in
+    connect t id router ~rate ~delay ?queue ();
+    id
+  in
+  let left_ids = List.map (attach router_l) left in
+  let right_ids = List.map (attach router_r) right in
+  (t, (left_ids, right_ids))
+
+let star sim ~hub ~leaves ?queue () =
+  if leaves = [] then invalid_arg "Topology.star: no leaves";
+  let t = create sim in
+  let hub_id = add_node t ~name:hub in
+  let leaf_ids =
+    List.map
+      (fun (name, rate, delay) ->
+        let id = add_node t ~name in
+        connect t id hub_id ~rate ~delay ?queue ();
+        id)
+      leaves
+  in
+  (t, hub_id, leaf_ids)

@@ -1,0 +1,103 @@
+(** Node-and-link graphs.
+
+    A topology owns its simulator handle, its nodes and its directed
+    links (a duplex connection is two symmetric directed links).  It is
+    the single source of packet ids for everything running on it, so a
+    whole run has densely numbered, reproducible packets.
+
+    Builders for the shapes used in the paper's evaluation (line and
+    star) live here; the random relay networks are composed on top by
+    the [workload] library. *)
+
+type t
+
+val create : Engine.Sim.t -> t
+val sim : t -> Engine.Sim.t
+val packet_ids : t -> Packet.id_state
+
+val add_node : t -> name:string -> Node_id.t
+(** Add a node; ids are dense in creation order.  Node names are for
+    diagnostics only and need not be unique. *)
+
+val node_count : t -> int
+val nodes : t -> Node_id.t list
+(** All node ids, in creation order. *)
+
+val name : t -> Node_id.t -> string
+(** Raises [Not_found] for an unknown id. *)
+
+val connect :
+  t ->
+  Node_id.t ->
+  Node_id.t ->
+  rate:Engine.Units.Rate.t ->
+  delay:Engine.Time.t ->
+  ?queue:Nqueue.capacity ->
+  unit ->
+  unit
+(** [connect t a b ~rate ~delay ()] creates the duplex pair of directed
+    links [a->b] and [b->a], both with the given rate, one-way
+    propagation delay and queue capacity.  Raises [Invalid_argument] if
+    either node is unknown, if [a = b], or if the pair is already
+    connected. *)
+
+val connect_directed :
+  t ->
+  Node_id.t ->
+  Node_id.t ->
+  rate:Engine.Units.Rate.t ->
+  delay:Engine.Time.t ->
+  ?queue:Nqueue.capacity ->
+  unit ->
+  unit
+(** One direction only; same error conditions as {!connect}. *)
+
+val link : t -> Node_id.t -> Node_id.t -> Link.t option
+(** The directed link [a->b], if connected. *)
+
+val neighbors : t -> Node_id.t -> Node_id.t list
+(** Nodes reachable over one outgoing link, in connection order. *)
+
+val links : t -> Link.t list
+(** All directed links. *)
+
+(** {1 Builders} *)
+
+val line :
+  Engine.Sim.t ->
+  names:string list ->
+  rate:Engine.Units.Rate.t ->
+  delay:Engine.Time.t ->
+  ?queue:Nqueue.capacity ->
+  unit ->
+  t * Node_id.t list
+(** A chain of nodes with uniform duplex links.  Raises
+    [Invalid_argument] if fewer than two names are given. *)
+
+val star :
+  Engine.Sim.t ->
+  hub:string ->
+  leaves:(string * Engine.Units.Rate.t * Engine.Time.t) list ->
+  ?queue:Nqueue.capacity ->
+  unit ->
+  t * Node_id.t * Node_id.t list
+(** [star sim ~hub ~leaves ()] is the paper's topology: every leaf hangs
+    off a central hub by a dedicated duplex access link whose rate *is*
+    the leaf's bandwidth and whose one-way delay is the leaf's access
+    latency.  Returns (topology, hub id, leaf ids in list order).
+    Raises [Invalid_argument] on an empty leaf list. *)
+
+val dumbbell :
+  Engine.Sim.t ->
+  left:(string * Engine.Units.Rate.t * Engine.Time.t) list ->
+  right:(string * Engine.Units.Rate.t * Engine.Time.t) list ->
+  bottleneck_rate:Engine.Units.Rate.t ->
+  bottleneck_delay:Engine.Time.t ->
+  ?queue:Nqueue.capacity ->
+  unit ->
+  t * (Node_id.t list * Node_id.t list)
+(** The classic shared-bottleneck shape: left leaves hang off one
+    router, right leaves off another, and the two routers are joined by
+    a single bottleneck link every left↔right flow must cross.
+    Returns (topology, (left leaf ids, right leaf ids)).  Raises
+    [Invalid_argument] if either side is empty. *)

@@ -1,0 +1,1 @@
+lib/optmodel/optimal_window.ml: Engine Float List Option Path_model Stdlib

@@ -1,0 +1,1 @@
+lib/optmodel/optimal_window.mli: Engine Path_model

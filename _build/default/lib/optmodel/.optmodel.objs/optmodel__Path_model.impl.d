@@ -1,0 +1,1 @@
+lib/optmodel/path_model.ml: Array Engine List

@@ -1,0 +1,1 @@
+lib/optmodel/path_model.mli: Engine

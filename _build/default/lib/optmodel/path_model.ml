@@ -1,0 +1,15 @@
+type node_spec = { rate : Engine.Units.Rate.t; access_delay : Engine.Time.t }
+type t = node_spec array
+
+let of_specs specs =
+  if List.length specs < 2 then invalid_arg "Path_model.of_specs: need at least two nodes";
+  Array.of_list specs
+
+let node_count t = Array.length t
+let hop_count t = Array.length t - 1
+
+let spec t i =
+  if i < 0 || i >= Array.length t then invalid_arg "Path_model.spec: out of range";
+  t.(i)
+
+let rates t = Array.to_list (Array.map (fun s -> s.rate) t)

@@ -1,0 +1,26 @@
+(** Analytic description of a circuit's path through the star.
+
+    A path is the ordered list of participants (client, relays, server),
+    each with its access-link rate and one-way access propagation delay.
+    In the star topology a hop [i -> i+1] traverses node [i]'s uplink
+    and node [i+1]'s downlink, so everything the optimal-window model
+    needs is this per-node list. *)
+
+type node_spec = {
+  rate : Engine.Units.Rate.t;  (** Access-link rate. *)
+  access_delay : Engine.Time.t;  (** One-way leaf-to-hub propagation. *)
+}
+
+type t
+
+val of_specs : node_spec list -> t
+(** Raises [Invalid_argument] with fewer than two nodes. *)
+
+val node_count : t -> int
+val hop_count : t -> int
+(** [node_count - 1]. *)
+
+val spec : t -> int -> node_spec
+(** Raises [Invalid_argument] out of range. *)
+
+val rates : t -> Engine.Units.Rate.t list

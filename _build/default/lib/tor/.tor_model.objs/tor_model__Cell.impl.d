@@ -1,0 +1,1 @@
+lib/tor/cell.ml: Circuit_id Format Netsim

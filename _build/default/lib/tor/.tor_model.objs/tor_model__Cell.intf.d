@@ -1,0 +1,1 @@
+lib/tor/cell.mli: Circuit_id Format Netsim

@@ -1,0 +1,1 @@
+lib/tor/circuit.ml: Circuit_id Format List Netsim Relay_info

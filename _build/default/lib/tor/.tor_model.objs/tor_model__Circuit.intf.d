@@ -1,0 +1,1 @@
+lib/tor/circuit.mli: Circuit_id Format Netsim Relay_info

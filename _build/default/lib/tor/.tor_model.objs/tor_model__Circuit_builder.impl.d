@@ -1,0 +1,1 @@
+lib/tor/circuit_builder.ml: Cell Circuit Engine List Netsim Relay_info Switchboard

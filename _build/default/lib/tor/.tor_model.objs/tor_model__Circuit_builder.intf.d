@@ -1,0 +1,1 @@
+lib/tor/circuit_builder.mli: Circuit Engine Switchboard

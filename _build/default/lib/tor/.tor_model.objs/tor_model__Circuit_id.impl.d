@@ -1,0 +1,1 @@
+lib/tor/circuit_id.ml: Format Int Map

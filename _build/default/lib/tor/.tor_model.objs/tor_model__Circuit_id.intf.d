@@ -1,0 +1,1 @@
+lib/tor/circuit_id.mli: Format Map

@@ -1,0 +1,1 @@
+lib/tor/crypto_sim.ml: Cell

@@ -1,0 +1,1 @@
+lib/tor/crypto_sim.mli: Cell Circuit_id

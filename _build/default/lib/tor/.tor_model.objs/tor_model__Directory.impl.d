@@ -1,0 +1,1 @@
+lib/tor/directory.ml: Array Engine List Netsim Option Relay_info

@@ -1,0 +1,1 @@
+lib/tor/directory.mli: Engine Netsim Relay_info

@@ -1,0 +1,1 @@
+lib/tor/relay_ctl.ml: Cell Circuit_id Hashtbl List Netsim Option Switchboard

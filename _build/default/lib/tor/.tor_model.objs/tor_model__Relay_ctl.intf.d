@@ -1,0 +1,1 @@
+lib/tor/relay_ctl.mli: Circuit_id Netsim Switchboard

@@ -1,0 +1,1 @@
+lib/tor/relay_info.ml: Engine Format List Netsim

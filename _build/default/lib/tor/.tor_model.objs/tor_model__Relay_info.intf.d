@@ -1,0 +1,1 @@
+lib/tor/relay_info.mli: Engine Format Netsim

@@ -1,0 +1,1 @@
+lib/tor/sendme.ml: Cell Circuit Crypto_sim Engine Hashtbl List Netsim Relay_info Stdlib Stream Switchboard

@@ -1,0 +1,1 @@
+lib/tor/sendme.mli: Circuit Engine Netsim Stream Switchboard

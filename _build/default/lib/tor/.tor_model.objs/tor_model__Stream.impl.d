@@ -1,0 +1,1 @@
+lib/tor/stream.ml: Cell Engine Hashtbl Stdlib

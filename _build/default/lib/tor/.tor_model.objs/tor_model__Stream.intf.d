@@ -1,0 +1,1 @@
+lib/tor/stream.mli: Cell Circuit_id Engine

@@ -1,0 +1,1 @@
+lib/tor/switchboard.ml: Cell Circuit_id Format Hashtbl Netsim

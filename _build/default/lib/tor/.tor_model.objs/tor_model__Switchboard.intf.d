@@ -1,0 +1,1 @@
+lib/tor/switchboard.mli: Cell Circuit_id Netsim

@@ -1,0 +1,45 @@
+type outcome = Established of { at : Engine.Time.t } | Failed of string
+
+let build sb (circuit : Circuit.t) ?(timeout = Engine.Time.s 30) ~on_done () =
+  if not (Netsim.Node_id.equal (Switchboard.node sb) circuit.client) then
+    invalid_arg "Circuit_builder.build: switchboard does not belong to the client";
+  let sim = Netsim.Network.sim (Switchboard.network sb) in
+  let guard =
+    match circuit.relays with r :: _ -> r.Relay_info.node | [] -> assert false
+  in
+  (* Targets still to be attached, beyond the guard. *)
+  let remaining =
+    ref (List.tl (List.map (fun (r : Relay_info.t) -> r.Relay_info.node) circuit.relays)
+        @ [ circuit.server ])
+  in
+  let finished = ref false in
+  let finish outcome =
+    if not !finished then begin
+      finished := true;
+      Switchboard.unregister_circuit sb circuit.id;
+      on_done outcome
+    end
+  in
+  let watchdog =
+    Engine.Sim.schedule_after sim timeout (fun () ->
+        finish (Failed "circuit establishment timed out"))
+  in
+  let extend_next () =
+    match !remaining with
+    | [] ->
+        Engine.Sim.cancel sim watchdog;
+        finish (Established { at = Engine.Sim.now sim })
+    | next :: rest ->
+        remaining := rest;
+        Switchboard.send_cell sb ~dst:guard
+          (Cell.make circuit.id (Cell.Extend { next }))
+  in
+  let handler ~from (cell : Cell.t) =
+    if Netsim.Node_id.equal from guard then
+      match cell.command with
+      | Cell.Created | Cell.Extended -> extend_next ()
+      | Cell.Destroy -> finish (Failed "circuit destroyed during establishment")
+      | Cell.Create | Cell.Extend _ | Cell.Relay _ -> ()
+  in
+  Switchboard.register_circuit sb circuit.id handler;
+  Switchboard.send_cell sb ~dst:guard (Cell.make circuit.id Cell.Create)

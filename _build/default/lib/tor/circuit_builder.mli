@@ -1,0 +1,29 @@
+(** Client-side circuit establishment.
+
+    Drives the CREATE / EXTEND ladder against the {!Relay_ctl}
+    automata: CREATE to the guard, then one EXTEND per additional node
+    (each travelling through the partially built circuit), finishing
+    when the final EXTENDED returns.  The server endpoint participates
+    like a relay (it runs a {!Relay_ctl} too), mirroring the
+    exit-connects-to-destination step.
+
+    Establishment latency therefore scales quadratically with path
+    length in propagation delay — exactly the ramp-up head start a
+    freshly built circuit has burnt when data starts flowing, which is
+    why the paper cares about the subsequent slow start. *)
+
+type outcome = Established of { at : Engine.Time.t } | Failed of string
+
+val build :
+  Switchboard.t ->
+  Circuit.t ->
+  ?timeout:Engine.Time.t ->
+  on_done:(outcome -> unit) ->
+  unit ->
+  unit
+(** [build client_sb circuit ~on_done ()] starts establishment now;
+    [on_done] fires exactly once.  [timeout] (default 30 s of simulated
+    time) fails the attempt if the ladder stalls.  The client
+    switchboard must belong to [circuit.client].  Registers the
+    circuit's handler on the client switchboard for the duration and
+    unregisters it before [on_done]. *)

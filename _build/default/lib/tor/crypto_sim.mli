@@ -1,0 +1,31 @@
+(** Structural onion "cryptography".
+
+    The paper's transport dynamics are independent of actual encryption,
+    so real AES/ntor handshakes are substituted by a layer counter that
+    preserves the *structure* of onion routing: the client wraps a relay
+    cell in one layer per hop it must traverse; every relay peels
+    exactly one layer; the cell's payload command becomes visible (i.e.
+    deliverable) only at zero layers.  Mis-layered deliveries therefore
+    fail loudly in tests instead of silently succeeding.
+
+    Documented substitution (DESIGN.md): nstor also abstracts crypto
+    cost away; at the simulated scale crypto CPU time is negligible
+    compared to transmission and propagation delays. *)
+
+val wrap : hops:int -> Cell.relay_command -> Circuit_id.t -> Cell.t
+(** [wrap ~hops cmd circuit] is a RELAY cell wrapped in [hops] layers —
+    what a client sends for a circuit whose payload must traverse
+    [hops] forwarding nodes.  Raises [Invalid_argument] if
+    [hops < 1]. *)
+
+val peel : Cell.t -> Cell.t
+(** [peel cell] removes one layer.  Raises [Invalid_argument] if
+    [cell] is not a RELAY cell or has no layers left. *)
+
+val exposed : Cell.t -> Cell.relay_command option
+(** [exposed cell] is the relay command if all layers are off (the
+    final hop may deliver it); [None] if still wrapped or not a RELAY
+    cell. *)
+
+val layers : Cell.t -> int option
+(** Remaining layer count of a RELAY cell. *)

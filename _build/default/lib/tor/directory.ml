@@ -1,0 +1,52 @@
+type t = { mutable relays : Relay_info.t list }
+
+let create () = { relays = [] }
+let add t r = t.relays <- t.relays @ [ r ]
+let relays t = t.relays
+let count t = List.length t.relays
+
+let find_by_node t node =
+  List.find_opt (fun (r : Relay_info.t) -> Netsim.Node_id.equal r.node node) t.relays
+
+let weighted_choice rng candidates =
+  match candidates with
+  | [] -> None
+  | _ ->
+      let arr =
+        Array.of_list
+          (List.map
+             (fun (r : Relay_info.t) ->
+               (r, float_of_int (Engine.Units.Rate.to_bps r.bandwidth)))
+             candidates)
+      in
+      Some (Engine.Rng.pick_weighted rng arr)
+
+let select_path t rng ~hops =
+  if hops < 1 then invalid_arg "Directory.select_path: need at least one hop";
+  let excluded chosen (r : Relay_info.t) =
+    List.exists (fun (c : Relay_info.t) -> Netsim.Node_id.equal c.node r.node) chosen
+  in
+  let pick ~flag chosen =
+    let ok (r : Relay_info.t) =
+      (not (excluded chosen r))
+      && match flag with None -> true | Some f -> Relay_info.has_flag r f
+    in
+    weighted_choice rng (List.filter ok t.relays)
+  in
+  (* Tor fills guard, then exit, then middles; we follow suit so flag
+     scarcity (few exits) constrains the right position. *)
+  let ( let* ) = Option.bind in
+  if hops = 1 then
+    let* only = pick ~flag:(Some Relay_info.Exit) [] in
+    Some [ only ]
+  else
+    let* guard = pick ~flag:(Some Relay_info.Guard) [] in
+    let* exit = pick ~flag:(Some Relay_info.Exit) [ guard ] in
+    let rec middles n chosen acc =
+      if n = 0 then Some (List.rev acc)
+      else
+        let* m = pick ~flag:None chosen in
+        middles (n - 1) (m :: chosen) (m :: acc)
+    in
+    let* mids = middles (hops - 2) [ guard; exit ] [] in
+    Some ((guard :: mids) @ [ exit ])

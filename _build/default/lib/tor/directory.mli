@@ -1,0 +1,25 @@
+(** The directory: the set of known relays and path selection.
+
+    Path selection follows Tor's essentials: positions are filled
+    guard → exit → middle, each choice is weighted by relay bandwidth
+    (faster relays carry proportionally more circuits), a relay appears
+    at most once per path, and position flags are honoured.  This is
+    what makes the random star networks of the CDF experiment exhibit
+    realistic bottleneck diversity. *)
+
+type t
+
+val create : unit -> t
+val add : t -> Relay_info.t -> unit
+val relays : t -> Relay_info.t list
+(** In insertion order. *)
+
+val count : t -> int
+
+val find_by_node : t -> Netsim.Node_id.t -> Relay_info.t option
+
+val select_path : t -> Engine.Rng.t -> hops:int -> Relay_info.t list option
+(** [select_path dir rng ~hops] draws a bandwidth-weighted path of
+    [hops] distinct relays: position 0 needs [Guard], the last position
+    needs [Exit], middles need no flag.  [None] if the directory cannot
+    satisfy the constraints.  Raises [Invalid_argument] if [hops < 1]. *)

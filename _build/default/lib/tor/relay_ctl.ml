@@ -1,0 +1,66 @@
+type entry = { prev : Netsim.Node_id.t; next : Netsim.Node_id.t option }
+
+type t = {
+  sb : Switchboard.t;
+  table : (int, entry) Hashtbl.t;
+  mutable destroyed : int;
+}
+
+let key = Circuit_id.to_int
+
+let handle t ~from (cell : Cell.t) =
+  let c = cell.circuit in
+  match cell.command with
+  | Cell.Create ->
+      Hashtbl.replace t.table (key c) { prev = from; next = None };
+      Switchboard.send_cell t.sb ~dst:from (Cell.make c Cell.Created)
+  | Cell.Extend { next } -> (
+      match Hashtbl.find_opt t.table (key c) with
+      | None -> () (* EXTEND for an unknown circuit: drop. *)
+      | Some entry -> (
+          match entry.next with
+          | Some succ ->
+              (* Not the end of the circuit: pass the request along. *)
+              Switchboard.send_cell t.sb ~dst:succ cell
+          | None ->
+              Hashtbl.replace t.table (key c) { entry with next = Some next };
+              Switchboard.send_cell t.sb ~dst:next (Cell.make c Cell.Create)))
+  | Cell.Created -> (
+      match Hashtbl.find_opt t.table (key c) with
+      | Some { prev; next = Some succ } when Netsim.Node_id.equal succ from ->
+          Switchboard.send_cell t.sb ~dst:prev (Cell.make c Cell.Extended)
+      | Some _ | None -> ())
+  | Cell.Extended -> (
+      match Hashtbl.find_opt t.table (key c) with
+      | Some { prev; next = Some succ } when Netsim.Node_id.equal succ from ->
+          Switchboard.send_cell t.sb ~dst:prev cell
+      | Some _ | None -> ())
+  | Cell.Destroy -> (
+      t.destroyed <- t.destroyed + 1;
+      match Hashtbl.find_opt t.table (key c) with
+      | None -> ()
+      | Some { prev; next } ->
+          Hashtbl.remove t.table (key c);
+          (* Propagate away from whoever told us. *)
+          let targets =
+            List.filter
+              (fun n -> not (Netsim.Node_id.equal n from))
+              (prev :: Option.to_list next)
+          in
+          List.iter
+            (fun dst -> Switchboard.send_cell t.sb ~dst (Cell.make c Cell.Destroy))
+            targets)
+  | Cell.Relay _ -> () (* Data plane handles RELAY cells; ignore here. *)
+
+let create sb =
+  let t = { sb; table = Hashtbl.create 16; destroyed = 0 } in
+  Switchboard.set_control_handler sb (fun ~from cell -> handle t ~from cell);
+  t
+
+let route t c = Hashtbl.find_opt t.table (key c)
+
+let circuits t =
+  Hashtbl.fold (fun k _ acc -> Circuit_id.of_int k :: acc) t.table []
+  |> List.sort Circuit_id.compare
+
+let destroyed t = t.destroyed

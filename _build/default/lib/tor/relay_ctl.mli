@@ -1,0 +1,37 @@
+(** The relay-side control-plane automaton.
+
+    Handles circuit lifecycle cells (CREATE/EXTEND/DESTROY) arriving at
+    a relay or at the server endpoint, maintaining the per-circuit
+    routing entry (predecessor, successor) that the data-plane
+    transports consult:
+
+    - CREATE from a predecessor: record the circuit, answer CREATED.
+    - EXTEND from the predecessor: if this relay already has a
+      successor for the circuit, forward the EXTEND onwards (it is
+      addressed to the current end of the circuit); otherwise adopt the
+      target as successor and send it CREATE.
+    - CREATED from the successor: answer EXTENDED to the predecessor.
+    - EXTENDED from the successor: forward it to the predecessor.
+    - DESTROY: drop the entry and propagate away from the sender.
+
+    This gives circuit establishment its real cost: extending to hop
+    [k] takes a round trip through [k] hops. *)
+
+type t
+
+type entry = {
+  prev : Netsim.Node_id.t;
+  next : Netsim.Node_id.t option;  (** [None] while this is the end. *)
+}
+
+val create : Switchboard.t -> t
+(** Installs itself as the switchboard's control handler. *)
+
+val route : t -> Circuit_id.t -> entry option
+(** The routing entry, if the circuit is known here. *)
+
+val circuits : t -> Circuit_id.t list
+(** Known circuits, sorted. *)
+
+val destroyed : t -> int
+(** DESTROY cells processed. *)

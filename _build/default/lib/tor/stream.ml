@@ -1,0 +1,67 @@
+module Source = struct
+  type t = {
+    stream_id : int;
+    total : int;
+    mutable sent : int;
+    mutable next_seq : int;
+  }
+
+  let create ~stream_id ~bytes =
+    if bytes <= 0 then invalid_arg "Stream.Source.create: bytes must be positive";
+    { stream_id; total = bytes; sent = 0; next_seq = 0 }
+
+  let stream_id t = t.stream_id
+  let total_bytes t = t.total
+  let remaining t = t.total - t.sent
+
+  let cell_count t =
+    (t.total + Cell.payload_capacity - 1) / Cell.payload_capacity
+
+  let next_cell t circuit ~layers =
+    let rem = remaining t in
+    if rem = 0 then None
+    else begin
+      let length = Stdlib.min rem Cell.payload_capacity in
+      let last = length = rem in
+      let seq = t.next_seq in
+      t.next_seq <- seq + 1;
+      t.sent <- t.sent + length;
+      Some
+        (Cell.data circuit ~layers ~stream_id:t.stream_id ~seq ~length ~last)
+    end
+end
+
+module Sink = struct
+  type t = {
+    expected : int;
+    seen : (int, unit) Hashtbl.t;
+    mutable received : int;
+    mutable cells : int;
+    mutable duplicates : int;
+    mutable completed_at : Engine.Time.t option;
+  }
+
+  let create ~expected_bytes =
+    if expected_bytes <= 0 then
+      invalid_arg "Stream.Sink.create: expected_bytes must be positive";
+    { expected = expected_bytes; seen = Hashtbl.create 64; received = 0; cells = 0;
+      duplicates = 0; completed_at = None }
+
+  let deliver t ~now = function
+    | Cell.Relay_data { seq; length; _ } ->
+        if Hashtbl.mem t.seen seq then t.duplicates <- t.duplicates + 1
+        else begin
+          Hashtbl.add t.seen seq ();
+          t.received <- t.received + length;
+          t.cells <- t.cells + 1;
+          if t.received >= t.expected && t.completed_at = None then
+            t.completed_at <- Some now
+        end
+    | Cell.Relay_sendme _ | Cell.Relay_end _ -> ()
+
+  let received_bytes t = t.received
+  let cells_received t = t.cells
+  let duplicates t = t.duplicates
+  let complete t = t.received >= t.expected
+  let completed_at t = t.completed_at
+end

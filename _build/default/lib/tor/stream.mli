@@ -1,0 +1,48 @@
+(** Application streams: byte sources and sinks.
+
+    A {!Source} slices a fixed transfer into RELAY_DATA cells (the
+    paper's workload: "transferring a fixed amount of data"); a
+    {!Sink} absorbs them at the far end and knows when the last byte
+    arrived — the time-to-last-byte metric of Figure 1. *)
+
+module Source : sig
+  type t
+
+  val create : stream_id:int -> bytes:int -> t
+  (** A source with [bytes] to send.  Raises [Invalid_argument] if
+      [bytes <= 0]. *)
+
+  val stream_id : t -> int
+  val total_bytes : t -> int
+  val remaining : t -> int
+
+  val cell_count : t -> int
+  (** Total RELAY_DATA cells this transfer needs. *)
+
+  val next_cell : t -> Circuit_id.t -> layers:int -> Cell.t option
+  (** Produce the next data cell (consuming up to
+      {!Cell.payload_capacity} bytes), wrapped in [layers] onion
+      layers; [None] when the source is drained.  The final cell
+      carries [last = true]. *)
+end
+
+module Sink : sig
+  type t
+
+  val create : expected_bytes:int -> t
+  (** Raises [Invalid_argument] if [expected_bytes <= 0]. *)
+
+  val deliver : t -> now:Engine.Time.t -> Cell.relay_command -> unit
+  (** Account an exposed relay command.  Duplicate data cells (same
+      seq) are counted once — retransmissions must not complete a
+      transfer early.  Non-data commands are ignored. *)
+
+  val received_bytes : t -> int
+  val cells_received : t -> int
+  val duplicates : t -> int
+  val complete : t -> bool
+  (** All expected bytes arrived. *)
+
+  val completed_at : t -> Engine.Time.t option
+  (** Instant the last missing byte arrived. *)
+end

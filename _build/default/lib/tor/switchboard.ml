@@ -1,0 +1,54 @@
+type handler = from:Netsim.Node_id.t -> Cell.t -> unit
+
+type t = {
+  net : Netsim.Network.t;
+  node : Netsim.Node_id.t;
+  circuits : (int, handler) Hashtbl.t;
+  mutable control : handler option;
+  mutable aux : (Netsim.Packet.t -> unit) option;
+  mutable orphans : int;
+}
+
+let dispatch t (p : Netsim.Packet.t) =
+  match p.payload with
+  | Cell.Wire cell -> (
+      let key = Circuit_id.to_int cell.circuit in
+      match Hashtbl.find_opt t.circuits key with
+      | Some h -> h ~from:p.src cell
+      | None -> (
+          match t.control with
+          | Some h -> h ~from:p.src cell
+          | None -> t.orphans <- t.orphans + 1))
+  | _ -> (
+      match t.aux with
+      | Some h -> h p
+      | None -> t.orphans <- t.orphans + 1)
+
+let install net node =
+  let t =
+    { net; node; circuits = Hashtbl.create 16; control = None; aux = None; orphans = 0 }
+  in
+  Netsim.Network.set_local_handler net node (dispatch t);
+  t
+
+let node t = t.node
+let network t = t.net
+
+let register_circuit t circuit h =
+  let key = Circuit_id.to_int circuit in
+  if Hashtbl.mem t.circuits key then
+    invalid_arg
+      (Format.asprintf "Switchboard.register_circuit: %a already registered at %a"
+         Circuit_id.pp circuit Netsim.Node_id.pp t.node);
+  Hashtbl.add t.circuits key h
+
+let unregister_circuit t circuit = Hashtbl.remove t.circuits (Circuit_id.to_int circuit)
+let set_control_handler t h = t.control <- Some h
+let set_aux_handler t h = t.aux <- Some h
+
+let send_payload t ?on_transmit ~dst ~size payload =
+  let p = Netsim.Network.make_packet t.net ~src:t.node ~dst ~size payload in
+  Netsim.Network.send t.net ?on_transmit p
+
+let send_cell t ~dst cell = send_payload t ~dst ~size:Cell.size (Cell.Wire cell)
+let orphan_cells t = t.orphans

@@ -1,0 +1,52 @@
+(** Per-node cell dispatch.
+
+    Every overlay participant (client, relay, server) owns one
+    switchboard bound to its node's local delivery slot.  Incoming
+    cells are dispatched by circuit id to the handler registered for
+    that circuit; cells on unknown circuits (e.g. an incoming CREATE)
+    go to the control handler; non-cell payloads (e.g. BackTap feedback
+    messages) go to the auxiliary handler.  Transports register and
+    tear down circuit handlers as circuits come and go. *)
+
+type t
+
+type handler = from:Netsim.Node_id.t -> Cell.t -> unit
+(** [from] is the overlay neighbour that sent the cell (the packet's
+    source node). *)
+
+val install : Netsim.Network.t -> Netsim.Node_id.t -> t
+(** Claim the node's local-handler slot.  At most one switchboard per
+    node; installing a second one replaces the first's delivery. *)
+
+val node : t -> Netsim.Node_id.t
+val network : t -> Netsim.Network.t
+
+val register_circuit : t -> Circuit_id.t -> handler -> unit
+(** Raises [Invalid_argument] if the circuit already has a handler
+    here. *)
+
+val unregister_circuit : t -> Circuit_id.t -> unit
+(** No-op if not registered. *)
+
+val set_control_handler : t -> handler -> unit
+(** Receives cells whose circuit has no registered handler. *)
+
+val set_aux_handler : t -> (Netsim.Packet.t -> unit) -> unit
+(** Receives non-cell packets addressed to this node. *)
+
+val send_cell : t -> dst:Netsim.Node_id.t -> Cell.t -> unit
+(** Wrap a cell in a {!Cell.size}-byte packet and inject it. *)
+
+val send_payload :
+  t ->
+  ?on_transmit:(unit -> unit) ->
+  dst:Netsim.Node_id.t ->
+  size:int ->
+  Netsim.Payload.t ->
+  unit
+(** Send an arbitrary payload (feedback messages etc.).
+    [on_transmit] fires when this node's access link starts
+    serializing the packet (see {!Netsim.Network.send}). *)
+
+val orphan_cells : t -> int
+(** Cells that found neither a circuit nor a control handler. *)

@@ -1,0 +1,1 @@
+lib/workload/adaptive_experiment.ml: Array Backtap Circuitstart Engine List Netsim Optmodel Printf Relay_gen Tor_model Tor_net

@@ -1,0 +1,1 @@
+lib/workload/adaptive_experiment.mli: Circuitstart Engine

@@ -1,0 +1,1 @@
+lib/workload/contention_experiment.ml: Backtap Circuitstart Engine Float List Netsim Option Optmodel Printf Relay_gen Tor_model Tor_net

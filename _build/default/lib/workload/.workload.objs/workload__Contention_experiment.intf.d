@@ -1,0 +1,1 @@
+lib/workload/contention_experiment.mli: Circuitstart Engine

@@ -1,0 +1,1 @@
+lib/workload/relay_gen.ml: Engine Float Int64 List Printf Stdlib Tor_model

@@ -1,0 +1,1 @@
+lib/workload/relay_gen.mli: Engine Tor_model

@@ -1,0 +1,1 @@
+lib/workload/star_experiment.ml: Array Backtap Circuitstart Engine Int64 List Netsim Option Optmodel Printf Relay_gen Stdlib Tor_model Tor_net

@@ -1,0 +1,1 @@
+lib/workload/star_experiment.mli: Circuitstart Engine Relay_gen

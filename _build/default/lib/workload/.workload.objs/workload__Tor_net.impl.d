@@ -1,0 +1,1 @@
+lib/workload/tor_net.ml: Backtap List Netsim Optmodel Relay_gen Tor_model

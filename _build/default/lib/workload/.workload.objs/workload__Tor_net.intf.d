@@ -1,0 +1,1 @@
+lib/workload/tor_net.mli: Backtap Engine Netsim Optmodel Relay_gen Tor_model

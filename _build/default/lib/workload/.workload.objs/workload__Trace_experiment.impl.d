@@ -1,0 +1,1 @@
+lib/workload/trace_experiment.ml: Array Backtap Circuitstart Engine Float List Netsim Optmodel Printf Relay_gen Tor_model Tor_net

@@ -1,0 +1,1 @@
+lib/workload/trace_experiment.mli: Circuitstart Engine Netsim

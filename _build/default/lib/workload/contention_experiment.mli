@@ -1,0 +1,42 @@
+(** Sharing the bottleneck with unresponsive background traffic.
+
+    The paper motivates tailored transports with the wish that Tor
+    traffic "behave much like background traffic", i.e. not fight other
+    users of a relay aggressively.  Here a single CircuitStart circuit
+    shares the bottleneck relay's uplink with a CBR flow consuming a
+    configurable fraction of its capacity: a delay-based scheme should
+    settle onto roughly the *residual* capacity, with a window near
+    [(1 - load) * W*]. *)
+
+type config = {
+  relay_count : int;
+  bottleneck_distance : int;
+  bottleneck_rate : Engine.Units.Rate.t;
+  fast_rate : Engine.Units.Rate.t;
+  access_delay : Engine.Time.t;
+  endpoint_rate : Engine.Units.Rate.t;
+  transfer_bytes : int;
+  strategy : Circuitstart.Controller.strategy;
+  params : Circuitstart.Params.t;
+  cbr_load : float;  (** Fraction of the bottleneck rate, in [0, 0.9]. *)
+  horizon : Engine.Time.t;
+}
+
+val default_config : config
+(** 3 relays, bottleneck at distance 2 at 4 Mbit/s, 4 MiB transfer,
+    CircuitStart, 25 % CBR load, 30 s horizon. *)
+
+val validate_config : config -> (config, string) result
+
+type result = {
+  optimal_cells : int;  (** W* of the unloaded path. *)
+  expected_cells : float;  (** [(1 - load) * W*], the fair target. *)
+  settled_cells : float;
+  time_to_last_byte : Engine.Time.t option;
+  cbr_packets : int;  (** Background packets emitted. *)
+  goodput_share : float option;
+      (** Circuit goodput / bottleneck capacity; with load ρ the fair
+          share is ≈ 1 - ρ. *)
+}
+
+val run : ?seed:int -> config -> result

@@ -1,0 +1,95 @@
+type leaf = {
+  node : Netsim.Node_id.t;
+  spec : Optmodel.Path_model.node_spec;
+  relay : Relay_gen.spec option;
+}
+
+type builder = {
+  topo : Netsim.Topology.t;
+  hub : Netsim.Node_id.t;
+  queue : Netsim.Nqueue.capacity;
+  mutable leaves : leaf list;
+  mutable finalized : bool;
+}
+
+type t = {
+  net : Netsim.Network.t;
+  b_hub : Netsim.Node_id.t;
+  dir : Tor_model.Directory.t;
+  switchboards : Tor_model.Switchboard.t Netsim.Node_id.Map.t;
+  backtaps : Backtap.Node.t Netsim.Node_id.Map.t;
+  ctls : Tor_model.Relay_ctl.t Netsim.Node_id.Map.t;
+  specs : Optmodel.Path_model.node_spec Netsim.Node_id.Map.t;
+  ids : Tor_model.Circuit_id.gen;
+}
+
+let builder sim ?(hub_name = "hub") ?(queue = Netsim.Nqueue.unbounded) () =
+  let topo = Netsim.Topology.create sim in
+  let hub = Netsim.Topology.add_node topo ~name:hub_name in
+  { topo; hub; queue; leaves = []; finalized = false }
+
+let add_leaf b ~name ~rate ~delay relay =
+  if b.finalized then invalid_arg "Tor_net: builder already finalized";
+  let node = Netsim.Topology.add_node b.topo ~name in
+  Netsim.Topology.connect b.topo node b.hub ~rate ~delay ~queue:b.queue ();
+  b.leaves <-
+    b.leaves @ [ { node; spec = { Optmodel.Path_model.rate; access_delay = delay }; relay } ];
+  node
+
+let add_relay b (spec : Relay_gen.spec) =
+  ignore
+    (add_leaf b ~name:spec.nickname ~rate:spec.bandwidth ~delay:spec.latency (Some spec)
+      : Netsim.Node_id.t)
+
+let add_endpoint b ~name ~rate ~delay = add_leaf b ~name ~rate ~delay None
+
+let finalize b =
+  if b.finalized then invalid_arg "Tor_net.finalize: builder already finalized";
+  b.finalized <- true;
+  Tor_model.Cell.register_printer ();
+  Backtap.Wire.register_printer ();
+  let net = Netsim.Network.create b.topo in
+  let dir = Tor_model.Directory.create () in
+  let add_maps (sbs, bts, ctls, specs) leaf =
+    let sb = Tor_model.Switchboard.install net leaf.node in
+    let bt = Backtap.Node.install sb in
+    let ctl = Tor_model.Relay_ctl.create sb in
+    (match leaf.relay with
+    | Some (r : Relay_gen.spec) ->
+        Tor_model.Directory.add dir
+          (Tor_model.Relay_info.make ~nickname:r.nickname ~node:leaf.node
+             ~bandwidth:r.bandwidth ~latency:r.latency ~flags:r.flags ())
+    | None -> ());
+    ( Netsim.Node_id.Map.add leaf.node sb sbs,
+      Netsim.Node_id.Map.add leaf.node bt bts,
+      Netsim.Node_id.Map.add leaf.node ctl ctls,
+      Netsim.Node_id.Map.add leaf.node leaf.spec specs )
+  in
+  let switchboards, backtaps, ctls, specs =
+    List.fold_left add_maps
+      Netsim.Node_id.Map.(empty, empty, empty, empty)
+      b.leaves
+  in
+  { net; b_hub = b.hub; dir; switchboards; backtaps; ctls; specs;
+    ids = Tor_model.Circuit_id.generator () }
+
+let sim t = Netsim.Network.sim t.net
+let network t = t.net
+let directory t = t.dir
+let hub t = t.b_hub
+
+let find map node =
+  match Netsim.Node_id.Map.find_opt node map with
+  | Some x -> x
+  | None -> raise Not_found
+
+let switchboard t node = find t.switchboards node
+let backtap_node t node = find t.backtaps node
+let relay_ctl t node = find t.ctls node
+let access_spec t node = find t.specs node
+
+let path_model t circuit =
+  Optmodel.Path_model.of_specs
+    (List.map (access_spec t) (Tor_model.Circuit.nodes circuit))
+
+let circuit_ids t = t.ids

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Analysis Array Engine Filename Float List QCheck2 QCheck_alcotest String Sys

@@ -1,0 +1,1 @@
+test/test_backtap.ml: Alcotest Array Backtap Circuitstart Engine Float Format Hashtbl List Netsim Option Printf Tor_model

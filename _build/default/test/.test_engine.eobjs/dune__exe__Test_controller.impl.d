@@ -1,0 +1,1 @@
+test/test_controller.ml: Alcotest Circuitstart Engine Float List Option Printf QCheck2 QCheck_alcotest Stdlib

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Buffer Engine Float Fun Int Int64 List Option Printf QCheck2 QCheck_alcotest Stdlib String

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Analysis Array Circuitstart Engine Float List Netsim Printf QCheck2 QCheck_alcotest Workload

@@ -1,0 +1,1 @@
+test/test_netsim.ml: Alcotest Engine Format List Netsim Option Printf QCheck2 QCheck_alcotest

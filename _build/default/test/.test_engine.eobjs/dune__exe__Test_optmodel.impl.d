@@ -1,0 +1,1 @@
+test/test_optmodel.ml: Alcotest Engine List Optmodel QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_tor.ml: Alcotest Array Engine Format List Netsim Option Printf QCheck2 QCheck_alcotest Stdlib Tor_model

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Circuitstart Engine Float List Optmodel Printf Tor_model Workload

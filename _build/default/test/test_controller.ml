@@ -1,0 +1,380 @@
+(* Unit and property tests for the CircuitStart controller (the paper's
+   core algorithm), driven by synthetic feedback sequences. *)
+
+module C = Circuitstart.Controller
+module P = Circuitstart.Params
+
+(* A synthetic feedback driver: deliver [n] feedbacks spaced [gap]
+   apart, each reporting [rtt], starting at [from_] (exclusive).
+   Returns the instant of the last feedback. *)
+let feed ?(window_limited = true) ctrl ~from_ ~gap ~rtt n =
+  let now = ref from_ in
+  for _ = 1 to n do
+    now := Engine.Time.add !now gap;
+    C.on_feedback ctrl ~now:!now ~rtt ~window_limited ()
+  done;
+  !now
+
+let base = Engine.Time.ms 40
+
+(* Feed whole rounds at a steady clean RTT: each round is [cwnd]
+   feedbacks spaced so that one round spans ~one RTT. *)
+let clean_round ctrl ~from_ =
+  let w = C.cwnd ctrl in
+  let gap = Engine.Time.div_int base w in
+  feed ctrl ~from_ ~gap ~rtt:base w
+
+(* ------------------------------------------------------------------ *)
+(* Construction *)
+
+let test_create_validation () =
+  Alcotest.(check bool) "bad params rejected" true
+    (try
+       ignore (C.create ~params:{ P.default with P.gamma = -1. } C.Circuit_start);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.check_raises "bad fixed window"
+    (Invalid_argument "Controller.create: Fixed window must be positive") (fun () ->
+      ignore (C.create (C.Fixed 0)))
+
+let test_initial_state () =
+  let ctrl = C.create C.Circuit_start in
+  Alcotest.(check int) "initial cwnd" 2 (C.cwnd ctrl);
+  Alcotest.(check bool) "ramp-up" true (C.phase ctrl = C.Ramp_up);
+  Alcotest.(check bool) "no base rtt" true (C.base_rtt ctrl = None);
+  Alcotest.(check int) "allowance = initial" 2 (C.send_allowance ctrl)
+
+let test_fixed_strategy () =
+  let ctrl = C.create (C.Fixed 17) in
+  Alcotest.(check int) "fixed cwnd" 17 (C.cwnd ctrl);
+  Alcotest.(check bool) "avoidance from the start" true (C.phase ctrl = C.Avoidance);
+  let _ = feed ctrl ~from_:Engine.Time.zero ~gap:(Engine.Time.ms 1) ~rtt:base 200 in
+  Alcotest.(check int) "never changes" 17 (C.cwnd ctrl)
+
+let test_rtt_validation () =
+  let ctrl = C.create C.Circuit_start in
+  Alcotest.check_raises "zero rtt"
+    (Invalid_argument "Controller.on_feedback: rtt must be positive") (fun () ->
+      C.on_feedback ctrl ~now:(Engine.Time.ms 1) ~rtt:Engine.Time.zero ())
+
+(* ------------------------------------------------------------------ *)
+(* Ramp-up: discrete doubling *)
+
+let test_doubling_rounds () =
+  let ctrl = C.create C.Circuit_start in
+  let t = clean_round ctrl ~from_:Engine.Time.zero in
+  Alcotest.(check int) "2 -> 4" 4 (C.cwnd ctrl);
+  let t = clean_round ctrl ~from_:t in
+  Alcotest.(check int) "4 -> 8" 8 (C.cwnd ctrl);
+  let _ = clean_round ctrl ~from_:t in
+  Alcotest.(check int) "8 -> 16" 16 (C.cwnd ctrl);
+  Alcotest.(check int) "three rounds" 3 (C.rounds_completed ctrl);
+  Alcotest.(check bool) "still ramping" true (C.phase ctrl = C.Ramp_up)
+
+let test_no_growth_when_not_limited () =
+  let ctrl = C.create C.Circuit_start in
+  let t = feed ~window_limited:false ctrl ~from_:Engine.Time.zero ~gap:(Engine.Time.ms 20) ~rtt:base 2 in
+  Alcotest.(check int) "no doubling without pressure" 2 (C.cwnd ctrl);
+  (* A limited round still doubles afterwards. *)
+  let _ = feed ctrl ~from_:t ~gap:(Engine.Time.ms 20) ~rtt:base 2 in
+  Alcotest.(check int) "doubles once limited" 4 (C.cwnd ctrl)
+
+let test_allowance_interpolates () =
+  let ctrl = C.create C.Circuit_start in
+  let t = clean_round ctrl ~from_:Engine.Time.zero in
+  (* cwnd just doubled to 4; allowance restarts from the old window. *)
+  Alcotest.(check int) "cwnd" 4 (C.cwnd ctrl);
+  Alcotest.(check int) "allowance = old window" 2 (C.send_allowance ctrl);
+  let t = feed ctrl ~from_:t ~gap:(Engine.Time.ms 1) ~rtt:base 1 in
+  Alcotest.(check int) "allowance grows by 2 per feedback" 4 (C.send_allowance ctrl);
+  let _ = feed ctrl ~from_:t ~gap:(Engine.Time.ms 1) ~rtt:base 1 in
+  Alcotest.(check int) "capped at cwnd" 4 (C.send_allowance ctrl)
+
+(* Drive a controller into a saturated regime: rtt inflates in
+   proportion to the window beyond [bdp] cells, and the feedback pace
+   is capped at [bdp] per base RTT. *)
+let saturated_feedback ctrl ~from_ ~bdp n =
+  let now = ref from_ in
+  for _ = 1 to n do
+    let w = C.cwnd ctrl in
+    let queue = Stdlib.max 0 (w - bdp) in
+    let rtt =
+      Engine.Time.add base (Engine.Time.mul_int (Engine.Time.div_int base bdp) queue)
+    in
+    let pace = Engine.Time.div_int base (Stdlib.min w bdp) in
+    now := Engine.Time.add !now pace;
+    C.on_feedback ctrl ~now:!now ~rtt ()
+  done;
+  !now
+
+let test_exit_and_compensation () =
+  let ctrl = C.create C.Circuit_start in
+  let bdp = 20 in
+  let _ = saturated_feedback ctrl ~from_:Engine.Time.zero ~bdp 600 in
+  Alcotest.(check bool) "left ramp-up" true (C.phase ctrl = C.Avoidance);
+  Alcotest.(check int) "exactly one exit" 1 (C.ramp_up_exits ctrl);
+  (match C.exit_cwnd ctrl with
+  | Some e ->
+      Alcotest.(check bool)
+        (Printf.sprintf "exit %d within [bdp/2, 2*bdp] of %d" e bdp)
+        true
+        (e >= bdp / 2 && e <= 2 * bdp)
+  | None -> Alcotest.fail "exit_cwnd not recorded");
+  (* After recalibration + avoidance, the window sits near the BDP. *)
+  let w = C.cwnd ctrl in
+  Alcotest.(check bool)
+    (Printf.sprintf "settled %d near bdp %d" w bdp)
+    true
+    (w >= bdp - 4 && w <= bdp + 6)
+
+let test_slow_start_baseline_halves () =
+  let ctrl = C.create C.Slow_start in
+  let bdp = 20 in
+  let _ = saturated_feedback ctrl ~from_:Engine.Time.zero ~bdp 200 in
+  Alcotest.(check bool) "left ramp-up" true (C.phase ctrl = C.Avoidance);
+  match C.exit_cwnd ctrl with
+  | Some e ->
+      (* Halving from wherever the naive per-sample test fired. *)
+      Alcotest.(check bool) (Printf.sprintf "halved exit %d below bdp+2" e) true
+        (e <= bdp + 2)
+  | None -> Alcotest.fail "exit_cwnd not recorded"
+
+let test_slow_start_grows_per_feedback () =
+  let ctrl = C.create C.Slow_start in
+  let _ = feed ctrl ~from_:Engine.Time.zero ~gap:(Engine.Time.ms 1) ~rtt:base 5 in
+  Alcotest.(check int) "2 + 5 feedbacks" 7 (C.cwnd ctrl);
+  Alcotest.(check int) "allowance equals cwnd" (C.cwnd ctrl) (C.send_allowance ctrl)
+
+let test_latest_diff_reporting () =
+  let ctrl = C.create C.Circuit_start in
+  let t = feed ctrl ~from_:Engine.Time.zero ~gap:(Engine.Time.ms 1) ~rtt:base 1 in
+  Alcotest.(check (option (float 0.01))) "diff 0 at base rtt" (Some 0.)
+    (C.latest_diff ctrl);
+  let _ =
+    feed ctrl ~from_:t ~gap:(Engine.Time.ms 1) ~rtt:(Engine.Time.scale base 2.) 1
+  in
+  (match C.latest_diff ctrl with
+  | Some d -> Alcotest.(check bool) "diff = cwnd at 2x rtt" true (Float.abs (d -. 2.) < 0.1)
+  | None -> Alcotest.fail "no diff");
+  Alcotest.(check (option Alcotest.(float 1.))) "base rtt tracked"
+    (Some (Engine.Time.to_ms_f base))
+    (Option.map Engine.Time.to_ms_f (C.base_rtt ctrl))
+
+(* ------------------------------------------------------------------ *)
+(* Avoidance *)
+
+(* Bring a controller into avoidance at a known window. *)
+let into_avoidance ?(params = P.default) () =
+  let ctrl = C.create ~params C.Circuit_start in
+  let t = saturated_feedback ctrl ~from_:Engine.Time.zero ~bdp:20 600 in
+  Alcotest.(check bool) "setup: in avoidance" true (C.phase ctrl = C.Avoidance);
+  (ctrl, t)
+
+let test_avoidance_shrinks_on_queue () =
+  let ctrl, t = into_avoidance () in
+  let w0 = C.cwnd ctrl in
+  (* Sustained rtt inflation beyond beta shrinks one cell per round. *)
+  let inflated = Engine.Time.scale base 1.8 in
+  let _ = feed ctrl ~from_:t ~gap:(Engine.Time.ms 2) ~rtt:inflated (3 * w0) in
+  Alcotest.(check bool)
+    (Printf.sprintf "shrank from %d to %d" w0 (C.cwnd ctrl))
+    true
+    (C.cwnd ctrl < w0)
+
+let test_avoidance_grows_when_calm () =
+  let ctrl, t = into_avoidance () in
+  let w0 = C.cwnd ctrl in
+  let _ = feed ctrl ~from_:t ~gap:(Engine.Time.ms 2) ~rtt:base (3 * w0) in
+  Alcotest.(check bool)
+    (Printf.sprintf "grew from %d to %d" w0 (C.cwnd ctrl))
+    true
+    (C.cwnd ctrl > w0)
+
+let test_avoidance_no_growth_unlimited () =
+  let ctrl, t = into_avoidance () in
+  (* Let any post-exit recalibration settle first, then hold. *)
+  let t = feed ctrl ~from_:t ~gap:(Engine.Time.ms 2) ~rtt:base (3 * C.cwnd ctrl) in
+  let w0 = C.cwnd ctrl in
+  let _ =
+    feed ~window_limited:false ctrl ~from_:t ~gap:(Engine.Time.ms 2) ~rtt:base (3 * w0)
+  in
+  (* One residual round may still have the limited flag from the tail
+     of the previous feed; beyond that, no growth. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "at most one residual growth (%d -> %d)" w0 (C.cwnd ctrl))
+    true
+    (C.cwnd ctrl <= w0 + 1)
+
+let test_min_cwnd_floor () =
+  let ctrl, t = into_avoidance () in
+  (* Massive sustained inflation cannot push below the floor. *)
+  let awful = Engine.Time.scale base 10. in
+  let _ = feed ctrl ~from_:t ~gap:(Engine.Time.ms 2) ~rtt:awful 2000 in
+  Alcotest.(check bool) "floor respected" true (C.cwnd ctrl >= P.default.P.min_cwnd)
+
+(* ------------------------------------------------------------------ *)
+(* Adaptive re-probe (paper future work) *)
+
+let test_adaptive_reprobes () =
+  let params = { P.default with P.adaptive = true; re_probe_after = 2 } in
+  let ctrl = C.create ~params C.Circuit_start in
+  let t = saturated_feedback ctrl ~from_:Engine.Time.zero ~bdp:20 600 in
+  (* Plenty of calm, window-limited rounds: must re-enter ramp-up at
+     least once beyond the first exit. *)
+  let _ = feed ctrl ~from_:t ~gap:(Engine.Time.ms 1) ~rtt:base 1000 in
+  Alcotest.(check bool) "re-probed" true
+    (C.phase ctrl = C.Ramp_up || C.ramp_up_exits ctrl > 1)
+
+let test_non_adaptive_stays () =
+  let ctrl, t = into_avoidance () in
+  let _ = feed ctrl ~from_:t ~gap:(Engine.Time.ms 1) ~rtt:base (20 * C.cwnd ctrl) in
+  Alcotest.(check int) "single exit, no re-probe" 1 (C.ramp_up_exits ctrl)
+
+let test_fixed_allowance_equals_cwnd () =
+  let ctrl = C.create (C.Fixed 9) in
+  Alcotest.(check int) "allowance = cwnd for Fixed" 9 (C.send_allowance ctrl)
+
+let test_gamma_boundary_not_exceeded () =
+  (* diff exactly at gamma must not trip the queue signal: the test is
+     strict inequality. *)
+  let params = { P.default with P.gamma = 1000. } in
+  let ctrl = C.create ~params C.Circuit_start in
+  let _ = saturated_feedback ctrl ~from_:Engine.Time.zero ~bdp:10 300 in
+  (* With an absurd gamma the queue path can never fire; only the rate
+     stall can end the ramp. *)
+  Alcotest.(check bool) "still sane" true (C.cwnd ctrl >= 2)
+
+(* ------------------------------------------------------------------ *)
+(* Params *)
+
+let test_params_validation () =
+  let bad f = match P.validate f with Error _ -> true | Ok _ -> false in
+  Alcotest.(check bool) "min_cwnd 0" true (bad { P.default with P.min_cwnd = 0 });
+  Alcotest.(check bool) "initial < min" true
+    (bad { P.default with P.initial_cwnd = 1; min_cwnd = 2 });
+  Alcotest.(check bool) "max < initial" true (bad { P.default with P.max_cwnd = 1 });
+  Alcotest.(check bool) "beta < alpha" true
+    (bad { P.default with P.alpha = 5.; beta = 4. });
+  Alcotest.(check bool) "gamma 0" true (bad { P.default with P.gamma = 0. });
+  Alcotest.(check bool) "default ok" true
+    (match P.validate P.default with Ok _ -> true | Error _ -> false);
+  Alcotest.(check (float 1e-9)) "with_gamma" 7.5 (P.with_gamma P.default 7.5).P.gamma
+
+(* ------------------------------------------------------------------ *)
+(* Properties *)
+
+let gen_feedback_script =
+  (* A list of (gap_us in [100, 50_000], rtt_ms in [1, 400], limited). *)
+  QCheck2.Gen.(
+    list_size (int_range 1 400)
+      (triple (int_range 100 50_000) (int_range 1 400) bool))
+
+let apply_script strategy script =
+  let ctrl = C.create strategy in
+  let now = ref Engine.Time.zero in
+  List.iter
+    (fun (gap_us, rtt_ms, window_limited) ->
+      now := Engine.Time.add !now (Engine.Time.us gap_us);
+      C.on_feedback ctrl ~now:!now ~rtt:(Engine.Time.ms rtt_ms) ~window_limited ())
+    script;
+  ctrl
+
+let prop_cwnd_bounded strategy name =
+  QCheck2.Test.make ~name gen_feedback_script (fun script ->
+      let ctrl = apply_script strategy script in
+      C.cwnd ctrl >= P.default.P.min_cwnd && C.cwnd ctrl <= P.default.P.max_cwnd)
+
+let prop_allowance_bounded =
+  QCheck2.Test.make ~name:"send allowance never exceeds cwnd" gen_feedback_script
+    (fun script ->
+      let ctrl = C.create C.Circuit_start in
+      let now = ref Engine.Time.zero in
+      List.for_all
+        (fun (gap_us, rtt_ms, window_limited) ->
+          now := Engine.Time.add !now (Engine.Time.us gap_us);
+          C.on_feedback ctrl ~now:!now ~rtt:(Engine.Time.ms rtt_ms) ~window_limited ();
+          C.send_allowance ctrl <= C.cwnd ctrl && C.send_allowance ctrl >= 1)
+        script)
+
+let prop_base_rtt_is_min =
+  QCheck2.Test.make ~name:"base rtt is the minimum sample" gen_feedback_script
+    (fun script ->
+      let ctrl = apply_script C.Circuit_start script in
+      match (C.base_rtt ctrl, script) with
+      | None, [] -> true
+      | Some b, _ :: _ ->
+          let min_rtt = List.fold_left (fun acc (_, r, _) -> Stdlib.min acc r) max_int
+              (List.map (fun (g, r, l) -> (g, r, l)) script)
+          in
+          Engine.Time.equal b (Engine.Time.ms min_rtt)
+      | _ -> false)
+
+let prop_exit_recorded_once =
+  QCheck2.Test.make ~name:"exit_cwnd is stable after the first exit" gen_feedback_script
+    (fun script ->
+      let ctrl = C.create C.Circuit_start in
+      let now = ref Engine.Time.zero in
+      let first_exit = ref None in
+      List.iter
+        (fun (gap_us, rtt_ms, window_limited) ->
+          now := Engine.Time.add !now (Engine.Time.us gap_us);
+          C.on_feedback ctrl ~now:!now ~rtt:(Engine.Time.ms rtt_ms) ~window_limited ();
+          match (!first_exit, C.exit_cwnd ctrl) with
+          | None, (Some _ as e) -> first_exit := e
+          | _ -> ())
+        script;
+      !first_exit = C.exit_cwnd ctrl)
+
+let qtests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_cwnd_bounded C.Circuit_start "circuitstart cwnd stays in [min, max]";
+      prop_cwnd_bounded C.Slow_start "slow start cwnd stays in [min, max]";
+      prop_allowance_bounded;
+      prop_base_rtt_is_min;
+      prop_exit_recorded_once;
+    ]
+
+let () =
+  Alcotest.run "controller"
+    [
+      ( "construction",
+        [
+          Alcotest.test_case "validation" `Quick test_create_validation;
+          Alcotest.test_case "initial state" `Quick test_initial_state;
+          Alcotest.test_case "fixed strategy" `Quick test_fixed_strategy;
+          Alcotest.test_case "rtt validation" `Quick test_rtt_validation;
+        ] );
+      ( "ramp_up",
+        [
+          Alcotest.test_case "doubling rounds" `Quick test_doubling_rounds;
+          Alcotest.test_case "no growth when not limited" `Quick
+            test_no_growth_when_not_limited;
+          Alcotest.test_case "allowance interpolates" `Quick test_allowance_interpolates;
+          Alcotest.test_case "exit and compensation" `Quick test_exit_and_compensation;
+          Alcotest.test_case "slow start halves" `Quick test_slow_start_baseline_halves;
+          Alcotest.test_case "slow start grows per feedback" `Quick
+            test_slow_start_grows_per_feedback;
+          Alcotest.test_case "diff reporting" `Quick test_latest_diff_reporting;
+        ] );
+      ( "avoidance",
+        [
+          Alcotest.test_case "shrinks on queue" `Quick test_avoidance_shrinks_on_queue;
+          Alcotest.test_case "grows when calm" `Quick test_avoidance_grows_when_calm;
+          Alcotest.test_case "no growth when app-limited" `Quick
+            test_avoidance_no_growth_unlimited;
+          Alcotest.test_case "min cwnd floor" `Quick test_min_cwnd_floor;
+        ] );
+      ( "adaptive",
+        [
+          Alcotest.test_case "re-probes when enabled" `Quick test_adaptive_reprobes;
+          Alcotest.test_case "stays put when disabled" `Quick test_non_adaptive_stays;
+        ] );
+      ( "edge_cases",
+        [
+          Alcotest.test_case "fixed allowance" `Quick test_fixed_allowance_equals_cwnd;
+          Alcotest.test_case "gamma boundary" `Quick test_gamma_boundary_not_exceeded;
+        ] );
+      ("params", [ Alcotest.test_case "validation" `Quick test_params_validation ]);
+      ("properties", qtests);
+    ]

@@ -1,0 +1,601 @@
+(* Unit and property tests for the discrete-event engine. *)
+
+let time = Alcotest.testable Engine.Time.pp Engine.Time.equal
+
+(* ------------------------------------------------------------------ *)
+(* Time *)
+
+let test_time_constructors () =
+  Alcotest.check time "us" (Engine.Time.ns 1_000) (Engine.Time.us 1);
+  Alcotest.check time "ms" (Engine.Time.us 1_000) (Engine.Time.ms 1);
+  Alcotest.check time "s" (Engine.Time.ms 1_000) (Engine.Time.s 1);
+  Alcotest.check time "of_sec_f" (Engine.Time.ms 1_500) (Engine.Time.of_sec_f 1.5);
+  Alcotest.check time "of_ms_f" (Engine.Time.us 250) (Engine.Time.of_ms_f 0.25)
+
+let test_time_arithmetic () =
+  let a = Engine.Time.ms 5 and b = Engine.Time.ms 3 in
+  Alcotest.check time "add" (Engine.Time.ms 8) (Engine.Time.add a b);
+  Alcotest.check time "sub" (Engine.Time.ms 2) (Engine.Time.sub a b);
+  Alcotest.check time "diff" (Engine.Time.ms 2) (Engine.Time.diff a b);
+  Alcotest.check time "mul_int" (Engine.Time.ms 15) (Engine.Time.mul_int a 3);
+  Alcotest.check time "div_int" (Engine.Time.ms 1) (Engine.Time.div_int b 3);
+  Alcotest.check time "scale" (Engine.Time.ms 10) (Engine.Time.scale a 2.);
+  Alcotest.(check (float 1e-9)) "ratio" (5. /. 3.) (Engine.Time.ratio a b);
+  Alcotest.(check bool) "negative" true
+    (Engine.Time.is_negative (Engine.Time.sub b a))
+
+let test_time_saturation () =
+  let huge = Engine.Time.max_value in
+  Alcotest.check time "add saturates" huge (Engine.Time.add huge (Engine.Time.s 1))
+
+let test_time_conversions () =
+  Alcotest.(check (float 1e-12)) "to_sec_f" 0.002 (Engine.Time.to_sec_f (Engine.Time.ms 2));
+  Alcotest.(check (float 1e-9)) "to_ms_f" 2. (Engine.Time.to_ms_f (Engine.Time.ms 2));
+  Alcotest.(check (float 1e-6)) "to_us_f" 2000. (Engine.Time.to_us_f (Engine.Time.ms 2))
+
+let test_time_pp () =
+  Alcotest.(check string) "ns" "500ns" (Engine.Time.to_string (Engine.Time.ns 500));
+  Alcotest.(check string) "us" "1.5us" (Engine.Time.to_string (Engine.Time.ns 1_500));
+  Alcotest.(check string) "ms" "2.50ms" (Engine.Time.to_string (Engine.Time.us 2_500));
+  Alcotest.(check string) "s" "3.000s" (Engine.Time.to_string (Engine.Time.s 3))
+
+let test_time_invalid () =
+  Alcotest.check_raises "non-finite" (Invalid_argument "Time: non-finite duration")
+    (fun () -> ignore (Engine.Time.of_sec_f Float.nan));
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
+      ignore (Engine.Time.div_int (Engine.Time.s 1) 0))
+
+let prop_time_order =
+  QCheck2.Test.make ~name:"time order is total and consistent with ns"
+    QCheck2.Gen.(pair (int_range (-1_000_000) 1_000_000) (int_range (-1_000_000) 1_000_000))
+    (fun (a, b) ->
+      let ta = Engine.Time.ns a and tb = Engine.Time.ns b in
+      Engine.Time.(ta < tb) = (a < b)
+      && Engine.Time.(ta <= tb) = (a <= b)
+      && Engine.Time.equal (Engine.Time.min ta tb) (Engine.Time.ns (Stdlib.min a b)))
+
+let prop_time_add_sub =
+  QCheck2.Test.make ~name:"add then sub is identity"
+    QCheck2.Gen.(pair (int_range (-1_000_000) 1_000_000) (int_range (-1_000_000) 1_000_000))
+    (fun (a, b) ->
+      let ta = Engine.Time.ns a and tb = Engine.Time.ns b in
+      Engine.Time.equal (Engine.Time.sub (Engine.Time.add ta tb) tb) ta)
+
+(* ------------------------------------------------------------------ *)
+(* Units *)
+
+let test_rate_constructors () =
+  Alcotest.(check int) "kbit" 2_000 (Engine.Units.Rate.to_bps (Engine.Units.Rate.kbit 2));
+  Alcotest.(check int) "mbit" 3_000_000
+    (Engine.Units.Rate.to_bps (Engine.Units.Rate.mbit 3));
+  Alcotest.(check int) "mbit_f" 1_500_000
+    (Engine.Units.Rate.to_bps (Engine.Units.Rate.mbit_f 1.5));
+  Alcotest.check_raises "zero rate" (Invalid_argument "Rate.bps: rate must be positive")
+    (fun () -> ignore (Engine.Units.Rate.bps 0))
+
+let test_transmission_time () =
+  Alcotest.check time "exact"
+    (Engine.Time.s 1)
+    (Engine.Units.Rate.transmission_time (Engine.Units.Rate.kbit 8) 1000);
+  Alcotest.check time "ceil"
+    (Engine.Time.of_ns64 2_666_666_667L)
+    (Engine.Units.Rate.transmission_time (Engine.Units.Rate.bps 3) 1);
+  Alcotest.check time "zero bytes" Engine.Time.zero
+    (Engine.Units.Rate.transmission_time (Engine.Units.Rate.mbit 1) 0)
+
+let test_bdp () =
+  Alcotest.(check int) "bdp" 100_000
+    (Engine.Units.Rate.bdp_bytes (Engine.Units.Rate.mbit 8) (Engine.Time.ms 100))
+
+let test_sizes () =
+  Alcotest.(check int) "kib" 2048 (Engine.Units.kib 2);
+  Alcotest.(check int) "mib" (1024 * 1024) (Engine.Units.mib 1)
+
+let prop_transmission_additive =
+  QCheck2.Test.make ~name:"transmission time roughly additive in size"
+    QCheck2.Gen.(pair (int_range 1 100_000) (int_range 1 100_000))
+    (fun (a, b) ->
+      let r = Engine.Units.Rate.mbit 10 in
+      let t_ab = Engine.Units.Rate.transmission_time r (a + b) in
+      let t_sum =
+        Engine.Time.add
+          (Engine.Units.Rate.transmission_time r a)
+          (Engine.Units.Rate.transmission_time r b)
+      in
+      Int64.abs (Int64.sub (Engine.Time.to_ns t_ab) (Engine.Time.to_ns t_sum)) <= 1L)
+
+(* ------------------------------------------------------------------ *)
+(* Rng *)
+
+let test_rng_determinism () =
+  let a = Engine.Rng.create 1 and b = Engine.Rng.create 1 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Engine.Rng.bits64 a) (Engine.Rng.bits64 b)
+  done
+
+let test_rng_split_independence () =
+  let root = Engine.Rng.create 2 in
+  let child = Engine.Rng.split root in
+  let x = Engine.Rng.bits64 child in
+  let root2 = Engine.Rng.create 2 in
+  let child2 = Engine.Rng.split root2 in
+  Alcotest.(check int64) "split reproducible" x (Engine.Rng.bits64 child2)
+
+let test_rng_copy () =
+  let a = Engine.Rng.create 3 in
+  ignore (Engine.Rng.bits64 a);
+  let b = Engine.Rng.copy a in
+  Alcotest.(check int64) "copies agree" (Engine.Rng.bits64 a) (Engine.Rng.bits64 b)
+
+let test_rng_bounds () =
+  let rng = Engine.Rng.create 4 in
+  for _ = 1 to 1000 do
+    let x = Engine.Rng.int rng 7 in
+    Alcotest.(check bool) "int in [0,7)" true (x >= 0 && x < 7);
+    let y = Engine.Rng.int_in rng (-3) 3 in
+    Alcotest.(check bool) "int_in [-3,3]" true (y >= -3 && y <= 3);
+    let f = Engine.Rng.float rng 2.5 in
+    Alcotest.(check bool) "float in [0,2.5)" true (f >= 0. && f < 2.5)
+  done
+
+let test_rng_moments () =
+  let rng = Engine.Rng.create 5 in
+  let n = 20_000 in
+  let acc = Engine.Stats.Online.create () in
+  for _ = 1 to n do
+    Engine.Stats.Online.add acc (Engine.Rng.exponential rng ~mean:2.)
+  done;
+  Alcotest.(check bool) "exponential mean ~2" true
+    (Float.abs (Engine.Stats.Online.mean acc -. 2.) < 0.1);
+  let acc = Engine.Stats.Online.create () in
+  for _ = 1 to n do
+    Engine.Stats.Online.add acc (Engine.Rng.normal rng ~mu:5. ~sigma:1.)
+  done;
+  Alcotest.(check bool) "normal mean ~5" true
+    (Float.abs (Engine.Stats.Online.mean acc -. 5.) < 0.05);
+  Alcotest.(check bool) "normal sd ~1" true
+    (Float.abs (Engine.Stats.Online.stddev acc -. 1.) < 0.05)
+
+let test_rng_lognormal_median () =
+  let rng = Engine.Rng.create 6 in
+  let n = 20_001 in
+  let xs =
+    Array.init n (fun _ -> Engine.Rng.lognormal rng ~mu:(Float.log 10.) ~sigma:0.75)
+  in
+  let med = Engine.Stats.median xs in
+  Alcotest.(check bool)
+    (Printf.sprintf "lognormal median ~10 (got %.2f)" med)
+    true
+    (med > 9. && med < 11.)
+
+let test_rng_shuffle_permutation () =
+  let rng = Engine.Rng.create 7 in
+  let arr = Array.init 50 (fun i -> i) in
+  Engine.Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort Int.compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_rng_pick_weighted () =
+  let rng = Engine.Rng.create 8 in
+  let counts = [| 0; 0 |] in
+  for _ = 1 to 10_000 do
+    let i = Engine.Rng.pick_weighted rng [| (0, 1.); (1, 9.) |] in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Alcotest.(check bool) "weighted ratio ~9x" true (counts.(1) > 7 * counts.(0));
+  Alcotest.check_raises "zero weights"
+    (Invalid_argument "Rng.pick_weighted: zero total weight") (fun () ->
+      ignore (Engine.Rng.pick_weighted rng [| ((), 0.) |]))
+
+let test_rng_sample_without_replacement () =
+  let rng = Engine.Rng.create 9 in
+  let arr = Array.init 20 (fun i -> i) in
+  let s = Engine.Rng.sample_without_replacement rng 8 arr in
+  Alcotest.(check int) "size" 8 (Array.length s);
+  let distinct = List.sort_uniq Int.compare (Array.to_list s) in
+  Alcotest.(check int) "distinct" 8 (List.length distinct)
+
+let prop_rng_int_unbiased =
+  QCheck2.Test.make ~name:"Rng.int covers the whole range"
+    QCheck2.Gen.(int_range 2 20)
+    (fun bound ->
+      let rng = Engine.Rng.create bound in
+      let seen = Array.make bound false in
+      for _ = 1 to bound * 200 do
+        seen.(Engine.Rng.int rng bound) <- true
+      done;
+      Array.for_all Fun.id seen)
+
+(* ------------------------------------------------------------------ *)
+(* Event queue *)
+
+let test_queue_ordering () =
+  let q = Engine.Event_queue.create () in
+  ignore (Engine.Event_queue.add q ~time:(Engine.Time.ms 3) "c");
+  ignore (Engine.Event_queue.add q ~time:(Engine.Time.ms 1) "a");
+  ignore (Engine.Event_queue.add q ~time:(Engine.Time.ms 2) "b");
+  let order = List.init 3 (fun _ -> snd (Option.get (Engine.Event_queue.pop q))) in
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ] order
+
+let test_queue_stability () =
+  let q = Engine.Event_queue.create () in
+  for i = 0 to 9 do
+    ignore (Engine.Event_queue.add q ~time:(Engine.Time.ms 1) i)
+  done;
+  let order = List.init 10 (fun _ -> snd (Option.get (Engine.Event_queue.pop q))) in
+  Alcotest.(check (list int)) "fifo at equal times" [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ] order
+
+let test_queue_cancel () =
+  let q = Engine.Event_queue.create () in
+  let h1 = Engine.Event_queue.add q ~time:(Engine.Time.ms 1) "a" in
+  ignore (Engine.Event_queue.add q ~time:(Engine.Time.ms 2) "b");
+  Engine.Event_queue.cancel q h1;
+  Alcotest.(check int) "size after cancel" 1 (Engine.Event_queue.size q);
+  Alcotest.(check bool) "is_cancelled" true (Engine.Event_queue.is_cancelled q h1);
+  Alcotest.(check (option string))
+    "pop skips cancelled" (Some "b")
+    (Option.map snd (Engine.Event_queue.pop q));
+  Engine.Event_queue.cancel q h1;
+  Alcotest.(check int) "size stable" 0 (Engine.Event_queue.size q)
+
+let test_queue_cancel_after_fire () =
+  let q = Engine.Event_queue.create () in
+  let h = Engine.Event_queue.add q ~time:Engine.Time.zero "x" in
+  ignore (Engine.Event_queue.pop q);
+  Engine.Event_queue.cancel q h;
+  Alcotest.(check int) "size not negative" 0 (Engine.Event_queue.size q);
+  Alcotest.(check bool) "fired is not cancelled" false
+    (Engine.Event_queue.is_cancelled q h)
+
+let test_queue_peek_clear () =
+  let q = Engine.Event_queue.create () in
+  ignore (Engine.Event_queue.add q ~time:(Engine.Time.ms 5) ());
+  Alcotest.(check (option time)) "peek" (Some (Engine.Time.ms 5))
+    (Engine.Event_queue.peek_time q);
+  Engine.Event_queue.clear q;
+  Alcotest.(check bool) "empty" true (Engine.Event_queue.is_empty q)
+
+let prop_queue_sorted_drain =
+  QCheck2.Test.make ~name:"event queue drains in nondecreasing time order"
+    QCheck2.Gen.(list_size (int_range 1 200) (int_range 0 1_000))
+    (fun times ->
+      let q = Engine.Event_queue.create () in
+      List.iter
+        (fun ms -> ignore (Engine.Event_queue.add q ~time:(Engine.Time.ms ms) ms))
+        times;
+      let rec drain acc =
+        match Engine.Event_queue.pop q with
+        | None -> List.rev acc
+        | Some (t, _) -> drain (t :: acc)
+      in
+      let drained = drain [] in
+      let rec nondecreasing = function
+        | a :: (b :: _ as rest) -> Engine.Time.(a <= b) && nondecreasing rest
+        | _ -> true
+      in
+      List.length drained = List.length times && nondecreasing drained)
+
+(* ------------------------------------------------------------------ *)
+(* Sim *)
+
+let test_sim_runs_in_order () =
+  let sim = Engine.Sim.create () in
+  let log = ref [] in
+  ignore (Engine.Sim.schedule_at sim (Engine.Time.ms 2) (fun () -> log := 2 :: !log));
+  ignore (Engine.Sim.schedule_at sim (Engine.Time.ms 1) (fun () -> log := 1 :: !log));
+  Engine.Sim.run sim;
+  Alcotest.(check (list int)) "order" [ 1; 2 ] (List.rev !log);
+  Alcotest.check time "clock at last event" (Engine.Time.ms 2) (Engine.Sim.now sim);
+  Alcotest.(check int) "events executed" 2 (Engine.Sim.events_executed sim)
+
+let test_sim_schedule_past_rejected () =
+  let sim = Engine.Sim.create () in
+  let raised = ref false in
+  ignore
+    (Engine.Sim.schedule_at sim (Engine.Time.ms 5) (fun () ->
+         try ignore (Engine.Sim.schedule_at sim (Engine.Time.ms 1) (fun () -> ()))
+         with Invalid_argument _ -> raised := true));
+  Engine.Sim.run sim;
+  Alcotest.(check bool) "past rejected" true !raised
+
+let test_sim_until () =
+  let sim = Engine.Sim.create () in
+  let ran = ref 0 in
+  ignore (Engine.Sim.schedule_at sim (Engine.Time.ms 1) (fun () -> incr ran));
+  ignore (Engine.Sim.schedule_at sim (Engine.Time.ms 10) (fun () -> incr ran));
+  Engine.Sim.run sim ~until:(Engine.Time.ms 5);
+  Alcotest.(check int) "one ran" 1 !ran;
+  Alcotest.check time "clock at horizon" (Engine.Time.ms 5) (Engine.Sim.now sim);
+  Alcotest.(check int) "pending" 1 (Engine.Sim.pending_events sim)
+
+let test_sim_until_inclusive () =
+  let sim = Engine.Sim.create () in
+  let ran = ref false in
+  ignore (Engine.Sim.schedule_at sim (Engine.Time.ms 5) (fun () -> ran := true));
+  Engine.Sim.run sim ~until:(Engine.Time.ms 5);
+  Alcotest.(check bool) "event at horizon runs" true !ran
+
+let test_sim_stop () =
+  let sim = Engine.Sim.create () in
+  let ran = ref 0 in
+  ignore
+    (Engine.Sim.schedule_at sim (Engine.Time.ms 1) (fun () ->
+         incr ran;
+         Engine.Sim.stop sim));
+  ignore (Engine.Sim.schedule_at sim (Engine.Time.ms 2) (fun () -> incr ran));
+  Engine.Sim.run sim;
+  Alcotest.(check int) "stopped after first" 1 !ran
+
+let test_sim_cancel () =
+  let sim = Engine.Sim.create () in
+  let ran = ref false in
+  let h = Engine.Sim.schedule_at sim (Engine.Time.ms 1) (fun () -> ran := true) in
+  Engine.Sim.cancel sim h;
+  Engine.Sim.run sim;
+  Alcotest.(check bool) "cancelled never runs" false !ran
+
+let test_sim_schedule_now_ordering () =
+  let sim = Engine.Sim.create () in
+  let log = ref [] in
+  ignore
+    (Engine.Sim.schedule_at sim (Engine.Time.ms 1) (fun () ->
+         log := "first" :: !log;
+         ignore (Engine.Sim.schedule_now sim (fun () -> log := "now" :: !log))));
+  ignore (Engine.Sim.schedule_at sim (Engine.Time.ms 1) (fun () -> log := "second" :: !log));
+  Engine.Sim.run sim;
+  Alcotest.(check (list string)) "now runs after same-instant peers"
+    [ "first"; "second"; "now" ] (List.rev !log)
+
+let test_sim_every () =
+  let sim = Engine.Sim.create () in
+  let count = ref 0 in
+  Engine.Sim.every sim (Engine.Time.ms 10) (fun () -> incr count)
+    ~stop:(fun () -> !count >= 3);
+  Engine.Sim.run sim ~until:(Engine.Time.s 1);
+  Alcotest.(check int) "fired until stop" 3 !count
+
+let test_sim_max_events () =
+  let sim = Engine.Sim.create () in
+  let count = ref 0 in
+  Engine.Sim.every sim (Engine.Time.ms 1) (fun () -> incr count) ~stop:(fun () -> false);
+  Engine.Sim.run ~max_events:5 sim;
+  Alcotest.(check bool) "bounded" true (!count <= 5)
+
+(* ------------------------------------------------------------------ *)
+(* Stats *)
+
+let test_online_known () =
+  let acc = Engine.Stats.Online.create () in
+  List.iter (Engine.Stats.Online.add acc) [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ];
+  Alcotest.(check int) "count" 8 (Engine.Stats.Online.count acc);
+  Alcotest.(check (float 1e-9)) "mean" 5. (Engine.Stats.Online.mean acc);
+  Alcotest.(check (float 1e-9)) "variance" (32. /. 7.) (Engine.Stats.Online.variance acc);
+  Alcotest.(check (float 1e-9)) "min" 2. (Engine.Stats.Online.min acc);
+  Alcotest.(check (float 1e-9)) "max" 9. (Engine.Stats.Online.max acc);
+  Alcotest.(check (float 1e-9)) "sum" 40. (Engine.Stats.Online.sum acc)
+
+let test_online_merge () =
+  let a = Engine.Stats.Online.create () and b = Engine.Stats.Online.create () in
+  let all = Engine.Stats.Online.create () in
+  List.iter
+    (fun x ->
+      Engine.Stats.Online.add all x;
+      if x < 5. then Engine.Stats.Online.add a x else Engine.Stats.Online.add b x)
+    [ 1.; 2.; 3.; 6.; 7.; 8.; 9. ];
+  let merged = Engine.Stats.Online.merge a b in
+  Alcotest.(check (float 1e-9)) "merged mean" (Engine.Stats.Online.mean all)
+    (Engine.Stats.Online.mean merged);
+  Alcotest.(check (float 1e-9)) "merged var" (Engine.Stats.Online.variance all)
+    (Engine.Stats.Online.variance merged)
+
+let test_percentiles () =
+  let xs = [| 15.; 20.; 35.; 40.; 50. |] in
+  Alcotest.(check (float 1e-9)) "median" 35. (Engine.Stats.median xs);
+  Alcotest.(check (float 1e-9)) "p0" 15. (Engine.Stats.percentile xs 0.);
+  Alcotest.(check (float 1e-9)) "p100" 50. (Engine.Stats.percentile xs 100.);
+  Alcotest.(check (float 1e-9)) "p25 interpolates" 20. (Engine.Stats.percentile xs 25.)
+
+let test_cdf_points () =
+  let pts = Engine.Stats.cdf_points [| 3.; 1.; 3.; 2. |] in
+  Alcotest.(check (list (pair (float 1e-9) (float 1e-9))))
+    "steps"
+    [ (1., 0.25); (2., 0.5); (3., 1.) ]
+    pts
+
+let test_histogram () =
+  let h = Engine.Stats.Histogram.create ~bin_width:1. in
+  List.iter (Engine.Stats.Histogram.add h) [ 0.1; 0.9; 1.5; 2.1; 2.2; 2.9 ];
+  Alcotest.(check int) "count" 6 (Engine.Stats.Histogram.count h);
+  Alcotest.(check (list (pair (float 1e-9) int)))
+    "bins"
+    [ (0., 2); (1., 1); (2., 3) ]
+    (Engine.Stats.Histogram.bins h);
+  Alcotest.(check (option (pair (float 1e-9) int)))
+    "mode" (Some (2., 3))
+    (Engine.Stats.Histogram.mode_bin h)
+
+let prop_online_matches_direct =
+  QCheck2.Test.make ~name:"Welford matches direct mean"
+    QCheck2.Gen.(list_size (int_range 1 100) (float_range (-1000.) 1000.))
+    (fun xs ->
+      let acc = Engine.Stats.Online.create () in
+      List.iter (Engine.Stats.Online.add acc) xs;
+      let direct = List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs) in
+      Float.abs (Engine.Stats.Online.mean acc -. direct) < 1e-6)
+
+let prop_cdf_monotone =
+  QCheck2.Test.make ~name:"cdf points are monotone and end at 1"
+    QCheck2.Gen.(list_size (int_range 1 100) (float_range 0. 100.))
+    (fun xs ->
+      let pts = Engine.Stats.cdf_points (Array.of_list xs) in
+      let fracs = List.map snd pts in
+      let rec monotone = function
+        | a :: (b :: _ as rest) -> a <= b && monotone rest
+        | _ -> true
+      in
+      monotone fracs && Float.equal (List.nth fracs (List.length fracs - 1)) 1.)
+
+(* ------------------------------------------------------------------ *)
+(* Timeseries / Trace *)
+
+let test_timeseries_basic () =
+  let ts = Engine.Timeseries.create ~name:"t" () in
+  Engine.Timeseries.record ts (Engine.Time.ms 1) 1.;
+  Engine.Timeseries.record ts (Engine.Time.ms 3) 3.;
+  Alcotest.(check int) "length" 2 (Engine.Timeseries.length ts);
+  Alcotest.(check (option (float 1e-9))) "value_at before" None
+    (Engine.Timeseries.value_at ts Engine.Time.zero);
+  Alcotest.(check (option (float 1e-9))) "value_at step" (Some 1.)
+    (Engine.Timeseries.value_at ts (Engine.Time.ms 2));
+  Alcotest.(check (option (float 1e-9))) "value_at exact" (Some 3.)
+    (Engine.Timeseries.value_at ts (Engine.Time.ms 3));
+  Alcotest.(check (option (float 1e-9))) "max" (Some 3.)
+    (Engine.Timeseries.max_value ts);
+  Alcotest.(check (option time)) "time of max" (Some (Engine.Time.ms 3))
+    (Engine.Timeseries.time_of_max ts)
+
+let test_timeseries_backwards_rejected () =
+  let ts = Engine.Timeseries.create () in
+  Engine.Timeseries.record ts (Engine.Time.ms 2) 1.;
+  Alcotest.check_raises "backwards"
+    (Invalid_argument "Timeseries.record: time went backwards") (fun () ->
+      Engine.Timeseries.record ts (Engine.Time.ms 1) 2.)
+
+let test_timeseries_resample () =
+  let ts = Engine.Timeseries.create () in
+  Engine.Timeseries.record ts (Engine.Time.ms 5) 10.;
+  Engine.Timeseries.record ts (Engine.Time.ms 15) 20.;
+  let samples =
+    Engine.Timeseries.resample ts ~step:(Engine.Time.ms 10) ~stop:(Engine.Time.ms 20)
+  in
+  Alcotest.(check int) "sample count" 3 (Array.length samples);
+  Alcotest.(check (float 1e-9)) "before first repeats first" 10. (snd samples.(0));
+  Alcotest.(check (float 1e-9)) "mid" 10. (snd samples.(1));
+  Alcotest.(check (float 1e-9)) "after second" 20. (snd samples.(2))
+
+let test_rng_pareto_scale () =
+  let rng = Engine.Rng.create 10 in
+  (* Pareto samples are never below the scale parameter. *)
+  for _ = 1 to 1000 do
+    Alcotest.(check bool) "above scale" true
+      (Engine.Rng.pareto rng ~shape:2. ~scale:3. >= 3.)
+  done
+
+let test_every_invalid_period () =
+  let sim = Engine.Sim.create () in
+  Alcotest.check_raises "zero period" (Invalid_argument "Sim.every: period must be positive")
+    (fun () -> Engine.Sim.every sim Engine.Time.zero (fun () -> ()) ~stop:(fun () -> true))
+
+let test_histogram_negative_bins () =
+  let h = Engine.Stats.Histogram.create ~bin_width:1. in
+  Engine.Stats.Histogram.add h (-0.5);
+  Engine.Stats.Histogram.add h 0.5;
+  Alcotest.(check (list (pair (float 1e-9) int)))
+    "negative bin kept separate"
+    [ (-1., 1); (0., 1) ]
+    (Engine.Stats.Histogram.bins h)
+
+let test_negative_time_pp () =
+  Alcotest.(check string) "sign rendered" "-2.50ms"
+    (Engine.Time.to_string (Engine.Time.sub Engine.Time.zero (Engine.Time.us 2_500)))
+
+let test_trace_registry () =
+  let tr = Engine.Trace.create () in
+  Engine.Trace.record tr "a/x" (Engine.Time.ms 1) 1.;
+  Engine.Trace.record tr "b/y" (Engine.Time.ms 2) 2.;
+  Engine.Trace.record tr "a/x" (Engine.Time.ms 3) 3.;
+  Alcotest.(check (list string)) "keys sorted" [ "a/x"; "b/y" ] (Engine.Trace.keys tr);
+  Alcotest.(check int) "series length" 2
+    (Engine.Timeseries.length (Engine.Trace.series tr "a/x"));
+  Alcotest.(check bool) "find missing" true (Engine.Trace.find tr "zzz" = None);
+  let buf = Buffer.create 64 in
+  Engine.Trace.to_csv tr buf;
+  let csv = Buffer.contents buf in
+  Alcotest.(check bool) "csv header" true
+    (String.length csv > 0 && String.sub csv 0 19 = "series,time_s,value")
+
+(* ------------------------------------------------------------------ *)
+
+let qtests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_time_order; prop_time_add_sub; prop_transmission_additive;
+      prop_rng_int_unbiased; prop_queue_sorted_drain; prop_online_matches_direct;
+      prop_cdf_monotone ]
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "time",
+        [
+          Alcotest.test_case "constructors" `Quick test_time_constructors;
+          Alcotest.test_case "arithmetic" `Quick test_time_arithmetic;
+          Alcotest.test_case "saturation" `Quick test_time_saturation;
+          Alcotest.test_case "conversions" `Quick test_time_conversions;
+          Alcotest.test_case "pretty printing" `Quick test_time_pp;
+          Alcotest.test_case "negative pretty printing" `Quick test_negative_time_pp;
+          Alcotest.test_case "invalid inputs" `Quick test_time_invalid;
+        ] );
+      ( "units",
+        [
+          Alcotest.test_case "rate constructors" `Quick test_rate_constructors;
+          Alcotest.test_case "transmission time" `Quick test_transmission_time;
+          Alcotest.test_case "bdp" `Quick test_bdp;
+          Alcotest.test_case "sizes" `Quick test_sizes;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independence;
+          Alcotest.test_case "copy" `Quick test_rng_copy;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "moments" `Slow test_rng_moments;
+          Alcotest.test_case "lognormal median" `Slow test_rng_lognormal_median;
+          Alcotest.test_case "shuffle permutation" `Quick test_rng_shuffle_permutation;
+          Alcotest.test_case "weighted pick" `Slow test_rng_pick_weighted;
+          Alcotest.test_case "sample without replacement" `Quick
+            test_rng_sample_without_replacement;
+          Alcotest.test_case "pareto scale bound" `Quick test_rng_pareto_scale;
+        ] );
+      ( "event_queue",
+        [
+          Alcotest.test_case "ordering" `Quick test_queue_ordering;
+          Alcotest.test_case "stability" `Quick test_queue_stability;
+          Alcotest.test_case "cancel" `Quick test_queue_cancel;
+          Alcotest.test_case "cancel after fire" `Quick test_queue_cancel_after_fire;
+          Alcotest.test_case "peek and clear" `Quick test_queue_peek_clear;
+        ] );
+      ( "sim",
+        [
+          Alcotest.test_case "runs in order" `Quick test_sim_runs_in_order;
+          Alcotest.test_case "rejects past" `Quick test_sim_schedule_past_rejected;
+          Alcotest.test_case "until" `Quick test_sim_until;
+          Alcotest.test_case "until inclusive" `Quick test_sim_until_inclusive;
+          Alcotest.test_case "stop" `Quick test_sim_stop;
+          Alcotest.test_case "cancel" `Quick test_sim_cancel;
+          Alcotest.test_case "schedule_now ordering" `Quick
+            test_sim_schedule_now_ordering;
+          Alcotest.test_case "every" `Quick test_sim_every;
+          Alcotest.test_case "every invalid period" `Quick test_every_invalid_period;
+          Alcotest.test_case "max events" `Quick test_sim_max_events;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "online known values" `Quick test_online_known;
+          Alcotest.test_case "online merge" `Quick test_online_merge;
+          Alcotest.test_case "percentiles" `Quick test_percentiles;
+          Alcotest.test_case "cdf points" `Quick test_cdf_points;
+          Alcotest.test_case "histogram" `Quick test_histogram;
+          Alcotest.test_case "histogram negative bins" `Quick
+            test_histogram_negative_bins;
+        ] );
+      ( "timeseries",
+        [
+          Alcotest.test_case "basic" `Quick test_timeseries_basic;
+          Alcotest.test_case "rejects backwards" `Quick
+            test_timeseries_backwards_rejected;
+          Alcotest.test_case "resample" `Quick test_timeseries_resample;
+          Alcotest.test_case "trace registry" `Quick test_trace_registry;
+        ] );
+      ("properties", qtests);
+    ]

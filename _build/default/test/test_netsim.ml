@@ -1,0 +1,545 @@
+(* Unit and property tests for the network substrate. *)
+
+let time = Alcotest.testable Engine.Time.pp Engine.Time.equal
+
+let mk_packet ids ~src ~dst ~size =
+  Netsim.Packet.make ids ~src:(Netsim.Node_id.of_int src)
+    ~dst:(Netsim.Node_id.of_int dst) ~size ~now:Engine.Time.zero
+    (Netsim.Payload.Raw "x")
+
+(* ------------------------------------------------------------------ *)
+(* Node ids and packets *)
+
+let test_node_id () =
+  let a = Netsim.Node_id.of_int 3 in
+  Alcotest.(check int) "roundtrip" 3 (Netsim.Node_id.to_int a);
+  Alcotest.(check bool) "equal" true (Netsim.Node_id.equal a (Netsim.Node_id.of_int 3));
+  Alcotest.check_raises "negative" (Invalid_argument "Node_id.of_int: negative id")
+    (fun () -> ignore (Netsim.Node_id.of_int (-1)))
+
+let test_packet_ids_dense () =
+  let ids = Netsim.Packet.fresh_id_state () in
+  let p1 = mk_packet ids ~src:0 ~dst:1 ~size:10 in
+  let p2 = mk_packet ids ~src:0 ~dst:1 ~size:10 in
+  Alcotest.(check int) "first id" 0 p1.Netsim.Packet.id;
+  Alcotest.(check int) "second id" 1 p2.Netsim.Packet.id;
+  Alcotest.check_raises "size" (Invalid_argument "Packet.make: size must be positive")
+    (fun () -> ignore (mk_packet ids ~src:0 ~dst:1 ~size:0))
+
+let test_payload_printer () =
+  Alcotest.(check string) "raw" "raw[2]"
+    (Format.asprintf "%a" Netsim.Payload.pp (Netsim.Payload.Raw "ab"))
+
+(* ------------------------------------------------------------------ *)
+(* Nqueue *)
+
+let test_nqueue_fifo () =
+  let ids = Netsim.Packet.fresh_id_state () in
+  let q = Netsim.Nqueue.create Netsim.Nqueue.unbounded in
+  let ps = List.init 5 (fun _ -> mk_packet ids ~src:0 ~dst:1 ~size:10) in
+  List.iter (fun p -> ignore (Netsim.Nqueue.enqueue q p)) ps;
+  let out = List.init 5 (fun _ -> (Option.get (Netsim.Nqueue.dequeue q)).Netsim.Packet.id) in
+  Alcotest.(check (list int)) "fifo order" [ 0; 1; 2; 3; 4 ] out;
+  Alcotest.(check bool) "empty after drain" true (Netsim.Nqueue.is_empty q)
+
+let test_nqueue_packet_capacity () =
+  let ids = Netsim.Packet.fresh_id_state () in
+  let q = Netsim.Nqueue.create (Netsim.Nqueue.packets 2) in
+  Alcotest.(check bool) "1 fits" true (Netsim.Nqueue.enqueue q (mk_packet ids ~src:0 ~dst:1 ~size:10));
+  Alcotest.(check bool) "2 fits" true (Netsim.Nqueue.enqueue q (mk_packet ids ~src:0 ~dst:1 ~size:10));
+  Alcotest.(check bool) "3 dropped" false (Netsim.Nqueue.enqueue q (mk_packet ids ~src:0 ~dst:1 ~size:10));
+  Alcotest.(check int) "drops" 1 (Netsim.Nqueue.drops q);
+  Alcotest.(check int) "dropped bytes" 10 (Netsim.Nqueue.dropped_bytes q);
+  ignore (Netsim.Nqueue.dequeue q);
+  Alcotest.(check bool) "fits after dequeue" true
+    (Netsim.Nqueue.enqueue q (mk_packet ids ~src:0 ~dst:1 ~size:10))
+
+let test_nqueue_byte_capacity () =
+  let ids = Netsim.Packet.fresh_id_state () in
+  let q = Netsim.Nqueue.create (Netsim.Nqueue.bytes 25) in
+  Alcotest.(check bool) "10B fits" true (Netsim.Nqueue.enqueue q (mk_packet ids ~src:0 ~dst:1 ~size:10));
+  Alcotest.(check bool) "10B fits" true (Netsim.Nqueue.enqueue q (mk_packet ids ~src:0 ~dst:1 ~size:10));
+  Alcotest.(check bool) "10B dropped (would exceed)" false
+    (Netsim.Nqueue.enqueue q (mk_packet ids ~src:0 ~dst:1 ~size:10));
+  Alcotest.(check bool) "5B fits exactly" true
+    (Netsim.Nqueue.enqueue q (mk_packet ids ~src:0 ~dst:1 ~size:5));
+  Alcotest.(check int) "byte length" 25 (Netsim.Nqueue.byte_length q);
+  Alcotest.(check int) "hwm" 25 (Netsim.Nqueue.high_watermark_bytes q)
+
+let prop_nqueue_conservation =
+  QCheck2.Test.make ~name:"queue conserves packets (enqueued = dequeued + remaining + drops)"
+    QCheck2.Gen.(list_size (int_range 1 100) (int_range 1 100))
+    (fun sizes ->
+      let ids = Netsim.Packet.fresh_id_state () in
+      let q = Netsim.Nqueue.create (Netsim.Nqueue.packets 10) in
+      let accepted = ref 0 in
+      List.iter
+        (fun size ->
+          if Netsim.Nqueue.enqueue q (mk_packet ids ~src:0 ~dst:1 ~size) then incr accepted)
+        sizes;
+      let drained = ref 0 in
+      let rec drain () =
+        match Netsim.Nqueue.dequeue q with
+        | Some _ -> incr drained; drain ()
+        | None -> ()
+      in
+      drain ();
+      !accepted = !drained
+      && !accepted + Netsim.Nqueue.drops q = List.length sizes
+      && Netsim.Nqueue.enqueued_total q = !accepted)
+
+(* ------------------------------------------------------------------ *)
+(* Link *)
+
+let mk_link ?queue ?(rate = Engine.Units.Rate.mbit 8) ?(delay = Engine.Time.ms 10) sim =
+  Netsim.Link.create sim ~src:(Netsim.Node_id.of_int 0) ~dst:(Netsim.Node_id.of_int 1)
+    ~rate ~delay ?queue ()
+
+let test_link_delivery_latency () =
+  let sim = Engine.Sim.create () in
+  let link = mk_link sim in
+  let ids = Netsim.Packet.fresh_id_state () in
+  let arrived = ref None in
+  Netsim.Link.set_receiver link (fun _ -> arrived := Some (Engine.Sim.now sim));
+  (* 1000 bytes at 8 Mbit/s = 1 ms serialization + 10 ms propagation. *)
+  Netsim.Link.send link (mk_packet ids ~src:0 ~dst:1 ~size:1000);
+  Engine.Sim.run sim;
+  Alcotest.(check (option time)) "latency = tx + prop" (Some (Engine.Time.ms 11)) !arrived;
+  Alcotest.(check int) "delivered" 1 (Netsim.Link.packets_delivered link);
+  Alcotest.(check int) "bytes" 1000 (Netsim.Link.bytes_delivered link)
+
+let test_link_serialization_spacing () =
+  let sim = Engine.Sim.create () in
+  let link = mk_link sim in
+  let ids = Netsim.Packet.fresh_id_state () in
+  let arrivals = ref [] in
+  Netsim.Link.set_receiver link (fun p ->
+      arrivals := (p.Netsim.Packet.id, Engine.Sim.now sim) :: !arrivals);
+  Netsim.Link.send link (mk_packet ids ~src:0 ~dst:1 ~size:1000);
+  Netsim.Link.send link (mk_packet ids ~src:0 ~dst:1 ~size:1000);
+  Engine.Sim.run sim;
+  match List.rev !arrivals with
+  | [ (0, t0); (1, t1) ] ->
+      Alcotest.check time "first at 11ms" (Engine.Time.ms 11) t0;
+      Alcotest.check time "second one serialization later" (Engine.Time.ms 12) t1
+  | _ -> Alcotest.fail "expected two arrivals in order"
+
+let test_link_busy_and_queue () =
+  let sim = Engine.Sim.create () in
+  let link = mk_link sim in
+  let ids = Netsim.Packet.fresh_id_state () in
+  Netsim.Link.set_receiver link (fun _ -> ());
+  Netsim.Link.send link (mk_packet ids ~src:0 ~dst:1 ~size:1000);
+  Netsim.Link.send link (mk_packet ids ~src:0 ~dst:1 ~size:1000);
+  Alcotest.(check bool) "busy" true (Netsim.Link.busy link);
+  Alcotest.(check int) "queued" 1 (Netsim.Link.queue_length link);
+  Engine.Sim.run sim;
+  Alcotest.(check bool) "idle after" false (Netsim.Link.busy link);
+  Alcotest.(check int) "queue empty" 0 (Netsim.Link.queue_length link)
+
+let test_link_drop () =
+  let sim = Engine.Sim.create () in
+  let link = mk_link ~queue:(Netsim.Nqueue.packets 1) sim in
+  let ids = Netsim.Packet.fresh_id_state () in
+  let delivered = ref 0 in
+  Netsim.Link.set_receiver link (fun _ -> incr delivered);
+  for _ = 1 to 4 do
+    Netsim.Link.send link (mk_packet ids ~src:0 ~dst:1 ~size:1000)
+  done;
+  Engine.Sim.run sim;
+  (* One on the wire + one queued; two dropped. *)
+  Alcotest.(check int) "delivered" 2 !delivered;
+  Alcotest.(check int) "drops" 2 (Netsim.Link.queue_drops link)
+
+let test_link_blackhole () =
+  let sim = Engine.Sim.create () in
+  let link = mk_link sim in
+  let ids = Netsim.Packet.fresh_id_state () in
+  Netsim.Link.send link (mk_packet ids ~src:0 ~dst:1 ~size:100);
+  Engine.Sim.run sim;
+  Alcotest.(check int) "blackholed" 1 (Netsim.Link.packets_blackholed link)
+
+let test_link_on_transmit () =
+  let sim = Engine.Sim.create () in
+  let link = mk_link sim in
+  let ids = Netsim.Packet.fresh_id_state () in
+  Netsim.Link.set_receiver link (fun _ -> ());
+  let tx_times = ref [] in
+  let send () =
+    Netsim.Link.send link
+      ~on_transmit:(fun () -> tx_times := Engine.Sim.now sim :: !tx_times)
+      (mk_packet ids ~src:0 ~dst:1 ~size:1000)
+  in
+  send ();
+  send ();
+  Engine.Sim.run sim;
+  (* First serializes immediately; second when the first's tx ends (1 ms). *)
+  Alcotest.(check (list time)) "transmit instants"
+    [ Engine.Time.zero; Engine.Time.ms 1 ]
+    (List.rev !tx_times)
+
+let test_link_on_transmit_not_fired_on_drop () =
+  let sim = Engine.Sim.create () in
+  let link = mk_link ~queue:(Netsim.Nqueue.packets 1) sim in
+  let ids = Netsim.Packet.fresh_id_state () in
+  Netsim.Link.set_receiver link (fun _ -> ());
+  let fired = ref 0 in
+  for _ = 1 to 4 do
+    Netsim.Link.send link ~on_transmit:(fun () -> incr fired)
+      (mk_packet ids ~src:0 ~dst:1 ~size:1000)
+  done;
+  Engine.Sim.run sim;
+  Alcotest.(check int) "fires only for transmitted" 2 !fired
+
+let test_link_set_rate () =
+  let sim = Engine.Sim.create () in
+  let link = mk_link sim in
+  let ids = Netsim.Packet.fresh_id_state () in
+  let arrivals = ref [] in
+  Netsim.Link.set_receiver link (fun _ -> arrivals := Engine.Sim.now sim :: !arrivals);
+  Netsim.Link.send link (mk_packet ids ~src:0 ~dst:1 ~size:1000);
+  Engine.Sim.run sim;
+  Netsim.Link.set_rate link (Engine.Units.Rate.mbit 16);
+  Netsim.Link.send link (mk_packet ids ~src:0 ~dst:1 ~size:1000);
+  Engine.Sim.run sim;
+  match List.rev !arrivals with
+  | [ t0; t1 ] ->
+      Alcotest.check time "old rate" (Engine.Time.ms 11) t0;
+      (* Second sent at 11 ms: 0.5 ms serialization at the doubled rate. *)
+      Alcotest.check time "new rate" (Engine.Time.of_ms_f 21.5) t1
+  | _ -> Alcotest.fail "expected two arrivals"
+
+let test_link_utilization () =
+  let sim = Engine.Sim.create () in
+  let link = mk_link sim in
+  let ids = Netsim.Packet.fresh_id_state () in
+  Netsim.Link.set_receiver link (fun _ -> ());
+  Netsim.Link.send link (mk_packet ids ~src:0 ~dst:1 ~size:1000);
+  Engine.Sim.run sim;
+  (* 1 ms busy out of 10 ms horizon. *)
+  Alcotest.(check (float 1e-9)) "10%" 0.1
+    (Netsim.Link.utilization link (Engine.Time.ms 10))
+
+(* ------------------------------------------------------------------ *)
+(* Topology *)
+
+let test_topology_build () =
+  let sim = Engine.Sim.create () in
+  let topo = Netsim.Topology.create sim in
+  let a = Netsim.Topology.add_node topo ~name:"a" in
+  let b = Netsim.Topology.add_node topo ~name:"b" in
+  Netsim.Topology.connect topo a b ~rate:(Engine.Units.Rate.mbit 1)
+    ~delay:(Engine.Time.ms 1) ();
+  Alcotest.(check int) "node count" 2 (Netsim.Topology.node_count topo);
+  Alcotest.(check string) "name" "a" (Netsim.Topology.name topo a);
+  Alcotest.(check bool) "a->b link" true (Netsim.Topology.link topo a b <> None);
+  Alcotest.(check bool) "b->a link" true (Netsim.Topology.link topo b a <> None);
+  Alcotest.(check (list int)) "neighbors" [ Netsim.Node_id.to_int b ]
+    (List.map Netsim.Node_id.to_int (Netsim.Topology.neighbors topo a));
+  Alcotest.(check int) "links" 2 (List.length (Netsim.Topology.links topo))
+
+let test_topology_errors () =
+  let sim = Engine.Sim.create () in
+  let topo = Netsim.Topology.create sim in
+  let a = Netsim.Topology.add_node topo ~name:"a" in
+  let b = Netsim.Topology.add_node topo ~name:"b" in
+  Alcotest.check_raises "self loop" (Invalid_argument "Topology.connect: self-loop")
+    (fun () ->
+      Netsim.Topology.connect topo a a ~rate:(Engine.Units.Rate.mbit 1)
+        ~delay:Engine.Time.zero ());
+  Netsim.Topology.connect topo a b ~rate:(Engine.Units.Rate.mbit 1)
+    ~delay:Engine.Time.zero ();
+  Alcotest.(check bool) "double connect raises" true
+    (try
+       Netsim.Topology.connect topo a b ~rate:(Engine.Units.Rate.mbit 1)
+         ~delay:Engine.Time.zero ();
+       false
+     with Invalid_argument _ -> true)
+
+let test_topology_line () =
+  let sim = Engine.Sim.create () in
+  let topo, ids =
+    Netsim.Topology.line sim ~names:[ "a"; "b"; "c" ] ~rate:(Engine.Units.Rate.mbit 1)
+      ~delay:(Engine.Time.ms 1) ()
+  in
+  Alcotest.(check int) "three nodes" 3 (Netsim.Topology.node_count topo);
+  match ids with
+  | [ a; b; c ] ->
+      Alcotest.(check bool) "a-b" true (Netsim.Topology.link topo a b <> None);
+      Alcotest.(check bool) "b-c" true (Netsim.Topology.link topo b c <> None);
+      Alcotest.(check bool) "no a-c" true (Netsim.Topology.link topo a c = None)
+  | _ -> Alcotest.fail "expected three ids"
+
+let test_topology_star () =
+  let sim = Engine.Sim.create () in
+  let topo, hub, leaves =
+    Netsim.Topology.star sim ~hub:"hub"
+      ~leaves:
+        [ ("l0", Engine.Units.Rate.mbit 1, Engine.Time.ms 1);
+          ("l1", Engine.Units.Rate.mbit 2, Engine.Time.ms 2) ]
+      ()
+  in
+  Alcotest.(check int) "nodes" 3 (Netsim.Topology.node_count topo);
+  List.iter
+    (fun leaf ->
+      Alcotest.(check bool) "leaf-hub" true (Netsim.Topology.link topo leaf hub <> None))
+    leaves;
+  match leaves with
+  | [ l0; l1 ] ->
+      Alcotest.(check bool) "no leaf-leaf" true (Netsim.Topology.link topo l0 l1 = None)
+  | _ -> Alcotest.fail "expected two leaves"
+
+let test_topology_dumbbell () =
+  let sim = Engine.Sim.create () in
+  let fast = Engine.Units.Rate.mbit 10 and d = Engine.Time.ms 2 in
+  let topo, (ls, rs) =
+    Netsim.Topology.dumbbell sim
+      ~left:[ ("a", fast, d); ("b", fast, d) ]
+      ~right:[ ("x", fast, d) ]
+      ~bottleneck_rate:(Engine.Units.Rate.mbit 1)
+      ~bottleneck_delay:(Engine.Time.ms 20) ()
+  in
+  Alcotest.(check int) "2 routers + 3 leaves" 5 (Netsim.Topology.node_count topo);
+  let net = Netsim.Network.create topo in
+  (match (ls, rs) with
+  | [ a; _ ], [ x ] ->
+      Alcotest.(check (option int)) "a to x crosses 3 links" (Some 3)
+        (Netsim.Network.hop_count net a x);
+      Alcotest.(check (option time)) "path delay" (Some (Engine.Time.ms 24))
+        (Netsim.Network.path_delay net a x)
+  | _ -> Alcotest.fail "unexpected shape");
+  Alcotest.(check bool) "empty side rejected" true
+    (try
+       ignore
+         (Netsim.Topology.dumbbell sim ~left:[] ~right:[ ("x", fast, d) ]
+            ~bottleneck_rate:fast ~bottleneck_delay:d ());
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Network *)
+
+let star_net () =
+  let sim = Engine.Sim.create () in
+  let topo, hub, leaves =
+    Netsim.Topology.star sim ~hub:"hub"
+      ~leaves:
+        (List.init 3 (fun i ->
+             (Printf.sprintf "l%d" i, Engine.Units.Rate.mbit 8, Engine.Time.ms 5)))
+      ()
+  in
+  (sim, topo, Netsim.Network.create topo, hub, leaves)
+
+let test_network_routing () =
+  let _, _, net, hub, leaves = star_net () in
+  match leaves with
+  | [ l0; l1; _ ] ->
+      Alcotest.(check (option int)) "two hops leaf to leaf" (Some 2)
+        (Netsim.Network.hop_count net l0 l1);
+      Alcotest.(check (option (list int)))
+        "path through hub"
+        (Some [ Netsim.Node_id.to_int l0; Netsim.Node_id.to_int hub; Netsim.Node_id.to_int l1 ])
+        (Option.map (List.map Netsim.Node_id.to_int) (Netsim.Network.path net l0 l1));
+      Alcotest.(check (option time)) "path delay" (Some (Engine.Time.ms 10))
+        (Netsim.Network.path_delay net l0 l1)
+  | _ -> Alcotest.fail "expected three leaves"
+
+let test_network_delivery () =
+  let sim, _, net, _, leaves = star_net () in
+  match leaves with
+  | [ l0; l1; _ ] ->
+      let got = ref None in
+      Netsim.Network.set_local_handler net l1 (fun p ->
+          got := Some (p.Netsim.Packet.id, Engine.Sim.now sim));
+      let p =
+        Netsim.Network.make_packet net ~src:l0 ~dst:l1 ~size:1000 (Netsim.Payload.Raw "y")
+      in
+      Netsim.Network.send net p;
+      Engine.Sim.run sim;
+      (* 1 ms tx + 5 ms + forward (1 ms tx + 5 ms) = 12 ms. *)
+      Alcotest.(check (option (pair int time)))
+        "delivered via hub" (Some (0, Engine.Time.ms 12)) !got
+  | _ -> Alcotest.fail "expected three leaves"
+
+let test_network_undeliverable () =
+  let sim, _, net, _, leaves = star_net () in
+  match leaves with
+  | [ l0; l1; _ ] ->
+      let p =
+        Netsim.Network.make_packet net ~src:l0 ~dst:l1 ~size:100 (Netsim.Payload.Raw "z")
+      in
+      Netsim.Network.send net p;
+      Engine.Sim.run sim;
+      Alcotest.(check int) "counted" 1 (Netsim.Network.undeliverable net)
+  | _ -> Alcotest.fail "expected three leaves"
+
+let test_network_loopback () =
+  let sim, _, net, _, leaves = star_net () in
+  match leaves with
+  | l0 :: _ ->
+      let got = ref false in
+      Netsim.Network.set_local_handler net l0 (fun _ -> got := true);
+      let p =
+        Netsim.Network.make_packet net ~src:l0 ~dst:l0 ~size:100 (Netsim.Payload.Raw "w")
+      in
+      Netsim.Network.send net p;
+      Engine.Sim.run sim;
+      Alcotest.(check bool) "loopback delivered" true !got
+  | _ -> Alcotest.fail "expected leaves"
+
+let test_network_no_route () =
+  (* Two disconnected nodes. *)
+  let sim = Engine.Sim.create () in
+  let topo = Netsim.Topology.create sim in
+  let a = Netsim.Topology.add_node topo ~name:"a" in
+  let b = Netsim.Topology.add_node topo ~name:"b" in
+  let net = Netsim.Network.create topo in
+  Alcotest.(check (option int)) "no hop count" None (Netsim.Network.hop_count net a b);
+  let p = Netsim.Network.make_packet net ~src:a ~dst:b ~size:10 (Netsim.Payload.Raw "q") in
+  Alcotest.(check bool) "send raises" true
+    (try
+       Netsim.Network.send net p;
+       false
+     with Failure _ -> true)
+
+let test_network_on_transmit_first_link_only () =
+  let sim, _, net, _, leaves = star_net () in
+  match leaves with
+  | [ l0; l1; _ ] ->
+      Netsim.Network.set_local_handler net l1 (fun _ -> ());
+      let fired = ref 0 in
+      let p =
+        Netsim.Network.make_packet net ~src:l0 ~dst:l1 ~size:1000 (Netsim.Payload.Raw "t")
+      in
+      Netsim.Network.send net ~on_transmit:(fun () -> incr fired) p;
+      Engine.Sim.run sim;
+      Alcotest.(check int) "once" 1 !fired
+  | _ -> Alcotest.fail "expected three leaves"
+
+(* ------------------------------------------------------------------ *)
+(* CBR source *)
+
+let test_cbr_rate () =
+  let sim, _, net, _, leaves = star_net () in
+  match leaves with
+  | [ l0; l1; _ ] ->
+      let received = ref 0 in
+      Netsim.Network.set_local_handler net l1 (fun _ -> incr received);
+      (* 512 B at 1 Mbit/s: one packet per 4.096 ms -> ~244 in 1 s. *)
+      let cbr =
+        Netsim.Cbr_source.start net ~src:l0 ~dst:l1 ~rate:(Engine.Units.Rate.mbit 1) ()
+      in
+      Engine.Sim.run sim ~until:(Engine.Time.s 1);
+      Alcotest.(check bool)
+        (Printf.sprintf "~244 packets in 1s (got %d)" !received)
+        true
+        (!received >= 240 && !received <= 245);
+      Alcotest.(check int) "bytes accounted" (Netsim.Cbr_source.packets_sent cbr * 512)
+        (Netsim.Cbr_source.bytes_sent cbr)
+  | _ -> Alcotest.fail "expected three leaves"
+
+let test_cbr_stop_and_rate_change () =
+  let sim, _, net, _, leaves = star_net () in
+  match leaves with
+  | [ l0; l1; _ ] ->
+      Netsim.Network.set_local_handler net l1 (fun _ -> ());
+      let cbr =
+        Netsim.Cbr_source.start net ~src:l0 ~dst:l1 ~rate:(Engine.Units.Rate.mbit 1) ()
+      in
+      ignore
+        (Engine.Sim.schedule_at sim (Engine.Time.ms 100) (fun () ->
+             Netsim.Cbr_source.set_rate cbr (Engine.Units.Rate.mbit 4)));
+      ignore
+        (Engine.Sim.schedule_at sim (Engine.Time.ms 200) (fun () ->
+             Netsim.Cbr_source.stop cbr));
+      Engine.Sim.run sim ~until:(Engine.Time.s 1);
+      (* ~24 packets in the first 100 ms, ~98 in the next (4x), none after. *)
+      let sent = Netsim.Cbr_source.packets_sent cbr in
+      Alcotest.(check bool)
+        (Printf.sprintf "sent ~122 (got %d)" sent)
+        true
+        (sent >= 115 && sent <= 130);
+      Netsim.Cbr_source.stop cbr
+  | _ -> Alcotest.fail "expected three leaves"
+
+(* ------------------------------------------------------------------ *)
+(* Flow monitor *)
+
+let test_flow_monitor () =
+  let fm = Netsim.Flow_monitor.create () in
+  Netsim.Flow_monitor.on_tx fm ~flow:1 ~bytes:100 ~now:(Engine.Time.ms 1);
+  Netsim.Flow_monitor.on_tx fm ~flow:1 ~bytes:100 ~now:(Engine.Time.ms 2);
+  Netsim.Flow_monitor.on_rx fm ~flow:1 ~bytes:100 ~now:(Engine.Time.ms 11);
+  Netsim.Flow_monitor.on_rx fm ~flow:1 ~bytes:100 ~now:(Engine.Time.ms 12);
+  Netsim.Flow_monitor.on_rx fm ~flow:2 ~bytes:7 ~now:(Engine.Time.ms 5);
+  (match Netsim.Flow_monitor.stats fm ~flow:1 with
+  | Some s ->
+      Alcotest.(check int) "tx packets" 2 s.Netsim.Flow_monitor.tx_packets;
+      Alcotest.(check int) "rx bytes" 200 s.Netsim.Flow_monitor.rx_bytes
+  | None -> Alcotest.fail "missing flow");
+  Alcotest.(check (option time)) "ttlb" (Some (Engine.Time.ms 11))
+    (Netsim.Flow_monitor.time_to_last_byte fm ~flow:1);
+  Alcotest.(check (option time)) "incomplete flow has no ttlb" None
+    (Netsim.Flow_monitor.time_to_last_byte fm ~flow:2);
+  Alcotest.(check (list int)) "flows" [ 1; 2 ] (Netsim.Flow_monitor.flows fm);
+  Alcotest.(check int) "total rx" 207 (Netsim.Flow_monitor.total_rx_bytes fm)
+
+(* ------------------------------------------------------------------ *)
+
+let qtests = List.map QCheck_alcotest.to_alcotest [ prop_nqueue_conservation ]
+
+let () =
+  Alcotest.run "netsim"
+    [
+      ( "ids+packets",
+        [
+          Alcotest.test_case "node ids" `Quick test_node_id;
+          Alcotest.test_case "packet ids dense" `Quick test_packet_ids_dense;
+          Alcotest.test_case "payload printer" `Quick test_payload_printer;
+        ] );
+      ( "nqueue",
+        [
+          Alcotest.test_case "fifo" `Quick test_nqueue_fifo;
+          Alcotest.test_case "packet capacity" `Quick test_nqueue_packet_capacity;
+          Alcotest.test_case "byte capacity" `Quick test_nqueue_byte_capacity;
+        ] );
+      ( "link",
+        [
+          Alcotest.test_case "delivery latency" `Quick test_link_delivery_latency;
+          Alcotest.test_case "serialization spacing" `Quick
+            test_link_serialization_spacing;
+          Alcotest.test_case "busy and queue" `Quick test_link_busy_and_queue;
+          Alcotest.test_case "drop" `Quick test_link_drop;
+          Alcotest.test_case "blackhole" `Quick test_link_blackhole;
+          Alcotest.test_case "on_transmit timing" `Quick test_link_on_transmit;
+          Alcotest.test_case "on_transmit not fired on drop" `Quick
+            test_link_on_transmit_not_fired_on_drop;
+          Alcotest.test_case "set_rate" `Quick test_link_set_rate;
+          Alcotest.test_case "utilization" `Quick test_link_utilization;
+        ] );
+      ( "topology",
+        [
+          Alcotest.test_case "build" `Quick test_topology_build;
+          Alcotest.test_case "errors" `Quick test_topology_errors;
+          Alcotest.test_case "line" `Quick test_topology_line;
+          Alcotest.test_case "star" `Quick test_topology_star;
+          Alcotest.test_case "dumbbell" `Quick test_topology_dumbbell;
+        ] );
+      ( "network",
+        [
+          Alcotest.test_case "routing" `Quick test_network_routing;
+          Alcotest.test_case "delivery" `Quick test_network_delivery;
+          Alcotest.test_case "undeliverable" `Quick test_network_undeliverable;
+          Alcotest.test_case "loopback" `Quick test_network_loopback;
+          Alcotest.test_case "no route" `Quick test_network_no_route;
+          Alcotest.test_case "on_transmit fires once" `Quick
+            test_network_on_transmit_first_link_only;
+        ] );
+      ( "cbr",
+        [
+          Alcotest.test_case "paces at the nominal rate" `Quick test_cbr_rate;
+          Alcotest.test_case "stop and rate change" `Quick test_cbr_stop_and_rate_change;
+        ] );
+      ("flow_monitor", [ Alcotest.test_case "accounting" `Quick test_flow_monitor ]);
+      ("properties", qtests);
+    ]

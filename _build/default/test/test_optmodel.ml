@@ -1,0 +1,111 @@
+(* Tests for the analytic optimal-window model. *)
+
+let time = Alcotest.testable Engine.Time.pp Engine.Time.equal
+
+let spec mbit delay_ms =
+  { Optmodel.Path_model.rate = Engine.Units.Rate.mbit mbit;
+    access_delay = Engine.Time.ms delay_ms }
+
+let homogeneous = [ spec 100 10; spec 3 10; spec 50 10; spec 50 10; spec 100 10 ]
+
+let test_path_model_basics () =
+  let p = Optmodel.Path_model.of_specs homogeneous in
+  Alcotest.(check int) "nodes" 5 (Optmodel.Path_model.node_count p);
+  Alcotest.(check int) "hops" 4 (Optmodel.Path_model.hop_count p);
+  Alcotest.(check int) "rates" 5 (List.length (Optmodel.Path_model.rates p));
+  Alcotest.check_raises "too short" (Invalid_argument "Path_model.of_specs: need at least two nodes")
+    (fun () -> ignore (Optmodel.Path_model.of_specs [ spec 1 1 ]));
+  Alcotest.check_raises "spec out of range" (Invalid_argument "Path_model.spec: out of range")
+    (fun () -> ignore (Optmodel.Path_model.spec p 5))
+
+let test_bottleneck () =
+  let p = Optmodel.Path_model.of_specs homogeneous in
+  Alcotest.(check int) "bottleneck rate" 3_000_000
+    (Engine.Units.Rate.to_bps (Optmodel.Optimal_window.bottleneck_rate p));
+  Alcotest.(check int) "bottleneck position" 1
+    (Optmodel.Optimal_window.bottleneck_position p)
+
+let test_hop_rtt_formula () =
+  (* Two nodes, 8 Mbit/s each, 10 ms delays; 520 B cell and 43 B
+     feedback serialize in 520 us and 43 us on each link.  R_0 =
+     2*(10+10) ms + 2*520us + 2*43us = 41.126 ms. *)
+  let p = Optmodel.Path_model.of_specs [ spec 8 10; spec 8 10 ] in
+  Alcotest.check time "hand-computed"
+    (Engine.Time.us 41_126)
+    (Optmodel.Optimal_window.hop_feedback_rtt p 0);
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Optimal_window.hop_feedback_rtt: hop out of range") (fun () ->
+      ignore (Optmodel.Optimal_window.hop_feedback_rtt p 1))
+
+let test_window_cells () =
+  (* Bottleneck 8 Mbit/s = 1e6 B/s; R_0 = 41.126 ms -> BDP = 41126 B =
+     79.08 cells -> ceil 80. *)
+  let p = Optmodel.Path_model.of_specs [ spec 8 10; spec 8 10 ] in
+  Alcotest.(check int) "cells" 80 (Optmodel.Optimal_window.hop_window_cells p 0);
+  Alcotest.(check int) "source = hop 0" 80 (Optmodel.Optimal_window.source_window_cells p);
+  Alcotest.(check int) "bytes" (80 * 520) (Optmodel.Optimal_window.source_window_bytes p)
+
+let test_custom_sizes () =
+  let p = Optmodel.Path_model.of_specs [ spec 8 10; spec 8 10 ] in
+  let small = Optmodel.Optimal_window.hop_window_cells ~cell_size:100 ~feedback_size:10 p 0 in
+  let big = Optmodel.Optimal_window.hop_window_cells ~cell_size:1000 ~feedback_size:10 p 0 in
+  Alcotest.(check bool) "smaller cells, more of them" true (small > big)
+
+let test_propagated_estimate () =
+  (* Homogeneous delays: the propagated minimum equals W*_0 up to hop
+     asymmetry in rates. *)
+  let p = Optmodel.Path_model.of_specs homogeneous in
+  let w0 = Optmodel.Optimal_window.source_window_cells p in
+  let prop = Optmodel.Optimal_window.propagated_estimate_cells p in
+  Alcotest.(check bool) "propagated <= source" true (prop <= w0);
+  Alcotest.(check bool) "same ballpark" true (prop >= (w0 * 3) / 4);
+  (* Heterogeneous delays: backprop can underestimate (the paper's
+     caveat): make a middle hop's loop much shorter. *)
+  let hetero = [ spec 100 30; spec 10 30; spec 50 1; spec 50 1; spec 100 30 ] in
+  let p2 = Optmodel.Path_model.of_specs hetero in
+  Alcotest.(check bool) "underestimates with uneven delays" true
+    (Optmodel.Optimal_window.propagated_estimate_cells p2
+    < Optmodel.Optimal_window.source_window_cells p2)
+
+let prop_window_monotone_in_rate =
+  QCheck2.Test.make ~name:"optimal window grows with bottleneck rate"
+    QCheck2.Gen.(pair (int_range 1 40) (int_range 41 100))
+    (fun (slow, fast) ->
+      let p r = Optmodel.Path_model.of_specs [ spec 100 10; spec r 10; spec 100 10 ] in
+      Optmodel.Optimal_window.source_window_cells (p slow)
+      <= Optmodel.Optimal_window.source_window_cells (p fast))
+
+let prop_window_monotone_in_delay =
+  QCheck2.Test.make ~name:"optimal window grows with access delay"
+    QCheck2.Gen.(pair (int_range 1 50) (int_range 51 150))
+    (fun (short, long) ->
+      let p d = Optmodel.Path_model.of_specs [ spec 10 d; spec 10 d ] in
+      Optmodel.Optimal_window.source_window_cells (p short)
+      <= Optmodel.Optimal_window.source_window_cells (p long))
+
+let prop_window_at_least_one =
+  QCheck2.Test.make ~name:"optimal window is at least one cell"
+    QCheck2.Gen.(pair (int_range 1 100) (int_range 0 50))
+    (fun (mbit, d) ->
+      let p = Optmodel.Path_model.of_specs [ spec mbit d; spec mbit d ] in
+      Optmodel.Optimal_window.source_window_cells p >= 1)
+
+let qtests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_window_monotone_in_rate; prop_window_monotone_in_delay;
+      prop_window_at_least_one ]
+
+let () =
+  Alcotest.run "optmodel"
+    [
+      ( "model",
+        [
+          Alcotest.test_case "path model basics" `Quick test_path_model_basics;
+          Alcotest.test_case "bottleneck" `Quick test_bottleneck;
+          Alcotest.test_case "hop rtt formula" `Quick test_hop_rtt_formula;
+          Alcotest.test_case "window cells" `Quick test_window_cells;
+          Alcotest.test_case "custom sizes" `Quick test_custom_sizes;
+          Alcotest.test_case "propagated estimate" `Quick test_propagated_estimate;
+        ] );
+      ("properties", qtests);
+    ]

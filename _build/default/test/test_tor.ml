@@ -1,0 +1,557 @@
+(* Unit tests for the Tor overlay model: cells, onion layering,
+   directory, switchboard, control plane, streams and legacy SENDME. *)
+
+let time = Alcotest.testable Engine.Time.pp Engine.Time.equal
+let node = Alcotest.testable Netsim.Node_id.pp Netsim.Node_id.equal
+
+(* ------------------------------------------------------------------ *)
+(* Circuit ids and cells *)
+
+let test_circuit_id () =
+  let g = Tor_model.Circuit_id.generator () in
+  Alcotest.(check int) "first" 0 (Tor_model.Circuit_id.to_int (Tor_model.Circuit_id.next g));
+  Alcotest.(check int) "second" 1 (Tor_model.Circuit_id.to_int (Tor_model.Circuit_id.next g))
+
+let test_cell_sizes () =
+  Alcotest.(check int) "cell size" 512 Tor_model.Cell.size;
+  Alcotest.(check int) "payload capacity" 498 Tor_model.Cell.payload_capacity
+
+let test_cell_data_validation () =
+  let c = Tor_model.Circuit_id.of_int 0 in
+  Alcotest.check_raises "length too big" (Invalid_argument "Cell.data: length out of range")
+    (fun () ->
+      ignore (Tor_model.Cell.data c ~layers:1 ~stream_id:0 ~seq:0 ~length:499 ~last:false));
+  Alcotest.check_raises "zero length" (Invalid_argument "Cell.data: length out of range")
+    (fun () ->
+      ignore (Tor_model.Cell.data c ~layers:1 ~stream_id:0 ~seq:0 ~length:0 ~last:false));
+  Alcotest.check_raises "negative seq" (Invalid_argument "Cell.data: negative seq")
+    (fun () ->
+      ignore (Tor_model.Cell.data c ~layers:1 ~stream_id:0 ~seq:(-1) ~length:1 ~last:false))
+
+let test_cell_predicates () =
+  let c = Tor_model.Circuit_id.of_int 1 in
+  let data = Tor_model.Cell.data c ~layers:2 ~stream_id:0 ~seq:0 ~length:10 ~last:false in
+  Alcotest.(check bool) "relay" true (Tor_model.Cell.is_relay data);
+  Alcotest.(check bool) "create not relay" false
+    (Tor_model.Cell.is_relay (Tor_model.Cell.make c Tor_model.Cell.Create));
+  Alcotest.(check bool) "relay_cmd" true (Tor_model.Cell.relay_cmd data <> None)
+
+(* ------------------------------------------------------------------ *)
+(* Onion layering *)
+
+let test_crypto_wrap_peel () =
+  let c = Tor_model.Circuit_id.of_int 0 in
+  let cell =
+    Tor_model.Crypto_sim.wrap ~hops:3
+      (Tor_model.Cell.Relay_data { stream_id = 0; seq = 0; length = 5; last = false })
+      c
+  in
+  Alcotest.(check (option int)) "3 layers" (Some 3) (Tor_model.Crypto_sim.layers cell);
+  Alcotest.(check bool) "not exposed" true (Tor_model.Crypto_sim.exposed cell = None);
+  let cell = Tor_model.Crypto_sim.peel cell in
+  let cell = Tor_model.Crypto_sim.peel cell in
+  let cell = Tor_model.Crypto_sim.peel cell in
+  Alcotest.(check (option int)) "0 layers" (Some 0) (Tor_model.Crypto_sim.layers cell);
+  Alcotest.(check bool) "exposed" true (Tor_model.Crypto_sim.exposed cell <> None);
+  Alcotest.check_raises "over-peel" (Invalid_argument "Crypto_sim.peel: no layers left")
+    (fun () -> ignore (Tor_model.Crypto_sim.peel cell))
+
+let test_crypto_errors () =
+  let c = Tor_model.Circuit_id.of_int 0 in
+  Alcotest.check_raises "wrap 0 hops" (Invalid_argument "Crypto_sim.wrap: need at least one hop")
+    (fun () ->
+      ignore
+        (Tor_model.Crypto_sim.wrap ~hops:0 (Tor_model.Cell.Relay_end { stream_id = 0 }) c));
+  Alcotest.check_raises "peel control" (Invalid_argument "Crypto_sim.peel: not a RELAY cell")
+    (fun () -> ignore (Tor_model.Crypto_sim.peel (Tor_model.Cell.make c Tor_model.Cell.Create)))
+
+let prop_peel_inverse_of_wrap =
+  QCheck2.Test.make ~name:"peeling exactly [hops] times exposes the command"
+    QCheck2.Gen.(int_range 1 10)
+    (fun hops ->
+      let c = Tor_model.Circuit_id.of_int 9 in
+      let cmd = Tor_model.Cell.Relay_sendme { stream_id = None } in
+      let cell = ref (Tor_model.Crypto_sim.wrap ~hops cmd c) in
+      for _ = 1 to hops do
+        cell := Tor_model.Crypto_sim.peel !cell
+      done;
+      Tor_model.Crypto_sim.exposed !cell = Some cmd)
+
+(* ------------------------------------------------------------------ *)
+(* Relay info and directory *)
+
+let mk_relay ?(flags = [ Tor_model.Relay_info.Guard; Tor_model.Relay_info.Exit ]) ~node ~mbit
+    () =
+  Tor_model.Relay_info.make
+    ~nickname:(Printf.sprintf "r%d" node)
+    ~node:(Netsim.Node_id.of_int node)
+    ~bandwidth:(Engine.Units.Rate.mbit mbit)
+    ~latency:(Engine.Time.ms 10) ~flags ()
+
+let test_relay_flags () =
+  let r = mk_relay ~node:0 ~mbit:1 () in
+  Alcotest.(check bool) "guard" true (Tor_model.Relay_info.has_flag r Tor_model.Relay_info.Guard);
+  Alcotest.(check bool) "fast" false (Tor_model.Relay_info.has_flag r Tor_model.Relay_info.Fast)
+
+let test_directory_select_distinct () =
+  let dir = Tor_model.Directory.create () in
+  for i = 0 to 9 do
+    Tor_model.Directory.add dir (mk_relay ~node:i ~mbit:(i + 1) ())
+  done;
+  let rng = Engine.Rng.create 11 in
+  for _ = 1 to 100 do
+    match Tor_model.Directory.select_path dir rng ~hops:3 with
+    | None -> Alcotest.fail "selection failed"
+    | Some relays ->
+        Alcotest.(check int) "three relays" 3 (List.length relays);
+        let nodes =
+          List.sort_uniq Netsim.Node_id.compare
+            (List.map (fun (r : Tor_model.Relay_info.t) -> r.node) relays)
+        in
+        Alcotest.(check int) "distinct" 3 (List.length nodes)
+  done
+
+let test_directory_flags_honoured () =
+  let dir = Tor_model.Directory.create () in
+  (* Only node 0 is an exit; nodes 1-4 guard-only. *)
+  Tor_model.Directory.add dir
+    (mk_relay ~flags:[ Tor_model.Relay_info.Exit ] ~node:0 ~mbit:1 ());
+  for i = 1 to 4 do
+    Tor_model.Directory.add dir
+      (mk_relay ~flags:[ Tor_model.Relay_info.Guard ] ~node:i ~mbit:1 ())
+  done;
+  let rng = Engine.Rng.create 12 in
+  for _ = 1 to 50 do
+    match Tor_model.Directory.select_path dir rng ~hops:3 with
+    | None -> Alcotest.fail "selection failed"
+    | Some relays ->
+        let exit = List.nth relays 2 in
+        Alcotest.check node "exit is node 0" (Netsim.Node_id.of_int 0)
+          exit.Tor_model.Relay_info.node;
+        let guard = List.nth relays 0 in
+        Alcotest.(check bool) "guard has Guard flag" true
+          (Tor_model.Relay_info.has_flag guard Tor_model.Relay_info.Guard)
+  done
+
+let test_directory_bandwidth_bias () =
+  let dir = Tor_model.Directory.create () in
+  Tor_model.Directory.add dir (mk_relay ~node:0 ~mbit:90 ());
+  Tor_model.Directory.add dir (mk_relay ~node:1 ~mbit:10 ());
+  Tor_model.Directory.add dir (mk_relay ~node:2 ~mbit:10 ());
+  let rng = Engine.Rng.create 13 in
+  let fast_first = ref 0 in
+  let n = 2000 in
+  for _ = 1 to n do
+    match Tor_model.Directory.select_path dir rng ~hops:1 with
+    | Some [ r ] when Netsim.Node_id.to_int r.Tor_model.Relay_info.node = 0 ->
+        incr fast_first
+    | _ -> ()
+  done;
+  (* Node 0 has ~82% of the weight. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "fast relay chosen ~82%% (got %d/%d)" !fast_first n)
+    true
+    (!fast_first > (n * 7 / 10) && !fast_first < (n * 95 / 100))
+
+let test_directory_find_by_node () =
+  let dir = Tor_model.Directory.create () in
+  Tor_model.Directory.add dir (mk_relay ~node:3 ~mbit:1 ());
+  Alcotest.(check bool) "found" true
+    (Tor_model.Directory.find_by_node dir (Netsim.Node_id.of_int 3) <> None);
+  Alcotest.(check bool) "absent" true
+    (Tor_model.Directory.find_by_node dir (Netsim.Node_id.of_int 9) = None)
+
+let test_cell_printer () =
+  Tor_model.Cell.register_printer ();
+  let c = Tor_model.Circuit_id.of_int 5 in
+  let cell = Tor_model.Cell.data c ~layers:2 ~stream_id:1 ~seq:7 ~length:10 ~last:true in
+  Alcotest.(check string) "rendering" "c5 RELAY[2] DATA s1 #7 10B last"
+    (Format.asprintf "%a" Tor_model.Cell.pp cell);
+  Alcotest.(check string) "wire payload rendering" "c5 CREATE"
+    (Format.asprintf "%a" Netsim.Payload.pp
+       (Tor_model.Cell.Wire (Tor_model.Cell.make c Tor_model.Cell.Create)))
+
+let test_directory_impossible () =
+  let dir = Tor_model.Directory.create () in
+  Tor_model.Directory.add dir (mk_relay ~flags:[ Tor_model.Relay_info.Guard ] ~node:0 ~mbit:1 ());
+  let rng = Engine.Rng.create 14 in
+  Alcotest.(check bool) "no exit -> None" true
+    (Tor_model.Directory.select_path dir rng ~hops:2 = None);
+  Alcotest.(check bool) "not enough relays -> None" true
+    (Tor_model.Directory.select_path dir rng ~hops:3 = None)
+
+(* ------------------------------------------------------------------ *)
+(* Circuit *)
+
+let mk_circuit () =
+  let relays = List.init 3 (fun i -> mk_relay ~node:(i + 1) ~mbit:5 ()) in
+  Tor_model.Circuit.make ~id:(Tor_model.Circuit_id.of_int 0)
+    ~client:(Netsim.Node_id.of_int 0) ~relays ~server:(Netsim.Node_id.of_int 4)
+
+let test_circuit_structure () =
+  let c = mk_circuit () in
+  Alcotest.(check int) "hop count" 4 (Tor_model.Circuit.hop_count c);
+  Alcotest.(check int) "layers" 3 (Tor_model.Circuit.layer_count c);
+  Alcotest.(check (list int)) "nodes" [ 0; 1; 2; 3; 4 ]
+    (List.map Netsim.Node_id.to_int (Tor_model.Circuit.nodes c));
+  Alcotest.(check (option int)) "position of middle" (Some 2)
+    (Tor_model.Circuit.position c (Netsim.Node_id.of_int 2));
+  Alcotest.(check (option node)) "successor" (Some (Netsim.Node_id.of_int 3))
+    (Tor_model.Circuit.successor c (Netsim.Node_id.of_int 2));
+  Alcotest.(check (option node)) "predecessor" (Some (Netsim.Node_id.of_int 1))
+    (Tor_model.Circuit.predecessor c (Netsim.Node_id.of_int 2));
+  Alcotest.(check (option node)) "server has no successor" None
+    (Tor_model.Circuit.successor c (Netsim.Node_id.of_int 4))
+
+let test_circuit_validation () =
+  Alcotest.check_raises "empty relays" (Invalid_argument "Circuit.make: need at least one relay")
+    (fun () ->
+      ignore
+        (Tor_model.Circuit.make ~id:(Tor_model.Circuit_id.of_int 0)
+           ~client:(Netsim.Node_id.of_int 0) ~relays:[] ~server:(Netsim.Node_id.of_int 1)));
+  Alcotest.check_raises "duplicate node" (Invalid_argument "Circuit.make: duplicate node in path")
+    (fun () ->
+      ignore
+        (Tor_model.Circuit.make ~id:(Tor_model.Circuit_id.of_int 0)
+           ~client:(Netsim.Node_id.of_int 0)
+           ~relays:[ mk_relay ~node:0 ~mbit:1 () ]
+           ~server:(Netsim.Node_id.of_int 2)))
+
+(* ------------------------------------------------------------------ *)
+(* A small overlay on a star for switchboard / control / sendme tests *)
+
+let mk_overlay n_leaves =
+  let sim = Engine.Sim.create () in
+  let topo, _, leaves =
+    Netsim.Topology.star sim ~hub:"hub"
+      ~leaves:
+        (List.init n_leaves (fun i ->
+             (Printf.sprintf "l%d" i, Engine.Units.Rate.mbit 10, Engine.Time.ms 5)))
+      ()
+  in
+  let net = Netsim.Network.create topo in
+  let sbs = List.map (Tor_model.Switchboard.install net) leaves in
+  (sim, net, Array.of_list leaves, Array.of_list sbs)
+
+let test_switchboard_dispatch () =
+  let sim, _, leaves, sbs = mk_overlay 2 in
+  let c0 = Tor_model.Circuit_id.of_int 0 in
+  let got = ref [] in
+  Tor_model.Switchboard.register_circuit sbs.(1) c0 (fun ~from cell ->
+      got := (from, cell) :: !got);
+  Tor_model.Switchboard.send_cell sbs.(0) ~dst:leaves.(1)
+    (Tor_model.Cell.make c0 Tor_model.Cell.Create);
+  Engine.Sim.run sim;
+  (match !got with
+  | [ (from, cell) ] ->
+      Alcotest.check node "from" leaves.(0) from;
+      Alcotest.(check bool) "create" true (cell.Tor_model.Cell.command = Tor_model.Cell.Create)
+  | _ -> Alcotest.fail "expected one cell");
+  Alcotest.check_raises "double register"
+    (Invalid_argument "Switchboard.register_circuit: c0 already registered at n2")
+    (fun () -> Tor_model.Switchboard.register_circuit sbs.(1) c0 (fun ~from:_ _ -> ()))
+
+let test_switchboard_orphans_and_control () =
+  let sim, _, leaves, sbs = mk_overlay 2 in
+  let c9 = Tor_model.Circuit_id.of_int 9 in
+  Tor_model.Switchboard.send_cell sbs.(0) ~dst:leaves.(1)
+    (Tor_model.Cell.make c9 Tor_model.Cell.Destroy);
+  Engine.Sim.run sim;
+  Alcotest.(check int) "orphan without control" 1
+    (Tor_model.Switchboard.orphan_cells sbs.(1));
+  let ctl = ref 0 in
+  Tor_model.Switchboard.set_control_handler sbs.(1) (fun ~from:_ _ -> incr ctl);
+  Tor_model.Switchboard.send_cell sbs.(0) ~dst:leaves.(1)
+    (Tor_model.Cell.make c9 Tor_model.Cell.Destroy);
+  Engine.Sim.run sim;
+  Alcotest.(check int) "control handler got it" 1 !ctl
+
+let test_switchboard_unregister () =
+  let sim, _, leaves, sbs = mk_overlay 2 in
+  let c0 = Tor_model.Circuit_id.of_int 0 in
+  let got = ref 0 in
+  Tor_model.Switchboard.register_circuit sbs.(1) c0 (fun ~from:_ _ -> incr got);
+  Tor_model.Switchboard.unregister_circuit sbs.(1) c0;
+  Tor_model.Switchboard.send_cell sbs.(0) ~dst:leaves.(1)
+    (Tor_model.Cell.make c0 Tor_model.Cell.Create);
+  Engine.Sim.run sim;
+  Alcotest.(check int) "nothing delivered" 0 !got
+
+(* ------------------------------------------------------------------ *)
+(* Control plane: Relay_ctl + Circuit_builder *)
+
+let test_circuit_establishment () =
+  let sim, _, leaves, sbs = mk_overlay 5 in
+  (* leaves: 0=client, 1..3=relays, 4=server; every non-client runs the
+     control automaton. *)
+  let ctls = Array.init 5 (fun i -> Tor_model.Relay_ctl.create sbs.(i)) in
+  let relays = List.init 3 (fun i -> mk_relay ~node:(Netsim.Node_id.to_int leaves.(i + 1)) ~mbit:5 ()) in
+  let circuit =
+    Tor_model.Circuit.make ~id:(Tor_model.Circuit_id.of_int 0) ~client:leaves.(0) ~relays
+      ~server:leaves.(4)
+  in
+  let outcome = ref None in
+  Tor_model.Circuit_builder.build sbs.(0) circuit
+    ~on_done:(fun o -> outcome := Some o)
+    ();
+  Engine.Sim.run sim;
+  (match !outcome with
+  | Some (Tor_model.Circuit_builder.Established { at }) ->
+      (* CREATE + 3 EXTEND ladders, each a growing round trip. *)
+      Alcotest.(check bool) "took multiple RTTs" true Engine.Time.(at > Engine.Time.ms 60)
+  | Some (Tor_model.Circuit_builder.Failed msg) -> Alcotest.fail msg
+  | None -> Alcotest.fail "never finished");
+  (* Each relay knows its predecessor and successor. *)
+  for i = 1 to 3 do
+    match Tor_model.Relay_ctl.route ctls.(i) (Tor_model.Circuit_id.of_int 0) with
+    | Some { Tor_model.Relay_ctl.prev; next } ->
+        Alcotest.check node "prev" leaves.(i - 1) prev;
+        Alcotest.(check (option node)) "next" (Some leaves.(i + 1)) next
+    | None -> Alcotest.fail "relay missing route"
+  done;
+  (* The server end has no successor. *)
+  match Tor_model.Relay_ctl.route ctls.(4) (Tor_model.Circuit_id.of_int 0) with
+  | Some { Tor_model.Relay_ctl.next = None; _ } -> ()
+  | _ -> Alcotest.fail "server should be the end"
+
+let test_circuit_establishment_timeout () =
+  let sim, _, leaves, sbs = mk_overlay 3 in
+  (* No Relay_ctl anywhere: CREATE is never answered. *)
+  let relays = [ mk_relay ~node:(Netsim.Node_id.to_int leaves.(1)) ~mbit:5 () ] in
+  let circuit =
+    Tor_model.Circuit.make ~id:(Tor_model.Circuit_id.of_int 0) ~client:leaves.(0) ~relays
+      ~server:leaves.(2)
+  in
+  let outcome = ref None in
+  Tor_model.Circuit_builder.build sbs.(0) circuit ~timeout:(Engine.Time.s 1)
+    ~on_done:(fun o -> outcome := Some o)
+    ();
+  Engine.Sim.run sim ~until:(Engine.Time.s 5);
+  match !outcome with
+  | Some (Tor_model.Circuit_builder.Failed _) -> ()
+  | _ -> Alcotest.fail "expected timeout failure"
+
+let test_destroy_propagates () =
+  let sim, _, leaves, sbs = mk_overlay 5 in
+  let ctls = Array.init 5 (fun i -> Tor_model.Relay_ctl.create sbs.(i)) in
+  let relays = List.init 3 (fun i -> mk_relay ~node:(Netsim.Node_id.to_int leaves.(i + 1)) ~mbit:5 ()) in
+  let circuit =
+    Tor_model.Circuit.make ~id:(Tor_model.Circuit_id.of_int 0) ~client:leaves.(0) ~relays
+      ~server:leaves.(4)
+  in
+  let done_ = ref false in
+  Tor_model.Circuit_builder.build sbs.(0) circuit ~on_done:(fun _ -> done_ := true) ();
+  Engine.Sim.run sim;
+  Alcotest.(check bool) "established" true !done_;
+  (* Client tears the circuit down: the guard propagates onwards. *)
+  Tor_model.Switchboard.send_cell sbs.(0) ~dst:leaves.(1)
+    (Tor_model.Cell.make (Tor_model.Circuit_id.of_int 0) Tor_model.Cell.Destroy);
+  Engine.Sim.run sim;
+  for i = 1 to 4 do
+    Alcotest.(check (list int))
+      (Printf.sprintf "relay %d forgot the circuit" i)
+      []
+      (List.map Tor_model.Circuit_id.to_int (Tor_model.Relay_ctl.circuits ctls.(i)))
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Streams *)
+
+let test_source_slicing () =
+  let src = Tor_model.Stream.Source.create ~stream_id:7 ~bytes:1000 in
+  let c = Tor_model.Circuit_id.of_int 0 in
+  Alcotest.(check int) "cell count" 3 (Tor_model.Stream.Source.cell_count src);
+  let c1 = Option.get (Tor_model.Stream.Source.next_cell src c ~layers:2) in
+  let c2 = Option.get (Tor_model.Stream.Source.next_cell src c ~layers:2) in
+  let c3 = Option.get (Tor_model.Stream.Source.next_cell src c ~layers:2) in
+  Alcotest.(check bool) "drained" true (Tor_model.Stream.Source.next_cell src c ~layers:2 = None);
+  let get_len cell =
+    match Tor_model.Cell.relay_cmd cell with
+    | Some (Tor_model.Cell.Relay_data { length; last; seq; _ }) -> (length, last, seq)
+    | _ -> Alcotest.fail "not a data cell"
+  in
+  Alcotest.(check (triple int bool int)) "first" (498, false, 0) (get_len c1);
+  Alcotest.(check (triple int bool int)) "second" (498, false, 1) (get_len c2);
+  Alcotest.(check (triple int bool int)) "last" (4, true, 2) (get_len c3)
+
+let prop_source_conserves_bytes =
+  QCheck2.Test.make ~name:"source slices conserve total bytes"
+    QCheck2.Gen.(int_range 1 100_000)
+    (fun bytes ->
+      let src = Tor_model.Stream.Source.create ~stream_id:0 ~bytes in
+      let c = Tor_model.Circuit_id.of_int 0 in
+      let rec total acc =
+        match Tor_model.Stream.Source.next_cell src c ~layers:1 with
+        | None -> acc
+        | Some cell -> (
+            match Tor_model.Cell.relay_cmd cell with
+            | Some (Tor_model.Cell.Relay_data { length; _ }) -> total (acc + length)
+            | _ -> acc)
+      in
+      total 0 = bytes && Tor_model.Stream.Source.remaining src = 0)
+
+let test_sink_dedup_and_completion () =
+  let sink = Tor_model.Stream.Sink.create ~expected_bytes:996 in
+  let deliver seq length =
+    Tor_model.Stream.Sink.deliver sink ~now:(Engine.Time.ms seq)
+      (Tor_model.Cell.Relay_data { stream_id = 0; seq; length; last = false })
+  in
+  deliver 0 498;
+  deliver 0 498;
+  Alcotest.(check int) "dup counted" 1 (Tor_model.Stream.Sink.duplicates sink);
+  Alcotest.(check bool) "not complete" false (Tor_model.Stream.Sink.complete sink);
+  deliver 1 498;
+  Alcotest.(check bool) "complete" true (Tor_model.Stream.Sink.complete sink);
+  Alcotest.(check (option time)) "completion stamp" (Some (Engine.Time.ms 1))
+    (Tor_model.Stream.Sink.completed_at sink);
+  (* Late duplicates do not move the completion time. *)
+  deliver 1 498;
+  Alcotest.(check (option time)) "stamp stable" (Some (Engine.Time.ms 1))
+    (Tor_model.Stream.Sink.completed_at sink)
+
+(* ------------------------------------------------------------------ *)
+(* Legacy SENDME transport *)
+
+let sendme_setup ?(bytes = Engine.Units.kib 300) () =
+  let sim, _, leaves, sbs = mk_overlay 5 in
+  let relays =
+    List.init 3 (fun i -> mk_relay ~node:(Netsim.Node_id.to_int leaves.(i + 1)) ~mbit:5 ())
+  in
+  let circuit =
+    Tor_model.Circuit.make ~id:(Tor_model.Circuit_id.of_int 0) ~client:leaves.(0) ~relays
+      ~server:leaves.(4)
+  in
+  let sb_of n =
+    let rec find i = if Netsim.Node_id.equal leaves.(i) n then sbs.(i) else find (i + 1) in
+    find 0
+  in
+  let d = Tor_model.Sendme.deploy ~sb_of ~circuit ~bytes () in
+  (sim, d)
+
+let test_sendme_completes () =
+  let sim, d = sendme_setup () in
+  Tor_model.Sendme.start d;
+  Engine.Sim.run sim ~until:(Engine.Time.s 30);
+  Alcotest.(check bool) "complete" true (Tor_model.Sendme.complete d);
+  Alcotest.(check bool) "ttlb positive" true
+    (match Tor_model.Sendme.time_to_last_byte d with
+    | Some t -> Engine.Time.(t > Engine.Time.zero)
+    | None -> false);
+  Alcotest.(check int) "no duplicate delivery" 0
+    (Tor_model.Stream.Sink.duplicates (Tor_model.Sendme.sink d))
+
+let test_sendme_credits () =
+  (* A transfer bigger than the initial windows requires SENDMEs. *)
+  let sim, d = sendme_setup ~bytes:(498 * 700) () in
+  Tor_model.Sendme.start d;
+  Engine.Sim.run sim ~until:(Engine.Time.s 60);
+  Alcotest.(check bool) "complete" true (Tor_model.Sendme.complete d);
+  Alcotest.(check bool) "sendme credits flowed" true (Tor_model.Sendme.sendmes_received d > 0)
+
+let test_sendme_window_gates () =
+  (* With 700 cells to send and a 500-cell stream window, credit must be
+     exhausted at some point before completion. *)
+  let sim, d = sendme_setup ~bytes:(498 * 700) () in
+  Tor_model.Sendme.start d;
+  let min_credit = ref max_int in
+  Engine.Sim.every sim (Engine.Time.ms 10)
+    (fun () -> min_credit := Stdlib.min !min_credit (Tor_model.Sendme.client_credit d))
+    ~stop:(fun () -> Tor_model.Sendme.complete d);
+  Engine.Sim.run sim ~until:(Engine.Time.s 60);
+  Alcotest.(check bool) "credit hit zero" true (!min_credit = 0)
+
+let test_sendme_config_validation () =
+  Alcotest.(check bool) "bad increment rejected" true
+    (match
+       Tor_model.Sendme.validate_config
+         { Tor_model.Sendme.circuit_window = 10; stream_window = 10;
+           circuit_increment = 20; stream_increment = 5 }
+     with
+    | Error _ -> true
+    | Ok _ -> false)
+
+let test_sendme_cell_latency () =
+  let sim, d = sendme_setup () in
+  Tor_model.Sendme.start d;
+  Engine.Sim.run sim ~until:(Engine.Time.s 30);
+  let lat = Tor_model.Sendme.cell_latency_stats d in
+  Alcotest.(check int) "one sample per cell"
+    (Tor_model.Stream.Sink.cells_received (Tor_model.Sendme.sink d))
+    (Engine.Stats.Online.count lat);
+  Alcotest.(check bool) "positive latencies" true (Engine.Stats.Online.min lat > 0.)
+
+let test_sendme_teardown () =
+  let sim, d = sendme_setup () in
+  Tor_model.Sendme.start d;
+  Engine.Sim.run sim ~until:(Engine.Time.s 30);
+  Tor_model.Sendme.teardown d;
+  (* After teardown a second deployment can claim the same circuit. *)
+  Alcotest.(check bool) "complete before teardown" true (Tor_model.Sendme.complete d)
+
+(* ------------------------------------------------------------------ *)
+
+let qtests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_peel_inverse_of_wrap; prop_source_conserves_bytes ]
+
+let () =
+  Alcotest.run "tor_model"
+    [
+      ( "cells",
+        [
+          Alcotest.test_case "circuit ids" `Quick test_circuit_id;
+          Alcotest.test_case "sizes" `Quick test_cell_sizes;
+          Alcotest.test_case "data validation" `Quick test_cell_data_validation;
+          Alcotest.test_case "predicates" `Quick test_cell_predicates;
+        ] );
+      ( "crypto",
+        [
+          Alcotest.test_case "wrap and peel" `Quick test_crypto_wrap_peel;
+          Alcotest.test_case "errors" `Quick test_crypto_errors;
+        ] );
+      ( "directory",
+        [
+          Alcotest.test_case "relay flags" `Quick test_relay_flags;
+          Alcotest.test_case "distinct relays" `Slow test_directory_select_distinct;
+          Alcotest.test_case "flags honoured" `Slow test_directory_flags_honoured;
+          Alcotest.test_case "bandwidth bias" `Slow test_directory_bandwidth_bias;
+          Alcotest.test_case "impossible constraints" `Quick test_directory_impossible;
+          Alcotest.test_case "find by node" `Quick test_directory_find_by_node;
+          Alcotest.test_case "cell printer" `Quick test_cell_printer;
+        ] );
+      ( "circuit",
+        [
+          Alcotest.test_case "structure" `Quick test_circuit_structure;
+          Alcotest.test_case "validation" `Quick test_circuit_validation;
+        ] );
+      ( "switchboard",
+        [
+          Alcotest.test_case "dispatch" `Quick test_switchboard_dispatch;
+          Alcotest.test_case "orphans and control" `Quick
+            test_switchboard_orphans_and_control;
+          Alcotest.test_case "unregister" `Quick test_switchboard_unregister;
+        ] );
+      ( "control_plane",
+        [
+          Alcotest.test_case "establishment" `Quick test_circuit_establishment;
+          Alcotest.test_case "establishment timeout" `Quick
+            test_circuit_establishment_timeout;
+          Alcotest.test_case "destroy propagates" `Quick test_destroy_propagates;
+        ] );
+      ( "streams",
+        [
+          Alcotest.test_case "source slicing" `Quick test_source_slicing;
+          Alcotest.test_case "sink dedup and completion" `Quick
+            test_sink_dedup_and_completion;
+        ] );
+      ( "sendme",
+        [
+          Alcotest.test_case "completes" `Quick test_sendme_completes;
+          Alcotest.test_case "credits" `Quick test_sendme_credits;
+          Alcotest.test_case "window gates" `Quick test_sendme_window_gates;
+          Alcotest.test_case "config validation" `Quick test_sendme_config_validation;
+          Alcotest.test_case "cell latency" `Quick test_sendme_cell_latency;
+          Alcotest.test_case "teardown" `Quick test_sendme_teardown;
+        ] );
+      ("properties", qtests);
+    ]
