@@ -5,7 +5,8 @@
      cdf       N concurrent circuits, TTLB distribution (Figure 1, bottom)
      optimal   analytic optimal-window model for a path
      adaptive  bandwidth-step reaction experiment (paper section 3)
-     sweep     gamma / distance parameter sweeps *)
+     sweep     gamma / distance parameter sweeps
+     faults    loss / outage / relay-crash robustness comparison *)
 
 open Cmdliner
 
@@ -403,6 +404,121 @@ let sweep_cmd =
   Cmd.v (Cmd.info "sweep" ~doc) Term.(ret (const run_sweep $ param $ values))
 
 (* ------------------------------------------------------------------ *)
+(* faults *)
+
+let run_faults loss burst outage crash distance kib seed verbose =
+  let loss_model =
+    match (loss, burst) with
+    | Some _, Some _ -> Error "use either --loss or --burst-loss, not both"
+    | Some p, None -> Ok (Some (Netsim.Faults.Bernoulli p))
+    | None, Some p ->
+        (* Fixed transition probabilities give a mean bad episode of 5
+           cells; --burst-loss sets how lossy those episodes are. *)
+        Ok
+          (Some
+             (Netsim.Faults.Gilbert_elliott
+                { p_good_to_bad = 0.01; p_bad_to_good = 0.2; loss_good = 0.;
+                  loss_bad = p }))
+    | None, None -> Ok None
+  in
+  match loss_model with
+  | Error msg -> `Error (false, msg)
+  | Ok loss -> (
+      let config =
+        { Workload.Fault_experiment.default_config with
+          Workload.Fault_experiment.bottleneck_distance = distance;
+          transfer_bytes = Engine.Units.kib kib;
+          loss;
+          outage =
+            Option.map
+              (fun (a, b) -> (Engine.Time.of_sec_f a, Engine.Time.of_sec_f b))
+              outage;
+          crash_at = Option.map Engine.Time.of_sec_f crash;
+        }
+      in
+      match Workload.Fault_experiment.validate_config config with
+      | Error msg -> `Error (false, msg)
+      | Ok config ->
+          let c = Workload.Fault_experiment.compare_strategies ~seed config in
+          let t =
+            Analysis.Table.create
+              ~columns:
+                [ "strategy"; "outcome"; "ttlb"; "goodput"; "retx"; "drops";
+                  "failed after" ]
+          in
+          let row label (r : Workload.Fault_experiment.result) =
+            Analysis.Table.add_row t
+              [
+                label;
+                Workload.Fault_experiment.outcome_to_string r.outcome;
+                (match r.time_to_last_byte with
+                | Some x -> Printf.sprintf "%.3fs" (Engine.Time.to_sec_f x)
+                | None -> "-");
+                Printf.sprintf "%.2f Mbit/s" (r.goodput_bps /. 1e6);
+                string_of_int r.retransmissions;
+                Format.asprintf "%a" Netsim.Link.pp_drop_counts r.drops;
+                (match r.failed_after with
+                | Some x -> Printf.sprintf "%.3fs" (Engine.Time.to_sec_f x)
+                | None -> "-");
+              ]
+          in
+          row "circuitstart" c.circuit_start;
+          row "slowstart" c.slow_start;
+          print_string (Analysis.Table.render t);
+          if verbose then
+            List.iter
+              (fun e -> Format.printf "%a@." Engine.Trace.pp_event e)
+              c.circuit_start.events;
+          `Ok ())
+
+let faults_cmd =
+  let loss =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "loss" ] ~docv:"P"
+          ~doc:"Bernoulli loss probability on the bottleneck link, in [0, 1].")
+  in
+  let burst =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "burst-loss" ] ~docv:"P"
+          ~doc:
+            "Gilbert-Elliott bursty loss: bad-state loss probability (episodes \
+             average 5 cells).  Mutually exclusive with --loss.")
+  in
+  let outage =
+    Arg.(
+      value
+      & opt (some (pair ~sep:':' float float)) None
+      & info [ "outage" ] ~docv:"T1:T2"
+          ~doc:"Take the bottleneck link down from T1 to T2 seconds after transfer start.")
+  in
+  let crash =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "crash-at" ] ~docv:"T"
+          ~doc:"Crash the bottleneck relay T seconds after transfer start.")
+  in
+  let distance =
+    Arg.(
+      value & opt int 2
+      & info [ "distance" ] ~docv:"HOPS"
+          ~doc:"Bottleneck (and fault-target) distance from the client, in hops (1-3).")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "events" ] ~doc:"Print the fault/recovery/abort event log.")
+  in
+  let doc = "CircuitStart vs slow start under loss, outages and relay crashes." in
+  Cmd.v (Cmd.info "faults" ~doc)
+    Term.(
+      ret
+        (const run_faults $ loss $ burst $ outage $ crash $ distance $ bytes_arg 512
+       $ seed_arg $ verbose))
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let doc = "CircuitStart: a slow start for multi-hop anonymity systems (simulator)" in
@@ -410,4 +526,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ trace_cmd; cdf_cmd; optimal_cmd; adaptive_cmd; sweep_cmd; cross_cmd ]))
+          [ trace_cmd; cdf_cmd; optimal_cmd; adaptive_cmd; sweep_cmd; cross_cmd;
+            faults_cmd ]))

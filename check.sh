@@ -1,0 +1,18 @@
+#!/bin/sh
+# One-command health check: build everything, run the full test suite,
+# then smoke the fault-injection path end to end (a lossy paired
+# CircuitStart/slow-start run must complete, not hang).
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== dune build @all =="
+dune build @all
+
+echo "== dune runtest =="
+dune runtest
+
+echo "== fault smoke: torsim faults --loss 0.01 =="
+dune exec bin/torsim.exe -- faults --loss 0.01 --kib 128
+
+echo "OK"

@@ -4,6 +4,7 @@ type pending = {
   mutable sent_at : Engine.Time.t;  (* wire-departure instant *)
   mutable retransmitted : bool;
   mutable backoff : int;  (* doublings applied to the next RTO *)
+  mutable attempts : int;  (* retransmissions of this cell so far *)
   mutable timer : Engine.Sim.handle option;
 }
 
@@ -15,19 +16,23 @@ type t = {
   sim : Engine.Sim.t;
   rto_min : Engine.Time.t;
   rto_initial : Engine.Time.t;
+  max_retries : int;
   backlog : (Tor_model.Cell.t * (unit -> unit) option) Queue.t;
   inflight : (int, pending) Hashtbl.t;
   mutable next_seq : int;
   mutable sent : int;
   mutable retx : int;
   mutable spurious : int;
+  mutable aborted : bool;
+  mutable on_abort : (unit -> unit) option;
   (* Jacobson/Karels estimator state, in seconds. *)
   mutable srtt : float option;
   mutable rttvar : float;
 }
 
 let create ~sb ~circuit ~succ ~controller ?(rto_min = Engine.Time.ms 400)
-    ?(rto_initial = Engine.Time.s 1) () =
+    ?(rto_initial = Engine.Time.s 1) ?(max_retries = 8) () =
+  if max_retries < 1 then invalid_arg "Hop_sender.create: max_retries must be positive";
   {
     sb;
     circuit;
@@ -36,12 +41,15 @@ let create ~sb ~circuit ~succ ~controller ?(rto_min = Engine.Time.ms 400)
     sim = Netsim.Network.sim (Tor_model.Switchboard.network sb);
     rto_min;
     rto_initial;
+    max_retries;
     backlog = Queue.create ();
     inflight = Hashtbl.create 64;
     next_seq = 0;
     sent = 0;
     retx = 0;
     spurious = 0;
+    aborted = false;
+    on_abort = None;
     srtt = None;
     rttvar = 0.;
   }
@@ -54,6 +62,8 @@ let cells_sent t = t.sent
 let retransmissions t = t.retx
 let spurious_feedback t = t.spurious
 let idle t = Queue.is_empty t.backlog && Hashtbl.length t.inflight = 0
+let aborted t = t.aborted
+let set_on_abort t f = t.on_abort <- Some f
 
 let srtt t = Option.map Engine.Time.of_sec_f t.srtt
 
@@ -66,6 +76,29 @@ let rto t =
 
 let max_backoff = 6
 
+(* Kill the sender: cancel every pending timer, drop all state.  Once
+   aborted a sender accepts no submissions, transmits nothing and
+   ignores feedback. *)
+let abort t =
+  if not t.aborted then begin
+    t.aborted <- true;
+    Hashtbl.iter
+      (fun _ p -> match p.timer with Some h -> Engine.Sim.cancel t.sim h | None -> ())
+      t.inflight;
+    Hashtbl.reset t.inflight;
+    Queue.clear t.backlog
+  end
+
+(* Budget exhausted: the successor is unreachable (dead relay, cut
+   link, or loss beyond what retransmission can mask).  Give up and
+   tell the owner — retransmitting forever would spin the simulation
+   without ever completing. *)
+let trip t =
+  if not t.aborted then begin
+    abort t;
+    match t.on_abort with Some f -> f () | None -> ()
+  end
+
 (* Put the cell on the wire.  All timing is anchored at the actual wire
    departure (the access link's serialization start): the RTT clock and
    the retransmission timer start there, and — on the first
@@ -74,16 +107,22 @@ let max_backoff = 6
    not when the cell was merely queued).  The retransmission timer
    backs off exponentially: Karn's rule freezes the estimator during
    retransmissions, so without backoff an RTO below the loaded RTT
-   would retransmit every cell forever (congestion collapse). *)
+   would retransmit every cell forever (congestion collapse).  Each
+   cell's retransmissions are bounded by [max_retries]; exhausting the
+   budget trips the whole sender into its terminal aborted state. *)
 let rec wire_send t ~hop_seq ?ack (p : pending) =
   let first = not p.transmitted in
   let attempt_on_wire = ref false in
   let retransmit () =
-    if Hashtbl.mem t.inflight hop_seq then begin
-      p.retransmitted <- true;
-      p.backoff <- Stdlib.min max_backoff (p.backoff + 1);
-      t.retx <- t.retx + 1;
-      wire_send t ~hop_seq p
+    if (not t.aborted) && Hashtbl.mem t.inflight hop_seq then begin
+      if p.attempts >= t.max_retries then trip t
+      else begin
+        p.retransmitted <- true;
+        p.backoff <- Stdlib.min max_backoff (p.backoff + 1);
+        p.attempts <- p.attempts + 1;
+        t.retx <- t.retx + 1;
+        wire_send t ~hop_seq p
+      end
     end
   in
   Tor_model.Switchboard.send_payload t.sb ~dst:t.succ ~size:Wire.cell_size
@@ -111,7 +150,8 @@ let rec wire_send t ~hop_seq ?ack (p : pending) =
 (* Move backlog cells onto the wire while the window allows. *)
 let rec pump t =
   if
-    Hashtbl.length t.inflight < Circuitstart.Controller.send_allowance t.controller
+    (not t.aborted)
+    && Hashtbl.length t.inflight < Circuitstart.Controller.send_allowance t.controller
     && not (Queue.is_empty t.backlog)
   then begin
     let cell, ack = Queue.pop t.backlog in
@@ -120,7 +160,7 @@ let rec pump t =
     t.sent <- t.sent + 1;
     let p =
       { cell; transmitted = false; sent_at = Engine.Sim.now t.sim;
-        retransmitted = false; backoff = 0; timer = None }
+        retransmitted = false; backoff = 0; attempts = 0; timer = None }
     in
     Hashtbl.add t.inflight hop_seq p;
     wire_send t ~hop_seq ?ack p;
@@ -128,8 +168,10 @@ let rec pump t =
   end
 
 let submit t ?ack cell =
-  Queue.push (cell, ack) t.backlog;
-  pump t
+  if not t.aborted then begin
+    Queue.push (cell, ack) t.backlog;
+    pump t
+  end
 
 let sample_rtt t rtt_s =
   match t.srtt with
@@ -142,20 +184,21 @@ let sample_rtt t rtt_s =
       t.rttvar <- (0.75 *. t.rttvar) +. (0.25 *. Float.abs err)
 
 let on_feedback t ~hop_seq =
-  match Hashtbl.find_opt t.inflight hop_seq with
-  | None -> t.spurious <- t.spurious + 1
-  | Some p ->
-      Hashtbl.remove t.inflight hop_seq;
-      (match p.timer with Some h -> Engine.Sim.cancel t.sim h | None -> ());
-      let now = Engine.Sim.now t.sim in
-      if not p.retransmitted then begin
-        let rtt = Engine.Time.diff now p.sent_at in
-        if Engine.Time.(rtt > Engine.Time.zero) then begin
-          sample_rtt t (Engine.Time.to_sec_f rtt);
-          (* If nothing is waiting locally, the window is not what
-             limits this hop; rounds without pressure must not grow. *)
-          let window_limited = not (Queue.is_empty t.backlog) in
-          Circuitstart.Controller.on_feedback t.controller ~now ~rtt ~window_limited ()
-        end
-      end;
-      pump t
+  if not t.aborted then
+    match Hashtbl.find_opt t.inflight hop_seq with
+    | None -> t.spurious <- t.spurious + 1
+    | Some p ->
+        Hashtbl.remove t.inflight hop_seq;
+        (match p.timer with Some h -> Engine.Sim.cancel t.sim h | None -> ());
+        let now = Engine.Sim.now t.sim in
+        if not p.retransmitted then begin
+          let rtt = Engine.Time.diff now p.sent_at in
+          if Engine.Time.(rtt > Engine.Time.zero) then begin
+            sample_rtt t (Engine.Time.to_sec_f rtt);
+            (* If nothing is waiting locally, the window is not what
+               limits this hop; rounds without pressure must not grow. *)
+            let window_limited = not (Queue.is_empty t.backlog) in
+            Circuitstart.Controller.on_feedback t.controller ~now ~rtt ~window_limited ()
+          end
+        end;
+        pump t

@@ -22,13 +22,22 @@ val create :
   controller:Circuitstart.Controller.t ->
   ?rto_min:Engine.Time.t ->
   ?rto_initial:Engine.Time.t ->
+  ?max_retries:int ->
   unit ->
   t
 (** [rto_min] defaults to 400 ms, [rto_initial] to 1 s.  Consecutive
     retransmissions of the same cell back off exponentially (doubling,
     capped at 64x) — under Karn's rule the estimator is frozen while
     retransmissions are in progress, so backoff is what re-opens the
-    window for a fresh sample. *)
+    window for a fresh sample.
+
+    [max_retries] (default 8, must be positive) bounds the
+    retransmission budget per cell: when any one cell has been
+    retransmitted that many times without feedback, the sender {e
+    trips} — it discards all state, goes terminal (see {!aborted}) and
+    fires the {!set_on_abort} callback.  This is the failure-detection
+    bound: a dead successor is declared unreachable after at most
+    [sum of the backed-off RTOs] rather than retransmitting forever. *)
 
 val submit : t -> ?ack:(unit -> unit) -> Tor_model.Cell.t -> unit
 (** Queue a cell; it is transmitted as soon as the window allows.
@@ -57,3 +66,19 @@ val idle : t -> bool
 
 val srtt : t -> Engine.Time.t option
 (** Smoothed RTT estimate, once at least one sample exists. *)
+
+(** {1 Failure} *)
+
+val aborted : t -> bool
+(** Whether the sender is in its terminal state.  An aborted sender
+    ignores {!submit}, {!on_feedback} and all pending timers. *)
+
+val abort : t -> unit
+(** Kill the sender silently (no callback): cancel every pending
+    retransmission timer and drop backlog and in-flight state.  Used
+    by the owner to tear down the remaining hops of a failed circuit.
+    Idempotent. *)
+
+val set_on_abort : t -> (unit -> unit) -> unit
+(** [f] fires once, at the instant the sender trips its own
+    retransmission budget (not on an external {!abort}). *)

@@ -5,12 +5,15 @@ type stream_state = {
   mutable str_completed_at : Engine.Time.t option;
 }
 
+type state = Running | Completed | Failed
+
 type t = {
   circuit : Tor_model.Circuit.t;
   node_of : Netsim.Node_id.t -> Node.t;
   streams : stream_state list;  (* at least one; cells interleave round-robin *)
   sim : Engine.Sim.t;
   senders : Hop_sender.t array;  (* position 0 = client, one per hop *)
+  trace : (Engine.Trace.t * string) option;
   (* (stream, seq) -> client wire-departure instant, for end-to-end cell
      latency; entries are consumed at first delivery so duplicates do
      not sample twice. *)
@@ -18,13 +21,42 @@ type t = {
   cell_latency : Engine.Stats.Online.t;
   mutable started : bool;
   mutable first_sent_at : Engine.Time.t option;
+  mutable failed_at : Engine.Time.t option;
+  mutable failed_hop : int option;
   mutable on_complete : (Engine.Time.t -> unit) option;
+  mutable on_fail : (Engine.Time.t -> unit) option;
 }
 
 let stream_of t id = List.find_opt (fun s -> s.stream_id = id) t.streams
 let all_complete t = List.for_all (fun s -> Tor_model.Stream.Sink.complete s.str_sink) t.streams
 
 let sb_of t node = Node.switchboard (t.node_of node)
+
+let teardown t =
+  List.iter
+    (fun node ->
+      Node.unregister_flow (t.node_of node) t.circuit.Tor_model.Circuit.id)
+    (Tor_model.Circuit.nodes t.circuit)
+
+(* Hop [pos] exhausted its retransmission budget: its successor is
+   unreachable, so the circuit is dead.  Fail exactly once — kill the
+   remaining hop senders, detach every flow, and tell the owner — so
+   the simulation winds down instead of spinning on retransmissions. *)
+let fail t ~pos =
+  if t.failed_at = None && not (all_complete t) then begin
+    let now = Engine.Sim.now t.sim in
+    t.failed_at <- Some now;
+    t.failed_hop <- Some pos;
+    Array.iter Hop_sender.abort t.senders;
+    teardown t;
+    (match t.trace with
+    | Some (registry, prefix) ->
+        Engine.Trace.record_event registry Engine.Trace.Abort ~subject:prefix
+          ~detail:(Printf.sprintf "hop %d retransmission budget exhausted" pos)
+          now
+    | None -> ());
+    match t.on_fail with Some f -> f now | None -> ()
+  end
 
 let feedback_to t node ~pred ~hop_seq =
   Tor_model.Switchboard.send_payload (sb_of t node) ~dst:pred ~size:Wire.feedback_size
@@ -90,7 +122,8 @@ let client_flow ~sender =
   }
 
 let deploy_streams ~node_of ~circuit ~streams ~strategy
-    ?(params = Circuitstart.Params.default) ?trace ?on_complete () =
+    ?(params = Circuitstart.Params.default) ?trace ?rto_min ?rto_initial
+    ?max_retries ?on_complete ?on_fail () =
   if streams = [] then invalid_arg "Backtap.Transfer.deploy_streams: no streams";
   let ids = List.map fst streams in
   if List.length (List.sort_uniq Int.compare ids) <> List.length ids then
@@ -116,7 +149,8 @@ let deploy_streams ~node_of ~circuit ~streams ~strategy
     | None -> ());
     Hop_sender.create
       ~sb:(Node.switchboard (node_of node_arr.(pos)))
-      ~circuit:circuit.Tor_model.Circuit.id ~succ:node_arr.(pos + 1) ~controller ()
+      ~circuit:circuit.Tor_model.Circuit.id ~succ:node_arr.(pos + 1) ~controller
+      ?rto_min ?rto_initial ?max_retries ()
   in
   let senders = Array.init hops make_sender in
   let t =
@@ -133,13 +167,18 @@ let deploy_streams ~node_of ~circuit ~streams ~strategy
           streams;
       sim;
       senders;
+      trace;
       cell_departures = Hashtbl.create 256;
       cell_latency = Engine.Stats.Online.create ();
       started = false;
       first_sent_at = None;
+      failed_at = None;
+      failed_hop = None;
       on_complete;
+      on_fail;
     }
   in
+  Array.iteri (fun pos s -> Hop_sender.set_on_abort s (fun () -> fail t ~pos)) senders;
   (* Client flow at position 0. *)
   Node.register_flow
     (node_of circuit.Tor_model.Circuit.client)
@@ -157,10 +196,10 @@ let deploy_streams ~node_of ~circuit ~streams ~strategy
     (server_flow t ~pred:node_arr.(hops - 1));
   t
 
-let deploy ~node_of ~circuit ~bytes ~strategy ?params ?trace ?(stream_id = 0)
-    ?on_complete () =
+let deploy ~node_of ~circuit ~bytes ~strategy ?params ?trace ?rto_min ?rto_initial
+    ?max_retries ?(stream_id = 0) ?on_complete ?on_fail () =
   deploy_streams ~node_of ~circuit ~streams:[ (stream_id, bytes) ] ~strategy ?params
-    ?trace ?on_complete ()
+    ?trace ?rto_min ?rto_initial ?max_retries ?on_complete ?on_fail ()
 
 let start t =
   if t.started then invalid_arg "Backtap.Transfer.start: already started";
@@ -203,6 +242,12 @@ let start t =
 let circuit t = t.circuit
 let complete t = all_complete t
 let first_sent_at t = t.first_sent_at
+let failed t = t.failed_at <> None
+let failed_at t = t.failed_at
+let failed_hop t = t.failed_hop
+
+let state t =
+  if failed t then Failed else if all_complete t then Completed else Running
 
 let completed_at t =
   (* The instant the *last* stream finished, once every stream has. *)
@@ -240,9 +285,3 @@ let cell_latency_stats t = t.cell_latency
 
 let total_retransmissions t =
   Array.fold_left (fun acc s -> acc + Hop_sender.retransmissions s) 0 t.senders
-
-let teardown t =
-  List.iter
-    (fun node ->
-      Node.unregister_flow (t.node_of node) t.circuit.Tor_model.Circuit.id)
-    (Tor_model.Circuit.nodes t.circuit)

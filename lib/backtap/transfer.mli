@@ -20,6 +20,13 @@
 
 type t
 
+type state =
+  | Running
+  | Completed  (** Every stream's sink has every byte. *)
+  | Failed
+      (** A hop sender exhausted its retransmission budget: the circuit
+          is dead, all hop state has been torn down.  Terminal. *)
+
 val deploy :
   node_of:(Netsim.Node_id.t -> Node.t) ->
   circuit:Tor_model.Circuit.t ->
@@ -27,16 +34,26 @@ val deploy :
   strategy:Circuitstart.Controller.strategy ->
   ?params:Circuitstart.Params.t ->
   ?trace:Engine.Trace.t * string ->
+  ?rto_min:Engine.Time.t ->
+  ?rto_initial:Engine.Time.t ->
+  ?max_retries:int ->
   ?stream_id:int ->
   ?on_complete:(Engine.Time.t -> unit) ->
+  ?on_fail:(Engine.Time.t -> unit) ->
   unit ->
   t
 (** Prepare (but do not start) a [bytes]-byte transfer.  [node_of] must
     return the BackTap node state of every node on the path.  With
     [trace = (registry, prefix)], each hop's window is recorded as
     series ["<prefix>/cwnd/<position>"] in cells (position 0 = client),
-    with an initial point at deployment time.  [on_complete] fires once
-    when the sink has every byte. *)
+    with an initial point at deployment time, and a circuit failure is
+    recorded as an {!Engine.Trace.Abort} event under [prefix].
+    [rto_min], [rto_initial] and [max_retries] are handed to every
+    {!Hop_sender} (see {!Hop_sender.create} for defaults); together
+    they bound how long a dead successor can stall the circuit before
+    it fails.  [on_complete] fires once when the sink has every byte;
+    [on_fail] fires once if the circuit fails instead.  The two are
+    mutually exclusive. *)
 
 val deploy_streams :
   node_of:(Netsim.Node_id.t -> Node.t) ->
@@ -45,7 +62,11 @@ val deploy_streams :
   strategy:Circuitstart.Controller.strategy ->
   ?params:Circuitstart.Params.t ->
   ?trace:Engine.Trace.t * string ->
+  ?rto_min:Engine.Time.t ->
+  ?rto_initial:Engine.Time.t ->
+  ?max_retries:int ->
   ?on_complete:(Engine.Time.t -> unit) ->
+  ?on_fail:(Engine.Time.t -> unit) ->
   unit ->
   t
 (** Multiplex several application streams over one circuit, as Tor
@@ -63,6 +84,18 @@ val start : t -> unit
 val circuit : t -> Tor_model.Circuit.t
 val complete : t -> bool
 val first_sent_at : t -> Engine.Time.t option
+
+val state : t -> state
+
+val failed : t -> bool
+(** The circuit died before completing. *)
+
+val failed_at : t -> Engine.Time.t option
+(** When the circuit failed ([None] unless {!failed}). *)
+
+val failed_hop : t -> int option
+(** The path position (0 = client) whose sender tripped the failure. *)
+
 val completed_at : t -> Engine.Time.t option
 (** When the last byte of the *last* stream arrived ([None] until every
     stream is complete). *)

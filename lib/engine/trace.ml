@@ -1,18 +1,42 @@
-type t = (string, Timeseries.t) Hashtbl.t
+type kind = Fault | Recovery | Abort
 
-let create () : t = Hashtbl.create 32
+type event = { time : Time.t; kind : kind; subject : string; detail : string }
+
+type t = {
+  table : (string, Timeseries.t) Hashtbl.t;
+  mutable events : event list;  (* newest first *)
+  mutable event_count : int;
+}
+
+let create () = { table = Hashtbl.create 32; events = []; event_count = 0 }
 
 let series t key =
-  match Hashtbl.find_opt t key with
+  match Hashtbl.find_opt t.table key with
   | Some ts -> ts
   | None ->
       let ts = Timeseries.create ~name:key () in
-      Hashtbl.add t key ts;
+      Hashtbl.add t.table key ts;
       ts
 
-let find t key = Hashtbl.find_opt t key
+let find t key = Hashtbl.find_opt t.table key
 let record t key time v = Timeseries.record (series t key) time v
-let keys t = Hashtbl.fold (fun k _ acc -> k :: acc) t [] |> List.sort String.compare
+
+let keys t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.table [] |> List.sort String.compare
+
+let kind_to_string = function
+  | Fault -> "fault"
+  | Recovery -> "recovery"
+  | Abort -> "abort"
+
+let record_event t kind ~subject ?(detail = "") time =
+  t.events <- { time; kind; subject; detail } :: t.events;
+  t.event_count <- t.event_count + 1
+
+let events t = List.rev t.events
+let event_count t = t.event_count
+
+let events_with t kind = List.filter (fun e -> e.kind = kind) (events t)
 
 let to_csv t buf =
   Buffer.add_string buf "series,time_s,value\n";
@@ -25,3 +49,17 @@ let to_csv t buf =
             (Printf.sprintf "%s,%.9f,%.6f\n" key (Time.to_sec_f time) v))
         (Timeseries.points ts))
     (keys t)
+
+let events_to_csv t buf =
+  Buffer.add_string buf "time_s,kind,subject,detail\n";
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "%.9f,%s,%s,%s\n" (Time.to_sec_f e.time)
+           (kind_to_string e.kind) e.subject e.detail))
+    (events t)
+
+let pp_event fmt e =
+  Format.fprintf fmt "[%a] %s %s%s" Time.pp e.time (kind_to_string e.kind)
+    e.subject
+    (if e.detail = "" then "" else ": " ^ e.detail)

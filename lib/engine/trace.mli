@@ -3,7 +3,13 @@
     Model components publish time series under string keys
     (["circuit0/cwnd"], ["relay3/queue"]); experiment drivers collect
     them afterwards without threading series through every constructor.
-    A registry belongs to one simulation run. *)
+    A registry belongs to one simulation run.
+
+    Alongside the numeric series, the registry keeps a log of discrete
+    {e lifecycle events} — faults injected into the network, recoveries
+    from them, and circuit aborts — so that an experiment's disturbance
+    schedule and its consequences live in the same artefact as the
+    series they explain. *)
 
 type t
 
@@ -26,3 +32,36 @@ val keys : t -> string list
 val to_csv : t -> Buffer.t -> unit
 (** Append all series as CSV rows [series,time_s,value] (times in
     seconds), grouped by key in sorted order. *)
+
+(** {1 Lifecycle events} *)
+
+type kind =
+  | Fault  (** A disturbance began: loss burst, link outage, relay crash. *)
+  | Recovery  (** A disturbance ended: link back up, relay restarted. *)
+  | Abort  (** A circuit or transfer gave up (terminal failure). *)
+
+type event = {
+  time : Time.t;
+  kind : kind;
+  subject : string;  (** What the event concerns, e.g. ["link/hub->relay1"]. *)
+  detail : string;  (** Free-form context; may be empty. *)
+}
+
+val record_event : t -> kind -> subject:string -> ?detail:string -> Time.t -> unit
+(** Append an event to the log ([detail] defaults to empty). *)
+
+val events : t -> event list
+(** All recorded events, oldest first. *)
+
+val events_with : t -> kind -> event list
+(** The events of one kind, oldest first. *)
+
+val event_count : t -> int
+
+val kind_to_string : kind -> string
+(** ["fault"], ["recovery"] or ["abort"]. *)
+
+val events_to_csv : t -> Buffer.t -> unit
+(** Append the event log as CSV rows [time_s,kind,subject,detail]. *)
+
+val pp_event : Format.formatter -> event -> unit

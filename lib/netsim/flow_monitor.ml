@@ -42,3 +42,8 @@ let time_to_last_byte t ~flow =
 
 let flows t = Hashtbl.fold (fun k _ acc -> k :: acc) t [] |> List.sort Int.compare
 let total_rx_bytes t = Hashtbl.fold (fun _ s acc -> acc + s.rx_bytes) t 0
+
+let link_drops links =
+  List.fold_left
+    (fun acc l -> Link.add_drop_counts acc (Link.drop_counts l))
+    Link.no_drops links

@@ -1,3 +1,5 @@
+type drop_counts = { queue_full : int; fault_injected : int; outage : int }
+
 type t = {
   sim : Engine.Sim.t;
   src : Node_id.t;
@@ -7,9 +9,15 @@ type t = {
   queue : Nqueue.t;
   mutable receiver : (Packet.t -> unit) option;
   mutable busy : bool;
+  mutable up : bool;
+  (* Fault-injection hook: [true] means "lose this packet in flight".
+     Consulted once per packet, at the end of its serialization. *)
+  mutable fault_filter : (Packet.t -> bool) option;
   mutable delivered : int;
   mutable delivered_bytes : int;
   mutable blackholed : int;
+  mutable fault_drops : int;
+  mutable outage_drops : int;
   mutable busy_time : Engine.Time.t;
   (* Packet id -> callback fired when serialization of that packet
      starts (the moment it is truly "on the wire"). *)
@@ -27,9 +35,13 @@ let create sim ~src ~dst ~rate ~delay ?(queue = Nqueue.unbounded) () =
     queue = Nqueue.create queue;
     receiver = None;
     busy = false;
+    up = true;
+    fault_filter = None;
     delivered = 0;
     delivered_bytes = 0;
     blackholed = 0;
+    fault_drops = 0;
+    outage_drops = 0;
     busy_time = Engine.Time.zero;
     on_transmit = Hashtbl.create 16;
   }
@@ -39,6 +51,9 @@ let dst t = t.dst
 let rate t = t.rate
 let delay t = t.delay
 let set_receiver t f = t.receiver <- Some f
+let set_fault_filter t f = t.fault_filter <- f
+let set_up t up = t.up <- up
+let is_up t = t.up
 
 let deliver t (p : Packet.t) =
   match t.receiver with
@@ -49,7 +64,11 @@ let deliver t (p : Packet.t) =
       f p
 
 (* Serialize [p]; when its last bit is on the wire, schedule the
-   propagation-delayed delivery and start on the next queued packet. *)
+   propagation-delayed delivery and start on the next queued packet.
+   At that instant the faults act: a link that went down mid-flight
+   kills the packet (outage), and the fault filter may lose it — the
+   capacity was consumed either way, which is what distinguishes wire
+   loss from a tail drop. *)
 let rec transmit t (p : Packet.t) =
   t.busy <- true;
   (match Hashtbl.find_opt t.on_transmit p.id with
@@ -61,22 +80,33 @@ let rec transmit t (p : Packet.t) =
   t.busy_time <- Engine.Time.add t.busy_time tx_time;
   ignore
     (Engine.Sim.schedule_after t.sim tx_time (fun () ->
-         ignore
-           (Engine.Sim.schedule_after t.sim t.delay (fun () -> deliver t p));
+         (if not t.up then t.outage_drops <- t.outage_drops + 1
+          else
+            match t.fault_filter with
+            | Some drop when drop p -> t.fault_drops <- t.fault_drops + 1
+            | _ ->
+                ignore
+                  (Engine.Sim.schedule_after t.sim t.delay (fun () -> deliver t p)));
          match Nqueue.dequeue t.queue with
          | Some next -> transmit t next
          | None -> t.busy <- false))
 
 let send t ?on_transmit p =
-  (match on_transmit with
-  | Some f -> Hashtbl.replace t.on_transmit p.Packet.id f
-  | None -> ());
-  if t.busy then begin
-    if not (Nqueue.enqueue t.queue p) then
-      (* Dropped at the tail: the packet will never serialize. *)
-      Hashtbl.remove t.on_transmit p.Packet.id
+  if not t.up then
+    (* The link is cut: the packet never reaches the transmitter, so
+       [on_transmit] must not fire (same contract as a tail drop). *)
+    t.outage_drops <- t.outage_drops + 1
+  else begin
+    (match on_transmit with
+    | Some f -> Hashtbl.replace t.on_transmit p.Packet.id f
+    | None -> ());
+    if t.busy then begin
+      if not (Nqueue.enqueue t.queue p) then
+        (* Dropped at the tail: the packet will never serialize. *)
+        Hashtbl.remove t.on_transmit p.Packet.id
+    end
+    else transmit t p
   end
-  else transmit t p
 
 let busy t = t.busy
 let queue_length t = Nqueue.length t.queue
@@ -86,6 +116,26 @@ let queue_high_watermark_bytes t = Nqueue.high_watermark_bytes t.queue
 let packets_delivered t = t.delivered
 let bytes_delivered t = t.delivered_bytes
 let packets_blackholed t = t.blackholed
+let fault_drops t = t.fault_drops
+let outage_drops t = t.outage_drops
+
+let drop_counts t =
+  { queue_full = Nqueue.drops t.queue;
+    fault_injected = t.fault_drops;
+    outage = t.outage_drops }
+
+let total_drops c = c.queue_full + c.fault_injected + c.outage
+
+let add_drop_counts a b =
+  { queue_full = a.queue_full + b.queue_full;
+    fault_injected = a.fault_injected + b.fault_injected;
+    outage = a.outage + b.outage }
+
+let no_drops = { queue_full = 0; fault_injected = 0; outage = 0 }
+
+let pp_drop_counts fmt d =
+  Format.fprintf fmt "{queue-full %d; fault %d; outage %d}" d.queue_full
+    d.fault_injected d.outage
 
 let set_rate t rate = t.rate <- rate
 
@@ -95,5 +145,6 @@ let utilization t horizon =
   Float.min 1. (Engine.Time.ratio t.busy_time horizon)
 
 let pp fmt t =
-  Format.fprintf fmt "%a->%a %a %a q=%d" Node_id.pp t.src Node_id.pp t.dst
+  Format.fprintf fmt "%a->%a %a %a q=%d%s" Node_id.pp t.src Node_id.pp t.dst
     Engine.Units.Rate.pp t.rate Engine.Time.pp t.delay (queue_length t)
+    (if t.up then "" else " DOWN")

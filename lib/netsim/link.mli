@@ -8,9 +8,24 @@
     CircuitStart analyses.
 
     Delivery invokes the receiver callback installed with
-    {!set_receiver}; a link with no receiver black-holes (counted). *)
+    {!set_receiver}; a link with no receiver black-holes (counted).
+
+    Links are the substrate for fault injection: a {e fault filter}
+    ({!set_fault_filter}) can lose any packet at the end of its
+    serialization — the wire's capacity is consumed, the bits are not
+    delivered — and the link can be taken down outright ({!set_up}),
+    which rejects new packets at the transmitter and kills packets
+    caught in flight.  Every lost packet is attributed to exactly one
+    {!drop_counts} bucket so experiments can tell congestion from
+    injected faults. *)
 
 type t
+
+type drop_counts = {
+  queue_full : int;  (** Tail drops on the egress queue. *)
+  fault_injected : int;  (** Lost by the fault filter (in-flight loss). *)
+  outage : int;  (** Rejected or killed while the link was down. *)
+}
 
 val create :
   Engine.Sim.t ->
@@ -38,9 +53,24 @@ val set_rate : t -> Engine.Units.Rate.t -> unit
 val set_receiver : t -> (Packet.t -> unit) -> unit
 (** Install the handler run (at the destination) when a packet arrives. *)
 
+val set_fault_filter : t -> (Packet.t -> bool) option -> unit
+(** [set_fault_filter t (Some drop)] makes the link consult [drop]
+    once per packet, at the end of its serialization; [true] loses the
+    packet (counted in {!fault_drops}).  [None] removes the filter.
+    {!Faults} builds the standard loss models on top of this hook. *)
+
+val set_up : t -> bool -> unit
+(** Take the link down or bring it back up.  While down, {!send}
+    rejects packets at the transmitter (no [on_transmit], counted as
+    outage drops) and any packet whose serialization completes is
+    killed instead of delivered.  Links start up. *)
+
+val is_up : t -> bool
+
 val send : t -> ?on_transmit:(unit -> unit) -> Packet.t -> unit
-(** Hand a packet to the transmitter.  If the transmitter is busy the
-    packet queues; if the queue is full it is dropped silently (the
+(** Hand a packet to the transmitter.  If the link is down the packet
+    is dropped (counted in {!outage_drops}).  If the transmitter is
+    busy the packet queues; if the queue is full it is dropped (the
     drop is visible in {!queue_drops}).  [on_transmit] fires at the
     instant the packet's serialization starts — when it is truly on
     the wire; it never fires for a dropped packet. *)
@@ -59,6 +89,20 @@ val packets_delivered : t -> int
 val bytes_delivered : t -> int
 val packets_blackholed : t -> int
 (** Packets that arrived with no receiver installed. *)
+
+val fault_drops : t -> int
+(** Packets lost by the fault filter. *)
+
+val outage_drops : t -> int
+(** Packets rejected or killed while the link was down. *)
+
+val drop_counts : t -> drop_counts
+(** All three drop counters in one read. *)
+
+val total_drops : drop_counts -> int
+val add_drop_counts : drop_counts -> drop_counts -> drop_counts
+val no_drops : drop_counts
+val pp_drop_counts : Format.formatter -> drop_counts -> unit
 
 val utilization : t -> Engine.Time.t -> float
 (** [utilization t horizon] is the fraction of [\[0, horizon\]] the

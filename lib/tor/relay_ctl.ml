@@ -4,6 +4,7 @@ type t = {
   sb : Switchboard.t;
   table : (int, entry) Hashtbl.t;
   mutable destroyed : int;
+  mutable crashes : int;
 }
 
 let key = Circuit_id.to_int
@@ -53,9 +54,19 @@ let handle t ~from (cell : Cell.t) =
   | Cell.Relay _ -> () (* Data plane handles RELAY cells; ignore here. *)
 
 let create sb =
-  let t = { sb; table = Hashtbl.create 16; destroyed = 0 } in
+  let t = { sb; table = Hashtbl.create 16; destroyed = 0; crashes = 0 } in
   Switchboard.set_control_handler sb (fun ~from cell -> handle t ~from cell);
   t
+
+(* A crash loses all volatile state: the routing table is gone, and
+   the node stops dispatching.  No DESTROYs are sent — a dead relay
+   cannot say goodbye; its neighbours find out by timing out. *)
+let crash t =
+  t.crashes <- t.crashes + 1;
+  Hashtbl.reset t.table;
+  Switchboard.set_down t.sb true
+
+let restart t = Switchboard.set_down t.sb false
 
 let route t c = Hashtbl.find_opt t.table (key c)
 
@@ -64,3 +75,4 @@ let circuits t =
   |> List.sort Circuit_id.compare
 
 let destroyed t = t.destroyed
+let crashes t = t.crashes

@@ -35,3 +35,20 @@ val circuits : t -> Circuit_id.t list
 
 val destroyed : t -> int
 (** DESTROY cells processed. *)
+
+(** {1 Crash injection} *)
+
+val crash : t -> unit
+(** Kill the relay: every circuit routing entry is lost and the
+    switchboard is taken down (incoming cells black-holed, outgoing
+    sends refused).  No DESTROY cells are emitted — a crashed relay
+    disappears silently; its neighbours discover the failure through
+    their own retransmission timeouts. *)
+
+val restart : t -> unit
+(** Bring the node back up.  The routing table stays empty: circuits
+    that ran through the relay are gone and must be rebuilt, exactly
+    like a real relay restart. *)
+
+val crashes : t -> int
+(** Crashes injected so far. *)

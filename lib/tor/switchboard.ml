@@ -7,26 +7,32 @@ type t = {
   mutable control : handler option;
   mutable aux : (Netsim.Packet.t -> unit) option;
   mutable orphans : int;
+  mutable down : bool;
+  mutable blackholed : int;
+  mutable refused : int;
 }
 
 let dispatch t (p : Netsim.Packet.t) =
-  match p.payload with
-  | Cell.Wire cell -> (
-      let key = Circuit_id.to_int cell.circuit in
-      match Hashtbl.find_opt t.circuits key with
-      | Some h -> h ~from:p.src cell
-      | None -> (
-          match t.control with
-          | Some h -> h ~from:p.src cell
-          | None -> t.orphans <- t.orphans + 1))
-  | _ -> (
-      match t.aux with
-      | Some h -> h p
-      | None -> t.orphans <- t.orphans + 1)
+  if t.down then t.blackholed <- t.blackholed + 1
+  else
+    match p.payload with
+    | Cell.Wire cell -> (
+        let key = Circuit_id.to_int cell.circuit in
+        match Hashtbl.find_opt t.circuits key with
+        | Some h -> h ~from:p.src cell
+        | None -> (
+            match t.control with
+            | Some h -> h ~from:p.src cell
+            | None -> t.orphans <- t.orphans + 1))
+    | _ -> (
+        match t.aux with
+        | Some h -> h p
+        | None -> t.orphans <- t.orphans + 1)
 
 let install net node =
   let t =
-    { net; node; circuits = Hashtbl.create 16; control = None; aux = None; orphans = 0 }
+    { net; node; circuits = Hashtbl.create 16; control = None; aux = None;
+      orphans = 0; down = false; blackholed = 0; refused = 0 }
   in
   Netsim.Network.set_local_handler net node (dispatch t);
   t
@@ -47,8 +53,15 @@ let set_control_handler t h = t.control <- Some h
 let set_aux_handler t h = t.aux <- Some h
 
 let send_payload t ?on_transmit ~dst ~size payload =
-  let p = Netsim.Network.make_packet t.net ~src:t.node ~dst ~size payload in
-  Netsim.Network.send t.net ?on_transmit p
+  if t.down then t.refused <- t.refused + 1
+  else
+    let p = Netsim.Network.make_packet t.net ~src:t.node ~dst ~size payload in
+    Netsim.Network.send t.net ?on_transmit p
 
 let send_cell t ~dst cell = send_payload t ~dst ~size:Cell.size (Cell.Wire cell)
 let orphan_cells t = t.orphans
+
+let set_down t down = t.down <- down
+let is_down t = t.down
+let blackholed_cells t = t.blackholed
+let refused_sends t = t.refused

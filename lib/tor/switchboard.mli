@@ -6,7 +6,12 @@
     that circuit; cells on unknown circuits (e.g. an incoming CREATE)
     go to the control handler; non-cell payloads (e.g. BackTap feedback
     messages) go to the auxiliary handler.  Transports register and
-    tear down circuit handlers as circuits come and go. *)
+    tear down circuit handlers as circuits come and go.
+
+    A switchboard can be marked {e down} ({!set_down}) to model a
+    crashed relay: every arriving packet is black-holed and every send
+    refused, without touching the handlers — so a later restart
+    ([set_down t false]) resumes dispatch where it left off. *)
 
 type t
 
@@ -50,3 +55,20 @@ val send_payload :
 
 val orphan_cells : t -> int
 (** Cells that found neither a circuit nor a control handler. *)
+
+(** {1 Crash injection} *)
+
+val set_down : t -> bool -> unit
+(** [set_down t true] models a node crash: incoming packets are
+    black-holed (counted) and outgoing sends are silently refused —
+    for senders, indistinguishable from loss, which is exactly what a
+    crashed relay looks like from one hop away.  [set_down t false]
+    restarts the node. *)
+
+val is_down : t -> bool
+
+val blackholed_cells : t -> int
+(** Packets that arrived while the node was down. *)
+
+val refused_sends : t -> int
+(** Sends attempted while the node was down. *)

@@ -1,0 +1,94 @@
+(** Transfers under injected faults: lossy links, outages, relay churn.
+
+    The clean-network experiments answer "how fast does CircuitStart
+    converge?"; this one answers "does the circuit survive, and at what
+    cost, when the network misbehaves?".  It builds the usual star
+    (client, [relay_count] relays with one bottleneck, server), runs
+    one transfer, and disturbs the bottleneck relay — the worst place
+    for the circuit — in up to three ways:
+
+    - a {!Netsim.Faults.loss_model} on both directions of its access
+      link (random or bursty wire loss);
+    - a scheduled outage window on that link;
+    - a full relay {e crash} ({!Tor_model.Relay_ctl.crash}) that
+      black-holes the circuit mid-transfer.
+
+    Faults are armed when the transfer starts (circuit establishment
+    has no retransmission machinery), and [outage] / [crash_at] are
+    offsets from that instant.  The run ends when the transfer
+    completes, when the circuit {e fails} (a hop sender exhausts its
+    retransmission budget), or at [horizon], whichever is first. *)
+
+type config = {
+  relay_count : int;
+  bottleneck_distance : int;  (** Hops from the client, 1-based. *)
+  bottleneck_rate : Engine.Units.Rate.t;
+  fast_rate : Engine.Units.Rate.t;
+  access_delay : Engine.Time.t;
+  endpoint_rate : Engine.Units.Rate.t;
+  transfer_bytes : int;
+  strategy : Circuitstart.Controller.strategy;
+  params : Circuitstart.Params.t;
+  link_queue : Netsim.Nqueue.capacity;
+  loss : Netsim.Faults.loss_model option;
+      (** Attached to both directions of the bottleneck access link. *)
+  outage : (Engine.Time.t * Engine.Time.t) option;
+      (** [(down, up)] offsets from transfer start. *)
+  crash_at : Engine.Time.t option;
+      (** Crash the bottleneck relay this long after transfer start. *)
+  rto_min : Engine.Time.t;
+  rto_initial : Engine.Time.t;
+  max_retries : int;  (** Per-cell retransmission budget. *)
+  horizon : Engine.Time.t;
+}
+
+val default_config : config
+(** 512 KiB over 3 relays, 3 Mbit bottleneck at the middle hop, no
+    faults; tight failure detection ([rto_min] 300 ms, [max_retries]
+    4) so crash runs terminate in seconds, not minutes — while a
+    fault-free run under these defaults retransmits nothing, so every
+    retransmission in a faulty run is attributable to the fault. *)
+
+val validate_config : config -> (config, string) result
+
+type outcome =
+  | Completed
+  | Failed_circuit  (** A hop sender tripped; see [failed_after]. *)
+  | Timed_out  (** Still running at [horizon] — a liveness bug. *)
+
+val outcome_to_string : outcome -> string
+
+type result = {
+  outcome : outcome;
+  time_to_last_byte : Engine.Time.t option;  (** [Completed] only. *)
+  failed_after : Engine.Time.t option;
+      (** Failure instant minus transfer start ([Failed_circuit] only).
+          Bounds how long a dead relay stalled the circuit. *)
+  failed_hop : int option;  (** Path position that tripped. *)
+  goodput_bps : float;
+      (** Bits delivered to the sink per second of transfer time (up to
+          completion or failure). *)
+  received_bytes : int;
+  retransmissions : int;
+  drops : Netsim.Link.drop_counts;  (** Summed over every link. *)
+  blackholed_cells : int;
+      (** Cells that arrived at the bottleneck relay after it crashed. *)
+  circuit_established_in : Engine.Time.t;
+  transfer_started_at : Engine.Time.t;
+  events : Engine.Trace.event list;
+      (** Fault / recovery / abort log, oldest first. *)
+}
+
+val run : ?seed:int -> config -> result
+(** Deterministic per [(seed, config)]: identical seeds yield
+    byte-identical results.  Raises [Invalid_argument] if the config
+    does not validate, [Failure] if circuit establishment fails. *)
+
+type comparison = { circuit_start : result; slow_start : result }
+
+val compare_strategies : ?seed:int -> config -> comparison
+(** Run the config twice with the same seed — once per startup
+    strategy — so both face the identical fault schedule.  The
+    config's own [strategy] field is ignored. *)
+
+val pp_result : Format.formatter -> result -> unit

@@ -208,6 +208,90 @@ let test_hop_sender_spurious_feedback () =
   Engine.Sim.run sim;
   Alcotest.(check int) "one spurious" 1 (Backtap.Hop_sender.spurious_feedback sender)
 
+(* A sender facing a successor that never answers must retransmit on an
+   exponentially backed-off schedule and trip its budget at a
+   computable instant — this is the failure-detection bound the whole
+   fault subsystem leans on. *)
+let test_hop_sender_backoff_and_trip () =
+  let sim, _, leaves, sbs, bts = mk_net 2 in
+  let controller = Circuitstart.Controller.create (Circuitstart.Controller.Fixed 2) in
+  let sender =
+    Backtap.Hop_sender.create ~sb:sbs.(0) ~circuit:circ ~succ:leaves.(1) ~controller
+      ~rto_initial:(Engine.Time.ms 100) ~max_retries:3 ()
+  in
+  (* The successor swallows every cell: no feedback, ever. *)
+  Backtap.Node.register_flow bts.(1) circ
+    {
+      Backtap.Node.on_cell = (fun ~from:_ ~hop_seq:_ _ -> ());
+      on_feedback = (fun ~hop_seq:_ -> ());
+    };
+  let aborted_at = ref None in
+  Backtap.Hop_sender.set_on_abort sender (fun () ->
+      aborted_at := Some (Engine.Sim.now sim));
+  Backtap.Hop_sender.submit sender (data_cell 0);
+  Engine.Sim.run sim ~until:(Engine.Time.s 10);
+  Alcotest.(check int) "budget spent exactly" 3
+    (Backtap.Hop_sender.retransmissions sender);
+  Alcotest.(check bool) "sender aborted" true (Backtap.Hop_sender.aborted sender);
+  (* No RTT sample ever arrives, so every timer uses rto_initial with
+     doubling backoff: retransmissions at ~100, 300, 700 ms and the
+     trip at ~1500 ms after the first wire departure. *)
+  (match !aborted_at with
+  | None -> Alcotest.fail "on_abort never fired"
+  | Some at ->
+      Alcotest.(check bool)
+        (Format.asprintf "tripped at %a, inside [1.5s, 1.6s]" Engine.Time.pp at)
+        true
+        Engine.Time.(at >= Engine.Time.ms 1500 && at <= Engine.Time.ms 1600));
+  Alcotest.(check bool) "no srtt without any sample" true
+    (Backtap.Hop_sender.srtt sender = None);
+  (* Terminal: submissions are ignored, the abort fires only once. *)
+  Backtap.Hop_sender.submit sender (data_cell 1);
+  Engine.Sim.run sim;
+  Alcotest.(check int) "aborted sender sends nothing" 1
+    (Backtap.Hop_sender.cells_sent sender)
+
+(* Karn's rule: feedback for a retransmitted cell must not feed the
+   RTT estimator (the sample is ambiguous), while a cleanly delivered
+   cell must. *)
+let test_hop_sender_karn_rule () =
+  let sim, _, leaves, sbs, bts = mk_net 2 in
+  let controller = Circuitstart.Controller.create (Circuitstart.Controller.Fixed 2) in
+  let sender =
+    Backtap.Hop_sender.create ~sb:sbs.(0) ~circuit:circ ~succ:leaves.(1) ~controller
+      ~rto_min:(Engine.Time.ms 50) ~rto_initial:(Engine.Time.ms 50) ()
+  in
+  Backtap.Node.register_flow bts.(0) circ
+    {
+      Backtap.Node.on_cell = (fun ~from:_ ~hop_seq:_ _ -> ());
+      on_feedback = (fun ~hop_seq -> Backtap.Hop_sender.on_feedback sender ~hop_seq);
+    };
+  (* The successor acknowledges each sequence number exactly once, but
+     only 200 ms after first receipt — far beyond the 50 ms RTO, so by
+     then the cell has been retransmitted and the sample is ambiguous. *)
+  let seen = Hashtbl.create 8 in
+  Backtap.Node.register_flow bts.(1) circ
+    {
+      Backtap.Node.on_cell =
+        (fun ~from:_ ~hop_seq _ ->
+          if not (Hashtbl.mem seen hop_seq) then begin
+            Hashtbl.add seen hop_seq ();
+            ignore @@
+            Engine.Sim.schedule_after sim (Engine.Time.ms 200) (fun () ->
+                Tor_model.Switchboard.send_payload sbs.(1) ~dst:leaves.(0)
+                  ~size:Backtap.Wire.feedback_size
+                  (Backtap.Wire.Bt_feedback { circuit = circ; hop_seq }))
+          end);
+      on_feedback = (fun ~hop_seq:_ -> ());
+    };
+  Backtap.Hop_sender.submit sender (data_cell 0);
+  Engine.Sim.run sim ~until:(Engine.Time.s 2);
+  Alcotest.(check bool) "cell was retransmitted" true
+    (Backtap.Hop_sender.retransmissions sender > 0);
+  Alcotest.(check bool) "Karn: ambiguous sample discarded" true
+    (Backtap.Hop_sender.srtt sender = None);
+  Alcotest.(check bool) "window slot freed" true (Backtap.Hop_sender.idle sender)
+
 (* ------------------------------------------------------------------ *)
 (* End-to-end transfer over a full circuit *)
 
@@ -451,6 +535,8 @@ let () =
           Alcotest.test_case "ack at wire departure" `Quick test_hop_sender_ack_at_wire;
           Alcotest.test_case "retransmission" `Quick test_hop_sender_retransmission;
           Alcotest.test_case "spurious feedback" `Quick test_hop_sender_spurious_feedback;
+          Alcotest.test_case "backoff and trip" `Quick test_hop_sender_backoff_and_trip;
+          Alcotest.test_case "karn's rule" `Quick test_hop_sender_karn_rule;
         ] );
       ( "transfer",
         [

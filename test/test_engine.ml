@@ -515,6 +515,33 @@ let test_trace_registry () =
   Alcotest.(check bool) "csv header" true
     (String.length csv > 0 && String.sub csv 0 19 = "series,time_s,value")
 
+let test_trace_events () =
+  let tr = Engine.Trace.create () in
+  Alcotest.(check int) "empty" 0 (Engine.Trace.event_count tr);
+  Engine.Trace.record_event tr Engine.Trace.Fault ~subject:"link/a" ~detail:"down"
+    (Engine.Time.ms 10);
+  Engine.Trace.record_event tr Engine.Trace.Recovery ~subject:"link/a" ~detail:"up"
+    (Engine.Time.ms 30);
+  Engine.Trace.record_event tr Engine.Trace.Abort ~subject:"xfer" (Engine.Time.ms 20);
+  let evs = Engine.Trace.events tr in
+  Alcotest.(check int) "count" 3 (Engine.Trace.event_count tr);
+  Alcotest.(check (list string)) "insertion order preserved"
+    [ "link/a"; "link/a"; "xfer" ]
+    (List.map (fun e -> e.Engine.Trace.subject) evs);
+  Alcotest.(check int) "filter by kind" 1
+    (List.length (Engine.Trace.events_with tr Engine.Trace.Fault));
+  Alcotest.(check string) "kind names" "fault,recovery,abort"
+    (String.concat ","
+       (List.map Engine.Trace.kind_to_string
+          [ Engine.Trace.Fault; Engine.Trace.Recovery; Engine.Trace.Abort ]));
+  let buf = Buffer.create 64 in
+  Engine.Trace.events_to_csv tr buf;
+  let lines = String.split_on_char '\n' (String.trim (Buffer.contents buf)) in
+  Alcotest.(check int) "csv: header + one row per event" 4 (List.length lines);
+  Alcotest.(check string) "csv header" "time_s,kind,subject,detail" (List.hd lines);
+  Alcotest.(check string) "pp" "[10.00ms] fault link/a: down"
+    (Format.asprintf "%a" Engine.Trace.pp_event (List.hd evs))
+
 (* ------------------------------------------------------------------ *)
 
 let qtests =
@@ -596,6 +623,7 @@ let () =
             test_timeseries_backwards_rejected;
           Alcotest.test_case "resample" `Quick test_timeseries_resample;
           Alcotest.test_case "trace registry" `Quick test_trace_registry;
+          Alcotest.test_case "trace events" `Quick test_trace_events;
         ] );
       ("properties", qtests);
     ]

@@ -354,6 +354,64 @@ let test_destroy_propagates () =
       (List.map Tor_model.Circuit_id.to_int (Tor_model.Relay_ctl.circuits ctls.(i)))
   done
 
+(* A down switchboard is a black hole: incoming cells vanish (counted)
+   and outgoing sends are refused, with no notification to anyone —
+   exactly what a crashed process looks like from the network. *)
+let test_switchboard_down () =
+  let sim, _, leaves, sbs = mk_overlay 2 in
+  let c0 = Tor_model.Circuit_id.of_int 0 in
+  let got = ref 0 in
+  Tor_model.Switchboard.register_circuit sbs.(1) c0 (fun ~from:_ _ -> incr got);
+  let send () =
+    Tor_model.Switchboard.send_cell sbs.(0) ~dst:leaves.(1)
+      (Tor_model.Cell.make c0 Tor_model.Cell.Create)
+  in
+  send ();
+  Engine.Sim.run sim;
+  Alcotest.(check int) "delivered while up" 1 !got;
+  Tor_model.Switchboard.set_down sbs.(1) true;
+  Alcotest.(check bool) "reports down" true (Tor_model.Switchboard.is_down sbs.(1));
+  send ();
+  send ();
+  Engine.Sim.run sim;
+  Alcotest.(check int) "nothing delivered while down" 1 !got;
+  Alcotest.(check int) "black-holed" 2 (Tor_model.Switchboard.blackholed_cells sbs.(1));
+  Tor_model.Switchboard.send_cell sbs.(1) ~dst:leaves.(0)
+    (Tor_model.Cell.make c0 Tor_model.Cell.Created);
+  Alcotest.(check int) "outgoing refused" 1 (Tor_model.Switchboard.refused_sends sbs.(1));
+  Tor_model.Switchboard.set_down sbs.(1) false;
+  send ();
+  Engine.Sim.run sim;
+  Alcotest.(check int) "delivered again after restart" 2 !got
+
+let test_relay_crash_and_restart () =
+  let sim, _, leaves, sbs = mk_overlay 5 in
+  let ctls = Array.init 5 (fun i -> Tor_model.Relay_ctl.create sbs.(i)) in
+  let relays = List.init 3 (fun i -> mk_relay ~node:(Netsim.Node_id.to_int leaves.(i + 1)) ~mbit:5 ()) in
+  let circuit =
+    Tor_model.Circuit.make ~id:(Tor_model.Circuit_id.of_int 0) ~client:leaves.(0) ~relays
+      ~server:leaves.(4)
+  in
+  Tor_model.Circuit_builder.build sbs.(0) circuit ~on_done:(fun _ -> ()) ();
+  Engine.Sim.run sim;
+  Alcotest.(check bool) "middle relay routes the circuit" true
+    (Tor_model.Relay_ctl.route ctls.(2) (Tor_model.Circuit_id.of_int 0) <> None);
+  Tor_model.Relay_ctl.crash ctls.(2);
+  Alcotest.(check bool) "routing state lost" true
+    (Tor_model.Relay_ctl.circuits ctls.(2) = []);
+  Alcotest.(check bool) "switchboard taken down" true
+    (Tor_model.Switchboard.is_down sbs.(2));
+  Alcotest.(check int) "crash counted" 1 (Tor_model.Relay_ctl.crashes ctls.(2));
+  (* Silent death: no DESTROY reaches the neighbours, so they still
+     believe the circuit exists. *)
+  Engine.Sim.run sim;
+  Alcotest.(check bool) "predecessor still routes it" true
+    (Tor_model.Relay_ctl.route ctls.(1) (Tor_model.Circuit_id.of_int 0) <> None);
+  Tor_model.Relay_ctl.restart ctls.(2);
+  Alcotest.(check bool) "back up" true (not (Tor_model.Switchboard.is_down sbs.(2)));
+  Alcotest.(check bool) "restart keeps the table empty" true
+    (Tor_model.Relay_ctl.circuits ctls.(2) = [])
+
 (* ------------------------------------------------------------------ *)
 (* Streams *)
 
@@ -530,6 +588,7 @@ let () =
           Alcotest.test_case "orphans and control" `Quick
             test_switchboard_orphans_and_control;
           Alcotest.test_case "unregister" `Quick test_switchboard_unregister;
+          Alcotest.test_case "down black-holes" `Quick test_switchboard_down;
         ] );
       ( "control_plane",
         [
@@ -537,6 +596,7 @@ let () =
           Alcotest.test_case "establishment timeout" `Quick
             test_circuit_establishment_timeout;
           Alcotest.test_case "destroy propagates" `Quick test_destroy_propagates;
+          Alcotest.test_case "crash and restart" `Quick test_relay_crash_and_restart;
         ] );
       ( "streams",
         [
