@@ -2,16 +2,28 @@
    paper's evaluation (DESIGN.md section 2), each printing the series or
    rows it regenerates and writing CSV next to the terminal rendering.
 
+   Every independent simulation inside a target runs on the domain pool
+   (Engine.Pool); rendering stays sequential and in a fixed order, so
+   the terminal/CSV output is byte-identical for every --jobs value.
+   The driver times each target, probes sequential-vs-parallel speedup
+   on a batch of small star runs, and records both in BENCH_pr2.json.
+
    Usage:
      bench/main.exe                 run every figure and table
      bench/main.exe fig1a table-gamma ...
                                     run a subset
+     bench/main.exe --jobs N        worker domains for simulation
+                                    batches (default: detected cores)
      bench/main.exe --micro         additionally run Bechamel
                                     micro-benchmarks
      bench/main.exe --out DIR       CSV output directory (default
-                                    results/) *)
+                                    results/)
+     bench/main.exe --bench-json F  timing report path (default
+                                    BENCH_pr2.json) *)
 
 let out_dir = ref "results"
+let jobs = ref (Engine.Pool.default_jobs ())
+let bench_json = ref "BENCH_pr2.json"
 
 let section title =
   Printf.printf "\n================================================================\n";
@@ -22,6 +34,47 @@ let write_csv name contents =
   let path = Filename.concat !out_dir name in
   Analysis.Csv_out.write_file ~path contents;
   Printf.printf "[csv] %s\n" path
+
+(* Simulated events executed by the current target — each batch helper
+   below adds its runs' counts, and the driver snapshots the sum per
+   target for the events/sec column of the timing report. *)
+let sim_events = ref 0
+let note_events n = sim_events := !sim_events + n
+
+let trace_many configs =
+  let rs = Workload.Trace_experiment.run_many ~jobs:!jobs configs in
+  List.iter
+    (fun (r : Workload.Trace_experiment.result) -> note_events r.wall_events)
+    rs;
+  rs
+
+let star_many configs =
+  let rs = Workload.Star_experiment.run_many ~jobs:!jobs configs in
+  List.iter
+    (fun (r : Workload.Star_experiment.result) -> note_events r.wall_events)
+    rs;
+  rs
+
+let fault_many tasks =
+  let rs = Workload.Fault_experiment.run_many ~jobs:!jobs tasks in
+  List.iter
+    (fun (r : Workload.Fault_experiment.result) -> note_events r.wall_events)
+    rs;
+  rs
+
+let adaptive_many configs =
+  let rs = Workload.Adaptive_experiment.run_many ~jobs:!jobs configs in
+  List.iter
+    (fun (r : Workload.Adaptive_experiment.result) -> note_events r.wall_events)
+    rs;
+  rs
+
+let contention_many configs =
+  let rs = Workload.Contention_experiment.run_many ~jobs:!jobs configs in
+  List.iter
+    (fun (r : Workload.Contention_experiment.result) -> note_events r.wall_events)
+    rs;
+  rs
 
 (* ------------------------------------------------------------------ *)
 (* Figure 1, upper panels: source cwnd traces *)
@@ -45,6 +98,7 @@ let fig1_panel ~name ~distance () =
     Workload.Trace_experiment.run
       (trace_config ~strategy:Circuitstart.Controller.Circuit_start ~distance)
   in
+  note_events r.wall_events;
   let x_max = 600. in
   (* Resample the change points into a step function so the staircase
      of doubling rounds is visible in the plot. *)
@@ -100,13 +154,18 @@ let star_config transport =
 
 let fig1c () =
   section "Figure 1 (fig1c): CDF of time to last byte, 50 concurrent circuits";
-  let cs =
-    Workload.Star_experiment.run
-      (star_config (Workload.Star_experiment.Backtap Circuitstart.Controller.Circuit_start))
-  in
-  let ss =
-    Workload.Star_experiment.run
-      (star_config (Workload.Star_experiment.Backtap Circuitstart.Controller.Slow_start))
+  let cs, ss =
+    match
+      star_many
+        [
+          star_config
+            (Workload.Star_experiment.Backtap Circuitstart.Controller.Circuit_start);
+          star_config
+            (Workload.Star_experiment.Backtap Circuitstart.Controller.Slow_start);
+        ]
+    with
+    | [ cs; ss ] -> (cs, ss)
+    | _ -> assert false
   in
   let cdf_cs = Analysis.Cdf.of_samples cs.ttlb_seconds in
   let cdf_ss = Analysis.Cdf.of_samples ss.ttlb_seconds in
@@ -150,38 +209,43 @@ let table_startup () =
         [ "transport"; "done"; "median TTLB"; "p90 TTLB"; "cell lat (mean/max)";
           "max queue"; "Jain"; "retx" ]
   in
-  let row name transport =
-    let r = Workload.Star_experiment.run (star_config transport) in
-    let cdf = Analysis.Cdf.of_samples r.ttlb_seconds in
-    let retx =
-      List.fold_left
-        (fun acc (o : Workload.Star_experiment.circuit_outcome) ->
-          acc + o.retransmissions)
-        0 r.outcomes
-    in
-    let jain =
-      Analysis.Fairness.jain_index
-        (Analysis.Fairness.throughputs_bytes_per_sec
-           ~bytes_each:Workload.Star_experiment.default_config.transfer_bytes
-           r.ttlb_seconds)
-    in
-    Analysis.Table.add_row t
-      [
-        name;
-        Printf.sprintf "%d/%d" r.completed r.total;
-        Printf.sprintf "%.2fs" (Analysis.Cdf.quantile cdf 0.5);
-        Printf.sprintf "%.2fs" (Analysis.Cdf.quantile cdf 0.9);
-        Printf.sprintf "%.0f/%.0fms"
-          (Engine.Stats.Online.mean r.cell_latency *. 1e3)
-          (Engine.Stats.Online.max r.cell_latency *. 1e3);
-        Format.asprintf "%a" Engine.Units.pp_bytes r.max_link_queue_bytes;
-        Printf.sprintf "%.3f" jain;
-        string_of_int retx;
-      ]
+  let transports =
+    [
+      ("circuitstart", Workload.Star_experiment.Backtap Circuitstart.Controller.Circuit_start);
+      ("slowstart", Workload.Star_experiment.Backtap Circuitstart.Controller.Slow_start);
+      ("sendme", Workload.Star_experiment.Legacy_sendme);
+    ]
   in
-  row "circuitstart" (Workload.Star_experiment.Backtap Circuitstart.Controller.Circuit_start);
-  row "slowstart" (Workload.Star_experiment.Backtap Circuitstart.Controller.Slow_start);
-  row "sendme" Workload.Star_experiment.Legacy_sendme;
+  let results = star_many (List.map (fun (_, tr) -> star_config tr) transports) in
+  List.iter2
+    (fun (name, _) (r : Workload.Star_experiment.result) ->
+      let cdf = Analysis.Cdf.of_samples r.ttlb_seconds in
+      let retx =
+        List.fold_left
+          (fun acc (o : Workload.Star_experiment.circuit_outcome) ->
+            acc + o.retransmissions)
+          0 r.outcomes
+      in
+      let jain =
+        Analysis.Fairness.jain_index
+          (Analysis.Fairness.throughputs_bytes_per_sec
+             ~bytes_each:Workload.Star_experiment.default_config.transfer_bytes
+             r.ttlb_seconds)
+      in
+      Analysis.Table.add_row t
+        [
+          name;
+          Printf.sprintf "%d/%d" r.completed r.total;
+          Printf.sprintf "%.2fs" (Analysis.Cdf.quantile cdf 0.5);
+          Printf.sprintf "%.2fs" (Analysis.Cdf.quantile cdf 0.9);
+          Printf.sprintf "%.0f/%.0fms"
+            (Engine.Stats.Online.mean r.cell_latency *. 1e3)
+            (Engine.Stats.Online.max r.cell_latency *. 1e3);
+          Format.asprintf "%a" Engine.Units.pp_bytes r.max_link_queue_bytes;
+          Printf.sprintf "%.3f" jain;
+          string_of_int retx;
+        ])
+    transports results;
   print_string (Analysis.Table.render t);
   print_string
     "(SENDME wins raw bulk TTLB by dumping its whole end-to-end window into\n\
@@ -197,15 +261,19 @@ let table_gamma () =
     Analysis.Table.create
       ~columns:[ "gamma"; "peak cells"; "exit cells"; "settled"; "|err| vs opt"; "ttlb" ]
   in
-  List.iter
-    (fun gamma ->
-      let params = Circuitstart.Params.with_gamma Circuitstart.Params.default gamma in
-      let r =
-        Workload.Trace_experiment.run
-          { (trace_config ~strategy:Circuitstart.Controller.Circuit_start ~distance:2) with
-            Workload.Trace_experiment.params;
-          }
-      in
+  let gammas = [ 1.; 2.; 4.; 8.; 16. ] in
+  let results =
+    trace_many
+      (List.map
+         (fun gamma ->
+           { (trace_config ~strategy:Circuitstart.Controller.Circuit_start ~distance:2) with
+             Workload.Trace_experiment.params =
+               Circuitstart.Params.with_gamma Circuitstart.Params.default gamma;
+           })
+         gammas)
+  in
+  List.iter2
+    (fun gamma (r : Workload.Trace_experiment.result) ->
       Analysis.Table.add_row t
         [
           Printf.sprintf "%.0f" gamma;
@@ -217,7 +285,7 @@ let table_gamma () =
           | Some x -> Printf.sprintf "%.3fs" (Engine.Time.to_sec_f x)
           | None -> "-");
         ])
-    [ 1.; 2.; 4.; 8.; 16. ];
+    gammas results;
   print_string (Analysis.Table.render t)
 
 (* ------------------------------------------------------------------ *)
@@ -230,32 +298,40 @@ let table_distance () =
       ~columns:
         [ "distance"; "scheme"; "peak"; "peak/opt"; "settled"; "|err|"; "ttlb" ]
   in
-  List.iter
-    (fun distance ->
-      List.iter
-        (fun (name, strategy) ->
-          let r =
-            Workload.Trace_experiment.run
-              { (trace_config ~strategy ~distance) with
-                Workload.Trace_experiment.relay_count = 4;
-              }
-          in
-          let opt = float_of_int r.optimal_source_cells in
-          Analysis.Table.add_row t
-            [
-              string_of_int distance;
-              name;
-              Printf.sprintf "%.0f" r.peak_cells;
-              Printf.sprintf "%.1fx" (r.peak_cells /. opt);
-              Printf.sprintf "%.0f" r.settled_cells;
-              Printf.sprintf "%.0f" (Float.abs (r.settled_cells -. opt));
-              (match r.time_to_last_byte with
-              | Some x -> Printf.sprintf "%.3fs" (Engine.Time.to_sec_f x)
-              | None -> "-");
-            ])
-        [ ("circuitstart", Circuitstart.Controller.Circuit_start);
-          ("slowstart", Circuitstart.Controller.Slow_start) ])
-    [ 1; 2; 3; 4 ];
+  let cases =
+    List.concat_map
+      (fun distance ->
+        List.map
+          (fun (name, strategy) -> (distance, name, strategy))
+          [ ("circuitstart", Circuitstart.Controller.Circuit_start);
+            ("slowstart", Circuitstart.Controller.Slow_start) ])
+      [ 1; 2; 3; 4 ]
+  in
+  let results =
+    trace_many
+      (List.map
+         (fun (distance, _, strategy) ->
+           { (trace_config ~strategy ~distance) with
+             Workload.Trace_experiment.relay_count = 4;
+           })
+         cases)
+  in
+  List.iter2
+    (fun (distance, name, _) (r : Workload.Trace_experiment.result) ->
+      let opt = float_of_int r.optimal_source_cells in
+      Analysis.Table.add_row t
+        [
+          string_of_int distance;
+          name;
+          Printf.sprintf "%.0f" r.peak_cells;
+          Printf.sprintf "%.1fx" (r.peak_cells /. opt);
+          Printf.sprintf "%.0f" r.settled_cells;
+          Printf.sprintf "%.0f" (Float.abs (r.settled_cells -. opt));
+          (match r.time_to_last_byte with
+          | Some x -> Printf.sprintf "%.3fs" (Engine.Time.to_sec_f x)
+          | None -> "-");
+        ])
+    cases results;
   print_string (Analysis.Table.render t)
 
 (* ------------------------------------------------------------------ *)
@@ -267,33 +343,37 @@ let table_optmodel () =
     Analysis.Table.create
       ~columns:[ "bottleneck"; "model W* (cells)"; "settled"; "settled/W*" ]
   in
-  let ratios = ref [] in
-  List.iter
-    (fun mbit ->
-      let r =
-        Workload.Trace_experiment.run
-          { (trace_config ~strategy:Circuitstart.Controller.Circuit_start ~distance:2) with
-            Workload.Trace_experiment.bottleneck_rate = Engine.Units.Rate.mbit mbit;
-            (* Large enough that the window converges before the data
-               runs out even at the fast end of the sweep. *)
-            transfer_bytes = Engine.Units.mib 8;
-            horizon = Engine.Time.s 20;
-          }
-      in
-      let ratio = r.settled_cells /. float_of_int r.optimal_source_cells in
-      ratios := ratio :: !ratios;
-      Analysis.Table.add_row t
-        [
-          Printf.sprintf "%dMbit/s" mbit;
-          string_of_int r.optimal_source_cells;
-          Printf.sprintf "%.0f" r.settled_cells;
-          Printf.sprintf "%.2f" ratio;
-        ])
-    [ 1; 2; 3; 5; 8; 12 ];
+  let mbits = [ 1; 2; 3; 5; 8; 12 ] in
+  let results =
+    trace_many
+      (List.map
+         (fun mbit ->
+           { (trace_config ~strategy:Circuitstart.Controller.Circuit_start ~distance:2) with
+             Workload.Trace_experiment.bottleneck_rate = Engine.Units.Rate.mbit mbit;
+             (* Large enough that the window converges before the data
+                runs out even at the fast end of the sweep. *)
+             transfer_bytes = Engine.Units.mib 8;
+             horizon = Engine.Time.s 20;
+           })
+         mbits)
+  in
+  let ratios =
+    List.map2
+      (fun mbit (r : Workload.Trace_experiment.result) ->
+        let ratio = r.settled_cells /. float_of_int r.optimal_source_cells in
+        Analysis.Table.add_row t
+          [
+            Printf.sprintf "%dMbit/s" mbit;
+            string_of_int r.optimal_source_cells;
+            Printf.sprintf "%.0f" r.settled_cells;
+            Printf.sprintf "%.2f" ratio;
+          ];
+        ratio)
+      mbits results
+  in
   print_string (Analysis.Table.render t);
-  let arr = Array.of_list !ratios in
   Printf.printf "mean settled/W* ratio: %.2f (1.00 = perfect backpropagation)\n"
-    (Array.fold_left ( +. ) 0. arr /. float_of_int (Array.length arr))
+    (List.fold_left ( +. ) 0. ratios /. float_of_int (List.length ratios))
 
 (* ------------------------------------------------------------------ *)
 (* T-comp: compensation-mode ablation *)
@@ -304,29 +384,39 @@ let table_compensation () =
     Analysis.Table.create
       ~columns:[ "scheme"; "exit cells"; "settled"; "optimal"; "ttlb" ]
   in
-  let row name strategy compensation =
-    let params = { Circuitstart.Params.default with Circuitstart.Params.compensation } in
-    let r =
-      Workload.Trace_experiment.run
-        { (trace_config ~strategy ~distance:3) with Workload.Trace_experiment.params }
-    in
-    Analysis.Table.add_row t
-      [
-        name;
-        (match r.exit_cells with Some c -> string_of_int c | None -> "-");
-        Printf.sprintf "%.0f" r.settled_cells;
-        string_of_int r.optimal_source_cells;
-        (match r.time_to_last_byte with
-        | Some x -> Printf.sprintf "%.3fs" (Engine.Time.to_sec_f x)
-        | None -> "-");
-      ]
+  let cases =
+    [
+      ("rate-based (default)", Circuitstart.Controller.Circuit_start,
+       Circuitstart.Params.Rate_based);
+      ("acked-count (literal)", Circuitstart.Controller.Circuit_start,
+       Circuitstart.Params.Acked_count);
+      ("halving (slow start)", Circuitstart.Controller.Slow_start,
+       Circuitstart.Params.Rate_based);
+    ]
   in
-  row "rate-based (default)" Circuitstart.Controller.Circuit_start
-    Circuitstart.Params.Rate_based;
-  row "acked-count (literal)" Circuitstart.Controller.Circuit_start
-    Circuitstart.Params.Acked_count;
-  row "halving (slow start)" Circuitstart.Controller.Slow_start
-    Circuitstart.Params.Rate_based;
+  let results =
+    trace_many
+      (List.map
+         (fun (_, strategy, compensation) ->
+           { (trace_config ~strategy ~distance:3) with
+             Workload.Trace_experiment.params =
+               { Circuitstart.Params.default with Circuitstart.Params.compensation };
+           })
+         cases)
+  in
+  List.iter2
+    (fun (name, _, _) (r : Workload.Trace_experiment.result) ->
+      Analysis.Table.add_row t
+        [
+          name;
+          (match r.exit_cells with Some c -> string_of_int c | None -> "-");
+          Printf.sprintf "%.0f" r.settled_cells;
+          string_of_int r.optimal_source_cells;
+          (match r.time_to_last_byte with
+          | Some x -> Printf.sprintf "%.3fs" (Engine.Time.to_sec_f x)
+          | None -> "-");
+        ])
+    cases results;
   print_string (Analysis.Table.render t)
 
 (* ------------------------------------------------------------------ *)
@@ -339,12 +429,15 @@ let table_adaptive () =
       ~columns:
         [ "variant"; "opt before"; "opt after"; "cwnd@step"; "reaction"; "final cwnd" ]
   in
-  List.iter
-    (fun adaptive ->
-      let r =
-        Workload.Adaptive_experiment.run
-          { Workload.Adaptive_experiment.default_config with adaptive }
-      in
+  let variants = [ true; false ] in
+  let results =
+    adaptive_many
+      (List.map
+         (fun adaptive -> { Workload.Adaptive_experiment.default_config with adaptive })
+         variants)
+  in
+  List.iter2
+    (fun adaptive (r : Workload.Adaptive_experiment.result) ->
       Analysis.Table.add_row t
         [
           (if adaptive then "adaptive re-probe" else "base algorithm");
@@ -356,7 +449,7 @@ let table_adaptive () =
           | None -> "never");
           Printf.sprintf "%.0f" r.final_cwnd;
         ])
-    [ true; false ];
+    variants results;
   print_string (Analysis.Table.render t)
 
 (* ------------------------------------------------------------------ *)
@@ -369,6 +462,7 @@ let fig_backprop () =
     Workload.Trace_experiment.run
       (trace_config ~strategy:Circuitstart.Controller.Circuit_start ~distance:3)
   in
+  note_events r.wall_events;
   let x_max = 800. in
   let resample points =
     Array.init 121 (fun i ->
@@ -409,35 +503,43 @@ let table_loss () =
     Analysis.Table.create
       ~columns:[ "queue cap"; "scheme"; "done"; "retx"; "settled"; "ttlb" ]
   in
-  List.iter
-    (fun (label, queue) ->
-      List.iter
-        (fun (name, strategy) ->
-          let r =
-            Workload.Trace_experiment.run
-              { (trace_config ~strategy ~distance:2) with
-                Workload.Trace_experiment.link_queue = queue;
-              }
-          in
-          Analysis.Table.add_row t
-            [
-              label;
-              name;
-              (if r.time_to_last_byte <> None then "yes" else "no");
-              string_of_int r.retransmissions;
-              Printf.sprintf "%.0f" r.settled_cells;
-              (match r.time_to_last_byte with
-              | Some x -> Printf.sprintf "%.3fs" (Engine.Time.to_sec_f x)
-              | None -> "-");
-            ])
-        [ ("circuitstart", Circuitstart.Controller.Circuit_start);
-          ("slowstart", Circuitstart.Controller.Slow_start) ])
-    [
-      ("unbounded", Netsim.Nqueue.unbounded);
-      ("64 pkts", Netsim.Nqueue.packets 64);
-      ("16 pkts", Netsim.Nqueue.packets 16);
-      ("8 pkts", Netsim.Nqueue.packets 8);
-    ];
+  let cases =
+    List.concat_map
+      (fun (label, queue) ->
+        List.map
+          (fun (name, strategy) -> (label, queue, name, strategy))
+          [ ("circuitstart", Circuitstart.Controller.Circuit_start);
+            ("slowstart", Circuitstart.Controller.Slow_start) ])
+      [
+        ("unbounded", Netsim.Nqueue.unbounded);
+        ("64 pkts", Netsim.Nqueue.packets 64);
+        ("16 pkts", Netsim.Nqueue.packets 16);
+        ("8 pkts", Netsim.Nqueue.packets 8);
+      ]
+  in
+  let results =
+    trace_many
+      (List.map
+         (fun (_, queue, _, strategy) ->
+           { (trace_config ~strategy ~distance:2) with
+             Workload.Trace_experiment.link_queue = queue;
+           })
+         cases)
+  in
+  List.iter2
+    (fun (label, _, name, _) (r : Workload.Trace_experiment.result) ->
+      Analysis.Table.add_row t
+        [
+          label;
+          name;
+          (if r.time_to_last_byte <> None then "yes" else "no");
+          string_of_int r.retransmissions;
+          Printf.sprintf "%.0f" r.settled_cells;
+          (match r.time_to_last_byte with
+          | Some x -> Printf.sprintf "%.3fs" (Engine.Time.to_sec_f x)
+          | None -> "-");
+        ])
+    cases results;
   print_string (Analysis.Table.render t)
 
 (* ------------------------------------------------------------------ *)
@@ -449,36 +551,47 @@ let table_seeds () =
     Analysis.Table.create
       ~columns:[ "seed"; "median with"; "median without"; "gap"; "dominates" ]
   in
-  let gaps = ref [] in
-  List.iter
-    (fun seed ->
-      let run strategy =
-        Workload.Star_experiment.run
-          { (star_config (Workload.Star_experiment.Backtap strategy)) with
-            Workload.Star_experiment.seed;
-          }
-      in
-      let cs = run Circuitstart.Controller.Circuit_start in
-      let ss = run Circuitstart.Controller.Slow_start in
-      let cdf_cs = Analysis.Cdf.of_samples cs.ttlb_seconds in
-      let cdf_ss = Analysis.Cdf.of_samples ss.ttlb_seconds in
-      let gap = Analysis.Cdf.horizontal_gap ~better:cdf_cs ~worse:cdf_ss in
-      gaps := gap :: !gaps;
-      Analysis.Table.add_row t
-        [
-          string_of_int seed;
-          Printf.sprintf "%.2fs" (Analysis.Cdf.quantile cdf_cs 0.5);
-          Printf.sprintf "%.2fs" (Analysis.Cdf.quantile cdf_ss 0.5);
-          Printf.sprintf "%.2fs" gap;
-          string_of_bool (Analysis.Cdf.dominates ~better:cdf_cs ~worse:cdf_ss);
-        ])
-    [ 1; 2; 3 ];
+  let seeds = [ 1; 2; 3 ] in
+  let results =
+    star_many
+      (List.concat_map
+         (fun seed ->
+           List.map
+             (fun strategy ->
+               { (star_config (Workload.Star_experiment.Backtap strategy)) with
+                 Workload.Star_experiment.seed;
+               })
+             [ Circuitstart.Controller.Circuit_start;
+               Circuitstart.Controller.Slow_start ])
+         seeds)
+  in
+  let rec pairs = function
+    | cs :: ss :: rest -> (cs, ss) :: pairs rest
+    | [] -> []
+    | _ -> assert false
+  in
+  let gaps =
+    List.map2
+      (fun seed ((cs : Workload.Star_experiment.result), (ss : Workload.Star_experiment.result)) ->
+        let cdf_cs = Analysis.Cdf.of_samples cs.ttlb_seconds in
+        let cdf_ss = Analysis.Cdf.of_samples ss.ttlb_seconds in
+        let gap = Analysis.Cdf.horizontal_gap ~better:cdf_cs ~worse:cdf_ss in
+        Analysis.Table.add_row t
+          [
+            string_of_int seed;
+            Printf.sprintf "%.2fs" (Analysis.Cdf.quantile cdf_cs 0.5);
+            Printf.sprintf "%.2fs" (Analysis.Cdf.quantile cdf_ss 0.5);
+            Printf.sprintf "%.2fs" gap;
+            string_of_bool (Analysis.Cdf.dominates ~better:cdf_cs ~worse:cdf_ss);
+          ];
+        gap)
+      seeds (pairs results)
+  in
   print_string (Analysis.Table.render t);
-  let arr = Array.of_list !gaps in
   Printf.printf "mean gap %.2fs over %d paired networks (paper: 'up to 0.5s')
 "
-    (Array.fold_left ( +. ) 0. arr /. float_of_int (Array.length arr))
-    (Array.length arr)
+    (List.fold_left ( +. ) 0. gaps /. float_of_int (List.length gaps))
+    (List.length gaps)
 
 (* ------------------------------------------------------------------ *)
 (* table-cross: unresponsive background load on the bottleneck *)
@@ -491,12 +604,16 @@ let table_cross () =
         [ "CBR load"; "W* (unloaded)"; "fair target"; "settled"; "goodput share";
           "ttlb" ]
   in
-  List.iter
-    (fun load ->
-      let r =
-        Workload.Contention_experiment.run
-          { Workload.Contention_experiment.default_config with cbr_load = load }
-      in
+  let loads = [ 0.; 0.25; 0.5; 0.75 ] in
+  let results =
+    contention_many
+      (List.map
+         (fun load ->
+           { Workload.Contention_experiment.default_config with cbr_load = load })
+         loads)
+  in
+  List.iter2
+    (fun load (r : Workload.Contention_experiment.result) ->
       Analysis.Table.add_row t
         [
           Printf.sprintf "%.0f%%" (load *. 100.);
@@ -510,7 +627,7 @@ let table_cross () =
           | Some x -> Printf.sprintf "%.3fs" (Engine.Time.to_sec_f x)
           | None -> "-");
         ])
-    [ 0.; 0.25; 0.5; 0.75 ];
+    loads results;
   print_string (Analysis.Table.render t);
   print_string
     "Delay-based control settles onto the residual capacity instead of
@@ -540,28 +657,54 @@ let fault_row t label (r : Workload.Fault_experiment.result) =
 let fault_columns =
   [ "fault"; "outcome"; "ttlb"; "goodput Mbit/s"; "retx"; "wire drops"; "failed after" ]
 
+(* Both strategies of every labelled fault scenario, as one flat batch
+   on the pool: the (seed, config) replicates are in [cs; ss] pairs per
+   label, matching Fault_experiment.compare_strategies with its default
+   seed. *)
+let fault_comparison_rows t labelled_configs =
+  let tasks =
+    List.concat_map
+      (fun (_, config) ->
+        [
+          (42, { config with
+                 Workload.Fault_experiment.strategy =
+                   Circuitstart.Controller.Circuit_start });
+          (42, { config with
+                 Workload.Fault_experiment.strategy =
+                   Circuitstart.Controller.Slow_start });
+        ])
+      labelled_configs
+  in
+  let rec pairs = function
+    | cs :: ss :: rest -> (cs, ss) :: pairs rest
+    | [] -> []
+    | _ -> assert false
+  in
+  List.iter2
+    (fun (label, _) (cs, ss) ->
+      fault_row t (label ^ " / circuitstart") cs;
+      fault_row t (label ^ " / slowstart") ss)
+    labelled_configs
+    (pairs (fault_many tasks))
+
 let table_faults () =
   section "Table T-faults (extra): wire loss on the bottleneck link (paired seeds)";
   let t = Analysis.Table.create ~columns:fault_columns in
-  List.iter
-    (fun (label, loss) ->
-      let c =
-        Workload.Fault_experiment.compare_strategies
-          { Workload.Fault_experiment.default_config with loss }
-      in
-      fault_row t (label ^ " / circuitstart") c.circuit_start;
-      fault_row t (label ^ " / slowstart") c.slow_start)
-    [
-      ("clean", None);
-      ("0.1% iid", Some (Netsim.Faults.Bernoulli 0.001));
-      ("1% iid", Some (Netsim.Faults.Bernoulli 0.01));
-      ("5% iid", Some (Netsim.Faults.Bernoulli 0.05));
-      ( "burst",
-        Some
-          (Netsim.Faults.Gilbert_elliott
-             { p_good_to_bad = 0.01; p_bad_to_good = 0.2; loss_good = 0.;
-               loss_bad = 0.5 }) );
-    ];
+  fault_comparison_rows t
+    (List.map
+       (fun (label, loss) ->
+         (label, { Workload.Fault_experiment.default_config with loss }))
+       [
+         ("clean", None);
+         ("0.1% iid", Some (Netsim.Faults.Bernoulli 0.001));
+         ("1% iid", Some (Netsim.Faults.Bernoulli 0.01));
+         ("5% iid", Some (Netsim.Faults.Bernoulli 0.05));
+         ( "burst",
+           Some
+             (Netsim.Faults.Gilbert_elliott
+                { p_good_to_bad = 0.01; p_bad_to_good = 0.2; loss_good = 0.;
+                  loss_bad = 0.5 }) );
+       ]);
   print_string (Analysis.Table.render t);
   print_string
     "Both schemes face the identical per-seed loss pattern; hop-by-hop\n\
@@ -574,18 +717,14 @@ let table_faults () =
 let table_churn () =
   section "Table T-churn (extra): mid-transfer crash of the middle relay";
   let t = Analysis.Table.create ~columns:fault_columns in
-  List.iter
-    (fun (label, crash_at, outage) ->
-      let c =
-        Workload.Fault_experiment.compare_strategies
-          { Workload.Fault_experiment.default_config with crash_at; outage }
-      in
-      fault_row t (label ^ " / circuitstart") c.circuit_start;
-      fault_row t (label ^ " / slowstart") c.slow_start)
-    [
-      ("crash@0.3s", Some (Engine.Time.ms 300), None);
-      ("outage 0.2-0.6s", None, Some (Engine.Time.ms 200, Engine.Time.ms 600));
-    ];
+  fault_comparison_rows t
+    (List.map
+       (fun (label, crash_at, outage) ->
+         (label, { Workload.Fault_experiment.default_config with crash_at; outage }))
+       [
+         ("crash@0.3s", Some (Engine.Time.ms 300), None);
+         ("outage 0.2-0.6s", None, Some (Engine.Time.ms 200, Engine.Time.ms 600));
+       ]);
   print_string (Analysis.Table.render t);
   print_string
     "An outage is survivable (retransmission bridges it); a crash is not -\n\
@@ -676,6 +815,84 @@ let micro () =
     results
 
 (* ------------------------------------------------------------------ *)
+(* Timing, speedup probe and the BENCH json report *)
+
+(* A batch of identical-shape small star runs (different seeds), timed
+   once with one worker and once with the requested pool: the ratio is
+   the end-to-end speedup the pool delivers on this machine.  On a
+   single-core host the ratio is ~1 by construction. *)
+let speedup_probe () =
+  let tasks =
+    List.init
+      (2 * Stdlib.max 1 !jobs)
+      (fun i ->
+        { (star_config
+             (Workload.Star_experiment.Backtap Circuitstart.Controller.Circuit_start))
+          with
+          Workload.Star_experiment.circuit_count = 4;
+          relay_count = 8;
+          transfer_bytes = Engine.Units.kib 64;
+          horizon = Engine.Time.s 30;
+          seed = i + 1;
+        })
+  in
+  let time j =
+    let t0 = Unix.gettimeofday () in
+    ignore (Workload.Star_experiment.run_many ~jobs:j tasks
+            : Workload.Star_experiment.result list);
+    Unix.gettimeofday () -. t0
+  in
+  let seq_seconds = time 1 in
+  let par_seconds = time !jobs in
+  (List.length tasks, seq_seconds, par_seconds)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_bench_json path ~timed ~probe =
+  let total_seconds = List.fold_left (fun acc (_, s, _) -> acc +. s) 0. timed in
+  let total_events = List.fold_left (fun acc (_, _, e) -> acc + e) 0 timed in
+  let probe_tasks, seq_s, par_s = probe in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf (Printf.sprintf "  \"pr\": 2,\n  \"jobs\": %d,\n" !jobs);
+  Buffer.add_string buf "  \"targets\": [\n";
+  List.iteri
+    (fun i (name, seconds, events) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    {\"name\": \"%s\", \"seconds\": %.6f, \"sim_events\": %d}%s\n"
+           (json_escape name) seconds events
+           (if i = List.length timed - 1 then "" else ",")))
+    timed;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf (Printf.sprintf "  \"total_seconds\": %.6f,\n" total_seconds);
+  Buffer.add_string buf (Printf.sprintf "  \"total_sim_events\": %d,\n" total_events);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"events_per_sec\": %.1f,\n"
+       (if total_seconds > 0. then float_of_int total_events /. total_seconds else 0.));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"speedup_probe\": {\"tasks\": %d, \"seq_seconds\": %.6f, \"par_seconds\": \
+        %.6f, \"speedup\": %.3f}\n"
+       probe_tasks seq_s par_s
+       (if par_s > 0. then seq_s /. par_s else 1.));
+  Buffer.add_string buf "}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "[json] %s\n" path
+
+(* ------------------------------------------------------------------ *)
 
 let all_targets =
   [
@@ -705,6 +922,17 @@ let () =
     | "--out" :: dir :: rest ->
         out_dir := dir;
         parse rest acc_names micro_flag
+    | "--jobs" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some j when j >= 1 ->
+            jobs := j;
+            parse rest acc_names micro_flag
+        | _ ->
+            prerr_endline "--jobs needs a positive integer";
+            exit 2)
+    | "--bench-json" :: path :: rest ->
+        bench_json := path;
+        parse rest acc_names micro_flag
     | name :: rest -> parse rest (name :: acc_names) micro_flag
   in
   let names, micro_flag = parse args [] false in
@@ -722,8 +950,39 @@ let () =
                 exit 2)
           names
   in
-  List.iter (fun (_, f) -> f ()) targets;
+  let timed =
+    List.map
+      (fun (name, f) ->
+        sim_events := 0;
+        let t0 = Unix.gettimeofday () in
+        f ();
+        (name, Unix.gettimeofday () -. t0, !sim_events))
+      targets
+  in
   if micro_flag then micro ();
+  section (Printf.sprintf "Wall-clock timing (%d worker domain%s)" !jobs
+             (if !jobs = 1 then "" else "s"));
+  let t =
+    Analysis.Table.create ~columns:[ "target"; "seconds"; "sim events"; "events/s" ]
+  in
+  List.iter
+    (fun (name, seconds, events) ->
+      Analysis.Table.add_row t
+        [
+          name;
+          Printf.sprintf "%.3f" seconds;
+          string_of_int events;
+          (if seconds > 0. then Printf.sprintf "%.0f" (float_of_int events /. seconds)
+           else "-");
+        ])
+    timed;
+  print_string (Analysis.Table.render t);
+  let ((probe_tasks, seq_s, par_s) as probe) = speedup_probe () in
+  Printf.printf
+    "speedup probe: %d star runs  jobs=1: %.3fs  jobs=%d: %.3fs  speedup %.2fx\n"
+    probe_tasks seq_s !jobs par_s
+    (if par_s > 0. then seq_s /. par_s else 1.);
+  write_bench_json !bench_json ~timed ~probe;
   Printf.printf "\nDone: %d target%s%s.\n" (List.length targets)
     (if List.length targets = 1 then "" else "s")
     (if micro_flag then " + micro benchmarks" else "")

@@ -48,6 +48,24 @@ let seed_arg =
   let doc = "Random seed (identical seeds give identical runs)." in
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for independent simulation replicates (default: detected \
+     cores, or \\$(b,TORSIM_JOBS)).  Output is byte-identical for every value."
+  in
+  let positive_int =
+    let parse s =
+      match int_of_string_opt s with
+      | Some n when n >= 1 -> Ok n
+      | _ -> Error (`Msg "expected a positive integer")
+    in
+    Arg.conv (parse, Format.pp_print_int)
+  in
+  Arg.(
+    value
+    & opt positive_int (Engine.Pool.default_jobs ())
+    & info [ "j"; "jobs" ] ~docv:"N" ~doc ~env:(Cmd.Env.info "TORSIM_JOBS"))
+
 let csv_arg =
   let doc = "Write the raw series as CSV to $(docv)." in
   Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
@@ -338,54 +356,58 @@ let cross_cmd =
 (* ------------------------------------------------------------------ *)
 (* sweep *)
 
-let run_sweep param values =
+let run_sweep param values jobs =
   let values =
     try List.map float_of_string (String.split_on_char ',' values)
     with Failure _ ->
       prerr_endline "values must be a comma-separated list of numbers";
       exit 2
   in
+  (* Each sweep point is an independent simulation: build the whole
+     config list up front and fan it out over the domain pool, then
+     render in order. *)
+  let tasks =
+    match param with
+    | "gamma" ->
+        List.map
+          (fun g ->
+            ( Printf.sprintf "%.0f" g,
+              { Workload.Trace_experiment.default_config with
+                Workload.Trace_experiment.bottleneck_distance = 2;
+                params = params_with_gamma g;
+              } ))
+          values
+    | "distance" ->
+        List.map
+          (fun d ->
+            ( Printf.sprintf "%.0f" d,
+              { Workload.Trace_experiment.default_config with
+                Workload.Trace_experiment.relay_count = 4;
+                bottleneck_distance = int_of_float d;
+              } ))
+          values
+    | p ->
+        prerr_endline (Printf.sprintf "unknown sweep parameter %S (gamma|distance)" p);
+        exit 2
+  in
+  let results = Workload.Trace_experiment.run_many ~jobs (List.map snd tasks) in
   let t =
     Analysis.Table.create ~columns:[ param; "peak"; "exit"; "settled"; "optimal"; "ttlb" ]
   in
-  let run config label =
-    let r = Workload.Trace_experiment.run config in
-    Analysis.Table.add_row t
-      [
-        label;
-        Printf.sprintf "%.0f" r.peak_cells;
-        (match r.exit_cells with Some c -> string_of_int c | None -> "-");
-        Printf.sprintf "%.0f" r.settled_cells;
-        string_of_int r.optimal_source_cells;
-        (match r.time_to_last_byte with
-        | Some x -> Printf.sprintf "%.3fs" (Engine.Time.to_sec_f x)
-        | None -> "-");
-      ]
-  in
-  (match param with
-  | "gamma" ->
-      List.iter
-        (fun g ->
-          run
-            { Workload.Trace_experiment.default_config with
-              Workload.Trace_experiment.bottleneck_distance = 2;
-              params = params_with_gamma g;
-            }
-            (Printf.sprintf "%.0f" g))
-        values
-  | "distance" ->
-      List.iter
-        (fun d ->
-          run
-            { Workload.Trace_experiment.default_config with
-              Workload.Trace_experiment.relay_count = 4;
-              bottleneck_distance = int_of_float d;
-            }
-            (Printf.sprintf "%.0f" d))
-        values
-  | p ->
-      prerr_endline (Printf.sprintf "unknown sweep parameter %S (gamma|distance)" p);
-      exit 2);
+  List.iter2
+    (fun (label, _) (r : Workload.Trace_experiment.result) ->
+      Analysis.Table.add_row t
+        [
+          label;
+          Printf.sprintf "%.0f" r.peak_cells;
+          (match r.exit_cells with Some c -> string_of_int c | None -> "-");
+          Printf.sprintf "%.0f" r.settled_cells;
+          string_of_int r.optimal_source_cells;
+          (match r.time_to_last_byte with
+          | Some x -> Printf.sprintf "%.3fs" (Engine.Time.to_sec_f x)
+          | None -> "-");
+        ])
+    tasks results;
   print_string (Analysis.Table.render t);
   `Ok ()
 
@@ -401,12 +423,12 @@ let sweep_cmd =
       & info [ "values" ] ~docv:"LIST" ~doc:"Comma-separated values.")
   in
   let doc = "Parameter sweeps over the single-circuit trace experiment." in
-  Cmd.v (Cmd.info "sweep" ~doc) Term.(ret (const run_sweep $ param $ values))
+  Cmd.v (Cmd.info "sweep" ~doc) Term.(ret (const run_sweep $ param $ values $ jobs_arg))
 
 (* ------------------------------------------------------------------ *)
 (* faults *)
 
-let run_faults loss burst outage crash distance kib seed verbose =
+let run_faults loss burst outage crash distance kib seed jobs verbose =
   let loss_model =
     match (loss, burst) with
     | Some _, Some _ -> Error "use either --loss or --burst-loss, not both"
@@ -439,7 +461,7 @@ let run_faults loss burst outage crash distance kib seed verbose =
       match Workload.Fault_experiment.validate_config config with
       | Error msg -> `Error (false, msg)
       | Ok config ->
-          let c = Workload.Fault_experiment.compare_strategies ~seed config in
+          let c = Workload.Fault_experiment.compare_strategies ~jobs ~seed config in
           let t =
             Analysis.Table.create
               ~columns:
@@ -516,7 +538,7 @@ let faults_cmd =
     Term.(
       ret
         (const run_faults $ loss $ burst $ outage $ crash $ distance $ bytes_arg 512
-       $ seed_arg $ verbose))
+       $ seed_arg $ jobs_arg $ verbose))
 
 (* ------------------------------------------------------------------ *)
 

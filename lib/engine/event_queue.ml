@@ -10,23 +10,40 @@ type handle = H : 'a entry -> handle
 
 type 'a t = {
   mutable heap : 'a entry array;
-  (* [heap] slots >= [len] are stale; a dummy entry fills slot 0 lazily. *)
+  (* Slots >= [len] hold [dummy], never a popped entry: a fired event's
+     payload must become collectable the moment the caller drops it. *)
   mutable len : int;
   mutable next_seq : int;
   mutable live : int;
+  dummy : 'a entry;
 }
 
-let create () = { heap = [||]; len = 0; next_seq = 0; live = 0 }
+(* The filler for unused heap slots.  Its payload is never read, never
+   compared and never returned — [len] guards every access — so an
+   immediate stands in for the uninhabitable ['a].  This is the same
+   trick the stdlib's [Dynarray] uses for its empty slots. *)
+let make_dummy () : 'a entry =
+  { time = Time.zero; seq = min_int; payload = Obj.magic (); cancelled = true;
+    fired = true }
 
+let default_capacity = 256
+
+let create ?(capacity = default_capacity) () =
+  if capacity < 1 then invalid_arg "Event_queue.create: capacity must be positive";
+  let dummy = make_dummy () in
+  { heap = Array.make capacity dummy; len = 0; next_seq = 0; live = 0; dummy }
+
+(* Strict heap order, monomorphised: timestamps compare as raw [int64]
+   nanoseconds so the hot path never goes through a closure or a
+   polymorphic comparison. *)
 let entry_before a b =
-  let c = Time.compare a.time b.time in
+  let c = Int64.compare (Time.to_ns a.time) (Time.to_ns b.time) in
   if c <> 0 then c < 0 else a.seq < b.seq
 
 let grow q =
   let cap = Array.length q.heap in
   if q.len = cap then begin
-    let ncap = Stdlib.max 16 (cap * 2) in
-    let nheap = Array.make ncap q.heap.(0) in
+    let nheap = Array.make (cap * 2) q.dummy in
     Array.blit q.heap 0 nheap 0 q.len;
     q.heap <- nheap
   end
@@ -57,7 +74,6 @@ let rec sift_down q i =
 let add q ~time payload =
   let entry = { time; seq = q.next_seq; payload; cancelled = false; fired = false } in
   q.next_seq <- q.next_seq + 1;
-  if Array.length q.heap = 0 then q.heap <- Array.make 16 entry;
   grow q;
   q.heap.(q.len) <- entry;
   q.len <- q.len + 1;
@@ -80,8 +96,10 @@ let remove_top q =
   q.len <- q.len - 1;
   if q.len > 0 then begin
     q.heap.(0) <- q.heap.(q.len);
+    q.heap.(q.len) <- q.dummy;
     sift_down q 0
-  end;
+  end
+  else q.heap.(0) <- q.dummy;
   top
 
 let rec pop q =
@@ -109,5 +127,15 @@ let size q = q.live
 let is_empty q = q.live = 0
 
 let clear q =
+  (* Null out every populated slot: a cleared queue must not pin the
+     payloads it used to hold.  The entries themselves are marked
+     cancelled so a handle kept across the clear cannot corrupt [live].
+     [next_seq] restarts too, so a reused queue is indistinguishable
+     from a fresh one. *)
+  for i = 0 to q.len - 1 do
+    q.heap.(i).cancelled <- true;
+    q.heap.(i) <- q.dummy
+  done;
   q.len <- 0;
-  q.live <- 0
+  q.live <- 0;
+  q.next_seq <- 0

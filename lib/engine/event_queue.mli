@@ -18,8 +18,11 @@ type 'a t
 type handle
 (** Names a scheduled event so it can be cancelled. *)
 
-val create : unit -> 'a t
-(** A fresh, empty queue. *)
+val create : ?capacity:int -> unit -> 'a t
+(** A fresh, empty queue.  [capacity] pre-sizes the backing heap
+    (default 256) so a simulation's steady-state event population never
+    pays for growth doublings; it is a hint, not a bound.  Raises
+    [Invalid_argument] if [capacity < 1]. *)
 
 val add : 'a t -> time:Time.t -> 'a -> handle
 (** [add q ~time x] schedules [x] at [time] and returns its handle.
@@ -47,4 +50,6 @@ val is_empty : 'a t -> bool
 (** [is_empty q] iff {!size} is zero. *)
 
 val clear : 'a t -> unit
-(** Drop all events. *)
+(** Drop all events, release every held payload for collection, and
+    reset the insertion sequence — the queue behaves as freshly
+    created (pending handles become dead). *)

@@ -1,0 +1,62 @@
+let default_jobs () =
+  match Option.bind (Sys.getenv_opt "TORSIM_JOBS") int_of_string_opt with
+  | Some n when n > 0 -> n
+  | Some _ | None -> Domain.recommended_domain_count ()
+
+(* A finished task is either a value or the exception it raised; the
+   distinction is resolved only after every domain has joined, so a
+   failure cannot leave orphaned domains behind. *)
+type 'b outcome = Value of 'b | Raised of exn * Printexc.raw_backtrace
+
+let run_task f x =
+  match f x with
+  | v -> Value v
+  | exception e -> Raised (e, Printexc.get_raw_backtrace ())
+
+let finish results =
+  (* Scan in index order so the re-raised exception is the lowest
+     failed task's, independent of which domain hit it first. *)
+  Array.iter
+    (function
+      | Some (Raised (e, bt)) -> Printexc.raise_with_backtrace e bt
+      | Some (Value _) | None -> ())
+    results;
+  Array.map
+    (function Some (Value v) -> v | Some (Raised _) | None -> assert false)
+    results
+
+let map ?jobs f tasks =
+  let n = Array.length tasks in
+  let jobs =
+    match jobs with
+    | Some j when j >= 1 -> j
+    | Some _ -> invalid_arg "Pool.map: jobs must be positive"
+    | None -> default_jobs ()
+  in
+  let jobs = Stdlib.min jobs n in
+  (* Sequential evaluation already fails on the lowest-indexed raising
+     task, matching the parallel contract. *)
+  if jobs <= 1 then Array.map f tasks
+  else begin
+    let results = Array.make n None in
+    let cursor = Atomic.make 0 in
+    (* Each slot is written by exactly one domain (the one that won the
+       index at the cursor) and read only after the joins below — no
+       data race under the OCaml memory model. *)
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add cursor 1 in
+        if i < n then begin
+          results.(i) <- Some (run_task f tasks.(i));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join domains;
+    finish results
+  end
+
+let map_list ?jobs f xs = Array.to_list (map ?jobs f (Array.of_list xs))

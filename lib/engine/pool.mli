@@ -1,0 +1,34 @@
+(** A fixed pool of OCaml 5 domains for embarrassingly parallel sweeps.
+
+    Every figure and table of the reproduction is a grid of independent
+    simulations (seeds x configs); each replicate builds its own
+    {!Sim.t} and {!Rng.t} and shares no mutable state with its
+    siblings, so they can run on separate domains.  [map] hands tasks
+    to a fixed set of worker domains through a single atomic cursor
+    (each worker claims the next unclaimed index) and stores every
+    result in the slot of its task, so the output order is the input
+    order no matter which domain ran what, and a parallel sweep is
+    byte-identical to a sequential one.
+
+    The pool is for coarse tasks — whole simulations, hundreds of
+    milliseconds each — not for fine-grained data parallelism: one
+    atomic increment per task is the only coordination. *)
+
+val default_jobs : unit -> int
+(** Worker count used when [?jobs] is omitted: [TORSIM_JOBS] from the
+    environment if set to a positive integer, otherwise
+    [Domain.recommended_domain_count ()]. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map ~jobs f tasks] is [Array.map f tasks], computed by [jobs]
+    domains (clamped to the task count; [jobs <= 1] runs everything in
+    the calling domain, spawning nothing).  Results are in task order.
+
+    If one or more tasks raise, the remaining claimed tasks still run
+    to completion, every domain is joined, and then the exception of
+    the {e lowest-indexed} failed task is re-raised (with its
+    backtrace) — deterministic regardless of scheduling.  Raises
+    [Invalid_argument] if [jobs < 1]. *)
+
+val map_list : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map] over lists, preserving order. *)

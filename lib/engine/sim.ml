@@ -7,8 +7,9 @@ type t = {
 
 type handle = Event_queue.handle
 
-let create () =
-  { queue = Event_queue.create (); clock = Time.zero; stopped = false; executed = 0 }
+let create ?capacity () =
+  { queue = Event_queue.create ?capacity (); clock = Time.zero; stopped = false;
+    executed = 0 }
 
 let now t = t.clock
 

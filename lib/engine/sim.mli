@@ -14,8 +14,10 @@ type t
 type handle = Event_queue.handle
 (** Names a pending event for cancellation. *)
 
-val create : unit -> t
-(** A fresh simulation at time {!Time.zero} with an empty event list. *)
+val create : ?capacity:int -> unit -> t
+(** A fresh simulation at time {!Time.zero} with an empty event list.
+    [capacity] pre-sizes the future event list (see
+    {!Event_queue.create}). *)
 
 val now : t -> Time.t
 (** The current simulated instant. *)

@@ -62,7 +62,9 @@ module Online = struct
 end
 
 module Histogram = struct
-  type t = { width : float; counts : (int, int ref) Hashtbl.t; mutable total : int }
+  (* Counts live in the table as plain ints — no [int ref] box per
+     bin, no indirection per increment. *)
+  type t = { width : float; counts : (int, int) Hashtbl.t; mutable total : int }
 
   let create ~bin_width =
     if not (Float.is_finite bin_width) || bin_width <= 0. then
@@ -73,15 +75,14 @@ module Histogram = struct
 
   let add t x =
     let b = bin_of t x in
-    (match Hashtbl.find_opt t.counts b with
-    | Some r -> incr r
-    | None -> Hashtbl.add t.counts b (ref 1));
+    let c = match Hashtbl.find_opt t.counts b with Some c -> c | None -> 0 in
+    Hashtbl.replace t.counts b (c + 1);
     t.total <- t.total + 1
 
   let count t = t.total
 
   let bins t =
-    Hashtbl.fold (fun b r acc -> (float_of_int b *. t.width, !r) :: acc) t.counts []
+    Hashtbl.fold (fun b c acc -> (float_of_int b *. t.width, c) :: acc) t.counts []
     |> List.sort (fun (a, _) (b, _) -> Float.compare a b)
 
   let mode_bin t =
@@ -93,13 +94,13 @@ module Histogram = struct
       None (bins t)
 end
 
-let percentile xs p =
-  let n = Array.length xs in
+(* Rank interpolation over an already-sorted array — the one
+   implementation behind both the array helpers and {!Samples}. *)
+let percentile_sorted sorted p =
+  let n = Array.length sorted in
   if n = 0 then invalid_arg "Stats.percentile: empty array";
   if not (Float.is_finite p) || p < 0. || p > 100. then
     invalid_arg "Stats.percentile: p must be in [0, 100]";
-  let sorted = Array.copy xs in
-  Array.sort Float.compare sorted;
   let rank = p /. 100. *. float_of_int (n - 1) in
   let lo = int_of_float (Float.floor rank) in
   let hi = int_of_float (Float.ceil rank) in
@@ -108,14 +109,10 @@ let percentile xs p =
     let frac = rank -. float_of_int lo in
     (sorted.(lo) *. (1. -. frac)) +. (sorted.(hi) *. frac)
 
-let median xs = percentile xs 50.
-
-let cdf_points xs =
-  let n = Array.length xs in
+let cdf_points_sorted sorted =
+  let n = Array.length sorted in
   if n = 0 then []
   else begin
-    let sorted = Array.copy xs in
-    Array.sort Float.compare sorted;
     let nf = float_of_int n in
     (* One step per distinct value, at the fraction of samples <= it. *)
     let rec go i acc =
@@ -125,3 +122,79 @@ let cdf_points xs =
     in
     go (n - 1) []
   end
+
+let percentile xs p =
+  if Array.length xs = 0 then invalid_arg "Stats.percentile: empty array";
+  let sorted = Array.copy xs in
+  Array.sort Float.compare sorted;
+  percentile_sorted sorted p
+
+let median xs = percentile xs 50.
+
+let cdf_points xs =
+  let sorted = Array.copy xs in
+  Array.sort Float.compare sorted;
+  cdf_points_sorted sorted
+
+module Samples = struct
+  type t = {
+    mutable data : float array;
+    mutable len : int;
+    (* Cached ascending copy of [data.(0..len-1)]; rebuilt at most once
+       per burst of queries and dropped by the next [add], so repeated
+       percentile reads stop re-sorting the whole sample set. *)
+    mutable sorted : float array option;
+  }
+
+  let create ?(capacity = 64) () =
+    if capacity < 1 then invalid_arg "Samples.create: capacity must be positive";
+    { data = Array.make capacity 0.; len = 0; sorted = None }
+
+  let length t = t.len
+  let is_empty t = t.len = 0
+
+  let add t x =
+    if t.len = Array.length t.data then begin
+      let ndata = Array.make (2 * t.len) 0. in
+      Array.blit t.data 0 ndata 0 t.len;
+      t.data <- ndata
+    end;
+    t.data.(t.len) <- x;
+    t.len <- t.len + 1;
+    t.sorted <- None
+
+  let add_all t xs = Array.iter (add t) xs
+
+  let of_array xs =
+    let t = create ~capacity:(Stdlib.max 1 (Array.length xs)) () in
+    add_all t xs;
+    t
+
+  let to_array t = Array.sub t.data 0 t.len
+
+  let sorted t =
+    match t.sorted with
+    | Some s -> s
+    | None ->
+        let s = Array.sub t.data 0 t.len in
+        Array.sort Float.compare s;
+        t.sorted <- Some s;
+        s
+
+  let percentile t p = percentile_sorted (sorted t) p
+  let median t = percentile t 50.
+  let min t = if t.len = 0 then nan else (sorted t).(0)
+  let max t = if t.len = 0 then nan else (sorted t).(t.len - 1)
+
+  let mean t =
+    if t.len = 0 then nan
+    else begin
+      let acc = ref 0. in
+      for i = 0 to t.len - 1 do
+        acc := !acc +. t.data.(i)
+      done;
+      !acc /. float_of_int t.len
+    end
+
+  let cdf_points t = cdf_points_sorted (sorted t)
+end

@@ -53,6 +53,56 @@ module Histogram : sig
   (** The fullest bin, ties broken towards the lower edge. *)
 end
 
+(** {1 Sample buffers} *)
+
+module Samples : sig
+  (** A growable buffer of float samples with a cached sorted view.
+
+      Experiments accumulate thousands of per-circuit samples and then
+      query several percentiles of the same data; this keeps the
+      samples in a flat, doubling float array (no list cells) and
+      sorts at most once per burst of queries — the cache is
+      invalidated by the next {!add}. *)
+
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  (** An empty buffer; [capacity] pre-sizes the backing array (default
+      64).  Raises [Invalid_argument] if [capacity < 1]. *)
+
+  val add : t -> float -> unit
+  val add_all : t -> float array -> unit
+  val of_array : float array -> t
+
+  val length : t -> int
+  val is_empty : t -> bool
+
+  val to_array : t -> float array
+  (** The samples in insertion order (fresh array). *)
+
+  val sorted : t -> float array
+  (** The samples in ascending order.  The returned array is the cache
+      itself — treat it as read-only. *)
+
+  val percentile : t -> float -> float
+  (** Linear rank interpolation on the cached sorted view; same
+      contract as the array {!val:percentile}. *)
+
+  val median : t -> float
+  val min : t -> float
+  (** Smallest sample; [nan] if empty. *)
+
+  val max : t -> float
+  (** Largest sample; [nan] if empty. *)
+
+  val mean : t -> float
+  (** Mean of the samples; [nan] if empty. *)
+
+  val cdf_points : t -> (float * float) list
+  (** Empirical CDF of the samples; same contract as the array
+      {!val:cdf_points}. *)
+end
+
 (** {1 Array statistics} *)
 
 val percentile : float array -> float -> float

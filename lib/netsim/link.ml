@@ -22,38 +22,13 @@ type t = {
   (* Packet id -> callback fired when serialization of that packet
      starts (the moment it is truly "on the wire"). *)
   on_transmit : (int, unit -> unit) Hashtbl.t;
+  (* The packet currently serializing, and the one preallocated
+     continuation that finishes it: links move one cell at a time, so
+     the hot path reuses a single closure per link instead of
+     allocating a fresh one per cell. *)
+  mutable serializing : Packet.t option;
+  mutable tx_done : unit -> unit;
 }
-
-let create sim ~src ~dst ~rate ~delay ?(queue = Nqueue.unbounded) () =
-  if Engine.Time.is_negative delay then invalid_arg "Link.create: negative delay";
-  {
-    sim;
-    src;
-    dst;
-    rate;
-    delay;
-    queue = Nqueue.create queue;
-    receiver = None;
-    busy = false;
-    up = true;
-    fault_filter = None;
-    delivered = 0;
-    delivered_bytes = 0;
-    blackholed = 0;
-    fault_drops = 0;
-    outage_drops = 0;
-    busy_time = Engine.Time.zero;
-    on_transmit = Hashtbl.create 16;
-  }
-
-let src t = t.src
-let dst t = t.dst
-let rate t = t.rate
-let delay t = t.delay
-let set_receiver t f = t.receiver <- Some f
-let set_fault_filter t f = t.fault_filter <- f
-let set_up t up = t.up <- up
-let is_up t = t.up
 
 let deliver t (p : Packet.t) =
   match t.receiver with
@@ -63,33 +38,76 @@ let deliver t (p : Packet.t) =
       t.delivered_bytes <- t.delivered_bytes + p.size;
       f p
 
-(* Serialize [p]; when its last bit is on the wire, schedule the
-   propagation-delayed delivery and start on the next queued packet.
-   At that instant the faults act: a link that went down mid-flight
-   kills the packet (outage), and the fault filter may lose it — the
-   capacity was consumed either way, which is what distinguishes wire
-   loss from a tail drop. *)
-let rec transmit t (p : Packet.t) =
+(* Serialize [p]; when its last bit is on the wire ([finish_tx]),
+   schedule the propagation-delayed delivery and start on the next
+   queued packet.  At that instant the faults act: a link that went
+   down mid-flight kills the packet (outage), and the fault filter may
+   lose it — the capacity was consumed either way, which is what
+   distinguishes wire loss from a tail drop. *)
+let rec finish_tx t =
+  let p = match t.serializing with Some p -> p | None -> assert false in
+  (if not t.up then t.outage_drops <- t.outage_drops + 1
+   else
+     match t.fault_filter with
+     | Some drop when drop p -> t.fault_drops <- t.fault_drops + 1
+     | _ ->
+         ignore (Engine.Sim.schedule_after t.sim t.delay (fun () -> deliver t p)));
+  match Nqueue.dequeue t.queue with
+  | Some next -> transmit t next
+  | None ->
+      t.serializing <- None;
+      t.busy <- false
+
+and transmit t (p : Packet.t) =
   t.busy <- true;
-  (match Hashtbl.find_opt t.on_transmit p.id with
-  | Some f ->
-      Hashtbl.remove t.on_transmit p.id;
-      f ()
-  | None -> ());
+  t.serializing <- Some p;
+  if Hashtbl.length t.on_transmit > 0 then begin
+    match Hashtbl.find_opt t.on_transmit p.id with
+    | Some f ->
+        Hashtbl.remove t.on_transmit p.id;
+        f ()
+    | None -> ()
+  end;
   let tx_time = Engine.Units.Rate.transmission_time t.rate p.size in
   t.busy_time <- Engine.Time.add t.busy_time tx_time;
-  ignore
-    (Engine.Sim.schedule_after t.sim tx_time (fun () ->
-         (if not t.up then t.outage_drops <- t.outage_drops + 1
-          else
-            match t.fault_filter with
-            | Some drop when drop p -> t.fault_drops <- t.fault_drops + 1
-            | _ ->
-                ignore
-                  (Engine.Sim.schedule_after t.sim t.delay (fun () -> deliver t p)));
-         match Nqueue.dequeue t.queue with
-         | Some next -> transmit t next
-         | None -> t.busy <- false))
+  ignore (Engine.Sim.schedule_after t.sim tx_time t.tx_done)
+
+let create sim ~src ~dst ~rate ~delay ?(queue = Nqueue.unbounded) () =
+  if Engine.Time.is_negative delay then invalid_arg "Link.create: negative delay";
+  let t =
+    {
+      sim;
+      src;
+      dst;
+      rate;
+      delay;
+      queue = Nqueue.create queue;
+      receiver = None;
+      busy = false;
+      up = true;
+      fault_filter = None;
+      delivered = 0;
+      delivered_bytes = 0;
+      blackholed = 0;
+      fault_drops = 0;
+      outage_drops = 0;
+      busy_time = Engine.Time.zero;
+      on_transmit = Hashtbl.create 16;
+      serializing = None;
+      tx_done = (fun () -> ());
+    }
+  in
+  t.tx_done <- (fun () -> finish_tx t);
+  t
+
+let src t = t.src
+let dst t = t.dst
+let rate t = t.rate
+let delay t = t.delay
+let set_receiver t f = t.receiver <- Some f
+let set_fault_filter t f = t.fault_filter <- f
+let set_up t up = t.up <- up
+let is_up t = t.up
 
 let send t ?on_transmit p =
   if not t.up then

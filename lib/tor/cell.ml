@@ -50,11 +50,12 @@ let pp fmt t =
       Format.fprintf fmt "%a RELAY[%d] %a" Circuit_id.pp t.circuit layers
         pp_relay_command cmd
 
-let registered = ref false
+(* Compare-and-set so concurrent domains finalizing networks register
+   the printer exactly once. *)
+let registered = Atomic.make false
 
 let register_printer () =
-  if not !registered then begin
-    registered := true;
+  if Atomic.compare_and_set registered false true then begin
     Netsim.Payload.describe (function
       | Wire c -> Some (Format.asprintf "%a" pp c)
       | _ -> None)

@@ -54,6 +54,7 @@ type result = {
   reaction_time : Engine.Time.t option;
   final_cwnd : float;
   source_cwnd : (Engine.Time.t * float) array;
+  wall_events : int;
 }
 
 let run ?(seed = 7) config =
@@ -208,4 +209,8 @@ let run ?(seed = 7) config =
              if Engine.Time.(time < started) then None
              else Some (Engine.Time.diff time started, v))
            (Array.to_list series));
+    wall_events = Engine.Sim.events_executed sim;
   }
+
+let run_many ?jobs ?seed configs =
+  Engine.Pool.map_list ?jobs (fun config -> run ?seed config) configs

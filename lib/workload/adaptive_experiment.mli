@@ -40,6 +40,13 @@ type result = {
   final_cwnd : float;  (** Source window at the horizon. *)
   source_cwnd : (Engine.Time.t * float) array;
       (** Full source trace, time since transfer start. *)
+  wall_events : int;  (** Simulator events executed (cost metric). *)
 }
 
 val run : ?seed:int -> config -> result
+
+val run_many : ?jobs:int -> ?seed:int -> config list -> result list
+(** One {!run} per config on a domain pool of [jobs] workers
+    ({!Engine.Pool.default_jobs} when omitted), all with the same
+    [seed].  Results are in config order and byte-identical to mapping
+    {!run} sequentially. *)

@@ -47,6 +47,7 @@ type result = {
   time_to_last_byte : Engine.Time.t option;
   cbr_packets : int;
   goodput_share : float option;
+  wall_events : int;
 }
 
 let run ?(seed = 5) config =
@@ -155,4 +156,8 @@ let run ?(seed = 5) config =
     time_to_last_byte = ttlb;
     cbr_packets = (match cbr with Some c -> Netsim.Cbr_source.packets_sent c | None -> 0);
     goodput_share;
+    wall_events = Engine.Sim.events_executed sim;
   }
+
+let run_many ?jobs ?seed configs =
+  Engine.Pool.map_list ?jobs (fun config -> run ?seed config) configs

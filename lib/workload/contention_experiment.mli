@@ -37,6 +37,13 @@ type result = {
   goodput_share : float option;
       (** Circuit goodput / bottleneck capacity; with load ρ the fair
           share is ≈ 1 - ρ. *)
+  wall_events : int;  (** Simulator events executed (cost metric). *)
 }
 
 val run : ?seed:int -> config -> result
+
+val run_many : ?jobs:int -> ?seed:int -> config list -> result list
+(** One {!run} per config on a domain pool of [jobs] workers
+    ({!Engine.Pool.default_jobs} when omitted), all with the same
+    [seed].  Results are in config order and byte-identical to mapping
+    {!run} sequentially. *)

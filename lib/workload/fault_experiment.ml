@@ -73,6 +73,7 @@ type result = {
   circuit_established_in : Engine.Time.t;
   transfer_started_at : Engine.Time.t;
   events : Engine.Trace.event list;
+  wall_events : int;
 }
 
 let outcome_to_string = function
@@ -231,20 +232,28 @@ let run ?(seed = 42) config =
       (match !established_at with Some t -> t | None -> assert false);
     transfer_started_at = started;
     events = Engine.Trace.events trace;
+    wall_events = Engine.Sim.events_executed sim;
   }
+
+let run_many ?jobs tasks =
+  Engine.Pool.map_list ?jobs (fun (seed, config) -> run ~seed config) tasks
 
 type comparison = { circuit_start : result; slow_start : result }
 
 (* Paired runs: the same seed drives both, so both strategies face a
    byte-identical network and the very same fault schedule — any
-   difference in outcome is the startup strategy's. *)
-let compare_strategies ?seed config =
-  {
-    circuit_start =
-      run ?seed { config with strategy = Circuitstart.Controller.Circuit_start };
-    slow_start =
-      run ?seed { config with strategy = Circuitstart.Controller.Slow_start };
-  }
+   difference in outcome is the startup strategy's.  The two runs are
+   independent simulations, so they ride the domain pool. *)
+let compare_strategies ?jobs ?(seed = 42) config =
+  match
+    run_many ?jobs
+      [
+        (seed, { config with strategy = Circuitstart.Controller.Circuit_start });
+        (seed, { config with strategy = Circuitstart.Controller.Slow_start });
+      ]
+  with
+  | [ circuit_start; slow_start ] -> { circuit_start; slow_start }
+  | _ -> assert false
 
 let pp_result fmt r =
   Format.fprintf fmt "%s" (outcome_to_string r.outcome);

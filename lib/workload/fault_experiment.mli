@@ -77,18 +77,28 @@ type result = {
   transfer_started_at : Engine.Time.t;
   events : Engine.Trace.event list;
       (** Fault / recovery / abort log, oldest first. *)
+  wall_events : int;  (** Simulator events executed (cost metric). *)
 }
 
 val run : ?seed:int -> config -> result
 (** Deterministic per [(seed, config)]: identical seeds yield
     byte-identical results.  Raises [Invalid_argument] if the config
-    does not validate, [Failure] if circuit establishment fails. *)
+    does not validate, [Failure] if circuit establishment fails.  Each
+    run owns its simulator and RNG, so independent [(seed, config)]
+    replicates are domain-safe. *)
+
+val run_many : ?jobs:int -> (int * config) list -> result list
+(** One {!run} per [(seed, config)] replicate on a domain pool of
+    [jobs] workers ({!Engine.Pool.default_jobs} when omitted).
+    Results are in task order and byte-identical to mapping {!run}
+    sequentially. *)
 
 type comparison = { circuit_start : result; slow_start : result }
 
-val compare_strategies : ?seed:int -> config -> comparison
-(** Run the config twice with the same seed — once per startup
-    strategy — so both face the identical fault schedule.  The
-    config's own [strategy] field is ignored. *)
+val compare_strategies : ?jobs:int -> ?seed:int -> config -> comparison
+(** Run the config twice with the same seed (default 42) — once per
+    startup strategy — so both face the identical fault schedule.  The
+    config's own [strategy] field is ignored.  The pair runs on the
+    domain pool ([jobs] as in {!run_many}). *)
 
 val pp_result : Format.formatter -> result -> unit

@@ -78,6 +78,9 @@ type runner = {
   latency : unit -> Engine.Stats.Online.t;
 }
 
+(* [run] is a pure function of its config: it builds its own
+   [Sim.t]/[Rng.t] and touches no state shared with other runs, so a
+   sweep's replicates are domain-safe closures for [Engine.Pool]. *)
 let run config =
   let config =
     match validate_config config with
@@ -275,3 +278,5 @@ let run config =
         (Engine.Stats.Online.create ())
         runners;
   }
+
+let run_many ?jobs configs = Engine.Pool.map_list ?jobs run configs

@@ -71,4 +71,11 @@ type result = {
 
 val run : config -> result
 (** Raises [Invalid_argument] on an invalid config, [Failure] if the
-    directory cannot satisfy path selection. *)
+    directory cannot satisfy path selection.  [run] is a pure function
+    of its config (own simulator, own RNG, no shared mutable state), so
+    independent configs may run on separate domains. *)
+
+val run_many : ?jobs:int -> config list -> result list
+(** One {!run} per config on a domain pool of [jobs] workers
+    ({!Engine.Pool.default_jobs} when omitted).  Results are in config
+    order and byte-identical to mapping {!run} sequentially. *)

@@ -50,6 +50,7 @@ type result = {
   transfer_started_at : Engine.Time.t;
   circuit_established_in : Engine.Time.t;
   retransmissions : int;
+  wall_events : int;
 }
 
 (* Re-base a trace to the transfer start and extend the last value so
@@ -163,4 +164,8 @@ let run ?(seed = 42) config =
     circuit_established_in =
       (match !established_at with Some t -> t | None -> assert false);
     retransmissions = Backtap.Transfer.total_retransmissions d;
+    wall_events = Engine.Sim.events_executed sim;
   }
+
+let run_many ?jobs ?seed configs =
+  Engine.Pool.map_list ?jobs (fun config -> run ?seed config) configs

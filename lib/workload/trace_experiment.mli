@@ -50,8 +50,16 @@ type result = {
   transfer_started_at : Engine.Time.t;  (** Absolute simulation time. *)
   circuit_established_in : Engine.Time.t;
   retransmissions : int;
+  wall_events : int;  (** Simulator events executed (cost metric). *)
 }
 
 val run : ?seed:int -> config -> result
 (** Raises [Invalid_argument] on an invalid config, [Failure] if the
-    circuit cannot be established. *)
+    circuit cannot be established.  Pure per [(seed, config)];
+    independent runs are domain-safe. *)
+
+val run_many : ?jobs:int -> ?seed:int -> config list -> result list
+(** One {!run} per config on a domain pool of [jobs] workers
+    ({!Engine.Pool.default_jobs} when omitted), all with the same
+    [seed].  Results are in config order and byte-identical to mapping
+    {!run} sequentially. *)

@@ -256,6 +256,46 @@ let test_queue_peek_clear () =
   Engine.Event_queue.clear q;
   Alcotest.(check bool) "empty" true (Engine.Event_queue.is_empty q)
 
+let test_queue_clear_resets () =
+  let q = Engine.Event_queue.create () in
+  let h = Engine.Event_queue.add q ~time:(Engine.Time.ms 1) "old" in
+  ignore (Engine.Event_queue.add q ~time:(Engine.Time.ms 2) "older");
+  Engine.Event_queue.clear q;
+  Alcotest.(check int) "size" 0 (Engine.Event_queue.size q);
+  Alcotest.(check bool) "empty" true (Engine.Event_queue.is_empty q);
+  (* A handle minted before the clear must be inert: cancelling it
+     cannot drive the live count negative or disturb new entries. *)
+  Engine.Event_queue.cancel q h;
+  ignore (Engine.Event_queue.add q ~time:(Engine.Time.ms 5) "a");
+  ignore (Engine.Event_queue.add q ~time:(Engine.Time.ms 5) "b");
+  Engine.Event_queue.cancel q h;
+  Alcotest.(check int) "stale cancel is a no-op" 2 (Engine.Event_queue.size q);
+  (* next_seq restarts, so equal-time FIFO order holds after a clear. *)
+  Alcotest.(check (list string)) "fifo after clear" [ "a"; "b" ]
+    (List.init 2 (fun _ -> snd (Option.get (Engine.Event_queue.pop q))))
+
+let test_queue_slots_released () =
+  (* Popped and cleared entries must not pin their payloads: the heap
+     array overwrites vacated slots with a dummy, so the only remaining
+     reference is the caller's. *)
+  let q = Engine.Event_queue.create () in
+  let w = Weak.create 4 in
+  for i = 0 to 3 do
+    let payload = ref i in
+    Weak.set w i (Some payload);
+    ignore (Engine.Event_queue.add q ~time:(Engine.Time.ms i) payload)
+  done;
+  ignore (Engine.Event_queue.pop q);
+  ignore (Engine.Event_queue.pop q);
+  Engine.Event_queue.clear q;
+  Gc.full_major ();
+  for i = 0 to 3 do
+    Alcotest.(check bool)
+      (Printf.sprintf "payload %d collected" i)
+      true
+      (Weak.get w i = None)
+  done
+
 let prop_queue_sorted_drain =
   QCheck2.Test.make ~name:"event queue drains in nondecreasing time order"
     QCheck2.Gen.(list_size (int_range 1 200) (int_range 0 1_000))
@@ -415,6 +455,50 @@ let test_histogram () =
     "mode" (Some (2., 3))
     (Engine.Stats.Histogram.mode_bin h)
 
+let test_samples_basic () =
+  let s = Engine.Stats.Samples.create () in
+  Alcotest.(check bool) "empty" true (Engine.Stats.Samples.is_empty s);
+  List.iter (Engine.Stats.Samples.add s) [ 30.; 10.; 50. ];
+  Alcotest.(check int) "length" 3 (Engine.Stats.Samples.length s);
+  Alcotest.(check (float 1e-9)) "median" 30. (Engine.Stats.Samples.median s);
+  Alcotest.(check (float 1e-9)) "p0" 10. (Engine.Stats.Samples.percentile s 0.);
+  Alcotest.(check (float 1e-9)) "p100" 50. (Engine.Stats.Samples.percentile s 100.);
+  Alcotest.(check (float 1e-9)) "mean" 30. (Engine.Stats.Samples.mean s);
+  Alcotest.(check (float 1e-9)) "min" 10. (Engine.Stats.Samples.min s);
+  Alcotest.(check (float 1e-9)) "max" 50. (Engine.Stats.Samples.max s);
+  Alcotest.(check (array (float 1e-9))) "sorted view" [| 10.; 30.; 50. |]
+    (Engine.Stats.Samples.sorted s);
+  Alcotest.(check (array (float 1e-9))) "to_array keeps insertion order"
+    [| 30.; 10.; 50. |] (Engine.Stats.Samples.to_array s)
+
+let test_samples_cache_invalidation () =
+  (* Query (populating the sorted cache), then add: the next query must
+     see the new sample, not the stale cache. *)
+  let s = Engine.Stats.Samples.of_array [| 30.; 10.; 50. |] in
+  Alcotest.(check (float 1e-9)) "median before" 30. (Engine.Stats.Samples.median s);
+  Engine.Stats.Samples.add s 20.;
+  Alcotest.(check (float 1e-9)) "median after add" 25. (Engine.Stats.Samples.median s);
+  Engine.Stats.Samples.add_all s [| 5.; 60. |];
+  Alcotest.(check (float 1e-9)) "p0 after add_all" 5.
+    (Engine.Stats.Samples.percentile s 0.);
+  Alcotest.(check (float 1e-9)) "p100 after add_all" 60.
+    (Engine.Stats.Samples.percentile s 100.);
+  Alcotest.(check (list (pair (float 1e-9) (float 1e-9))))
+    "cdf points see every sample"
+    (Engine.Stats.cdf_points [| 30.; 10.; 50.; 20.; 5.; 60. |])
+    (Engine.Stats.Samples.cdf_points s)
+
+let prop_samples_match_array =
+  QCheck2.Test.make ~name:"Samples.percentile matches array percentile"
+    QCheck2.Gen.(
+      pair (list_size (int_range 1 50) (float_range 0. 100.)) (int_range 0 100))
+    (fun (xs, p) ->
+      let s = Engine.Stats.Samples.of_array (Array.of_list xs) in
+      Float.abs
+        (Engine.Stats.Samples.percentile s (float_of_int p)
+        -. Engine.Stats.percentile (Array.of_list xs) (float_of_int p))
+      < 1e-9)
+
 let prop_online_matches_direct =
   QCheck2.Test.make ~name:"Welford matches direct mean"
     QCheck2.Gen.(list_size (int_range 1 100) (float_range (-1000.) 1000.))
@@ -548,7 +632,7 @@ let qtests =
   List.map QCheck_alcotest.to_alcotest
     [ prop_time_order; prop_time_add_sub; prop_transmission_additive;
       prop_rng_int_unbiased; prop_queue_sorted_drain; prop_online_matches_direct;
-      prop_cdf_monotone ]
+      prop_cdf_monotone; prop_samples_match_array ]
 
 let () =
   Alcotest.run "engine"
@@ -591,6 +675,9 @@ let () =
           Alcotest.test_case "cancel" `Quick test_queue_cancel;
           Alcotest.test_case "cancel after fire" `Quick test_queue_cancel_after_fire;
           Alcotest.test_case "peek and clear" `Quick test_queue_peek_clear;
+          Alcotest.test_case "clear resets state" `Quick test_queue_clear_resets;
+          Alcotest.test_case "slots released to the GC" `Quick
+            test_queue_slots_released;
         ] );
       ( "sim",
         [
@@ -615,6 +702,9 @@ let () =
           Alcotest.test_case "histogram" `Quick test_histogram;
           Alcotest.test_case "histogram negative bins" `Quick
             test_histogram_negative_bins;
+          Alcotest.test_case "samples basic" `Quick test_samples_basic;
+          Alcotest.test_case "samples cache invalidation" `Quick
+            test_samples_cache_invalidation;
         ] );
       ( "timeseries",
         [

@@ -1,0 +1,145 @@
+(* Engine.Pool: the domain pool behind every parallel sweep.
+
+   Two families of tests: the pool mechanics themselves (order
+   preservation, exception protocol, argument validation), and the
+   tentpole guarantee that running a workload sweep on N domains is
+   indistinguishable from running it sequentially — same results, in
+   the same order, for the star, fault and contention experiments.
+   Structural [compare] is used instead of [=] so NaN-valued fields
+   (e.g. empty Online accumulators) compare equal to themselves. *)
+
+let identical a b = compare a b = 0
+
+(* ------------------------------------------------------------------ *)
+(* Pool mechanics *)
+
+let test_map_order () =
+  let tasks = Array.init 100 Fun.id in
+  let expected = Array.map (fun i -> i * i) tasks in
+  Alcotest.(check (array int)) "jobs=1" expected (Engine.Pool.map ~jobs:1 (fun i -> i * i) tasks);
+  Alcotest.(check (array int)) "jobs=4" expected (Engine.Pool.map ~jobs:4 (fun i -> i * i) tasks);
+  Alcotest.(check (array int)) "more jobs than tasks" [| 0; 1; 4 |]
+    (Engine.Pool.map ~jobs:16 (fun i -> i * i) (Array.init 3 Fun.id));
+  Alcotest.(check (array int)) "empty" [||] (Engine.Pool.map ~jobs:4 (fun i -> i * i) [||])
+
+let test_map_list_order () =
+  let tasks = List.init 50 Fun.id in
+  Alcotest.(check (list int))
+    "order preserved"
+    (List.map (fun i -> 2 * i) tasks)
+    (Engine.Pool.map_list ~jobs:3 (fun i -> 2 * i) tasks)
+
+let test_invalid_jobs () =
+  Alcotest.check_raises "jobs=0" (Invalid_argument "Pool.map: jobs must be positive")
+    (fun () -> ignore (Engine.Pool.map ~jobs:0 Fun.id [| 1 |]))
+
+let test_default_jobs_positive () =
+  Alcotest.(check bool) "at least one worker" true (Engine.Pool.default_jobs () >= 1)
+
+let test_exception_propagation () =
+  (* Several tasks fail; the pool must re-raise the lowest-indexed
+     failure no matter which domain hit which task first. *)
+  let f i = if i mod 10 = 7 then failwith (Printf.sprintf "boom%d" i) else i in
+  Alcotest.check_raises "lowest-indexed failure wins" (Failure "boom7") (fun () ->
+      ignore (Engine.Pool.map ~jobs:4 f (Array.init 100 Fun.id)));
+  Alcotest.check_raises "sequential path too" (Failure "boom7") (fun () ->
+      ignore (Engine.Pool.map ~jobs:1 f (Array.init 100 Fun.id)))
+
+(* ------------------------------------------------------------------ *)
+(* Parallel sweeps are byte-identical to sequential ones *)
+
+let small_star seed =
+  { Workload.Star_experiment.default_config with
+    Workload.Star_experiment.circuit_count = 4;
+    relay_count = 8;
+    transfer_bytes = Engine.Units.kib 64;
+    horizon = Engine.Time.s 30;
+    seed;
+  }
+
+let test_star_sweep_deterministic () =
+  let configs = List.map small_star [ 1; 2; 3 ] in
+  let seq = Workload.Star_experiment.run_many ~jobs:1 configs in
+  Alcotest.(check bool) "jobs=2 = jobs=1" true
+    (identical seq (Workload.Star_experiment.run_many ~jobs:2 configs));
+  Alcotest.(check bool) "jobs=4 = jobs=1" true
+    (identical seq (Workload.Star_experiment.run_many ~jobs:4 configs))
+
+let test_fault_sweep_deterministic () =
+  let small config =
+    { config with Workload.Fault_experiment.transfer_bytes = Engine.Units.kib 64 }
+  in
+  let base = Workload.Fault_experiment.default_config in
+  let tasks =
+    [
+      (1, small { base with loss = Some (Netsim.Faults.Bernoulli 0.01) });
+      (2, small { base with crash_at = Some (Engine.Time.ms 300) });
+      (3, small base);
+      (4, small { base with strategy = Circuitstart.Controller.Slow_start });
+    ]
+  in
+  let seq = Workload.Fault_experiment.run_many ~jobs:1 tasks in
+  Alcotest.(check bool) "jobs=2 = jobs=1" true
+    (identical seq (Workload.Fault_experiment.run_many ~jobs:2 tasks));
+  Alcotest.(check bool) "jobs=4 = jobs=1" true
+    (identical seq (Workload.Fault_experiment.run_many ~jobs:4 tasks))
+
+let test_contention_sweep_deterministic () =
+  let configs =
+    List.map
+      (fun cbr_load ->
+        { Workload.Contention_experiment.default_config with
+          Workload.Contention_experiment.cbr_load;
+          transfer_bytes = Engine.Units.kib 256;
+        })
+      [ 0.; 0.25; 0.5 ]
+  in
+  let seq = Workload.Contention_experiment.run_many ~jobs:1 configs in
+  Alcotest.(check bool) "jobs=2 = jobs=1" true
+    (identical seq (Workload.Contention_experiment.run_many ~jobs:2 configs));
+  Alcotest.(check bool) "jobs=3 = jobs=1" true
+    (identical seq (Workload.Contention_experiment.run_many ~jobs:3 configs))
+
+let test_compare_strategies_uses_pool () =
+  let config =
+    { Workload.Fault_experiment.default_config with
+      Workload.Fault_experiment.transfer_bytes = Engine.Units.kib 64;
+      loss = Some (Netsim.Faults.Bernoulli 0.005);
+    }
+  in
+  let seq = Workload.Fault_experiment.compare_strategies ~jobs:1 config in
+  let par = Workload.Fault_experiment.compare_strategies ~jobs:2 config in
+  Alcotest.(check bool) "paired comparison identical" true (identical seq par)
+
+(* ------------------------------------------------------------------ *)
+
+let prop_pool_matches_array_map =
+  QCheck2.Test.make ~name:"Pool.map agrees with Array.map for pure functions"
+    QCheck2.Gen.(pair (int_range 1 8) (list_size (int_range 0 64) small_int))
+    (fun (jobs, xs) ->
+      let tasks = Array.of_list xs in
+      Engine.Pool.map ~jobs (fun x -> (x * 31) lxor 5) tasks
+      = Array.map (fun x -> (x * 31) lxor 5) tasks)
+
+let () =
+  Alcotest.run "pool"
+    [
+      ( "mechanics",
+        [
+          Alcotest.test_case "map preserves order" `Quick test_map_order;
+          Alcotest.test_case "map_list preserves order" `Quick test_map_list_order;
+          Alcotest.test_case "invalid jobs rejected" `Quick test_invalid_jobs;
+          Alcotest.test_case "default jobs positive" `Quick test_default_jobs_positive;
+          Alcotest.test_case "exception propagation" `Quick test_exception_propagation;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "star sweep" `Slow test_star_sweep_deterministic;
+          Alcotest.test_case "fault sweep" `Slow test_fault_sweep_deterministic;
+          Alcotest.test_case "contention sweep" `Slow test_contention_sweep_deterministic;
+          Alcotest.test_case "fault strategy comparison" `Slow
+            test_compare_strategies_uses_pool;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_pool_matches_array_map ] );
+    ]
