@@ -6,7 +6,8 @@
      optimal   analytic optimal-window model for a path
      adaptive  bandwidth-step reaction experiment (paper section 3)
      sweep     gamma / distance parameter sweeps
-     faults    loss / outage / relay-crash robustness comparison *)
+     faults    loss / outage / relay-crash robustness comparison
+     recover   session-level rebuild-and-resume around a crash *)
 
 open Cmdliner
 
@@ -541,6 +542,108 @@ let faults_cmd =
        $ seed_arg $ jobs_arg $ verbose))
 
 (* ------------------------------------------------------------------ *)
+(* recover *)
+
+let run_recover crash position selection max_rebuilds kib seed jobs verbose =
+  match Tor_model.Directory.selection_of_string selection with
+  | None ->
+      `Error
+        (false, Printf.sprintf "unknown selection policy %S (bandwidth|uniform)" selection)
+  | Some selection -> (
+      let config =
+        { Workload.Recovery_experiment.default_config with
+          Workload.Recovery_experiment.transfer_bytes = Engine.Units.kib kib;
+          crash_at = Option.map Engine.Time.of_sec_f crash;
+          crash_position = position;
+          selection;
+          max_rebuilds;
+        }
+      in
+      match Workload.Recovery_experiment.validate_config config with
+      | Error msg -> `Error (false, msg)
+      | Ok config ->
+          let c = Workload.Recovery_experiment.compare_strategies ~jobs ~seed config in
+          let t =
+            Analysis.Table.create
+              ~columns:
+                [ "strategy"; "outcome"; "ttlb"; "rebuilds"; "recovery";
+                  "delivered"; "dup"; "retx"; "goodput" ]
+          in
+          let row label (r : Workload.Recovery_experiment.result) =
+            Analysis.Table.add_row t
+              [
+                label;
+                Workload.Recovery_experiment.outcome_to_string r.outcome;
+                (match r.time_to_last_byte with
+                | Some x -> Printf.sprintf "%.3fs" (Engine.Time.to_sec_f x)
+                | None -> "-");
+                string_of_int r.rebuilds;
+                (match r.time_to_recover with
+                | Some x -> Printf.sprintf "%.3fs" (Engine.Time.to_sec_f x)
+                | None -> "-");
+                string_of_int r.delivered_bytes;
+                string_of_int r.duplicates;
+                string_of_int r.retransmissions;
+                Printf.sprintf "%.2f Mbit/s" (r.goodput_bps /. 1e6);
+              ]
+          in
+          row "circuitstart" c.circuit_start;
+          row "slowstart" c.slow_start;
+          print_string (Analysis.Table.render t);
+          (match
+             ( c.circuit_start.Workload.Recovery_experiment.goodput_bps,
+               c.slow_start.Workload.Recovery_experiment.goodput_bps )
+           with
+          | cs, ss when cs > 0. && ss > 0. ->
+              Printf.printf "goodput gap (circuitstart / slowstart): %.2fx\n" (cs /. ss)
+          | _ -> ());
+          if verbose then
+            List.iter
+              (fun e -> Format.printf "%a@." Engine.Trace.pp_event e)
+              c.circuit_start.events;
+          `Ok ())
+
+let recover_cmd =
+  let crash =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "crash-at" ] ~docv:"T"
+          ~doc:
+            "Crash the relay at --crash-position of the first circuit T seconds \
+             after transfer start.")
+  in
+  let position =
+    Arg.(
+      value & opt int 2
+      & info [ "crash-position" ] ~docv:"HOP"
+          ~doc:"Path position of the crash victim, 1-based (1 = guard).")
+  in
+  let selection =
+    Arg.(
+      value & opt string "bandwidth"
+      & info [ "selection" ] ~docv:"POLICY"
+          ~doc:"Path selection policy for rebuilds: bandwidth or uniform.")
+  in
+  let max_rebuilds =
+    Arg.(
+      value & opt int 3
+      & info [ "max-rebuilds" ] ~docv:"N"
+          ~doc:"Rebuild attempt budget before the session gives up (0 = none).")
+  in
+  let verbose =
+    Arg.(
+      value & flag
+      & info [ "events" ] ~doc:"Print the fault/rebuild/resume event log.")
+  in
+  let doc = "Session-level recovery: rebuild and resume around a relay crash." in
+  Cmd.v (Cmd.info "recover" ~doc)
+    Term.(
+      ret
+        (const run_recover $ crash $ position $ selection $ max_rebuilds
+       $ bytes_arg 512 $ seed_arg $ jobs_arg $ verbose))
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let doc = "CircuitStart: a slow start for multi-hop anonymity systems (simulator)" in
@@ -549,4 +652,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ trace_cmd; cdf_cmd; optimal_cmd; adaptive_cmd; sweep_cmd; cross_cmd;
-            faults_cmd ]))
+            faults_cmd; recover_cmd ]))

@@ -15,4 +15,7 @@ dune runtest
 echo "== fault smoke: torsim faults --loss 0.01 =="
 dune exec bin/torsim.exe -- faults --loss 0.01 --kib 128
 
+echo "== recovery smoke: torsim recover --crash-at 0.2 =="
+dune exec bin/torsim.exe -- recover --crash-at 0.2 --kib 128 --seed 7
+
 echo "OK"

@@ -123,11 +123,17 @@ let client_flow ~sender =
 
 let deploy_streams ~node_of ~circuit ~streams ~strategy
     ?(params = Circuitstart.Params.default) ?trace ?rto_min ?rto_initial
-    ?max_retries ?on_complete ?on_fail () =
+    ?max_retries ?(offsets = []) ?on_complete ?on_fail () =
   if streams = [] then invalid_arg "Backtap.Transfer.deploy_streams: no streams";
   let ids = List.map fst streams in
   if List.length (List.sort_uniq Int.compare ids) <> List.length ids then
     invalid_arg "Backtap.Transfer.deploy_streams: duplicate stream id";
+  List.iter
+    (fun (id, _) ->
+      if not (List.mem_assoc id streams) then
+        invalid_arg "Backtap.Transfer.deploy_streams: offset for unknown stream")
+    offsets;
+  let offset_of id = Option.value ~default:0 (List.assoc_opt id offsets) in
   let nodes = Tor_model.Circuit.nodes circuit in
   let node_arr = Array.of_list nodes in
   let hops = Array.length node_arr - 1 in
@@ -160,9 +166,12 @@ let deploy_streams ~node_of ~circuit ~streams ~strategy
       streams =
         List.map
           (fun (stream_id, bytes) ->
+            let start_byte = offset_of stream_id in
             { stream_id;
-              source = Tor_model.Stream.Source.create ~stream_id ~bytes;
-              str_sink = Tor_model.Stream.Sink.create ~expected_bytes:bytes;
+              source =
+                Tor_model.Stream.Source.create ~start_byte ~stream_id ~bytes ();
+              str_sink =
+                Tor_model.Stream.Sink.create ~start_byte ~expected_bytes:bytes ();
               str_completed_at = None })
           streams;
       sim;
@@ -197,9 +206,10 @@ let deploy_streams ~node_of ~circuit ~streams ~strategy
   t
 
 let deploy ~node_of ~circuit ~bytes ~strategy ?params ?trace ?rto_min ?rto_initial
-    ?max_retries ?(stream_id = 0) ?on_complete ?on_fail () =
+    ?max_retries ?(stream_id = 0) ?(offset = 0) ?on_complete ?on_fail () =
   deploy_streams ~node_of ~circuit ~streams:[ (stream_id, bytes) ] ~strategy ?params
-    ?trace ?rto_min ?rto_initial ?max_retries ?on_complete ?on_fail ()
+    ?trace ?rto_min ?rto_initial ?max_retries ~offsets:[ (stream_id, offset) ]
+    ?on_complete ?on_fail ()
 
 let start t =
   if t.started then invalid_arg "Backtap.Transfer.start: already started";
@@ -265,6 +275,11 @@ let time_to_last_byte t =
   match (t.first_sent_at, completed_at t) with
   | Some a, Some b -> Some (Engine.Time.diff b a)
   | _ -> None
+
+let delivered_bytes t =
+  List.fold_left
+    (fun acc st -> acc + Tor_model.Stream.Sink.delivered_bytes st.str_sink)
+    0 t.streams
 
 let sink t =
   match t.streams with st :: _ -> st.str_sink | [] -> assert false

@@ -38,11 +38,16 @@ val deploy :
   ?rto_initial:Engine.Time.t ->
   ?max_retries:int ->
   ?stream_id:int ->
+  ?offset:int ->
   ?on_complete:(Engine.Time.t -> unit) ->
   ?on_fail:(Engine.Time.t -> unit) ->
   unit ->
   t
-(** Prepare (but do not start) a [bytes]-byte transfer.  [node_of] must
+(** Prepare (but do not start) a [bytes]-byte transfer.  [offset]
+    (default 0) resumes from that byte: the first [offset] bytes are
+    treated as already delivered by a previous circuit generation, so
+    only the remainder crosses the wire (see {!Tor_model.Stream} for
+    the cell-alignment requirement).  [node_of] must
     return the BackTap node state of every node on the path.  With
     [trace = (registry, prefix)], each hop's window is recorded as
     series ["<prefix>/cwnd/<position>"] in cells (position 0 = client),
@@ -65,6 +70,7 @@ val deploy_streams :
   ?rto_min:Engine.Time.t ->
   ?rto_initial:Engine.Time.t ->
   ?max_retries:int ->
+  ?offsets:(int * int) list ->
   ?on_complete:(Engine.Time.t -> unit) ->
   ?on_fail:(Engine.Time.t -> unit) ->
   unit ->
@@ -73,9 +79,11 @@ val deploy_streams :
     does: [streams] is a list of [(stream_id, bytes)] with distinct
     ids; their cells interleave round-robin at the client (Tor's cell
     scheduler), share every hop window, and are demultiplexed to
-    per-stream sinks at the server.  [on_complete] fires when the last
-    stream finishes.  Raises [Invalid_argument] on an empty list or
-    duplicate ids. *)
+    per-stream sinks at the server.  [offsets] maps stream ids to
+    resume offsets (missing streams start at byte 0).  [on_complete]
+    fires when the last stream finishes.  Raises [Invalid_argument] on
+    an empty list, duplicate ids, or an offset for an unknown
+    stream. *)
 
 val start : t -> unit
 (** Inject the transfer at the client.  Raises [Invalid_argument] if
@@ -102,6 +110,13 @@ val completed_at : t -> Engine.Time.t option
 
 val time_to_last_byte : t -> Engine.Time.t option
 (** [completed_at - first_sent_at]; [None] until complete. *)
+
+val delivered_bytes : t -> int
+(** Sum over streams of the contiguous delivered prefix at the sink
+    (each counting its resume offset).  Unlike raw received bytes it
+    never counts cells beyond a hole, so after a failure it is the safe
+    offset set for the next circuit generation.  Stays readable after
+    {!teardown}. *)
 
 val sink : t -> Tor_model.Stream.Sink.t
 (** The first stream's sink (the only one for {!deploy}). *)

@@ -39,6 +39,11 @@ type kind =
   | Fault  (** A disturbance began: loss burst, link outage, relay crash. *)
   | Recovery  (** A disturbance ended: link back up, relay restarted. *)
   | Abort  (** A circuit or transfer gave up (terminal failure). *)
+  | Rebuild  (** A session is rebuilding its circuit after a failure. *)
+  | Resume
+      (** A transfer resumed on a rebuilt circuit; the detail carries
+          the resume offset and the time-to-recover. *)
+  | Exhausted  (** A session used up its rebuild budget (terminal). *)
 
 type event = {
   time : Time.t;
@@ -59,9 +64,20 @@ val events_with : t -> kind -> event list
 val event_count : t -> int
 
 val kind_to_string : kind -> string
-(** ["fault"], ["recovery"] or ["abort"]. *)
+(** ["fault"], ["recovery"], ["abort"], ["rebuild"], ["resume"] or
+    ["exhausted"]. *)
+
+val kind_of_string : string -> kind option
+(** Inverse of {!kind_to_string}; [None] on anything else. *)
 
 val events_to_csv : t -> Buffer.t -> unit
 (** Append the event log as CSV rows [time_s,kind,subject,detail]. *)
+
+val events_of_csv : string -> event list
+(** Parse rows produced by {!events_to_csv} back into events (the
+    header line and blank lines are skipped; unparseable rows are
+    dropped).  Commas inside the detail field survive the round trip;
+    kind and subject must not contain one.  Timestamps round-trip
+    exactly at the nanosecond resolution [events_to_csv] prints. *)
 
 val pp_event : Format.formatter -> event -> unit

@@ -22,6 +22,11 @@ let build sb (circuit : Circuit.t) ?(timeout = Engine.Time.s 30) ~on_done () =
   in
   let watchdog =
     Engine.Sim.schedule_after sim timeout (fun () ->
+        (* Tear down the half-built prefix: a DESTROY from the client
+           walks the chain of relay routing entries and removes them,
+           so a timed-out attempt leaves no orphaned state behind (it
+           stops at a crashed relay, whose table is gone anyway). *)
+        Switchboard.send_cell sb ~dst:guard (Cell.make circuit.id Cell.Destroy);
         finish (Failed "circuit establishment timed out"))
   in
   let extend_next () =

@@ -23,7 +23,9 @@ val build :
   unit
 (** [build client_sb circuit ~on_done ()] starts establishment now;
     [on_done] fires exactly once.  [timeout] (default 30 s of simulated
-    time) fails the attempt if the ladder stalls.  The client
-    switchboard must belong to [circuit.client].  Registers the
-    circuit's handler on the client switchboard for the duration and
-    unregisters it before [on_done]. *)
+    time) fails the attempt if the ladder stalls; a timed-out attempt
+    sends DESTROY along the built prefix so no half-built routing
+    entries are orphaned at the relays.  The client switchboard must
+    belong to [circuit.client].  Registers the circuit's handler on the
+    client switchboard for the duration and unregisters it before
+    [on_done]. *)

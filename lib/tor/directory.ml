@@ -1,5 +1,17 @@
 type t = { mutable relays : Relay_info.t list }
 
+type selection = Bandwidth_weighted | Uniform
+
+let selection_to_string = function
+  | Bandwidth_weighted -> "bandwidth"
+  | Uniform -> "uniform"
+
+let selection_of_string s =
+  match String.lowercase_ascii s with
+  | "bandwidth" | "bw" | "weighted" -> Some Bandwidth_weighted
+  | "uniform" | "random" -> Some Uniform
+  | _ -> None
+
 let create () = { relays = [] }
 let add t r = t.relays <- t.relays @ [ r ]
 let relays t = t.relays
@@ -21,17 +33,31 @@ let weighted_choice rng candidates =
       in
       Some (Engine.Rng.pick_weighted rng arr)
 
-let select_path t rng ~hops =
+let uniform_choice rng candidates =
+  match candidates with
+  | [] -> None
+  | _ -> Some (Engine.Rng.pick rng (Array.of_list candidates))
+
+let select_path t rng ?(selection = Bandwidth_weighted) ?(exclude = []) ~hops () =
   if hops < 1 then invalid_arg "Directory.select_path: need at least one hop";
+  let choose =
+    match selection with
+    | Bandwidth_weighted -> weighted_choice
+    | Uniform -> uniform_choice
+  in
+  let banned (r : Relay_info.t) =
+    List.exists (Netsim.Node_id.equal r.node) exclude
+  in
   let excluded chosen (r : Relay_info.t) =
-    List.exists (fun (c : Relay_info.t) -> Netsim.Node_id.equal c.node r.node) chosen
+    banned r
+    || List.exists (fun (c : Relay_info.t) -> Netsim.Node_id.equal c.node r.node) chosen
   in
   let pick ~flag chosen =
     let ok (r : Relay_info.t) =
       (not (excluded chosen r))
       && match flag with None -> true | Some f -> Relay_info.has_flag r f
     in
-    weighted_choice rng (List.filter ok t.relays)
+    choose rng (List.filter ok t.relays)
   in
   (* Tor fills guard, then exit, then middles; we follow suit so flag
      scarcity (few exits) constrains the right position. *)

@@ -9,6 +9,19 @@
 
 type t
 
+type selection =
+  | Bandwidth_weighted
+      (** Each position is drawn with probability proportional to relay
+          bandwidth — Tor's load-balancing default. *)
+  | Uniform  (** Each position is drawn uniformly from the candidates. *)
+
+val selection_to_string : selection -> string
+(** ["bandwidth"] or ["uniform"]. *)
+
+val selection_of_string : string -> selection option
+(** Accepts ["bandwidth"]/["bw"]/["weighted"] and
+    ["uniform"]/["random"]; [None] otherwise. *)
+
 val create : unit -> t
 val add : t -> Relay_info.t -> unit
 val relays : t -> Relay_info.t list
@@ -18,8 +31,18 @@ val count : t -> int
 
 val find_by_node : t -> Netsim.Node_id.t -> Relay_info.t option
 
-val select_path : t -> Engine.Rng.t -> hops:int -> Relay_info.t list option
-(** [select_path dir rng ~hops] draws a bandwidth-weighted path of
-    [hops] distinct relays: position 0 needs [Guard], the last position
-    needs [Exit], middles need no flag.  [None] if the directory cannot
-    satisfy the constraints.  Raises [Invalid_argument] if [hops < 1]. *)
+val select_path :
+  t ->
+  Engine.Rng.t ->
+  ?selection:selection ->
+  ?exclude:Netsim.Node_id.t list ->
+  hops:int ->
+  unit ->
+  Relay_info.t list option
+(** [select_path dir rng ~hops] draws a path of [hops] distinct relays:
+    position 0 needs [Guard], the last position needs [Exit], middles
+    need no flag.  [selection] (default [Bandwidth_weighted]) picks the
+    drawing policy; relays whose node appears in [exclude] (default
+    none) are never chosen — sessions use this to route around
+    suspected-dead relays.  [None] if the directory cannot satisfy the
+    constraints.  Raises [Invalid_argument] if [hops < 1]. *)

@@ -146,8 +146,8 @@ let deploy ~sb_of ~circuit ~bytes ?(config = default_config) ?(stream_id = 0) ()
     {
       config;
       circuit;
-      source = Stream.Source.create ~stream_id ~bytes;
-      sink = Stream.Sink.create ~expected_bytes:bytes;
+      source = Stream.Source.create ~stream_id ~bytes ();
+      sink = Stream.Sink.create ~expected_bytes:bytes ();
       sb_of;
       sim;
       circ_credit = config.circuit_window;

@@ -6,9 +6,14 @@ module Source = struct
     mutable next_seq : int;
   }
 
-  let create ~stream_id ~bytes =
+  let create ?(start_byte = 0) ~stream_id ~bytes () =
     if bytes <= 0 then invalid_arg "Stream.Source.create: bytes must be positive";
-    { stream_id; total = bytes; sent = 0; next_seq = 0 }
+    if start_byte < 0 || start_byte >= bytes then
+      invalid_arg "Stream.Source.create: start_byte out of range";
+    if start_byte mod Cell.payload_capacity <> 0 then
+      invalid_arg "Stream.Source.create: start_byte must be cell-aligned";
+    { stream_id; total = bytes; sent = start_byte;
+      next_seq = start_byte / Cell.payload_capacity }
 
   let stream_id t = t.stream_id
   let total_bytes t = t.total
@@ -34,26 +39,48 @@ end
 module Sink = struct
   type t = {
     expected : int;
-    seen : (int, unit) Hashtbl.t;
+    seen : (int, int) Hashtbl.t;  (* seq -> payload length *)
     mutable received : int;
     mutable cells : int;
     mutable duplicates : int;
+    (* The contiguous delivered prefix: every cell up to (excluding)
+       [next_contig] has arrived, accounting for [contig_bytes] bytes.
+       This is what a resumed transfer can safely skip. *)
+    mutable next_contig : int;
+    mutable contig_bytes : int;
     mutable completed_at : Engine.Time.t option;
   }
 
-  let create ~expected_bytes =
+  let create ?(start_byte = 0) ~expected_bytes () =
     if expected_bytes <= 0 then
       invalid_arg "Stream.Sink.create: expected_bytes must be positive";
-    { expected = expected_bytes; seen = Hashtbl.create 64; received = 0; cells = 0;
-      duplicates = 0; completed_at = None }
+    if start_byte < 0 || start_byte >= expected_bytes then
+      invalid_arg "Stream.Sink.create: start_byte out of range";
+    if start_byte mod Cell.payload_capacity <> 0 then
+      invalid_arg "Stream.Sink.create: start_byte must be cell-aligned";
+    { expected = expected_bytes; seen = Hashtbl.create 64; received = start_byte;
+      cells = 0; duplicates = 0; next_contig = start_byte / Cell.payload_capacity;
+      contig_bytes = start_byte; completed_at = None }
+
+  let advance_contig t =
+    let rec go () =
+      match Hashtbl.find_opt t.seen t.next_contig with
+      | Some length ->
+          t.contig_bytes <- t.contig_bytes + length;
+          t.next_contig <- t.next_contig + 1;
+          go ()
+      | None -> ()
+    in
+    go ()
 
   let deliver t ~now = function
     | Cell.Relay_data { seq; length; _ } ->
         if Hashtbl.mem t.seen seq then t.duplicates <- t.duplicates + 1
         else begin
-          Hashtbl.add t.seen seq ();
+          Hashtbl.add t.seen seq length;
           t.received <- t.received + length;
           t.cells <- t.cells + 1;
+          if seq = t.next_contig then advance_contig t;
           if t.received >= t.expected && t.completed_at = None then
             t.completed_at <- Some now
         end
@@ -62,6 +89,7 @@ module Sink = struct
   let received_bytes t = t.received
   let cells_received t = t.cells
   let duplicates t = t.duplicates
+  let delivered_bytes t = t.contig_bytes
   let complete t = t.received >= t.expected
   let completed_at t = t.completed_at
 end

@@ -8,9 +8,16 @@
 module Source : sig
   type t
 
-  val create : stream_id:int -> bytes:int -> t
-  (** A source with [bytes] to send.  Raises [Invalid_argument] if
-      [bytes <= 0]. *)
+  val create : ?start_byte:int -> stream_id:int -> bytes:int -> unit -> t
+  (** A source with [bytes] to send.  [start_byte] (default 0) skips
+      the already-delivered prefix of a resumed transfer: emission
+      starts at the cell containing that byte, with sequence numbers
+      continuing where the previous attempt's contiguous prefix ended.
+      Raises [Invalid_argument] if [bytes <= 0], if [start_byte] is
+      outside [\[0, bytes)], or if it is not a multiple of
+      {!Cell.payload_capacity} (resume offsets come from
+      {!Sink.delivered_bytes}, which is always cell-aligned while the
+      transfer is incomplete). *)
 
   val stream_id : t -> int
   val total_bytes : t -> int
@@ -29,8 +36,12 @@ end
 module Sink : sig
   type t
 
-  val create : expected_bytes:int -> t
-  (** Raises [Invalid_argument] if [expected_bytes <= 0]. *)
+  val create : ?start_byte:int -> expected_bytes:int -> unit -> t
+  (** A sink expecting [expected_bytes] in total, of which
+      [start_byte] (default 0) were already delivered by a previous
+      circuit generation and will not arrive again.  Raises
+      [Invalid_argument] under the same conditions as
+      {!Source.create}. *)
 
   val deliver : t -> now:Engine.Time.t -> Cell.relay_command -> unit
   (** Account an exposed relay command.  Duplicate data cells (same
@@ -40,6 +51,15 @@ module Sink : sig
   val received_bytes : t -> int
   val cells_received : t -> int
   val duplicates : t -> int
+
+  val delivered_bytes : t -> int
+  (** The contiguous delivered prefix in bytes: every cell of the
+      stream up to this offset has arrived (counting the [start_byte]
+      handed to {!create}).  Unlike {!received_bytes} it ignores cells
+      beyond a hole, so it is the safe resume offset for a transfer
+      that dies mid-flight.  Cell-aligned until the final cell
+      arrives. *)
+
   val complete : t -> bool
   (** All expected bytes arrived. *)
 

@@ -114,7 +114,7 @@ let run config =
   let circuits =
     List.mapi
       (fun i (client, server) ->
-        match Tor_model.Directory.select_path dir path_rng ~hops:config.relays_per_circuit
+        match Tor_model.Directory.select_path dir path_rng ~hops:config.relays_per_circuit ()
         with
         | None -> failwith "Star_experiment: path selection failed"
         | Some relays ->

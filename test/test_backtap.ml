@@ -389,6 +389,115 @@ let test_transfer_on_complete_fires_once () =
   Engine.Sim.run sim ~until:(Engine.Time.s 60);
   Alcotest.(check int) "once" 1 !fired
 
+let test_transfer_resume_offset () =
+  let bytes = Engine.Units.kib 200 in
+  let offset = 100 * 498 in
+  let sim, _, leaves, _, bts = mk_net 5 in
+  let relays =
+    List.init 3 (fun i ->
+        Tor_model.Relay_info.make ~nickname:(Printf.sprintf "r%d" i) ~node:leaves.(i + 1)
+          ~bandwidth:(Engine.Units.Rate.mbit 10) ~latency:(Engine.Time.ms 5) ())
+  in
+  let circuit =
+    Tor_model.Circuit.make ~id:circ ~client:leaves.(0) ~relays ~server:leaves.(4)
+  in
+  let node_of n =
+    let rec find i = if Netsim.Node_id.equal leaves.(i) n then bts.(i) else find (i + 1) in
+    find 0
+  in
+  let d =
+    Backtap.Transfer.deploy ~node_of ~circuit ~bytes
+      ~strategy:Circuitstart.Controller.Circuit_start ~offset ()
+  in
+  Alcotest.(check int) "offset counted up front" offset
+    (Backtap.Transfer.delivered_bytes d);
+  Backtap.Transfer.start d;
+  Engine.Sim.run sim ~until:(Engine.Time.s 60);
+  Alcotest.(check bool) "complete" true (Backtap.Transfer.complete d);
+  Alcotest.(check int) "every byte accounted" bytes (Backtap.Transfer.delivered_bytes d);
+  Alcotest.(check int) "no duplicates" 0
+    (Tor_model.Stream.Sink.duplicates (Backtap.Transfer.sink d));
+  (* Only the un-delivered suffix crossed the wire. *)
+  let total_cells = (bytes + 497) / 498 in
+  Alcotest.(check int) "only the suffix was sent" (total_cells - 100)
+    (Tor_model.Stream.Sink.cells_received (Backtap.Transfer.sink d))
+
+let test_transfer_offset_validation () =
+  let sim, _, leaves, _, bts = mk_net 5 in
+  let relays =
+    List.init 3 (fun i ->
+        Tor_model.Relay_info.make ~nickname:(Printf.sprintf "r%d" i) ~node:leaves.(i + 1)
+          ~bandwidth:(Engine.Units.Rate.mbit 10) ~latency:(Engine.Time.ms 5) ())
+  in
+  let circuit =
+    Tor_model.Circuit.make ~id:circ ~client:leaves.(0) ~relays ~server:leaves.(4)
+  in
+  let node_of n =
+    let rec find i = if Netsim.Node_id.equal leaves.(i) n then bts.(i) else find (i + 1) in
+    find 0
+  in
+  ignore sim;
+  (match
+     Backtap.Transfer.deploy ~node_of ~circuit ~bytes:(Engine.Units.kib 10)
+       ~strategy:Circuitstart.Controller.Circuit_start ~offset:100 ()
+   with
+  | (_ : Backtap.Transfer.t) -> Alcotest.fail "misaligned offset accepted"
+  | exception Invalid_argument msg ->
+      Alcotest.(check bool) ("alignment rejected: " ^ msg) true
+        (String.ends_with ~suffix:"start_byte must be cell-aligned" msg));
+  Alcotest.check_raises "offset for unknown stream"
+    (Invalid_argument "Backtap.Transfer.deploy_streams: offset for unknown stream")
+    (fun () ->
+      ignore
+        (Backtap.Transfer.deploy_streams ~node_of ~circuit
+           ~streams:[ (0, Engine.Units.kib 10) ]
+           ~strategy:Circuitstart.Controller.Circuit_start
+           ~offsets:[ (7, 498) ] ()))
+
+(* Kill the middle relay mid-transfer: on_fail must fire exactly once,
+   on_complete never, and the delivered prefix must be a safe (cell
+   aligned) resume offset. *)
+let test_transfer_callbacks_exclusive () =
+  let bytes = Engine.Units.kib 200 in
+  let sim, _, leaves, sbs, bts = mk_net 5 in
+  let relays =
+    List.init 3 (fun i ->
+        Tor_model.Relay_info.make ~nickname:(Printf.sprintf "r%d" i) ~node:leaves.(i + 1)
+          ~bandwidth:(Engine.Units.Rate.mbit 10) ~latency:(Engine.Time.ms 5) ())
+  in
+  let circuit =
+    Tor_model.Circuit.make ~id:circ ~client:leaves.(0) ~relays ~server:leaves.(4)
+  in
+  let node_of n =
+    let rec find i = if Netsim.Node_id.equal leaves.(i) n then bts.(i) else find (i + 1) in
+    find 0
+  in
+  let completes = ref 0 and fails = ref 0 in
+  let d =
+    Backtap.Transfer.deploy ~node_of ~circuit ~bytes
+      ~strategy:Circuitstart.Controller.Circuit_start
+      ~rto_min:(Engine.Time.ms 100) ~rto_initial:(Engine.Time.ms 200) ~max_retries:3
+      ~on_complete:(fun _ -> incr completes)
+      ~on_fail:(fun _ -> incr fails)
+      ()
+  in
+  ignore
+    (Engine.Sim.schedule_after sim (Engine.Time.ms 100) (fun () ->
+         Tor_model.Switchboard.set_down sbs.(2) true)
+      : Engine.Sim.handle);
+  Backtap.Transfer.start d;
+  Engine.Sim.run sim ~until:(Engine.Time.s 60);
+  Alcotest.(check int) "on_fail fired once" 1 !fails;
+  Alcotest.(check int) "on_complete never fired" 0 !completes;
+  Alcotest.(check bool) "terminal state is Failed" true
+    (Backtap.Transfer.state d = Backtap.Transfer.Failed);
+  let delivered = Backtap.Transfer.delivered_bytes d in
+  Alcotest.(check bool)
+    (Printf.sprintf "partial delivery (%d of %d)" delivered bytes)
+    true
+    (delivered > 0 && delivered < bytes);
+  Alcotest.(check int) "prefix is cell-aligned" 0 (delivered mod 498)
+
 let test_transfer_cell_latency () =
   let sim, d = mk_transfer () in
   Backtap.Transfer.start d;
@@ -545,6 +654,10 @@ let () =
           Alcotest.test_case "senders exposed" `Quick test_transfer_senders_exposed;
           Alcotest.test_case "trace recorded" `Quick test_transfer_trace_recorded;
           Alcotest.test_case "on_complete once" `Quick test_transfer_on_complete_fires_once;
+          Alcotest.test_case "resume offset" `Quick test_transfer_resume_offset;
+          Alcotest.test_case "offset validation" `Quick test_transfer_offset_validation;
+          Alcotest.test_case "fail and complete exclusive" `Quick
+            test_transfer_callbacks_exclusive;
           Alcotest.test_case "cell latency" `Quick test_transfer_cell_latency;
           Alcotest.test_case "multi-stream" `Quick test_multi_stream_transfer;
           Alcotest.test_case "multi-stream validation" `Quick

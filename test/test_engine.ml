@@ -626,6 +626,37 @@ let test_trace_events () =
   Alcotest.(check string) "pp" "[10.00ms] fault link/a: down"
     (Format.asprintf "%a" Engine.Trace.pp_event (List.hd evs))
 
+let test_trace_events_csv_roundtrip () =
+  let tr = Engine.Trace.create () in
+  let kinds =
+    [ Engine.Trace.Fault; Engine.Trace.Recovery; Engine.Trace.Abort;
+      Engine.Trace.Rebuild; Engine.Trace.Resume; Engine.Trace.Exhausted ]
+  in
+  List.iteri
+    (fun i kind ->
+      (* Details with commas must survive the round trip. *)
+      Engine.Trace.record_event tr kind
+        ~subject:(Printf.sprintf "s/%d" i)
+        ~detail:(Printf.sprintf "detail %d, with, commas" i)
+        (Engine.Time.ms (10 * (i + 1))))
+    kinds;
+  let buf = Buffer.create 256 in
+  Engine.Trace.events_to_csv tr buf;
+  let parsed = Engine.Trace.events_of_csv (Buffer.contents buf) in
+  Alcotest.(check int) "all rows parsed" (List.length kinds) (List.length parsed);
+  Alcotest.(check bool) "round trip is lossless" true
+    (parsed = Engine.Trace.events tr);
+  List.iter
+    (fun kind ->
+      let s = Engine.Trace.kind_to_string kind in
+      Alcotest.(check bool) ("kind round trip: " ^ s) true
+        (Engine.Trace.kind_of_string s = Some kind))
+    kinds;
+  Alcotest.(check bool) "unknown kind rejected" true
+    (Engine.Trace.kind_of_string "bogus" = None);
+  Alcotest.(check int) "garbage lines skipped" 0
+    (List.length (Engine.Trace.events_of_csv "not,a,valid\nrow\n"))
+
 (* ------------------------------------------------------------------ *)
 
 let qtests =
@@ -714,6 +745,8 @@ let () =
           Alcotest.test_case "resample" `Quick test_timeseries_resample;
           Alcotest.test_case "trace registry" `Quick test_trace_registry;
           Alcotest.test_case "trace events" `Quick test_trace_events;
+          Alcotest.test_case "trace events csv round trip" `Quick
+            test_trace_events_csv_roundtrip;
         ] );
       ("properties", qtests);
     ]

@@ -1,0 +1,185 @@
+(* Tests for the session/recovery layer: a relay crash mid-transfer is
+   survived by rebuilding onto an alternate path and resuming at the
+   delivered prefix; the rebuild budget is honoured; and results are
+   byte-identical for a fixed seed across --jobs values. *)
+
+let crash_config =
+  { Workload.Recovery_experiment.default_config with
+    transfer_bytes = Engine.Units.kib 64;
+    crash_at = Some (Engine.Time.ms 200);
+  }
+
+let kinds_of events =
+  List.sort_uniq compare (List.map (fun e -> e.Engine.Trace.kind) events)
+
+let test_clean_run_never_rebuilds () =
+  let r =
+    Workload.Recovery_experiment.run ~seed:3
+      { crash_config with crash_at = None }
+  in
+  Alcotest.(check string) "completed" "completed"
+    (Workload.Recovery_experiment.outcome_to_string r.outcome);
+  Alcotest.(check int) "no rebuilds" 0 r.rebuilds;
+  Alcotest.(check int) "one generation" 1 r.generations;
+  Alcotest.(check int) "all bytes" (Engine.Units.kib 64) r.delivered_bytes;
+  Alcotest.(check bool) "no recovery time" true (r.time_to_recover = None);
+  Alcotest.(check bool) "nothing excluded" true (r.excluded = [])
+
+let test_session_recovers_after_crash () =
+  let r = Workload.Recovery_experiment.run ~seed:7 crash_config in
+  Alcotest.(check string) "completed despite crash" "completed"
+    (Workload.Recovery_experiment.outcome_to_string r.outcome);
+  Alcotest.(check bool)
+    (Printf.sprintf "rebuilt at least once (%d)" r.rebuilds)
+    true (r.rebuilds >= 1);
+  Alcotest.(check int) "every byte delivered" (Engine.Units.kib 64)
+    r.delivered_bytes;
+  Alcotest.(check int) "no cell delivered twice" 0 r.duplicates;
+  Alcotest.(check bool) "time-to-recover measured" true
+    (r.time_to_recover <> None);
+  Alcotest.(check int) "one recovery per rebuild that resumed" r.rebuilds
+    (List.length r.recovery_times);
+  Alcotest.(check bool) "suspects excluded" true (r.excluded <> []);
+  (* The event log tells the whole story: the crash, the rebuild
+     decisions, and the resume with its recovery latency. *)
+  let kinds = kinds_of r.events in
+  List.iter
+    (fun k ->
+      Alcotest.(check bool)
+        ("event log has a " ^ Engine.Trace.kind_to_string k ^ " event")
+        true (List.mem k kinds))
+    [ Engine.Trace.Fault; Engine.Trace.Rebuild; Engine.Trace.Resume ]
+
+let test_resume_event_carries_offset () =
+  let r = Workload.Recovery_experiment.run ~seed:7 crash_config in
+  match
+    List.find_opt (fun e -> e.Engine.Trace.kind = Engine.Trace.Resume) r.events
+  with
+  | None -> Alcotest.fail "no resume event"
+  | Some e ->
+      Alcotest.(check bool)
+        ("resume detail has offset and latency: " ^ e.Engine.Trace.detail)
+        true
+        (Scanf.sscanf_opt e.Engine.Trace.detail "offset=%d recovered_in=%fs"
+           (fun off lat -> off >= 0 && off mod 498 = 0 && lat > 0.)
+        = Some true)
+
+let test_exhausts_with_zero_budget () =
+  let r =
+    Workload.Recovery_experiment.run ~seed:7
+      { crash_config with max_rebuilds = 0 }
+  in
+  Alcotest.(check string) "exhausted" "exhausted:rebuild-budget"
+    (Workload.Recovery_experiment.outcome_to_string r.outcome);
+  Alcotest.(check int) "no rebuild attempted" 0 r.rebuilds;
+  Alcotest.(check bool) "partial delivery only" true
+    (r.delivered_bytes < Engine.Units.kib 64);
+  (* Terminal in bounded simulated time, not parked until the horizon. *)
+  Alcotest.(check bool) "not timed out" true
+    (r.outcome <> Workload.Recovery_experiment.Timed_out);
+  let kinds = kinds_of r.events in
+  Alcotest.(check bool) "exhausted event recorded" true
+    (List.mem Engine.Trace.Exhausted kinds)
+
+let test_uniform_selection_recovers () =
+  let r =
+    Workload.Recovery_experiment.run ~seed:9
+      { crash_config with selection = Tor_model.Directory.Uniform }
+  in
+  Alcotest.(check string) "completed" "completed"
+    (Workload.Recovery_experiment.outcome_to_string r.outcome);
+  Alcotest.(check int) "all bytes" (Engine.Units.kib 64) r.delivered_bytes
+
+let test_guard_crash_recovers () =
+  let r =
+    Workload.Recovery_experiment.run ~seed:11
+      { crash_config with crash_position = 1 }
+  in
+  Alcotest.(check string) "completed" "completed"
+    (Workload.Recovery_experiment.outcome_to_string r.outcome);
+  Alcotest.(check int) "no duplicates" 0 r.duplicates
+
+let test_deterministic_across_jobs () =
+  let tasks =
+    [ (7, crash_config); (8, crash_config);
+      (9, { crash_config with selection = Tor_model.Directory.Uniform }) ]
+  in
+  let runs jobs = Workload.Recovery_experiment.run_many ~jobs tasks in
+  let reference = runs 1 in
+  List.iter
+    (fun jobs ->
+      (* Structural equality covers every field, including the full
+         trace event list — ordering must not depend on the pool. *)
+      Alcotest.(check bool)
+        (Printf.sprintf "jobs=%d byte-identical to jobs=1" jobs)
+        true
+        (runs jobs = reference))
+    [ 2; 4 ]
+
+let test_compare_strategies_paired () =
+  let c = Workload.Recovery_experiment.compare_strategies ~seed:7 crash_config in
+  (* Both face the same crash schedule; both must finish the transfer. *)
+  List.iter
+    (fun (label, (r : Workload.Recovery_experiment.result)) ->
+      Alcotest.(check string) (label ^ " completed") "completed"
+        (Workload.Recovery_experiment.outcome_to_string r.outcome);
+      Alcotest.(check int) (label ^ " all bytes") (Engine.Units.kib 64)
+        r.delivered_bytes;
+      Alcotest.(check int) (label ^ " no duplicates") 0 r.duplicates)
+    [ ("circuitstart", c.circuit_start); ("slowstart", c.slow_start) ];
+  (* The crash hits the same relay at the same instant in both runs. *)
+  let crash_event r =
+    List.find_opt
+      (fun e -> e.Engine.Trace.kind = Engine.Trace.Fault)
+      r.Workload.Recovery_experiment.events
+  in
+  match (crash_event c.circuit_start, crash_event c.slow_start) with
+  | Some a, Some b ->
+      Alcotest.(check string) "same victim" a.Engine.Trace.subject
+        b.Engine.Trace.subject;
+      Alcotest.(check bool) "same instant" true
+        (a.Engine.Trace.time = b.Engine.Trace.time)
+  | _ -> Alcotest.fail "crash event missing"
+
+let test_config_validation () =
+  let bad mutate msg =
+    match
+      Workload.Recovery_experiment.validate_config
+        (mutate Workload.Recovery_experiment.default_config)
+    with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail ("validated: " ^ msg)
+  in
+  bad (fun c -> { c with relay_count = 3 }) "relay_count = hops";
+  bad (fun c -> { c with crash_position = 0 }) "crash_position 0";
+  bad (fun c -> { c with crash_position = 4 }) "crash_position > hops";
+  bad (fun c -> { c with max_rebuilds = -1 }) "negative budget";
+  bad (fun c -> { c with transfer_bytes = 0 }) "empty transfer"
+
+let () =
+  Alcotest.run "recovery"
+    [
+      ( "session",
+        [
+          Alcotest.test_case "clean run never rebuilds" `Quick
+            test_clean_run_never_rebuilds;
+          Alcotest.test_case "recovers after crash" `Quick
+            test_session_recovers_after_crash;
+          Alcotest.test_case "resume event carries offset" `Quick
+            test_resume_event_carries_offset;
+          Alcotest.test_case "exhausts with zero budget" `Quick
+            test_exhausts_with_zero_budget;
+          Alcotest.test_case "uniform selection recovers" `Quick
+            test_uniform_selection_recovers;
+          Alcotest.test_case "guard crash recovers" `Quick
+            test_guard_crash_recovers;
+        ] );
+      ( "experiment",
+        [
+          Alcotest.test_case "deterministic across jobs" `Slow
+            test_deterministic_across_jobs;
+          Alcotest.test_case "paired comparison" `Slow
+            test_compare_strategies_paired;
+          Alcotest.test_case "config validation" `Quick test_config_validation;
+        ] );
+    ]

@@ -100,7 +100,7 @@ let test_directory_select_distinct () =
   done;
   let rng = Engine.Rng.create 11 in
   for _ = 1 to 100 do
-    match Tor_model.Directory.select_path dir rng ~hops:3 with
+    match Tor_model.Directory.select_path dir rng ~hops:3 () with
     | None -> Alcotest.fail "selection failed"
     | Some relays ->
         Alcotest.(check int) "three relays" 3 (List.length relays);
@@ -122,7 +122,7 @@ let test_directory_flags_honoured () =
   done;
   let rng = Engine.Rng.create 12 in
   for _ = 1 to 50 do
-    match Tor_model.Directory.select_path dir rng ~hops:3 with
+    match Tor_model.Directory.select_path dir rng ~hops:3 () with
     | None -> Alcotest.fail "selection failed"
     | Some relays ->
         let exit = List.nth relays 2 in
@@ -142,7 +142,7 @@ let test_directory_bandwidth_bias () =
   let fast_first = ref 0 in
   let n = 2000 in
   for _ = 1 to n do
-    match Tor_model.Directory.select_path dir rng ~hops:1 with
+    match Tor_model.Directory.select_path dir rng ~hops:1 () with
     | Some [ r ] when Netsim.Node_id.to_int r.Tor_model.Relay_info.node = 0 ->
         incr fast_first
     | _ -> ()
@@ -176,9 +176,76 @@ let test_directory_impossible () =
   Tor_model.Directory.add dir (mk_relay ~flags:[ Tor_model.Relay_info.Guard ] ~node:0 ~mbit:1 ());
   let rng = Engine.Rng.create 14 in
   Alcotest.(check bool) "no exit -> None" true
-    (Tor_model.Directory.select_path dir rng ~hops:2 = None);
+    (Tor_model.Directory.select_path dir rng ~hops:2 () = None);
   Alcotest.(check bool) "not enough relays -> None" true
-    (Tor_model.Directory.select_path dir rng ~hops:3 = None)
+    (Tor_model.Directory.select_path dir rng ~hops:3 () = None)
+
+let test_directory_exclude () =
+  let dir = Tor_model.Directory.create () in
+  for i = 0 to 5 do
+    Tor_model.Directory.add dir (mk_relay ~node:i ~mbit:10 ())
+  done;
+  let rng = Engine.Rng.create 15 in
+  let banned = [ Netsim.Node_id.of_int 0; Netsim.Node_id.of_int 1 ] in
+  for _ = 1 to 100 do
+    match Tor_model.Directory.select_path dir rng ~exclude:banned ~hops:3 () with
+    | None -> Alcotest.fail "selection failed despite enough relays"
+    | Some relays ->
+        List.iter
+          (fun (r : Tor_model.Relay_info.t) ->
+            Alcotest.(check bool) "excluded relay never chosen" false
+              (List.exists (Netsim.Node_id.equal r.node) banned))
+          relays
+  done;
+  (* Excluding everything leaves no path. *)
+  let all = List.init 6 Netsim.Node_id.of_int in
+  Alcotest.(check bool) "all excluded -> None" true
+    (Tor_model.Directory.select_path dir rng ~exclude:all ~hops:1 () = None)
+
+let test_directory_uniform_selection () =
+  let dir = Tor_model.Directory.create () in
+  (* Node 0 owns ~98% of the bandwidth; uniform selection must ignore
+     that and pick it like any other relay. *)
+  Tor_model.Directory.add dir (mk_relay ~node:0 ~mbit:500 ());
+  for i = 1 to 4 do
+    Tor_model.Directory.add dir (mk_relay ~node:i ~mbit:2 ())
+  done;
+  let count selection seed =
+    let rng = Engine.Rng.create seed in
+    let hits = ref 0 in
+    for _ = 1 to 1000 do
+      match Tor_model.Directory.select_path dir rng ~selection ~hops:1 () with
+      | Some [ r ] when Netsim.Node_id.to_int r.Tor_model.Relay_info.node = 0 ->
+          incr hits
+      | _ -> ()
+    done;
+    !hits
+  in
+  let weighted = count Tor_model.Directory.Bandwidth_weighted 16 in
+  let uniform = count Tor_model.Directory.Uniform 16 in
+  Alcotest.(check bool)
+    (Printf.sprintf "weighted (%d) favours the fat relay, uniform (%d) does not"
+       weighted uniform)
+    true
+    (weighted > 900 && uniform > 100 && uniform < 350)
+
+let test_selection_strings () =
+  List.iter
+    (fun sel ->
+      Alcotest.(check bool)
+        ("selection string round trip: " ^ Tor_model.Directory.selection_to_string sel)
+        true
+        (Tor_model.Directory.selection_of_string
+           (Tor_model.Directory.selection_to_string sel)
+        = Some sel))
+    [ Tor_model.Directory.Bandwidth_weighted; Tor_model.Directory.Uniform ];
+  Alcotest.(check bool) "aliases accepted" true
+    (Tor_model.Directory.selection_of_string "bw"
+     = Some Tor_model.Directory.Bandwidth_weighted
+    && Tor_model.Directory.selection_of_string "random"
+       = Some Tor_model.Directory.Uniform);
+  Alcotest.(check bool) "unknown rejected" true
+    (Tor_model.Directory.selection_of_string "fastest" = None)
 
 (* ------------------------------------------------------------------ *)
 (* Circuit *)
@@ -331,6 +398,33 @@ let test_circuit_establishment_timeout () =
   | Some (Tor_model.Circuit_builder.Failed _) -> ()
   | _ -> Alcotest.fail "expected timeout failure"
 
+let test_builder_timeout_destroys_prefix () =
+  let sim, _, leaves, sbs = mk_overlay 5 in
+  let ctls = Array.init 5 (fun i -> Tor_model.Relay_ctl.create sbs.(i)) in
+  let relays = List.init 3 (fun i -> mk_relay ~node:(Netsim.Node_id.to_int leaves.(i + 1)) ~mbit:5 ()) in
+  let circuit =
+    Tor_model.Circuit.make ~id:(Tor_model.Circuit_id.of_int 0) ~client:leaves.(0) ~relays
+      ~server:leaves.(4)
+  in
+  (* The middle relay is dead from the start: the ladder reaches the
+     guard, then the EXTEND onwards is black-holed. *)
+  Tor_model.Relay_ctl.crash ctls.(2);
+  let outcome = ref None in
+  Tor_model.Circuit_builder.build sbs.(0) circuit ~timeout:(Engine.Time.s 1)
+    ~on_done:(fun o -> outcome := Some o)
+    ();
+  Engine.Sim.run sim ~until:(Engine.Time.s 5);
+  (match !outcome with
+  | Some (Tor_model.Circuit_builder.Failed _) -> ()
+  | _ -> Alcotest.fail "expected timeout failure");
+  (* The watchdog's DESTROY must have walked the half-built prefix, so
+     the guard does not keep a routing entry for a circuit that will
+     never carry a cell. *)
+  Alcotest.(check (list int)) "guard forgot the half-built circuit" []
+    (List.map Tor_model.Circuit_id.to_int (Tor_model.Relay_ctl.circuits ctls.(1)));
+  Alcotest.(check int) "guard saw the DESTROY" 1
+    (Tor_model.Relay_ctl.destroyed ctls.(1))
+
 let test_destroy_propagates () =
   let sim, _, leaves, sbs = mk_overlay 5 in
   let ctls = Array.init 5 (fun i -> Tor_model.Relay_ctl.create sbs.(i)) in
@@ -416,7 +510,7 @@ let test_relay_crash_and_restart () =
 (* Streams *)
 
 let test_source_slicing () =
-  let src = Tor_model.Stream.Source.create ~stream_id:7 ~bytes:1000 in
+  let src = Tor_model.Stream.Source.create ~stream_id:7 ~bytes:1000 () in
   let c = Tor_model.Circuit_id.of_int 0 in
   Alcotest.(check int) "cell count" 3 (Tor_model.Stream.Source.cell_count src);
   let c1 = Option.get (Tor_model.Stream.Source.next_cell src c ~layers:2) in
@@ -436,7 +530,7 @@ let prop_source_conserves_bytes =
   QCheck2.Test.make ~name:"source slices conserve total bytes"
     QCheck2.Gen.(int_range 1 100_000)
     (fun bytes ->
-      let src = Tor_model.Stream.Source.create ~stream_id:0 ~bytes in
+      let src = Tor_model.Stream.Source.create ~stream_id:0 ~bytes () in
       let c = Tor_model.Circuit_id.of_int 0 in
       let rec total acc =
         match Tor_model.Stream.Source.next_cell src c ~layers:1 with
@@ -449,7 +543,7 @@ let prop_source_conserves_bytes =
       total 0 = bytes && Tor_model.Stream.Source.remaining src = 0)
 
 let test_sink_dedup_and_completion () =
-  let sink = Tor_model.Stream.Sink.create ~expected_bytes:996 in
+  let sink = Tor_model.Stream.Sink.create ~expected_bytes:996 () in
   let deliver seq length =
     Tor_model.Stream.Sink.deliver sink ~now:(Engine.Time.ms seq)
       (Tor_model.Cell.Relay_data { stream_id = 0; seq; length; last = false })
@@ -466,6 +560,51 @@ let test_sink_dedup_and_completion () =
   deliver 1 498;
   Alcotest.(check (option time)) "stamp stable" (Some (Engine.Time.ms 1))
     (Tor_model.Stream.Sink.completed_at sink)
+
+let test_stream_resume_offset () =
+  (* A resumed source skips the delivered prefix and keeps numbering
+     where the previous generation's contiguous prefix ended. *)
+  let src = Tor_model.Stream.Source.create ~start_byte:498 ~stream_id:0 ~bytes:1000 () in
+  Alcotest.(check int) "remaining" 502 (Tor_model.Stream.Source.remaining src);
+  let c = Tor_model.Circuit_id.of_int 0 in
+  let seq_of cell =
+    match Tor_model.Cell.relay_cmd cell with
+    | Some (Tor_model.Cell.Relay_data { seq; length; last; _ }) -> (seq, length, last)
+    | _ -> Alcotest.fail "not a data cell"
+  in
+  Alcotest.(check (triple int int bool)) "first resumed cell" (1, 498, false)
+    (seq_of (Option.get (Tor_model.Stream.Source.next_cell src c ~layers:1)));
+  Alcotest.(check (triple int int bool)) "final cell" (2, 4, true)
+    (seq_of (Option.get (Tor_model.Stream.Source.next_cell src c ~layers:1)));
+  Alcotest.(check bool) "drained" true
+    (Tor_model.Stream.Source.next_cell src c ~layers:1 = None);
+  (* The matching sink counts the prefix as delivered and tracks the
+     contiguous prefix through holes. *)
+  let sink = Tor_model.Stream.Sink.create ~start_byte:498 ~expected_bytes:1000 () in
+  Alcotest.(check int) "prefix counted" 498 (Tor_model.Stream.Sink.delivered_bytes sink);
+  let deliver seq length =
+    Tor_model.Stream.Sink.deliver sink ~now:(Engine.Time.ms seq)
+      (Tor_model.Cell.Relay_data { stream_id = 0; seq; length; last = false })
+  in
+  deliver 2 4;
+  Alcotest.(check int) "hole blocks the prefix" 498
+    (Tor_model.Stream.Sink.delivered_bytes sink);
+  Alcotest.(check bool) "not complete" false (Tor_model.Stream.Sink.complete sink);
+  deliver 1 498;
+  Alcotest.(check int) "prefix closes over the hole" 1000
+    (Tor_model.Stream.Sink.delivered_bytes sink);
+  Alcotest.(check bool) "complete" true (Tor_model.Stream.Sink.complete sink)
+
+let test_stream_offset_validation () =
+  let misaligned () =
+    ignore (Tor_model.Stream.Source.create ~start_byte:100 ~stream_id:0 ~bytes:1000 ())
+  in
+  Alcotest.check_raises "misaligned source offset"
+    (Invalid_argument "Stream.Source.create: start_byte must be cell-aligned")
+    misaligned;
+  Alcotest.check_raises "sink offset out of range"
+    (Invalid_argument "Stream.Sink.create: start_byte out of range") (fun () ->
+      ignore (Tor_model.Stream.Sink.create ~start_byte:996 ~expected_bytes:996 ()))
 
 (* ------------------------------------------------------------------ *)
 (* Legacy SENDME transport *)
@@ -574,6 +713,9 @@ let () =
           Alcotest.test_case "flags honoured" `Slow test_directory_flags_honoured;
           Alcotest.test_case "bandwidth bias" `Slow test_directory_bandwidth_bias;
           Alcotest.test_case "impossible constraints" `Quick test_directory_impossible;
+          Alcotest.test_case "exclusion honoured" `Slow test_directory_exclude;
+          Alcotest.test_case "uniform selection" `Slow test_directory_uniform_selection;
+          Alcotest.test_case "selection strings" `Quick test_selection_strings;
           Alcotest.test_case "find by node" `Quick test_directory_find_by_node;
           Alcotest.test_case "cell printer" `Quick test_cell_printer;
         ] );
@@ -593,6 +735,8 @@ let () =
       ( "control_plane",
         [
           Alcotest.test_case "establishment" `Quick test_circuit_establishment;
+          Alcotest.test_case "timeout cleans half-built prefix" `Quick
+            test_builder_timeout_destroys_prefix;
           Alcotest.test_case "establishment timeout" `Quick
             test_circuit_establishment_timeout;
           Alcotest.test_case "destroy propagates" `Quick test_destroy_propagates;
@@ -601,6 +745,8 @@ let () =
       ( "streams",
         [
           Alcotest.test_case "source slicing" `Quick test_source_slicing;
+          Alcotest.test_case "resume offset" `Quick test_stream_resume_offset;
+          Alcotest.test_case "offset validation" `Quick test_stream_offset_validation;
           Alcotest.test_case "sink dedup and completion" `Quick
             test_sink_dedup_and_completion;
         ] );
