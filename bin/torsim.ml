@@ -83,7 +83,7 @@ let kb = Analysis.Series.kb_of_cells ~cell_size:Backtap.Wire.cell_size
 (* ------------------------------------------------------------------ *)
 (* trace *)
 
-let run_trace strategy distance bottleneck_mbit kib gamma csv =
+let run_trace strategy distance bottleneck_mbit kib gamma stats csv =
   let config =
     { Workload.Trace_experiment.default_config with
       Workload.Trace_experiment.strategy;
@@ -96,7 +96,9 @@ let run_trace strategy distance bottleneck_mbit kib gamma csv =
   match Workload.Trace_experiment.validate_config config with
   | Error msg -> `Error (false, msg)
   | Ok config ->
+      let t0 = Unix.gettimeofday () in
       let r = Workload.Trace_experiment.run config in
+      let wall = Unix.gettimeofday () -. t0 in
       let series =
         Array.map (fun (t, v) -> (Analysis.Series.ms_of_time t, kb v)) r.source_cwnd
       in
@@ -118,6 +120,10 @@ let run_trace strategy distance bottleneck_mbit kib gamma csv =
         | Some t -> Printf.sprintf "%.3fs" (Engine.Time.to_sec_f t)
         | None -> "incomplete")
         r.retransmissions;
+      if stats then
+        Printf.printf "engine: %d events in %.3fs wall (%.2fM events/s)\n"
+          r.wall_events wall
+          (float_of_int r.wall_events /. Float.max 1e-9 wall /. 1e6);
       (match csv with
       | Some path ->
           Analysis.Csv_out.write_file ~path
@@ -137,10 +143,20 @@ let trace_cmd =
       value & opt int 3
       & info [ "bottleneck-mbit" ] ~docv:"MBIT" ~doc:"Bottleneck relay access rate, Mbit/s.")
   in
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:
+            "Print the scheduler's cost after the run: simulator events \
+             executed, wall-clock seconds, events/sec.")
+  in
   let doc = "Single-circuit congestion-window trace (Figure 1, upper panels)." in
   Cmd.v (Cmd.info "trace" ~doc)
     Term.(
-      ret (const run_trace $ strategy_arg $ distance $ bneck $ bytes_arg 1024 $ gamma_arg $ csv_arg))
+      ret
+        (const run_trace $ strategy_arg $ distance $ bneck $ bytes_arg 1024
+       $ gamma_arg $ stats $ csv_arg))
 
 (* ------------------------------------------------------------------ *)
 (* cdf *)

@@ -1,11 +1,28 @@
+(* In-flight cell state.  Pendings are pooled: a sender allocates one
+   per concurrently-inflight cell and recycles it on feedback, so the
+   steady-state forwarding path allocates no pending records, no timer
+   entries and no callback closures — the two closures below ([timer]'s
+   callback and [send_action]) are created once per pooled record and
+   reused for every cell that passes through it. *)
 type pending = {
-  cell : Tor_model.Cell.t;
+  mutable cell : Tor_model.Cell.t;
+  mutable hop_seq : int;
   mutable transmitted : bool;  (* has left this node's access link *)
   mutable sent_at : Engine.Time.t;  (* wire-departure instant *)
   mutable retransmitted : bool;
   mutable backoff : int;  (* doublings applied to the next RTO *)
   mutable attempts : int;  (* retransmissions of this cell so far *)
-  mutable timer : Engine.Sim.handle option;
+  mutable on_wire : bool;  (* did the current attempt reach the wire? *)
+  mutable ack : (unit -> unit) option;
+  mutable in_use : bool;  (* false once recycled into the pool *)
+  (* One reusable clock per pending, serving as both the queued-drop
+     watchdog and the retransmission timer — the two are never armed at
+     once, so a single intrusive timer rearmed in place replaces the
+     cancel-and-reschedule pair of the old design. *)
+  mutable timer : Engine.Sim.Timer.t;
+  (* Preallocated wire-departure callback handed to the switchboard on
+     every attempt. *)
+  mutable send_action : unit -> unit;
 }
 
 type t = {
@@ -19,6 +36,7 @@ type t = {
   max_retries : int;
   backlog : (Tor_model.Cell.t * (unit -> unit) option) Queue.t;
   inflight : (int, pending) Hashtbl.t;
+  mutable free : pending list;  (* recycled pendings *)
   mutable next_seq : int;
   mutable sent : int;
   mutable retx : int;
@@ -44,6 +62,7 @@ let create ~sb ~circuit ~succ ~controller ?(rto_min = Engine.Time.ms 400)
     max_retries;
     backlog = Queue.create ();
     inflight = Hashtbl.create 64;
+    free = [];
     next_seq = 0;
     sent = 0;
     retx = 0;
@@ -76,14 +95,17 @@ let rto t =
 
 let max_backoff = 6
 
-(* Kill the sender: cancel every pending timer, drop all state.  Once
+(* Kill the sender: disarm every pending timer, drop all state.  Once
    aborted a sender accepts no submissions, transmits nothing and
    ignores feedback. *)
 let abort t =
   if not t.aborted then begin
     t.aborted <- true;
     Hashtbl.iter
-      (fun _ p -> match p.timer with Some h -> Engine.Sim.cancel t.sim h | None -> ())
+      (fun _ p ->
+        Engine.Sim.Timer.cancel t.sim p.timer;
+        p.in_use <- false;
+        p.ack <- None)
       t.inflight;
     Hashtbl.reset t.inflight;
     Queue.clear t.backlog
@@ -110,42 +132,84 @@ let trip t =
    would retransmit every cell forever (congestion collapse).  Each
    cell's retransmissions are bounded by [max_retries]; exhausting the
    budget trips the whole sender into its terminal aborted state. *)
-let rec wire_send t ~hop_seq ?ack (p : pending) =
-  let first = not p.transmitted in
-  let attempt_on_wire = ref false in
-  let retransmit () =
-    if (not t.aborted) && Hashtbl.mem t.inflight hop_seq then begin
-      if p.attempts >= t.max_retries then trip t
-      else begin
-        p.retransmitted <- true;
-        p.backoff <- Stdlib.min max_backoff (p.backoff + 1);
-        p.attempts <- p.attempts + 1;
-        t.retx <- t.retx + 1;
-        wire_send t ~hop_seq p
-      end
-    end
-  in
+let rec wire_send t (p : pending) =
+  p.on_wire <- false;
   Tor_model.Switchboard.send_payload t.sb ~dst:t.succ ~size:Wire.cell_size
-    ~on_transmit:(fun () ->
-      attempt_on_wire := true;
-      (* Disarm the queued-drop watchdog, if one was set. *)
-      (match p.timer with Some h -> Engine.Sim.cancel t.sim h | None -> ());
-      p.transmitted <- true;
-      p.sent_at <- Engine.Sim.now t.sim;
-      (if first then match ack with Some f -> f () | None -> ());
-      let delay = Engine.Time.mul_int (rto t) (1 lsl p.backoff) in
-      p.timer <- Some (Engine.Sim.schedule_after t.sim delay retransmit))
-    (Wire.Bt_cell { hop_seq; cell = p.cell });
+    ~on_transmit:p.send_action
+    (Wire.Bt_cell { hop_seq = p.hop_seq; cell = p.cell });
   (* Still sitting in our own access link's queue: a tail drop there
-     would never fire on_transmit, so arm a watchdog that retries
-     unless the cell made it onto the wire in the meantime. *)
-  if not !attempt_on_wire then begin
+     would never fire [send_action], so arm the watchdog so the cell is
+     retried unless it makes it onto the wire in the meantime. *)
+  if not p.on_wire then begin
     let delay = Engine.Time.mul_int (rto t) (1 lsl p.backoff) in
-    p.timer <-
-      Some
-        (Engine.Sim.schedule_after t.sim delay (fun () ->
-             if not !attempt_on_wire then retransmit ()))
+    Engine.Sim.Timer.arm_after t.sim p.timer delay
   end
+
+(* The pending's timer fired: either the queued-drop watchdog (the
+   attempt never reached the wire) or the retransmission timer (it did,
+   but no feedback arrived in time).  Both mean the same thing —
+   retransmit, or trip the sender once the budget is spent. *)
+and on_timer t (p : pending) =
+  if (not t.aborted) && p.in_use && Hashtbl.mem t.inflight p.hop_seq then begin
+    if p.attempts >= t.max_retries then trip t
+    else begin
+      p.retransmitted <- true;
+      p.backoff <- Stdlib.min max_backoff (p.backoff + 1);
+      p.attempts <- p.attempts + 1;
+      t.retx <- t.retx + 1;
+      wire_send t p
+    end
+  end
+
+(* Wire departure of the current attempt: stop the watchdog, stamp the
+   RTT clock, deliver the one-shot [ack], and rearm the same timer as
+   the retransmission clock. *)
+and transmit_done t (p : pending) =
+  p.on_wire <- true;
+  Engine.Sim.Timer.cancel t.sim p.timer;
+  let first = not p.transmitted in
+  p.transmitted <- true;
+  p.sent_at <- Engine.Sim.now t.sim;
+  (if first then match p.ack with Some f -> f () | None -> ());
+  let delay = Engine.Time.mul_int (rto t) (1 lsl p.backoff) in
+  Engine.Sim.Timer.arm_after t.sim p.timer delay
+
+(* Take a pending from the pool, or build a fresh one (cold path: only
+   when the inflight population reaches a new high).  The placeholder
+   cell is never sent — [pump] overwrites it before use. *)
+let alloc_pending t =
+  match t.free with
+  | p :: rest ->
+      t.free <- rest;
+      p
+  | [] ->
+      let p =
+        {
+          cell = Tor_model.Cell.make t.circuit Tor_model.Cell.Destroy;
+          hop_seq = -1;
+          transmitted = false;
+          sent_at = Engine.Time.zero;
+          retransmitted = false;
+          backoff = 0;
+          attempts = 0;
+          on_wire = false;
+          ack = None;
+          in_use = false;
+          timer = Engine.Sim.Timer.create t.sim (fun () -> ());
+          send_action = (fun () -> ());
+        }
+      in
+      p.timer <- Engine.Sim.Timer.create t.sim (fun () -> on_timer t p);
+      p.send_action <- (fun () -> transmit_done t p);
+      p
+
+(* Return a pending to the pool.  The timer is disarmed eagerly, so a
+   recycled record can never be fired by a stale clock. *)
+let release t p =
+  Engine.Sim.Timer.cancel t.sim p.timer;
+  p.in_use <- false;
+  p.ack <- None;
+  t.free <- p :: t.free
 
 (* Move backlog cells onto the wire while the window allows. *)
 let rec pump t =
@@ -158,12 +222,18 @@ let rec pump t =
     let hop_seq = t.next_seq in
     t.next_seq <- hop_seq + 1;
     t.sent <- t.sent + 1;
-    let p =
-      { cell; transmitted = false; sent_at = Engine.Sim.now t.sim;
-        retransmitted = false; backoff = 0; attempts = 0; timer = None }
-    in
+    let p = alloc_pending t in
+    p.cell <- cell;
+    p.hop_seq <- hop_seq;
+    p.transmitted <- false;
+    p.sent_at <- Engine.Sim.now t.sim;
+    p.retransmitted <- false;
+    p.backoff <- 0;
+    p.attempts <- 0;
+    p.ack <- ack;
+    p.in_use <- true;
     Hashtbl.add t.inflight hop_seq p;
-    wire_send t ~hop_seq ?ack p;
+    wire_send t p;
     pump t
   end
 
@@ -189,10 +259,11 @@ let on_feedback t ~hop_seq =
     | None -> t.spurious <- t.spurious + 1
     | Some p ->
         Hashtbl.remove t.inflight hop_seq;
-        (match p.timer with Some h -> Engine.Sim.cancel t.sim h | None -> ());
+        let retransmitted = p.retransmitted and sent_at = p.sent_at in
+        release t p;
         let now = Engine.Sim.now t.sim in
-        if not p.retransmitted then begin
-          let rtt = Engine.Time.diff now p.sent_at in
+        if not retransmitted then begin
+          let rtt = Engine.Time.diff now sent_at in
           if Engine.Time.(rtt > Engine.Time.zero) then begin
             sample_rtt t (Engine.Time.to_sec_f rtt);
             (* If nothing is waiting locally, the window is not what

@@ -7,6 +7,10 @@ type t = {
 
 type handle = Event_queue.handle
 
+(* The [pop_before] sentinel.  A module-level closure, so it is
+   physically distinct from every closure a caller can schedule. *)
+let no_event : unit -> unit = fun () -> ()
+
 let create ?capacity () =
   { queue = Event_queue.create ?capacity (); clock = Time.zero; stopped = false;
     executed = 0 }
@@ -27,48 +31,74 @@ let schedule_after t delay f =
 let schedule_now t f = schedule_at t t.clock f
 let cancel t h = Event_queue.cancel t.queue h
 
+module Timer = struct
+  type nonrec t = (unit -> unit) Event_queue.timer
+
+  let create sim f = Event_queue.timer sim.queue f
+
+  let arm_at sim tm time =
+    if Time.(time < sim.clock) then
+      invalid_arg
+        (Format.asprintf "Sim.Timer.arm_at: %a is before now (%a)" Time.pp time
+           Time.pp sim.clock);
+    Event_queue.arm sim.queue tm ~time
+
+  let arm_after sim tm delay =
+    if Time.is_negative delay then invalid_arg "Sim.Timer.arm_after: negative delay";
+    Event_queue.arm sim.queue tm ~time:(Time.add sim.clock delay)
+
+  let cancel sim tm = Event_queue.disarm sim.queue tm
+  let is_armed tm = Event_queue.timer_armed tm
+end
+
 let every t period f ~stop =
   if Time.(period <= Time.zero) then invalid_arg "Sim.every: period must be positive";
-  let rec arm () =
-    ignore
-      (schedule_after t period (fun () ->
-           if not (stop ()) then begin
-             f ();
-             arm ()
-           end))
+  (* One reusable timer, rearmed in place after each firing: the
+     periodic tick allocates nothing per period.  The [ref] breaks the
+     timer/callback creation cycle; it is written exactly once. *)
+  let tm = ref None in
+  let tick () =
+    if not (stop ()) then begin
+      f ();
+      match !tm with
+      | Some timer -> Event_queue.arm t.queue timer ~time:(Time.add t.clock period)
+      | None -> assert false
+    end
   in
-  arm ()
+  let timer = Event_queue.timer t.queue tick in
+  tm := Some timer;
+  Event_queue.arm t.queue timer ~time:(Time.add t.clock period)
 
 let stop t = t.stopped <- true
 
 let run ?until ?max_events t =
   t.stopped <- false;
   let budget = ref (Option.value max_events ~default:max_int) in
+  let limit = match until with Some l -> l | None -> Time.max_value in
+  (* Single traversal per event: [pop_before] both checks the horizon
+     and dequeues, with no Option/tuple boxing — the loop allocates
+     nothing per event beyond what handlers themselves allocate. *)
   let rec loop () =
     if t.stopped || !budget <= 0 then ()
     else
-      match Event_queue.peek_time t.queue with
-      | None -> ()
-      | Some time -> (
-          match until with
-          | Some limit when Time.(time > limit) -> t.clock <- limit
-          | _ -> (
-              match Event_queue.pop t.queue with
-              | None -> ()
-              | Some (time, f) ->
-                  t.clock <- time;
-                  t.executed <- t.executed + 1;
-                  decr budget;
-                  f ();
-                  loop ()))
+      let f = Event_queue.pop_before t.queue ~limit ~none:no_event in
+      if f == no_event then begin
+        (* Nothing due by the horizon: a caller sampling [now] after
+           [run ~until] sees the horizon, whether or not later events
+           remain queued. *)
+        match until with
+        | Some l when Time.(t.clock < l) -> t.clock <- l
+        | _ -> ()
+      end
+      else begin
+        t.clock <- Event_queue.popped_time t.queue;
+        t.executed <- t.executed + 1;
+        decr budget;
+        f ();
+        loop ()
+      end
   in
-  loop ();
-  (* An empty queue with a horizon still advances the clock to it, so a
-     caller sampling [now] after [run ~until] sees the horizon. *)
-  match until with
-  | Some limit when (not t.stopped) && Time.(t.clock < limit) && Event_queue.is_empty t.queue ->
-      t.clock <- limit
-  | _ -> ()
+  loop ()
 
 let events_executed t = t.executed
 let pending_events t = Event_queue.size t.queue

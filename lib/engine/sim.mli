@@ -1,13 +1,18 @@
 (** The discrete-event scheduler.
 
-    A [Sim.t] owns the simulated clock and the future event list.  All
-    model components schedule closures against it; [run] drains the
-    queue, advancing the clock to each event's timestamp.  There is no
-    global state: several independent simulations can coexist, which the
-    test suite uses extensively.
+    A [Sim.t] owns the simulated clock and the future event list (a
+    timer-wheel {!Event_queue}).  All model components schedule closures
+    against it; [run] drains the queue, advancing the clock to each
+    event's timestamp.  There is no global state: several independent
+    simulations can coexist, which the test suite uses extensively.
 
     Closures scheduled at the same instant run in scheduling order
-    (see {!Event_queue}). *)
+    (see {!Event_queue}).
+
+    Hot callers that fire the same logical clock over and over (link
+    serialization, retransmission watchdogs, periodic ticks) should
+    preallocate a {!Timer} once and rearm it in place instead of calling
+    {!schedule_after} per occurrence: rearming allocates nothing. *)
 
 type t
 
@@ -39,17 +44,58 @@ val schedule_now : t -> (unit -> unit) -> handle
 val cancel : t -> handle -> unit
 (** Cancel a pending event (no-op if it already ran or was cancelled). *)
 
+(** {1 Reusable timers}
+
+    An intrusive, preallocated event bound to one callback.  Create it
+    once, arm it as often as needed: arming an existing timer is
+    allocation-free, where {!schedule_after} allocates a queue entry, a
+    handle and (typically) a fresh closure per call.  A timer has at
+    most one pending occurrence; arming a pending timer reschedules it,
+    taking a fresh insertion sequence number exactly as cancelling and
+    rescheduling would.  It is safe — and idiomatic — to rearm a timer
+    from inside its own callback. *)
+
+module Timer : sig
+  type sim := t
+
+  type t
+  (** A reusable timer.  Bound to the simulation it was created on. *)
+
+  val create : sim -> (unit -> unit) -> t
+  (** [create sim f] is a fresh, unarmed timer running [f] when it
+      fires.  Allocate once, at setup time. *)
+
+  val arm_at : sim -> t -> Time.t -> unit
+  (** Schedule (or reschedule) the timer for an absolute instant.
+      Raises [Invalid_argument] if the instant is before {!now}. *)
+
+  val arm_after : sim -> t -> Time.t -> unit
+  (** [arm_after sim tm delay] is [arm_at sim tm (Time.add (now sim)
+      delay)].  Raises [Invalid_argument] on a negative delay. *)
+
+  val cancel : sim -> t -> unit
+  (** Unschedule the timer.  No-op if it is not pending.  Unlike
+      {!val:cancel} on a handle, this is eager: the entry really leaves
+      the queue and the timer can be rearmed immediately. *)
+
+  val is_armed : t -> bool
+  (** Whether the timer is currently scheduled. *)
+end
+
 val every : t -> Time.t -> (unit -> unit) -> stop:(unit -> bool) -> unit
 (** [every sim period f ~stop] runs [f] each [period], starting one
     [period] from now, until [stop ()] becomes true (checked before each
-    firing).  Raises [Invalid_argument] if [period] is not positive. *)
+    firing; a firing whose [stop] check fails consumes the event but
+    runs nothing and disarms the tick).  Implemented on one reusable
+    {!Timer}, so steady-state periodic ticks allocate nothing.  Raises
+    [Invalid_argument] if [period] is not positive. *)
 
 val run : ?until:Time.t -> ?max_events:int -> t -> unit
 (** [run sim] executes events in timestamp order until the queue is
     empty, the clock passes [until], [max_events] events have run, or
     {!stop} is called.  Events with timestamp exactly [until] still
     run.  When stopping because of [until], the clock is left at
-    [until]. *)
+    [until] (also when the queue empties before the horizon). *)
 
 val stop : t -> unit
 (** Makes the innermost running {!run} return after the current event

@@ -8,6 +8,9 @@ type t = {
   mutable rate : Engine.Units.Rate.t;
   mutable stopped : bool;
   mutable sent : int;
+  (* One reusable timer rearmed per packet: the steady-state source
+     allocates nothing per packet beyond the packet itself. *)
+  mutable tick : Engine.Sim.Timer.t;
 }
 
 let interval t =
@@ -15,23 +18,30 @@ let interval t =
      [rate] on the wire. *)
   Engine.Units.Rate.transmission_time t.rate t.packet_size
 
-let rec arm t =
+let arm t =
   if not t.stopped then
-    ignore
-      (Engine.Sim.schedule_after (Network.sim t.net) (interval t) (fun () ->
-           if not t.stopped then begin
-             let p =
-               Network.make_packet t.net ~src:t.src ~dst:t.dst ~size:t.packet_size
-                 (Cbr t.sent)
-             in
-             t.sent <- t.sent + 1;
-             Network.send t.net p;
-             arm t
-           end))
+    Engine.Sim.Timer.arm_after (Network.sim t.net) t.tick (interval t)
+
+(* A tick after [stop] still fires (the pending occurrence is consumed
+   lazily, matching the old closure-based source event for event) but
+   sends nothing and does not rearm. *)
+let emit t =
+  if not t.stopped then begin
+    let p =
+      Network.make_packet t.net ~src:t.src ~dst:t.dst ~size:t.packet_size (Cbr t.sent)
+    in
+    t.sent <- t.sent + 1;
+    Network.send t.net p;
+    arm t
+  end
 
 let start net ~src ~dst ~rate ?(packet_size = 512) () =
   if packet_size <= 0 then invalid_arg "Cbr_source.start: packet size must be positive";
-  let t = { net; src; dst; packet_size; rate; stopped = false; sent = 0 } in
+  let t =
+    { net; src; dst; packet_size; rate; stopped = false; sent = 0;
+      tick = Engine.Sim.Timer.create (Network.sim net) (fun () -> ()) }
+  in
+  t.tick <- Engine.Sim.Timer.create (Network.sim net) (fun () -> emit t);
   arm t;
   t
 

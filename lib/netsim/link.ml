@@ -22,12 +22,12 @@ type t = {
   (* Packet id -> callback fired when serialization of that packet
      starts (the moment it is truly "on the wire"). *)
   on_transmit : (int, unit -> unit) Hashtbl.t;
-  (* The packet currently serializing, and the one preallocated
-     continuation that finishes it: links move one cell at a time, so
-     the hot path reuses a single closure per link instead of
-     allocating a fresh one per cell. *)
+  (* The packet currently serializing, and the one preallocated,
+     reusable tx-done timer that finishes it: links move one cell at a
+     time, so the hot path rearms a single intrusive timer per link —
+     no closure, no queue entry, no handle allocated per cell. *)
   mutable serializing : Packet.t option;
-  mutable tx_done : unit -> unit;
+  mutable tx_timer : Engine.Sim.Timer.t;
 }
 
 let deliver t (p : Packet.t) =
@@ -70,7 +70,9 @@ and transmit t (p : Packet.t) =
   end;
   let tx_time = Engine.Units.Rate.transmission_time t.rate p.size in
   t.busy_time <- Engine.Time.add t.busy_time tx_time;
-  ignore (Engine.Sim.schedule_after t.sim tx_time t.tx_done)
+  (* At most one cell serializes at a time ([t.busy]), so the single
+     tx-done timer is never armed here while still pending. *)
+  Engine.Sim.Timer.arm_after t.sim t.tx_timer tx_time
 
 let create sim ~src ~dst ~rate ~delay ?(queue = Nqueue.unbounded) () =
   if Engine.Time.is_negative delay then invalid_arg "Link.create: negative delay";
@@ -94,10 +96,10 @@ let create sim ~src ~dst ~rate ~delay ?(queue = Nqueue.unbounded) () =
       busy_time = Engine.Time.zero;
       on_transmit = Hashtbl.create 16;
       serializing = None;
-      tx_done = (fun () -> ());
+      tx_timer = Engine.Sim.Timer.create sim (fun () -> ());
     }
   in
-  t.tx_done <- (fun () -> finish_tx t);
+  t.tx_timer <- Engine.Sim.Timer.create sim (fun () -> finish_tx t);
   t
 
 let src t = t.src

@@ -296,6 +296,91 @@ let test_queue_slots_released () =
       (Weak.get w i = None)
   done
 
+let test_queue_pop_before () =
+  let q = Engine.Event_queue.create () in
+  ignore (Engine.Event_queue.add q ~time:(Engine.Time.ms 1) "a");
+  ignore (Engine.Event_queue.add q ~time:(Engine.Time.ms 5) "b");
+  let none = "NONE" in
+  Alcotest.(check string) "due event pops" "a"
+    (Engine.Event_queue.pop_before q ~limit:(Engine.Time.ms 2) ~none);
+  Alcotest.check time "popped_time stamped" (Engine.Time.ms 1)
+    (Engine.Event_queue.popped_time q);
+  (* Nothing due by the limit: the very sentinel comes back and the
+     queue is untouched. *)
+  Alcotest.(check bool) "sentinel returned physically" true
+    (Engine.Event_queue.pop_before q ~limit:(Engine.Time.ms 2) ~none == none);
+  Alcotest.(check int) "queue untouched" 1 (Engine.Event_queue.size q);
+  Alcotest.(check string) "limit is inclusive" "b"
+    (Engine.Event_queue.pop_before q ~limit:(Engine.Time.ms 5) ~none);
+  Alcotest.check time "popped_time follows" (Engine.Time.ms 5)
+    (Engine.Event_queue.popped_time q);
+  Alcotest.(check bool) "empty queue returns sentinel" true
+    (Engine.Event_queue.pop_before q ~limit:Engine.Time.max_value ~none == none)
+
+let test_queue_pop_before_skips_cancelled () =
+  let q = Engine.Event_queue.create () in
+  let h = Engine.Event_queue.add q ~time:(Engine.Time.ms 1) "dead" in
+  ignore (Engine.Event_queue.add q ~time:(Engine.Time.ms 2) "live");
+  Engine.Event_queue.cancel q h;
+  let none = "NONE" in
+  Alcotest.(check string) "sweep discards cancelled head" "live"
+    (Engine.Event_queue.pop_before q ~limit:(Engine.Time.ms 3) ~none);
+  Alcotest.(check bool) "then empty" true (Engine.Event_queue.is_empty q)
+
+let test_queue_seq_overflow_guarded () =
+  let q = Engine.Event_queue.create () in
+  ignore (Engine.Event_queue.add q ~time:Engine.Time.zero ());
+  Engine.Event_queue.Private.set_next_seq q max_int;
+  Alcotest.check_raises "add at the sequence ceiling"
+    (Failure "Event_queue.add: insertion sequence exhausted (clear to reset)")
+    (fun () -> ignore (Engine.Event_queue.add q ~time:Engine.Time.zero ()));
+  (* [clear] resets the counter, so the queue is usable again. *)
+  Engine.Event_queue.clear q;
+  Alcotest.(check int) "clear resets next_seq" 0
+    (Engine.Event_queue.Private.next_seq q);
+  ignore (Engine.Event_queue.add q ~time:Engine.Time.zero ());
+  Alcotest.(check int) "adds work after reset" 1 (Engine.Event_queue.size q)
+
+let test_queue_live_bookkeeping () =
+  (* [size] must track the live population exactly through interleaved
+     cancels (including double cancels and cancels of fired events) and
+     pops that sweep over cancelled entries. *)
+  let q = Engine.Event_queue.create () in
+  let hs = Array.init 20 (fun i -> Engine.Event_queue.add q ~time:(Engine.Time.ms i) i) in
+  Array.iteri (fun i h -> if i mod 2 = 0 then Engine.Event_queue.cancel q h) hs;
+  Alcotest.(check int) "size after cancelling evens" 10 (Engine.Event_queue.size q);
+  Engine.Event_queue.cancel q hs.(0);
+  Alcotest.(check int) "double cancel is a no-op" 10 (Engine.Event_queue.size q);
+  let popped =
+    List.init 5 (fun _ -> snd (Option.get (Engine.Event_queue.pop q)))
+  in
+  Alcotest.(check (list int)) "odd payloads surface in order" [ 1; 3; 5; 7; 9 ] popped;
+  Alcotest.(check int) "size tracks pops" 5 (Engine.Event_queue.size q);
+  Array.iter (fun h -> Engine.Event_queue.cancel q h) hs;
+  Alcotest.(check int) "cancelling everything (incl. fired) empties" 0
+    (Engine.Event_queue.size q);
+  Alcotest.(check bool) "pop on all-cancelled queue" true
+    (Engine.Event_queue.pop q = None);
+  Alcotest.(check bool) "is_empty agrees" true (Engine.Event_queue.is_empty q)
+
+let test_queue_wheel_horizons () =
+  (* Deadlines on both sides of the wheel window (~16.8ms): short ones
+     live in wheel slots, long ones in the overflow heap and must
+     migrate into the wheel as the cursor approaches.  Order must come
+     out globally sorted regardless of where each entry started. *)
+  let q = Engine.Event_queue.create () in
+  let deadlines = [ 3_600_000; 1; 17; 40_000; 250; 16; 999; 100_000; 2; 0 ] in
+  List.iter
+    (fun ms -> ignore (Engine.Event_queue.add q ~time:(Engine.Time.ms ms) ms))
+    deadlines;
+  let drained =
+    List.init (List.length deadlines) (fun _ ->
+        snd (Option.get (Engine.Event_queue.pop q)))
+  in
+  Alcotest.(check (list int)) "drains sorted across horizons"
+    (List.sort Int.compare deadlines) drained;
+  Alcotest.(check bool) "empty at the end" true (Engine.Event_queue.is_empty q)
+
 let prop_queue_sorted_drain =
   QCheck2.Test.make ~name:"event queue drains in nondecreasing time order"
     QCheck2.Gen.(list_size (int_range 1 200) (int_range 0 1_000))
@@ -315,6 +400,53 @@ let prop_queue_sorted_drain =
         | _ -> true
       in
       List.length drained = List.length times && nondecreasing drained)
+
+let prop_queue_matches_model =
+  (* Random add/cancel/pop programs checked op-for-op against a naive
+     list model ordered by (time, insertion sequence).  Times span the
+     wheel window, so programs exercise slot insertion, the overflow
+     heap, migration, and the lazy-deletion sweep together. *)
+  QCheck2.Test.make ~name:"wheel agrees with a sorted-list model"
+    QCheck2.Gen.(list_size (int_range 1 300) (pair (int_range 0 2) (int_range 0 100)))
+    (fun ops ->
+      let q = Engine.Event_queue.create () in
+      (* Model: (time_ms, id) kept in insertion order; a stable sort by
+         time therefore yields (time, seq) order.  Handles are kept
+         forever so cancels can hit popped/cancelled entries too. *)
+      let model = ref [] in
+      let handles = ref [||] in
+      let next_id = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun (op, x) ->
+          match op with
+          | 0 ->
+              let id = !next_id in
+              incr next_id;
+              let h = Engine.Event_queue.add q ~time:(Engine.Time.ms x) id in
+              handles := Array.append !handles [| (h, id) |];
+              model := !model @ [ (x, id) ]
+          | 1 ->
+              if Array.length !handles > 0 then begin
+                let h, id = !handles.(x mod Array.length !handles) in
+                Engine.Event_queue.cancel q h;
+                model := List.filter (fun (_, i) -> i <> id) !model
+              end
+          | _ -> (
+              let got = Engine.Event_queue.pop q in
+              match
+                List.stable_sort (fun (ta, _) (tb, _) -> Int.compare ta tb) !model
+              with
+              | [] -> if got <> None then ok := false
+              | (t, id) :: _ -> (
+                  model := List.filter (fun (_, i) -> i <> id) !model;
+                  match got with
+                  | Some (tq, idq)
+                    when Engine.Time.equal tq (Engine.Time.ms t) && idq = id ->
+                      ()
+                  | _ -> ok := false)))
+        ops;
+      !ok && Engine.Event_queue.size q = List.length !model)
 
 (* ------------------------------------------------------------------ *)
 (* Sim *)
@@ -394,6 +526,98 @@ let test_sim_every () =
     ~stop:(fun () -> !count >= 3);
   Engine.Sim.run sim ~until:(Engine.Time.s 1);
   Alcotest.(check int) "fired until stop" 3 !count
+
+let test_sim_every_stop_mid_period () =
+  (* The stop flag flips between firings: the next due tick consumes
+     its event, runs nothing, and disarms — no trailing tick remains
+     pending afterwards. *)
+  let sim = Engine.Sim.create () in
+  let count = ref 0 in
+  let halt = ref false in
+  Engine.Sim.every sim (Engine.Time.ms 10) (fun () -> incr count)
+    ~stop:(fun () -> !halt);
+  ignore (Engine.Sim.schedule_at sim (Engine.Time.ms 25) (fun () -> halt := true));
+  Engine.Sim.run sim ~until:(Engine.Time.ms 200);
+  Alcotest.(check int) "two ticks before the stop" 2 !count;
+  Alcotest.(check int) "tick disarmed, nothing pending" 0
+    (Engine.Sim.pending_events sim);
+  Alcotest.check time "clock still reaches the horizon" (Engine.Time.ms 200)
+    (Engine.Sim.now sim)
+
+let test_sim_until_empty_queue () =
+  (* [run ~until] on a simulation with no events still advances the
+     clock to the horizon. *)
+  let sim = Engine.Sim.create () in
+  Engine.Sim.run sim ~until:(Engine.Time.ms 50);
+  Alcotest.check time "clock at horizon" (Engine.Time.ms 50) (Engine.Sim.now sim);
+  Alcotest.(check int) "nothing executed" 0 (Engine.Sim.events_executed sim)
+
+let test_timer_lifecycle () =
+  let sim = Engine.Sim.create () in
+  let fired = ref [] in
+  let tm = Engine.Sim.Timer.create sim (fun () -> fired := Engine.Sim.now sim :: !fired) in
+  Alcotest.(check bool) "fresh timer unarmed" false (Engine.Sim.Timer.is_armed tm);
+  Engine.Sim.Timer.arm_at sim tm (Engine.Time.ms 5);
+  Alcotest.(check bool) "armed" true (Engine.Sim.Timer.is_armed tm);
+  (* Rearming replaces the pending occurrence: only the new deadline
+     fires. *)
+  Engine.Sim.Timer.arm_at sim tm (Engine.Time.ms 2);
+  Engine.Sim.run sim;
+  Alcotest.(check (list time)) "rearm replaced the deadline" [ Engine.Time.ms 2 ]
+    (List.rev !fired);
+  Alcotest.(check bool) "unarmed after firing" false (Engine.Sim.Timer.is_armed tm);
+  (* Disarm really unschedules. *)
+  Engine.Sim.Timer.arm_after sim tm (Engine.Time.ms 3);
+  Engine.Sim.Timer.cancel sim tm;
+  Alcotest.(check bool) "disarmed" false (Engine.Sim.Timer.is_armed tm);
+  Alcotest.(check int) "eager disarm leaves nothing pending" 0
+    (Engine.Sim.pending_events sim);
+  Engine.Sim.run sim;
+  (* Arm far beyond the wheel window (overflow heap), rearm short: the
+     short deadline wins. *)
+  Engine.Sim.Timer.arm_after sim tm (Engine.Time.s 60);
+  Engine.Sim.Timer.arm_after sim tm (Engine.Time.ms 1);
+  Engine.Sim.run sim;
+  Alcotest.(check (list time)) "heap-to-wheel rearm"
+    [ Engine.Time.ms 2; Engine.Time.ms 3 ] (List.rev !fired)
+
+let test_timer_past_rejected () =
+  let sim = Engine.Sim.create () in
+  let tm = Engine.Sim.Timer.create sim (fun () -> ()) in
+  let raised = ref false in
+  ignore
+    (Engine.Sim.schedule_at sim (Engine.Time.ms 5) (fun () ->
+         (try Engine.Sim.Timer.arm_at sim tm (Engine.Time.ms 1)
+          with Invalid_argument _ -> raised := true);
+         try Engine.Sim.Timer.arm_after sim tm (Engine.Time.ns (-1))
+         with Invalid_argument _ -> ()));
+  Engine.Sim.run sim;
+  Alcotest.(check bool) "past arm rejected" true !raised;
+  Alcotest.(check bool) "failed arms left the timer unarmed" false
+    (Engine.Sim.Timer.is_armed tm)
+
+let test_timer_rearm_seq_ordering () =
+  (* Rearming takes a fresh insertion sequence number, exactly as
+     cancel-then-add would: a one-shot scheduled for the same instant
+     BEFORE the rearm runs first; the rearmed timer runs after it. *)
+  let sim = Engine.Sim.create () in
+  let log = ref [] in
+  let tm = ref None in
+  let timer =
+    Engine.Sim.Timer.create sim (fun () ->
+        log := "timer" :: !log;
+        if Engine.Time.equal (Engine.Sim.now sim) (Engine.Time.ms 1) then begin
+          ignore
+            (Engine.Sim.schedule_at sim (Engine.Time.ms 2) (fun () ->
+                 log := "oneshot" :: !log));
+          Engine.Sim.Timer.arm_at sim (Option.get !tm) (Engine.Time.ms 2)
+        end)
+  in
+  tm := Some timer;
+  Engine.Sim.Timer.arm_at sim timer (Engine.Time.ms 1);
+  Engine.Sim.run sim;
+  Alcotest.(check (list string)) "rearm sequences after the earlier one-shot"
+    [ "timer"; "oneshot"; "timer" ] (List.rev !log)
 
 let test_sim_max_events () =
   let sim = Engine.Sim.create () in
@@ -662,8 +886,8 @@ let test_trace_events_csv_roundtrip () =
 let qtests =
   List.map QCheck_alcotest.to_alcotest
     [ prop_time_order; prop_time_add_sub; prop_transmission_additive;
-      prop_rng_int_unbiased; prop_queue_sorted_drain; prop_online_matches_direct;
-      prop_cdf_monotone; prop_samples_match_array ]
+      prop_rng_int_unbiased; prop_queue_sorted_drain; prop_queue_matches_model;
+      prop_online_matches_direct; prop_cdf_monotone; prop_samples_match_array ]
 
 let () =
   Alcotest.run "engine"
@@ -709,6 +933,14 @@ let () =
           Alcotest.test_case "clear resets state" `Quick test_queue_clear_resets;
           Alcotest.test_case "slots released to the GC" `Quick
             test_queue_slots_released;
+          Alcotest.test_case "pop_before" `Quick test_queue_pop_before;
+          Alcotest.test_case "pop_before skips cancelled" `Quick
+            test_queue_pop_before_skips_cancelled;
+          Alcotest.test_case "sequence overflow guarded" `Quick
+            test_queue_seq_overflow_guarded;
+          Alcotest.test_case "live bookkeeping" `Quick test_queue_live_bookkeeping;
+          Alcotest.test_case "wheel and heap horizons" `Quick
+            test_queue_wheel_horizons;
         ] );
       ( "sim",
         [
@@ -722,7 +954,14 @@ let () =
             test_sim_schedule_now_ordering;
           Alcotest.test_case "every" `Quick test_sim_every;
           Alcotest.test_case "every invalid period" `Quick test_every_invalid_period;
+          Alcotest.test_case "every stop mid-period" `Quick
+            test_sim_every_stop_mid_period;
+          Alcotest.test_case "until on empty queue" `Quick test_sim_until_empty_queue;
           Alcotest.test_case "max events" `Quick test_sim_max_events;
+          Alcotest.test_case "timer lifecycle" `Quick test_timer_lifecycle;
+          Alcotest.test_case "timer rejects past" `Quick test_timer_past_rejected;
+          Alcotest.test_case "timer rearm ordering" `Quick
+            test_timer_rearm_seq_ordering;
         ] );
       ( "stats",
         [
