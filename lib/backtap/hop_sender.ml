@@ -15,18 +15,30 @@ type pending = {
   mutable on_wire : bool;  (* did the current attempt reach the wire? *)
   mutable ack : (unit -> unit) option;
   mutable in_use : bool;  (* false once recycled into the pool *)
+  (* Packet-id watermark of the current incarnation: the network's
+     next packet id, stamped in [pump] before the first attempt is
+     sent.  Every attempt of this incarnation gets an id >= the
+     watermark; every packet of an earlier incarnation has a smaller
+     one.  [transmit_done] uses it to reject stale wire-departure
+     callbacks: a queued attempt's registration survives in the link's
+     on_transmit table after feedback recycles this record (the link
+     only discards it on tail drop or outage), so a leftover packet of
+     a previous incarnation can still serialize later and fire
+     [send_action] against the reused record. *)
+  mutable wire_floor : int;
   (* One reusable clock per pending, serving as both the queued-drop
      watchdog and the retransmission timer — the two are never armed at
      once, so a single intrusive timer rearmed in place replaces the
      cancel-and-reschedule pair of the old design. *)
   mutable timer : Engine.Sim.Timer.t;
   (* Preallocated wire-departure callback handed to the switchboard on
-     every attempt. *)
-  mutable send_action : unit -> unit;
+     every attempt; receives the departing packet's id. *)
+  mutable send_action : int -> unit;
 }
 
 type t = {
   sb : Tor_model.Switchboard.t;
+  net : Netsim.Network.t;
   circuit : Tor_model.Circuit_id.t;
   succ : Netsim.Node_id.t;
   controller : Circuitstart.Controller.t;
@@ -51,12 +63,14 @@ type t = {
 let create ~sb ~circuit ~succ ~controller ?(rto_min = Engine.Time.ms 400)
     ?(rto_initial = Engine.Time.s 1) ?(max_retries = 8) () =
   if max_retries < 1 then invalid_arg "Hop_sender.create: max_retries must be positive";
+  let net = Tor_model.Switchboard.network sb in
   {
     sb;
+    net;
     circuit;
     succ;
     controller;
-    sim = Netsim.Network.sim (Tor_model.Switchboard.network sb);
+    sim = Netsim.Network.sim net;
     rto_min;
     rto_initial;
     max_retries;
@@ -161,18 +175,27 @@ and on_timer t (p : pending) =
     end
   end
 
-(* Wire departure of the current attempt: stop the watchdog, stamp the
-   RTT clock, deliver the one-shot [ack], and rearm the same timer as
-   the retransmission clock. *)
-and transmit_done t (p : pending) =
-  p.on_wire <- true;
-  Engine.Sim.Timer.cancel t.sim p.timer;
-  let first = not p.transmitted in
-  p.transmitted <- true;
-  p.sent_at <- Engine.Sim.now t.sim;
-  (if first then match p.ack with Some f -> f () | None -> ());
-  let delay = Engine.Time.mul_int (rto t) (1 lsl p.backoff) in
-  Engine.Sim.Timer.arm_after t.sim p.timer delay
+(* Wire departure of an attempt: stop the watchdog, stamp the RTT
+   clock, deliver the one-shot [ack], and rearm the same timer as the
+   retransmission clock.  Guarded against stale firings (see
+   [wire_floor]): a leftover registration from before this record was
+   recycled — or one firing while the record sits idle in the pool —
+   must be a no-op, or it would ack the wrong cell, consume its
+   first-transmit flag, corrupt the RTT clock and rearm its timer.
+   Any attempt of the current incarnation passes the watermark test,
+   including a firing that happens synchronously inside [wire_send]'s
+   send call (its id is the watermark itself or above). *)
+and transmit_done t (p : pending) pkt_id =
+  if p.in_use && pkt_id >= p.wire_floor then begin
+    p.on_wire <- true;
+    Engine.Sim.Timer.cancel t.sim p.timer;
+    let first = not p.transmitted in
+    p.transmitted <- true;
+    p.sent_at <- Engine.Sim.now t.sim;
+    (if first then match p.ack with Some f -> f () | None -> ());
+    let delay = Engine.Time.mul_int (rto t) (1 lsl p.backoff) in
+    Engine.Sim.Timer.arm_after t.sim p.timer delay
+  end
 
 (* Take a pending from the pool, or build a fresh one (cold path: only
    when the inflight population reaches a new high).  The placeholder
@@ -195,16 +218,22 @@ let alloc_pending t =
           on_wire = false;
           ack = None;
           in_use = false;
+          wire_floor = max_int;
           timer = Engine.Sim.Timer.create t.sim (fun () -> ());
-          send_action = (fun () -> ());
+          send_action = (fun _ -> ());
         }
       in
       p.timer <- Engine.Sim.Timer.create t.sim (fun () -> on_timer t p);
-      p.send_action <- (fun () -> transmit_done t p);
+      p.send_action <- (fun pkt_id -> transmit_done t p pkt_id);
       p
 
 (* Return a pending to the pool.  The timer is disarmed eagerly, so a
-   recycled record can never be fired by a stale clock. *)
+   recycled record can never be fired by a stale clock.  [send_action]
+   registrations for still-queued attempts cannot be withdrawn here —
+   the link owns them — but [wire_floor] makes any such late firing a
+   no-op, both while the record sits in the pool ([in_use] is false)
+   and after it is reused (the stale packet's id is below the new
+   incarnation's watermark). *)
 let release t p =
   Engine.Sim.Timer.cancel t.sim p.timer;
   p.in_use <- false;
@@ -232,6 +261,10 @@ let rec pump t =
     p.attempts <- 0;
     p.ack <- ack;
     p.in_use <- true;
+    (* Stamp the incarnation watermark before the first attempt: every
+       packet this incarnation sends gets an id at or above it, every
+       stale registration from a previous incarnation sits below. *)
+    p.wire_floor <- Netsim.Network.next_packet_id t.net;
     Hashtbl.add t.inflight hop_seq p;
     wire_send t p;
     pump t

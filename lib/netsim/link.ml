@@ -19,9 +19,11 @@ type t = {
   mutable fault_drops : int;
   mutable outage_drops : int;
   mutable busy_time : Engine.Time.t;
-  (* Packet id -> callback fired when serialization of that packet
-     starts (the moment it is truly "on the wire"). *)
-  on_transmit : (int, unit -> unit) Hashtbl.t;
+  (* Packet id -> callback fired, with that id, when serialization of
+     that packet starts (the moment it is truly "on the wire").  The id
+     is passed back so callers that reuse one closure across many
+     packets can tell which registration fired. *)
+  on_transmit : (int, int -> unit) Hashtbl.t;
   (* The packet currently serializing, and the one preallocated,
      reusable tx-done timer that finishes it: links move one cell at a
      time, so the hot path rearms a single intrusive timer per link —
@@ -65,7 +67,7 @@ and transmit t (p : Packet.t) =
     match Hashtbl.find_opt t.on_transmit p.id with
     | Some f ->
         Hashtbl.remove t.on_transmit p.id;
-        f ()
+        f p.id
     | None -> ()
   end;
   let tx_time = Engine.Units.Rate.transmission_time t.rate p.size in

@@ -67,13 +67,19 @@ val set_up : t -> bool -> unit
 
 val is_up : t -> bool
 
-val send : t -> ?on_transmit:(unit -> unit) -> Packet.t -> unit
+val send : t -> ?on_transmit:(int -> unit) -> Packet.t -> unit
 (** Hand a packet to the transmitter.  If the link is down the packet
     is dropped (counted in {!outage_drops}).  If the transmitter is
     busy the packet queues; if the queue is full it is dropped (the
     drop is visible in {!queue_drops}).  [on_transmit] fires at the
     instant the packet's serialization starts — when it is truly on
-    the wire; it never fires for a dropped packet. *)
+    the wire — and receives the packet's id, so a caller reusing one
+    closure across many sends can tell which packet fired it (packet
+    ids are monotone, which makes the id usable as a staleness
+    watermark).  It never fires for a dropped packet, but a
+    registration for a queued packet is only discarded on tail drop or
+    outage — a caller that loses interest in a queued packet must be
+    prepared to receive (and ignore) a late firing. *)
 
 val busy : t -> bool
 (** Whether a packet is currently being serialized. *)

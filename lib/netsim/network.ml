@@ -104,6 +104,8 @@ let make_packet t ~src ~dst ~size payload =
   Packet.make (Topology.packet_ids t.topo) ~src ~dst ~size
     ~now:(Engine.Sim.now (sim t)) payload
 
+let next_packet_id t = Packet.next_id (Topology.packet_ids t.topo)
+
 let send t ?on_transmit (p : Packet.t) =
   let src_i = Node_id.to_int p.src and dst_i = Node_id.to_int p.dst in
   if src_i <> dst_i && t.next_hop.(src_i).(dst_i) < 0 then
@@ -115,7 +117,7 @@ let send t ?on_transmit (p : Packet.t) =
        event-driven semantics. *)
     ignore
       (Engine.Sim.schedule_now (sim t) (fun () ->
-           (match on_transmit with Some f -> f () | None -> ());
+           (match on_transmit with Some f -> f p.id | None -> ());
            match t.local.(dst_i) with
            | Some f -> f p
            | None -> t.undeliverable <- t.undeliverable + 1))

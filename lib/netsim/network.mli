@@ -27,12 +27,18 @@ val make_packet :
   t -> src:Node_id.t -> dst:Node_id.t -> size:int -> Payload.t -> Packet.t
 (** Fresh packet stamped with the current simulation time. *)
 
-val send : t -> ?on_transmit:(unit -> unit) -> Packet.t -> unit
-(** Inject a packet at its source node.  [on_transmit] fires when the
-    packet's serialization on the source's own access link starts —
-    the node's true "on the wire" instant (later forwarding hops do
-    not re-fire it).  Raises [Failure] if the destination is
-    unreachable from the source. *)
+val next_packet_id : t -> int
+(** The id the next {!make_packet} will assign (see
+    {!Packet.next_id}): a monotone watermark separating packets
+    already created from packets not yet created. *)
+
+val send : t -> ?on_transmit:(int -> unit) -> Packet.t -> unit
+(** Inject a packet at its source node.  [on_transmit] fires, with the
+    packet's id, when the packet's serialization on the source's own
+    access link starts — the node's true "on the wire" instant (later
+    forwarding hops do not re-fire it); see {!Link.send} for the
+    staleness caveat on queued packets.  Raises [Failure] if the
+    destination is unreachable from the source. *)
 
 val path : t -> Node_id.t -> Node_id.t -> Node_id.t list option
 (** [path net a b] is the node sequence [a; ...; b] a packet follows,

@@ -10,6 +10,7 @@ type t = {
 type id_state = int ref
 
 let fresh_id_state () = ref 0
+let next_id ids = !ids
 
 let make ids ~src ~dst ~size ~now payload =
   if size <= 0 then invalid_arg "Packet.make: size must be positive";

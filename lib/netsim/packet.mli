@@ -20,6 +20,12 @@ type id_state
 
 val fresh_id_state : unit -> id_state
 
+val next_id : id_state -> int
+(** The id the next {!make} on this state will assign.  Ids are
+    allocated in increasing order, so this is a monotone watermark:
+    every already-created packet has a smaller id, every future one an
+    id at least this large. *)
+
 val make :
   id_state -> src:Node_id.t -> dst:Node_id.t -> size:int -> now:Engine.Time.t ->
   Payload.t -> t

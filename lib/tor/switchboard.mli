@@ -44,14 +44,14 @@ val send_cell : t -> dst:Netsim.Node_id.t -> Cell.t -> unit
 
 val send_payload :
   t ->
-  ?on_transmit:(unit -> unit) ->
+  ?on_transmit:(int -> unit) ->
   dst:Netsim.Node_id.t ->
   size:int ->
   Netsim.Payload.t ->
   unit
 (** Send an arbitrary payload (feedback messages etc.).
-    [on_transmit] fires when this node's access link starts
-    serializing the packet (see {!Netsim.Network.send}). *)
+    [on_transmit] fires, with the packet's id, when this node's access
+    link starts serializing the packet (see {!Netsim.Network.send}). *)
 
 val orphan_cells : t -> int
 (** Cells that found neither a circuit nor a control handler. *)

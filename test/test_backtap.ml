@@ -292,6 +292,60 @@ let test_hop_sender_karn_rule () =
     (Backtap.Hop_sender.srtt sender = None);
   Alcotest.(check bool) "window slot freed" true (Backtap.Hop_sender.idle sender)
 
+(* Use-after-recycle regression: a queued attempt's wire-departure
+   registration outlives the pending that sent it.  Force a spurious
+   RTO while the first attempt is still stuck in the access-link queue,
+   deliver feedback (recycling the pooled pending), and reuse the
+   record for a new cell — when the leftover attempts of the old
+   incarnation finally serialize, their firings must be no-ops.  Under
+   the bug they invoked [transmit_done] on the reused record: the new
+   cell's ack fired before its packet reached the wire, its
+   first-transmit flag was consumed and its RTT clock corrupted. *)
+let test_hop_sender_stale_transmit_after_recycle () =
+  (* 8 kbit/s serializes one 520-byte envelope in exactly 520 ms, so
+     queued attempts outlive a 200 ms RTO by a wide margin. *)
+  let sim, _, leaves, sbs, _ = mk_net ~rate:(Engine.Units.Rate.kbit 8) 2 in
+  let controller = Circuitstart.Controller.create (Circuitstart.Controller.Fixed 2) in
+  let sender =
+    Backtap.Hop_sender.create ~sb:sbs.(0) ~circuit:circ ~succ:leaves.(1) ~controller
+      ~rto_initial:(Engine.Time.ms 200) ()
+  in
+  (* Cells A (hop_seq 0) and B (hop_seq 1): A serializes immediately,
+     B waits in the access-link queue behind it. *)
+  Backtap.Hop_sender.submit sender (data_cell 0);
+  Backtap.Hop_sender.submit sender (data_cell 1);
+  (* t=150ms: feedback for A — seeds srtt=150ms (rto becomes 450 ms).
+     At t=200ms B's queued-drop watchdog fires a spurious retransmit:
+     two attempts of B now sit in the queue. *)
+  ignore @@
+  Engine.Sim.schedule_after sim (Engine.Time.ms 150) (fun () ->
+      Backtap.Hop_sender.on_feedback sender ~hop_seq:0);
+  (* t=300ms: feedback for B recycles its pending while both attempts
+     are still queued; cell C (hop_seq 2) immediately reuses it. *)
+  let ack_times = ref [] in
+  ignore @@
+  Engine.Sim.schedule_after sim (Engine.Time.ms 300) (fun () ->
+      Backtap.Hop_sender.on_feedback sender ~hop_seq:1;
+      Backtap.Hop_sender.submit sender
+        ~ack:(fun () -> ack_times := Engine.Sim.now sim :: !ack_times)
+        (data_cell 2));
+  ignore @@
+  Engine.Sim.schedule_after sim (Engine.Time.ms 2200) (fun () ->
+      Backtap.Hop_sender.on_feedback sender ~hop_seq:2);
+  Engine.Sim.run sim;
+  (* Access-link serializations: A [0,520], B#1 [520,1040] (stale),
+     B#2 [1040,1560] (stale), C#1 [1560,2080].  C's ack must fire at
+     C's own wire departure — not at 520 ms when stale B#1 leaves. *)
+  (match !ack_times with
+  | [ at ] -> Alcotest.check time "ack at C's own wire departure" (Engine.Time.ms 1560) at
+  | l -> Alcotest.fail (Printf.sprintf "expected one ack, got %d" (List.length l)));
+  Alcotest.(check int) "spurious retransmits only (B once, C once)" 2
+    (Backtap.Hop_sender.retransmissions sender);
+  Alcotest.(check int) "no feedback counted spurious" 0
+    (Backtap.Hop_sender.spurious_feedback sender);
+  Alcotest.(check bool) "sender drained" true (Backtap.Hop_sender.idle sender);
+  Alcotest.(check bool) "sender alive" true (not (Backtap.Hop_sender.aborted sender))
+
 (* ------------------------------------------------------------------ *)
 (* End-to-end transfer over a full circuit *)
 
@@ -646,6 +700,8 @@ let () =
           Alcotest.test_case "spurious feedback" `Quick test_hop_sender_spurious_feedback;
           Alcotest.test_case "backoff and trip" `Quick test_hop_sender_backoff_and_trip;
           Alcotest.test_case "karn's rule" `Quick test_hop_sender_karn_rule;
+          Alcotest.test_case "stale transmit after recycle" `Quick
+            test_hop_sender_stale_transmit_after_recycle;
         ] );
       ( "transfer",
         [

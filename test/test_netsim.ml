@@ -164,19 +164,23 @@ let test_link_on_transmit () =
   let link = mk_link sim in
   let ids = Netsim.Packet.fresh_id_state () in
   Netsim.Link.set_receiver link (fun _ -> ());
-  let tx_times = ref [] in
+  let tx = ref [] in
   let send () =
+    let p = mk_packet ids ~src:0 ~dst:1 ~size:1000 in
     Netsim.Link.send link
-      ~on_transmit:(fun () -> tx_times := Engine.Sim.now sim :: !tx_times)
-      (mk_packet ids ~src:0 ~dst:1 ~size:1000)
+      ~on_transmit:(fun id -> tx := (id, Engine.Sim.now sim) :: !tx)
+      p;
+    p.Netsim.Packet.id
   in
-  send ();
-  send ();
+  let id0 = send () in
+  let id1 = send () in
   Engine.Sim.run sim;
-  (* First serializes immediately; second when the first's tx ends (1 ms). *)
-  Alcotest.(check (list time)) "transmit instants"
-    [ Engine.Time.zero; Engine.Time.ms 1 ]
-    (List.rev !tx_times)
+  (* First serializes immediately; second when the first's tx ends
+     (1 ms); each firing carries its own packet's id. *)
+  Alcotest.(check (list (pair int time)))
+    "transmit ids and instants"
+    [ (id0, Engine.Time.zero); (id1, Engine.Time.ms 1) ]
+    (List.rev !tx)
 
 let test_link_on_transmit_not_fired_on_drop () =
   let sim = Engine.Sim.create () in
@@ -185,7 +189,7 @@ let test_link_on_transmit_not_fired_on_drop () =
   Netsim.Link.set_receiver link (fun _ -> ());
   let fired = ref 0 in
   for _ = 1 to 4 do
-    Netsim.Link.send link ~on_transmit:(fun () -> incr fired)
+    Netsim.Link.send link ~on_transmit:(fun _ -> incr fired)
       (mk_packet ids ~src:0 ~dst:1 ~size:1000)
   done;
   Engine.Sim.run sim;
@@ -411,7 +415,7 @@ let test_network_on_transmit_first_link_only () =
       let p =
         Netsim.Network.make_packet net ~src:l0 ~dst:l1 ~size:1000 (Netsim.Payload.Raw "t")
       in
-      Netsim.Network.send net ~on_transmit:(fun () -> incr fired) p;
+      Netsim.Network.send net ~on_transmit:(fun _ -> incr fired) p;
       Engine.Sim.run sim;
       Alcotest.(check int) "once" 1 !fired
   | _ -> Alcotest.fail "expected three leaves"
