@@ -661,6 +661,62 @@ let recover_cmd =
 
 (* ------------------------------------------------------------------ *)
 
+let run_check runs seed oracles replay out =
+  if runs < 1 then `Error (false, "--runs must be positive")
+  else
+    match Check.Oracle.selection_of_string oracles with
+    | Error msg -> `Error (false, msg)
+    | Ok selection -> (
+        let ppf = Format.std_formatter in
+        match replay with
+        | Some line -> (
+            match Check.Harness.replay ~selection line ppf with
+            | Error msg -> `Error (false, msg)
+            | Ok true -> `Ok ()
+            | Ok false -> `Error (false, "replayed scenario fails"))
+        | None ->
+            let report = Check.Harness.run ~selection ?out ~runs ~seed ppf in
+            if report.Check.Harness.failures = [] then `Ok ()
+            else `Error (false, "invariant checks failed"))
+
+let check_cmd =
+  let runs =
+    Arg.(
+      value & opt int 50
+      & info [ "runs" ] ~docv:"N" ~doc:"Number of random scenarios to check.")
+  in
+  let oracles =
+    Arg.(
+      value & opt string "all"
+      & info [ "oracle" ] ~docv:"SET"
+          ~doc:
+            "Which invariant oracles to run: $(b,all) or a comma-separated \
+             subset of clock, link, hop, incarnation, cwnd, delivery.")
+  in
+  let replay =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"LINE"
+          ~doc:
+            "Re-check one scenario from a reproducer line instead of sampling \
+             (as printed by a failing run).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Write shrunk reproducer lines for failing scenarios to $(docv).")
+  in
+  let doc =
+    "Randomized differential checking: run invariant oracles over random \
+     fault/recovery scenarios, verify same-seed and jobs-1-vs-4 determinism, \
+     and shrink any failure to a replayable line."
+  in
+  Cmd.v (Cmd.info "check" ~doc)
+    Term.(ret (const run_check $ runs $ seed_arg $ oracles $ replay $ out))
+
 let () =
   let doc = "CircuitStart: a slow start for multi-hop anonymity systems (simulator)" in
   let info = Cmd.info "torsim" ~version:"1.0.0" ~doc in
@@ -668,4 +724,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ trace_cmd; cdf_cmd; optimal_cmd; adaptive_cmd; sweep_cmd; cross_cmd;
-            faults_cmd; recover_cmd ]))
+            faults_cmd; recover_cmd; check_cmd ]))

@@ -21,4 +21,10 @@ dune exec bin/torsim.exe -- recover --crash-at 0.2 --kib 128 --seed 7
 echo "== scheduler smoke: ubench --smoke (wheel vs heap A/B) =="
 dune exec bench/ubench.exe -- --smoke --json /dev/null | grep "ubench summary"
 
+echo "== invariant smoke: torsim check --runs 25 --seed 42 (60s budget) =="
+# Bounded fuzz: 25 random scenarios under full oracles plus the
+# jobs-1-vs-4 differential.  A failure prints a replayable
+# "torsim check --replay '<line>'" reproducer.
+timeout 60 dune exec bin/torsim.exe -- check --runs 25 --seed 42
+
 echo "OK"

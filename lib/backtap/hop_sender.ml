@@ -36,6 +36,21 @@ type pending = {
   mutable send_action : int -> unit;
 }
 
+type probe_event =
+  | Wire_departure of {
+      pkt_id : int;
+      in_use : bool;
+      wire_floor : int;
+      applied : bool;
+    }
+  | Feedback of { hop_seq : int; next_hop_seq : int; known : bool }
+
+(* Test-only escape hatch: checked law experiments flip this to
+   re-create the pre-watermark behaviour (every wire-departure callback
+   applied, stale or not) and watch the incarnation oracle catch it.
+   Never set outside the harness. *)
+let unsafe_disable_wire_floor = ref false
+
 type t = {
   sb : Tor_model.Switchboard.t;
   net : Netsim.Network.t;
@@ -53,6 +68,10 @@ type t = {
   mutable sent : int;
   mutable retx : int;
   mutable spurious : int;
+  mutable feedbacks : int;  (* feedbacks accepted (matched an inflight cell) *)
+  (* Passive observer of wire departures and feedbacks, for invariant
+     oracles.  Must not call back into the sender. *)
+  mutable probe : (probe_event -> unit) option;
   mutable aborted : bool;
   mutable on_abort : (unit -> unit) option;
   (* Jacobson/Karels estimator state, in seconds. *)
@@ -81,6 +100,8 @@ let create ~sb ~circuit ~succ ~controller ?(rto_min = Engine.Time.ms 400)
     sent = 0;
     retx = 0;
     spurious = 0;
+    feedbacks = 0;
+    probe = None;
     aborted = false;
     on_abort = None;
     srtt = None;
@@ -94,6 +115,9 @@ let queue_length t = Queue.length t.backlog
 let cells_sent t = t.sent
 let retransmissions t = t.retx
 let spurious_feedback t = t.spurious
+let feedback_received t = t.feedbacks
+let next_hop_seq t = t.next_seq
+let set_probe t f = t.probe <- f
 let idle t = Queue.is_empty t.backlog && Hashtbl.length t.inflight = 0
 let aborted t = t.aborted
 let set_on_abort t f = t.on_abort <- Some f
@@ -186,7 +210,17 @@ and on_timer t (p : pending) =
    including a firing that happens synchronously inside [wire_send]'s
    send call (its id is the watermark itself or above). *)
 and transmit_done t (p : pending) pkt_id =
-  if p.in_use && pkt_id >= p.wire_floor then begin
+  let lawful = p.in_use && pkt_id >= p.wire_floor in
+  (* With the watermark disabled (harness fault injection) stale
+     firings are applied anyway, re-creating the pre-fix bug the
+     incarnation oracle exists to catch. *)
+  let applied = lawful || (!unsafe_disable_wire_floor && p.in_use) in
+  (match t.probe with
+  | Some probe ->
+      probe
+        (Wire_departure { pkt_id; in_use = p.in_use; wire_floor = p.wire_floor; applied })
+  | None -> ());
+  if applied then begin
     p.on_wire <- true;
     Engine.Sim.Timer.cancel t.sim p.timer;
     let first = not p.transmitted in
@@ -288,9 +322,17 @@ let sample_rtt t rtt_s =
 
 let on_feedback t ~hop_seq =
   if not t.aborted then
-    match Hashtbl.find_opt t.inflight hop_seq with
+    let entry = Hashtbl.find_opt t.inflight hop_seq in
+    (match t.probe with
+    | Some probe ->
+        probe
+          (Feedback
+             { hop_seq; next_hop_seq = t.next_seq; known = Option.is_some entry })
+    | None -> ());
+    match entry with
     | None -> t.spurious <- t.spurious + 1
     | Some p ->
+        t.feedbacks <- t.feedbacks + 1;
         Hashtbl.remove t.inflight hop_seq;
         let retransmitted = p.retransmitted and sent_at = p.sent_at in
         release t p;

@@ -61,6 +61,18 @@ val cells_sent : t -> int
 
 val retransmissions : t -> int
 val spurious_feedback : t -> int
+
+val feedback_received : t -> int
+(** Feedbacks that matched an in-flight cell (excludes spurious).  For
+    a sender that was never aborted,
+    [cells_sent = feedback_received + inflight + queue-drop losses
+    still awaiting retransmission] — the per-hop conservation law the
+    invariant oracles check at feedback instants and at end of run. *)
+
+val next_hop_seq : t -> int
+(** The sequence number the next submitted cell will take; every
+    feedback must name a sequence strictly below it. *)
+
 val idle : t -> bool
 (** No backlog and nothing in flight. *)
 
@@ -82,3 +94,41 @@ val abort : t -> unit
 val set_on_abort : t -> (unit -> unit) -> unit
 (** [f] fires once, at the instant the sender trips its own
     retransmission budget (not on an external {!abort}). *)
+
+(** {1 Invariant probes}
+
+    Passive observation points for the [Check] oracles.  A probe must
+    not call back into the sender or the simulation: it only records. *)
+
+type probe_event =
+  | Wire_departure of {
+      pkt_id : int;  (** id of the departing packet *)
+      in_use : bool;  (** was the pending record live when it fired? *)
+      wire_floor : int;  (** the record's incarnation watermark *)
+      applied : bool;  (** did the sender act on the callback? *)
+    }
+      (** A wire-departure callback reached the sender.  The checked
+          incarnation law: [applied] implies
+          [in_use && pkt_id >= wire_floor] — acting on a stale or
+          pooled-record callback is the PR-4 recycling bug. *)
+  | Feedback of {
+      hop_seq : int;
+      next_hop_seq : int;  (** sender's next unassigned sequence *)
+      known : bool;  (** did it match an in-flight cell? *)
+    }
+      (** A feedback message arrived (before it is processed).  The
+          checked law: [hop_seq < next_hop_seq] — feedback must never
+          name a cell that was never sent. *)
+
+val set_probe : t -> (probe_event -> unit) option -> unit
+(** Install (or remove) the probe.  Costs one [match] per wire
+    departure / feedback when unset. *)
+
+(**/**)
+
+val unsafe_disable_wire_floor : bool ref
+(** Test-only fault injection: while [true], wire-departure callbacks
+    are applied to any live pending record regardless of its
+    incarnation watermark, re-creating the stale-[on_transmit] bug the
+    watermark exists to stop.  The harness flips it to prove the
+    incarnation oracle catches the bug.  Never set in real runs. *)

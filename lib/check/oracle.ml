@@ -1,0 +1,306 @@
+type violation = { oracle : string; at : Engine.Time.t; detail : string }
+
+let pp_violation fmt v =
+  Format.fprintf fmt "[%a] %s: %s" Engine.Time.pp v.at v.oracle v.detail
+
+type selection = {
+  clock : bool;
+  link : bool;
+  hop : bool;
+  incarnation : bool;
+  cwnd : bool;
+  delivery : bool;
+}
+
+let all = {
+  clock = true;
+  link = true;
+  hop = true;
+  incarnation = true;
+  cwnd = true;
+  delivery = true;
+}
+
+let none = {
+  clock = false;
+  link = false;
+  hop = false;
+  incarnation = false;
+  cwnd = false;
+  delivery = false;
+}
+
+let oracle_names = [ "clock"; "link"; "hop"; "incarnation"; "cwnd"; "delivery" ]
+
+let enable sel = function
+  | "clock" -> Ok { sel with clock = true }
+  | "link" -> Ok { sel with link = true }
+  | "hop" -> Ok { sel with hop = true }
+  | "incarnation" -> Ok { sel with incarnation = true }
+  | "cwnd" -> Ok { sel with cwnd = true }
+  | "delivery" -> Ok { sel with delivery = true }
+  | name ->
+      Error
+        (Printf.sprintf "unknown oracle %S (expected all or one of: %s)" name
+           (String.concat ", " oracle_names))
+
+let selection_of_string s =
+  match String.trim s with
+  | "all" -> Ok all
+  | s ->
+      String.split_on_char ',' s
+      |> List.fold_left
+           (fun acc name ->
+             match acc with
+             | Error _ as e -> e
+             | Ok sel -> enable sel (String.trim name))
+           (Ok none)
+
+let selection_to_string sel =
+  if sel = all then "all"
+  else
+    [ ("clock", sel.clock); ("link", sel.link); ("hop", sel.hop);
+      ("incarnation", sel.incarnation); ("cwnd", sel.cwnd);
+      ("delivery", sel.delivery) ]
+    |> List.filter_map (fun (n, on) -> if on then Some n else None)
+    |> String.concat ","
+
+(* One attachment = one (sim, links, transfer) triple under watch.  The
+   recovery experiments attach once per circuit generation, all sharing
+   one simulator. *)
+type attachment = {
+  links : Netsim.Link.t list;
+  transfer : Backtap.Transfer.t;
+  mutable last_delivered : int;
+}
+
+type t = {
+  sel : selection;
+  mutable violations : violation list;  (* newest first, capped *)
+  mutable dropped : int;  (* violations beyond the cap *)
+  mutable attachments : attachment list;
+  mutable sims : Engine.Sim.t list;  (* sims with an installed fire probe *)
+}
+
+let max_recorded = 32
+
+let create ?(selection = all) () =
+  { sel = selection; violations = []; dropped = 0; attachments = []; sims = [] }
+
+let violations t = List.rev t.violations
+let violation_count t = List.length t.violations + t.dropped
+
+let violate t ~oracle ~at detail =
+  if List.length t.violations >= max_recorded then t.dropped <- t.dropped + 1
+  else t.violations <- { oracle; at; detail } :: t.violations
+
+(* --- per-link conservation -------------------------------------- *)
+
+let check_link t ~at link =
+  let open Netsim.Link in
+  let accepted = packets_accepted link in
+  let accounted =
+    packets_delivered link + packets_blackholed link + queue_drops link
+    + fault_drops link + outage_drops link + queue_length link
+    + (if busy link then 1 else 0)
+    + packets_in_flight link
+  in
+  if accepted <> accounted then
+    violate t ~oracle:"link" ~at
+      (Format.asprintf
+         "link %a: accepted %d <> accounted %d (delivered %d blackholed %d \
+          queue-drop %d fault %d outage %d queued %d busy %b in-flight %d)"
+         pp link accepted accounted (packets_delivered link)
+         (packets_blackholed link) (queue_drops link) (fault_drops link)
+         (outage_drops link) (queue_length link) (busy link)
+         (packets_in_flight link))
+
+(* --- transfer-level delivery ------------------------------------ *)
+
+let check_delivery t ~at a =
+  let d = Backtap.Transfer.delivered_bytes a.transfer in
+  if d < a.last_delivered then
+    violate t ~oracle:"delivery" ~at
+      (Printf.sprintf "delivered_bytes went backwards: %d -> %d"
+         a.last_delivered d)
+  else a.last_delivered <- d
+
+let sweep t ~at =
+  if t.sel.link then
+    List.iter (fun a -> List.iter (check_link t ~at) a.links) t.attachments;
+  if t.sel.delivery then List.iter (check_delivery t ~at) t.attachments
+
+(* --- per-sender laws -------------------------------------------- *)
+
+let attach_sender t sim ~pos sender =
+  let open Backtap.Hop_sender in
+  if t.sel.hop || t.sel.incarnation then
+    set_probe sender
+      (Some
+         (fun ev ->
+           let at = Engine.Sim.now sim in
+           match ev with
+           | Wire_departure { pkt_id; in_use; wire_floor; applied } ->
+               if t.sel.incarnation && applied
+                  && not (in_use && pkt_id >= wire_floor)
+               then
+                 violate t ~oracle:"incarnation" ~at
+                   (Printf.sprintf
+                      "hop %d applied a stale wire departure: pkt %d \
+                       (in_use %b, wire_floor %d)"
+                      pos pkt_id in_use wire_floor)
+           | Feedback { hop_seq; next_hop_seq; known = _ } ->
+               if t.sel.hop then begin
+                 if hop_seq < 0 || hop_seq >= next_hop_seq then
+                   violate t ~oracle:"hop" ~at
+                     (Printf.sprintf
+                        "hop %d: feedback for never-sent cell %d (next %d)"
+                        pos hop_seq next_hop_seq);
+                 (* Per-hop cell conservation, checked just before the
+                    feedback is processed: every first-sent cell is
+                    either still in flight or already fed back. *)
+                 let sent = cells_sent sender
+                 and fb = feedback_received sender
+                 and infl = inflight sender in
+                 if sent <> fb + infl then
+                   violate t ~oracle:"hop" ~at
+                     (Printf.sprintf
+                        "hop %d: cell conservation broken: sent %d <> \
+                         feedback %d + in-flight %d"
+                        pos sent fb infl)
+               end));
+  if t.sel.cwnd then begin
+    let c = controller sender in
+    let params = Circuitstart.Controller.params c in
+    let clamp v =
+      Stdlib.min params.Circuitstart.Params.max_cwnd
+        (Stdlib.max params.Circuitstart.Params.min_cwnd v)
+    in
+    let prev = ref (Circuitstart.Controller.cwnd c) in
+    let seen_exits = ref (Circuitstart.Controller.ramp_up_exits c) in
+    Circuitstart.Controller.set_on_change c (fun ~now v ->
+        let p = !prev in
+        prev := v;
+        let fail detail = violate t ~oracle:"cwnd" ~at:now detail in
+        if v < params.Circuitstart.Params.min_cwnd
+           || v > params.Circuitstart.Params.max_cwnd
+        then
+          fail
+            (Printf.sprintf "hop %d: cwnd %d outside [%d, %d]" pos v
+               params.Circuitstart.Params.min_cwnd
+               params.Circuitstart.Params.max_cwnd);
+        (match Circuitstart.Controller.latest_diff c with
+        | Some d when Float.is_nan d ->
+            fail (Printf.sprintf "hop %d: Vegas diff is NaN" pos)
+        | Some _ | None -> ());
+        let exits = Circuitstart.Controller.ramp_up_exits c in
+        let is_exit = exits > !seen_exits in
+        seen_exits := exits;
+        (* [leave_ramp_up] runs the change hooks before flipping the
+           phase and before [start_round] resets the round counters, so
+           at an exit we still read Ramp_up and the exiting round's
+           acked count. *)
+        match
+          (Circuitstart.Controller.phase c, Circuitstart.Controller.strategy c)
+        with
+        | Circuitstart.Controller.Ramp_up, Circuitstart.Controller.Circuit_start
+          ->
+            if is_exit then begin
+              match params.Circuitstart.Params.compensation with
+              | Circuitstart.Params.Acked_count ->
+                  let acked = Circuitstart.Controller.acked_in_round c in
+                  if v <> clamp acked then
+                    fail
+                      (Printf.sprintf
+                         "hop %d: overshoot exit cwnd %d <> acked-in-round %d"
+                         pos v acked)
+              | Circuitstart.Params.Rate_based -> ()
+            end
+            else if v <> clamp (2 * p) then
+              fail
+                (Printf.sprintf
+                   "hop %d: ramp-up change %d -> %d is not a doubling" pos p v)
+        | Circuitstart.Controller.Ramp_up, Circuitstart.Controller.Slow_start ->
+            if is_exit then begin
+              if v <> clamp (p / 2) then
+                fail
+                  (Printf.sprintf "hop %d: slow-start exit %d -> %d not halved"
+                     pos p v)
+            end
+            else if v <> clamp (p + 1) then
+              fail
+                (Printf.sprintf
+                   "hop %d: slow-start ramp change %d -> %d is not +1" pos p v)
+        | Circuitstart.Controller.Ramp_up, Circuitstart.Controller.Fixed _ ->
+            fail (Printf.sprintf "hop %d: Fixed-window cwnd changed to %d" pos v)
+        | Circuitstart.Controller.Avoidance, _ ->
+            if v < p - 1 then
+              fail
+                (Printf.sprintf
+                   "hop %d: avoidance shrank by more than one: %d -> %d" pos p v))
+  end
+
+(* --- attachment -------------------------------------------------- *)
+
+let attach t sim links transfer =
+  let a = { links; transfer;
+            last_delivered = Backtap.Transfer.delivered_bytes transfer } in
+  t.attachments <- a :: t.attachments;
+  List.iteri (fun pos s -> attach_sender t sim ~pos s)
+    (Backtap.Transfer.senders transfer);
+  if not (List.memq sim t.sims) then begin
+    t.sims <- sim :: t.sims;
+    let last = ref (Engine.Sim.now sim) in
+    let events = ref 0 in
+    (* The fire probe observes every event with the clock already
+       advanced.  A timer-wheel bug that fires an entry before its
+       deadline shows up here as a clock regression: the queue reports
+       each event's own scheduled time, so a premature pop is followed
+       by an earlier-stamped event. *)
+    Engine.Sim.set_fire_probe sim
+      (Some
+         (fun now ->
+           if t.sel.clock && Engine.Time.(now < !last) then
+             violate t ~oracle:"clock" ~at:now
+               (Format.asprintf "clock went backwards: %a -> %a" Engine.Time.pp
+                  !last Engine.Time.pp now);
+           last := now;
+           incr events;
+           (* Amortized sweep of the instantaneous conservation laws. *)
+           if !events land 255 = 0 then sweep t ~at:now))
+  end
+
+let finish t =
+  let at =
+    match t.sims with [] -> Engine.Time.zero | sim :: _ -> Engine.Sim.now sim
+  in
+  sweep t ~at;
+  (* End-of-run hop conservation, skipping aborted senders (abort drops
+     in-flight state by design). *)
+  if t.sel.hop then
+    List.iter
+      (fun a ->
+        List.iteri
+          (fun pos sender ->
+            let open Backtap.Hop_sender in
+            if not (aborted sender) then begin
+              let sent = cells_sent sender
+              and fb = feedback_received sender
+              and infl = inflight sender in
+              if sent <> fb + infl then
+                violate t ~oracle:"hop" ~at
+                  (Printf.sprintf
+                     "hop %d at end of run: sent %d <> feedback %d + \
+                      in-flight %d"
+                     pos sent fb infl)
+            end)
+          (Backtap.Transfer.senders a.transfer))
+      t.attachments;
+  (* Detach the probes so the sim/transfer can outlive the oracle. *)
+  List.iter (fun sim -> Engine.Sim.set_fire_probe sim None) t.sims;
+  List.iter
+    (fun a ->
+      List.iter
+        (fun s -> Backtap.Hop_sender.set_probe s None)
+        (Backtap.Transfer.senders a.transfer))
+    t.attachments

@@ -1,0 +1,291 @@
+type kind = Faults | Recovery
+type strategy = Cs | Ss
+
+type t = {
+  kind : kind;
+  seed : int;
+  relays : int;
+  position : int;
+  bytes : int;
+  loss_ppm : int;
+  burst : bool;
+  outage_ms : (int * int) option;
+  crash_ms : int option;
+  queue_cells : int;
+  strategy : strategy;
+  bottleneck_kbps : int;
+  fast_kbps : int;
+  endpoint_kbps : int;
+  max_rebuilds : int;
+}
+
+let recovery_hops = 3
+
+(* --- replay-line serialization ----------------------------------- *)
+
+let kind_code = function Faults -> "f" | Recovery -> "r"
+let strategy_code = function Cs -> "cs" | Ss -> "ss"
+
+let to_string t =
+  let outage_down, outage_up =
+    match t.outage_ms with Some (d, u) -> (d, u) | None -> (-1, -1)
+  in
+  Printf.sprintf
+    "k=%s seed=%d relays=%d pos=%d bytes=%d loss=%d burst=%d odown=%d oup=%d \
+     crash=%d queue=%d strat=%s bn=%d fast=%d ep=%d rebuilds=%d"
+    (kind_code t.kind) t.seed t.relays t.position t.bytes t.loss_ppm
+    (if t.burst then 1 else 0)
+    outage_down outage_up
+    (match t.crash_ms with Some c -> c | None -> -1)
+    t.queue_cells (strategy_code t.strategy) t.bottleneck_kbps t.fast_kbps
+    t.endpoint_kbps t.max_rebuilds
+
+let of_string line =
+  let ( let* ) = Result.bind in
+  let fields =
+    String.split_on_char ' ' (String.trim line)
+    |> List.filter (fun s -> s <> "")
+    |> List.filter_map (fun kv ->
+           match String.index_opt kv '=' with
+           | Some i ->
+               Some
+                 ( String.sub kv 0 i,
+                   String.sub kv (i + 1) (String.length kv - i - 1) )
+           | None -> None)
+  in
+  let str key =
+    match List.assoc_opt key fields with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "scenario line: missing field %S" key)
+  in
+  let int key =
+    let* v = str key in
+    match int_of_string_opt v with
+    | Some i -> Ok i
+    | None -> Error (Printf.sprintf "scenario line: field %S is not an int" key)
+  in
+  let* k = str "k" in
+  let* kind =
+    match k with
+    | "f" -> Ok Faults
+    | "r" -> Ok Recovery
+    | other -> Error (Printf.sprintf "scenario line: unknown kind %S" other)
+  in
+  let* seed = int "seed" in
+  let* relays = int "relays" in
+  let* position = int "pos" in
+  let* bytes = int "bytes" in
+  let* loss_ppm = int "loss" in
+  let* burst = int "burst" in
+  let* odown = int "odown" in
+  let* oup = int "oup" in
+  let* crash = int "crash" in
+  let* queue_cells = int "queue" in
+  let* strat = str "strat" in
+  let* strategy =
+    match strat with
+    | "cs" -> Ok Cs
+    | "ss" -> Ok Ss
+    | other -> Error (Printf.sprintf "scenario line: unknown strategy %S" other)
+  in
+  let* bottleneck_kbps = int "bn" in
+  let* fast_kbps = int "fast" in
+  let* endpoint_kbps = int "ep" in
+  let* max_rebuilds = int "rebuilds" in
+  Ok
+    {
+      kind;
+      seed;
+      relays;
+      position;
+      bytes;
+      loss_ppm;
+      burst = burst <> 0;
+      outage_ms = (if odown < 0 then None else Some (odown, oup));
+      crash_ms = (if crash < 0 then None else Some crash);
+      queue_cells;
+      strategy;
+      bottleneck_kbps;
+      fast_kbps;
+      endpoint_kbps;
+      max_rebuilds;
+    }
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+let equal a b = a = b
+
+(* --- generation --------------------------------------------------- *)
+
+(* Relay bandwidths come from the same log-normal population the
+   experiments use ({!Workload.Relay_gen}), keyed by the scenario seed:
+   the slowest draw becomes the bottleneck rate, the fastest the rest
+   of the star.  Storing the derived rates in the record keeps a replay
+   line self-contained. *)
+let rates_of_seed ~seed ~relays =
+  let specs =
+    Workload.Relay_gen.generate
+      (Engine.Rng.create (seed lxor 0x5ca1ab1e))
+      Workload.Relay_gen.default_config ~n:(Stdlib.max 2 relays)
+  in
+  let kbps spec =
+    Engine.Units.Rate.to_bps spec.Workload.Relay_gen.bandwidth / 1000
+  in
+  let rates = List.map kbps specs in
+  let bn = List.fold_left Stdlib.min (List.hd rates) rates in
+  let fast = List.fold_left Stdlib.max (List.hd rates) rates in
+  (bn, Stdlib.max fast (2 * bn))
+
+let gen : t QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let* kind = frequencyl [ (3, Faults); (1, Recovery) ] in
+  let* seed = int_range 1 0x3FFFFFFF in
+  let* relays =
+    match kind with
+    | Faults -> int_range 2 5
+    | Recovery -> int_range (recovery_hops + 1) 7
+  in
+  let* position =
+    int_range 1 (match kind with Faults -> relays | Recovery -> recovery_hops)
+  in
+  let* bytes = map (fun k -> k * 1024) (int_range 8 64) in
+  let* loss_ppm = frequency [ (2, pure 0); (3, int_range 1_000 30_000) ] in
+  let* burst = bool in
+  let* outage_ms =
+    frequency
+      [
+        (7, pure None);
+        (3, map (fun (d, len) -> Some (d, d + len))
+              (pair (int_range 50 400) (int_range 50 400)));
+      ]
+  in
+  let* crash_ms =
+    match kind with
+    | Faults -> frequency [ (8, pure None); (2, map Option.some (int_range 100 800)) ]
+    | Recovery -> map Option.some (int_range 50 500)
+  in
+  let* queue_cells =
+    frequency [ (1, pure 0); (2, int_range 8 64) ]
+  in
+  (* A third of the population gets a crawling client access link.
+     Slow clients are the norm in deployed anonymity networks, and they
+     are the only place the sender's own access queue can congest — the
+     regime that exercises the pooled-pending recycling laws. *)
+  let* endpoint_kbps =
+    frequency [ (2, pure 100_000); (1, int_range 8 48) ]
+  in
+  let+ strategy = frequencyl [ (3, Cs); (1, Ss) ] in
+  let bottleneck_kbps, fast_kbps = rates_of_seed ~seed ~relays in
+  let max_rebuilds = 3 in
+  {
+    kind;
+    seed;
+    relays;
+    position;
+    bytes;
+    loss_ppm;
+    burst;
+    outage_ms;
+    crash_ms;
+    queue_cells;
+    strategy;
+    bottleneck_kbps;
+    fast_kbps;
+    endpoint_kbps;
+    max_rebuilds;
+  }
+
+let generate ~seed ~index =
+  let rand = Random.State.make [| 0x5eed; seed; index |] in
+  QCheck2.Gen.generate1 ~rand gen
+
+(* --- shrinking ---------------------------------------------------- *)
+
+(* Greedy structural shrinks, simplest first: each candidate removes
+   one source of complexity while keeping the record valid.  The
+   harness re-runs candidates and walks down while the failure
+   persists. *)
+let shrink_candidates t =
+  let cands = ref [] in
+  let add c = if c <> t then cands := c :: !cands in
+  if t.bytes > 8 * 1024 then add { t with bytes = Stdlib.max (8 * 1024) (t.bytes / 2) };
+  if t.loss_ppm > 0 then add { t with loss_ppm = 0; burst = false };
+  if t.burst then add { t with burst = false };
+  if t.outage_ms <> None then add { t with outage_ms = None };
+  (match (t.kind, t.crash_ms) with
+  | Faults, Some _ -> add { t with crash_ms = None }
+  | _ -> ());
+  if t.queue_cells <> 0 then add { t with queue_cells = 0 };
+  (match t.kind with
+  | Faults ->
+      if t.relays > 2 then
+        add
+          {
+            t with
+            relays = t.relays - 1;
+            position = Stdlib.min t.position (t.relays - 1);
+          }
+  | Recovery ->
+      if t.relays > recovery_hops + 1 then add { t with relays = t.relays - 1 });
+  if t.position > 1 then add { t with position = 1 };
+  if t.strategy = Ss then add { t with strategy = Cs };
+  List.rev !cands
+
+(* --- experiment configs ------------------------------------------ *)
+
+let loss_model t =
+  if t.loss_ppm <= 0 then None
+  else if t.burst then
+    Some
+      (Netsim.Faults.Gilbert_elliott
+         {
+           p_good_to_bad = float_of_int t.loss_ppm /. 100_000.;
+           p_bad_to_good = 0.3;
+           loss_good = 0.;
+           loss_bad = 0.5;
+         })
+  else Some (Netsim.Faults.Bernoulli (float_of_int t.loss_ppm /. 1_000_000.))
+
+let queue t =
+  if t.queue_cells <= 0 then Netsim.Nqueue.unbounded
+  else Netsim.Nqueue.packets t.queue_cells
+
+let controller_strategy t =
+  match t.strategy with
+  | Cs -> Circuitstart.Controller.Circuit_start
+  | Ss -> Circuitstart.Controller.Slow_start
+
+let fault_config t =
+  if t.kind <> Faults then invalid_arg "Scenario.fault_config: not a fault scenario";
+  {
+    Workload.Fault_experiment.default_config with
+    relay_count = t.relays;
+    bottleneck_distance = t.position;
+    bottleneck_rate = Engine.Units.Rate.bps (t.bottleneck_kbps * 1000);
+    fast_rate = Engine.Units.Rate.bps (t.fast_kbps * 1000);
+    endpoint_rate = Engine.Units.Rate.bps (t.endpoint_kbps * 1000);
+    transfer_bytes = t.bytes;
+    strategy = controller_strategy t;
+    link_queue = queue t;
+    loss = loss_model t;
+    outage =
+      Option.map
+        (fun (d, u) -> (Engine.Time.ms d, Engine.Time.ms u))
+        t.outage_ms;
+    crash_at = Option.map Engine.Time.ms t.crash_ms;
+  }
+
+let recovery_config t =
+  if t.kind <> Recovery then
+    invalid_arg "Scenario.recovery_config: not a recovery scenario";
+  {
+    Workload.Recovery_experiment.default_config with
+    relay_count = t.relays;
+    hops = recovery_hops;
+    endpoint_rate = Engine.Units.Rate.bps (t.endpoint_kbps * 1000);
+    transfer_bytes = t.bytes;
+    strategy = controller_strategy t;
+    link_queue = queue t;
+    crash_at = Option.map Engine.Time.ms t.crash_ms;
+    crash_position = t.position;
+    max_rebuilds = t.max_rebuilds;
+  }

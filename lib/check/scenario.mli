@@ -1,0 +1,70 @@
+(** Randomized check scenarios and their replay lines.
+
+    A scenario is a small, fully serializable description of one
+    oracle-checked run: which experiment family to drive (a fault-
+    injected star via {!Workload.Fault_experiment}, or a crash-and-
+    rebuild session via {!Workload.Recovery_experiment}), the topology
+    size, the transfer size, the fault schedule and the startup
+    strategy.  Everything that feeds the run — including the relay
+    rates drawn from the {!Workload.Relay_gen} log-normal population —
+    is a deterministic function of the record, so a scenario printed
+    with {!to_string} replays byte-identically with
+    [torsim check --replay].  *)
+
+type kind = Faults | Recovery
+type strategy = Cs | Ss
+
+type t = {
+  kind : kind;
+  seed : int;  (** Drives the experiment RNG (faults, path draws). *)
+  relays : int;
+  position : int;
+      (** Bottleneck distance (faults) or crash position (recovery),
+          1-based. *)
+  bytes : int;  (** Transfer size. *)
+  loss_ppm : int;  (** Wire loss in parts per million; 0 = none. *)
+  burst : bool;  (** Gilbert–Elliott instead of Bernoulli loss. *)
+  outage_ms : (int * int) option;  (** [(down, up)] offsets, ms. *)
+  crash_ms : int option;  (** Relay crash offset, ms. *)
+  queue_cells : int;  (** Link queue capacity in packets; 0 = unbounded. *)
+  strategy : strategy;
+  bottleneck_kbps : int;  (** Derived from the seed; stored for replay. *)
+  fast_kbps : int;
+  endpoint_kbps : int;
+      (** Client/server access rate.  A third of the sampled population
+          gets a crawling client link — the only regime where the
+          sender's own access queue congests, which is what exercises
+          the pooled-pending recycling laws. *)
+  max_rebuilds : int;  (** Recovery only. *)
+}
+
+val recovery_hops : int
+(** Path length used by recovery scenarios (3). *)
+
+val to_string : t -> string
+(** One-line [key=value] form, the replayable "(seed, scenario)"
+    reproducer. *)
+
+val of_string : string -> (t, string) result
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool
+
+val gen : t QCheck2.Gen.t
+(** The QCheck generator behind {!generate}. *)
+
+val generate : seed:int -> index:int -> t
+(** The [index]-th scenario of master seed [seed] — deterministic, so
+    [torsim check --runs N --seed S] samples the same scenarios on
+    every machine. *)
+
+val shrink_candidates : t -> t list
+(** Structurally simpler variants, simplest-first: fewer bytes, no
+    loss, no outage, no crash, fewer relays, unbounded queue.  The
+    harness greedily re-runs candidates to shrink a failure. *)
+
+val fault_config : t -> Workload.Fault_experiment.config
+(** Raises [Invalid_argument] unless [kind = Faults]. *)
+
+val recovery_config : t -> Workload.Recovery_experiment.config
+(** Raises [Invalid_argument] unless [kind = Recovery]. *)

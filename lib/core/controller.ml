@@ -30,6 +30,7 @@ type t = {
   mutable rounds : int;
   mutable exits : int;
   mutable exit_cwnd : int option;
+  mutable exit_acked : int option;
   (* Countdown: re-apply rate-based compensation over the first few
      avoidance rounds.  Right after a ramp-up exit the bottleneck is
      still draining the overshoot at exactly its service rate, so the
@@ -50,7 +51,9 @@ type t = {
   mutable rate_history_idx : int;
   mutable round_count1_max : int;  (* best 1-RTT feedback count this round *)
   mutable samples_total : int;
-  mutable on_change : (now:Engine.Time.t -> int -> unit) option;
+  (* Change hooks, fired in registration order: the transfer's cwnd
+     tracer and the invariant oracles can observe independently. *)
+  mutable on_change : (now:Engine.Time.t -> int -> unit) list;
   mutable debug_label : string;
 }
 
@@ -90,6 +93,7 @@ let create ?(params = Params.default) strategy =
     rounds = 0;
     exits = 0;
     exit_cwnd = None;
+    exit_acked = None;
     recalibrate = 0;
     calm_rounds = 0;
     recent_feedbacks = Queue.create ();
@@ -97,7 +101,7 @@ let create ?(params = Params.default) strategy =
     rate_history_idx = 0;
     round_count1_max = 0;
     samples_total = 0;
-    on_change = None;
+    on_change = [];
     debug_label = "?";
   }
 
@@ -110,7 +114,10 @@ let latest_diff t = t.latest_diff
 let rounds_completed t = t.rounds
 let ramp_up_exits t = t.exits
 let exit_cwnd t = t.exit_cwnd
-let set_on_change t f = t.on_change <- Some f
+let exit_acked t = t.exit_acked
+let acked_in_round t = t.acked_in_round
+let round_target t = t.round_target
+let set_on_change t f = t.on_change <- t.on_change @ [ f ]
 let set_debug_label t label = t.debug_label <- label
 
 let send_allowance t =
@@ -126,7 +133,7 @@ let set_cwnd t ~now v =
   let v = Stdlib.min t.params.max_cwnd (Stdlib.max t.params.min_cwnd v) in
   if v <> t.cwnd then begin
     t.cwnd <- v;
-    match t.on_change with Some f -> f ~now v | None -> ()
+    List.iter (fun f -> f ~now v) t.on_change
   end
 
 let start_round ?now t =
@@ -192,6 +199,10 @@ let leave_ramp_up t ~now ~new_cwnd ~recalibrate =
     Printf.eprintf "[%8.1fms] %s EXIT ramp-up: cwnd %d -> %d (sliding=%d)\n"
       (Engine.Time.to_ms_f now) t.debug_label t.cwnd new_cwnd (sliding_rate_cells t);
   t.exits <- t.exits + 1;
+  (* Record the feedback count of the exiting round before [set_cwnd]
+     runs the change hooks, so an oracle in the hook can compare the
+     compensated window against it. *)
+  if t.exit_acked = None then t.exit_acked <- Some t.acked_in_round;
   set_cwnd t ~now new_cwnd;
   if t.exit_cwnd = None then t.exit_cwnd <- Some t.cwnd;
   t.phase <- Avoidance;

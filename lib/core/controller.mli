@@ -88,9 +88,22 @@ val exit_cwnd : t -> int option
 (** The window chosen at the first ramp-up exit (the compensated value
     for [Circuit_start], the halved value for [Slow_start]). *)
 
+val exit_acked : t -> int option
+(** The number of feedbacks accounted in the round during which
+    ramp-up was first left — the acked-in-round train length that
+    [Acked_count] compensation clamps the exit window to. *)
+
+val acked_in_round : t -> int
+(** Feedbacks accounted in the current round so far. *)
+
+val round_target : t -> int
+(** Feedback count that ends the current round. *)
+
 val set_on_change : t -> (now:Engine.Time.t -> int -> unit) -> unit
-(** Hook invoked with the new window on every subsequent change (for
-    cwnd traces).  The caller records the starting point itself. *)
+(** Register a hook invoked with the new window on every subsequent
+    change (for cwnd traces and invariant oracles).  Hooks accumulate
+    and fire in registration order; the caller records the starting
+    point itself. *)
 
 val set_debug_label : t -> string -> unit
 (** Label used by the [CIRCUITSTART_DEBUG] diagnostic output. *)

@@ -3,6 +3,10 @@ type t = {
   mutable clock : Time.t;
   mutable stopped : bool;
   mutable executed : int;
+  (* Passive observer of every event firing, handed the (already
+     updated) clock.  Costs one [match] per event when unset; must not
+     schedule or mutate — see [set_fire_probe]. *)
+  mutable fire_probe : (Time.t -> unit) option;
 }
 
 type handle = Event_queue.handle
@@ -13,7 +17,7 @@ let no_event : unit -> unit = fun () -> ()
 
 let create ?capacity () =
   { queue = Event_queue.create ?capacity (); clock = Time.zero; stopped = false;
-    executed = 0 }
+    executed = 0; fire_probe = None }
 
 let now t = t.clock
 
@@ -94,6 +98,7 @@ let run ?until ?max_events t =
         t.clock <- Event_queue.popped_time t.queue;
         t.executed <- t.executed + 1;
         decr budget;
+        (match t.fire_probe with None -> () | Some probe -> probe t.clock);
         f ();
         loop ()
       end
@@ -102,3 +107,4 @@ let run ?until ?max_events t =
 
 let events_executed t = t.executed
 let pending_events t = Event_queue.size t.queue
+let set_fire_probe t probe = t.fire_probe <- probe

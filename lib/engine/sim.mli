@@ -107,3 +107,13 @@ val events_executed : t -> int
 
 val pending_events : t -> int
 (** Number of live events still scheduled. *)
+
+val set_fire_probe : t -> (Time.t -> unit) option -> unit
+(** Install (or remove, with [None]) a passive observer called once
+    per executed event, just before its handler runs, with the clock
+    already advanced to the event's timestamp.  Intended for invariant
+    oracles (e.g. checking that firings are never earlier than their
+    deadline and that the clock is monotone).  The probe must be
+    passive: it must not schedule, cancel, or otherwise perturb the
+    simulation, so that an instrumented run remains schedule-identical
+    to a plain one.  Costs one [match] per event when unset. *)

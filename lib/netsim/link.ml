@@ -18,6 +18,15 @@ type t = {
   mutable blackholed : int;
   mutable fault_drops : int;
   mutable outage_drops : int;
+  (* Conservation bookkeeping: [accepted] counts every packet handed to
+     [send] (whether it is then queued, transmitted or dropped);
+     [in_flight] counts packets past serialization, propagating towards
+     the receiver.  At any instant
+       accepted = delivered + blackholed + queue_full + fault + outage
+                  + queue_length + (serializing ? 1 : 0) + in_flight
+     which the invariant oracles check. *)
+  mutable accepted : int;
+  mutable in_flight : int;
   mutable busy_time : Engine.Time.t;
   (* Packet id -> callback fired, with that id, when serialization of
      that packet starts (the moment it is truly "on the wire").  The id
@@ -33,6 +42,7 @@ type t = {
 }
 
 let deliver t (p : Packet.t) =
+  t.in_flight <- t.in_flight - 1;
   match t.receiver with
   | None -> t.blackholed <- t.blackholed + 1
   | Some f ->
@@ -53,6 +63,7 @@ let rec finish_tx t =
      match t.fault_filter with
      | Some drop when drop p -> t.fault_drops <- t.fault_drops + 1
      | _ ->
+         t.in_flight <- t.in_flight + 1;
          ignore (Engine.Sim.schedule_after t.sim t.delay (fun () -> deliver t p)));
   match Nqueue.dequeue t.queue with
   | Some next -> transmit t next
@@ -96,6 +107,8 @@ let create sim ~src ~dst ~rate ~delay ?(queue = Nqueue.unbounded) () =
       fault_drops = 0;
       outage_drops = 0;
       busy_time = Engine.Time.zero;
+      accepted = 0;
+      in_flight = 0;
       on_transmit = Hashtbl.create 16;
       serializing = None;
       tx_timer = Engine.Sim.Timer.create sim (fun () -> ());
@@ -114,6 +127,7 @@ let set_up t up = t.up <- up
 let is_up t = t.up
 
 let send t ?on_transmit p =
+  t.accepted <- t.accepted + 1;
   if not t.up then
     (* The link is cut: the packet never reaches the transmitter, so
        [on_transmit] must not fire (same contract as a tail drop). *)
@@ -138,6 +152,8 @@ let queue_high_watermark_bytes t = Nqueue.high_watermark_bytes t.queue
 let packets_delivered t = t.delivered
 let bytes_delivered t = t.delivered_bytes
 let packets_blackholed t = t.blackholed
+let packets_accepted t = t.accepted
+let packets_in_flight t = t.in_flight
 let fault_drops t = t.fault_drops
 let outage_drops t = t.outage_drops
 

@@ -96,6 +96,18 @@ val bytes_delivered : t -> int
 val packets_blackholed : t -> int
 (** Packets that arrived with no receiver installed. *)
 
+val packets_accepted : t -> int
+(** Every packet ever handed to {!send}, whatever its fate.  At any
+    instant the conservation law
+    [packets_accepted = packets_delivered + packets_blackholed
+     + queue_drops + fault_drops + outage_drops + queue_length
+     + (if busy then 1 else 0) + packets_in_flight]
+    holds; the invariant oracles check it. *)
+
+val packets_in_flight : t -> int
+(** Packets past serialization, currently propagating towards the
+    receiver (neither dropped nor delivered yet). *)
+
 val fault_drops : t -> int
 (** Packets lost by the fault filter. *)
 

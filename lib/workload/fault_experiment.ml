@@ -86,7 +86,7 @@ let outcome_to_string = function
    topology), so loss and outages there stress the transport exactly
    where the window should be sized, and a crash there kills the
    circuit mid-path. *)
-let run ?(seed = 42) config =
+let run ?(seed = 42) ?probe config =
   let config =
     match validate_config config with
     | Ok c -> c
@@ -188,6 +188,12 @@ let run ?(seed = 42) config =
               ()
           in
           transfer := Some d;
+          (* Let the invariant oracles attach before the first cell
+             moves.  Probes are passive observers: an instrumented run
+             must stay schedule-identical to a plain one. *)
+          (match probe with
+          | Some f -> f sim (Netsim.Topology.links topo) d
+          | None -> ());
           arm_faults ();
           Backtap.Transfer.start d)
     ();

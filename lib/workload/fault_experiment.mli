@@ -80,12 +80,23 @@ type result = {
   wall_events : int;  (** Simulator events executed (cost metric). *)
 }
 
-val run : ?seed:int -> config -> result
+val run :
+  ?seed:int ->
+  ?probe:(Engine.Sim.t -> Netsim.Link.t list -> Backtap.Transfer.t -> unit) ->
+  config ->
+  result
 (** Deterministic per [(seed, config)]: identical seeds yield
     byte-identical results.  Raises [Invalid_argument] if the config
     does not validate, [Failure] if circuit establishment fails.  Each
     run owns its simulator and RNG, so independent [(seed, config)]
-    replicates are domain-safe. *)
+    replicates are domain-safe.
+
+    [probe], when given, is called once — after the transfer is
+    deployed, before its first cell moves — with the simulator, every
+    link of the topology and the transfer, so invariant oracles
+    ({!Check.Oracle}) can attach.  Probes must be passive (observe
+    only): an instrumented run is then schedule-identical to a plain
+    one, which the differential harness checks. *)
 
 val run_many : ?jobs:int -> (int * config) list -> result list
 (** One {!run} per [(seed, config)] replicate on a domain pool of

@@ -88,7 +88,7 @@ type result = {
 let relay_rate base i =
   Engine.Units.Rate.bps (Engine.Units.Rate.to_bps base * (1 + (i mod 4)))
 
-let run ?(seed = 42) config =
+let run ?(seed = 42) ?probe config =
   let config =
     match validate_config config with
     | Ok c -> c
@@ -163,6 +163,14 @@ let run ?(seed = 42) config =
     in
     dr := Some d;
     transfers := d :: !transfers;
+    (* Oracles attach to every generation's transfer before it starts;
+       probes are passive, keeping the run schedule-identical. *)
+    (match probe with
+    | Some f ->
+        f sim
+          (Netsim.Topology.links (Netsim.Network.topology (Tor_net.network net)))
+          d
+    | None -> ());
     {
       Tor_model.Session.start =
         (fun () ->

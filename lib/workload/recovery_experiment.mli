@@ -84,11 +84,21 @@ type result = {
   wall_events : int;  (** Simulator events executed (cost metric). *)
 }
 
-val run : ?seed:int -> config -> result
+val run :
+  ?seed:int ->
+  ?probe:(Engine.Sim.t -> Netsim.Link.t list -> Backtap.Transfer.t -> unit) ->
+  config ->
+  result
 (** Deterministic per [(seed, config)]: identical seeds yield
     byte-identical results.  Raises [Invalid_argument] if the config
     does not validate.  Each run owns its simulator and RNG, so
-    independent replicates are domain-safe. *)
+    independent replicates are domain-safe.
+
+    [probe] is called once per circuit generation — after that
+    generation's transfer is deployed, before it starts — with the
+    simulator, every link and the new transfer, so invariant oracles
+    can re-attach across rebuilds.  Probes must be passive (observe
+    only). *)
 
 val run_many : ?jobs:int -> (int * config) list -> result list
 (** One {!run} per [(seed, config)] replicate on a domain pool of

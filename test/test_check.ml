@@ -1,0 +1,224 @@
+(* lib/check: the scenario codec, deterministic sampling, the oracles
+   on clean runs, and the acceptance criterion for the whole layer —
+   deliberately reintroducing the PR-4 stale wire-departure bug (by
+   flipping [Backtap.Hop_sender.unsafe_disable_wire_floor]) must make
+   the incarnation oracle fail, and the failure must shrink to a
+   replayable one-line reproducer. *)
+
+let selection = Check.Oracle.all
+let check sc = Check.Harness.check_scenario ~selection sc
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Scenario codec and sampling *)
+
+let prop_scenario_round_trip =
+  QCheck2.Test.make ~name:"Scenario.of_string inverts to_string" ~count:150
+    Check.Scenario.gen (fun sc ->
+      match Check.Scenario.of_string (Check.Scenario.to_string sc) with
+      | Ok sc' -> Check.Scenario.equal sc sc'
+      | Error _ -> false)
+
+let test_of_string_rejects_garbage () =
+  List.iter
+    (fun line ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%S rejected" line)
+        true
+        (Result.is_error (Check.Scenario.of_string line)))
+    [ ""; "k=x seed=1"; "seed=1 relays=3"; "k=f seed=zzz relays=3" ]
+
+let test_generate_deterministic () =
+  for index = 0 to 9 do
+    Alcotest.(check bool) "same (seed, index), same scenario" true
+      (Check.Scenario.equal
+         (Check.Scenario.generate ~seed:42 ~index)
+         (Check.Scenario.generate ~seed:42 ~index))
+  done;
+  let sample seed =
+    List.init 10 (fun index -> Check.Scenario.generate ~seed ~index)
+  in
+  Alcotest.(check bool) "indices vary" true
+    (List.length (List.sort_uniq compare (sample 42)) > 1);
+  Alcotest.(check bool) "seeds vary" true (sample 42 <> sample 43)
+
+let test_shrink_candidates_simplify () =
+  let sc = Check.Scenario.generate ~seed:42 ~index:0 in
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "candidate differs from parent" true
+        (not (Check.Scenario.equal c sc)))
+    (Check.Scenario.shrink_candidates sc)
+
+let test_selection_parsing () =
+  (match Check.Oracle.selection_of_string "all" with
+  | Ok sel -> Alcotest.(check string) "all" "all" (Check.Oracle.selection_to_string sel)
+  | Error e -> Alcotest.fail e);
+  (match Check.Oracle.selection_of_string "clock, cwnd" with
+  | Ok sel ->
+      Alcotest.(check string) "subset" "clock,cwnd"
+        (Check.Oracle.selection_to_string sel)
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "unknown oracle rejected" true
+    (Result.is_error (Check.Oracle.selection_of_string "clock,bogus"))
+
+(* ------------------------------------------------------------------ *)
+(* Clean runs under full oracles *)
+
+let test_clean_scenarios_pass () =
+  for index = 0 to 3 do
+    let sc = Check.Scenario.generate ~seed:42 ~index in
+    match check sc with
+    | Ok _ -> ()
+    | Error reason ->
+        Alcotest.fail
+          (Printf.sprintf "scenario #%d (%s) failed: %s" index
+             (Check.Scenario.to_string sc) reason)
+  done
+
+let test_harness_run_smoke () =
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  let report = Check.Harness.run ~selection ~runs:5 ~seed:7 ppf in
+  Format.pp_print_flush ppf ();
+  Alcotest.(check int) "5 scenarios, no failures" 0
+    (List.length report.Check.Harness.failures);
+  Alcotest.(check bool) "summary line printed" true
+    (contains ~needle:"5/5 scenarios passed" (Buffer.contents buf))
+
+let test_replay_round_trip () =
+  let sc = Check.Scenario.generate ~seed:42 ~index:1 in
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  (match Check.Harness.replay ~selection (Check.Scenario.to_string sc) ppf with
+  | Ok true -> ()
+  | Ok false -> Alcotest.fail "clean scenario failed on replay"
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "garbage line is a parse error" true
+    (Result.is_error (Check.Harness.replay ~selection "not a scenario" ppf))
+
+(* ------------------------------------------------------------------ *)
+(* Acceptance criterion: the reintroduced PR-4 bug is caught *)
+
+(* A scenario built to manufacture stale wire departures: a crawling
+   16 kbit/s client access link serializes one envelope in ~260 ms, so
+   the second cell of the first round outlives the 500 ms initial RTO
+   while still queued — the spurious retransmit, the recycle on its
+   feedback and the reuse by the next cell reproduce exactly the PR-4
+   shape.  (It must be the sender's own access link: a slow relay is
+   starved by its equally slow downlink and never builds that queue.) *)
+let stale_prone =
+  {
+    Check.Scenario.kind = Check.Scenario.Faults;
+    seed = 1;
+    relays = 2;
+    position = 1;
+    bytes = 16 * 1024;
+    loss_ppm = 0;
+    burst = false;
+    outage_ms = None;
+    crash_ms = None;
+    queue_cells = 0;
+    strategy = Check.Scenario.Cs;
+    bottleneck_kbps = 1000;
+    fast_kbps = 2000;
+    endpoint_kbps = 16;
+    max_rebuilds = 3;
+  }
+
+(* With the guard disabled, find a scenario the oracles reject: the
+   crafted one first, then the sampled population as a fallback. *)
+let find_failing () =
+  if Result.is_error (check stale_prone) then Some stale_prone
+  else
+    let rec go index =
+      if index >= 40 then None
+      else
+        let sc = Check.Scenario.generate ~seed:42 ~index in
+        if Result.is_error (check sc) then Some sc else go (index + 1)
+    in
+    go 0
+
+let test_reintroduced_stale_bug_is_caught () =
+  Backtap.Hop_sender.unsafe_disable_wire_floor := true;
+  let line =
+    Fun.protect
+      ~finally:(fun () -> Backtap.Hop_sender.unsafe_disable_wire_floor := false)
+      (fun () ->
+        match find_failing () with
+        | None ->
+            Alcotest.fail
+              "no scenario tripped the oracles with the wire_floor guard off"
+        | Some sc ->
+            (match check sc with
+            | Ok _ -> Alcotest.fail "scenario stopped failing on re-run"
+            | Error reason ->
+                Alcotest.(check bool)
+                  (Printf.sprintf "incarnation oracle named in: %s" reason)
+                  true
+                  (contains ~needle:"incarnation" reason));
+            (* The failure shrinks to a line that still fails on replay. *)
+            let shrunk = Check.Harness.shrink ~selection sc in
+            let line = Check.Scenario.to_string shrunk in
+            let buf = Buffer.create 256 in
+            let ppf = Format.formatter_of_buffer buf in
+            (match Check.Harness.replay ~selection line ppf with
+            | Ok false -> ()
+            | Ok true -> Alcotest.fail "shrunk reproducer passed on replay"
+            | Error e -> Alcotest.fail e);
+            line)
+  in
+  (* Guard restored: the very same reproducer line is law-abiding. *)
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  match Check.Harness.replay ~selection line ppf with
+  | Ok true -> ()
+  | Ok false -> Alcotest.fail "reproducer still fails with the guard restored"
+  | Error e -> Alcotest.fail e
+
+(* The oracles in the harness agree with the per-jobs differential used
+   by the pool tests: run one scenario's config through the shared
+   jobs-determinism helper as well, tying the two harnesses together. *)
+let test_scenario_config_jobs_deterministic () =
+  let sc = Check.Scenario.generate ~seed:42 ~index:2 in
+  match sc.Check.Scenario.kind with
+  | Check.Scenario.Faults ->
+      Test_util.check_jobs_deterministic (fun jobs ->
+          Workload.Fault_experiment.run_many ~jobs
+            [ (sc.Check.Scenario.seed, Check.Scenario.fault_config sc) ])
+  | Check.Scenario.Recovery ->
+      Test_util.check_jobs_deterministic (fun jobs ->
+          Workload.Recovery_experiment.run_many ~jobs
+            [ (sc.Check.Scenario.seed, Check.Scenario.recovery_config sc) ])
+
+let () =
+  Alcotest.run "check"
+    [
+      ( "scenario",
+        [
+          QCheck_alcotest.to_alcotest prop_scenario_round_trip;
+          Alcotest.test_case "garbage rejected" `Quick test_of_string_rejects_garbage;
+          Alcotest.test_case "generation deterministic" `Quick
+            test_generate_deterministic;
+          Alcotest.test_case "shrink candidates differ" `Quick
+            test_shrink_candidates_simplify;
+          Alcotest.test_case "oracle selection parsing" `Quick test_selection_parsing;
+        ] );
+      ( "harness",
+        [
+          Alcotest.test_case "clean scenarios pass" `Slow test_clean_scenarios_pass;
+          Alcotest.test_case "run smoke" `Slow test_harness_run_smoke;
+          Alcotest.test_case "replay round trip" `Slow test_replay_round_trip;
+          Alcotest.test_case "jobs-deterministic config" `Slow
+            test_scenario_config_jobs_deterministic;
+        ] );
+      ( "bug_detection",
+        [
+          Alcotest.test_case "reintroduced wire_floor bug is caught" `Slow
+            test_reintroduced_stale_bug_is_caught;
+        ] );
+    ]

@@ -1,0 +1,94 @@
+(* Golden-trace snapshots: one fault run, one recovery run and one cwnd
+   trace, committed as CSV fixtures under [test/golden/].  The check is
+   byte-identity — any drift in event ordering, timestamps or the CSV
+   shape surfaces as a diff against a committed file, which is exactly
+   the regression signal a deterministic simulator owes its users.
+
+   To regenerate after a deliberate behaviour change:
+
+     CIRCUITSTART_UPDATE_GOLDEN=test/golden dune exec test/test_golden.exe
+
+   The variable names the source directory to rewrite; commit the
+   resulting diff alongside the change that caused it. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path s =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc s)
+
+let fault_run () =
+  Workload.Fault_experiment.run ~seed:Test_util.golden_seed
+    Test_util.golden_fault_config
+
+let recovery_run () =
+  Workload.Recovery_experiment.run ~seed:Test_util.golden_seed
+    Test_util.golden_recovery_config
+
+let trace_run () =
+  Workload.Trace_experiment.run ~seed:Test_util.golden_seed
+    Test_util.golden_trace_config
+
+let fixtures =
+  [
+    ( "faults_events.csv",
+      fun () ->
+        Test_util.events_csv (fault_run ()).Workload.Fault_experiment.events );
+    ( "recovery_events.csv",
+      fun () ->
+        Test_util.events_csv
+          (recovery_run ()).Workload.Recovery_experiment.events );
+    ( "trace_cwnd.csv",
+      fun () ->
+        Test_util.cwnd_csv (trace_run ()).Workload.Trace_experiment.source_cwnd
+    );
+  ]
+
+let update_dir = Sys.getenv_opt "CIRCUITSTART_UPDATE_GOLDEN"
+
+let test_fixture (name, render) () =
+  let got = render () in
+  match update_dir with
+  | Some dir ->
+      let path = Filename.concat dir name in
+      write_file path got;
+      Printf.printf "updated %s (%d bytes)\n%!" path (String.length got)
+  | None ->
+      (* dune runs the test in its build directory; the (deps) clause of
+         test/dune copies the fixtures next to the executable. *)
+      let want = read_file (Filename.concat "golden" name) in
+      Alcotest.(check string) (name ^ " is byte-identical") want got
+
+(* The committed CSV must also parse back into the exact events it was
+   rendered from — [events_of_csv] inverts [events_to_csv] at full
+   nanosecond resolution, so replaying a fixture is lossless. *)
+let test_events_round_trip run project () =
+  let events = project (run ()) in
+  Alcotest.(check bool) "events survive the CSV round trip" true
+    (Engine.Trace.events_of_csv (Test_util.events_csv events) = events);
+  Alcotest.(check bool) "the run actually logged events" true (events <> [])
+
+let () =
+  Alcotest.run "golden"
+    [
+      ( "fixtures",
+        List.map
+          (fun (name, render) ->
+            Alcotest.test_case name `Slow (test_fixture (name, render)))
+          fixtures );
+      ( "round_trip",
+        [
+          Alcotest.test_case "fault events" `Slow
+            (test_events_round_trip fault_run (fun r ->
+                 r.Workload.Fault_experiment.events));
+          Alcotest.test_case "recovery events" `Slow
+            (test_events_round_trip recovery_run (fun r ->
+                 r.Workload.Recovery_experiment.events));
+        ] );
+    ]

@@ -25,25 +25,14 @@ let test_bottleneck () =
   Alcotest.(check int) "bottleneck position" 1
     (Optmodel.Optimal_window.bottleneck_position p)
 
-let test_hop_rtt_formula () =
-  (* Two nodes, 8 Mbit/s each, 10 ms delays; 520 B cell and 43 B
-     feedback serialize in 520 us and 43 us on each link.  R_0 =
-     2*(10+10) ms + 2*520us + 2*43us = 41.126 ms. *)
+let test_hop_rtt_out_of_range () =
   let p = Optmodel.Path_model.of_specs [ spec 8 10; spec 8 10 ] in
-  Alcotest.check time "hand-computed"
+  Alcotest.check time "hand-computed R_0"
     (Engine.Time.us 41_126)
     (Optmodel.Optimal_window.hop_feedback_rtt p 0);
   Alcotest.check_raises "out of range"
     (Invalid_argument "Optimal_window.hop_feedback_rtt: hop out of range") (fun () ->
       ignore (Optmodel.Optimal_window.hop_feedback_rtt p 1))
-
-let test_window_cells () =
-  (* Bottleneck 8 Mbit/s = 1e6 B/s; R_0 = 41.126 ms -> BDP = 41126 B =
-     79.08 cells -> ceil 80. *)
-  let p = Optmodel.Path_model.of_specs [ spec 8 10; spec 8 10 ] in
-  Alcotest.(check int) "cells" 80 (Optmodel.Optimal_window.hop_window_cells p 0);
-  Alcotest.(check int) "source = hop 0" 80 (Optmodel.Optimal_window.source_window_cells p);
-  Alcotest.(check int) "bytes" (80 * 520) (Optmodel.Optimal_window.source_window_bytes p)
 
 let test_custom_sizes () =
   let p = Optmodel.Path_model.of_specs [ spec 8 10; spec 8 10 ] in
@@ -66,6 +55,51 @@ let test_propagated_estimate () =
   Alcotest.(check bool) "underestimates with uneven delays" true
     (Optmodel.Optimal_window.propagated_estimate_cells p2
     < Optmodel.Optimal_window.source_window_cells p2)
+
+(* Reference formulas for a two-node path, computed independently in
+   float arithmetic: the hop-0 feedback loop is both propagation delays
+   twice, plus one 520 B cell and one 43 B feedback serialization at
+   each node; the window is the loop's bandwidth-delay product at the
+   bottleneck, in ceil'd cells.  These subsume the old single
+   hand-computed example (8 Mbit, 10 ms -> 41.126 ms -> 80 cells). *)
+
+let gen_two_node_path =
+  QCheck2.Gen.(
+    pair (pair (int_range 1 100) (int_range 1 100))
+      (pair (int_range 0 50) (int_range 0 50)))
+
+let reference_rtt_s (m0, m1) (d0, d1) =
+  let ser bytes mbit = float_of_int (bytes * 8) /. (float_of_int mbit *. 1e6) in
+  (2. *. float_of_int (d0 + d1) /. 1e3)
+  +. ser 520 m0 +. ser 520 m1 +. ser 43 m0 +. ser 43 m1
+
+let prop_hop_rtt_matches_closed_form =
+  QCheck2.Test.make ~name:"hop_feedback_rtt matches the closed form"
+    gen_two_node_path
+    (fun ((m0, m1), (d0, d1)) ->
+      let p = Optmodel.Path_model.of_specs [ spec m0 d0; spec m1 d1 ] in
+      let got =
+        Engine.Time.to_sec_f (Optmodel.Optimal_window.hop_feedback_rtt p 0)
+      in
+      Float.abs (got -. reference_rtt_s (m0, m1) (d0, d1)) < 1e-6)
+
+let prop_window_cells_match_closed_form =
+  QCheck2.Test.make ~name:"hop_window_cells matches ceil(BDP / cell)"
+    gen_two_node_path
+    (fun ((m0, m1), (d0, d1)) ->
+      let p = Optmodel.Path_model.of_specs [ spec m0 d0; spec m1 d1 ] in
+      let rate_bytes_per_s = float_of_int (Stdlib.min m0 m1) *. 1e6 /. 8. in
+      let reference =
+        int_of_float
+          (Float.ceil (rate_bytes_per_s *. reference_rtt_s (m0, m1) (d0, d1) /. 520.))
+      in
+      let got = Optmodel.Optimal_window.hop_window_cells p 0 in
+      (* One cell of slack: the implementation rounds in integer
+         nanoseconds, the reference in float seconds, and the two can
+         land on opposite sides of a ceil boundary. *)
+      abs (got - reference) <= 1
+      && Optmodel.Optimal_window.source_window_cells p = got
+      && Optmodel.Optimal_window.source_window_bytes p = got * 520)
 
 let prop_window_monotone_in_rate =
   QCheck2.Test.make ~name:"optimal window grows with bottleneck rate"
@@ -92,7 +126,8 @@ let prop_window_at_least_one =
 
 let qtests =
   List.map QCheck_alcotest.to_alcotest
-    [ prop_window_monotone_in_rate; prop_window_monotone_in_delay;
+    [ prop_hop_rtt_matches_closed_form; prop_window_cells_match_closed_form;
+      prop_window_monotone_in_rate; prop_window_monotone_in_delay;
       prop_window_at_least_one ]
 
 let () =
@@ -102,8 +137,7 @@ let () =
         [
           Alcotest.test_case "path model basics" `Quick test_path_model_basics;
           Alcotest.test_case "bottleneck" `Quick test_bottleneck;
-          Alcotest.test_case "hop rtt formula" `Quick test_hop_rtt_formula;
-          Alcotest.test_case "window cells" `Quick test_window_cells;
+          Alcotest.test_case "hop rtt range check" `Quick test_hop_rtt_out_of_range;
           Alcotest.test_case "custom sizes" `Quick test_custom_sizes;
           Alcotest.test_case "propagated estimate" `Quick test_propagated_estimate;
         ] );

@@ -59,11 +59,8 @@ let small_star seed =
 
 let test_star_sweep_deterministic () =
   let configs = List.map small_star [ 1; 2; 3 ] in
-  let seq = Workload.Star_experiment.run_many ~jobs:1 configs in
-  Alcotest.(check bool) "jobs=2 = jobs=1" true
-    (identical seq (Workload.Star_experiment.run_many ~jobs:2 configs));
-  Alcotest.(check bool) "jobs=4 = jobs=1" true
-    (identical seq (Workload.Star_experiment.run_many ~jobs:4 configs))
+  Test_util.check_jobs_deterministic (fun jobs ->
+      Workload.Star_experiment.run_many ~jobs configs)
 
 let test_fault_sweep_deterministic () =
   let small config =
@@ -78,11 +75,8 @@ let test_fault_sweep_deterministic () =
       (4, small { base with strategy = Circuitstart.Controller.Slow_start });
     ]
   in
-  let seq = Workload.Fault_experiment.run_many ~jobs:1 tasks in
-  Alcotest.(check bool) "jobs=2 = jobs=1" true
-    (identical seq (Workload.Fault_experiment.run_many ~jobs:2 tasks));
-  Alcotest.(check bool) "jobs=4 = jobs=1" true
-    (identical seq (Workload.Fault_experiment.run_many ~jobs:4 tasks))
+  Test_util.check_jobs_deterministic (fun jobs ->
+      Workload.Fault_experiment.run_many ~jobs tasks)
 
 let test_contention_sweep_deterministic () =
   let configs =
@@ -94,11 +88,8 @@ let test_contention_sweep_deterministic () =
         })
       [ 0.; 0.25; 0.5 ]
   in
-  let seq = Workload.Contention_experiment.run_many ~jobs:1 configs in
-  Alcotest.(check bool) "jobs=2 = jobs=1" true
-    (identical seq (Workload.Contention_experiment.run_many ~jobs:2 configs));
-  Alcotest.(check bool) "jobs=3 = jobs=1" true
-    (identical seq (Workload.Contention_experiment.run_many ~jobs:3 configs))
+  Test_util.check_jobs_deterministic ~jobs:[ 2; 3 ] (fun jobs ->
+      Workload.Contention_experiment.run_many ~jobs configs)
 
 let test_compare_strategies_uses_pool () =
   let config =

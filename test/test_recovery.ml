@@ -104,17 +104,10 @@ let test_deterministic_across_jobs () =
     [ (7, crash_config); (8, crash_config);
       (9, { crash_config with selection = Tor_model.Directory.Uniform }) ]
   in
-  let runs jobs = Workload.Recovery_experiment.run_many ~jobs tasks in
-  let reference = runs 1 in
-  List.iter
-    (fun jobs ->
-      (* Structural equality covers every field, including the full
-         trace event list — ordering must not depend on the pool. *)
-      Alcotest.(check bool)
-        (Printf.sprintf "jobs=%d byte-identical to jobs=1" jobs)
-        true
-        (runs jobs = reference))
-    [ 2; 4 ]
+  (* Structural equality covers every field, including the full trace
+     event list — ordering must not depend on the pool. *)
+  Test_util.check_jobs_deterministic (fun jobs ->
+      Workload.Recovery_experiment.run_many ~jobs tasks)
 
 let test_compare_strategies_paired () =
   let c = Workload.Recovery_experiment.compare_strategies ~seed:7 crash_config in
