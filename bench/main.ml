@@ -819,6 +819,96 @@ let table_recovery () =
      the wire twice (dup = 0).  With max_rebuilds = 0 it exhausts instead.\n"
 
 (* ------------------------------------------------------------------ *)
+(* table-overload: flash crowd against budgeted relays — admission
+   refusals, OOM circuit kills, and the cost of the startup strategy
+   under contention.  Also writes BENCH_pr6.json with the headline
+   overload metrics for both strategies. *)
+
+let write_overload_json path ~(config : Workload.Overload_experiment.config)
+    ~(cs : Workload.Overload_experiment.result)
+    ~(ss : Workload.Overload_experiment.result) =
+  let side (r : Workload.Overload_experiment.result) =
+    Printf.sprintf
+      "{\"completed\": %d, \"sessions\": %d, \"refusals\": %d, \
+       \"refusal_rate\": %.4f, \"oom_kills\": %d, \"overload_enters\": %d, \
+       \"rebuilds\": %d, \"mean_ttlb_s\": %s, \"max_ttlb_s\": %s, \
+       \"goodput_bps\": %.1f, \"relay_byte_hwm\": %d, \"sim_events\": %d}"
+      r.completed r.sessions r.refusals r.refusal_rate r.oom_kills
+      r.overload_enters r.rebuilds
+      (match r.mean_ttlb with
+      | Some x -> Printf.sprintf "%.6f" (Engine.Time.to_sec_f x)
+      | None -> "null")
+      (match r.max_ttlb with
+      | Some x -> Printf.sprintf "%.6f" (Engine.Time.to_sec_f x)
+      | None -> "null")
+      r.goodput_bps r.relay_byte_hwm r.wall_events
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf (Printf.sprintf "  \"pr\": 6,\n  \"jobs\": %d,\n" !jobs);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"config\": {\"sessions\": %d, \"relays\": %d, \"transfer_bytes\": \
+        %d, \"max_circuits\": %s, \"max_queued_bytes\": %s, \
+        \"mean_interarrival_ms\": %.1f},\n"
+       config.sessions config.relay_count config.transfer_bytes
+       (match config.max_circuits with
+       | Some n -> string_of_int n
+       | None -> "null")
+       (match config.max_queued_bytes with
+       | Some n -> string_of_int n
+       | None -> "null")
+       (Engine.Time.to_ms_f config.mean_interarrival));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"circuitstart\": %s,\n  \"slowstart\": %s\n" (side cs)
+       (side ss));
+  Buffer.add_string buf "}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "[json] %s\n" path
+
+let table_overload () =
+  section "Table T-overload (extra): flash crowd against budgeted relays";
+  let config = Workload.Overload_experiment.default_config in
+  let c =
+    Workload.Overload_experiment.compare_strategies ~jobs:!jobs ~seed:42 config
+  in
+  note_events c.circuit_start.wall_events;
+  note_events c.slow_start.wall_events;
+  let t =
+    Analysis.Table.create
+      ~columns:
+        [ "strategy"; "done"; "refused"; "rate"; "oom"; "rebuilds";
+          "mean ttlb"; "goodput"; "relay hwm" ]
+  in
+  let row label (r : Workload.Overload_experiment.result) =
+    Analysis.Table.add_row t
+      [
+        label;
+        Printf.sprintf "%d/%d" r.completed r.sessions;
+        string_of_int r.refusals;
+        Printf.sprintf "%.0f%%" (r.refusal_rate *. 100.);
+        string_of_int r.oom_kills;
+        string_of_int r.rebuilds;
+        (match r.mean_ttlb with
+        | Some x -> Printf.sprintf "%.3fs" (Engine.Time.to_sec_f x)
+        | None -> "-");
+        Printf.sprintf "%.2f Mbit/s" (r.goodput_bps /. 1e6);
+        Format.asprintf "%a" Engine.Units.pp_bytes r.relay_byte_hwm;
+      ]
+  in
+  row "circuitstart" c.circuit_start;
+  row "slowstart" c.slow_start;
+  print_string (Analysis.Table.render t);
+  print_string
+    "Budgeted relays refuse CREATEs while overloaded (the session redraws\n\
+     without excluding them) and destroy their heaviest circuit when the\n\
+     byte budget overflows - the crowd degrades, it does not collapse.\n";
+  write_overload_json "BENCH_pr6.json" ~config ~cs:c.circuit_start
+    ~ss:c.slow_start
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per experiment plus the
    engine hot paths, all grouped in one run. *)
 
@@ -999,6 +1089,7 @@ let all_targets =
     ("table-faults", table_faults);
     ("table-churn", table_churn);
     ("table-recovery", table_recovery);
+    ("table-overload", table_overload);
   ]
 
 let () =

@@ -7,7 +7,8 @@
      adaptive  bandwidth-step reaction experiment (paper section 3)
      sweep     gamma / distance parameter sweeps
      faults    loss / outage / relay-crash robustness comparison
-     recover   session-level rebuild-and-resume around a crash *)
+     recover   session-level rebuild-and-resume around a crash
+     overload  flash crowd against budgeted relays (admission + OOM) *)
 
 open Cmdliner
 
@@ -483,7 +484,7 @@ let run_faults loss burst outage crash distance kib seed jobs verbose =
             Analysis.Table.create
               ~columns:
                 [ "strategy"; "outcome"; "ttlb"; "goodput"; "retx"; "drops";
-                  "failed after" ]
+                  "queue hwm"; "failed after" ]
           in
           let row label (r : Workload.Fault_experiment.result) =
             Analysis.Table.add_row t
@@ -496,6 +497,8 @@ let run_faults loss burst outage crash distance kib seed jobs verbose =
                 Printf.sprintf "%.2f Mbit/s" (r.goodput_bps /. 1e6);
                 string_of_int r.retransmissions;
                 Format.asprintf "%a" Netsim.Link.pp_drop_counts r.drops;
+                Format.asprintf "%a" Engine.Units.pp_bytes
+                  r.queue_high_watermark_bytes;
                 (match r.failed_after with
                 | Some x -> Printf.sprintf "%.3fs" (Engine.Time.to_sec_f x)
                 | None -> "-");
@@ -583,7 +586,7 @@ let run_recover crash position selection max_rebuilds kib seed jobs verbose =
             Analysis.Table.create
               ~columns:
                 [ "strategy"; "outcome"; "ttlb"; "rebuilds"; "recovery";
-                  "delivered"; "dup"; "retx"; "goodput" ]
+                  "delivered"; "dup"; "retx"; "drops"; "queue hwm"; "goodput" ]
           in
           let row label (r : Workload.Recovery_experiment.result) =
             Analysis.Table.add_row t
@@ -600,6 +603,9 @@ let run_recover crash position selection max_rebuilds kib seed jobs verbose =
                 string_of_int r.delivered_bytes;
                 string_of_int r.duplicates;
                 string_of_int r.retransmissions;
+                Format.asprintf "%a" Netsim.Link.pp_drop_counts r.drops;
+                Format.asprintf "%a" Engine.Units.pp_bytes
+                  r.queue_high_watermark_bytes;
                 Printf.sprintf "%.2f Mbit/s" (r.goodput_bps /. 1e6);
               ]
           in
@@ -660,6 +666,105 @@ let recover_cmd =
        $ bytes_arg 512 $ seed_arg $ jobs_arg $ verbose))
 
 (* ------------------------------------------------------------------ *)
+(* overload *)
+
+let run_overload sessions kib relays budget_kib max_circuits arrival_ms seed
+    jobs verbose =
+  let config =
+    { Workload.Overload_experiment.default_config with
+      Workload.Overload_experiment.sessions;
+      transfer_bytes = Engine.Units.kib kib;
+      relay_count = relays;
+      max_queued_bytes =
+        (if budget_kib <= 0 then None else Some (Engine.Units.kib budget_kib));
+      max_circuits = (if max_circuits <= 0 then None else Some max_circuits);
+      mean_interarrival = Engine.Time.ms arrival_ms;
+    }
+  in
+  match Workload.Overload_experiment.validate_config config with
+  | Error msg -> `Error (false, msg)
+  | Ok config ->
+      let c = Workload.Overload_experiment.compare_strategies ~jobs ~seed config in
+      let t =
+        Analysis.Table.create
+          ~columns:
+            [ "strategy"; "done"; "exhaust"; "timeout"; "refused"; "rate";
+              "oom"; "rebuilds"; "mean ttlb"; "goodput"; "relay hwm" ]
+      in
+      let row label (r : Workload.Overload_experiment.result) =
+        Analysis.Table.add_row t
+          [
+            label;
+            Printf.sprintf "%d/%d" r.completed r.sessions;
+            string_of_int r.exhausted;
+            string_of_int r.timed_out;
+            string_of_int r.refusals;
+            Printf.sprintf "%.0f%%" (r.refusal_rate *. 100.);
+            string_of_int r.oom_kills;
+            string_of_int r.rebuilds;
+            (match r.mean_ttlb with
+            | Some x -> Printf.sprintf "%.3fs" (Engine.Time.to_sec_f x)
+            | None -> "-");
+            Printf.sprintf "%.2f Mbit/s" (r.goodput_bps /. 1e6);
+            Format.asprintf "%a" Engine.Units.pp_bytes r.relay_byte_hwm;
+          ]
+      in
+      row "circuitstart" c.circuit_start;
+      row "slowstart" c.slow_start;
+      print_string (Analysis.Table.render t);
+      if verbose then
+        List.iter
+          (fun e -> Format.printf "%a@." Engine.Trace.pp_event e)
+          c.circuit_start.events;
+      `Ok ()
+
+let overload_cmd =
+  let sessions =
+    Arg.(
+      value & opt int 12
+      & info [ "sessions" ] ~docv:"N"
+          ~doc:"Size of the flash crowd (one client per session).")
+  in
+  let relays =
+    Arg.(
+      value & opt int 4
+      & info [ "relays" ] ~docv:"N"
+          ~doc:"Relays in the network (must exceed the 3-hop path length).")
+  in
+  let budget_kib =
+    Arg.(
+      value & opt int 48
+      & info [ "budget-kib" ] ~docv:"KIB"
+          ~doc:"Per-relay queued-cell-byte budget, KiB (0 = unlimited).")
+  in
+  let max_circuits =
+    Arg.(
+      value & opt int 6
+      & info [ "max-circuits" ] ~docv:"N"
+          ~doc:"Per-relay circuit-count budget (0 = unlimited).")
+  in
+  let arrival_ms =
+    Arg.(
+      value & opt int 150
+      & info [ "arrival-ms" ] ~docv:"MS"
+          ~doc:"Mean exponential inter-arrival gap of the crowd, ms.")
+  in
+  let verbose =
+    Arg.(
+      value & flag
+      & info [ "events" ] ~doc:"Print the refusal/oom-kill/overload event log.")
+  in
+  let doc =
+    "Flash crowd against budgeted relays: admission refusals, OOM circuit \
+     kills, and what the startup strategy costs under contention."
+  in
+  Cmd.v (Cmd.info "overload" ~doc)
+    Term.(
+      ret
+        (const run_overload $ sessions $ bytes_arg 64 $ relays $ budget_kib
+       $ max_circuits $ arrival_ms $ seed_arg $ jobs_arg $ verbose))
+
+(* ------------------------------------------------------------------ *)
 
 let run_check runs seed oracles replay out =
   if runs < 1 then `Error (false, "--runs must be positive")
@@ -691,7 +796,8 @@ let check_cmd =
       & info [ "oracle" ] ~docv:"SET"
           ~doc:
             "Which invariant oracles to run: $(b,all) or a comma-separated \
-             subset of clock, link, hop, incarnation, cwnd, delivery.")
+             subset of clock, link, hop, incarnation, cwnd, delivery, budget, \
+             teardown.")
   in
   let replay =
     Arg.(
@@ -711,8 +817,8 @@ let check_cmd =
   in
   let doc =
     "Randomized differential checking: run invariant oracles over random \
-     fault/recovery scenarios, verify same-seed and jobs-1-vs-4 determinism, \
-     and shrink any failure to a replayable line."
+     fault/recovery/overload scenarios, verify same-seed and jobs-1-vs-4 \
+     determinism, and shrink any failure to a replayable line."
   in
   Cmd.v (Cmd.info "check" ~doc)
     Term.(ret (const run_check $ runs $ seed_arg $ oracles $ replay $ out))
@@ -724,4 +830,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ trace_cmd; cdf_cmd; optimal_cmd; adaptive_cmd; sweep_cmd; cross_cmd;
-            faults_cmd; recover_cmd; check_cmd ]))
+            faults_cmd; recover_cmd; overload_cmd; check_cmd ]))

@@ -74,6 +74,12 @@ type t = {
   mutable probe : (probe_event -> unit) option;
   mutable aborted : bool;
   mutable on_abort : (unit -> unit) option;
+  (* Bytes currently charged against the switchboard's per-circuit
+     occupancy (backlog + in flight, at Wire.cell_size per cell).
+     Credited cell-by-cell on feedback and wholesale on abort, so the
+     relay's resource accounting always matches this sender's held
+     state. *)
+  mutable charged : int;
   (* Jacobson/Karels estimator state, in seconds. *)
   mutable srtt : float option;
   mutable rttvar : float;
@@ -104,6 +110,7 @@ let create ~sb ~circuit ~succ ~controller ?(rto_min = Engine.Time.ms 400)
     probe = None;
     aborted = false;
     on_abort = None;
+    charged = 0;
     srtt = None;
     rttvar = 0.;
   }
@@ -121,6 +128,7 @@ let set_probe t f = t.probe <- f
 let idle t = Queue.is_empty t.backlog && Hashtbl.length t.inflight = 0
 let aborted t = t.aborted
 let set_on_abort t f = t.on_abort <- Some f
+let charged_bytes t = t.charged
 
 let srtt t = Option.map Engine.Time.of_sec_f t.srtt
 
@@ -146,7 +154,14 @@ let abort t =
         p.ack <- None)
       t.inflight;
     Hashtbl.reset t.inflight;
-    Queue.clear t.backlog
+    Queue.clear t.backlog;
+    (* Release every byte still charged against the node's occupancy
+       accounting in one move. *)
+    if t.charged > 0 then begin
+      let held = t.charged in
+      t.charged <- 0;
+      Tor_model.Switchboard.credit t.sb t.circuit held
+    end
   end
 
 (* Budget exhausted: the successor is unreachable (dead relay, cut
@@ -307,7 +322,13 @@ let rec pump t =
 let submit t ?ack cell =
   if not t.aborted then begin
     Queue.push (cell, ack) t.backlog;
-    pump t
+    t.charged <- t.charged + Wire.cell_size;
+    (* The charge can trip the node's OOM responder, which may abort
+       this very sender re-entrantly (crediting the bytes back and
+       clearing the backlog) — hence the second [aborted] check before
+       pumping. *)
+    Tor_model.Switchboard.charge t.sb t.circuit Wire.cell_size;
+    if not t.aborted then pump t
   end
 
 let sample_rtt t rtt_s =
@@ -336,6 +357,8 @@ let on_feedback t ~hop_seq =
         Hashtbl.remove t.inflight hop_seq;
         let retransmitted = p.retransmitted and sent_at = p.sent_at in
         release t p;
+        t.charged <- t.charged - Wire.cell_size;
+        Tor_model.Switchboard.credit t.sb t.circuit Wire.cell_size;
         let now = Engine.Sim.now t.sim in
         if not retransmitted then begin
           let rtt = Engine.Time.diff now sent_at in

@@ -6,6 +6,10 @@ type flow = {
 type t = {
   sb : Tor_model.Switchboard.t;
   flows : (int, flow) Hashtbl.t;
+  (* Per-circuit kill switches, pulled by the control plane's OOM
+     responder (via [Switchboard.kill_data]).  Kept separate from
+     [flows] so deployments that never face overload pay nothing. *)
+  kills : (int, unit -> unit) Hashtbl.t;
   mutable orphans : int;
 }
 
@@ -22,8 +26,14 @@ let dispatch t (p : Netsim.Packet.t) =
   | _ -> t.orphans <- t.orphans + 1
 
 let install sb =
-  let t = { sb; flows = Hashtbl.create 16; orphans = 0 } in
+  let t =
+    { sb; flows = Hashtbl.create 16; kills = Hashtbl.create 16; orphans = 0 }
+  in
   Tor_model.Switchboard.set_aux_handler sb (dispatch t);
+  Tor_model.Switchboard.set_data_kill sb (fun circuit ->
+      match Hashtbl.find_opt t.kills (Tor_model.Circuit_id.to_int circuit) with
+      | Some kill -> kill ()
+      | None -> ());
   t
 
 let switchboard t = t.sb
@@ -36,7 +46,12 @@ let register_flow t circuit flow =
          Tor_model.Circuit_id.pp circuit);
   Hashtbl.add t.flows key flow
 
+let set_kill t circuit kill =
+  Hashtbl.replace t.kills (Tor_model.Circuit_id.to_int circuit) kill
+
 let unregister_flow t circuit =
-  Hashtbl.remove t.flows (Tor_model.Circuit_id.to_int circuit)
+  let key = Tor_model.Circuit_id.to_int circuit in
+  Hashtbl.remove t.flows key;
+  Hashtbl.remove t.kills key
 
 let orphan_messages t = t.orphans

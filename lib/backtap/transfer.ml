@@ -193,10 +193,16 @@ let deploy_streams ~node_of ~circuit ~streams ~strategy
     (node_of circuit.Tor_model.Circuit.client)
     circuit.Tor_model.Circuit.id
     (client_flow ~sender:senders.(0));
-  (* Relay flows at positions 1 .. hops-1. *)
+  (* Relay flows at positions 1 .. hops-1.  Each relay also gets a kill
+     switch: when its control plane OOM-kills this circuit, the local
+     sender aborts silently, dropping the queued bytes at once (the
+     client learns of the kill from the relay's DESTROY, not from
+     here). *)
   for pos = 1 to hops - 1 do
     Node.register_flow (node_of node_arr.(pos)) circuit.Tor_model.Circuit.id
-      (relay_flow t ~node:node_arr.(pos) ~pred:node_arr.(pos - 1) ~sender:senders.(pos))
+      (relay_flow t ~node:node_arr.(pos) ~pred:node_arr.(pos - 1) ~sender:senders.(pos));
+    Node.set_kill (node_of node_arr.(pos)) circuit.Tor_model.Circuit.id
+      (fun () -> Hop_sender.abort senders.(pos))
   done;
   (* Server flow at the last position. *)
   Node.register_flow

@@ -47,6 +47,12 @@ let instrumented_run ~selection sc =
         digest
           (Workload.Recovery_experiment.run ~seed:sc.Scenario.seed
              ~probe:(Oracle.attach oracle) (Scenario.recovery_config sc))
+    | Scenario.Overload ->
+        digest
+          (Workload.Overload_experiment.run ~seed:sc.Scenario.seed
+             ~probe:(Oracle.attach oracle)
+             ~relay_probe:(Oracle.attach_relays oracle)
+             (Scenario.overload_config sc))
   in
   Oracle.finish oracle;
   (d, Oracle.violations oracle)
@@ -63,6 +69,11 @@ let plain_run_jobs1 sc =
         (List.hd
            (Workload.Recovery_experiment.run_many ~jobs:1
               [ (sc.Scenario.seed, Scenario.recovery_config sc) ]))
+  | Scenario.Overload ->
+      digest
+        (List.hd
+           (Workload.Overload_experiment.run_many ~jobs:1
+              [ (sc.Scenario.seed, Scenario.overload_config sc) ]))
 
 (* The per-scenario checks (runs 1-3).  [Ok digest] if all pass. *)
 let check_scenario ~selection sc =
@@ -88,36 +99,32 @@ let check_scenario ~selection sc =
 (* Run 4: the whole batch of surviving scenarios through the domain
    pool with 4 workers; each result must match its jobs=1 digest. *)
 let jobs_differential passed =
-  let faults, recoveries =
-    List.partition
-      (fun (_, sc, _) -> sc.Scenario.kind = Scenario.Faults)
-      passed
-  in
+  let of_kind k = List.filter (fun (_, sc, _) -> sc.Scenario.kind = k) passed in
   let mismatches = ref [] in
-  (match faults with
-  | [] -> ()
-  | _ ->
-      let results =
-        Workload.Fault_experiment.run_many ~jobs:4
-          (List.map
-             (fun (_, sc, _) -> (sc.Scenario.seed, Scenario.fault_config sc))
-             faults)
-      in
-      List.iter2
-        (fun (i, sc, d1) r -> if digest r <> d1 then mismatches := (i, sc) :: !mismatches)
-        faults results);
-  (match recoveries with
-  | [] -> ()
-  | _ ->
-      let results =
-        Workload.Recovery_experiment.run_many ~jobs:4
-          (List.map
-             (fun (_, sc, _) -> (sc.Scenario.seed, Scenario.recovery_config sc))
-             recoveries)
-      in
-      List.iter2
-        (fun (i, sc, d1) r -> if digest r <> d1 then mismatches := (i, sc) :: !mismatches)
-        recoveries results);
+  let compare_batch scenarios run_many config_of =
+    match scenarios with
+    | [] -> ()
+    | _ ->
+        let results =
+          run_many
+            (List.map (fun (_, sc, _) -> (sc.Scenario.seed, config_of sc))
+               scenarios)
+        in
+        List.iter2
+          (fun (i, sc, d1) d -> if d <> d1 then mismatches := (i, sc) :: !mismatches)
+          scenarios results
+  in
+  compare_batch (of_kind Scenario.Faults)
+    (fun tasks -> List.map digest (Workload.Fault_experiment.run_many ~jobs:4 tasks))
+    Scenario.fault_config;
+  compare_batch (of_kind Scenario.Recovery)
+    (fun tasks ->
+      List.map digest (Workload.Recovery_experiment.run_many ~jobs:4 tasks))
+    Scenario.recovery_config;
+  compare_batch (of_kind Scenario.Overload)
+    (fun tasks ->
+      List.map digest (Workload.Overload_experiment.run_many ~jobs:4 tasks))
+    Scenario.overload_config;
   List.rev !mismatches
 
 (* Greedy shrink: walk to structurally simpler scenarios while the
@@ -199,7 +206,13 @@ let replay ?(selection = Oracle.all) line ppf =
   | Error msg -> Error msg
   | Ok sc -> (
       Format.fprintf ppf "replaying: %s@." (Scenario.to_string sc);
+      (* A line can parse and still be nonsense (relays <= hops, zero
+         bytes, ...): the experiment's config validation rejects it with
+         [Invalid_argument], which we surface as a friendly one-line
+         error instead of a crash. *)
       match check_scenario ~selection sc with
+      | exception Invalid_argument msg ->
+          Error (Printf.sprintf "invalid scenario: %s" msg)
       | Ok _ ->
           Format.fprintf ppf "replay: scenario passes (oracles %s)@."
             (Oracle.selection_to_string selection);

@@ -10,6 +10,8 @@ type selection = {
   incarnation : bool;
   cwnd : bool;
   delivery : bool;
+  budget : bool;
+  teardown : bool;
 }
 
 let all = {
@@ -19,6 +21,8 @@ let all = {
   incarnation = true;
   cwnd = true;
   delivery = true;
+  budget = true;
+  teardown = true;
 }
 
 let none = {
@@ -28,9 +32,13 @@ let none = {
   incarnation = false;
   cwnd = false;
   delivery = false;
+  budget = false;
+  teardown = false;
 }
 
-let oracle_names = [ "clock"; "link"; "hop"; "incarnation"; "cwnd"; "delivery" ]
+let oracle_names =
+  [ "clock"; "link"; "hop"; "incarnation"; "cwnd"; "delivery"; "budget";
+    "teardown" ]
 
 let enable sel = function
   | "clock" -> Ok { sel with clock = true }
@@ -39,6 +47,8 @@ let enable sel = function
   | "incarnation" -> Ok { sel with incarnation = true }
   | "cwnd" -> Ok { sel with cwnd = true }
   | "delivery" -> Ok { sel with delivery = true }
+  | "budget" -> Ok { sel with budget = true }
+  | "teardown" -> Ok { sel with teardown = true }
   | name ->
       Error
         (Printf.sprintf "unknown oracle %S (expected all or one of: %s)" name
@@ -61,7 +71,8 @@ let selection_to_string sel =
   else
     [ ("clock", sel.clock); ("link", sel.link); ("hop", sel.hop);
       ("incarnation", sel.incarnation); ("cwnd", sel.cwnd);
-      ("delivery", sel.delivery) ]
+      ("delivery", sel.delivery); ("budget", sel.budget);
+      ("teardown", sel.teardown) ]
     |> List.filter_map (fun (n, on) -> if on then Some n else None)
     |> String.concat ","
 
@@ -74,18 +85,28 @@ type attachment = {
   mutable last_delivered : int;
 }
 
+(* One budgeted relay under watch: its occupancy is bounded at every
+   sweep, and every circuit its automaton refused or OOM-killed must
+   leave no routing entry behind by end of run. *)
+type relay_watch = {
+  ctl : Tor_model.Relay_ctl.t;
+  mutable dead : Tor_model.Circuit_id.t list;  (* refused or killed here *)
+}
+
 type t = {
   sel : selection;
   mutable violations : violation list;  (* newest first, capped *)
   mutable dropped : int;  (* violations beyond the cap *)
   mutable attachments : attachment list;
+  mutable relays : relay_watch list;
   mutable sims : Engine.Sim.t list;  (* sims with an installed fire probe *)
 }
 
 let max_recorded = 32
 
 let create ?(selection = all) () =
-  { sel = selection; violations = []; dropped = 0; attachments = []; sims = [] }
+  { sel = selection; violations = []; dropped = 0; attachments = [];
+    relays = []; sims = [] }
 
 let violations t = List.rev t.violations
 let violation_count t = List.length t.violations + t.dropped
@@ -125,10 +146,31 @@ let check_delivery t ~at a =
          a.last_delivered d)
   else a.last_delivered <- d
 
+(* --- relay resource budgets -------------------------------------- *)
+
+(* The byte budget is enforced synchronously inside the charge (the OOM
+   responder runs before the charge returns), so between events — which
+   is when sweeps run — a budgeted relay's occupancy never exceeds its
+   cap.  Disabling enforcement ([Switchboard.unsafe_disable_budget])
+   breaks exactly this law. *)
+let check_budget t ~at w =
+  let sb = Tor_model.Relay_ctl.switchboard w.ctl in
+  let q = Tor_model.Switchboard.queued_bytes sb in
+  if q < 0 then
+    violate t ~oracle:"budget" ~at
+      (Printf.sprintf "relay occupancy went negative: %d bytes" q);
+  match (Tor_model.Switchboard.budget sb).Tor_model.Switchboard.max_queued_bytes
+  with
+  | Some cap when q > cap ->
+      violate t ~oracle:"budget" ~at
+        (Printf.sprintf "relay occupancy %d bytes exceeds budget %d" q cap)
+  | Some _ | None -> ()
+
 let sweep t ~at =
   if t.sel.link then
     List.iter (fun a -> List.iter (check_link t ~at) a.links) t.attachments;
-  if t.sel.delivery then List.iter (check_delivery t ~at) t.attachments
+  if t.sel.delivery then List.iter (check_delivery t ~at) t.attachments;
+  if t.sel.budget then List.iter (check_budget t ~at) t.relays
 
 (* --- per-sender laws -------------------------------------------- *)
 
@@ -242,12 +284,7 @@ let attach_sender t sim ~pos sender =
 
 (* --- attachment -------------------------------------------------- *)
 
-let attach t sim links transfer =
-  let a = { links; transfer;
-            last_delivered = Backtap.Transfer.delivered_bytes transfer } in
-  t.attachments <- a :: t.attachments;
-  List.iteri (fun pos s -> attach_sender t sim ~pos s)
-    (Backtap.Transfer.senders transfer);
+let ensure_fire_probe t sim =
   if not (List.memq sim t.sims) then begin
     t.sims <- sim :: t.sims;
     let last = ref (Engine.Sim.now sim) in
@@ -269,6 +306,32 @@ let attach t sim links transfer =
            (* Amortized sweep of the instantaneous conservation laws. *)
            if !events land 255 = 0 then sweep t ~at:now))
   end
+
+let attach t sim links transfer =
+  let a = { links; transfer;
+            last_delivered = Backtap.Transfer.delivered_bytes transfer } in
+  t.attachments <- a :: t.attachments;
+  List.iteri (fun pos s -> attach_sender t sim ~pos s)
+    (Backtap.Transfer.senders transfer);
+  ensure_fire_probe t sim
+
+let attach_relays t sim ctls =
+  let watches =
+    List.map
+      (fun ctl ->
+        let w = { ctl; dead = [] } in
+        if t.sel.teardown then
+          Tor_model.Relay_ctl.set_probe ctl
+            (Some
+               (function
+                 | Tor_model.Relay_ctl.Refused_build c
+                 | Tor_model.Relay_ctl.Oom_killed c ->
+                     w.dead <- c :: w.dead));
+        w)
+      ctls
+  in
+  t.relays <- t.relays @ watches;
+  ensure_fire_probe t sim
 
 let finish t =
   let at =
@@ -296,6 +359,30 @@ let finish t =
             end)
           (Backtap.Transfer.senders a.transfer))
       t.attachments;
+  (* Every refusal and every OOM kill must have left zero routing state
+     and zero occupancy behind at the relay that performed it. *)
+  if t.sel.teardown then
+    List.iter
+      (fun w ->
+        let sb = Tor_model.Relay_ctl.switchboard w.ctl in
+        List.iter
+          (fun c ->
+            (match Tor_model.Relay_ctl.route w.ctl c with
+            | Some _ ->
+                violate t ~oracle:"teardown" ~at
+                  (Format.asprintf
+                     "refused/oom-killed circuit %a still has a routing entry"
+                     Tor_model.Circuit_id.pp c)
+            | None -> ());
+            let q = Tor_model.Switchboard.circuit_queued_bytes sb c in
+            if q <> 0 then
+              violate t ~oracle:"teardown" ~at
+                (Format.asprintf
+                   "refused/oom-killed circuit %a still holds %d queued bytes"
+                   Tor_model.Circuit_id.pp c q))
+          (List.sort_uniq compare w.dead))
+      t.relays;
+  if t.sel.budget then List.iter (check_budget t ~at) t.relays;
   (* Detach the probes so the sim/transfer can outlive the oracle. *)
   List.iter (fun sim -> Engine.Sim.set_fire_probe sim None) t.sims;
   List.iter
@@ -303,4 +390,5 @@ let finish t =
       List.iter
         (fun s -> Backtap.Hop_sender.set_probe s None)
         (Backtap.Transfer.senders a.transfer))
-    t.attachments
+    t.attachments;
+  List.iter (fun w -> Tor_model.Relay_ctl.set_probe w.ctl None) t.relays

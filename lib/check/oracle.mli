@@ -25,7 +25,14 @@
       acked-in-round count, avoidance never shrinks by more than one,
       the Vegas diff is never NaN;
     - {b delivery}: the transfer's contiguous [delivered_bytes] is
-      monotone.
+      monotone;
+    - {b budget}: a budgeted relay's queued-byte occupancy never
+      exceeds its [max_queued_bytes] (and never goes negative) at any
+      sweep instant — enforcement is synchronous, so between events the
+      OOM responder has always restored the bound;
+    - {b teardown}: every circuit a relay refused or OOM-killed leaves
+      zero routing state and zero byte occupancy at that relay by end
+      of run.
 
     Probes are passive: they observe and record, never schedule — an
     oracle-instrumented run is schedule-identical (and therefore
@@ -46,6 +53,8 @@ type selection = {
   incarnation : bool;
   cwnd : bool;
   delivery : bool;
+  budget : bool;
+  teardown : bool;
 }
 
 val all : selection
@@ -76,6 +85,13 @@ val attach : t -> Engine.Sim.t -> Netsim.Link.t list -> Backtap.Transfer.t -> un
     experiment calls it once per circuit generation, which is
     supported (attachments accumulate; the fire probe installs once
     per simulator). *)
+
+val attach_relays : t -> Engine.Sim.t -> Tor_model.Relay_ctl.t list -> unit
+(** Put budgeted relays under watch: their occupancy is checked at
+    every sweep (budget oracle) and every circuit they refuse or
+    OOM-kill is checked for complete teardown at {!finish} (teardown
+    oracle).  Matches the [?relay_probe] hook of
+    {!Workload.Overload_experiment.run}. *)
 
 val finish : t -> unit
 (** Run the end-of-run laws (final conservation sweep, per-hop

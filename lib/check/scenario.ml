@@ -1,4 +1,4 @@
-type kind = Faults | Recovery
+type kind = Faults | Recovery | Overload
 type strategy = Cs | Ss
 
 type t = {
@@ -17,13 +17,18 @@ type t = {
   fast_kbps : int;
   endpoint_kbps : int;
   max_rebuilds : int;
+  (* Overload-only knobs; inert defaults (1/0/0/0) for other kinds. *)
+  sessions : int;
+  oload_circuits : int;  (* per-relay circuit budget; 0 = unlimited *)
+  oload_kib : int;  (* per-relay byte budget in KiB; 0 = unlimited *)
+  arrival_ms : int;  (* mean inter-arrival gap of the crowd *)
 }
 
 let recovery_hops = 3
 
 (* --- replay-line serialization ----------------------------------- *)
 
-let kind_code = function Faults -> "f" | Recovery -> "r"
+let kind_code = function Faults -> "f" | Recovery -> "r" | Overload -> "o"
 let strategy_code = function Cs -> "cs" | Ss -> "ss"
 
 let to_string t =
@@ -32,13 +37,15 @@ let to_string t =
   in
   Printf.sprintf
     "k=%s seed=%d relays=%d pos=%d bytes=%d loss=%d burst=%d odown=%d oup=%d \
-     crash=%d queue=%d strat=%s bn=%d fast=%d ep=%d rebuilds=%d"
+     crash=%d queue=%d strat=%s bn=%d fast=%d ep=%d rebuilds=%d sess=%d \
+     ocirc=%d okib=%d arr=%d"
     (kind_code t.kind) t.seed t.relays t.position t.bytes t.loss_ppm
     (if t.burst then 1 else 0)
     outage_down outage_up
     (match t.crash_ms with Some c -> c | None -> -1)
     t.queue_cells (strategy_code t.strategy) t.bottleneck_kbps t.fast_kbps
-    t.endpoint_kbps t.max_rebuilds
+    t.endpoint_kbps t.max_rebuilds t.sessions t.oload_circuits t.oload_kib
+    t.arrival_ms
 
 let of_string line =
   let ( let* ) = Result.bind in
@@ -64,11 +71,19 @@ let of_string line =
     | Some i -> Ok i
     | None -> Error (Printf.sprintf "scenario line: field %S is not an int" key)
   in
+  (* Fields added after the first release: absent in old reproducer
+     lines, which keep replaying with the inert default. *)
+  let int_default key default =
+    match List.assoc_opt key fields with
+    | None -> Ok default
+    | Some _ -> int key
+  in
   let* k = str "k" in
   let* kind =
     match k with
     | "f" -> Ok Faults
     | "r" -> Ok Recovery
+    | "o" -> Ok Overload
     | other -> Error (Printf.sprintf "scenario line: unknown kind %S" other)
   in
   let* seed = int "seed" in
@@ -92,6 +107,10 @@ let of_string line =
   let* fast_kbps = int "fast" in
   let* endpoint_kbps = int "ep" in
   let* max_rebuilds = int "rebuilds" in
+  let* sessions = int_default "sess" 1 in
+  let* oload_circuits = int_default "ocirc" 0 in
+  let* oload_kib = int_default "okib" 0 in
+  let* arrival_ms = int_default "arr" 0 in
   Ok
     {
       kind;
@@ -109,6 +128,10 @@ let of_string line =
       fast_kbps;
       endpoint_kbps;
       max_rebuilds;
+      sessions;
+      oload_circuits;
+      oload_kib;
+      arrival_ms;
     }
 
 let pp fmt t = Format.pp_print_string fmt (to_string t)
@@ -137,31 +160,63 @@ let rates_of_seed ~seed ~relays =
 
 let gen : t QCheck2.Gen.t =
   let open QCheck2.Gen in
-  let* kind = frequencyl [ (3, Faults); (1, Recovery) ] in
+  let* kind = frequencyl [ (3, Faults); (1, Recovery); (1, Overload) ] in
   let* seed = int_range 1 0x3FFFFFFF in
   let* relays =
     match kind with
     | Faults -> int_range 2 5
     | Recovery -> int_range (recovery_hops + 1) 7
+    | Overload -> int_range (recovery_hops + 1) 6
   in
   let* position =
-    int_range 1 (match kind with Faults -> relays | Recovery -> recovery_hops)
+    match kind with
+    | Faults -> int_range 1 relays
+    | Recovery -> int_range 1 recovery_hops
+    | Overload -> pure 1
   in
-  let* bytes = map (fun k -> k * 1024) (int_range 8 64) in
-  let* loss_ppm = frequency [ (2, pure 0); (3, int_range 1_000 30_000) ] in
+  let* bytes =
+    map (fun k -> k * 1024)
+      (match kind with Overload -> int_range 8 32 | Faults | Recovery -> int_range 8 64)
+  in
+  (* Overload scenarios stress the budgets, not the links: no loss, no
+     outage, no crash — every failure they see is admission control or
+     the OOM responder. *)
+  let* loss_ppm =
+    match kind with
+    | Overload -> pure 0
+    | Faults | Recovery -> frequency [ (2, pure 0); (3, int_range 1_000 30_000) ]
+  in
   let* burst = bool in
   let* outage_ms =
-    frequency
-      [
-        (7, pure None);
-        (3, map (fun (d, len) -> Some (d, d + len))
-              (pair (int_range 50 400) (int_range 50 400)));
-      ]
+    match kind with
+    | Overload -> pure None
+    | Faults | Recovery ->
+        frequency
+          [
+            (7, pure None);
+            (3, map (fun (d, len) -> Some (d, d + len))
+                  (pair (int_range 50 400) (int_range 50 400)));
+          ]
   in
   let* crash_ms =
     match kind with
     | Faults -> frequency [ (8, pure None); (2, map Option.some (int_range 100 800)) ]
     | Recovery -> map Option.some (int_range 50 500)
+    | Overload -> pure None
+  in
+  let* sessions = match kind with Overload -> int_range 3 6 | _ -> pure 1 in
+  let* oload_circuits =
+    match kind with
+    | Overload -> frequency [ (1, pure 0); (2, int_range 2 5) ]
+    | Faults | Recovery -> pure 0
+  in
+  let* oload_kib =
+    match kind with
+    | Overload -> frequency [ (1, pure 0); (3, int_range 8 32) ]
+    | Faults | Recovery -> pure 0
+  in
+  let* arrival_ms =
+    match kind with Overload -> int_range 10 200 | Faults | Recovery -> pure 0
   in
   let* queue_cells =
     frequency [ (1, pure 0); (2, int_range 8 64) ]
@@ -192,6 +247,10 @@ let gen : t QCheck2.Gen.t =
     fast_kbps;
     endpoint_kbps;
     max_rebuilds;
+    sessions;
+    oload_circuits;
+    oload_kib;
+    arrival_ms;
   }
 
 let generate ~seed ~index =
@@ -224,8 +283,13 @@ let shrink_candidates t =
             relays = t.relays - 1;
             position = Stdlib.min t.position (t.relays - 1);
           }
-  | Recovery ->
+  | Recovery | Overload ->
       if t.relays > recovery_hops + 1 then add { t with relays = t.relays - 1 });
+  if t.sessions > 1 then add { t with sessions = t.sessions - 1 };
+  if t.kind = Overload && t.arrival_ms > 10 then
+    add { t with arrival_ms = Stdlib.max 10 (t.arrival_ms / 2) };
+  if t.oload_circuits > 0 then add { t with oload_circuits = 0 };
+  if t.oload_kib > 0 then add { t with oload_kib = 0 };
   if t.position > 1 then add { t with position = 1 };
   if t.strategy = Ss then add { t with strategy = Cs };
   List.rev !cands
@@ -287,5 +351,24 @@ let recovery_config t =
     link_queue = queue t;
     crash_at = Option.map Engine.Time.ms t.crash_ms;
     crash_position = t.position;
+    max_rebuilds = t.max_rebuilds;
+  }
+
+let overload_config t =
+  if t.kind <> Overload then
+    invalid_arg "Scenario.overload_config: not an overload scenario";
+  {
+    Workload.Overload_experiment.default_config with
+    relay_count = t.relays;
+    hops = recovery_hops;
+    endpoint_rate = Engine.Units.Rate.bps (t.endpoint_kbps * 1000);
+    sessions = t.sessions;
+    mean_interarrival = Engine.Time.ms (Stdlib.max 1 t.arrival_ms);
+    transfer_bytes = t.bytes;
+    strategy = controller_strategy t;
+    link_queue = queue t;
+    max_circuits = (if t.oload_circuits <= 0 then None else Some t.oload_circuits);
+    max_queued_bytes =
+      (if t.oload_kib <= 0 then None else Some (t.oload_kib * 1024));
     max_rebuilds = t.max_rebuilds;
   }

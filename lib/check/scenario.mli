@@ -2,16 +2,17 @@
 
     A scenario is a small, fully serializable description of one
     oracle-checked run: which experiment family to drive (a fault-
-    injected star via {!Workload.Fault_experiment}, or a crash-and-
-    rebuild session via {!Workload.Recovery_experiment}), the topology
-    size, the transfer size, the fault schedule and the startup
-    strategy.  Everything that feeds the run — including the relay
+    injected star via {!Workload.Fault_experiment}, a crash-and-
+    rebuild session via {!Workload.Recovery_experiment}, or a flash
+    crowd against budgeted relays via
+    {!Workload.Overload_experiment}), the topology size, the transfer
+    size, the fault schedule and the startup strategy.  Everything that feeds the run — including the relay
     rates drawn from the {!Workload.Relay_gen} log-normal population —
     is a deterministic function of the record, so a scenario printed
     with {!to_string} replays byte-identically with
     [torsim check --replay].  *)
 
-type kind = Faults | Recovery
+type kind = Faults | Recovery | Overload
 type strategy = Cs | Ss
 
 type t = {
@@ -35,7 +36,15 @@ type t = {
           gets a crawling client link — the only regime where the
           sender's own access queue congests, which is what exercises
           the pooled-pending recycling laws. *)
-  max_rebuilds : int;  (** Recovery only. *)
+  max_rebuilds : int;  (** Recovery/overload only. *)
+  sessions : int;  (** Overload crowd size; 1 for other kinds. *)
+  oload_circuits : int;
+      (** Overload: per-relay circuit budget; 0 = unlimited. *)
+  oload_kib : int;
+      (** Overload: per-relay queued-byte budget in KiB; 0 =
+          unlimited. *)
+  arrival_ms : int;
+      (** Overload: mean inter-arrival gap of the crowd in ms. *)
 }
 
 val recovery_hops : int
@@ -46,6 +55,9 @@ val to_string : t -> string
     reproducer. *)
 
 val of_string : string -> (t, string) result
+(** Inverse of {!to_string}.  The overload fields ([sess]/[ocirc]/
+    [okib]/[arr]) are optional with inert defaults, so reproducer lines
+    from before they existed still parse. *)
 
 val pp : Format.formatter -> t -> unit
 val equal : t -> t -> bool
@@ -68,3 +80,6 @@ val fault_config : t -> Workload.Fault_experiment.config
 
 val recovery_config : t -> Workload.Recovery_experiment.config
 (** Raises [Invalid_argument] unless [kind = Recovery]. *)
+
+val overload_config : t -> Workload.Overload_experiment.config
+(** Raises [Invalid_argument] unless [kind = Overload]. *)

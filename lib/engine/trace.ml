@@ -1,4 +1,14 @@
-type kind = Fault | Recovery | Abort | Rebuild | Resume | Exhausted
+type kind =
+  | Fault
+  | Recovery
+  | Abort
+  | Rebuild
+  | Resume
+  | Exhausted
+  | Refused
+  | Oom_kill
+  | Overload_enter
+  | Overload_exit
 
 type event = { time : Time.t; kind : kind; subject : string; detail : string }
 
@@ -31,6 +41,10 @@ let kind_to_string = function
   | Rebuild -> "rebuild"
   | Resume -> "resume"
   | Exhausted -> "exhausted"
+  | Refused -> "refused"
+  | Oom_kill -> "oom-kill"
+  | Overload_enter -> "overload-enter"
+  | Overload_exit -> "overload-exit"
 
 let kind_of_string = function
   | "fault" -> Some Fault
@@ -39,6 +53,10 @@ let kind_of_string = function
   | "rebuild" -> Some Rebuild
   | "resume" -> Some Resume
   | "exhausted" -> Some Exhausted
+  | "refused" -> Some Refused
+  | "oom-kill" -> Some Oom_kill
+  | "overload-enter" -> Some Overload_enter
+  | "overload-exit" -> Some Overload_exit
   | _ -> None
 
 let record_event t kind ~subject ?(detail = "") time =

@@ -44,6 +44,14 @@ type kind =
       (** A transfer resumed on a rebuilt circuit; the detail carries
           the resume offset and the time-to-recover. *)
   | Exhausted  (** A session used up its rebuild budget (terminal). *)
+  | Refused
+      (** A relay refused a CREATE/EXTEND under admission control (it
+          is over its circuit or byte budget). *)
+  | Oom_kill
+      (** An overloaded relay destroyed its heaviest circuit to get
+          back under its byte budget. *)
+  | Overload_enter  (** A relay crossed into its overloaded state. *)
+  | Overload_exit  (** A relay dropped back below its budgets. *)
 
 type event = {
   time : Time.t;
@@ -64,8 +72,9 @@ val events_with : t -> kind -> event list
 val event_count : t -> int
 
 val kind_to_string : kind -> string
-(** ["fault"], ["recovery"], ["abort"], ["rebuild"], ["resume"] or
-    ["exhausted"]. *)
+(** ["fault"], ["recovery"], ["abort"], ["rebuild"], ["resume"],
+    ["exhausted"], ["refused"], ["oom-kill"], ["overload-enter"] or
+    ["overload-exit"]. *)
 
 val kind_of_string : string -> kind option
 (** Inverse of {!kind_to_string}; [None] on anything else. *)

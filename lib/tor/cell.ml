@@ -6,11 +6,14 @@ type relay_command =
   | Relay_sendme of { stream_id : int option }
   | Relay_end of { stream_id : int }
 
+type refusal_reason = Busy
+
 type command =
   | Create
   | Created
   | Extend of { next : Netsim.Node_id.t }
   | Extended
+  | Refused of { reason : refusal_reason }
   | Destroy
   | Relay of { layers : int; cmd : relay_command }
 
@@ -45,6 +48,8 @@ let pp fmt t =
   | Extend { next } ->
       Format.fprintf fmt "%a EXTEND->%a" Circuit_id.pp t.circuit Netsim.Node_id.pp next
   | Extended -> Format.fprintf fmt "%a EXTENDED" Circuit_id.pp t.circuit
+  | Refused { reason = Busy } ->
+      Format.fprintf fmt "%a REFUSED busy" Circuit_id.pp t.circuit
   | Destroy -> Format.fprintf fmt "%a DESTROY" Circuit_id.pp t.circuit
   | Relay { layers; cmd } ->
       Format.fprintf fmt "%a RELAY[%d] %a" Circuit_id.pp t.circuit layers

@@ -25,12 +25,20 @@ type relay_command =
       (** Legacy flow-control credit; [None] = circuit-level. *)
   | Relay_end of { stream_id : int }
 
+type refusal_reason =
+  | Busy  (** The relay is over its circuit or byte budget. *)
+
 type command =
   | Create
   | Created
   | Extend of { next : Netsim.Node_id.t }
       (** Ask the receiving relay to extend the circuit to [next]. *)
   | Extended
+  | Refused of { reason : refusal_reason }
+      (** Typed admission-control refusal of a CREATE: travels back
+          along the built prefix to the client instead of CREATED.
+          Distinct from {!Destroy} — refusal means "try elsewhere",
+          not "this circuit is dead". *)
   | Destroy
   | Relay of { layers : int; cmd : relay_command }
       (** [layers] onion layers still wrapped around [cmd]. *)

@@ -1,4 +1,7 @@
-type outcome = Established of { at : Engine.Time.t } | Failed of string
+type outcome =
+  | Established of { at : Engine.Time.t }
+  | Refused of { at : Engine.Time.t }
+  | Failed of string
 
 let build sb (circuit : Circuit.t) ?(timeout = Engine.Time.s 30) ~on_done () =
   if not (Netsim.Node_id.equal (Switchboard.node sb) circuit.client) then
@@ -39,10 +42,27 @@ let build sb (circuit : Circuit.t) ?(timeout = Engine.Time.s 30) ~on_done () =
         Switchboard.send_cell sb ~dst:guard
           (Cell.make circuit.id (Cell.Extend { next }))
   in
+  (* Nodes attached so far: one per CREATED/EXTENDED received.  When a
+     refusal arrives we only need to DESTROY if a prefix exists. *)
+  let attached = ref 0 in
   let handler ~from (cell : Cell.t) =
     if Netsim.Node_id.equal from guard then
       match cell.command with
-      | Cell.Created | Cell.Extended -> extend_next ()
+      | Cell.Created | Cell.Extended ->
+          incr attached;
+          extend_next ()
+      | Cell.Refused _ ->
+          (* Some node along the ladder is over budget.  The refusing
+             relay kept no state and its predecessor rolled back, so
+             only the attached prefix needs tearing down.  Distinct
+             from [Failed]: the path is healthy, just busy — the
+             caller should retry elsewhere without suspecting anyone
+             of being dead. *)
+          Engine.Sim.cancel sim watchdog;
+          if !attached > 0 then
+            Switchboard.send_cell sb ~dst:guard
+              (Cell.make circuit.id Cell.Destroy);
+          finish (Refused { at = Engine.Sim.now sim })
       | Cell.Destroy -> finish (Failed "circuit destroyed during establishment")
       | Cell.Create | Cell.Extend _ | Cell.Relay _ -> ()
   in

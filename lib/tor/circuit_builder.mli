@@ -12,7 +12,15 @@
     freshly built circuit has burnt when data starts flowing, which is
     why the paper cares about the subsequent slow start. *)
 
-type outcome = Established of { at : Engine.Time.t } | Failed of string
+type outcome =
+  | Established of { at : Engine.Time.t }
+  | Refused of { at : Engine.Time.t }
+      (** A relay along the ladder answered REFUSED (admission
+          control): the path is alive but busy.  Retryable — the
+          caller should back off and draw another path {e without}
+          suspecting any relay of having crashed.  The built prefix is
+          torn down before this fires. *)
+  | Failed of string
 
 val build :
   Switchboard.t ->

@@ -45,6 +45,7 @@ type t = {
   mutable handle : transfer_handle option;
   mutable rebuild_count : int;
   mutable gen_count : int;
+  mutable refused_builds : int;
   (* The failure that the in-progress recovery is recovering from;
      cleared when the resumed transfer starts. *)
   mutable failure_at : Engine.Time.t option;
@@ -81,6 +82,7 @@ let create ~sb ~directory ~ids ~server ~rng ~hops ~deploy
     handle = None;
     rebuild_count = 0;
     gen_count = 0;
+    refused_builds = 0;
     failure_at = None;
     recoveries = [];
   }
@@ -137,6 +139,17 @@ let rec attempt t =
               List.iter (fun (r : Relay_info.t) -> exclude t r.node) relays;
               if t.failure_at = None then t.failure_at <- Some (now t);
               handle_failure t (Printf.sprintf "build failed: %s" msg)
+          | Circuit_builder.Refused _ ->
+              (* Busy is not crashed: a refusing relay is healthy and
+                 may well be the best choice once its load drains, so
+                 nobody joins the exclusion list — the backoff plus a
+                 fresh path draw is the whole response. *)
+              t.refused_builds <- t.refused_builds + 1;
+              record t Engine.Trace.Refused
+                (Printf.sprintf "build refused (busy); refusal %d"
+                   t.refused_builds);
+              if t.failure_at = None then t.failure_at <- Some (now t);
+              handle_failure t "build refused: relay busy"
           | Circuit_builder.Established _ ->
               let off = offset t in
               let handle =
@@ -148,6 +161,16 @@ let rec attempt t =
               t.handle <- Some handle;
               t.gen_count <- t.gen_count + 1;
               t.phase <- Transferring;
+              (* Watch the circuit for a remote DESTROY while the
+                 transfer runs: an overloaded relay shedding load (OOM
+                 kill) tells the client this way.  The builder
+                 unregistered its handler before [on_done], so the id
+                 is free. *)
+              Switchboard.register_circuit t.sb circuit.id
+                (fun ~from:_ (cell : Cell.t) ->
+                  match cell.command with
+                  | Cell.Destroy -> on_remote_destroy t circuit
+                  | _ -> ());
               (match t.failure_at with
               | Some failed ->
                   let recovered_in = Engine.Time.diff (now t) failed in
@@ -163,12 +186,39 @@ let rec attempt t =
 and on_complete t at =
   match t.phase with
   | Transferring ->
+      (match t.current with
+      | Some c ->
+          Switchboard.unregister_circuit t.sb c.id;
+          (* Close the finished circuit cleanly, as a real client
+             would: without the DESTROY every relay on the path keeps
+             its routing entry — and, under admission control, the
+             circuit-budget slot it occupies — forever, starving later
+             arrivals. *)
+          teardown_generation t c
+      | None -> ());
       finish t (Completed { at; rebuilds = t.rebuild_count })
   | Idle | Building | Backing_off | Finished _ -> ()
+
+(* A relay destroyed the circuit under us (OOM shedding).  The client
+   cannot tell which relay was overloaded, and busy is not crashed —
+   so, as with refusals, nobody is excluded: tear down, back off,
+   rebuild on a fresh path draw. *)
+and on_remote_destroy t (circuit : Circuit.t) =
+  match t.phase with
+  | Transferring
+    when (match t.current with
+         | Some c -> Circuit_id.to_int c.id = Circuit_id.to_int circuit.id
+         | None -> false) ->
+      Switchboard.unregister_circuit t.sb circuit.id;
+      t.failure_at <- Some (now t);
+      teardown_generation t circuit;
+      handle_failure t "circuit destroyed remotely (overloaded relay)"
+  | Idle | Building | Transferring | Backing_off | Finished _ -> ()
 
 and on_transfer_fail t circuit ~failed_hop at =
   match t.phase with
   | Transferring ->
+      Switchboard.unregister_circuit t.sb circuit.id;
       t.failure_at <- Some at;
       (* The sender at [failed_hop] declared its successor — path
          position [failed_hop + 1] — unreachable.  Exclude it if it is
@@ -218,6 +268,7 @@ let start t =
 
 let outcome t = match t.phase with Finished o -> Some o | _ -> None
 let rebuilds t = t.rebuild_count
+let refused_builds t = t.refused_builds
 let generation t = t.gen_count
 let circuit t = t.current
 let delivered_bytes t = offset t

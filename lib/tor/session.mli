@@ -25,7 +25,16 @@
     {!constructor:Exhausted} outcome carrying a typed {!reason}.  Every
     rebuild, resume and exhaustion is recorded in the session's
     {!Engine.Trace.t} (kinds [Rebuild], [Resume], [Exhausted]), with
-    the time-to-recover in the resume detail. *)
+    the time-to-recover in the resume detail.
+
+    Two failure shapes deliberately skip the exclusion step, because
+    the relay involved is {e busy}, not suspected-crashed: an
+    admission-control refusal during establishment
+    ({!Circuit_builder.Refused}), and a remote DESTROY arriving
+    mid-transfer (an overloaded relay's OOM responder shedding the
+    circuit).  Both back off and redraw a path; permanently
+    blacklisting a hot relay would starve the network's best
+    capacity. *)
 
 type reason =
   | Rebuild_budget  (** Every allowed rebuild attempt failed. *)
@@ -107,6 +116,13 @@ val outcome : t -> outcome option
 
 val rebuilds : t -> int
 (** Rebuild attempts begun so far. *)
+
+val refused_builds : t -> int
+(** Build attempts that ended in an admission-control refusal
+    ({!Circuit_builder.Refused}).  Refusals back off and redraw like
+    any failure but {e never} add the busy relay to the exclusion
+    list — busy is not suspected-crashed, and a hot relay must remain
+    selectable once its load drains. *)
 
 val generation : t -> int
 (** Circuit generations deployed so far (0 until the first circuit is

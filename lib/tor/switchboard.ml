@@ -1,5 +1,16 @@
 type handler = from:Netsim.Node_id.t -> Cell.t -> unit
 
+type budget = { max_circuits : int option; max_queued_bytes : int option }
+
+let no_budget = { max_circuits = None; max_queued_bytes = None }
+
+(* Test-only escape hatch: while [true], budget *enforcement* (the
+   overflow responder and admission refusals keyed off this module) is
+   suppressed but the byte accounting keeps running — so the budget
+   oracle can watch occupancy sail past the cap and prove it catches
+   the regression.  Never set outside the harness. *)
+let unsafe_disable_budget = ref false
+
 type t = {
   net : Netsim.Network.t;
   node : Netsim.Node_id.t;
@@ -10,6 +21,18 @@ type t = {
   mutable down : bool;
   mutable blackholed : int;
   mutable refused : int;
+  (* Resource accounting: bytes a data-plane sender at this node holds
+     (backlog + in flight) per circuit, and their sum.  The per-circuit
+     counter is a ref allocated on the circuit's first charge; the
+     steady-state forwarding path only mutates it in place. *)
+  occupancy : (int, int ref) Hashtbl.t;
+  mutable queued_bytes : int;
+  mutable byte_hwm : int;
+  mutable budget : budget;
+  mutable overloaded : bool;  (* queued_bytes > max_queued_bytes *)
+  mutable on_overflow : (unit -> unit) option;
+  mutable on_byte_overload : (bool -> unit) option;
+  mutable data_kill : (Circuit_id.t -> unit) option;
 }
 
 let dispatch t (p : Netsim.Packet.t) =
@@ -32,7 +55,10 @@ let dispatch t (p : Netsim.Packet.t) =
 let install net node =
   let t =
     { net; node; circuits = Hashtbl.create 16; control = None; aux = None;
-      orphans = 0; down = false; blackholed = 0; refused = 0 }
+      orphans = 0; down = false; blackholed = 0; refused = 0;
+      occupancy = Hashtbl.create 16; queued_bytes = 0; byte_hwm = 0;
+      budget = no_budget; overloaded = false; on_overflow = None;
+      on_byte_overload = None; data_kill = None }
   in
   Netsim.Network.set_local_handler net node (dispatch t);
   t
@@ -65,3 +91,81 @@ let set_down t down = t.down <- down
 let is_down t = t.down
 let blackholed_cells t = t.blackholed
 let refused_sends t = t.refused
+
+(* --- resource accounting ------------------------------------------ *)
+
+let set_budget t budget = t.budget <- budget
+let budget t = t.budget
+let queued_bytes t = t.queued_bytes
+let byte_high_watermark t = t.byte_hwm
+let byte_overloaded t = t.overloaded
+
+let circuit_queued_bytes t circuit =
+  match Hashtbl.find_opt t.occupancy (Circuit_id.to_int circuit) with
+  | Some r -> !r
+  | None -> 0
+
+let set_on_overflow t f = t.on_overflow <- Some f
+let set_on_byte_overload t f = t.on_byte_overload <- Some f
+let set_data_kill t f = t.data_kill <- Some f
+
+let kill_data t circuit =
+  match t.data_kill with Some f -> f circuit | None -> ()
+
+(* Recompute the byte-overload flag after a counter move; the hook only
+   fires on transitions, so the hot path pays one comparison. *)
+let refresh_overload t =
+  let over =
+    match t.budget.max_queued_bytes with
+    | Some cap -> t.queued_bytes > cap
+    | None -> false
+  in
+  if over <> t.overloaded then begin
+    t.overloaded <- over;
+    match t.on_byte_overload with Some f -> f over | None -> ()
+  end
+
+let charge t circuit bytes =
+  let key = Circuit_id.to_int circuit in
+  (match Hashtbl.find_opt t.occupancy key with
+  | Some r -> r := !r + bytes
+  | None -> Hashtbl.add t.occupancy key (ref bytes));
+  t.queued_bytes <- t.queued_bytes + bytes;
+  if t.queued_bytes > t.byte_hwm then t.byte_hwm <- t.queued_bytes;
+  refresh_overload t;
+  if t.overloaded && not !unsafe_disable_budget then
+    match t.on_overflow with Some f -> f () | None -> ()
+
+let credit t circuit bytes =
+  (* A circuit whose entry was force-dropped ([drop_circuit_occupancy])
+     may still see late credits from its sender: clamp to the entry's
+     balance so those can never push the totals negative. *)
+  (match Hashtbl.find_opt t.occupancy (Circuit_id.to_int circuit) with
+  | Some r ->
+      let applied = Stdlib.min bytes !r in
+      r := !r - applied;
+      t.queued_bytes <- t.queued_bytes - applied
+  | None -> ());
+  refresh_overload t
+
+let drop_circuit_occupancy t circuit =
+  let key = Circuit_id.to_int circuit in
+  match Hashtbl.find_opt t.occupancy key with
+  | Some r ->
+      t.queued_bytes <- t.queued_bytes - !r;
+      Hashtbl.remove t.occupancy key;
+      refresh_overload t
+  | None -> ()
+
+(* The OOM victim: most queued bytes, ties broken towards the smallest
+   circuit id so the choice is independent of hash iteration order. *)
+let heaviest_circuit t =
+  Hashtbl.fold
+    (fun key r best ->
+      match best with
+      | Some (_, best_bytes) when !r < best_bytes -> best
+      | Some (best_key, best_bytes) when !r = best_bytes && key > best_key ->
+          best
+      | _ -> Some (key, !r))
+    t.occupancy None
+  |> Option.map (fun (key, _) -> Circuit_id.of_int key)

@@ -72,3 +72,79 @@ val blackholed_cells : t -> int
 
 val refused_sends : t -> int
 (** Sends attempted while the node was down. *)
+
+(** {1 Resource accounting}
+
+    Per-relay budgets over the data-plane bytes held at this node
+    (backlog plus in-flight cells, across all circuits routed through
+    it) and the number of circuits in the routing table.  The byte
+    counters live here so the forwarding hot path can charge and
+    credit without knowing about the control plane; enforcement — the
+    admission refusals and the OOM responder — lives in
+    {!Relay_ctl}, wired through the hooks below. *)
+
+type budget = {
+  max_circuits : int option;  (** Routing-entry cap; [None] = unlimited. *)
+  max_queued_bytes : int option;  (** Byte-occupancy cap; [None] = unlimited. *)
+}
+
+val no_budget : budget
+(** Both caps off — the default for every freshly installed node. *)
+
+val set_budget : t -> budget -> unit
+val budget : t -> budget
+
+val charge : t -> Circuit_id.t -> int -> unit
+(** Account [bytes] against [circuit].  Allocation-free in steady
+    state (the per-circuit counter is created on first charge).  When
+    the charge lifts the total above [max_queued_bytes], the overflow
+    hook fires synchronously (unless {!unsafe_disable_budget}). *)
+
+val credit : t -> Circuit_id.t -> int -> unit
+(** Release [bytes] previously charged to [circuit]. *)
+
+val drop_circuit_occupancy : t -> Circuit_id.t -> unit
+(** Forget [circuit]'s counter entirely (teardown); its remaining
+    bytes leave the total. *)
+
+val queued_bytes : t -> int
+(** Total charged bytes across all circuits. *)
+
+val circuit_queued_bytes : t -> Circuit_id.t -> int
+
+val byte_high_watermark : t -> int
+(** Highest [queued_bytes] ever observed. *)
+
+val byte_overloaded : t -> bool
+(** Whether [queued_bytes] currently exceeds [max_queued_bytes]. *)
+
+val heaviest_circuit : t -> Circuit_id.t option
+(** The circuit with the most charged bytes — the OOM responder's
+    victim.  Ties break towards the smallest circuit id, so the choice
+    does not depend on hash iteration order. *)
+
+val set_on_overflow : t -> (unit -> unit) -> unit
+(** [f] fires synchronously whenever a {!charge} leaves the node over
+    its byte budget ({!Relay_ctl} installs the OOM responder here). *)
+
+val set_on_byte_overload : t -> (bool -> unit) -> unit
+(** [f over] fires on each transition of {!byte_overloaded}. *)
+
+val set_data_kill : t -> (Circuit_id.t -> unit) -> unit
+(** Install the data-plane kill switch: [f circuit] must abort this
+    node's sender for [circuit], crediting its bytes back.  Installed
+    by [Backtap.Node], invoked by {!Relay_ctl}'s OOM responder —
+    the indirection keeps the control plane free of a data-plane
+    dependency. *)
+
+val kill_data : t -> Circuit_id.t -> unit
+(** Invoke the kill switch (no-op if none installed). *)
+
+(**/**)
+
+val unsafe_disable_budget : bool ref
+(** Test-only fault injection: while [true], byte accounting continues
+    but enforcement (the overflow hook here, admission refusals in
+    {!Relay_ctl}) is suppressed, letting occupancy exceed the budget —
+    the regression the budget oracle exists to catch.  Never set in
+    real runs. *)

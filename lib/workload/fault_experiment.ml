@@ -69,6 +69,7 @@ type result = {
   received_bytes : int;
   retransmissions : int;
   drops : Netsim.Link.drop_counts;
+  queue_high_watermark_bytes : int;
   blackholed_cells : int;
   circuit_established_in : Engine.Time.t;
   transfer_started_at : Engine.Time.t;
@@ -174,6 +175,9 @@ let run ?(seed = 42) ?probe config =
       match outcome with
       | Tor_model.Circuit_builder.Failed msg ->
           failwith ("Fault_experiment: circuit establishment failed: " ^ msg)
+      | Tor_model.Circuit_builder.Refused _ ->
+          (* No budgets are set in this experiment, so a refusal is a bug. *)
+          failwith "Fault_experiment: circuit establishment refused"
       | Tor_model.Circuit_builder.Established { at } ->
           established_at := Some at;
           let d =
@@ -232,6 +236,10 @@ let run ?(seed = 42) ?probe config =
     received_bytes = received;
     retransmissions = Backtap.Transfer.total_retransmissions d;
     drops = Netsim.Flow_monitor.link_drops (Netsim.Topology.links topo);
+    queue_high_watermark_bytes =
+      List.fold_left
+        (fun acc l -> Stdlib.max acc (Netsim.Link.queue_high_watermark_bytes l))
+        0 (Netsim.Topology.links topo);
     blackholed_cells =
       Tor_model.Switchboard.blackholed_cells (Tor_net.switchboard net bottleneck);
     circuit_established_in =
@@ -271,5 +279,6 @@ let pp_result fmt r =
       Format.fprintf fmt ", failed after %a (hop %s)" Engine.Time.pp t
         (match r.failed_hop with Some h -> string_of_int h | None -> "?")
   | None -> ());
-  Format.fprintf fmt ", %.2f Mbit/s goodput, %d retx, drops %a"
+  Format.fprintf fmt ", %.2f Mbit/s goodput, %d retx, drops %a, queue hwm %d B"
     (r.goodput_bps /. 1e6) r.retransmissions Netsim.Link.pp_drop_counts r.drops
+    r.queue_high_watermark_bytes

@@ -71,6 +71,10 @@ type result = {
   received_bytes : int;
   retransmissions : int;
   drops : Netsim.Link.drop_counts;  (** Summed over every link. *)
+  queue_high_watermark_bytes : int;
+      (** Deepest any single link queue ever got, in bytes — the
+          congestion footprint the startup strategy left on the
+          network. *)
   blackholed_cells : int;
       (** Cells that arrived at the bottleneck relay after it crashed. *)
   circuit_established_in : Engine.Time.t;

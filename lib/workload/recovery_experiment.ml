@@ -76,6 +76,8 @@ type result = {
   delivered_bytes : int;
   duplicates : int;
   retransmissions : int;
+  drops : Netsim.Link.drop_counts;
+  queue_high_watermark_bytes : int;
   goodput_bps : float;
   excluded : Netsim.Node_id.t list;
   events : Engine.Trace.event list;
@@ -225,6 +227,14 @@ let run ?(seed = 42) ?probe config =
     duplicates =
       sum (fun d -> Tor_model.Stream.Sink.duplicates (Backtap.Transfer.sink d));
     retransmissions = sum Backtap.Transfer.total_retransmissions;
+    drops =
+      Netsim.Flow_monitor.link_drops
+        (Netsim.Topology.links (Netsim.Network.topology (Tor_net.network net)));
+    queue_high_watermark_bytes =
+      List.fold_left
+        (fun acc l -> Stdlib.max acc (Netsim.Link.queue_high_watermark_bytes l))
+        0
+        (Netsim.Topology.links (Netsim.Network.topology (Tor_net.network net)));
     goodput_bps =
       (if elapsed_s > 0. then float_of_int (8 * delivered) /. elapsed_s else 0.);
     excluded = Tor_model.Session.excluded session;
@@ -261,5 +271,7 @@ let pp_result fmt r =
   (match r.time_to_recover with
   | Some t -> Format.fprintf fmt ", recovered in %a" Engine.Time.pp t
   | None -> ());
-  Format.fprintf fmt ", %d B delivered, %d dup, %d retx, %.2f Mbit/s"
-    r.delivered_bytes r.duplicates r.retransmissions (r.goodput_bps /. 1e6)
+  Format.fprintf fmt
+    ", %d B delivered, %d dup, %d retx, drops %a, queue hwm %d B, %.2f Mbit/s"
+    r.delivered_bytes r.duplicates r.retransmissions Netsim.Link.pp_drop_counts
+    r.drops r.queue_high_watermark_bytes (r.goodput_bps /. 1e6)

@@ -74,6 +74,9 @@ type result = {
       (** Cells delivered twice, summed over generations — resume must
           keep this at 0. *)
   retransmissions : int;  (** Summed over generations. *)
+  drops : Netsim.Link.drop_counts;  (** Summed over every link. *)
+  queue_high_watermark_bytes : int;
+      (** Deepest any single link queue ever got, in bytes. *)
   goodput_bps : float;
       (** Delivered bits per second of session time (start to terminal
           instant), i.e. including recovery dead time. *)

@@ -101,6 +101,38 @@ let test_replay_round_trip () =
   Alcotest.(check bool) "garbage line is a parse error" true
     (Result.is_error (Check.Harness.replay ~selection "not a scenario" ppf))
 
+let test_replay_rejects_invalid_config () =
+  (* Parses fine, but recovery needs relays > hops: the replay must
+     answer with a friendly one-line error, not an exception (torsim
+     maps the [Error] to a nonzero exit). *)
+  let line =
+    "k=r seed=1 relays=2 pos=1 bytes=8192 loss=0 burst=0 odown=-1 oup=-1 \
+     crash=100 queue=0 strat=cs bn=1000 fast=2000 ep=1000 rebuilds=3"
+  in
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  match Check.Harness.replay ~selection line ppf with
+  | Error msg ->
+      Alcotest.(check bool)
+        (Printf.sprintf "friendly message in: %s" msg)
+        true
+        (contains ~needle:"invalid scenario" msg)
+  | Ok _ -> Alcotest.fail "invalid config was not rejected"
+
+let test_of_string_accepts_pre_overload_lines () =
+  (* Reproducer lines written before the overload fields existed must
+     keep parsing, with the inert defaults. *)
+  let line =
+    "k=f seed=1 relays=2 pos=1 bytes=16384 loss=0 burst=0 odown=-1 oup=-1 \
+     crash=-1 queue=0 strat=cs bn=1000 fast=2000 ep=16 rebuilds=3"
+  in
+  match Check.Scenario.of_string line with
+  | Ok sc ->
+      Alcotest.(check int) "sessions default" 1 sc.Check.Scenario.sessions;
+      Alcotest.(check int) "ocirc default" 0 sc.Check.Scenario.oload_circuits;
+      Alcotest.(check int) "okib default" 0 sc.Check.Scenario.oload_kib
+  | Error e -> Alcotest.fail e
+
 (* ------------------------------------------------------------------ *)
 (* Acceptance criterion: the reintroduced PR-4 bug is caught *)
 
@@ -128,6 +160,10 @@ let stale_prone =
     fast_kbps = 2000;
     endpoint_kbps = 16;
     max_rebuilds = 3;
+    sessions = 1;
+    oload_circuits = 0;
+    oload_kib = 0;
+    arrival_ms = 0;
   }
 
 (* With the guard disabled, find a scenario the oracles reject: the
@@ -180,6 +216,85 @@ let test_reintroduced_stale_bug_is_caught () =
   | Ok false -> Alcotest.fail "reproducer still fails with the guard restored"
   | Error e -> Alcotest.fail e
 
+(* Acceptance criterion for the overload layer, mirroring the PR-4
+   test: disabling budget enforcement ([Switchboard.
+   unsafe_disable_budget] keeps the accounting but stops refusing and
+   OOM-killing) must make the budget oracle fail on a budgeted flash
+   crowd, and the failure must shrink to a replayable reproducer. *)
+let budget_prone =
+  {
+    Check.Scenario.kind = Check.Scenario.Overload;
+    seed = 3;
+    relays = 4;
+    position = 1;
+    bytes = 32 * 1024;
+    loss_ppm = 0;
+    burst = false;
+    outage_ms = None;
+    crash_ms = None;
+    queue_cells = 0;
+    strategy = Check.Scenario.Cs;
+    bottleneck_kbps = 1000;
+    fast_kbps = 2000;
+    endpoint_kbps = 100_000;
+    max_rebuilds = 3;
+    sessions = 4;
+    oload_circuits = 0;
+    oload_kib = 8;  (* 8 KiB: a doubling window alone blows past it *)
+    arrival_ms = 20;
+  }
+
+let find_failing_budget () =
+  if Result.is_error (check budget_prone) then Some budget_prone
+  else
+    let rec go index =
+      if index >= 40 then None
+      else
+        let sc = Check.Scenario.generate ~seed:42 ~index in
+        if
+          sc.Check.Scenario.kind = Check.Scenario.Overload
+          && Result.is_error (check sc)
+        then Some sc
+        else go (index + 1)
+    in
+    go 0
+
+let test_disabled_budget_is_caught () =
+  Tor_model.Switchboard.unsafe_disable_budget := true;
+  let line =
+    Fun.protect
+      ~finally:(fun () -> Tor_model.Switchboard.unsafe_disable_budget := false)
+      (fun () ->
+        match find_failing_budget () with
+        | None ->
+            Alcotest.fail
+              "no scenario tripped the oracles with budget enforcement off"
+        | Some sc ->
+            (match check sc with
+            | Ok _ -> Alcotest.fail "scenario stopped failing on re-run"
+            | Error reason ->
+                Alcotest.(check bool)
+                  (Printf.sprintf "budget oracle named in: %s" reason)
+                  true
+                  (contains ~needle:"budget" reason));
+            let shrunk = Check.Harness.shrink ~selection sc in
+            let line = Check.Scenario.to_string shrunk in
+            let buf = Buffer.create 256 in
+            let ppf = Format.formatter_of_buffer buf in
+            (match Check.Harness.replay ~selection line ppf with
+            | Ok false -> ()
+            | Ok true -> Alcotest.fail "shrunk reproducer passed on replay"
+            | Error e -> Alcotest.fail e);
+            line)
+  in
+  (* Enforcement restored: the very same reproducer is law-abiding. *)
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  match Check.Harness.replay ~selection line ppf with
+  | Ok true -> ()
+  | Ok false -> Alcotest.fail "reproducer still fails with enforcement restored"
+  | Error e -> Alcotest.fail e
+
 (* The oracles in the harness agree with the per-jobs differential used
    by the pool tests: run one scenario's config through the shared
    jobs-determinism helper as well, tying the two harnesses together. *)
@@ -194,6 +309,10 @@ let test_scenario_config_jobs_deterministic () =
       Test_util.check_jobs_deterministic (fun jobs ->
           Workload.Recovery_experiment.run_many ~jobs
             [ (sc.Check.Scenario.seed, Check.Scenario.recovery_config sc) ])
+  | Check.Scenario.Overload ->
+      Test_util.check_jobs_deterministic (fun jobs ->
+          Workload.Overload_experiment.run_many ~jobs
+            [ (sc.Check.Scenario.seed, Check.Scenario.overload_config sc) ])
 
 let () =
   Alcotest.run "check"
@@ -213,6 +332,10 @@ let () =
           Alcotest.test_case "clean scenarios pass" `Slow test_clean_scenarios_pass;
           Alcotest.test_case "run smoke" `Slow test_harness_run_smoke;
           Alcotest.test_case "replay round trip" `Slow test_replay_round_trip;
+          Alcotest.test_case "replay rejects invalid config" `Quick
+            test_replay_rejects_invalid_config;
+          Alcotest.test_case "pre-overload lines parse" `Quick
+            test_of_string_accepts_pre_overload_lines;
           Alcotest.test_case "jobs-deterministic config" `Slow
             test_scenario_config_jobs_deterministic;
         ] );
@@ -220,5 +343,7 @@ let () =
         [
           Alcotest.test_case "reintroduced wire_floor bug is caught" `Slow
             test_reintroduced_stale_bug_is_caught;
+          Alcotest.test_case "disabled budget enforcement is caught" `Slow
+            test_disabled_budget_is_caught;
         ] );
     ]

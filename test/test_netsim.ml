@@ -66,6 +66,46 @@ let test_nqueue_byte_capacity () =
   Alcotest.(check int) "byte length" 25 (Netsim.Nqueue.byte_length q);
   Alcotest.(check int) "hwm" 25 (Netsim.Nqueue.high_watermark_bytes q)
 
+(* A packet larger than max_bytes can never fit, even into an empty
+   queue: it must be tail-dropped (and counted), not wedge the queue. *)
+let test_nqueue_oversized_packet () =
+  let ids = Netsim.Packet.fresh_id_state () in
+  let q = Netsim.Nqueue.create (Netsim.Nqueue.bytes 10) in
+  Alcotest.(check bool) "oversized dropped on empty queue" false
+    (Netsim.Nqueue.enqueue q (mk_packet ids ~src:0 ~dst:1 ~size:11));
+  Alcotest.(check bool) "still empty" true (Netsim.Nqueue.is_empty q);
+  Alcotest.(check int) "drop counted" 1 (Netsim.Nqueue.drops q);
+  Alcotest.(check int) "dropped bytes counted" 11 (Netsim.Nqueue.dropped_bytes q);
+  Alcotest.(check int) "hwm untouched" 0 (Netsim.Nqueue.high_watermark_bytes q);
+  Alcotest.(check bool) "a fitting packet still goes through" true
+    (Netsim.Nqueue.enqueue q (mk_packet ids ~src:0 ~dst:1 ~size:10))
+
+(* Packet and byte limits in force together: drops / dropped_bytes must
+   attribute each rejection correctly whichever limit it tripped. *)
+let test_nqueue_mixed_limits () =
+  let ids = Netsim.Packet.fresh_id_state () in
+  let q =
+    Netsim.Nqueue.create
+      { Netsim.Nqueue.max_packets = Some 3; max_bytes = Some 25 }
+  in
+  Alcotest.(check bool) "10B fits" true
+    (Netsim.Nqueue.enqueue q (mk_packet ids ~src:0 ~dst:1 ~size:10));
+  Alcotest.(check bool) "10B fits" true
+    (Netsim.Nqueue.enqueue q (mk_packet ids ~src:0 ~dst:1 ~size:10));
+  (* Byte limit trips first: 2 packets < 3, but 20 + 10 > 25. *)
+  Alcotest.(check bool) "byte limit trips" false
+    (Netsim.Nqueue.enqueue q (mk_packet ids ~src:0 ~dst:1 ~size:10));
+  Alcotest.(check bool) "small packet still fits" true
+    (Netsim.Nqueue.enqueue q (mk_packet ids ~src:0 ~dst:1 ~size:2));
+  (* Now the packet limit trips: 3 packets queued, bytes would fit. *)
+  Alcotest.(check bool) "packet limit trips" false
+    (Netsim.Nqueue.enqueue q (mk_packet ids ~src:0 ~dst:1 ~size:1));
+  Alcotest.(check int) "both drops counted" 2 (Netsim.Nqueue.drops q);
+  Alcotest.(check int) "dropped bytes sum both causes" 11
+    (Netsim.Nqueue.dropped_bytes q);
+  Alcotest.(check int) "survivors untouched" 3 (Netsim.Nqueue.length q);
+  Alcotest.(check int) "byte length" 22 (Netsim.Nqueue.byte_length q)
+
 let prop_nqueue_conservation =
   QCheck2.Test.make ~name:"queue conserves packets (enqueued = dequeued + remaining + drops)"
     QCheck2.Gen.(list_size (int_range 1 100) (int_range 1 100))
@@ -506,6 +546,8 @@ let () =
           Alcotest.test_case "fifo" `Quick test_nqueue_fifo;
           Alcotest.test_case "packet capacity" `Quick test_nqueue_packet_capacity;
           Alcotest.test_case "byte capacity" `Quick test_nqueue_byte_capacity;
+          Alcotest.test_case "oversized packet" `Quick test_nqueue_oversized_packet;
+          Alcotest.test_case "mixed limits" `Quick test_nqueue_mixed_limits;
         ] );
       ( "link",
         [
