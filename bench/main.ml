@@ -909,6 +909,136 @@ let table_overload () =
     ~ss:c.slow_start
 
 (* ------------------------------------------------------------------ *)
+(* table-network: the consensus-scale round-level workload — paired
+   CS-vs-SS at the default population, then one full-scale run whose
+   throughput and allocation rate are the headline metrics of
+   BENCH_pr7.json (which bench/trajectory.exe gates against the
+   blessed floors in bench/perf_floors.txt). *)
+
+let sketch_q sk p =
+  if Engine.Stats.Sketch.count sk = 0 then nan
+  else Engine.Stats.Sketch.quantile sk p
+
+let write_network_json path
+    ~(paired : Workload.Network_experiment.config)
+    ~(cs : Workload.Network_experiment.result)
+    ~(ss : Workload.Network_experiment.result)
+    ~(scale : Workload.Network_experiment.result) ~scale_seconds ~minor_words =
+  let side (r : Workload.Network_experiment.result) =
+    Printf.sprintf
+      "{\"completed\": %d, \"arrivals\": %d, \"refused\": %d, \"abandoned\": \
+       %d, \"ttlb_p50_s\": %.6f, \"ttlb_p90_s\": %.6f, \"ttlb_p99_s\": %.6f, \
+       \"rounds\": %d, \"sim_events\": %d}"
+      r.completed r.arrivals r.refused_arrivals r.abandoned
+      (sketch_q r.ttlb_all 0.5) (sketch_q r.ttlb_all 0.9)
+      (sketch_q r.ttlb_all 0.99) r.rounds r.wall_events
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf (Printf.sprintf "  \"pr\": 7,\n  \"jobs\": %d,\n" !jobs);
+  (* Headline metrics first and exactly once: the trajectory gate's
+     key scanner takes the first occurrence. *)
+  Buffer.add_string buf
+    (Printf.sprintf "  \"events_per_sec\": %.1f,\n"
+       (if scale_seconds > 0. then
+          float_of_int scale.wall_events /. scale_seconds
+        else 0.));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"minor_words_per_event\": %.4f,\n"
+       (if scale.wall_events > 0 then
+          minor_words /. float_of_int scale.wall_events
+        else 0.));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"scale\": {\"relays\": %d, \"slots\": %d, \"completed\": %d, \
+        \"peak_active\": %d, \"pool_recycles\": %d, \"seconds\": %.3f, \
+        \"sim_events\": %d, \"ttlb_p50_s\": %.6f, \"ttlb_p90_s\": %.6f, \
+        \"ttlb_p99_s\": %.6f},\n"
+       scale.relays scale.slots scale.completed scale.peak_active
+       scale.pool_recycles scale_seconds scale.wall_events
+       (sketch_q scale.ttlb_all 0.5) (sketch_q scale.ttlb_all 0.9)
+       (sketch_q scale.ttlb_all 0.99));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"paired\": {\"relays\": %d, \"slots\": %d, \"lifetimes\": %d,\n\
+       \    \"circuitstart\": %s,\n    \"slowstart\": %s}\n"
+       paired.relays paired.slots
+       (Workload.Network_experiment.lifetimes_goal paired)
+       (side cs) (side ss));
+  Buffer.add_string buf "}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "[json] %s\n" path
+
+let table_network () =
+  section
+    "Table T-network (extra): consensus-scale round-level workload (paired + \
+     full scale)";
+  let paired = Workload.Network_experiment.default_config in
+  let c =
+    Workload.Network_experiment.compare_strategies ~jobs:!jobs ~seed:42 paired
+  in
+  note_events c.circuit_start.wall_events;
+  note_events c.slow_start.wall_events;
+  let t =
+    Analysis.Table.create
+      ~columns:
+        [ "strategy"; "done"; "arrivals"; "abandoned"; "p50 ttlb"; "p90 ttlb";
+          "p99 ttlb"; "rounds"; "peak live" ]
+  in
+  let row label (r : Workload.Network_experiment.result) =
+    Analysis.Table.add_row t
+      [
+        label;
+        string_of_int r.completed;
+        string_of_int r.arrivals;
+        string_of_int r.abandoned;
+        Printf.sprintf "%.3fs" (sketch_q r.ttlb_all 0.5);
+        Printf.sprintf "%.3fs" (sketch_q r.ttlb_all 0.9);
+        Printf.sprintf "%.3fs" (sketch_q r.ttlb_all 0.99);
+        string_of_int r.rounds;
+        string_of_int r.peak_active;
+      ]
+  in
+  row "circuitstart" c.circuit_start;
+  row "slowstart" c.slow_start;
+  print_string (Analysis.Table.render t);
+  let gap =
+    Analysis.Cdf.horizontal_gap
+      ~better:(Analysis.Cdf.of_sketch c.circuit_start.ttlb_all)
+      ~worse:(Analysis.Cdf.of_sketch c.slow_start.ttlb_all)
+  in
+  Printf.printf
+    "largest horizontal gap (CircuitStart earlier by): %.3fs over %d paired \
+     lifetimes\n"
+    gap c.circuit_start.completed;
+  (* The full-scale run: sequential on the main domain so the minor-GC
+     counter is attributable to this run alone. *)
+  let scale_config =
+    { Workload.Network_experiment.default_config with
+      relays = 2_000;
+      slots = 100_000;
+      target_lifetimes = 1_000_000;
+      mean_think = Engine.Time.ms 200;
+    }
+  in
+  let minor0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  let scale = Workload.Network_experiment.run ~seed:7 scale_config in
+  let scale_seconds = Unix.gettimeofday () -. t0 in
+  let minor_words = Gc.minor_words () -. minor0 in
+  note_events scale.wall_events;
+  Format.printf "scale: %a@." Workload.Network_experiment.pp_result scale;
+  Printf.printf
+    "scale: %.1fs wall, %d events, %.0f events/sec, %.2f minor words/event\n"
+    scale_seconds scale.wall_events
+    (float_of_int scale.wall_events /. scale_seconds)
+    (minor_words /. float_of_int scale.wall_events);
+  write_network_json "BENCH_pr7.json" ~paired ~cs:c.circuit_start
+    ~ss:c.slow_start ~scale ~scale_seconds ~minor_words
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per experiment plus the
    engine hot paths, all grouped in one run. *)
 
@@ -1090,6 +1220,7 @@ let all_targets =
     ("table-churn", table_churn);
     ("table-recovery", table_recovery);
     ("table-overload", table_overload);
+    ("table-network", table_network);
   ]
 
 let () =

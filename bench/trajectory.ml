@@ -1,0 +1,120 @@
+(* The perf-trajectory gate: print the cumulative events/sec and
+   minor-words/event trajectory across every BENCH_*.json in a
+   directory, then check the blessed floors and exit nonzero on any
+   regression beyond the tolerance.
+
+   Usage:
+     bench/trajectory.exe [--dir D] [--floors F] [--tolerance T]
+
+   Defaults: D = ., F = bench/perf_floors.txt, T = 0.25.  Running with
+   no floors file is an error — the gate exists to be present.  See
+   the floors file for the blessing procedure. *)
+
+let dir = ref "."
+let floors_path = ref "bench/perf_floors.txt"
+let tolerance = ref 0.25
+
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      Some s
+
+let bench_reports () =
+  Sys.readdir !dir |> Array.to_list
+  |> List.filter (fun name ->
+         String.length name > 6
+         && String.sub name 0 6 = "BENCH_"
+         && Filename.check_suffix name ".json")
+  |> List.sort compare
+  |> List.filter_map (fun name ->
+         match read_file (Filename.concat !dir name) with
+         | Some text -> Some (name, text)
+         | None -> None)
+
+let () =
+  let rec parse = function
+    | [] -> ()
+    | "--dir" :: d :: rest ->
+        dir := d;
+        parse rest
+    | "--floors" :: f :: rest ->
+        floors_path := f;
+        parse rest
+    | "--tolerance" :: t :: rest -> (
+        match float_of_string_opt t with
+        | Some t when Float.is_finite t && t >= 0. ->
+            tolerance := t;
+            parse rest
+        | _ ->
+            prerr_endline "--tolerance needs a non-negative number";
+            exit 2)
+    | arg :: _ ->
+        Printf.eprintf
+          "unknown argument %s; usage: trajectory [--dir D] [--floors F] \
+           [--tolerance T]\n"
+          arg;
+        exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let reports = bench_reports () in
+  if reports = [] then begin
+    Printf.eprintf "trajectory: no BENCH_*.json reports in %s\n" !dir;
+    exit 1
+  end;
+  let t =
+    Analysis.Table.create
+      ~columns:
+        [ "report"; "events/s"; "minor words/event"; "sim events"; "cumulative" ]
+  in
+  List.iter
+    (fun (r : Analysis.Perf_gate.row) ->
+      Analysis.Table.add_row t
+        [
+          r.report;
+          (match r.events_per_sec with
+          | Some v -> Printf.sprintf "%.0f" v
+          | None -> "-");
+          (match r.minor_words_per_event with
+          | Some v -> Printf.sprintf "%.2f" v
+          | None -> "-");
+          Printf.sprintf "%.0f" r.sim_events;
+          Printf.sprintf "%.0f" r.cumulative_events;
+        ])
+    (Analysis.Perf_gate.trajectory reports);
+  print_string (Analysis.Table.render t);
+  match read_file !floors_path with
+  | None ->
+      Printf.eprintf "trajectory: floors file %s is unreadable\n" !floors_path;
+      exit 1
+  | Some text -> (
+      match Analysis.Perf_gate.parse_floors text with
+      | Error msg ->
+          Printf.eprintf "trajectory: %s\n" msg;
+          exit 1
+      | Ok [] ->
+          Printf.eprintf "trajectory: %s gates nothing\n" !floors_path;
+          exit 1
+      | Ok floors ->
+          let outcomes =
+            Analysis.Perf_gate.check ~tolerance:!tolerance
+              ~read:(fun file -> read_file (Filename.concat !dir file))
+              floors
+          in
+          List.iter
+            (fun o -> Format.printf "%a@." Analysis.Perf_gate.pp_outcome o)
+            outcomes;
+          let failed = List.filter (fun o -> not o.Analysis.Perf_gate.ok) outcomes in
+          if failed = [] then
+            Printf.printf "trajectory: %d floor%s hold (tolerance %.0f%%)\n"
+              (List.length outcomes)
+              (if List.length outcomes = 1 then "" else "s")
+              (!tolerance *. 100.)
+          else begin
+            Printf.printf "trajectory: %d/%d floors FAILED\n" (List.length failed)
+              (List.length outcomes);
+            exit 1
+          end)

@@ -8,7 +8,9 @@
      sweep     gamma / distance parameter sweeps
      faults    loss / outage / relay-crash robustness comparison
      recover   session-level rebuild-and-resume around a crash
-     overload  flash crowd against budgeted relays (admission + OOM) *)
+     overload  flash crowd against budgeted relays (admission + OOM)
+     network   consensus-scale round-level workload (pooled circuits)
+     check     randomized differential invariant checking *)
 
 open Cmdliner
 
@@ -765,6 +767,158 @@ let overload_cmd =
        $ max_circuits $ arrival_ms $ seed_arg $ jobs_arg $ verbose))
 
 (* ------------------------------------------------------------------ *)
+(* network *)
+
+let network_q sk p =
+  if Engine.Stats.Sketch.count sk = 0 then nan
+  else Engine.Stats.Sketch.quantile sk p
+
+let run_network relays circuits lifetimes duration_s think_ms budget_kib
+    max_circuits seed jobs profile =
+  let config =
+    { Workload.Network_experiment.default_config with
+      Workload.Network_experiment.relays;
+      slots = circuits;
+      target_lifetimes = lifetimes;
+      duration =
+        (if duration_s <= 0 then Engine.Time.zero else Engine.Time.s duration_s);
+      mean_think = Engine.Time.ms think_ms;
+      budget =
+        {
+          Tor_model.Switchboard.max_circuits =
+            (if max_circuits <= 0 then None else Some max_circuits);
+          max_queued_bytes =
+            (if budget_kib <= 0 then None
+             else Some (Engine.Units.kib budget_kib));
+        };
+    }
+  in
+  match Workload.Network_experiment.validate_config config with
+  | Error msg -> `Error (false, msg)
+  | Ok config ->
+      if profile then begin
+        (* One sequential run on the main domain, so the wall clock and
+           the minor-GC counter are attributable to it alone. *)
+        let minor0 = Gc.minor_words () in
+        let t0 = Unix.gettimeofday () in
+        let r = Workload.Network_experiment.run ~seed config in
+        let seconds = Unix.gettimeofday () -. t0 in
+        let minor_words = Gc.minor_words () -. minor0 in
+        Format.printf "%a@." Workload.Network_experiment.pp_result r;
+        Printf.printf
+          "profile: %.1fs wall, %d events, %.0f events/sec, %.2f minor \
+           words/event, peak heap %d words\n"
+          seconds r.wall_events
+          (if seconds > 0. then float_of_int r.wall_events /. seconds else 0.)
+          (if r.wall_events > 0 then
+             minor_words /. float_of_int r.wall_events
+           else 0.)
+          (Gc.stat ()).Gc.top_heap_words;
+        `Ok ()
+      end
+      else begin
+        let c =
+          Workload.Network_experiment.compare_strategies ~jobs ~seed config
+        in
+        let t =
+          Analysis.Table.create
+            ~columns:
+              [ "strategy"; "done"; "arrivals"; "refused"; "abandoned";
+                "p50 ttlb"; "p90 ttlb"; "p99 ttlb"; "peak live" ]
+        in
+        let row label (r : Workload.Network_experiment.result) =
+          Analysis.Table.add_row t
+            [
+              label;
+              string_of_int r.completed;
+              string_of_int r.arrivals;
+              string_of_int r.refused_arrivals;
+              string_of_int r.abandoned;
+              Printf.sprintf "%.3fs" (network_q r.ttlb_all 0.5);
+              Printf.sprintf "%.3fs" (network_q r.ttlb_all 0.9);
+              Printf.sprintf "%.3fs" (network_q r.ttlb_all 0.99);
+              string_of_int r.peak_active;
+            ]
+        in
+        row "circuitstart" c.circuit_start;
+        row "slowstart" c.slow_start;
+        print_string (Analysis.Table.render t);
+        Printf.printf
+          "largest horizontal gap (CircuitStart earlier by): %.3fs\n"
+          (Analysis.Cdf.horizontal_gap
+             ~better:(Analysis.Cdf.of_sketch c.circuit_start.ttlb_all)
+             ~worse:(Analysis.Cdf.of_sketch c.slow_start.ttlb_all));
+        `Ok ()
+      end
+
+let network_cmd =
+  let relays =
+    Arg.(
+      value & opt int 200
+      & info [ "relays" ] ~docv:"N"
+          ~doc:"Relay population size (heavy-tailed bandwidths; at least 4).")
+  in
+  let circuits =
+    Arg.(
+      value & opt int 2_000
+      & info [ "circuits" ] ~docv:"N"
+          ~doc:
+            "Concurrent session slots — the circuit-pool size and the \
+             concurrency ceiling.")
+  in
+  let lifetimes =
+    Arg.(
+      value & opt int 0
+      & info [ "lifetimes" ] ~docv:"N"
+          ~doc:
+            "Stop after completing $(docv) circuit lifetimes (0 = 10x the \
+             slot count).")
+  in
+  let duration =
+    Arg.(
+      value & opt int 0
+      & info [ "duration" ] ~docv:"SECONDS"
+          ~doc:"Simulated-time horizon (0 = run until the lifetime goal).")
+  in
+  let think_ms =
+    Arg.(
+      value & opt int 200
+      & info [ "think-ms" ] ~docv:"MS"
+          ~doc:"Mean exponential think time between a slot's circuits, ms.")
+  in
+  let budget_kib =
+    Arg.(
+      value & opt int 0
+      & info [ "budget-kib" ] ~docv:"KIB"
+          ~doc:"Per-relay queued-cell-byte admission budget, KiB (0 = none).")
+  in
+  let max_circuits =
+    Arg.(
+      value & opt int 0
+      & info [ "max-circuits" ] ~docv:"N"
+          ~doc:"Per-relay circuit-count admission budget (0 = none).")
+  in
+  let profile =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:
+            "Run one sequential CircuitStart pass and print events/sec, \
+             minor words/event and peak heap words instead of the paired \
+             CS-vs-SS table.")
+  in
+  let doc =
+    "Consensus-scale network workload: a pooled round-level circuit \
+     population over a heavy-tailed relay consensus, paired CircuitStart vs \
+     slow start."
+  in
+  Cmd.v (Cmd.info "network" ~doc)
+    Term.(
+      ret
+        (const run_network $ relays $ circuits $ lifetimes $ duration
+       $ think_ms $ budget_kib $ max_circuits $ seed_arg $ jobs_arg $ profile))
+
+(* ------------------------------------------------------------------ *)
 
 let run_check runs seed oracles replay out =
   if runs < 1 then `Error (false, "--runs must be positive")
@@ -830,4 +984,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ trace_cmd; cdf_cmd; optimal_cmd; adaptive_cmd; sweep_cmd; cross_cmd;
-            faults_cmd; recover_cmd; overload_cmd; check_cmd ]))
+            faults_cmd; recover_cmd; overload_cmd; network_cmd; check_cmd ]))

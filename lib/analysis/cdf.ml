@@ -9,6 +9,26 @@ let of_samples samples =
   Array.sort Float.compare sorted;
   { sorted }
 
+(* A sketch answers quantiles directly, so a CDF over it is the curve
+   through [resolution] evenly spaced quantiles plus the exact observed
+   extremes — enough structure for [quantile]/[horizontal_gap]/
+   [dominates] (which only ever probe the 99-point grid) while keeping
+   the streamed run's O(1)-per-circuit memory. *)
+let of_sketch ?(resolution = 199) sk =
+  if resolution < 1 then invalid_arg "Cdf.of_sketch: resolution must be positive";
+  if Engine.Stats.Sketch.count sk = 0 then invalid_arg "Cdf.of_sketch: empty sketch";
+  let qs =
+    Array.init resolution (fun i ->
+        Engine.Stats.Sketch.quantile sk
+          (float_of_int (i + 1) /. float_of_int (resolution + 1)))
+  in
+  let sorted =
+    Array.concat
+      [ [| Engine.Stats.Sketch.min sk |]; qs; [| Engine.Stats.Sketch.max sk |] ]
+  in
+  Array.sort Float.compare sorted;
+  { sorted }
+
 let count t = Array.length t.sorted
 
 (* Number of samples <= x, by binary search for the upper bound. *)

@@ -11,6 +11,13 @@ val of_samples : float array -> t
 (** Raises [Invalid_argument] on an empty array or non-finite
     samples. *)
 
+val of_sketch : ?resolution:int -> Engine.Stats.Sketch.t -> t
+(** Approximate CDF from a streaming {!Engine.Stats.Sketch}: the curve
+    through [resolution] (default 199) evenly spaced sketch quantiles
+    plus the exact observed extremes.  Quantile error is bounded by the
+    sketch's bin width plus the grid spacing.  Raises
+    [Invalid_argument] on an empty sketch or [resolution < 1]. *)
+
 val count : t -> int
 
 val fraction_below : t -> float -> float

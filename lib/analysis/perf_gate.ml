@@ -1,0 +1,203 @@
+(* The performance-trajectory ratchet behind [bench/trajectory.exe].
+
+   Every benchmark run leaves a BENCH_*.json report; this module reads
+   the throughput and allocation metrics back out of those reports and
+   checks the newest ones against blessed floors, so a perf regression
+   fails CI instead of silently eroding the events/sec the earlier PRs
+   bought.  The repo deliberately has no JSON library — the reports are
+   written by hand with known key names, so a scanner that finds
+   ["key": <number>] pairs is the whole parser we need (and it never
+   allocates an AST for megabyte reports).
+
+   The floors file is the ratchet: one line per gated metric, blessed
+   by a human on the reference machine and moved only forward.  The
+   tolerance absorbs machine-to-machine variance; see
+   bench/perf_floors.txt for the blessing procedure. *)
+
+type direction = Min | Max
+
+type floor = {
+  file : string;  (* report the metric lives in, e.g. BENCH_pr7.json *)
+  key : string;  (* JSON key of a numeric scalar in that report *)
+  direction : direction;  (* Min: higher is better; Max: lower is better *)
+  bound : float;  (* the blessed value *)
+}
+
+type outcome = {
+  floor : floor;
+  value : float option;  (* None: file unreadable or key absent *)
+  limit : float;  (* bound with the tolerance applied *)
+  ok : bool;
+}
+
+(* --- the scalar scanner ------------------------------------------- *)
+
+let is_number_char c =
+  match c with
+  | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+  | _ -> false
+
+(* All numeric values of ["key":] in [text], in document order.
+   Quoted-key matching cannot false-positive on a value, and the
+   reports never put a key inside a string value, so no escape
+   handling is needed. *)
+let find_numbers ~key text =
+  let needle = "\"" ^ key ^ "\"" in
+  let nlen = String.length needle and tlen = String.length text in
+  let out = ref [] in
+  let i = ref 0 in
+  while !i + nlen <= tlen do
+    if String.sub text !i nlen = needle then begin
+      let j = ref (!i + nlen) in
+      while !j < tlen && (text.[!j] = ' ' || text.[!j] = '\t') do incr j done;
+      if !j < tlen && text.[!j] = ':' then begin
+        incr j;
+        while
+          !j < tlen && (text.[!j] = ' ' || text.[!j] = '\t' || text.[!j] = '\n')
+        do
+          incr j
+        done;
+        let start = !j in
+        while !j < tlen && is_number_char text.[!j] do incr j done;
+        if !j > start then
+          match float_of_string_opt (String.sub text start (!j - start)) with
+          | Some v -> out := v :: !out
+          | None -> ()
+      end;
+      i := !i + nlen
+    end
+    else incr i
+  done;
+  List.rev !out
+
+let find_number ~key text =
+  match find_numbers ~key text with v :: _ -> Some v | [] -> None
+
+(* --- the floors file ---------------------------------------------- *)
+
+(* One floor per line: [file key min|max bound].  '#' starts a
+   comment; blank lines are ignored. *)
+let parse_floors text =
+  let parse_line lineno line =
+    let line =
+      match String.index_opt line '#' with
+      | Some i -> String.sub line 0 i
+      | None -> line
+    in
+    match
+      String.split_on_char ' ' (String.trim line)
+      |> List.filter (fun s -> s <> "")
+    with
+    | [] -> Ok None
+    | [ file; key; dir; bound ] -> (
+        let direction =
+          match dir with
+          | "min" -> Ok Min
+          | "max" -> Ok Max
+          | other ->
+              Error
+                (Printf.sprintf "floors line %d: direction %S is not min/max"
+                   lineno other)
+        in
+        match (direction, float_of_string_opt bound) with
+        | Error e, _ -> Error e
+        | Ok _, None ->
+            Error
+              (Printf.sprintf "floors line %d: bound %S is not a number" lineno
+                 bound)
+        | Ok direction, Some bound -> Ok (Some { file; key; direction; bound }))
+    | _ ->
+        Error
+          (Printf.sprintf
+             "floors line %d: expected 'file key min|max bound'" lineno)
+  in
+  let rec go lineno acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+        match parse_line lineno line with
+        | Error e -> Error e
+        | Ok None -> go (lineno + 1) acc rest
+        | Ok (Some f) -> go (lineno + 1) (f :: acc) rest)
+  in
+  go 1 [] (String.split_on_char '\n' text)
+
+(* --- the gate ------------------------------------------------------ *)
+
+(* [Min] floors pass at [bound * (1 - tolerance)] and [Max] floors at
+   [bound * (1 + tolerance)]: the tolerance always loosens the gate,
+   so it absorbs machine variance without ever tightening a blessing.
+   A missing file or key fails — a gate that silently skips a metric
+   is not a gate. *)
+let check ~tolerance ~read floors =
+  if not (Float.is_finite tolerance) || tolerance < 0. then
+    invalid_arg "Perf_gate.check: tolerance must be >= 0";
+  List.map
+    (fun f ->
+      let value =
+        match read f.file with
+        | None -> None
+        | Some text -> find_number ~key:f.key text
+      in
+      let limit =
+        match f.direction with
+        | Min -> f.bound *. (1. -. tolerance)
+        | Max -> f.bound *. (1. +. tolerance)
+      in
+      let ok =
+        match value with
+        | None -> false
+        | Some v -> ( match f.direction with Min -> v >= limit | Max -> v <= limit)
+      in
+      { floor = f; value; limit; ok })
+    floors
+
+let pp_outcome fmt o =
+  let dir = match o.floor.direction with Min -> ">=" | Max -> "<=" in
+  match o.value with
+  | None ->
+      Format.fprintf fmt "FAIL %s %s: metric missing (floor %s %g)" o.floor.file
+        o.floor.key dir o.floor.bound
+  | Some v ->
+      Format.fprintf fmt "%s %s %s: %g %s %g (blessed %g)"
+        (if o.ok then "ok  " else "FAIL")
+        o.floor.file o.floor.key v dir o.limit o.floor.bound
+
+(* --- the trajectory ------------------------------------------------ *)
+
+type row = {
+  report : string;
+  events_per_sec : float option;
+  minor_words_per_event : float option;
+  sim_events : float;  (* all "sim_events" occurrences + totals *)
+  cumulative_events : float;  (* running sum across the PR sequence *)
+}
+
+(* One row per report, in the given order (the callers sort BENCH_*
+   filenames, which orders them by PR).  [events_per_sec] and
+   [minor_words_per_event] are the report's headline values where
+   present; [sim_events] sums every per-target count so heterogeneous
+   report shapes still contribute to the cumulative column. *)
+let trajectory reports =
+  let total = ref 0. in
+  List.map
+    (fun (report, text) ->
+      let sum key = List.fold_left ( +. ) 0. (find_numbers ~key text) in
+      let sim_events =
+        (* Prefer the report's own total; fall back to per-target
+           "sim_events" counts, then to the bare "events" key older
+           microbench reports use. *)
+        let totaled = sum "total_sim_events" in
+        if totaled > 0. then totaled
+        else
+          let per_target = sum "sim_events" in
+          if per_target > 0. then per_target else sum "events"
+      in
+      total := !total +. sim_events;
+      {
+        report;
+        events_per_sec = find_number ~key:"events_per_sec" text;
+        minor_words_per_event = find_number ~key:"minor_words_per_event" text;
+        sim_events;
+        cumulative_events = !total;
+      })
+    reports

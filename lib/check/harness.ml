@@ -33,29 +33,59 @@ type report = {
 
 let digest v = Digest.to_hex (Digest.string (Marshal.to_string v []))
 
+(* The network experiment's end-of-run pool audit, expressed as oracle
+   violations.  The experiment is round-level — there are no cells or
+   link events for the fire-probe oracles to watch — so its invariant
+   is checked from the result record instead: after every circuit is
+   torn down, no relay may retain occupancy from a recycled pool
+   entry. *)
+let pool_violations (r : Workload.Network_experiment.result) =
+  if r.orphaned_circuits = 0 && r.orphaned_cells = 0 then []
+  else
+    [
+      {
+        Oracle.oracle = "pool";
+        at = r.end_time;
+        detail =
+          Printf.sprintf
+            "pool recycling leaked relay occupancy: %d orphaned circuit \
+             registrations, %d orphaned queued cells after full teardown"
+            r.orphaned_circuits r.orphaned_cells;
+      };
+    ]
+
 (* One oracle-instrumented run of a scenario.  Returns the result
    digest and the violations the oracles recorded. *)
 let instrumented_run ~selection sc =
-  let oracle = Oracle.create ~selection () in
-  let d =
-    match sc.Scenario.kind with
-    | Scenario.Faults ->
-        digest
-          (Workload.Fault_experiment.run ~seed:sc.Scenario.seed
-             ~probe:(Oracle.attach oracle) (Scenario.fault_config sc))
-    | Scenario.Recovery ->
-        digest
-          (Workload.Recovery_experiment.run ~seed:sc.Scenario.seed
-             ~probe:(Oracle.attach oracle) (Scenario.recovery_config sc))
-    | Scenario.Overload ->
-        digest
-          (Workload.Overload_experiment.run ~seed:sc.Scenario.seed
-             ~probe:(Oracle.attach oracle)
-             ~relay_probe:(Oracle.attach_relays oracle)
-             (Scenario.overload_config sc))
-  in
-  Oracle.finish oracle;
-  (d, Oracle.violations oracle)
+  match sc.Scenario.kind with
+  | Scenario.Network ->
+      let r =
+        Workload.Network_experiment.run ~seed:sc.Scenario.seed
+          (Scenario.network_config sc)
+      in
+      (digest r, pool_violations r)
+  | Scenario.Faults | Scenario.Recovery | Scenario.Overload ->
+      let oracle = Oracle.create ~selection () in
+      let d =
+        match sc.Scenario.kind with
+        | Scenario.Faults ->
+            digest
+              (Workload.Fault_experiment.run ~seed:sc.Scenario.seed
+                 ~probe:(Oracle.attach oracle) (Scenario.fault_config sc))
+        | Scenario.Recovery ->
+            digest
+              (Workload.Recovery_experiment.run ~seed:sc.Scenario.seed
+                 ~probe:(Oracle.attach oracle) (Scenario.recovery_config sc))
+        | Scenario.Overload ->
+            digest
+              (Workload.Overload_experiment.run ~seed:sc.Scenario.seed
+                 ~probe:(Oracle.attach oracle)
+                 ~relay_probe:(Oracle.attach_relays oracle)
+                 (Scenario.overload_config sc))
+        | Scenario.Network -> assert false
+      in
+      Oracle.finish oracle;
+      (d, Oracle.violations oracle)
 
 let plain_run_jobs1 sc =
   match sc.Scenario.kind with
@@ -74,6 +104,11 @@ let plain_run_jobs1 sc =
         (List.hd
            (Workload.Overload_experiment.run_many ~jobs:1
               [ (sc.Scenario.seed, Scenario.overload_config sc) ]))
+  | Scenario.Network ->
+      digest
+        (List.hd
+           (Workload.Network_experiment.run_many ~jobs:1
+              [ (sc.Scenario.seed, Scenario.network_config sc) ]))
 
 (* The per-scenario checks (runs 1-3).  [Ok digest] if all pass. *)
 let check_scenario ~selection sc =
@@ -125,6 +160,10 @@ let jobs_differential passed =
     (fun tasks ->
       List.map digest (Workload.Overload_experiment.run_many ~jobs:4 tasks))
     Scenario.overload_config;
+  compare_batch (of_kind Scenario.Network)
+    (fun tasks ->
+      List.map digest (Workload.Network_experiment.run_many ~jobs:4 tasks))
+    Scenario.network_config;
   List.rev !mismatches
 
 (* Greedy shrink: walk to structurally simpler scenarios while the

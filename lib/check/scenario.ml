@@ -1,4 +1,4 @@
-type kind = Faults | Recovery | Overload
+type kind = Faults | Recovery | Overload | Network
 type strategy = Cs | Ss
 
 type t = {
@@ -22,13 +22,22 @@ type t = {
   oload_circuits : int;  (* per-relay circuit budget; 0 = unlimited *)
   oload_kib : int;  (* per-relay byte budget in KiB; 0 = unlimited *)
   arrival_ms : int;  (* mean inter-arrival gap of the crowd *)
+  (* Network-only knob; inert default 0 for other kinds.  Network
+     scenarios reuse [sessions] as the slot count, [bytes] as the mouse
+     transfer size, [arrival_ms] as the mean think time and the
+     overload budgets as the per-relay admission budget. *)
+  lifet : int;  (* circuit lifetimes to complete; 0 = experiment default *)
 }
 
 let recovery_hops = 3
 
 (* --- replay-line serialization ----------------------------------- *)
 
-let kind_code = function Faults -> "f" | Recovery -> "r" | Overload -> "o"
+let kind_code = function
+  | Faults -> "f"
+  | Recovery -> "r"
+  | Overload -> "o"
+  | Network -> "n"
 let strategy_code = function Cs -> "cs" | Ss -> "ss"
 
 let to_string t =
@@ -38,14 +47,14 @@ let to_string t =
   Printf.sprintf
     "k=%s seed=%d relays=%d pos=%d bytes=%d loss=%d burst=%d odown=%d oup=%d \
      crash=%d queue=%d strat=%s bn=%d fast=%d ep=%d rebuilds=%d sess=%d \
-     ocirc=%d okib=%d arr=%d"
+     ocirc=%d okib=%d arr=%d lifet=%d"
     (kind_code t.kind) t.seed t.relays t.position t.bytes t.loss_ppm
     (if t.burst then 1 else 0)
     outage_down outage_up
     (match t.crash_ms with Some c -> c | None -> -1)
     t.queue_cells (strategy_code t.strategy) t.bottleneck_kbps t.fast_kbps
     t.endpoint_kbps t.max_rebuilds t.sessions t.oload_circuits t.oload_kib
-    t.arrival_ms
+    t.arrival_ms t.lifet
 
 let of_string line =
   let ( let* ) = Result.bind in
@@ -84,6 +93,7 @@ let of_string line =
     | "f" -> Ok Faults
     | "r" -> Ok Recovery
     | "o" -> Ok Overload
+    | "n" -> Ok Network
     | other -> Error (Printf.sprintf "scenario line: unknown kind %S" other)
   in
   let* seed = int "seed" in
@@ -111,6 +121,7 @@ let of_string line =
   let* oload_circuits = int_default "ocirc" 0 in
   let* oload_kib = int_default "okib" 0 in
   let* arrival_ms = int_default "arr" 0 in
+  let* lifet = int_default "lifet" 0 in
   Ok
     {
       kind;
@@ -132,6 +143,7 @@ let of_string line =
       oload_circuits;
       oload_kib;
       arrival_ms;
+      lifet;
     }
 
 let pp fmt t = Format.pp_print_string fmt (to_string t)
@@ -160,36 +172,44 @@ let rates_of_seed ~seed ~relays =
 
 let gen : t QCheck2.Gen.t =
   let open QCheck2.Gen in
-  let* kind = frequencyl [ (3, Faults); (1, Recovery); (1, Overload) ] in
+  let* kind =
+    frequencyl [ (3, Faults); (1, Recovery); (1, Overload); (1, Network) ]
+  in
   let* seed = int_range 1 0x3FFFFFFF in
   let* relays =
     match kind with
     | Faults -> int_range 2 5
     | Recovery -> int_range (recovery_hops + 1) 7
     | Overload -> int_range (recovery_hops + 1) 6
+    | Network -> int_range 6 14
   in
   let* position =
     match kind with
     | Faults -> int_range 1 relays
     | Recovery -> int_range 1 recovery_hops
-    | Overload -> pure 1
+    | Overload | Network -> pure 1
   in
   let* bytes =
     map (fun k -> k * 1024)
-      (match kind with Overload -> int_range 8 32 | Faults | Recovery -> int_range 8 64)
+      (match kind with
+      | Overload -> int_range 8 32
+      | Network -> int_range 4 16
+      | Faults | Recovery -> int_range 8 64)
   in
   (* Overload scenarios stress the budgets, not the links: no loss, no
      outage, no crash — every failure they see is admission control or
-     the OOM responder. *)
+     the OOM responder.  Network scenarios are round-level: links,
+     queues and crashes do not exist at that granularity, only the
+     admission budgets and the pooled circuit state do. *)
   let* loss_ppm =
     match kind with
-    | Overload -> pure 0
+    | Overload | Network -> pure 0
     | Faults | Recovery -> frequency [ (2, pure 0); (3, int_range 1_000 30_000) ]
   in
   let* burst = bool in
   let* outage_ms =
     match kind with
-    | Overload -> pure None
+    | Overload | Network -> pure None
     | Faults | Recovery ->
         frequency
           [
@@ -202,24 +222,39 @@ let gen : t QCheck2.Gen.t =
     match kind with
     | Faults -> frequency [ (8, pure None); (2, map Option.some (int_range 100 800)) ]
     | Recovery -> map Option.some (int_range 50 500)
-    | Overload -> pure None
+    | Overload | Network -> pure None
   in
-  let* sessions = match kind with Overload -> int_range 3 6 | _ -> pure 1 in
+  let* sessions =
+    match kind with
+    | Overload -> int_range 3 6
+    | Network -> int_range 4 12
+    | _ -> pure 1
+  in
   let* oload_circuits =
     match kind with
     | Overload -> frequency [ (1, pure 0); (2, int_range 2 5) ]
+    | Network -> frequency [ (2, pure 0); (1, int_range 3 6) ]
     | Faults | Recovery -> pure 0
   in
   let* oload_kib =
     match kind with
     | Overload -> frequency [ (1, pure 0); (3, int_range 8 32) ]
+    | Network -> frequency [ (2, pure 0); (1, int_range 32 128) ]
     | Faults | Recovery -> pure 0
   in
   let* arrival_ms =
-    match kind with Overload -> int_range 10 200 | Faults | Recovery -> pure 0
+    match kind with
+    | Overload -> int_range 10 200
+    | Network -> int_range 5 50
+    | Faults | Recovery -> pure 0
+  in
+  let* lifet =
+    match kind with Network -> int_range 20 80 | _ -> pure 0
   in
   let* queue_cells =
-    frequency [ (1, pure 0); (2, int_range 8 64) ]
+    match kind with
+    | Network -> pure 0
+    | _ -> frequency [ (1, pure 0); (2, int_range 8 64) ]
   in
   (* A third of the population gets a crawling client access link.
      Slow clients are the norm in deployed anonymity networks, and they
@@ -251,6 +286,7 @@ let gen : t QCheck2.Gen.t =
     oload_circuits;
     oload_kib;
     arrival_ms;
+    lifet;
   }
 
 let generate ~seed ~index =
@@ -284,10 +320,14 @@ let shrink_candidates t =
             position = Stdlib.min t.position (t.relays - 1);
           }
   | Recovery | Overload ->
-      if t.relays > recovery_hops + 1 then add { t with relays = t.relays - 1 });
+      if t.relays > recovery_hops + 1 then add { t with relays = t.relays - 1 }
+  | Network -> if t.relays > 4 then add { t with relays = t.relays - 1 });
   if t.sessions > 1 then add { t with sessions = t.sessions - 1 };
   if t.kind = Overload && t.arrival_ms > 10 then
     add { t with arrival_ms = Stdlib.max 10 (t.arrival_ms / 2) };
+  if t.kind = Network && t.arrival_ms > 5 then
+    add { t with arrival_ms = Stdlib.max 5 (t.arrival_ms / 2) };
+  if t.lifet > 8 then add { t with lifet = Stdlib.max 8 (t.lifet / 2) };
   if t.oload_circuits > 0 then add { t with oload_circuits = 0 };
   if t.oload_kib > 0 then add { t with oload_kib = 0 };
   if t.position > 1 then add { t with position = 1 };
@@ -371,4 +411,32 @@ let overload_config t =
     max_queued_bytes =
       (if t.oload_kib <= 0 then None else Some (t.oload_kib * 1024));
     max_rebuilds = t.max_rebuilds;
+  }
+
+let network_config t =
+  if t.kind <> Network then
+    invalid_arg "Scenario.network_config: not a network scenario";
+  {
+    Workload.Network_experiment.default_config with
+    relays = t.relays;
+    slots = t.sessions;
+    target_lifetimes = t.lifet;
+    (* Safety horizon: a pathological budget cannot stall the run
+       forever, it just ends early with abandoned circuits (which is a
+       valid, still-audited outcome). *)
+    duration = Engine.Time.s 3_600;
+    budget =
+      {
+        Tor_model.Switchboard.max_circuits =
+          (if t.oload_circuits <= 0 then None else Some t.oload_circuits);
+        max_queued_bytes =
+          (if t.oload_kib <= 0 then None else Some (t.oload_kib * 1024));
+      };
+    mean_think = Engine.Time.ms (Stdlib.max 1 t.arrival_ms);
+    elephant_fraction = 0.1;
+    elephant_cells = 256;
+    mice_cells = Stdlib.max 4 (t.bytes / 512);
+    strategy = controller_strategy t;
+    sketch_bins = 256;
+    sketch_max = Engine.Time.s 120;
   }

@@ -3,16 +3,19 @@
     A scenario is a small, fully serializable description of one
     oracle-checked run: which experiment family to drive (a fault-
     injected star via {!Workload.Fault_experiment}, a crash-and-
-    rebuild session via {!Workload.Recovery_experiment}, or a flash
+    rebuild session via {!Workload.Recovery_experiment}, a flash
     crowd against budgeted relays via
-    {!Workload.Overload_experiment}), the topology size, the transfer
+    {!Workload.Overload_experiment}, or a small consensus-scale
+    round-level population via {!Workload.Network_experiment}, whose
+    pooled circuit recycling the harness audits), the topology size,
+    the transfer
     size, the fault schedule and the startup strategy.  Everything that feeds the run — including the relay
     rates drawn from the {!Workload.Relay_gen} log-normal population —
     is a deterministic function of the record, so a scenario printed
     with {!to_string} replays byte-identically with
     [torsim check --replay].  *)
 
-type kind = Faults | Recovery | Overload
+type kind = Faults | Recovery | Overload | Network
 type strategy = Cs | Ss
 
 type t = {
@@ -44,7 +47,13 @@ type t = {
       (** Overload: per-relay queued-byte budget in KiB; 0 =
           unlimited. *)
   arrival_ms : int;
-      (** Overload: mean inter-arrival gap of the crowd in ms. *)
+      (** Overload: mean inter-arrival gap of the crowd in ms.
+          Network scenarios reuse it as the mean think time. *)
+  lifet : int;
+      (** Network: circuit lifetimes to complete; 0 = experiment
+          default.  Network scenarios also reuse [sessions] as the
+          slot count, [bytes] as the mouse transfer size and the
+          overload budgets as the per-relay admission budget. *)
 }
 
 val recovery_hops : int
@@ -83,3 +92,9 @@ val recovery_config : t -> Workload.Recovery_experiment.config
 
 val overload_config : t -> Workload.Overload_experiment.config
 (** Raises [Invalid_argument] unless [kind = Overload]. *)
+
+val network_config : t -> Workload.Network_experiment.config
+(** Raises [Invalid_argument] unless [kind = Network].  Capped by a
+    sim-time safety horizon so a pathological admission budget ends
+    the run early (audited, with abandoned circuits) instead of
+    stalling it. *)

@@ -18,6 +18,11 @@
 
 type 'a entry = {
   mutable time : Time.t;
+  (* Unboxed nanosecond mirror of [time], clamped at the [huge_ns]
+     horizon (see [ns_mirror]).  Heap sifts compare entries ~20 times
+     per event at scale; comparing plain ints keeps that in registers
+     where boxed [Int64.compare] costs an external call per probe. *)
+  mutable time_ns : int;
   mutable seq : int;
   mutable payload : 'a;
   mutable cancelled : bool;
@@ -37,12 +42,16 @@ let loc_free = -1
 let loc_heap = -2
 let loc_buffer = -3
 
-(* Wheel geometry: 2^16 ns = 65.536us per tick, 256 slots, so the wheel
-   window covers ~16.8ms — cell serialization, propagation delays and
-   feedback clocks land in slots; RTO-scale timers take the heap. *)
-let tick_bits = 16
-let wheel_slots = 256
-let wheel_mask = wheel_slots - 1
+(* Default wheel geometry: 2^16 ns = 65.536us per tick, 256 slots, so
+   the window covers ~16.8ms — cell serialization, propagation delays
+   and feedback clocks land in slots; RTO-scale timers take the heap.
+   Both knobs are per-queue ([create ?tick_bits ?wheel_slots]): the
+   consensus-scale round-level workload widens the window to RTT scale
+   so its 10^5 pending round timers stay O(1) wheel inserts instead of
+   overflow-heap churn.  Geometry is perf-only — firing order is exact
+   (time, seq) for any setting, because every drained tick is sorted. *)
+let default_tick_bits = 16
+let default_wheel_slots = 256
 
 (* Ticks are plain ints.  Times at or beyond 2^62 ns (~146 simulated
    years, e.g. [Time.max_value] used as "never") all clamp to one huge
@@ -53,13 +62,11 @@ let wheel_mask = wheel_slots - 1
 let huge_ns = 0x4000_0000_0000_0000L
 let huge_tick = max_int - 1
 
-let tick_of_time time =
-  let ns = Time.to_ns time in
-  if Int64.compare ns 0L < 0 then -1
-  else if Int64.compare ns huge_ns >= 0 then huge_tick
-  else Int64.to_int ns asr tick_bits
-
 type 'a t = {
+  (* Wheel geometry (fixed at creation). *)
+  tick_bits : int;
+  wheel_slots : int;
+  wheel_mask : int;
   (* Overflow heap (beyond the wheel window), ordered by (time, seq).
      Slots >= [heap_len] hold [dummy], never a popped entry: a fired
      event's payload must become collectable the moment the caller
@@ -90,16 +97,35 @@ type 'a t = {
    compared and never returned — the length fields guard every access —
    so an immediate stands in for the uninhabitable ['a].  This is the
    same trick the stdlib's [Dynarray] uses for its empty slots. *)
+(* The int mirror of a timestamp.  Exact for every time whose
+   magnitude is below [huge_ns] (all simulatable instants); beyond
+   that it clamps, and [entry_before] falls back to the exact boxed
+   compare when two mirrors collide, so ordering stays exact
+   everywhere. *)
+let ns_mirror time =
+  let ns = Time.to_ns time in
+  if Int64.compare ns huge_ns >= 0 then max_int
+  else if Int64.compare ns (Int64.neg huge_ns) <= 0 then min_int
+  else Int64.to_int ns
+
 let make_dummy () : 'a entry =
-  { time = Time.zero; seq = min_int; payload = Obj.magic (); cancelled = true;
-    fired = true; where = loc_free; pos = -1 }
+  { time = Time.zero; time_ns = 0; seq = min_int; payload = Obj.magic ();
+    cancelled = true; fired = true; where = loc_free; pos = -1 }
 
 let default_capacity = 256
 
-let create ?(capacity = default_capacity) () =
+let create ?(capacity = default_capacity) ?(tick_bits = default_tick_bits)
+    ?(wheel_slots = default_wheel_slots) () =
   if capacity < 1 then invalid_arg "Event_queue.create: capacity must be positive";
+  if tick_bits < 1 || tick_bits > 40 then
+    invalid_arg "Event_queue.create: tick_bits must be in [1, 40]";
+  if wheel_slots < 2 || wheel_slots land (wheel_slots - 1) <> 0 then
+    invalid_arg "Event_queue.create: wheel_slots must be a power of two >= 2";
   let dummy = make_dummy () in
   {
+    tick_bits;
+    wheel_slots;
+    wheel_mask = wheel_slots - 1;
     heap = Array.make capacity dummy;
     heap_len = 0;
     slots = Array.init wheel_slots (fun _ -> [||]);
@@ -118,8 +144,12 @@ let create ?(capacity = default_capacity) () =
    nanoseconds so the hot path never goes through a closure or a
    polymorphic comparison. *)
 let entry_before a b =
-  let c = Int64.compare (Time.to_ns a.time) (Time.to_ns b.time) in
-  if c <> 0 then c < 0 else a.seq < b.seq
+  if a.time_ns <> b.time_ns then a.time_ns < b.time_ns
+  else
+    (* Equal mirrors: either genuinely simultaneous (decide by seq) or
+       both clamped past the horizon (decide by the exact time). *)
+    let c = Int64.compare (Time.to_ns a.time) (Time.to_ns b.time) in
+    if c <> 0 then c < 0 else a.seq < b.seq
 
 let fresh_seq q =
   let s = q.next_seq in
@@ -210,8 +240,17 @@ let rec heap_settle q =
 (* ------------------------------------------------------------------ *)
 (* Wheel slots and drain buffer *)
 
+(* Tick of an entry, from its unboxed mirror: negative times clamp to
+   tick -1, times at or past the [huge_ns] horizon to [huge_tick], and
+   everything simulatable shifts exactly — same routing as computing
+   from the boxed time, without the [Int64] compares. *)
+let tick_of_entry q e =
+  if e.time_ns < 0 then -1
+  else if e.time_ns = max_int then huge_tick
+  else e.time_ns asr q.tick_bits
+
 let slot_insert q e tk =
-  let s = tk land wheel_mask in
+  let s = tk land q.wheel_mask in
   let len = q.slot_len.(s) in
   let arr = q.slots.(s) in
   let arr =
@@ -307,7 +346,7 @@ let load_slot q s =
    window (every wheel entry's tick is in (cursor, cursor+wheel_slots)). *)
 let next_wheel_tick q =
   let rec go i =
-    let s = (q.cursor + i) land wheel_mask in
+    let s = (q.cursor + i) land q.wheel_mask in
     if q.slot_len.(s) > 0 then q.cursor + i else go (i + 1)
   in
   go 1
@@ -318,9 +357,9 @@ let next_wheel_tick q =
 let migrate_overflow q =
   let continue = ref true in
   while !continue && heap_settle q do
-    let tk = tick_of_time q.heap.(0).time in
+    let tk = tick_of_entry q q.heap.(0) in
     if tk <= q.cursor then buffer_push q (heap_remove_at q 0)
-    else if tk - q.cursor < wheel_slots then begin
+    else if tk - q.cursor < q.wheel_slots then begin
       let e = heap_remove_at q 0 in
       slot_insert q e tk
     end
@@ -333,13 +372,13 @@ let migrate_overflow q =
    empty. *)
 let advance q =
   let w = if q.wheel_count > 0 then next_wheel_tick q else max_int in
-  let h = if heap_settle q then tick_of_time q.heap.(0).time else max_int in
+  let h = if heap_settle q then tick_of_entry q q.heap.(0) else max_int in
   let target = if w < h then w else h in
   if target = max_int then false
   else begin
     q.cursor <- target;
     migrate_overflow q;
-    load_slot q (target land wheel_mask);
+    load_slot q (target land q.wheel_mask);
     assert (q.buf_len > 0);
     true
   end
@@ -362,15 +401,15 @@ let rec settle q =
 (* Insertion and the public API *)
 
 let insert q e =
-  let tk = tick_of_time e.time in
+  let tk = tick_of_entry q e in
   if tk <= q.cursor then buffer_push q e
-  else if tk - q.cursor < wheel_slots then slot_insert q e tk
+  else if tk - q.cursor < q.wheel_slots then slot_insert q e tk
   else heap_push q e
 
 let add q ~time payload =
   let entry =
-    { time; seq = fresh_seq q; payload; cancelled = false; fired = false;
-      where = loc_free; pos = -1 }
+    { time; time_ns = ns_mirror time; seq = fresh_seq q; payload;
+      cancelled = false; fired = false; where = loc_free; pos = -1 }
   in
   insert q entry;
   q.live <- q.live + 1;
@@ -429,7 +468,7 @@ let clear q =
     q.heap.(i) <- q.dummy
   done;
   q.heap_len <- 0;
-  for s = 0 to wheel_slots - 1 do
+  for s = 0 to q.wheel_slots - 1 do
     let arr = q.slots.(s) in
     for i = 0 to q.slot_len.(s) - 1 do
       arr.(i).cancelled <- true;
@@ -453,8 +492,8 @@ let clear q =
 (* Reusable timers *)
 
 let timer _q payload =
-  { time = Time.zero; seq = 0; payload; cancelled = true; fired = false;
-    where = loc_free; pos = -1 }
+  { time = Time.zero; time_ns = 0; seq = 0; payload; cancelled = true;
+    fired = false; where = loc_free; pos = -1 }
 
 let timer_armed e = e.where <> loc_free
 
@@ -471,6 +510,7 @@ let arm q e ~time =
     q.live <- q.live - 1
   end;
   e.time <- time;
+  e.time_ns <- ns_mirror time;
   e.seq <- fresh_seq q;
   e.cancelled <- false;
   e.fired <- false;

@@ -30,11 +30,24 @@ type 'a t
 type handle
 (** Names a scheduled event so it can be cancelled. *)
 
-val create : ?capacity:int -> unit -> 'a t
+val create : ?capacity:int -> ?tick_bits:int -> ?wheel_slots:int -> unit -> 'a t
 (** A fresh, empty queue.  [capacity] pre-sizes the overflow heap
     (default 256) so a simulation's steady-state event population never
-    pays for growth doublings; it is a hint, not a bound.  Raises
-    [Invalid_argument] if [capacity < 1]. *)
+    pays for growth doublings; it is a hint, not a bound.
+
+    [tick_bits] (default 16: 65.536 µs ticks) and [wheel_slots]
+    (default 256, must be a power of two) set the wheel geometry; the
+    window covers [2^tick_bits * wheel_slots] ns.  Events inside the
+    window are O(1) slot inserts; events beyond it take the overflow
+    heap at O(log n).  Geometry is purely a performance knob — the
+    firing order is exact (time, seq) for every setting, because each
+    drained tick is sorted before it fires.  Widen the window when the
+    steady-state timer population sits far beyond the default ~16.8 ms
+    (RTT-scale round clocks at consensus scale), where overflow-heap
+    churn would otherwise dominate the run.
+
+    Raises [Invalid_argument] if [capacity < 1], [tick_bits] is outside
+    [\[1, 40\]], or [wheel_slots] is not a power of two [>= 2]. *)
 
 val add : 'a t -> time:Time.t -> 'a -> handle
 (** [add q ~time x] schedules [x] at [time] and returns its handle.

@@ -15,9 +15,9 @@ type handle = Event_queue.handle
    physically distinct from every closure a caller can schedule. *)
 let no_event : unit -> unit = fun () -> ()
 
-let create ?capacity () =
-  { queue = Event_queue.create ?capacity (); clock = Time.zero; stopped = false;
-    executed = 0; fire_probe = None }
+let create ?capacity ?tick_bits ?wheel_slots () =
+  { queue = Event_queue.create ?capacity ?tick_bits ?wheel_slots ();
+    clock = Time.zero; stopped = false; executed = 0; fire_probe = None }
 
 let now t = t.clock
 

@@ -19,10 +19,14 @@ type t
 type handle = Event_queue.handle
 (** Names a pending event for cancellation. *)
 
-val create : ?capacity:int -> unit -> t
+val create : ?capacity:int -> ?tick_bits:int -> ?wheel_slots:int -> unit -> t
 (** A fresh simulation at time {!Time.zero} with an empty event list.
-    [capacity] pre-sizes the future event list (see
-    {!Event_queue.create}). *)
+    [capacity] pre-sizes the future event list and
+    [tick_bits]/[wheel_slots] set the timer-wheel geometry (see
+    {!Event_queue.create}) — geometry only affects performance, never
+    firing order.  Workloads whose steady-state timers are much longer
+    than the default ~16.8 ms window (e.g. RTT-scale round clocks)
+    should widen it to keep insertion O(1). *)
 
 val now : t -> Time.t
 (** The current simulated instant. *)

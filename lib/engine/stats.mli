@@ -53,6 +53,66 @@ module Histogram : sig
   (** The fullest bin, ties broken towards the lower edge. *)
 end
 
+(** {1 Streaming quantile sketch} *)
+
+module Sketch : sig
+  (** A fixed-bin mergeable histogram for streaming quantiles.
+
+      Consensus-scale runs complete millions of circuits; retaining one
+      float per circuit just to read a few percentiles at the end is
+      the memory bottleneck.  A sketch holds [bins] integer counters
+      over a fixed value range plus exact min/max/sum — O(bins) memory
+      for any stream length — and answers quantiles by cumulative walk
+      with linear interpolation inside the target bin, so the error is
+      at most one bin width (exact at the observed extremes).
+
+      The state is a function of the sample multiset alone: feeding the
+      same samples in any order yields a structurally equal sketch, and
+      {!merge} is plain counter addition — associative, commutative,
+      and deterministic, which is what keeps [--jobs 1/2/4] runs
+      byte-identical when per-shard sketches are combined. *)
+
+  type t
+
+  val create : ?bins:int -> lo:float -> hi:float -> unit -> t
+  (** [bins] equal-width bins over [\[lo, hi)] (default 512).  Samples
+      outside the range are counted in side bins and answered as the
+      exact observed min/max.  Raises [Invalid_argument] unless
+      [bins >= 1] and [lo < hi] (finite). *)
+
+  val add : t -> float -> unit
+  (** Raises [Invalid_argument] on non-finite samples. *)
+
+  val count : t -> int
+  val bins : t -> int
+  val range : t -> float * float
+
+  val min : t -> float
+  (** Exact smallest sample; [nan] if empty. *)
+
+  val max : t -> float
+  (** Exact largest sample; [nan] if empty. *)
+
+  val mean : t -> float
+  (** Exact mean; [nan] if empty. *)
+
+  val merge : t -> t -> t
+  (** Fresh sketch equivalent to having seen both streams.  Raises
+      [Invalid_argument] if the bin layouts differ. *)
+
+  val quantile : t -> float -> float
+  (** [quantile t q] for [q] in [\[0, 1\]]: estimated smallest x with
+      fraction-below [>= q] (the {!Cdf.quantile} convention), clamped
+      to the exact observed [\[min, max\]].  Error is bounded by one
+      bin width for in-range samples.  Raises [Invalid_argument] on an
+      empty sketch or [q] outside the range. *)
+
+  val cdf_points : t -> (float * float) list
+  (** Ascending step points [(value, cumulative fraction)], one per
+      non-empty bin at its (clamped) upper edge, closing at
+      [(max, 1.)].  Empty sketch gives []. *)
+end
+
 (** {1 Sample buffers} *)
 
 module Samples : sig
@@ -62,13 +122,25 @@ module Samples : sig
       query several percentiles of the same data; this keeps the
       samples in a flat, doubling float array (no list cells) and
       sorts at most once per burst of queries — the cache is
-      invalidated by the next {!add}. *)
+      invalidated by the next {!add}.
+
+      At consensus scale, exact retention is the memory bottleneck:
+      {!Bounded} mode feeds every sample to a {!Sketch} instead and
+      answers percentiles from it in O(bins) memory.  The default
+      {!Exact} mode is byte-identical to the historical behaviour. *)
+
+  type mode =
+    | Exact  (** Retain every sample; exact percentiles (default). *)
+    | Bounded of { bins : int; lo : float; hi : float }
+        (** Sketch-backed: O(bins) memory, percentile error bounded by
+            one bin width; {!to_array}/{!sorted} become unavailable. *)
 
   type t
 
-  val create : ?capacity:int -> unit -> t
+  val create : ?capacity:int -> ?mode:mode -> unit -> t
   (** An empty buffer; [capacity] pre-sizes the backing array (default
-      64).  Raises [Invalid_argument] if [capacity < 1]. *)
+      64) and is ignored in [Bounded] mode.  Raises [Invalid_argument]
+      if [capacity < 1] or the bounded layout is invalid. *)
 
   val add : t -> float -> unit
   val add_all : t -> float array -> unit
@@ -78,15 +150,19 @@ module Samples : sig
   val is_empty : t -> bool
 
   val to_array : t -> float array
-  (** The samples in insertion order (fresh array). *)
+  (** The samples in insertion order (fresh array).  Raises
+      [Invalid_argument] in [Bounded] mode — samples are not
+      retained. *)
 
   val sorted : t -> float array
   (** The samples in ascending order.  The returned array is the cache
-      itself — treat it as read-only. *)
+      itself — treat it as read-only.  Raises [Invalid_argument] in
+      [Bounded] mode. *)
 
   val percentile : t -> float -> float
   (** Linear rank interpolation on the cached sorted view; same
-      contract as the array {!val:percentile}. *)
+      contract as the array {!val:percentile}.  In [Bounded] mode,
+      answered by {!Sketch.quantile} (error at most one bin width). *)
 
   val median : t -> float
   val min : t -> float
@@ -100,7 +176,7 @@ module Samples : sig
 
   val cdf_points : t -> (float * float) list
   (** Empirical CDF of the samples; same contract as the array
-      {!val:cdf_points}. *)
+      {!val:cdf_points}.  In [Bounded] mode, {!Sketch.cdf_points}. *)
 end
 
 (** {1 Array statistics} *)

@@ -57,7 +57,9 @@ let refresh_overload t =
 let admits t c =
   Hashtbl.mem t.table (key c)
   || !Switchboard.unsafe_disable_budget
-  || not (table_full t || Switchboard.byte_overloaded t.sb)
+  || Switchboard.within_budget (Switchboard.budget t.sb)
+       ~circuits:(Hashtbl.length t.table)
+       ~queued_bytes:(Switchboard.queued_bytes t.sb)
 
 (* Tor's [circuits_handle_oom] analog: kill heaviest circuits until the
    node is back under its byte budget.  Each kill aborts the local

@@ -4,6 +4,16 @@ type budget = { max_circuits : int option; max_queued_bytes : int option }
 
 let no_budget = { max_circuits = None; max_queued_bytes = None }
 
+(* The one admission predicate, shared by the relay CREATE path
+   ([Relay_ctl.admits]) and by workloads that model relay occupancy
+   with flat counters instead of live switchboards
+   ([Workload.Network_experiment]). *)
+let within_budget b ~circuits ~queued_bytes =
+  (match b.max_circuits with Some cap -> circuits < cap | None -> true)
+  && match b.max_queued_bytes with
+     | Some cap -> queued_bytes <= cap
+     | None -> true
+
 (* Test-only escape hatch: while [true], budget *enforcement* (the
    overflow responder and admission refusals keyed off this module) is
    suppressed but the byte accounting keeps running — so the budget

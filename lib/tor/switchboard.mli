@@ -91,6 +91,14 @@ type budget = {
 val no_budget : budget
 (** Both caps off — the default for every freshly installed node. *)
 
+val within_budget : budget -> circuits:int -> queued_bytes:int -> bool
+(** The pure admission predicate: would a relay holding [circuits]
+    routing entries and [queued_bytes] bytes of queued cells admit one
+    more circuit under [budget]?  ([circuits] strictly below the cap,
+    [queued_bytes] at most the cap.)  Shared by {!Relay_ctl} admission
+    and by consensus-scale workloads that track occupancy in flat
+    counters instead of live switchboards. *)
+
 val set_budget : t -> budget -> unit
 val budget : t -> budget
 

@@ -1,0 +1,647 @@
+(* Consensus-scale network workload.
+
+   The packet-level experiments (star / fault / overload) model every
+   cell on every link; at thousands of relays and 10^5 concurrent
+   circuits that is billions of events per run.  This experiment keeps
+   the same timer-wheel engine and the same controller *semantics* but
+   moves the data plane up one level: a circuit is advanced once per
+   RTT round, delivering [min cwnd bdp] cells against its bottleneck
+   hop's fair share.  One event per circuit per round is what makes a
+   million circuit lifetimes per run affordable.
+
+   All hot-path state is pooled flat records — the PR-4 free-list
+   pattern generalized from [Backtap.Hop_sender]'s pending pool:
+
+   - relay occupancy lives in [active]/[load_cells] int arrays charged
+     and credited exactly like [Switchboard]'s budget counters (the
+     admission predicate IS [Switchboard.within_budget]);
+   - circuit records are strided slices of one flat int array recycled
+     through an int-stack free list; arrival and teardown allocate
+     nothing, and a round touches one cache-resident record;
+   - TTLB analysis is streamed into fixed-bin {!Engine.Stats.Sketch}es,
+     O(1) memory per circuit.
+
+   Everything is a deterministic function of (seed, config): per-slot
+   RNG streams are split from the master seed in a fixed order at
+   setup, so runs are byte-identical across [--jobs 1/2/4] and paired
+   CS-vs-SS comparisons share the identical population, arrival and
+   size draws. *)
+
+type config = {
+  relays : int;
+  slots : int;
+  target_lifetimes : int;
+  duration : Engine.Time.t;
+  population : Relay_gen.config;
+  budget : Tor_model.Switchboard.budget;
+  mean_think : Engine.Time.t;
+  diurnal_amplitude : float;
+  diurnal_period : Engine.Time.t;
+  elephant_fraction : float;
+  elephant_cells : int;
+  mice_cells : int;
+  initial_cwnd : int;
+  cwnd_cap : int;
+  access_delay : Engine.Time.t;
+  max_path_redraws : int;
+  strategy : Circuitstart.Controller.strategy;
+  sketch_bins : int;
+  sketch_max : Engine.Time.t;
+  retain_exact : bool;
+}
+
+let default_config =
+  {
+    relays = 200;
+    slots = 2_000;
+    target_lifetimes = 0;
+    duration = Engine.Time.zero;
+    population = Relay_gen.default_config;
+    budget = Tor_model.Switchboard.no_budget;
+    mean_think = Engine.Time.ms 500;
+    diurnal_amplitude = 0.;
+    diurnal_period = Engine.Time.s 600;
+    elephant_fraction = 0.05;
+    elephant_cells = 4_096;
+    mice_cells = 32;
+    initial_cwnd = 1;
+    cwnd_cap = 10_000;
+    access_delay = Engine.Time.ms 10;
+    max_path_redraws = 4;
+    strategy = Circuitstart.Controller.Circuit_start;
+    sketch_bins = 2_048;
+    sketch_max = Engine.Time.s 600;
+    retain_exact = false;
+  }
+
+let validate_config c =
+  if c.relays < 4 then Error "relays must be at least 4 (3 distinct hops + spare)"
+  else if c.slots < 1 then Error "slots must be positive"
+  else if c.target_lifetimes < 0 then Error "target_lifetimes must be >= 0"
+  else if Engine.Time.is_negative c.duration then Error "duration must be >= 0"
+  else if Engine.Time.(c.mean_think <= Engine.Time.zero) then
+    Error "mean_think must be positive"
+  else if
+    not (Float.is_finite c.diurnal_amplitude)
+    || c.diurnal_amplitude < 0. || c.diurnal_amplitude > 0.95
+  then Error "diurnal_amplitude must be in [0, 0.95]"
+  else if Engine.Time.(c.diurnal_period <= Engine.Time.zero) then
+    Error "diurnal_period must be positive"
+  else if
+    not (Float.is_finite c.elephant_fraction)
+    || c.elephant_fraction < 0. || c.elephant_fraction > 1.
+  then Error "elephant_fraction must be in [0, 1]"
+  else if c.elephant_cells < 1 || c.mice_cells < 1 then
+    Error "transfer sizes must be positive"
+  else if c.initial_cwnd < 1 then Error "initial_cwnd must be positive"
+  else if c.cwnd_cap < c.initial_cwnd then Error "cwnd_cap must be >= initial_cwnd"
+  else if c.max_path_redraws < 0 then Error "max_path_redraws must be >= 0"
+  else if (match c.budget.Tor_model.Switchboard.max_circuits with
+           | Some n -> n < 1 | None -> false)
+  then Error "budget.max_circuits must be positive when set"
+  else if (match c.budget.Tor_model.Switchboard.max_queued_bytes with
+           | Some n -> n < 1 | None -> false)
+  then Error "budget.max_queued_bytes must be positive when set"
+  else if c.sketch_bins < 1 then Error "sketch_bins must be positive"
+  else if Engine.Time.(c.sketch_max <= Engine.Time.zero) then
+    Error "sketch_max must be positive"
+  else
+    match Relay_gen.validate_config c.population with
+    | Error msg -> Error msg
+    | Ok _ -> Ok c
+
+let lifetimes_goal c =
+  if c.target_lifetimes > 0 then c.target_lifetimes else 10 * c.slots
+
+type result = {
+  relays : int;
+  slots : int;
+  completed : int;
+  mice : int;
+  elephants : int;
+  arrivals : int;
+  elephant_arrivals : int;
+  refused_arrivals : int;
+  admission_redraws : int;
+  abandoned : int;
+  delivered_cells : int;
+  rounds : int;
+  pool_recycles : int;
+  peak_active : int;
+  ttlb_all : Engine.Stats.Sketch.t;
+  ttlb_mice : Engine.Stats.Sketch.t;
+  ttlb_elephants : Engine.Stats.Sketch.t;
+  ttlb_exact : float array;
+  orphaned_circuits : int;
+  orphaned_cells : int;
+  end_time : Engine.Time.t;
+  wall_events : int;
+}
+
+(* Test/fuzz hook: when set, teardown skips crediting the released
+   circuit's occupancy back to its relays — the classic pool-recycling
+   bug where a recycled record's charges outlive it.  The run then ends
+   with nonzero [orphaned_circuits]/[orphaned_cells], which the check
+   harness's pool oracle flags. *)
+let unsafe_disable_pool_release = ref false
+
+(* Phases of the round-level controller. *)
+let phase_ramp = 0
+let phase_steady = 1
+let phase_fixed = 2  (* [Fixed _] strategy: the window never moves *)
+
+(* Field offsets within one strided circuit record ([state.circ]). *)
+let f_hop0 = 0
+let f_hop1 = 1
+let f_hop2 = 2
+let f_remaining = 3
+let f_cwnd = 4
+let f_phase = 5
+let f_kind = 6  (* 0 = mouse, 1 = elephant *)
+let f_started_ns = 7
+let f_rtt_ns = 8
+let f_used = 9  (* the record has served at least one circuit *)
+let stride = 10
+
+type state = {
+  config : config;
+  sim : Engine.Sim.t;
+  (* Relay population (struct of arrays). *)
+  cap_cps : float array;  (* bandwidth in cells/sec *)
+  lat_ns : int array;
+  active : int array;  (* circuits currently routed through the relay *)
+  load_cells : int array;  (* queued cells charged by those circuits *)
+  cum_all : float array;  (* cumulative bandwidth weights, all relays *)
+  exit_ids : int array;
+  cum_exit : float array;
+  (* Circuit pool: flat records of [stride] ints each, free-list
+     recycled.  One strided record, not parallel arrays: a round event
+     touches every field of one circuit, so keeping the fields adjacent
+     costs ~2 cache lines per event where 10 separate 10^5-entry arrays
+     cost ~10 misses — at a million events per second that locality is
+     the difference, not the arithmetic. *)
+  circ : int array;  (* slots * stride; field offsets [f_*] below *)
+  (* [c_rtt.(i)] is the boxed [Time.t] of session [i]'s current
+     circuit's [f_rtt_ns], built once at arrival: without flambda every
+     [Time.ns] call allocates a fresh Int64 box, and the round timer
+     rearms ~50 times per lifetime.  Indexed per session (a slot hosts
+     at most one circuit at a time). *)
+  c_rtt : Engine.Time.t array;
+  free : int array;
+  mutable free_top : int;
+  (* Session slots.  [s_timer] is filled right after construction (its
+     callbacks close over the state record). *)
+  mutable s_timer : Engine.Sim.Timer.t array;
+  s_rng : Engine.Rng.t array;
+  s_circ : int array;  (* pool index, or -1 while thinking *)
+  (* Counters and streaming analysis. *)
+  mutable completed : int;
+  mutable mice_done : int;
+  mutable elephants_done : int;
+  mutable arrivals : int;
+  mutable elephant_arrivals : int;
+  mutable refused_arrivals : int;
+  mutable admission_redraws : int;
+  mutable delivered_cells : int;
+  mutable rounds : int;
+  mutable pool_recycles : int;
+  mutable live : int;
+  mutable peak_active : int;
+  goal : int;
+  ttlb_all : Engine.Stats.Sketch.t;
+  ttlb_mice : Engine.Stats.Sketch.t;
+  ttlb_elephants : Engine.Stats.Sketch.t;
+  exact : Engine.Stats.Samples.t option;
+  cell_bytes : int;
+}
+
+let now_ns st = Int64.to_int (Engine.Time.to_ns (Engine.Sim.now st.sim))
+
+(* Bandwidth-weighted draw: binary search for the first cumulative
+   weight exceeding a uniform draw over the total. *)
+let draw_weighted rng cum =
+  let n = Array.length cum in
+  let u = Engine.Rng.float rng cum.(n - 1) in
+  let lo = ref 0 and hi = ref (n - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cum.(mid) <= u then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* Draw a relay id, mapping through [ids] when drawing from a
+   flag-restricted sub-population (exits). *)
+let draw_id rng cum ids =
+  let i = draw_weighted rng cum in
+  match ids with Some ids -> ids.(i) | None -> i
+
+(* Draw a relay distinct from [a] and [b]: a few weighted redraws, then
+   a deterministic scan so selection can never loop. *)
+let draw_distinct st rng cum ids ~a ~b =
+  let r = ref (draw_id rng cum ids) in
+  let tries = ref 0 in
+  while (!r = a || !r = b) && !tries < 8 do
+    r := draw_id rng cum ids;
+    incr tries
+  done;
+  if !r <> a && !r <> b then !r
+  else begin
+    let n = st.config.relays in
+    let c = ref ((!r + 1) mod n) in
+    while !c = a || !c = b do
+      c := (!c + 1) mod n
+    done;
+    !c
+  end
+
+let admits st r =
+  Tor_model.Switchboard.within_budget st.config.budget ~circuits:st.active.(r)
+    ~queued_bytes:(st.load_cells.(r) * st.cell_bytes)
+
+let charge_hop st r delta_cells =
+  st.load_cells.(r) <- st.load_cells.(r) + delta_cells
+
+(* Return a circuit record to the pool.  Crediting the occupancy back
+   to the relays is the part a recycling bug forgets — modeled by the
+   [unsafe_disable_pool_release] hook. *)
+let unregister st r cwnd =
+  st.active.(r) <- st.active.(r) - 1;
+  charge_hop st r (-cwnd)
+
+(* [p] is the record's base offset into [st.circ] (slot * stride) —
+   the free list and the session slots store base offsets directly, so
+   the hot path never multiplies. *)
+let release st p =
+  if not !unsafe_disable_pool_release then begin
+    let cwnd = st.circ.(p + f_cwnd) in
+    unregister st st.circ.(p + f_hop0) cwnd;
+    unregister st st.circ.(p + f_hop1) cwnd;
+    unregister st st.circ.(p + f_hop2) cwnd
+  end;
+  st.live <- st.live - 1;
+  st.free.(st.free_top) <- p;
+  st.free_top <- st.free_top + 1
+
+let diurnal_factor st =
+  let a = st.config.diurnal_amplitude in
+  if a = 0. then 1.
+  else
+    let t = Engine.Time.to_sec_f (Engine.Sim.now st.sim) in
+    let period = Engine.Time.to_sec_f st.config.diurnal_period in
+    1. +. (a *. Float.sin (2. *. Float.pi *. t /. period))
+
+let think st i =
+  let mean =
+    Engine.Time.to_sec_f st.config.mean_think /. diurnal_factor st
+  in
+  let delay = Engine.Rng.exponential st.s_rng.(i) ~mean in
+  Engine.Sim.Timer.arm_after st.sim st.s_timer.(i) (Engine.Time.of_sec_f delay)
+
+let complete st i p =
+  let ttlb =
+    float_of_int (now_ns st - st.circ.(p + f_started_ns)) *. 1e-9
+  in
+  Engine.Stats.Sketch.add st.ttlb_all ttlb;
+  if st.circ.(p + f_kind) = 1 then begin
+    st.elephants_done <- st.elephants_done + 1;
+    Engine.Stats.Sketch.add st.ttlb_elephants ttlb
+  end
+  else begin
+    st.mice_done <- st.mice_done + 1;
+    Engine.Stats.Sketch.add st.ttlb_mice ttlb
+  end;
+  (match st.exact with
+  | Some samples -> Engine.Stats.Samples.add samples ttlb
+  | None -> ());
+  release st p;
+  st.s_circ.(i) <- -1;
+  st.completed <- st.completed + 1;
+  if st.completed >= st.goal then Engine.Sim.stop st.sim else think st i
+
+(* One RTT round: deliver against the bottleneck hop's fair share, then
+   advance the window exactly like the controller does at round
+   granularity — double while ramping, compensate to the BDP estimate
+   (CircuitStart) or halve (slow start) on saturation, then track the
+   share at one cell per round. *)
+let round st i p =
+  st.rounds <- st.rounds + 1;
+  let h0 = st.circ.(p + f_hop0)
+  and h1 = st.circ.(p + f_hop1)
+  and h2 = st.circ.(p + f_hop2) in
+  (* The share computation is written out inline with bare [<]
+     comparisons: without flambda, a [share] helper or [Float.min]
+     would box its float result, ~10 words on every round event.
+     Kept local, the whole chain stays in registers. *)
+  let s0 = st.cap_cps.(h0) /. float_of_int st.active.(h0) in
+  let s1 = st.cap_cps.(h1) /. float_of_int st.active.(h1) in
+  let s2 = st.cap_cps.(h2) /. float_of_int st.active.(h2) in
+  let s01 = if s0 < s1 then s0 else s1 in
+  let share_cps = if s01 < s2 then s01 else s2 in
+  let rtt_s = float_of_int st.circ.(p + f_rtt_ns) *. 1e-9 in
+  let bdp =
+    let b = int_of_float (share_cps *. rtt_s) in
+    if b < 1 then 1 else if b > st.config.cwnd_cap then st.config.cwnd_cap else b
+  in
+  let cwnd = st.circ.(p + f_cwnd) in
+  let remaining = st.circ.(p + f_remaining) in
+  let deliver =
+    let d = if cwnd < bdp then cwnd else bdp in
+    if d < remaining then d else remaining
+  in
+  st.circ.(p + f_remaining) <- remaining - deliver;
+  st.delivered_cells <- st.delivered_cells + deliver;
+  if remaining - deliver <= 0 then complete st i p
+  else begin
+    let cwnd' =
+      if st.circ.(p + f_phase) = phase_fixed then cwnd
+      else if st.circ.(p + f_phase) = phase_ramp then
+        if cwnd >= bdp then begin
+          st.circ.(p + f_phase) <- phase_steady;
+          match st.config.strategy with
+          | Circuitstart.Controller.Circuit_start -> bdp
+          | Circuitstart.Controller.Slow_start ->
+              let h = cwnd / 2 in
+              if h < 1 then 1 else h
+          | Circuitstart.Controller.Fixed _ -> cwnd
+        end
+        else
+          let d = cwnd * 2 in
+          if d > st.config.cwnd_cap then st.config.cwnd_cap else d
+      else if cwnd < bdp then cwnd + 1
+      else if cwnd > bdp then cwnd - 1
+      else cwnd
+    in
+    if cwnd' <> cwnd then begin
+      let delta = cwnd' - cwnd in
+      charge_hop st h0 delta;
+      charge_hop st h1 delta;
+      charge_hop st h2 delta;
+      st.circ.(p + f_cwnd) <- cwnd'
+    end;
+    Engine.Sim.Timer.arm_after st.sim st.s_timer.(i) st.c_rtt.(i)
+  end
+
+let register st r cwnd =
+  st.active.(r) <- st.active.(r) + 1;
+  charge_hop st r cwnd
+
+let try_arrival st i =
+  let rng = st.s_rng.(i) in
+  let attempts = st.config.max_path_redraws + 1 in
+  let admitted = ref false in
+  let g = ref 0 and m = ref 0 and e = ref 0 in
+  let tries = ref 0 in
+  while (not !admitted) && !tries < attempts do
+    if !tries > 0 then st.admission_redraws <- st.admission_redraws + 1;
+    incr tries;
+    e := draw_distinct st rng st.cum_exit (Some st.exit_ids) ~a:(-1) ~b:(-1);
+    g := draw_distinct st rng st.cum_all None ~a:!e ~b:(-1);
+    m := draw_distinct st rng st.cum_all None ~a:!e ~b:!g;
+    admitted := admits st !g && admits st !m && admits st !e
+  done;
+  if not !admitted then begin
+    st.refused_arrivals <- st.refused_arrivals + 1;
+    think st i
+  end
+  else begin
+    assert (st.free_top > 0);
+    st.free_top <- st.free_top - 1;
+    let p = st.free.(st.free_top) in
+    if st.circ.(p + f_used) = 1 then st.pool_recycles <- st.pool_recycles + 1
+    else st.circ.(p + f_used) <- 1;
+    let elephant =
+      st.config.elephant_fraction > 0.
+      && Engine.Rng.float rng 1. < st.config.elephant_fraction
+    in
+    st.arrivals <- st.arrivals + 1;
+    if elephant then st.elephant_arrivals <- st.elephant_arrivals + 1;
+    st.circ.(p + f_hop0) <- !g;
+    st.circ.(p + f_hop1) <- !m;
+    st.circ.(p + f_hop2) <- !e;
+    st.circ.(p + f_remaining) <-
+      (if elephant then st.config.elephant_cells else st.config.mice_cells);
+    (match st.config.strategy with
+    | Circuitstart.Controller.Fixed w ->
+        st.circ.(p + f_cwnd) <-
+          Stdlib.min st.config.cwnd_cap (Stdlib.max 1 w);
+        st.circ.(p + f_phase) <- phase_fixed
+    | Circuitstart.Controller.Circuit_start | Circuitstart.Controller.Slow_start
+      ->
+        st.circ.(p + f_cwnd) <- st.config.initial_cwnd;
+        st.circ.(p + f_phase) <- phase_ramp);
+    st.circ.(p + f_kind) <- (if elephant then 1 else 0);
+    st.circ.(p + f_started_ns) <- now_ns st;
+    let rtt_ns =
+      let access = Int64.to_int (Engine.Time.to_ns st.config.access_delay) in
+      2 * (st.lat_ns.(!g) + st.lat_ns.(!m) + st.lat_ns.(!e) + (2 * access))
+    in
+    st.circ.(p + f_rtt_ns) <- rtt_ns;
+    st.c_rtt.(i) <- Engine.Time.ns rtt_ns;
+    let cwnd = st.circ.(p + f_cwnd) in
+    register st !g cwnd;
+    register st !m cwnd;
+    register st !e cwnd;
+    st.s_circ.(i) <- p;
+    st.live <- st.live + 1;
+    if st.live > st.peak_active then st.peak_active <- st.live;
+    Engine.Sim.Timer.arm_after st.sim st.s_timer.(i) st.c_rtt.(i)
+  end
+
+let step st i =
+  let p = st.s_circ.(i) in
+  if p < 0 then try_arrival st i else round st i p
+
+let run ?(seed = 42) config =
+  let config =
+    match validate_config config with
+    | Ok c -> c
+    | Error msg -> invalid_arg ("Network_experiment.run: " ^ msg)
+  in
+  let rng = Engine.Rng.create seed in
+  (* Fixed draw order: population first, then one stream per slot. *)
+  let pop_rng = Engine.Rng.split rng in
+  let slot_rngs = Array.init config.slots (fun _ -> Engine.Rng.split rng) in
+  let specs =
+    Array.of_list (Relay_gen.generate pop_rng config.population ~n:config.relays)
+  in
+  (* RTT-scale round timers and sub-second think timers dominate this
+     workload; widen the wheel window to ~1.07 s (2^20 ns ticks, 1024
+     slots) so the 10^5-strong steady-state timer population stays O(1)
+     slot inserts instead of overflow-heap churn.  Geometry never
+     affects firing order, only speed. *)
+  let sim =
+    Engine.Sim.create ~capacity:(Stdlib.max 256 config.slots) ~tick_bits:20
+      ~wheel_slots:1024 ()
+  in
+  let n = config.relays in
+  let cap_cps =
+    Array.map
+      (fun (s : Relay_gen.spec) ->
+        Engine.Units.Rate.to_bytes_per_sec s.bandwidth
+        /. float_of_int Backtap.Wire.cell_size)
+      specs
+  in
+  let lat_ns =
+    Array.map
+      (fun (s : Relay_gen.spec) -> Int64.to_int (Engine.Time.to_ns s.latency))
+      specs
+  in
+  let cum_all = Array.make n 0. in
+  let acc = ref 0. in
+  for i = 0 to n - 1 do
+    acc := !acc +. cap_cps.(i);
+    cum_all.(i) <- !acc
+  done;
+  let exit_ids =
+    specs
+    |> Array.to_list
+    |> List.mapi (fun i (s : Relay_gen.spec) -> (i, s))
+    |> List.filter (fun ((_, s) : int * Relay_gen.spec) ->
+           List.mem Tor_model.Relay_info.Exit s.flags)
+    |> List.map fst
+    |> Array.of_list
+  in
+  if Array.length exit_ids = 0 then
+    invalid_arg "Network_experiment.run: population has no exit relays";
+  let cum_exit = Array.make (Array.length exit_ids) 0. in
+  let acc = ref 0. in
+  Array.iteri
+    (fun i id ->
+      acc := !acc +. cap_cps.(id);
+      cum_exit.(i) <- !acc)
+    exit_ids;
+  let sketch () =
+    Engine.Stats.Sketch.create ~bins:config.sketch_bins ~lo:0.
+      ~hi:(Engine.Time.to_sec_f config.sketch_max)
+      ()
+  in
+  let slots = config.slots in
+  let st =
+    {
+      config;
+      sim;
+      cap_cps;
+      lat_ns;
+      active = Array.make n 0;
+      load_cells = Array.make n 0;
+      cum_all;
+      exit_ids;
+      cum_exit;
+      circ = Array.make (slots * stride) 0;
+      c_rtt = Array.make slots Engine.Time.zero;
+      free = Array.init slots (fun i -> (slots - 1 - i) * stride);
+      free_top = slots;
+      s_timer = [||];
+      s_rng = slot_rngs;
+      s_circ = Array.make slots (-1);
+      completed = 0;
+      mice_done = 0;
+      elephants_done = 0;
+      arrivals = 0;
+      elephant_arrivals = 0;
+      refused_arrivals = 0;
+      admission_redraws = 0;
+      delivered_cells = 0;
+      rounds = 0;
+      pool_recycles = 0;
+      live = 0;
+      peak_active = 0;
+      goal = lifetimes_goal config;
+      ttlb_all = sketch ();
+      ttlb_mice = sketch ();
+      ttlb_elephants = sketch ();
+      exact =
+        (if config.retain_exact then Some (Engine.Stats.Samples.create ())
+         else None);
+      cell_bytes = Backtap.Wire.cell_size;
+    }
+  in
+  st.s_timer <-
+    Array.init slots (fun i -> Engine.Sim.Timer.create sim (fun () -> step st i));
+  for i = 0 to slots - 1 do
+    think st i
+  done;
+  if Engine.Time.(config.duration > Engine.Time.zero) then
+    Engine.Sim.run sim ~until:config.duration
+  else Engine.Sim.run sim;
+  (* Tear down whatever was still in flight at the horizon, then audit
+     the pool: with correct recycling every relay's occupancy returns
+     to zero and the free list is full again. *)
+  let abandoned = ref 0 in
+  for i = 0 to slots - 1 do
+    let p = st.s_circ.(i) in
+    if p >= 0 then begin
+      incr abandoned;
+      release st p;
+      st.s_circ.(i) <- -1
+    end
+  done;
+  let orphaned_circuits = Array.fold_left ( + ) 0 st.active in
+  let orphaned_cells = Array.fold_left ( + ) 0 st.load_cells in
+  {
+    relays = config.relays;
+    slots = config.slots;
+    completed = st.completed;
+    mice = st.mice_done;
+    elephants = st.elephants_done;
+    arrivals = st.arrivals;
+    elephant_arrivals = st.elephant_arrivals;
+    refused_arrivals = st.refused_arrivals;
+    admission_redraws = st.admission_redraws;
+    abandoned = !abandoned;
+    delivered_cells = st.delivered_cells;
+    rounds = st.rounds;
+    pool_recycles = st.pool_recycles;
+    peak_active = st.peak_active;
+    ttlb_all = st.ttlb_all;
+    ttlb_mice = st.ttlb_mice;
+    ttlb_elephants = st.ttlb_elephants;
+    ttlb_exact =
+      (match st.exact with
+      | Some samples -> Engine.Stats.Samples.to_array samples
+      | None -> [||]);
+    orphaned_circuits;
+    orphaned_cells;
+    end_time = Engine.Sim.now sim;
+    wall_events = Engine.Sim.events_executed sim;
+  }
+
+let run_many ?jobs tasks =
+  Engine.Pool.map_list ?jobs (fun (seed, config) -> run ~seed config) tasks
+
+type comparison = { circuit_start : result; slow_start : result }
+
+(* Paired on the seed: identical population, arrival schedule, path and
+   size draws — the curves differ only through the startup strategy's
+   window trajectory. *)
+let compare_strategies ?jobs ?(seed = 42) config =
+  match
+    run_many ?jobs
+      [
+        (seed, { config with strategy = Circuitstart.Controller.Circuit_start });
+        (seed, { config with strategy = Circuitstart.Controller.Slow_start });
+      ]
+  with
+  | [ circuit_start; slow_start ] -> { circuit_start; slow_start }
+  | _ -> assert false
+
+let q sk qq =
+  if Engine.Stats.Sketch.count sk = 0 then nan
+  else Engine.Stats.Sketch.quantile sk qq
+
+let pp_result fmt (r : result) =
+  Format.fprintf fmt
+    "%d lifetimes (%d mice, %d elephants; %d arrivals, %d bulk) over %d \
+     relays / %d slots"
+    r.completed r.mice r.elephants r.arrivals r.elephant_arrivals r.relays
+    r.slots;
+  if r.refused_arrivals > 0 then
+    Format.fprintf fmt ", %d refused arrivals" r.refused_arrivals;
+  if r.abandoned > 0 then Format.fprintf fmt ", %d abandoned" r.abandoned;
+  Format.fprintf fmt ", ttlb p50/p90/p99 %.3f/%.3f/%.3f s" (q r.ttlb_all 0.5)
+    (q r.ttlb_all 0.9) (q r.ttlb_all 0.99);
+  Format.fprintf fmt ", %d cells, %d rounds, peak %d live, %d recycles"
+    r.delivered_cells r.rounds r.peak_active r.pool_recycles;
+  if r.orphaned_circuits > 0 || r.orphaned_cells > 0 then
+    Format.fprintf fmt ", ORPHANS %d circuits / %d cells" r.orphaned_circuits
+      r.orphaned_cells

@@ -1,0 +1,136 @@
+(** Consensus-scale network workload: a whole-Tor-network-shaped
+    population at round granularity.
+
+    The paper's F1c evaluates 50 circuits on a small star; this
+    experiment scales the same CS-vs-SS question to thousands of relays
+    and 10^5+ concurrent circuits by moving the data plane from
+    per-cell events to one event per circuit per RTT round.  Per round
+    a circuit delivers [min cwnd bdp] cells against its bottleneck
+    relay's fair share ([capacity / active circuits]) and advances its
+    window with the controller's round-level semantics: double while
+    ramping, then on saturation either compensate to the BDP estimate
+    (CircuitStart) or halve and climb back linearly (slow start).  At
+    small scale the resulting TTLB CDFs reproduce the F1c star shape;
+    at full scale a run completes millions of circuit lifetimes.
+
+    What makes that affordable:
+
+    - {b Pooled flat circuit state} — the PR-4 free-list pattern
+      generalized: circuits are parallel int arrays recycled through an
+      int-stack free list, relay occupancy is [active]/[load_cells]
+      counters charged and credited like {!Tor_model.Switchboard}'s
+      budget counters (admission is literally
+      {!Tor_model.Switchboard.within_budget}); arrival and teardown
+      allocate nothing.
+    - {b Streaming analysis} — TTLBs go straight into fixed-bin
+      {!Engine.Stats.Sketch}es (O(1) memory per circuit); exact
+      retention is opt-in ([retain_exact]) for small-scale validation.
+
+    The workload is a closed population of [slots] sessions cycling
+    exponential think time → circuit arrival → rounds → teardown, which
+    yields Poisson-like arrivals and departures at a pinned concurrency
+    ceiling; [elephant_fraction] of arrivals are bulk transfers, the
+    rest mice, and an optional diurnal wave modulates the arrival rate.
+    Deterministic per (seed, config): byte-identical across
+    [--jobs 1/2/4] and paired across strategies. *)
+
+type config = {
+  relays : int;  (** Population size; at least 4. *)
+  slots : int;  (** Concurrent session slots = circuit-pool size. *)
+  target_lifetimes : int;
+      (** Stop after this many completed circuits; [0] = [10 * slots]. *)
+  duration : Engine.Time.t;
+      (** Optional sim-time horizon; [zero] = until the lifetime goal. *)
+  population : Relay_gen.config;
+      (** Log-normal (heavy-tailed) bandwidth population. *)
+  budget : Tor_model.Switchboard.budget;
+      (** Per-relay admission budget applied to the flat occupancy
+          counters; {!Tor_model.Switchboard.no_budget} = admit all. *)
+  mean_think : Engine.Time.t;
+      (** Mean exponential think time between a slot's circuits. *)
+  diurnal_amplitude : float;
+      (** [0] = flat load; else the arrival rate is modulated by
+          [1 + a sin(2πt/period)].  Must be in [\[0, 0.95\]]. *)
+  diurnal_period : Engine.Time.t;
+  elephant_fraction : float;  (** Fraction of arrivals that are bulk. *)
+  elephant_cells : int;
+  mice_cells : int;
+  initial_cwnd : int;  (** Ramp start, cells. *)
+  cwnd_cap : int;
+  access_delay : Engine.Time.t;  (** Client/server access latency. *)
+  max_path_redraws : int;
+      (** Admission-refused arrivals redraw this many times before
+          giving up (counted in [refused_arrivals]). *)
+  strategy : Circuitstart.Controller.strategy;
+  sketch_bins : int;
+  sketch_max : Engine.Time.t;  (** Upper edge of the TTLB sketches. *)
+  retain_exact : bool;
+      (** Also retain exact TTLBs (small scale only — O(n) memory). *)
+}
+
+val default_config : config
+(** 200 relays, 2000 slots, 20k lifetimes, 5% elephants of 4096 cells
+    over 32-cell mice, no budget, no diurnal wave. *)
+
+val validate_config : config -> (config, string) result
+
+val lifetimes_goal : config -> int
+(** The effective lifetime target: [target_lifetimes], or [10 * slots]
+    when it is 0. *)
+
+type result = {
+  relays : int;
+  slots : int;
+  completed : int;  (** Circuit lifetimes completed. *)
+  mice : int;  (** Completed mice. *)
+  elephants : int;
+      (** Completed elephants — often far below [elephant_arrivals]:
+          bulk transfers outlive the measurement horizon and show up in
+          [abandoned] instead, which is exactly the background load
+          they exist to provide. *)
+  arrivals : int;  (** Admitted circuit arrivals (all kinds). *)
+  elephant_arrivals : int;
+  refused_arrivals : int;
+      (** Arrivals that found no admissible path and went back to
+          thinking. *)
+  admission_redraws : int;
+  abandoned : int;  (** Circuits torn down live at the horizon. *)
+  delivered_cells : int;
+  rounds : int;  (** RTT-round events executed. *)
+  pool_recycles : int;
+      (** Arrivals served by a previously released pool record. *)
+  peak_active : int;  (** Highest concurrent circuit count. *)
+  ttlb_all : Engine.Stats.Sketch.t;
+  ttlb_mice : Engine.Stats.Sketch.t;
+  ttlb_elephants : Engine.Stats.Sketch.t;
+  ttlb_exact : float array;  (** [\[||\]] unless [retain_exact]. *)
+  orphaned_circuits : int;
+      (** Relay [active] occupancy left after every circuit was torn
+          down — 0 unless pool recycling is broken. *)
+  orphaned_cells : int;  (** Same for the queued-cell counters. *)
+  end_time : Engine.Time.t;
+  wall_events : int;
+}
+
+val unsafe_disable_pool_release : bool ref
+(** Test/fuzz hook: when [true], teardown skips crediting the released
+    circuit's occupancy back to its relays — the canonical pool-reuse
+    bug.  Runs then end with nonzero orphan counters, which the check
+    harness's pool oracle flags (and shrinks).  Reset it. *)
+
+val run : ?seed:int -> config -> result
+(** Deterministic per [(seed, config)].  Raises [Invalid_argument] if
+    the config does not validate or the population draws no exit. *)
+
+val run_many : ?jobs:int -> (int * config) list -> result list
+(** One {!run} per task on a domain pool; results in task order,
+    byte-identical to sequential mapping. *)
+
+type comparison = { circuit_start : result; slow_start : result }
+
+val compare_strategies : ?jobs:int -> ?seed:int -> config -> comparison
+(** Both strategies against the identical seed — same population, same
+    arrivals, same path and size draws.  The config's own [strategy]
+    field is ignored. *)
+
+val pp_result : Format.formatter -> result -> unit

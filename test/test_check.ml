@@ -164,6 +164,7 @@ let stale_prone =
     oload_circuits = 0;
     oload_kib = 0;
     arrival_ms = 0;
+    lifet = 0;
   }
 
 (* With the guard disabled, find a scenario the oracles reject: the
@@ -242,6 +243,7 @@ let budget_prone =
     oload_circuits = 0;
     oload_kib = 8;  (* 8 KiB: a doubling window alone blows past it *)
     arrival_ms = 20;
+    lifet = 0;
   }
 
 let find_failing_budget () =
@@ -313,6 +315,10 @@ let test_scenario_config_jobs_deterministic () =
       Test_util.check_jobs_deterministic (fun jobs ->
           Workload.Overload_experiment.run_many ~jobs
             [ (sc.Check.Scenario.seed, Check.Scenario.overload_config sc) ])
+  | Check.Scenario.Network ->
+      Test_util.check_jobs_deterministic (fun jobs ->
+          Workload.Network_experiment.run_many ~jobs
+            [ (sc.Check.Scenario.seed, Check.Scenario.network_config sc) ])
 
 let () =
   Alcotest.run "check"

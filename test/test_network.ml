@@ -1,0 +1,438 @@
+(* Tests for the consensus-scale network workload and its supporting
+   machinery: the streaming histogram sketch, the pooled circuit state,
+   the CS-vs-SS shape at small scale, the Network check-harness kind,
+   and the perf-trajectory gate behind bench/trajectory.exe. *)
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Stats.Sketch *)
+
+let test_sketch_basics () =
+  let sk = Engine.Stats.Sketch.create ~bins:10 ~lo:0. ~hi:10. () in
+  Alcotest.(check int) "empty count" 0 (Engine.Stats.Sketch.count sk);
+  List.iter (Engine.Stats.Sketch.add sk) [ 1.5; 2.5; 2.6; 9.9 ];
+  Alcotest.(check int) "count" 4 (Engine.Stats.Sketch.count sk);
+  Alcotest.(check (float 1e-9)) "min exact" 1.5 (Engine.Stats.Sketch.min sk);
+  Alcotest.(check (float 1e-9)) "max exact" 9.9 (Engine.Stats.Sketch.max sk);
+  Alcotest.(check (float 1e-9)) "mean exact" 4.125 (Engine.Stats.Sketch.mean sk);
+  (* Out-of-range samples land in side bins but keep exact extremes. *)
+  Engine.Stats.Sketch.add sk (-3.);
+  Engine.Stats.Sketch.add sk 25.;
+  Alcotest.(check (float 1e-9)) "min below range" (-3.)
+    (Engine.Stats.Sketch.min sk);
+  Alcotest.(check (float 1e-9)) "max above range" 25.
+    (Engine.Stats.Sketch.max sk);
+  Alcotest.(check (float 1e-9)) "q0 is min" (-3.)
+    (Engine.Stats.Sketch.quantile sk 0.);
+  Alcotest.(check (float 1e-9)) "q1 is max" 25.
+    (Engine.Stats.Sketch.quantile sk 1.)
+
+let test_sketch_rejects () =
+  Alcotest.check_raises "lo >= hi"
+    (Invalid_argument "Sketch.create: need finite lo < hi") (fun () ->
+      ignore (Engine.Stats.Sketch.create ~lo:1. ~hi:1. ()));
+  let sk = Engine.Stats.Sketch.create ~lo:0. ~hi:1. () in
+  Alcotest.(check bool) "nan add raises" true
+    (match Engine.Stats.Sketch.add sk Float.nan with
+    | () -> false
+    | exception Invalid_argument _ -> true);
+  Alcotest.(check bool) "empty quantile raises" true
+    (match Engine.Stats.Sketch.quantile sk 0.5 with
+    | (_ : float) -> false
+    | exception Invalid_argument _ -> true)
+
+(* Exact quantile under the same convention as Sketch.quantile:
+   smallest sample whose fraction-below reaches q. *)
+let exact_quantile sorted q =
+  let n = Array.length sorted in
+  let i = int_of_float (Float.ceil (q *. float_of_int n)) - 1 in
+  sorted.(Stdlib.max 0 (Stdlib.min (n - 1) i))
+
+let gen_samples =
+  QCheck2.Gen.(list_size (int_range 1 300) (float_bound_exclusive 100.))
+
+let prop_sketch_quantile_within_bin =
+  QCheck2.Test.make ~name:"Sketch.quantile within one bin of exact"
+    ~count:100
+    QCheck2.Gen.(pair gen_samples (int_range 0 100))
+    (fun (xs, qi) ->
+      let bins = 64 in
+      let width = 100. /. float_of_int bins in
+      let sk = Engine.Stats.Sketch.create ~bins ~lo:0. ~hi:100. () in
+      List.iter (Engine.Stats.Sketch.add sk) xs;
+      let sorted = Array.of_list (List.sort compare xs) in
+      let q = float_of_int qi /. 100. in
+      let est = Engine.Stats.Sketch.quantile sk q in
+      Float.abs (est -. exact_quantile sorted q) <= width +. 1e-9)
+
+(* Associativity is checked on the observable distribution — counters,
+   extremes, cdf — not on raw structural equality: the exact running
+   [sum] is a float, and float addition re-associated across merges can
+   differ in the last ulp. *)
+let prop_sketch_merge_associative =
+  QCheck2.Test.make ~name:"Sketch.merge associative, order-independent"
+    ~count:100
+    QCheck2.Gen.(triple gen_samples gen_samples gen_samples)
+    (fun (a, b, c) ->
+      let mk xs =
+        let sk = Engine.Stats.Sketch.create ~bins:32 ~lo:0. ~hi:100. () in
+        List.iter (Engine.Stats.Sketch.add sk) xs;
+        sk
+      in
+      let sa = mk a and sb = mk b and sc = mk c in
+      let m = Engine.Stats.Sketch.merge in
+      let same x y =
+        Engine.Stats.Sketch.count x = Engine.Stats.Sketch.count y
+        && compare (Engine.Stats.Sketch.min x) (Engine.Stats.Sketch.min y) = 0
+        && compare (Engine.Stats.Sketch.max x) (Engine.Stats.Sketch.max y) = 0
+        && compare
+             (Engine.Stats.Sketch.cdf_points x)
+             (Engine.Stats.Sketch.cdf_points y)
+           = 0
+        && Float.abs (Engine.Stats.Sketch.mean x -. Engine.Stats.Sketch.mean y)
+           <= 1e-9 *. (1. +. Float.abs (Engine.Stats.Sketch.mean x))
+      in
+      same (m (m sa sb) sc) (m sa (m sb sc))
+      && same (m (m sa sb) sc) (mk (a @ b @ c)))
+
+(* ------------------------------------------------------------------ *)
+(* Network experiment: pooled state and determinism *)
+
+let small_config =
+  {
+    Workload.Network_experiment.default_config with
+    Workload.Network_experiment.relays = 20;
+    slots = 60;
+    target_lifetimes = 600;
+    mean_think = Engine.Time.ms 40;
+    elephant_fraction = 0.1;
+    elephant_cells = 128;
+    mice_cells = 16;
+    sketch_bins = 512;
+    sketch_max = Engine.Time.s 60;
+  }
+
+let test_pool_recycles_no_orphans () =
+  let r = Workload.Network_experiment.run ~seed:11 small_config in
+  Alcotest.(check int) "hits the lifetime goal"
+    (Workload.Network_experiment.lifetimes_goal small_config)
+    r.Workload.Network_experiment.completed;
+  Alcotest.(check bool) "records were recycled" true
+    (r.Workload.Network_experiment.pool_recycles > 0);
+  Alcotest.(check int) "no orphaned circuit registrations" 0
+    r.Workload.Network_experiment.orphaned_circuits;
+  Alcotest.(check int) "no orphaned queued cells" 0
+    r.Workload.Network_experiment.orphaned_cells;
+  Alcotest.(check bool) "peak never exceeds the slot population" true
+    (r.Workload.Network_experiment.peak_active <= small_config.slots)
+
+let test_network_jobs_deterministic () =
+  Test_util.check_jobs_deterministic (fun jobs ->
+      Workload.Network_experiment.run_many ~jobs
+        [
+          (3, small_config);
+          (7, { small_config with diurnal_amplitude = 0.5 });
+        ])
+
+let test_validate_config_rejects () =
+  let bad msg c =
+    match Workload.Network_experiment.validate_config c with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail ("accepted invalid config: " ^ msg)
+  in
+  bad "too few relays" { small_config with relays = 3 };
+  bad "no slots" { small_config with slots = 0 };
+  bad "zero think" { small_config with mean_think = Engine.Time.zero };
+  bad "diurnal amplitude > 0.95" { small_config with diurnal_amplitude = 1.2 };
+  bad "elephant fraction > 1" { small_config with elephant_fraction = 1.5 };
+  bad "cwnd cap below initial" { small_config with cwnd_cap = 0 }
+
+(* Small-scale shape check against the paper's Figure 1c: on a paired
+   seed, CircuitStart's early compensation beats slow start at the
+   median, and the streaming sketch agrees with the exact retained
+   samples to within one bin width.  The config keeps the BDP a few
+   cells wide (64-cell mice over a 100-relay population) — at tiny
+   scale the window clamps to 1 and both strategies degenerate to the
+   same trajectory. *)
+let shape_config =
+  {
+    Workload.Network_experiment.default_config with
+    Workload.Network_experiment.relays = 100;
+    slots = 400;
+    target_lifetimes = 2_000;
+    mean_think = Engine.Time.ms 100;
+    elephant_fraction = 0.1;
+    elephant_cells = 512;
+    mice_cells = 64;
+    sketch_bins = 512;
+    sketch_max = Engine.Time.s 60;
+  }
+
+let test_small_scale_shape_and_sketch_agreement () =
+  let config = { shape_config with retain_exact = true } in
+  let cmp = Workload.Network_experiment.compare_strategies ~seed:11 config in
+  let cs = cmp.Workload.Network_experiment.circuit_start in
+  let ss = cmp.Workload.Network_experiment.slow_start in
+  let p50 (r : Workload.Network_experiment.result) =
+    Engine.Stats.Sketch.quantile r.ttlb_all 0.5
+  in
+  Alcotest.(check bool) "CS median TTLB <= SS median TTLB" true
+    (p50 cs <= p50 ss +. 1e-9);
+  let width =
+    Engine.Time.to_sec_f config.sketch_max /. float_of_int config.sketch_bins
+  in
+  let exact = Array.copy cs.Workload.Network_experiment.ttlb_exact in
+  Array.sort compare exact;
+  Alcotest.(check int) "exact samples retained"
+    cs.Workload.Network_experiment.completed (Array.length exact);
+  List.iter
+    (fun q ->
+      let est = Engine.Stats.Sketch.quantile cs.ttlb_all q in
+      Alcotest.(check bool)
+        (Printf.sprintf "sketch q%.2f within one bin of exact" q)
+        true
+        (Float.abs (est -. exact_quantile exact q) <= width +. 1e-9))
+    [ 0.25; 0.5; 0.9; 0.99 ]
+
+(* ------------------------------------------------------------------ *)
+(* The Network check kind catches a reintroduced pool-recycling bug *)
+
+let selection = Check.Oracle.all
+let check sc = Check.Harness.check_scenario ~selection sc
+
+(* A Network scenario small enough to shrink quickly but busy enough
+   that circuits complete (and therefore release pool records). *)
+let pool_prone =
+  {
+    Check.Scenario.kind = Check.Scenario.Network;
+    seed = 5;
+    relays = 8;
+    position = 1;
+    bytes = 8 * 1024;
+    loss_ppm = 0;
+    burst = false;
+    outage_ms = None;
+    crash_ms = None;
+    queue_cells = 0;
+    strategy = Check.Scenario.Cs;
+    bottleneck_kbps = 1000;
+    fast_kbps = 2000;
+    endpoint_kbps = 100_000;
+    max_rebuilds = 3;
+    sessions = 8;
+    oload_circuits = 0;
+    oload_kib = 0;
+    arrival_ms = 20;
+    lifet = 40;
+  }
+
+let find_failing_network () =
+  if Result.is_error (check pool_prone) then Some pool_prone
+  else
+    let rec go index =
+      if index >= 40 then None
+      else
+        let sc = Check.Scenario.generate ~seed:42 ~index in
+        if
+          sc.Check.Scenario.kind = Check.Scenario.Network
+          && Result.is_error (check sc)
+        then Some sc
+        else go (index + 1)
+    in
+    go 0
+
+let test_disabled_pool_release_is_caught () =
+  Workload.Network_experiment.unsafe_disable_pool_release := true;
+  let line =
+    Fun.protect
+      ~finally:(fun () ->
+        Workload.Network_experiment.unsafe_disable_pool_release := false)
+      (fun () ->
+        match find_failing_network () with
+        | None ->
+            Alcotest.fail
+              "no scenario tripped the oracles with pool release off"
+        | Some sc ->
+            (match check sc with
+            | Ok _ -> Alcotest.fail "scenario stopped failing on re-run"
+            | Error reason ->
+                Alcotest.(check bool)
+                  (Printf.sprintf "pool oracle named in: %s" reason)
+                  true
+                  (contains ~needle:"pool" reason));
+            (* The failure shrinks to a line that still fails on replay. *)
+            let shrunk = Check.Harness.shrink ~selection sc in
+            let line = Check.Scenario.to_string shrunk in
+            let buf = Buffer.create 256 in
+            let ppf = Format.formatter_of_buffer buf in
+            (match Check.Harness.replay ~selection line ppf with
+            | Ok false -> ()
+            | Ok true -> Alcotest.fail "shrunk reproducer passed on replay"
+            | Error e -> Alcotest.fail e);
+            line)
+  in
+  (* Release restored: the very same reproducer line is law-abiding. *)
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  match Check.Harness.replay ~selection line ppf with
+  | Ok true -> ()
+  | Ok false -> Alcotest.fail "reproducer still fails with release restored"
+  | Error e -> Alcotest.fail e
+
+(* ------------------------------------------------------------------ *)
+(* Perf_gate: the scanner, the floors file, the ratchet *)
+
+let sample_report =
+  "{\n\
+  \  \"pr\": 7,\n\
+  \  \"events_per_sec\": 1.25e6,\n\
+  \  \"minor_words_per_event\": 5.2,\n\
+  \  \"scale\": { \"sim_events\": 50482943 },\n\
+  \  \"paired\": { \"cs\": { \"sim_events\": 100 }, \"ss\": { \"sim_events\": 200 } }\n\
+   }\n"
+
+let test_find_number () =
+  Alcotest.(check (option (float 1e-3)))
+    "first occurrence wins" (Some 1.25e6)
+    (Analysis.Perf_gate.find_number ~key:"events_per_sec" sample_report);
+  Alcotest.(check (option (float 1e-9)))
+    "negative/decimal parse" (Some 5.2)
+    (Analysis.Perf_gate.find_number ~key:"minor_words_per_event" sample_report);
+  Alcotest.(check (option (float 1e-9)))
+    "absent key" None
+    (Analysis.Perf_gate.find_number ~key:"nonexistent" sample_report);
+  Alcotest.(check (list (float 1e-9)))
+    "all occurrences in order"
+    [ 50482943.; 100.; 200. ]
+    (Analysis.Perf_gate.find_numbers ~key:"sim_events" sample_report)
+
+let test_parse_floors () =
+  let text =
+    "# blessed on the reference machine\n\n\
+     BENCH_pr7.json events_per_sec min 1.0e6\n\
+     BENCH_pr7.json minor_words_per_event max 10\n"
+  in
+  (match Analysis.Perf_gate.parse_floors text with
+  | Ok [ a; b ] ->
+      Alcotest.(check string) "file" "BENCH_pr7.json" a.Analysis.Perf_gate.file;
+      Alcotest.(check bool) "min dir" true
+        (a.Analysis.Perf_gate.direction = Analysis.Perf_gate.Min);
+      Alcotest.(check bool) "max dir" true
+        (b.Analysis.Perf_gate.direction = Analysis.Perf_gate.Max);
+      Alcotest.(check (float 1e-3)) "bound" 1.0e6 a.Analysis.Perf_gate.bound
+  | Ok _ -> Alcotest.fail "wrong floor count"
+  | Error e -> Alcotest.fail e);
+  (match Analysis.Perf_gate.parse_floors "BENCH.json k sideways 3" with
+  | Error e ->
+      Alcotest.(check bool) "bad direction names line" true
+        (contains ~needle:"line 1" e)
+  | Ok _ -> Alcotest.fail "accepted bad direction");
+  match Analysis.Perf_gate.parse_floors "too few fields" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted short line"
+
+let gate_floors =
+  [
+    {
+      Analysis.Perf_gate.file = "BENCH_pr7.json";
+      key = "events_per_sec";
+      direction = Analysis.Perf_gate.Min;
+      bound = 1.0e6;
+    };
+    {
+      Analysis.Perf_gate.file = "BENCH_pr7.json";
+      key = "minor_words_per_event";
+      direction = Analysis.Perf_gate.Max;
+      bound = 5.0;
+    };
+  ]
+
+let read_sample name = if name = "BENCH_pr7.json" then Some sample_report else None
+
+let test_check_floors () =
+  (* tolerance 0: the Max floor (5.0 against a measured 5.2) trips. *)
+  (match Analysis.Perf_gate.check ~tolerance:0. ~read:read_sample gate_floors with
+  | [ min_o; max_o ] ->
+      Alcotest.(check bool) "min floor holds" true min_o.Analysis.Perf_gate.ok;
+      Alcotest.(check bool) "max floor trips at 0 tolerance" false
+        max_o.Analysis.Perf_gate.ok
+  | _ -> Alcotest.fail "wrong outcome count");
+  (* tolerance loosens: 5.0 * 1.1 = 5.5 covers the 5.2. *)
+  (match Analysis.Perf_gate.check ~tolerance:0.1 ~read:read_sample gate_floors with
+  | outcomes ->
+      Alcotest.(check bool) "all hold at 10% tolerance" true
+        (List.for_all (fun o -> o.Analysis.Perf_gate.ok) outcomes));
+  (* A missing report fails its floors rather than skipping them. *)
+  (match Analysis.Perf_gate.check ~tolerance:0.5 ~read:(fun _ -> None) gate_floors with
+  | outcomes ->
+      Alcotest.(check bool) "missing file fails" true
+        (List.for_all (fun o -> not o.Analysis.Perf_gate.ok) outcomes));
+  (* An injected regression fails even at a generous tolerance. *)
+  let slow =
+    "{ \"events_per_sec\": 4.0e5, \"minor_words_per_event\": 5.2 }"
+  in
+  match
+    Analysis.Perf_gate.check ~tolerance:0.25
+      ~read:(fun _ -> Some slow)
+      gate_floors
+  with
+  | min_o :: _ ->
+      Alcotest.(check bool) "regression caught" false min_o.Analysis.Perf_gate.ok
+  | [] -> Alcotest.fail "no outcomes"
+
+let test_trajectory () =
+  let r1 = "{ \"events_per_sec\": 2.0e5, \"total_sim_events\": 1000, \"sim_events\": 999 }" in
+  let r2 = sample_report in
+  match Analysis.Perf_gate.trajectory [ ("BENCH_pr6.json", r1); ("BENCH_pr7.json", r2) ] with
+  | [ a; b ] ->
+      Alcotest.(check (float 1e-9)) "total_sim_events preferred" 1000.
+        a.Analysis.Perf_gate.sim_events;
+      Alcotest.(check (float 1e-9)) "per-target counts summed" 50483243.
+        b.Analysis.Perf_gate.sim_events;
+      Alcotest.(check (float 1e-9)) "cumulative running sum" 50484243.
+        b.Analysis.Perf_gate.cumulative_events;
+      Alcotest.(check (option (float 1e-3))) "throughput carried" (Some 1.25e6)
+        b.Analysis.Perf_gate.events_per_sec
+  | _ -> Alcotest.fail "wrong row count"
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "network"
+    [
+      ( "sketch",
+        [
+          Alcotest.test_case "basics and side bins" `Quick test_sketch_basics;
+          Alcotest.test_case "rejects bad inputs" `Quick test_sketch_rejects;
+          QCheck_alcotest.to_alcotest prop_sketch_quantile_within_bin;
+          QCheck_alcotest.to_alcotest prop_sketch_merge_associative;
+        ] );
+      ( "experiment",
+        [
+          Alcotest.test_case "pool recycles with zero orphans" `Quick
+            test_pool_recycles_no_orphans;
+          Alcotest.test_case "jobs 1/2/4 byte-identical" `Slow
+            test_network_jobs_deterministic;
+          Alcotest.test_case "invalid configs rejected" `Quick
+            test_validate_config_rejects;
+          Alcotest.test_case "small-scale shape and sketch agreement" `Slow
+            test_small_scale_shape_and_sketch_agreement;
+        ] );
+      ( "check",
+        [
+          Alcotest.test_case "reintroduced pool bug is caught" `Slow
+            test_disabled_pool_release_is_caught;
+        ] );
+      ( "perf-gate",
+        [
+          Alcotest.test_case "number scanner" `Quick test_find_number;
+          Alcotest.test_case "floors file parsing" `Quick test_parse_floors;
+          Alcotest.test_case "floors, tolerance, regression" `Quick
+            test_check_floors;
+          Alcotest.test_case "trajectory rows" `Quick test_trajectory;
+        ] );
+    ]
