@@ -1039,6 +1039,163 @@ let table_network () =
     ~ss:c.slow_start ~scale ~scale_seconds ~minor_words
 
 (* ------------------------------------------------------------------ *)
+(* table-churn-scale: the same consensus-scale workload with the relay
+   churn schedule switched on — paired CS-vs-SS under churn, then one
+   full-scale churned run whose throughput and allocation rate are the
+   headline metrics of BENCH_pr8.json (gated by bench/trajectory.exe
+   against bench/perf_floors.txt, so the churn machinery can never
+   silently eat the round-level hot path). *)
+
+let write_churn_json path
+    ~(paired : Workload.Network_experiment.config)
+    ~(cs : Workload.Network_experiment.result)
+    ~(ss : Workload.Network_experiment.result)
+    ~(scale : Workload.Network_experiment.result) ~scale_seconds ~minor_words =
+  let side (r : Workload.Network_experiment.result) =
+    Printf.sprintf
+      "{\"completed\": %d, \"arrivals\": %d, \"refused\": %d, \"kills\": %d, \
+       \"resumed\": %d, \"gone_draws\": %d, \"draining_refusals\": %d, \
+       \"ttlb_p50_s\": %.6f, \"ttlb_p90_s\": %.6f, \"ttlb_p99_s\": %.6f, \
+       \"sim_events\": %d}"
+      r.completed r.arrivals r.refused_arrivals r.churn_kills r.resumed
+      r.gone_draws r.draining_refusals
+      (sketch_q r.ttlb_all 0.5) (sketch_q r.ttlb_all 0.9)
+      (sketch_q r.ttlb_all 0.99) r.wall_events
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf (Printf.sprintf "  \"pr\": 8,\n  \"jobs\": %d,\n" !jobs);
+  (* Headline metrics first and exactly once: the trajectory gate's
+     key scanner takes the first occurrence. *)
+  Buffer.add_string buf
+    (Printf.sprintf "  \"events_per_sec\": %.1f,\n"
+       (if scale_seconds > 0. then
+          float_of_int scale.wall_events /. scale_seconds
+        else 0.));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"minor_words_per_event\": %.4f,\n"
+       (if scale.wall_events > 0 then
+          minor_words /. float_of_int scale.wall_events
+        else 0.));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"scale\": {\"relays\": %d, \"slots\": %d, \"completed\": %d, \
+        \"peak_active\": %d, \"departs\": %d, \"crashes\": %d, \"drains\": \
+        %d, \"restarts\": %d, \"epochs\": %d, \"kills\": %d, \"resumed\": \
+        %d, \"gone_draws\": %d, \"draining_refusals\": %d, \"seconds\": \
+        %.3f, \"sim_events\": %d, \"ttlb_p50_s\": %.6f, \"ttlb_p90_s\": \
+        %.6f, \"ttlb_p99_s\": %.6f},\n"
+       scale.relays scale.slots scale.completed scale.peak_active
+       scale.churn_departs scale.churn_crashes scale.churn_drains_completed
+       scale.churn_restarts scale.churn_epochs scale.churn_kills scale.resumed
+       scale.gone_draws scale.draining_refusals scale_seconds scale.wall_events
+       (sketch_q scale.ttlb_all 0.5) (sketch_q scale.ttlb_all 0.9)
+       (sketch_q scale.ttlb_all 0.99));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"paired\": {\"relays\": %d, \"slots\": %d, \"lifetimes\": %d,\n\
+       \    \"circuitstart\": %s,\n    \"slowstart\": %s}\n"
+       paired.relays paired.slots
+       (Workload.Network_experiment.lifetimes_goal paired)
+       (side cs) (side ss));
+  Buffer.add_string buf "}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "[json] %s\n" path
+
+(* The churn knobs shared by the paired and the scale run: a 2%/s
+   departure hazard against a 10%/s rejoin hazard keeps ~83% of the
+   population up in steady state, with half the departures crashing and
+   half draining over a 2 s grace, under a 5 s consensus epoch. *)
+let churn_knobs (c : Workload.Network_experiment.config) =
+  { c with
+    Workload.Network_experiment.leave_hazard = 0.02;
+    join_hazard = 0.1;
+    crash_fraction = 0.5;
+    drain_grace = Engine.Time.s 2;
+    epoch_period = Engine.Time.s 5;
+    churn_tick = Engine.Time.s 1;
+    spare_relays = c.relays / 10;
+  }
+
+let table_churn_scale () =
+  section
+    "Table T-churn-scale (extra): consensus-scale workload under relay churn \
+     (paired + full scale)";
+  let paired = churn_knobs Workload.Network_experiment.default_config in
+  let c =
+    Workload.Network_experiment.compare_strategies ~jobs:!jobs ~seed:42 paired
+  in
+  note_events c.circuit_start.wall_events;
+  note_events c.slow_start.wall_events;
+  let t =
+    Analysis.Table.create
+      ~columns:
+        [ "strategy"; "done"; "arrivals"; "kills"; "resumed"; "gone";
+          "drain-ref"; "p50 ttlb"; "p90 ttlb"; "p99 ttlb" ]
+  in
+  let row label (r : Workload.Network_experiment.result) =
+    Analysis.Table.add_row t
+      [
+        label;
+        string_of_int r.completed;
+        string_of_int r.arrivals;
+        string_of_int r.churn_kills;
+        string_of_int r.resumed;
+        string_of_int r.gone_draws;
+        string_of_int r.draining_refusals;
+        Printf.sprintf "%.3fs" (sketch_q r.ttlb_all 0.5);
+        Printf.sprintf "%.3fs" (sketch_q r.ttlb_all 0.9);
+        Printf.sprintf "%.3fs" (sketch_q r.ttlb_all 0.99);
+      ]
+  in
+  row "circuitstart" c.circuit_start;
+  row "slowstart" c.slow_start;
+  print_string (Analysis.Table.render t);
+  let gap =
+    Analysis.Cdf.horizontal_gap
+      ~better:(Analysis.Cdf.of_sketch c.circuit_start.ttlb_all)
+      ~worse:(Analysis.Cdf.of_sketch c.slow_start.ttlb_all)
+  in
+  Printf.printf
+    "largest horizontal gap (CircuitStart earlier by): %.3fs over %d paired \
+     lifetimes under churn\n"
+    gap c.circuit_start.completed;
+  Printf.printf
+    "churn: %d departs (%d crashes, %d drains done), %d restarts, %d epochs, \
+     %d kills -> %d resumed\n"
+    c.circuit_start.churn_departs c.circuit_start.churn_crashes
+    c.circuit_start.churn_drains_completed c.circuit_start.churn_restarts
+    c.circuit_start.churn_epochs c.circuit_start.churn_kills
+    c.circuit_start.resumed;
+  (* The full-scale churned run: sequential on the main domain so the
+     minor-GC counter is attributable to this run alone. *)
+  let scale_config =
+    churn_knobs
+      { Workload.Network_experiment.default_config with
+        relays = 2_000;
+        slots = 100_000;
+        target_lifetimes = 1_000_000;
+        mean_think = Engine.Time.ms 200;
+      }
+  in
+  let minor0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  let scale = Workload.Network_experiment.run ~seed:7 scale_config in
+  let scale_seconds = Unix.gettimeofday () -. t0 in
+  let minor_words = Gc.minor_words () -. minor0 in
+  note_events scale.wall_events;
+  Format.printf "scale: %a@." Workload.Network_experiment.pp_result scale;
+  Printf.printf
+    "scale: %.1fs wall, %d events, %.0f events/sec, %.2f minor words/event\n"
+    scale_seconds scale.wall_events
+    (float_of_int scale.wall_events /. scale_seconds)
+    (minor_words /. float_of_int scale.wall_events);
+  write_churn_json "BENCH_pr8.json" ~paired ~cs:c.circuit_start
+    ~ss:c.slow_start ~scale ~scale_seconds ~minor_words
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per experiment plus the
    engine hot paths, all grouped in one run. *)
 
@@ -1221,6 +1378,7 @@ let all_targets =
     ("table-recovery", table_recovery);
     ("table-overload", table_overload);
     ("table-network", table_network);
+    ("table-churn-scale", table_churn_scale);
   ]
 
 let () =

@@ -670,8 +670,32 @@ let recover_cmd =
 (* ------------------------------------------------------------------ *)
 (* overload *)
 
+(* Friendly numeric-flag validation (first failure wins).  A negative
+   budget must be a one-line usage error with a nonzero exit, not a
+   silent "unlimited": the  <= 0 -> None  translation below would
+   otherwise swallow the typo. *)
+let flag_errors checks =
+  List.find_map (fun (ok, flag, want, got) ->
+      if ok then None
+      else Some (Printf.sprintf "%s must be %s (got %d)" flag want got))
+    checks
+
 let run_overload sessions kib relays budget_kib max_circuits arrival_ms seed
     jobs verbose =
+  match
+    flag_errors
+      [
+        (sessions > 0, "--sessions", "positive", sessions);
+        (kib > 0, "--kib", "positive", kib);
+        (relays > 0, "--relays", "positive", relays);
+        (budget_kib >= 0, "--budget-kib", ">= 0 (0 = unlimited)", budget_kib);
+        (max_circuits >= 0, "--max-circuits", ">= 0 (0 = unlimited)",
+         max_circuits);
+        (arrival_ms > 0, "--arrival-ms", "positive", arrival_ms);
+      ]
+  with
+  | Some msg -> `Error (false, msg)
+  | None ->
   let config =
     { Workload.Overload_experiment.default_config with
       Workload.Overload_experiment.sessions;
@@ -769,12 +793,46 @@ let overload_cmd =
 (* ------------------------------------------------------------------ *)
 (* network *)
 
+(* "-" rather than an exception (or a "nans" cell) when a strategy
+   completed nothing — an all-refused or churned-out run is a valid
+   result, not a crash. *)
 let network_q sk p =
-  if Engine.Stats.Sketch.count sk = 0 then nan
-  else Engine.Stats.Sketch.quantile sk p
+  match Engine.Stats.Sketch.quantile_opt sk p with
+  | Some x -> Printf.sprintf "%.3fs" x
+  | None -> "-"
+
+let network_gap ~better ~worse =
+  match (Analysis.Cdf.of_sketch_opt better, Analysis.Cdf.of_sketch_opt worse) with
+  | Some better, Some worse ->
+      Printf.printf "largest horizontal gap (CircuitStart earlier by): %.3fs\n"
+        (Analysis.Cdf.horizontal_gap ~better ~worse)
+  | _ ->
+      print_string
+        "largest horizontal gap: n/a (a strategy completed no circuits)\n"
+
+let network_flag_errors ~relays ~circuits ~lifetimes ~duration_s ~think_ms
+    ~budget_kib ~max_circuits =
+  flag_errors
+    [
+      (relays > 0, "--relays", "positive", relays);
+      (circuits > 0, "--circuits", "positive", circuits);
+      (lifetimes >= 0, "--lifetimes", ">= 0 (0 = 10x the slot count)",
+       lifetimes);
+      (duration_s >= 0, "--duration", ">= 0 (0 = until the lifetime goal)",
+       duration_s);
+      (think_ms > 0, "--think-ms", "positive", think_ms);
+      (budget_kib >= 0, "--budget-kib", ">= 0 (0 = unlimited)", budget_kib);
+      (max_circuits >= 0, "--max-circuits", ">= 0 (0 = unlimited)", max_circuits);
+    ]
 
 let run_network relays circuits lifetimes duration_s think_ms budget_kib
     max_circuits seed jobs profile =
+  match
+    network_flag_errors ~relays ~circuits ~lifetimes ~duration_s ~think_ms
+      ~budget_kib ~max_circuits
+  with
+  | Some msg -> `Error (false, msg)
+  | None ->
   let config =
     { Workload.Network_experiment.default_config with
       Workload.Network_experiment.relays;
@@ -834,20 +892,17 @@ let run_network relays circuits lifetimes duration_s think_ms budget_kib
               string_of_int r.arrivals;
               string_of_int r.refused_arrivals;
               string_of_int r.abandoned;
-              Printf.sprintf "%.3fs" (network_q r.ttlb_all 0.5);
-              Printf.sprintf "%.3fs" (network_q r.ttlb_all 0.9);
-              Printf.sprintf "%.3fs" (network_q r.ttlb_all 0.99);
+              network_q r.ttlb_all 0.5;
+              network_q r.ttlb_all 0.9;
+              network_q r.ttlb_all 0.99;
               string_of_int r.peak_active;
             ]
         in
         row "circuitstart" c.circuit_start;
         row "slowstart" c.slow_start;
         print_string (Analysis.Table.render t);
-        Printf.printf
-          "largest horizontal gap (CircuitStart earlier by): %.3fs\n"
-          (Analysis.Cdf.horizontal_gap
-             ~better:(Analysis.Cdf.of_sketch c.circuit_start.ttlb_all)
-             ~worse:(Analysis.Cdf.of_sketch c.slow_start.ttlb_all));
+        network_gap ~better:c.circuit_start.ttlb_all
+          ~worse:c.slow_start.ttlb_all;
         `Ok ()
       end
 
@@ -919,24 +974,249 @@ let network_cmd =
        $ think_ms $ budget_kib $ max_circuits $ seed_arg $ jobs_arg $ profile))
 
 (* ------------------------------------------------------------------ *)
+(* churn-scale *)
 
-let run_check runs seed oracles replay out =
+let run_churn_scale relays circuits lifetimes duration_s think_ms budget_kib
+    max_circuits leave_rate join_rate crash_fraction grace_ms epoch_ms spares
+    seed jobs =
+  match
+    network_flag_errors ~relays ~circuits ~lifetimes ~duration_s ~think_ms
+      ~budget_kib ~max_circuits
+  with
+  | Some msg -> `Error (false, msg)
+  | None -> (
+      match
+        flag_errors
+          [
+            (grace_ms >= 0, "--grace-ms", ">= 0", grace_ms);
+            (epoch_ms > 0, "--epoch-ms", "positive", epoch_ms);
+            (spares >= 0, "--spares", ">= 0", spares);
+          ]
+      with
+      | Some msg -> `Error (false, msg)
+      | None ->
+          if not (Float.is_finite leave_rate) || leave_rate < 0. then
+            `Error (false, "--leave-rate must be a finite hazard >= 0")
+          else if not (Float.is_finite join_rate) || join_rate < 0. then
+            `Error (false, "--join-rate must be a finite hazard >= 0")
+          else if
+            (not (Float.is_finite crash_fraction))
+            || crash_fraction < 0.
+            || crash_fraction > 1.
+          then `Error (false, "--crash-fraction must be in [0, 1]")
+          else
+            let config =
+              { Workload.Network_experiment.default_config with
+                Workload.Network_experiment.relays;
+                slots = circuits;
+                target_lifetimes = lifetimes;
+                duration =
+                  (if duration_s <= 0 then Engine.Time.zero
+                   else Engine.Time.s duration_s);
+                mean_think = Engine.Time.ms think_ms;
+                budget =
+                  {
+                    Tor_model.Switchboard.max_circuits =
+                      (if max_circuits <= 0 then None else Some max_circuits);
+                    max_queued_bytes =
+                      (if budget_kib <= 0 then None
+                       else Some (Engine.Units.kib budget_kib));
+                  };
+                leave_hazard = leave_rate;
+                join_hazard = join_rate;
+                crash_fraction;
+                drain_grace = Engine.Time.ms grace_ms;
+                epoch_period = Engine.Time.ms epoch_ms;
+                spare_relays = spares;
+              }
+            in
+            match Workload.Network_experiment.validate_config config with
+            | Error msg -> `Error (false, msg)
+            | Ok config ->
+                let c =
+                  Workload.Network_experiment.compare_strategies ~jobs ~seed
+                    config
+                in
+                let t =
+                  Analysis.Table.create
+                    ~columns:
+                      [ "strategy"; "done"; "arrivals"; "refused"; "kills";
+                        "resumed"; "gone"; "drain-ref"; "p50 ttlb"; "p90 ttlb";
+                        "p99 ttlb" ]
+                in
+                let row label (r : Workload.Network_experiment.result) =
+                  Analysis.Table.add_row t
+                    [
+                      label;
+                      string_of_int r.completed;
+                      string_of_int r.arrivals;
+                      string_of_int r.refused_arrivals;
+                      string_of_int r.churn_kills;
+                      string_of_int r.resumed;
+                      string_of_int r.gone_draws;
+                      string_of_int r.draining_refusals;
+                      network_q r.ttlb_all 0.5;
+                      network_q r.ttlb_all 0.9;
+                      network_q r.ttlb_all 0.99;
+                    ]
+                in
+                row "circuitstart" c.circuit_start;
+                row "slowstart" c.slow_start;
+                print_string (Analysis.Table.render t);
+                (* The schedule is seeded per strategy run, but each run
+                   ends at its own goal time, so the counts can differ —
+                   print both. *)
+                let schedule label (r : Workload.Network_experiment.result) =
+                  Printf.printf
+                    "churn (%s): %d departs (%d crashes, %d drains done), %d \
+                     restarts, %d epochs\n"
+                    label r.churn_departs r.churn_crashes
+                    r.churn_drains_completed r.churn_restarts r.churn_epochs
+                in
+                schedule "circuitstart" c.circuit_start;
+                schedule "slowstart" c.slow_start;
+                network_gap ~better:c.circuit_start.ttlb_all
+                  ~worse:c.slow_start.ttlb_all;
+                `Ok ())
+
+let churn_scale_cmd =
+  let relays =
+    Arg.(
+      value & opt int 200
+      & info [ "relays" ] ~docv:"N"
+          ~doc:"Initial relay population size (at least 4, with an exit).")
+  in
+  let circuits =
+    Arg.(
+      value & opt int 2_000
+      & info [ "circuits" ] ~docv:"N" ~doc:"Concurrent session slots.")
+  in
+  let lifetimes =
+    Arg.(
+      value & opt int 0
+      & info [ "lifetimes" ] ~docv:"N"
+          ~doc:
+            "Stop after completing $(docv) circuit lifetimes (0 = 10x the \
+             slot count).")
+  in
+  let duration =
+    Arg.(
+      value & opt int 0
+      & info [ "duration" ] ~docv:"SECONDS"
+          ~doc:"Simulated-time horizon (0 = run until the lifetime goal).")
+  in
+  let think_ms =
+    Arg.(
+      value & opt int 200
+      & info [ "think-ms" ] ~docv:"MS"
+          ~doc:"Mean exponential think time between a slot's circuits, ms.")
+  in
+  let budget_kib =
+    Arg.(
+      value & opt int 0
+      & info [ "budget-kib" ] ~docv:"KIB"
+          ~doc:"Per-relay queued-cell-byte admission budget, KiB (0 = none).")
+  in
+  let max_circuits =
+    Arg.(
+      value & opt int 0
+      & info [ "max-circuits" ] ~docv:"N"
+          ~doc:"Per-relay circuit-count admission budget (0 = none).")
+  in
+  let leave_rate =
+    Arg.(
+      value & opt float 0.02
+      & info [ "leave-rate" ] ~docv:"HAZARD"
+          ~doc:"Per-relay per-second hazard of an up relay departing.")
+  in
+  let join_rate =
+    Arg.(
+      value & opt float 0.1
+      & info [ "join-rate" ] ~docv:"HAZARD"
+          ~doc:"Per-relay per-second hazard of a down relay (re)joining.")
+  in
+  let crash_fraction =
+    Arg.(
+      value & opt float 0.5
+      & info [ "crash-fraction" ] ~docv:"F"
+          ~doc:
+            "Fraction of departures that crash (circuits die immediately) \
+             rather than drain gracefully, in [0, 1].")
+  in
+  let grace_ms =
+    Arg.(
+      value & opt int 2_000
+      & info [ "grace-ms" ] ~docv:"MS"
+          ~doc:
+            "Drain grace: how long a departing relay keeps forwarding \
+             before its surviving circuits are killed.")
+  in
+  let epoch_ms =
+    Arg.(
+      value & opt int 5_000
+      & info [ "epoch-ms" ] ~docv:"MS"
+          ~doc:
+            "Directory epoch period: clients draw paths from the population \
+             as of the last boundary, so draws race departures by up to one \
+             period.")
+  in
+  let spares =
+    Arg.(
+      value & opt int 0
+      & info [ "spares" ] ~docv:"N"
+          ~doc:
+            "Extra relays that start down (and invisible) and join under \
+             --join-rate.")
+  in
+  let doc =
+    "Consensus-scale workload under relay churn: the network experiment's \
+     pooled population with a seeded join/leave/crash/drain schedule and \
+     directory epochs, paired CircuitStart vs slow start."
+  in
+  Cmd.v (Cmd.info "churn-scale" ~doc)
+    Term.(
+      ret
+        (const run_churn_scale $ relays $ circuits $ lifetimes $ duration
+       $ think_ms $ budget_kib $ max_circuits $ leave_rate $ join_rate
+       $ crash_fraction $ grace_ms $ epoch_ms $ spares $ seed_arg $ jobs_arg))
+
+(* ------------------------------------------------------------------ *)
+
+let run_check runs seed oracles kind replay out =
   if runs < 1 then `Error (false, "--runs must be positive")
   else
-    match Check.Oracle.selection_of_string oracles with
+    let only =
+      match kind with
+      | None -> Ok None
+      | Some k -> (
+          match Check.Scenario.kind_of_string k with
+          | Some parsed -> Ok (Some parsed)
+          | None ->
+              Error
+                (Printf.sprintf
+                   "--kind: unknown scenario kind %S (want faults, recovery, \
+                    overload, network or churn)"
+                   k))
+    in
+    match only with
     | Error msg -> `Error (false, msg)
-    | Ok selection -> (
-        let ppf = Format.std_formatter in
-        match replay with
-        | Some line -> (
-            match Check.Harness.replay ~selection line ppf with
-            | Error msg -> `Error (false, msg)
-            | Ok true -> `Ok ()
-            | Ok false -> `Error (false, "replayed scenario fails"))
-        | None ->
-            let report = Check.Harness.run ~selection ?out ~runs ~seed ppf in
-            if report.Check.Harness.failures = [] then `Ok ()
-            else `Error (false, "invariant checks failed"))
+    | Ok only -> (
+        match Check.Oracle.selection_of_string oracles with
+        | Error msg -> `Error (false, msg)
+        | Ok selection -> (
+            let ppf = Format.std_formatter in
+            match replay with
+            | Some line -> (
+                match Check.Harness.replay ~selection line ppf with
+                | Error msg -> `Error (false, msg)
+                | Ok true -> `Ok ()
+                | Ok false -> `Error (false, "replayed scenario fails"))
+            | None ->
+                let report =
+                  Check.Harness.run ~selection ?only ?out ~runs ~seed ppf
+                in
+                if report.Check.Harness.failures = [] then `Ok ()
+                else `Error (false, "invariant checks failed")))
 
 let check_cmd =
   let runs =
@@ -952,6 +1232,16 @@ let check_cmd =
             "Which invariant oracles to run: $(b,all) or a comma-separated \
              subset of clock, link, hop, incarnation, cwnd, delivery, budget, \
              teardown.")
+  in
+  let kind =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "kind" ] ~docv:"KIND"
+          ~doc:
+            "Pin every sampled scenario to one kind: $(b,faults), \
+             $(b,recovery), $(b,overload), $(b,network) or $(b,churn) \
+             (default: the mixed population).")
   in
   let replay =
     Arg.(
@@ -975,7 +1265,7 @@ let check_cmd =
      determinism, and shrink any failure to a replayable line."
   in
   Cmd.v (Cmd.info "check" ~doc)
-    Term.(ret (const run_check $ runs $ seed_arg $ oracles $ replay $ out))
+    Term.(ret (const run_check $ runs $ seed_arg $ oracles $ kind $ replay $ out))
 
 let () =
   let doc = "CircuitStart: a slow start for multi-hop anonymity systems (simulator)" in
@@ -984,4 +1274,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ trace_cmd; cdf_cmd; optimal_cmd; adaptive_cmd; sweep_cmd; cross_cmd;
-            faults_cmd; recover_cmd; overload_cmd; network_cmd; check_cmd ]))
+            faults_cmd; recover_cmd; overload_cmd; network_cmd;
+            churn_scale_cmd; check_cmd ]))

@@ -24,6 +24,9 @@ dune exec bin/torsim.exe -- overload --sessions 8 --kib 32 --seed 7
 echo "== network smoke: torsim network (consensus-scale, small) =="
 dune exec bin/torsim.exe -- network --relays 100 --circuits 400 --lifetimes 2000 --seed 7
 
+echo "== churn smoke: torsim churn-scale (moving consensus, small) =="
+dune exec bin/torsim.exe -- churn-scale --relays 40 --circuits 200 --lifetimes 2000 --seed 7
+
 echo "== scheduler smoke: ubench --smoke (wheel vs heap A/B) =="
 dune exec bench/ubench.exe -- --smoke --json /dev/null | grep "ubench summary"
 

@@ -29,6 +29,10 @@ let of_sketch ?(resolution = 199) sk =
   Array.sort Float.compare sorted;
   { sorted }
 
+let of_sketch_opt ?resolution sk =
+  if Engine.Stats.Sketch.count sk = 0 then None
+  else Some (of_sketch ?resolution sk)
+
 let count t = Array.length t.sorted
 
 (* Number of samples <= x, by binary search for the upper bound. *)

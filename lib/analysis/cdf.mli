@@ -18,6 +18,11 @@ val of_sketch : ?resolution:int -> Engine.Stats.Sketch.t -> t
     sketch's bin width plus the grid spacing.  Raises
     [Invalid_argument] on an empty sketch or [resolution < 1]. *)
 
+val of_sketch_opt : ?resolution:int -> Engine.Stats.Sketch.t -> t option
+(** Total variant of {!of_sketch}: [None] on an empty sketch (a run
+    that completed nothing has no curve) instead of an exception.
+    Still raises on [resolution < 1]. *)
+
 val count : t -> int
 
 val fraction_below : t -> float -> float

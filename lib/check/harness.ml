@@ -54,6 +54,35 @@ let pool_violations (r : Workload.Network_experiment.result) =
       };
     ]
 
+(* The churn oracles, also result-record checks: (1) no circuit may
+   take a round through a relay whose departure completed — the kill
+   sweep must have torn it down first; (2) a completed departure leaves
+   the relay with zero routing entries and zero queued bytes — drain
+   and crash teardown alike release everything they charged. *)
+let churn_violations (r : Workload.Network_experiment.result) =
+  let violation oracle detail = { Oracle.oracle; at = r.end_time; detail } in
+  List.concat
+    [
+      (if r.rounds_through_down = 0 then []
+       else
+         [
+           violation "churn"
+             (Printf.sprintf
+                "circuits extended through departed relays: %d rounds taken \
+                 through a down hop (%d departures, %d kills)"
+                r.rounds_through_down r.churn_departs r.churn_kills);
+         ]);
+      (if r.depart_residue = 0 then []
+       else
+         [
+           violation "drain"
+             (Printf.sprintf
+                "completed departures left occupancy behind: %d relays with \
+                 live routing entries or queued cells after departure"
+                r.depart_residue);
+         ]);
+    ]
+
 (* One oracle-instrumented run of a scenario.  Returns the result
    digest and the violations the oracles recorded. *)
 let instrumented_run ~selection sc =
@@ -64,6 +93,12 @@ let instrumented_run ~selection sc =
           (Scenario.network_config sc)
       in
       (digest r, pool_violations r)
+  | Scenario.Churn ->
+      let r =
+        Workload.Network_experiment.run ~seed:sc.Scenario.seed
+          (Scenario.churn_config sc)
+      in
+      (digest r, pool_violations r @ churn_violations r)
   | Scenario.Faults | Scenario.Recovery | Scenario.Overload ->
       let oracle = Oracle.create ~selection () in
       let d =
@@ -82,7 +117,7 @@ let instrumented_run ~selection sc =
                  ~probe:(Oracle.attach oracle)
                  ~relay_probe:(Oracle.attach_relays oracle)
                  (Scenario.overload_config sc))
-        | Scenario.Network -> assert false
+        | Scenario.Network | Scenario.Churn -> assert false
       in
       Oracle.finish oracle;
       (d, Oracle.violations oracle)
@@ -109,6 +144,11 @@ let plain_run_jobs1 sc =
         (List.hd
            (Workload.Network_experiment.run_many ~jobs:1
               [ (sc.Scenario.seed, Scenario.network_config sc) ]))
+  | Scenario.Churn ->
+      digest
+        (List.hd
+           (Workload.Network_experiment.run_many ~jobs:1
+              [ (sc.Scenario.seed, Scenario.churn_config sc) ]))
 
 (* The per-scenario checks (runs 1-3).  [Ok digest] if all pass. *)
 let check_scenario ~selection sc =
@@ -164,6 +204,10 @@ let jobs_differential passed =
     (fun tasks ->
       List.map digest (Workload.Network_experiment.run_many ~jobs:4 tasks))
     Scenario.network_config;
+  compare_batch (of_kind Scenario.Churn)
+    (fun tasks ->
+      List.map digest (Workload.Network_experiment.run_many ~jobs:4 tasks))
+    Scenario.churn_config;
   List.rev !mismatches
 
 (* Greedy shrink: walk to structurally simpler scenarios while the
@@ -195,11 +239,11 @@ let write_reproducers path failures =
     failures;
   close_out oc
 
-let run ?(selection = Oracle.all) ?out ~runs ~seed ppf =
+let run ?(selection = Oracle.all) ?only ?out ~runs ~seed ppf =
   let failures = ref [] in
   let passed = ref [] in
   for index = 0 to runs - 1 do
-    let sc = Scenario.generate ~seed ~index in
+    let sc = Scenario.generate ?only ~seed ~index () in
     match check_scenario ~selection sc with
     | Ok d -> passed := (index, sc, d) :: !passed
     | Error reason ->

@@ -23,6 +23,7 @@ type report = { runs : int; seed : int; failures : failure list }
 
 val run :
   ?selection:Oracle.selection ->
+  ?only:Scenario.kind ->
   ?out:string ->
   runs:int ->
   seed:int ->
@@ -30,9 +31,11 @@ val run :
   report
 (** [run ~runs ~seed ppf] checks [runs] scenarios sampled from [seed],
     printing progress and failures to [ppf].  [selection] (default
-    {!Oracle.all}) restricts the invariant oracles; [out] names a file
-    that receives one shrunk reproducer line per failure (written only
-    when there are failures). *)
+    {!Oracle.all}) restricts the invariant oracles; [only] pins every
+    sampled scenario to one kind ([torsim check --kind], e.g. a
+    churn-only nightly sweep); [out] names a file that receives one
+    shrunk reproducer line per failure (written only when there are
+    failures). *)
 
 val replay :
   ?selection:Oracle.selection ->

@@ -1,4 +1,4 @@
-type kind = Faults | Recovery | Overload | Network
+type kind = Faults | Recovery | Overload | Network | Churn
 type strategy = Cs | Ss
 
 type t = {
@@ -27,6 +27,15 @@ type t = {
      transfer size, [arrival_ms] as the mean think time and the
      overload budgets as the per-relay admission budget. *)
   lifet : int;  (* circuit lifetimes to complete; 0 = experiment default *)
+  (* Churn-only knobs; inert 0 defaults for other kinds.  Hazards are
+     stored in parts-per-million per second so the record stays all-int
+     and the replay line stays exact. *)
+  leave_pm : int;  (* per-relay per-second leave hazard, ppm *)
+  join_pm : int;  (* per-relay per-second rejoin hazard, ppm *)
+  crashpct : int;  (* percent of departures that crash (vs drain) *)
+  grace_ms : int;  (* drain grace before survivors are killed *)
+  epoch_ms : int;  (* directory snapshot refresh period *)
+  spares : int;  (* relays that start down and join under join_pm *)
 }
 
 let recovery_hops = 3
@@ -38,6 +47,17 @@ let kind_code = function
   | Recovery -> "r"
   | Overload -> "o"
   | Network -> "n"
+  | Churn -> "c"
+
+let kind_of_string s =
+  match String.lowercase_ascii s with
+  | "f" | "faults" -> Some Faults
+  | "r" | "recovery" -> Some Recovery
+  | "o" | "overload" -> Some Overload
+  | "n" | "network" -> Some Network
+  | "c" | "churn" -> Some Churn
+  | _ -> None
+
 let strategy_code = function Cs -> "cs" | Ss -> "ss"
 
 let to_string t =
@@ -47,14 +67,16 @@ let to_string t =
   Printf.sprintf
     "k=%s seed=%d relays=%d pos=%d bytes=%d loss=%d burst=%d odown=%d oup=%d \
      crash=%d queue=%d strat=%s bn=%d fast=%d ep=%d rebuilds=%d sess=%d \
-     ocirc=%d okib=%d arr=%d lifet=%d"
+     ocirc=%d okib=%d arr=%d lifet=%d lpm=%d jpm=%d crashpct=%d grace=%d \
+     epochms=%d spares=%d"
     (kind_code t.kind) t.seed t.relays t.position t.bytes t.loss_ppm
     (if t.burst then 1 else 0)
     outage_down outage_up
     (match t.crash_ms with Some c -> c | None -> -1)
     t.queue_cells (strategy_code t.strategy) t.bottleneck_kbps t.fast_kbps
     t.endpoint_kbps t.max_rebuilds t.sessions t.oload_circuits t.oload_kib
-    t.arrival_ms t.lifet
+    t.arrival_ms t.lifet t.leave_pm t.join_pm t.crashpct t.grace_ms t.epoch_ms
+    t.spares
 
 let of_string line =
   let ( let* ) = Result.bind in
@@ -94,6 +116,7 @@ let of_string line =
     | "r" -> Ok Recovery
     | "o" -> Ok Overload
     | "n" -> Ok Network
+    | "c" -> Ok Churn
     | other -> Error (Printf.sprintf "scenario line: unknown kind %S" other)
   in
   let* seed = int "seed" in
@@ -122,6 +145,12 @@ let of_string line =
   let* oload_kib = int_default "okib" 0 in
   let* arrival_ms = int_default "arr" 0 in
   let* lifet = int_default "lifet" 0 in
+  let* leave_pm = int_default "lpm" 0 in
+  let* join_pm = int_default "jpm" 0 in
+  let* crashpct = int_default "crashpct" 0 in
+  let* grace_ms = int_default "grace" 0 in
+  let* epoch_ms = int_default "epochms" 0 in
+  let* spares = int_default "spares" 0 in
   Ok
     {
       kind;
@@ -144,6 +173,12 @@ let of_string line =
       oload_kib;
       arrival_ms;
       lifet;
+      leave_pm;
+      join_pm;
+      crashpct;
+      grace_ms;
+      epoch_ms;
+      spares;
     }
 
 let pp fmt t = Format.pp_print_string fmt (to_string t)
@@ -170,10 +205,14 @@ let rates_of_seed ~seed ~relays =
   let fast = List.fold_left Stdlib.max (List.hd rates) rates in
   (bn, Stdlib.max fast (2 * bn))
 
-let gen : t QCheck2.Gen.t =
+let gen_kind (only : kind option) : t QCheck2.Gen.t =
   let open QCheck2.Gen in
   let* kind =
-    frequencyl [ (3, Faults); (1, Recovery); (1, Overload); (1, Network) ]
+    match only with
+    | Some k -> pure k
+    | None ->
+        frequencyl
+          [ (3, Faults); (1, Recovery); (1, Overload); (2, Network); (2, Churn) ]
   in
   let* seed = int_range 1 0x3FFFFFFF in
   let* relays =
@@ -182,34 +221,38 @@ let gen : t QCheck2.Gen.t =
     | Recovery -> int_range (recovery_hops + 1) 7
     | Overload -> int_range (recovery_hops + 1) 6
     | Network -> int_range 6 14
+    (* Churn worlds need headroom over the experiment's min-up floors
+       (4 relays / 2 exits) or every departure draw is suppressed. *)
+    | Churn -> int_range 7 14
   in
   let* position =
     match kind with
     | Faults -> int_range 1 relays
     | Recovery -> int_range 1 recovery_hops
-    | Overload | Network -> pure 1
+    | Overload | Network | Churn -> pure 1
   in
   let* bytes =
     map (fun k -> k * 1024)
       (match kind with
       | Overload -> int_range 8 32
-      | Network -> int_range 4 16
+      | Network | Churn -> int_range 4 16
       | Faults | Recovery -> int_range 8 64)
   in
   (* Overload scenarios stress the budgets, not the links: no loss, no
      outage, no crash — every failure they see is admission control or
-     the OOM responder.  Network scenarios are round-level: links,
-     queues and crashes do not exist at that granularity, only the
-     admission budgets and the pooled circuit state do. *)
+     the OOM responder.  Network and churn scenarios are round-level:
+     links, queues and crashes do not exist at that granularity, only
+     the admission budgets, the pooled circuit state and (for churn)
+     the departure schedule do. *)
   let* loss_ppm =
     match kind with
-    | Overload | Network -> pure 0
+    | Overload | Network | Churn -> pure 0
     | Faults | Recovery -> frequency [ (2, pure 0); (3, int_range 1_000 30_000) ]
   in
   let* burst = bool in
   let* outage_ms =
     match kind with
-    | Overload | Network -> pure None
+    | Overload | Network | Churn -> pure None
     | Faults | Recovery ->
         frequency
           [
@@ -222,40 +265,57 @@ let gen : t QCheck2.Gen.t =
     match kind with
     | Faults -> frequency [ (8, pure None); (2, map Option.some (int_range 100 800)) ]
     | Recovery -> map Option.some (int_range 50 500)
-    | Overload | Network -> pure None
+    | Overload | Network | Churn -> pure None
   in
   let* sessions =
     match kind with
     | Overload -> int_range 3 6
-    | Network -> int_range 4 12
+    | Network | Churn -> int_range 4 12
     | _ -> pure 1
   in
   let* oload_circuits =
     match kind with
     | Overload -> frequency [ (1, pure 0); (2, int_range 2 5) ]
-    | Network -> frequency [ (2, pure 0); (1, int_range 3 6) ]
+    | Network | Churn -> frequency [ (2, pure 0); (1, int_range 3 6) ]
     | Faults | Recovery -> pure 0
   in
   let* oload_kib =
     match kind with
     | Overload -> frequency [ (1, pure 0); (3, int_range 8 32) ]
-    | Network -> frequency [ (2, pure 0); (1, int_range 32 128) ]
+    | Network | Churn -> frequency [ (2, pure 0); (1, int_range 32 128) ]
     | Faults | Recovery -> pure 0
   in
   let* arrival_ms =
     match kind with
     | Overload -> int_range 10 200
-    | Network -> int_range 5 50
+    | Network | Churn -> int_range 5 50
     | Faults | Recovery -> pure 0
   in
   let* lifet =
-    match kind with Network -> int_range 20 80 | _ -> pure 0
+    match kind with
+    | Network -> int_range 20 80
+    | Churn -> int_range 20 60
+    | _ -> pure 0
   in
   let* queue_cells =
     match kind with
-    | Network -> pure 0
+    | Network | Churn -> pure 0
     | _ -> frequency [ (1, pure 0); (2, int_range 8 64) ]
   in
+  (* Churn hazards, stored as ppm/s.  Leave rates are deliberately
+     brutal compared to real consensus churn — a scenario lasts seconds,
+     so the hazard has to land several departures inside the window for
+     the oracles to have anything to audit. *)
+  let* leave_pm =
+    match kind with Churn -> int_range 50_000 300_000 | _ -> pure 0
+  in
+  let* join_pm =
+    match kind with Churn -> int_range 100_000 500_000 | _ -> pure 0
+  in
+  let* crashpct = match kind with Churn -> int_range 0 100 | _ -> pure 0 in
+  let* grace_ms = match kind with Churn -> int_range 200 2_000 | _ -> pure 0 in
+  let* epoch_ms = match kind with Churn -> int_range 500 5_000 | _ -> pure 0 in
+  let* spares = match kind with Churn -> int_range 0 3 | _ -> pure 0 in
   (* A third of the population gets a crawling client access link.
      Slow clients are the norm in deployed anonymity networks, and they
      are the only place the sender's own access queue can congest — the
@@ -287,11 +347,19 @@ let gen : t QCheck2.Gen.t =
     oload_kib;
     arrival_ms;
     lifet;
+    leave_pm;
+    join_pm;
+    crashpct;
+    grace_ms;
+    epoch_ms;
+    spares;
   }
 
-let generate ~seed ~index =
+let gen = gen_kind None
+
+let generate ?only ~seed ~index () =
   let rand = Random.State.make [| 0x5eed; seed; index |] in
-  QCheck2.Gen.generate1 ~rand gen
+  QCheck2.Gen.generate1 ~rand (gen_kind only)
 
 (* --- shrinking ---------------------------------------------------- *)
 
@@ -321,15 +389,35 @@ let shrink_candidates t =
           }
   | Recovery | Overload ->
       if t.relays > recovery_hops + 1 then add { t with relays = t.relays - 1 }
-  | Network -> if t.relays > 4 then add { t with relays = t.relays - 1 });
+  | Network -> if t.relays > 4 then add { t with relays = t.relays - 1 }
+  | Churn ->
+      (* Keep headroom over the min-up floors, or the shrunk scenario
+         stops churning and the failure evaporates for the wrong
+         reason. *)
+      if t.relays > 7 then add { t with relays = t.relays - 1 });
   if t.sessions > 1 then add { t with sessions = t.sessions - 1 };
   if t.kind = Overload && t.arrival_ms > 10 then
     add { t with arrival_ms = Stdlib.max 10 (t.arrival_ms / 2) };
-  if t.kind = Network && t.arrival_ms > 5 then
+  if (t.kind = Network || t.kind = Churn) && t.arrival_ms > 5 then
     add { t with arrival_ms = Stdlib.max 5 (t.arrival_ms / 2) };
   if t.lifet > 8 then add { t with lifet = Stdlib.max 8 (t.lifet / 2) };
   if t.oload_circuits > 0 then add { t with oload_circuits = 0 };
   if t.oload_kib > 0 then add { t with oload_kib = 0 };
+  if t.spares > 0 then add { t with spares = 0 };
+  if t.leave_pm > 50_000 then
+    add { t with leave_pm = Stdlib.max 50_000 (t.leave_pm / 2) };
+  if t.join_pm > 100_000 then
+    add { t with join_pm = Stdlib.max 100_000 (t.join_pm / 2) };
+  (* Collapse a mixed crash/drain schedule to a pure one — either pure
+     drains or pure crashes is simpler to reason about than a blend. *)
+  if t.crashpct > 0 && t.crashpct < 100 then begin
+    add { t with crashpct = 100 };
+    add { t with crashpct = 0 }
+  end;
+  if t.grace_ms > 200 then
+    add { t with grace_ms = Stdlib.max 200 (t.grace_ms / 2) };
+  if t.epoch_ms > 500 then
+    add { t with epoch_ms = Stdlib.max 500 (t.epoch_ms / 2) };
   if t.position > 1 then add { t with position = 1 };
   if t.strategy = Ss then add { t with strategy = Cs };
   List.rev !cands
@@ -413,9 +501,9 @@ let overload_config t =
     max_rebuilds = t.max_rebuilds;
   }
 
-let network_config t =
-  if t.kind <> Network then
-    invalid_arg "Scenario.network_config: not a network scenario";
+(* Shared by network and churn scenarios: the same round-level
+   experiment, the latter with the churn schedule switched on. *)
+let base_network_config t =
   {
     Workload.Network_experiment.default_config with
     relays = t.relays;
@@ -439,4 +527,26 @@ let network_config t =
     strategy = controller_strategy t;
     sketch_bins = 256;
     sketch_max = Engine.Time.s 120;
+  }
+
+let network_config t =
+  if t.kind <> Network then
+    invalid_arg "Scenario.network_config: not a network scenario";
+  base_network_config t
+
+let churn_config t =
+  if t.kind <> Churn then
+    invalid_arg "Scenario.churn_config: not a churn scenario";
+  {
+    (base_network_config t) with
+    Workload.Network_experiment.leave_hazard =
+      float_of_int t.leave_pm /. 1_000_000.;
+    join_hazard = float_of_int t.join_pm /. 1_000_000.;
+    crash_fraction = float_of_int t.crashpct /. 100.;
+    drain_grace = Engine.Time.ms (Stdlib.max 1 t.grace_ms);
+    epoch_period = Engine.Time.ms (Stdlib.max 100 t.epoch_ms);
+    (* Ticks finer than the scenario's few-second horizon, so the
+       hazard gets enough trials to actually land departures. *)
+    churn_tick = Engine.Time.ms 100;
+    spare_relays = t.spares;
   }

@@ -5,9 +5,12 @@
     injected star via {!Workload.Fault_experiment}, a crash-and-
     rebuild session via {!Workload.Recovery_experiment}, a flash
     crowd against budgeted relays via
-    {!Workload.Overload_experiment}, or a small consensus-scale
+    {!Workload.Overload_experiment}, a small consensus-scale
     round-level population via {!Workload.Network_experiment}, whose
-    pooled circuit recycling the harness audits), the topology size,
+    pooled circuit recycling the harness audits, or the same
+    round-level population under a seeded churn schedule — joins,
+    drains, crashes, restarts and directory epochs — whose departure
+    hygiene the churn oracles audit), the topology size,
     the transfer
     size, the fault schedule and the startup strategy.  Everything that feeds the run — including the relay
     rates drawn from the {!Workload.Relay_gen} log-normal population —
@@ -15,8 +18,13 @@
     with {!to_string} replays byte-identically with
     [torsim check --replay].  *)
 
-type kind = Faults | Recovery | Overload | Network
+type kind = Faults | Recovery | Overload | Network | Churn
 type strategy = Cs | Ss
+
+val kind_of_string : string -> kind option
+(** Accepts the one-letter replay codes ([f]/[r]/[o]/[n]/[c]) and the
+    full lowercase names; [None] otherwise.  Backs [torsim check
+    --kind]. *)
 
 type t = {
   kind : kind;
@@ -50,10 +58,20 @@ type t = {
       (** Overload: mean inter-arrival gap of the crowd in ms.
           Network scenarios reuse it as the mean think time. *)
   lifet : int;
-      (** Network: circuit lifetimes to complete; 0 = experiment
-          default.  Network scenarios also reuse [sessions] as the
-          slot count, [bytes] as the mouse transfer size and the
+      (** Network/churn: circuit lifetimes to complete; 0 = experiment
+          default.  Network and churn scenarios also reuse [sessions]
+          as the slot count, [bytes] as the mouse transfer size and the
           overload budgets as the per-relay admission budget. *)
+  leave_pm : int;
+      (** Churn: per-relay per-second leave hazard in parts per million
+          (all-int so the replay line is exact); 0 for other kinds. *)
+  join_pm : int;  (** Churn: rejoin hazard, ppm per second. *)
+  crashpct : int;
+      (** Churn: percent of departures that crash instead of draining. *)
+  grace_ms : int;  (** Churn: drain grace period. *)
+  epoch_ms : int;  (** Churn: directory snapshot refresh period. *)
+  spares : int;
+      (** Churn: relays that start down and join under [join_pm]. *)
 }
 
 val recovery_hops : int
@@ -74,10 +92,16 @@ val equal : t -> t -> bool
 val gen : t QCheck2.Gen.t
 (** The QCheck generator behind {!generate}. *)
 
-val generate : seed:int -> index:int -> t
+val gen_kind : kind option -> t QCheck2.Gen.t
+(** Like {!gen}, but [Some k] pins every scenario to kind [k] —
+    the engine behind [torsim check --kind]. *)
+
+val generate : ?only:kind -> seed:int -> index:int -> unit -> t
 (** The [index]-th scenario of master seed [seed] — deterministic, so
     [torsim check --runs N --seed S] samples the same scenarios on
-    every machine. *)
+    every machine.  [only] restricts generation to one kind (the
+    per-kind stream is still deterministic, but distinct from the
+    unfiltered stream's subsequence of that kind). *)
 
 val shrink_candidates : t -> t list
 (** Structurally simpler variants, simplest-first: fewer bytes, no
@@ -98,3 +122,10 @@ val network_config : t -> Workload.Network_experiment.config
     sim-time safety horizon so a pathological admission budget ends
     the run early (audited, with abandoned circuits) instead of
     stalling it. *)
+
+val churn_config : t -> Workload.Network_experiment.config
+(** Raises [Invalid_argument] unless [kind = Churn].  The same
+    round-level experiment as {!network_config} with the churn
+    schedule switched on: hazards from [leave_pm]/[join_pm], the
+    crash/drain split from [crashpct], and a 100 ms hazard tick so a
+    few-second scenario still lands departures. *)

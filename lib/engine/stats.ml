@@ -213,6 +213,11 @@ module Sketch = struct
       if Float.is_nan !result then t.mx else !result
     end
 
+  (* The total-function face of [quantile]: an empty sketch is a
+     normal state for a run that completed nothing (an all-refused
+     admission sweep, a churn storm), not a programming error. *)
+  let quantile_opt t q = if t.total = 0 then None else Some (quantile t q)
+
   (* Step points for plotting: one per non-empty bin at its upper edge
      (clamped to the observed extremes), preceded by the minimum when
      samples fell below [lo] and closed at [(max, 1.)]. *)

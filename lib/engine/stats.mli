@@ -107,6 +107,11 @@ module Sketch : sig
       bin width for in-range samples.  Raises [Invalid_argument] on an
       empty sketch or [q] outside the range. *)
 
+  val quantile_opt : t -> float -> float option
+  (** Total variant of {!quantile}: [None] on an empty sketch — the
+      normal outcome of a run that completed nothing — instead of an
+      exception.  Still raises on [q] outside [\[0, 1\]]. *)
+
   val cdf_points : t -> (float * float) list
   (** Ascending step points [(value, cumulative fraction)], one per
       non-empty bin at its (clamped) upper edge, closing at

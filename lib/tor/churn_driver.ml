@@ -1,0 +1,143 @@
+type config = {
+  leave_rate : float;
+  join_rate : float;
+  crash_fraction : float;
+  drain_grace : Engine.Time.t;
+  epoch_period : Engine.Time.t;
+  tick : Engine.Time.t;
+  min_up : int;
+  horizon : Engine.Time.t;
+}
+
+let default_config =
+  {
+    leave_rate = 0.01;
+    join_rate = 0.05;
+    crash_fraction = 0.5;
+    drain_grace = Engine.Time.s 5;
+    epoch_period = Engine.Time.s 10;
+    tick = Engine.Time.s 1;
+    min_up = 3;
+    horizon = Engine.Time.s 120;
+  }
+
+let validate c =
+  if c.leave_rate < 0. || c.join_rate < 0. then
+    invalid_arg "Churn_driver: rates must be >= 0";
+  if c.crash_fraction < 0. || c.crash_fraction > 1. then
+    invalid_arg "Churn_driver: crash_fraction must be in [0, 1]";
+  if Engine.Time.(c.tick <= Engine.Time.zero) then
+    invalid_arg "Churn_driver: tick must be positive";
+  if Engine.Time.(c.epoch_period <= Engine.Time.zero) then
+    invalid_arg "Churn_driver: epoch_period must be positive";
+  if c.min_up < 0 then invalid_arg "Churn_driver: min_up must be >= 0"
+
+type t = {
+  sim : Engine.Sim.t;
+  rng : Engine.Rng.t;
+  dir : Directory.t;
+  (* Relays under churn control, in a fixed order: every per-tick draw
+     walks this list, so the schedule is a pure function of the seed. *)
+  controlled : (Relay_info.t * Relay_ctl.t) list;
+  config : config;
+  deadlines : (int, Engine.Time.t) Hashtbl.t;  (* node -> drain deadline *)
+  trace : (Engine.Trace.t * string) option;
+  mutable stopped : bool;
+  mutable departs : int;
+  mutable crashes : int;
+  mutable drains_completed : int;
+  mutable restarts : int;
+}
+
+let record t detail =
+  match t.trace with
+  | Some (registry, subject) ->
+      Engine.Trace.record_event registry Engine.Trace.Churn ~subject ~detail
+        (Engine.Sim.now t.sim)
+  | None -> ()
+
+let create ~sim ~rng ~directory ~relays ~config ?trace () =
+  validate config;
+  {
+    sim; rng; dir = directory; controlled = relays; config;
+    deadlines = Hashtbl.create 16; trace; stopped = false;
+    departs = 0; crashes = 0; drains_completed = 0; restarts = 0;
+  }
+
+let up_count t =
+  List.length
+    (List.filter
+       (fun ((r : Relay_info.t), _) -> Directory.status t.dir r.node = Directory.Up)
+       t.controlled)
+
+(* One Bernoulli trial per controlled relay per tick, in list order.
+   Every branch draws exactly when its hazard is positive, so a
+   zero-hazard driver consumes no randomness at all. *)
+let step t =
+  let c = t.config in
+  let dt = Engine.Time.to_sec_f c.tick in
+  let p_leave = Float.min 1. (c.leave_rate *. dt) in
+  let p_join = Float.min 1. (c.join_rate *. dt) in
+  List.iter
+    (fun ((r : Relay_info.t), ctl) ->
+      let node = r.node in
+      match Directory.status t.dir node with
+      | Directory.Up ->
+          if
+            p_leave > 0.
+            && Engine.Rng.float t.rng 1.0 < p_leave
+            && up_count t > c.min_up
+          then begin
+            t.departs <- t.departs + 1;
+            if c.crash_fraction > 0.
+               && Engine.Rng.float t.rng 1.0 < c.crash_fraction
+            then begin
+              (* Crash: no goodbye, neighbours discover by timeout. *)
+              t.crashes <- t.crashes + 1;
+              Relay_ctl.crash ctl;
+              Hashtbl.remove t.deadlines (Netsim.Node_id.to_int node);
+              Directory.mark_down t.dir node;
+              record t (Format.asprintf "crash %a" Netsim.Node_id.pp node)
+            end
+            else begin
+              (* Clean departure: drain until the grace period ends. *)
+              Relay_ctl.begin_drain ctl;
+              Directory.mark_draining t.dir node;
+              Hashtbl.replace t.deadlines (Netsim.Node_id.to_int node)
+                Engine.Time.(add (Engine.Sim.now t.sim) c.drain_grace);
+              record t (Format.asprintf "drain %a" Netsim.Node_id.pp node)
+            end
+          end
+      | Directory.Draining -> (
+          match Hashtbl.find_opt t.deadlines (Netsim.Node_id.to_int node) with
+          | Some deadline
+            when Engine.Time.(Engine.Sim.now t.sim >= deadline) ->
+              t.drains_completed <- t.drains_completed + 1;
+              Hashtbl.remove t.deadlines (Netsim.Node_id.to_int node);
+              Relay_ctl.finish_drain ctl;
+              Directory.mark_down t.dir node;
+              record t (Format.asprintf "departed %a" Netsim.Node_id.pp node)
+          | Some _ | None -> ())
+      | Directory.Down ->
+          if p_join > 0. && Engine.Rng.float t.rng 1.0 < p_join then begin
+            t.restarts <- t.restarts + 1;
+            Relay_ctl.restart ctl;
+            Directory.mark_up t.dir node;
+            record t (Format.asprintf "restart %a" Netsim.Node_id.pp node)
+          end)
+    t.controlled
+
+let start t =
+  let past_horizon () =
+    t.stopped || Engine.Time.(Engine.Sim.now t.sim >= t.config.horizon)
+  in
+  Engine.Sim.every t.sim t.config.tick (fun () -> step t) ~stop:past_horizon;
+  Engine.Sim.every t.sim t.config.epoch_period
+    (fun () -> Directory.advance_epoch t.dir)
+    ~stop:past_horizon
+
+let stop t = t.stopped <- true
+let departs t = t.departs
+let crashes t = t.crashes
+let drains_completed t = t.drains_completed
+let restarts t = t.restarts

@@ -1,0 +1,79 @@
+(** The seeded churn schedule for packet-level worlds.
+
+    Drives joins, clean departures (graceful drain), crashes and
+    restarts against a set of live relays and their {!Directory}: one
+    Bernoulli trial per controlled relay per tick, walked in a fixed
+    order, so the entire schedule is a deterministic function of the
+    driver's {!Engine.Rng.t} — byte-identical across [--jobs].
+
+    A clean departure marks the relay [Draining] ({!Relay_ctl.begin_drain}:
+    new CREATEs bounce with [Refused (Draining)], existing circuits keep
+    forwarding) and arms a drain deadline; when it passes, the driver
+    calls {!Relay_ctl.finish_drain} (surviving circuits destroyed toward
+    both neighbours, all state released, node departed — later setup
+    attempts answer {!Cell.Gone}) and marks the relay [Down].  A crash
+    skips the drain: {!Relay_ctl.crash} plus [mark_down], exercising the
+    timeout-driven recovery path.  A down relay restarts with the join
+    hazard: {!Relay_ctl.restart} plus {!Directory.mark_up}, bumping its
+    incarnation so clients forgive old exclusions.
+
+    An independent timer advances the directory epoch every
+    [epoch_period], so clients select from a view that lags the live
+    population by up to one period — the staleness that makes builds
+    race departures. *)
+
+type config = {
+  leave_rate : float;
+      (** Per-relay per-second hazard of leaving while [Up]. *)
+  join_rate : float;
+      (** Per-relay per-second hazard of restarting while [Down]. *)
+  crash_fraction : float;
+      (** Probability in [\[0, 1\]] that a departure is a crash rather
+          than a graceful drain. *)
+  drain_grace : Engine.Time.t;
+      (** How long a draining relay keeps forwarding before its
+          surviving circuits are destroyed. *)
+  epoch_period : Engine.Time.t;  (** Directory snapshot refresh period. *)
+  tick : Engine.Time.t;  (** Hazard-trial granularity. *)
+  min_up : int;
+      (** Departures are suppressed while at most this many controlled
+          relays are [Up] — keeps tiny worlds path-feasible. *)
+  horizon : Engine.Time.t;
+      (** Ticks and epoch advances stop at this simulated time, so the
+          event queue drains and the run terminates. *)
+}
+
+val default_config : config
+(** leave 0.01/s, join 0.05/s, crash fraction 0.5, grace 5 s, epoch
+    10 s, tick 1 s, min_up 3, horizon 120 s. *)
+
+type t
+
+val create :
+  sim:Engine.Sim.t ->
+  rng:Engine.Rng.t ->
+  directory:Directory.t ->
+  relays:(Relay_info.t * Relay_ctl.t) list ->
+  config:config ->
+  ?trace:Engine.Trace.t * string ->
+  unit ->
+  t
+(** The driver controls exactly [relays] (fixed draw order = list
+    order).  Raises [Invalid_argument] on nonsensical config. *)
+
+val start : t -> unit
+(** Arm the tick and epoch timers (each stops at the horizon or after
+    {!stop}). *)
+
+val stop : t -> unit
+(** Let the timers lapse at their next firing. *)
+
+val departs : t -> int
+(** Departures begun (drains started plus crashes). *)
+
+val crashes : t -> int
+
+val drains_completed : t -> int
+(** Drain deadlines reached (each destroyed the relay's survivors). *)
+
+val restarts : t -> int

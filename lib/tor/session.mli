@@ -30,11 +30,20 @@
     Two failure shapes deliberately skip the exclusion step, because
     the relay involved is {e busy}, not suspected-crashed: an
     admission-control refusal during establishment
-    ({!Circuit_builder.Refused}), and a remote DESTROY arriving
-    mid-transfer (an overloaded relay's OOM responder shedding the
-    circuit).  Both back off and redraw a path; permanently
-    blacklisting a hot relay would starve the network's best
-    capacity. *)
+    ({!Circuit_builder.Refused}, reason [Busy] or [Draining]), and a
+    remote DESTROY arriving mid-transfer (an overloaded relay's OOM
+    responder shedding the circuit).  Both back off and redraw a path;
+    permanently blacklisting a hot relay would starve the network's
+    best capacity.
+
+    A typed {!Circuit_builder.Gone} (the build raced a clean departure
+    under a stale directory snapshot) {e does} exclude — but only the
+    departed relay, and only until it restarts: exclusions are tagged
+    with the relay's {!Directory.incarnation} at exclusion time and
+    forgiven once the directory shows a later incarnation.  The same
+    forgiveness applies to relays excluded on build timeouts and
+    transfer failures (crashes), so "crashed relays stay excluded until
+    restart" holds without any relay being blacklisted forever. *)
 
 type reason =
   | Rebuild_budget  (** Every allowed rebuild attempt failed. *)
@@ -119,10 +128,21 @@ val rebuilds : t -> int
 
 val refused_builds : t -> int
 (** Build attempts that ended in an admission-control refusal
-    ({!Circuit_builder.Refused}).  Refusals back off and redraw like
-    any failure but {e never} add the busy relay to the exclusion
-    list — busy is not suspected-crashed, and a hot relay must remain
-    selectable once its load drains. *)
+    ({!Circuit_builder.Refused} with reason [Busy]).  Refusals back off
+    and redraw like any failure but {e never} add the busy relay to
+    the exclusion list — busy is not suspected-crashed, and a hot
+    relay must remain selectable once its load drains. *)
+
+val drain_refused_builds : t -> int
+(** Build attempts refused with reason [Draining].  Like busy
+    refusals, these exclude nobody: the draining relay departs and
+    returns as a fresh incarnation, at which point it is selectable
+    again. *)
+
+val gone_builds : t -> int
+(** Build attempts that hit a departed relay
+    ({!Circuit_builder.Gone}).  The departed relay joins the exclusion
+    list until the directory shows it restarted. *)
 
 val generation : t -> int
 (** Circuit generations deployed so far (0 until the first circuit is
@@ -136,7 +156,9 @@ val delivered_bytes : t -> int
     across generations; readable after exhaustion). *)
 
 val excluded : t -> Netsim.Node_id.t list
-(** Relays currently excluded from path selection. *)
+(** Relays currently excluded from path selection.  Prunes first:
+    relays whose {!Directory.incarnation} advanced since their
+    exclusion (they restarted) are forgiven and do not appear. *)
 
 val recovery_times : t -> Engine.Time.t list
 (** Time-to-recover of each successful rebuild, oldest first: the span

@@ -118,7 +118,7 @@ let run ?(seed = 5) config =
       match outcome with
       | Tor_model.Circuit_builder.Failed msg ->
           failwith ("Contention_experiment: establishment failed: " ^ msg)
-      | Tor_model.Circuit_builder.Refused _ ->
+      | Tor_model.Circuit_builder.Refused _ | Tor_model.Circuit_builder.Gone _ ->
           (* No budgets are set in this experiment, so a refusal is a bug. *)
           failwith "Contention_experiment: establishment refused"
       | Tor_model.Circuit_builder.Established _ ->

@@ -44,6 +44,23 @@ type config = {
   cwnd_cap : int;
   access_delay : Engine.Time.t;
   max_path_redraws : int;
+  (* Relay churn, calibrated from the packet-level model: per-relay
+     per-second hazards, tried once per [churn_tick] per relay.  A
+     departing relay crashes with [crash_fraction] (instant kill) or
+     drains (admissions refused, existing circuits run until
+     [drain_grace] expires, then killed).  Clients select from a
+     snapshot refreshed every [epoch_period], so draws race departures
+     by up to one period.  [spare_relays] extra relays start down and
+     join under the join hazard.  All zero hazards = churn machinery
+     fully off (no timers, no extra draws — byte-identical to the
+     churn-free workload). *)
+  leave_hazard : float;
+  join_hazard : float;
+  crash_fraction : float;
+  drain_grace : Engine.Time.t;
+  epoch_period : Engine.Time.t;
+  churn_tick : Engine.Time.t;
+  spare_relays : int;
   strategy : Circuitstart.Controller.strategy;
   sketch_bins : int;
   sketch_max : Engine.Time.t;
@@ -68,6 +85,13 @@ let default_config =
     cwnd_cap = 10_000;
     access_delay = Engine.Time.ms 10;
     max_path_redraws = 4;
+    leave_hazard = 0.;
+    join_hazard = 0.;
+    crash_fraction = 0.5;
+    drain_grace = Engine.Time.s 5;
+    epoch_period = Engine.Time.s 10;
+    churn_tick = Engine.Time.s 1;
+    spare_relays = 0;
     strategy = Circuitstart.Controller.Circuit_start;
     sketch_bins = 2_048;
     sketch_max = Engine.Time.s 600;
@@ -96,6 +120,21 @@ let validate_config c =
   else if c.initial_cwnd < 1 then Error "initial_cwnd must be positive"
   else if c.cwnd_cap < c.initial_cwnd then Error "cwnd_cap must be >= initial_cwnd"
   else if c.max_path_redraws < 0 then Error "max_path_redraws must be >= 0"
+  else if
+    not (Float.is_finite c.leave_hazard) || c.leave_hazard < 0.
+    || (not (Float.is_finite c.join_hazard)) || c.join_hazard < 0.
+  then Error "churn hazards must be finite and >= 0"
+  else if
+    not (Float.is_finite c.crash_fraction)
+    || c.crash_fraction < 0. || c.crash_fraction > 1.
+  then Error "crash_fraction must be in [0, 1]"
+  else if Engine.Time.is_negative c.drain_grace then
+    Error "drain_grace must be >= 0"
+  else if Engine.Time.(c.epoch_period <= Engine.Time.zero) then
+    Error "epoch_period must be positive"
+  else if Engine.Time.(c.churn_tick <= Engine.Time.zero) then
+    Error "churn_tick must be positive"
+  else if c.spare_relays < 0 then Error "spare_relays must be >= 0"
   else if (match c.budget.Tor_model.Switchboard.max_circuits with
            | Some n -> n < 1 | None -> false)
   then Error "budget.max_circuits must be positive when set"
@@ -134,6 +173,18 @@ type result = {
   ttlb_exact : float array;
   orphaned_circuits : int;
   orphaned_cells : int;
+  (* Churn accounting (all zero in churn-free runs). *)
+  churn_departs : int;
+  churn_crashes : int;
+  churn_drains_completed : int;
+  churn_restarts : int;
+  churn_epochs : int;
+  churn_kills : int;
+  resumed : int;
+  gone_draws : int;
+  draining_refusals : int;
+  rounds_through_down : int;
+  depart_residue : int;
   end_time : Engine.Time.t;
   wall_events : int;
 }
@@ -144,6 +195,24 @@ type result = {
    with nonzero [orphaned_circuits]/[orphaned_cells], which the check
    harness's pool oracle flags. *)
 let unsafe_disable_pool_release = ref false
+
+(* Test/fuzz hook: when set, a completed departure (crash or drain
+   deadline) skips the kill sweep, so circuits keep extending through
+   the departed relay and its occupancy survives the departure — the
+   two regressions the churn oracles exist to catch
+   ([rounds_through_down] and [depart_residue] go nonzero). *)
+let unsafe_disable_churn_kill = ref false
+
+(* Live relay status at round level (mirrors [Tor_model.Directory.status]). *)
+let st_down = 0
+let st_draining = 1
+let st_up = 2
+
+(* Departure floors: a leave draw is suppressed rather than letting the
+   up population (or the up exit population) fall to where 3-distinct-
+   hop paths become infeasible. *)
+let min_up_relays = 4
+let min_up_exits = 2
 
 (* Phases of the round-level controller. *)
 let phase_ramp = 0
@@ -174,6 +243,26 @@ type state = {
   cum_all : float array;  (* cumulative bandwidth weights, all relays *)
   exit_ids : int array;
   cum_exit : float array;
+  (* Churn state.  [rstatus] is the live status; [vis] is the epoch
+     snapshot clients draw from (copied from [rstatus] at each epoch
+     boundary, draining relays stay visible).  Both all-up/all-visible
+     in churn-free runs, where no churn timer ever fires. *)
+  churn : bool;
+  n_total : int;  (* relays + spare_relays *)
+  rstatus : int array;
+  vis : int array;
+  is_exit : bool array;
+  drain_deadline_ns : int array;
+  churn_rng : Engine.Rng.t;
+  mutable up_relays : int;
+  mutable up_exits : int;
+  (* Per-slot resume stash: a transfer killed by a departure keeps its
+     remaining cells, kind and start time, and the slot's next admitted
+     arrival carries them on — so churn-killed lifetimes pay the
+     rebuild in their TTLB instead of vanishing. [-1] = no stash. *)
+  s_res_rem : int array;
+  s_res_kind : int array;
+  s_res_started : int array;
   (* Circuit pool: flat records of [stride] ints each, free-list
      recycled.  One strided record, not parallel arrays: a round event
      touches every field of one circuit, so keeping the fields adjacent
@@ -205,6 +294,17 @@ type state = {
   mutable delivered_cells : int;
   mutable rounds : int;
   mutable pool_recycles : int;
+  mutable churn_departs : int;
+  mutable churn_crashes : int;
+  mutable churn_drains_completed : int;
+  mutable churn_restarts : int;
+  mutable churn_epochs : int;
+  mutable churn_kills : int;
+  mutable resumed : int;
+  mutable gone_draws : int;
+  mutable draining_refusals : int;
+  mutable rounds_through_down : int;
+  mutable depart_residue : int;
   mutable live : int;
   mutable peak_active : int;
   goal : int;
@@ -235,28 +335,75 @@ let draw_id rng cum ids =
   let i = draw_weighted rng cum in
   match ids with Some ids -> ids.(i) | None -> i
 
-(* Draw a relay distinct from [a] and [b]: a few weighted redraws, then
-   a deterministic scan so selection can never loop. *)
+(* Draw a relay distinct from [a] and [b] and visible in the current
+   snapshot: a few weighted redraws, then a deterministic bounded scan
+   so selection can never loop.  [-1] when no eligible relay exists.
+   With everything visible (churn-free) the draw sequence is identical
+   to the historical unguarded version. *)
 let draw_distinct st rng cum ids ~a ~b =
+  let ok r = r <> a && r <> b && st.vis.(r) = 1 in
   let r = ref (draw_id rng cum ids) in
   let tries = ref 0 in
-  while (!r = a || !r = b) && !tries < 8 do
+  while (not (ok !r)) && !tries < 8 do
     r := draw_id rng cum ids;
     incr tries
   done;
-  if !r <> a && !r <> b then !r
+  if ok !r then !r
   else begin
-    let n = st.config.relays in
+    let n = st.n_total in
     let c = ref ((!r + 1) mod n) in
-    while !c = a || !c = b do
-      c := (!c + 1) mod n
+    let steps = ref 0 in
+    while (not (ok !c)) && !steps < n do
+      c := (!c + 1) mod n;
+      incr steps
     done;
-    !c
+    if ok !c then !c else -1
+  end
+
+(* Exits are drawn first (no distinctness constraint yet), but must be
+   snapshot-visible; the scan fallback walks the exit sub-population,
+   not all relays.  [-1] when no exit is visible. *)
+let draw_exit st rng =
+  let r = ref (draw_id rng st.cum_exit (Some st.exit_ids)) in
+  let tries = ref 0 in
+  while st.vis.(!r) = 0 && !tries < 8 do
+    r := draw_id rng st.cum_exit (Some st.exit_ids);
+    incr tries
+  done;
+  if st.vis.(!r) = 1 then !r
+  else begin
+    let k = Array.length st.exit_ids in
+    let start = ref 0 in
+    Array.iteri (fun i id -> if id = !r then start := i) st.exit_ids;
+    let c = ref ((!start + 1) mod k) in
+    let steps = ref 0 in
+    while st.vis.(st.exit_ids.(!c)) = 0 && !steps < k do
+      c := (!c + 1) mod k;
+      incr steps
+    done;
+    let cand = st.exit_ids.(!c) in
+    if st.vis.(cand) = 1 then cand else -1
   end
 
 let admits st r =
   Tor_model.Switchboard.within_budget st.config.budget ~circuits:st.active.(r)
     ~queued_bytes:(st.load_cells.(r) * st.cell_bytes)
+
+(* Admission consults *live* status where the draw consulted the stale
+   snapshot — this gap is the staleness race: a hop that departed since
+   the epoch boundary answers like a GONE (down) or a draining REFUSED,
+   failing the attempt. *)
+let hop_ok st r =
+  if not st.churn then admits st r
+  else if st.rstatus.(r) = st_down then begin
+    st.gone_draws <- st.gone_draws + 1;
+    false
+  end
+  else if st.rstatus.(r) = st_draining then begin
+    st.draining_refusals <- st.draining_refusals + 1;
+    false
+  end
+  else admits st r
 
 let charge_hop st r delta_cells =
   st.load_cells.(r) <- st.load_cells.(r) + delta_cells
@@ -328,6 +475,15 @@ let round st i p =
   let h0 = st.circ.(p + f_hop0)
   and h1 = st.circ.(p + f_hop1)
   and h2 = st.circ.(p + f_hop2) in
+  (* Churn oracle 1's counter: a correctly swept departure leaves no
+     circuit to take a round through a down relay, so this stays zero
+     unless the kill sweep is broken.  One boolean guard in churn-free
+     runs. *)
+  if
+    st.churn
+    && (st.rstatus.(h0) = st_down || st.rstatus.(h1) = st_down
+        || st.rstatus.(h2) = st_down)
+  then st.rounds_through_down <- st.rounds_through_down + 1;
   (* The share computation is written out inline with bare [<]
      comparisons: without flambda, a [share] helper or [Float.min]
      would box its float result, ~10 words on every round event.
@@ -385,6 +541,95 @@ let register st r cwnd =
   st.active.(r) <- st.active.(r) + 1;
   charge_hop st r cwnd
 
+(* A departure completed at relay [r] (crash, or drain deadline): kill
+   every circuit routed through it.  Each victim stashes a resume
+   record on its slot (the transfer carries on over a fresh path with
+   its original start time), releases its pooled record — crediting all
+   three hops — and falls back to thinking.  [release] + [think] only
+   recycle and rearm, so the sweep allocates nothing. *)
+let kill_through st r =
+  if not !unsafe_disable_churn_kill then
+    for i = 0 to Array.length st.s_circ - 1 do
+      let p = st.s_circ.(i) in
+      if
+        p >= 0
+        && (st.circ.(p + f_hop0) = r || st.circ.(p + f_hop1) = r
+            || st.circ.(p + f_hop2) = r)
+      then begin
+        st.churn_kills <- st.churn_kills + 1;
+        st.s_res_rem.(i) <- st.circ.(p + f_remaining);
+        st.s_res_kind.(i) <- st.circ.(p + f_kind);
+        st.s_res_started.(i) <- st.circ.(p + f_started_ns);
+        release st p;
+        st.s_circ.(i) <- -1;
+        think st i
+      end
+    done;
+  (* Churn oracle 2's counter: a finished departure leaves zero circuit
+     slots and zero queued cells at the relay — unless the sweep was
+     sabotaged. *)
+  if st.active.(r) <> 0 || st.load_cells.(r) <> 0 then
+    st.depart_residue <- st.depart_residue + 1
+
+(* One churn tick: a Bernoulli trial per relay in id order (the whole
+   schedule is a pure function of [churn_rng]), with floors keeping the
+   up population path-feasible.  Draining relays check their deadline;
+   down relays try the join hazard. *)
+let churn_step st =
+  let c = st.config in
+  let dt = Engine.Time.to_sec_f c.churn_tick in
+  let p_leave = Float.min 1. (c.leave_hazard *. dt) in
+  let p_join = Float.min 1. (c.join_hazard *. dt) in
+  let now = now_ns st in
+  for r = 0 to st.n_total - 1 do
+    if st.rstatus.(r) = st_up then begin
+      if p_leave > 0. && Engine.Rng.float st.churn_rng 1. < p_leave then
+        if
+          st.up_relays > min_up_relays
+          && ((not st.is_exit.(r)) || st.up_exits > min_up_exits)
+        then begin
+          st.churn_departs <- st.churn_departs + 1;
+          st.up_relays <- st.up_relays - 1;
+          if st.is_exit.(r) then st.up_exits <- st.up_exits - 1;
+          if
+            c.crash_fraction > 0.
+            && Engine.Rng.float st.churn_rng 1. < c.crash_fraction
+          then begin
+            st.churn_crashes <- st.churn_crashes + 1;
+            st.rstatus.(r) <- st_down;
+            kill_through st r
+          end
+          else begin
+            st.rstatus.(r) <- st_draining;
+            st.drain_deadline_ns.(r) <-
+              now + Int64.to_int (Engine.Time.to_ns c.drain_grace)
+          end
+        end
+    end
+    else if st.rstatus.(r) = st_draining then begin
+      if now >= st.drain_deadline_ns.(r) then begin
+        st.churn_drains_completed <- st.churn_drains_completed + 1;
+        st.rstatus.(r) <- st_down;
+        kill_through st r
+      end
+    end
+    else if p_join > 0. && Engine.Rng.float st.churn_rng 1. < p_join then begin
+      st.churn_restarts <- st.churn_restarts + 1;
+      st.rstatus.(r) <- st_up;
+      st.up_relays <- st.up_relays + 1;
+      if st.is_exit.(r) then st.up_exits <- st.up_exits + 1
+    end
+  done
+
+(* The consensus refresh: clients start seeing the live population as
+   of this instant (draining relays stay listed, down relays drop
+   out).  Everything between boundaries is staleness by design. *)
+let advance_epoch st =
+  st.churn_epochs <- st.churn_epochs + 1;
+  for r = 0 to st.n_total - 1 do
+    st.vis.(r) <- (if st.rstatus.(r) = st_down then 0 else 1)
+  done
+
 let try_arrival st i =
   let rng = st.s_rng.(i) in
   let attempts = st.config.max_path_redraws + 1 in
@@ -394,10 +639,15 @@ let try_arrival st i =
   while (not !admitted) && !tries < attempts do
     if !tries > 0 then st.admission_redraws <- st.admission_redraws + 1;
     incr tries;
-    e := draw_distinct st rng st.cum_exit (Some st.exit_ids) ~a:(-1) ~b:(-1);
-    g := draw_distinct st rng st.cum_all None ~a:!e ~b:(-1);
-    m := draw_distinct st rng st.cum_all None ~a:!e ~b:!g;
-    admitted := admits st !g && admits st !m && admits st !e
+    e := draw_exit st rng;
+    if !e >= 0 then begin
+      g := draw_distinct st rng st.cum_all None ~a:!e ~b:(-1);
+      if !g >= 0 then begin
+        m := draw_distinct st rng st.cum_all None ~a:!e ~b:!g;
+        if !m >= 0 then
+          admitted := hop_ok st !g && hop_ok st !m && hop_ok st !e
+      end
+    end
   done;
   if not !admitted then begin
     st.refused_arrivals <- st.refused_arrivals + 1;
@@ -409,9 +659,16 @@ let try_arrival st i =
     let p = st.free.(st.free_top) in
     if st.circ.(p + f_used) = 1 then st.pool_recycles <- st.pool_recycles + 1
     else st.circ.(p + f_used) <- 1;
+    (* A pending resume (this slot's transfer was killed by a
+       departure) carries its remaining cells, kind and original start
+       time onto the fresh path, so the rebuild gap lands in the TTLB
+       tail; otherwise draw a fresh transfer. *)
+    let resume = st.s_res_rem.(i) >= 0 in
     let elephant =
-      st.config.elephant_fraction > 0.
-      && Engine.Rng.float rng 1. < st.config.elephant_fraction
+      if resume then st.s_res_kind.(i) = 1
+      else
+        st.config.elephant_fraction > 0.
+        && Engine.Rng.float rng 1. < st.config.elephant_fraction
     in
     st.arrivals <- st.arrivals + 1;
     if elephant then st.elephant_arrivals <- st.elephant_arrivals + 1;
@@ -419,7 +676,9 @@ let try_arrival st i =
     st.circ.(p + f_hop1) <- !m;
     st.circ.(p + f_hop2) <- !e;
     st.circ.(p + f_remaining) <-
-      (if elephant then st.config.elephant_cells else st.config.mice_cells);
+      (if resume then st.s_res_rem.(i)
+       else if elephant then st.config.elephant_cells
+       else st.config.mice_cells);
     (match st.config.strategy with
     | Circuitstart.Controller.Fixed w ->
         st.circ.(p + f_cwnd) <-
@@ -430,7 +689,12 @@ let try_arrival st i =
         st.circ.(p + f_cwnd) <- st.config.initial_cwnd;
         st.circ.(p + f_phase) <- phase_ramp);
     st.circ.(p + f_kind) <- (if elephant then 1 else 0);
-    st.circ.(p + f_started_ns) <- now_ns st;
+    st.circ.(p + f_started_ns) <-
+      (if resume then st.s_res_started.(i) else now_ns st);
+    if resume then begin
+      st.resumed <- st.resumed + 1;
+      st.s_res_rem.(i) <- -1
+    end;
     let rtt_ns =
       let access = Int64.to_int (Engine.Time.to_ns st.config.access_delay) in
       2 * (st.lat_ns.(!g) + st.lat_ns.(!m) + st.lat_ns.(!e) + (2 * access))
@@ -458,11 +722,15 @@ let run ?(seed = 42) config =
     | Error msg -> invalid_arg ("Network_experiment.run: " ^ msg)
   in
   let rng = Engine.Rng.create seed in
-  (* Fixed draw order: population first, then one stream per slot. *)
+  (* Fixed draw order: population first, then one stream per slot, then
+     the churn stream — appended last so churn-free runs stay
+     byte-identical to historical seeds. *)
   let pop_rng = Engine.Rng.split rng in
   let slot_rngs = Array.init config.slots (fun _ -> Engine.Rng.split rng) in
+  let churn_rng = Engine.Rng.split rng in
+  let n_total = config.relays + config.spare_relays in
   let specs =
-    Array.of_list (Relay_gen.generate pop_rng config.population ~n:config.relays)
+    Array.of_list (Relay_gen.generate pop_rng config.population ~n:n_total)
   in
   (* RTT-scale round timers and sub-second think timers dominate this
      workload; widen the wheel window to ~1.07 s (2^20 ns ticks, 1024
@@ -473,7 +741,7 @@ let run ?(seed = 42) config =
     Engine.Sim.create ~capacity:(Stdlib.max 256 config.slots) ~tick_bits:20
       ~wheel_slots:1024 ()
   in
-  let n = config.relays in
+  let n = n_total in
   let cap_cps =
     Array.map
       (fun (s : Relay_gen.spec) ->
@@ -503,6 +771,10 @@ let run ?(seed = 42) config =
   in
   if Array.length exit_ids = 0 then
     invalid_arg "Network_experiment.run: population has no exit relays";
+  (* Spares (ids >= relays) start down; the initially-up population
+     must be able to route on its own. *)
+  if not (Array.exists (fun id -> id < config.relays) exit_ids) then
+    invalid_arg "Network_experiment.run: no exit relay among the initial population";
   let cum_exit = Array.make (Array.length exit_ids) 0. in
   let acc = ref 0. in
   Array.iteri
@@ -527,6 +799,25 @@ let run ?(seed = 42) config =
       cum_all;
       exit_ids;
       cum_exit;
+      churn = config.leave_hazard > 0. || config.join_hazard > 0.;
+      n_total;
+      rstatus =
+        Array.init n_total (fun r -> if r < config.relays then st_up else st_down);
+      vis = Array.init n_total (fun r -> if r < config.relays then 1 else 0);
+      is_exit =
+        (let a = Array.make n_total false in
+         Array.iter (fun id -> a.(id) <- true) exit_ids;
+         a);
+      drain_deadline_ns = Array.make n_total 0;
+      churn_rng;
+      up_relays = config.relays;
+      up_exits =
+        Array.fold_left
+          (fun acc id -> if id < config.relays then acc + 1 else acc)
+          0 exit_ids;
+      s_res_rem = Array.make slots (-1);
+      s_res_kind = Array.make slots 0;
+      s_res_started = Array.make slots 0;
       circ = Array.make (slots * stride) 0;
       c_rtt = Array.make slots Engine.Time.zero;
       free = Array.init slots (fun i -> (slots - 1 - i) * stride);
@@ -544,6 +835,17 @@ let run ?(seed = 42) config =
       delivered_cells = 0;
       rounds = 0;
       pool_recycles = 0;
+      churn_departs = 0;
+      churn_crashes = 0;
+      churn_drains_completed = 0;
+      churn_restarts = 0;
+      churn_epochs = 0;
+      churn_kills = 0;
+      resumed = 0;
+      gone_draws = 0;
+      draining_refusals = 0;
+      rounds_through_down = 0;
+      depart_residue = 0;
       live = 0;
       peak_active = 0;
       goal = lifetimes_goal config;
@@ -561,6 +863,15 @@ let run ?(seed = 42) config =
   for i = 0 to slots - 1 do
     think st i
   done;
+  (* Churn timers only exist when a hazard is set: churn-free runs add
+     zero events and zero per-event work beyond one boolean guard. *)
+  if st.churn then begin
+    let done_ () = st.completed >= st.goal in
+    Engine.Sim.every sim config.churn_tick (fun () -> churn_step st)
+      ~stop:done_;
+    Engine.Sim.every sim config.epoch_period (fun () -> advance_epoch st)
+      ~stop:done_
+  end;
   if Engine.Time.(config.duration > Engine.Time.zero) then
     Engine.Sim.run sim ~until:config.duration
   else Engine.Sim.run sim;
@@ -602,6 +913,17 @@ let run ?(seed = 42) config =
       | None -> [||]);
     orphaned_circuits;
     orphaned_cells;
+    churn_departs = st.churn_departs;
+    churn_crashes = st.churn_crashes;
+    churn_drains_completed = st.churn_drains_completed;
+    churn_restarts = st.churn_restarts;
+    churn_epochs = st.churn_epochs;
+    churn_kills = st.churn_kills;
+    resumed = st.resumed;
+    gone_draws = st.gone_draws;
+    draining_refusals = st.draining_refusals;
+    rounds_through_down = st.rounds_through_down;
+    depart_residue = st.depart_residue;
     end_time = Engine.Sim.now sim;
     wall_events = Engine.Sim.events_executed sim;
   }
@@ -644,4 +966,14 @@ let pp_result fmt (r : result) =
     r.delivered_cells r.rounds r.peak_active r.pool_recycles;
   if r.orphaned_circuits > 0 || r.orphaned_cells > 0 then
     Format.fprintf fmt ", ORPHANS %d circuits / %d cells" r.orphaned_circuits
-      r.orphaned_cells
+      r.orphaned_cells;
+  if r.churn_departs > 0 || r.churn_restarts > 0 then begin
+    Format.fprintf fmt
+      ";@ churn: %d departs (%d crashes, %d drains done), %d restarts, %d        epochs, %d kills, %d resumed, %d gone draws, %d draining refusals"
+      r.churn_departs r.churn_crashes r.churn_drains_completed
+      r.churn_restarts r.churn_epochs r.churn_kills r.resumed r.gone_draws
+      r.draining_refusals;
+    if r.rounds_through_down > 0 || r.depart_residue > 0 then
+      Format.fprintf fmt ", VIOLATIONS %d rounds-through-down / %d residue"
+        r.rounds_through_down r.depart_residue
+  end

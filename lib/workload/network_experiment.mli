@@ -61,6 +61,28 @@ type config = {
   max_path_redraws : int;
       (** Admission-refused arrivals redraw this many times before
           giving up (counted in [refused_arrivals]). *)
+  leave_hazard : float;
+      (** Per-relay per-second hazard of an up relay leaving; tried
+          once per [churn_tick].  [0] (with [join_hazard] 0) disables
+          churn entirely: no churn timers are armed and the run is
+          byte-identical to the churn-free workload. *)
+  join_hazard : float;
+      (** Per-relay per-second hazard of a down relay (re)joining. *)
+  crash_fraction : float;
+      (** Probability in [\[0, 1\]] that a departure is a crash (its
+          circuits die immediately) rather than a graceful drain
+          (admissions refused, existing circuits run until
+          [drain_grace], then die). *)
+  drain_grace : Engine.Time.t;
+  epoch_period : Engine.Time.t;
+      (** Directory snapshot refresh: clients draw paths from the
+          population as of the last boundary, so draws race departures
+          by up to one period (failed attempts count in [gone_draws] /
+          [draining_refusals]). *)
+  churn_tick : Engine.Time.t;  (** Hazard-trial granularity. *)
+  spare_relays : int;
+      (** Extra relays that start down (and invisible) and join under
+          [join_hazard]. *)
   strategy : Circuitstart.Controller.strategy;
   sketch_bins : int;
   sketch_max : Engine.Time.t;  (** Upper edge of the TTLB sketches. *)
@@ -108,6 +130,32 @@ type result = {
       (** Relay [active] occupancy left after every circuit was torn
           down — 0 unless pool recycling is broken. *)
   orphaned_cells : int;  (** Same for the queued-cell counters. *)
+  churn_departs : int;  (** Departures begun (crashes + drains). *)
+  churn_crashes : int;
+  churn_drains_completed : int;  (** Drain deadlines reached. *)
+  churn_restarts : int;  (** Down relays that (re)joined. *)
+  churn_epochs : int;  (** Snapshot refreshes. *)
+  churn_kills : int;
+      (** Circuits killed by completed departures; each leaves a resume
+          stash on its slot. *)
+  resumed : int;
+      (** Killed transfers that resumed on a fresh path (keeping their
+          original start time, so the rebuild gap lands in the TTLB
+          tail). *)
+  gone_draws : int;
+      (** Admission checks that hit a relay already down — the
+          round-level analog of a build racing a departure into a
+          typed GONE. *)
+  draining_refusals : int;
+      (** Admission checks that hit a draining relay — the analog of
+          [Refused (Draining)]. *)
+  rounds_through_down : int;
+      (** Churn oracle 1's counter: rounds taken by a circuit with a
+          departed hop.  Always 0 unless the kill sweep is disabled. *)
+  depart_residue : int;
+      (** Churn oracle 2's counter: completed departures that left
+          nonzero slot or byte occupancy.  Always 0 unless the kill
+          sweep is disabled. *)
   end_time : Engine.Time.t;
   wall_events : int;
 }
@@ -117,6 +165,12 @@ val unsafe_disable_pool_release : bool ref
     circuit's occupancy back to its relays — the canonical pool-reuse
     bug.  Runs then end with nonzero orphan counters, which the check
     harness's pool oracle flags (and shrinks).  Reset it. *)
+
+val unsafe_disable_churn_kill : bool ref
+(** Test/fuzz hook: when [true], completed departures skip the kill
+    sweep — circuits keep extending through departed relays and their
+    occupancy survives.  [rounds_through_down] and [depart_residue] go
+    nonzero, which the churn oracles flag (and shrink).  Reset it. *)
 
 val run : ?seed:int -> config -> result
 (** Deterministic per [(seed, config)].  Raises [Invalid_argument] if

@@ -27,6 +27,35 @@ let test_cdf_quantiles () =
   Alcotest.check_raises "bad q" (Invalid_argument "Cdf.quantile: q must be in [0, 1]")
     (fun () -> ignore (Analysis.Cdf.quantile cdf 1.5))
 
+let test_sketch_empty_guards () =
+  let empty = Engine.Stats.Sketch.create ~lo:0. ~hi:10. () in
+  (* The partial API still raises... *)
+  Alcotest.check_raises "quantile raises on empty"
+    (Invalid_argument "Sketch.quantile: empty sketch") (fun () ->
+      ignore (Engine.Stats.Sketch.quantile empty 0.5));
+  (* ...and the total variants answer None, so report code can print
+     "-" for a run that completed nothing instead of dying. *)
+  Alcotest.(check bool) "quantile_opt None on empty" true
+    (Engine.Stats.Sketch.quantile_opt empty 0.5 = None);
+  Alcotest.(check bool) "of_sketch_opt None on empty" true
+    (Analysis.Cdf.of_sketch_opt empty = None);
+  Engine.Stats.Sketch.add empty 3.;
+  (match Engine.Stats.Sketch.quantile_opt empty 0.5 with
+  | Some q ->
+      Alcotest.(check (float 1e-9)) "quantile_opt = quantile once non-empty"
+        (Engine.Stats.Sketch.quantile empty 0.5)
+        q
+  | None -> Alcotest.fail "quantile_opt None on a non-empty sketch");
+  match Analysis.Cdf.of_sketch_opt empty with
+  | Some cdf ->
+      (* One sample: the curve is clamped to the exact observed
+         extremes, so it collapses onto the sample. *)
+      Alcotest.(check (float 1e-9)) "of_sketch_opt min" 3.
+        (Analysis.Cdf.min_value cdf);
+      Alcotest.(check (float 1e-9)) "of_sketch_opt max" 3.
+        (Analysis.Cdf.max_value cdf)
+  | None -> Alcotest.fail "of_sketch_opt None on a non-empty sketch"
+
 let test_cdf_errors () =
   Alcotest.check_raises "empty" (Invalid_argument "Cdf.of_samples: empty") (fun () ->
       ignore (Analysis.Cdf.of_samples [||]));
@@ -224,6 +253,8 @@ let () =
           Alcotest.test_case "basics" `Quick test_cdf_basics;
           Alcotest.test_case "quantiles" `Quick test_cdf_quantiles;
           Alcotest.test_case "errors" `Quick test_cdf_errors;
+          Alcotest.test_case "empty sketch guards" `Quick
+            test_sketch_empty_guards;
           Alcotest.test_case "gap and dominance" `Quick test_cdf_gap_and_dominance;
         ] );
       ( "series",

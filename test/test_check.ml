@@ -36,18 +36,18 @@ let test_generate_deterministic () =
   for index = 0 to 9 do
     Alcotest.(check bool) "same (seed, index), same scenario" true
       (Check.Scenario.equal
-         (Check.Scenario.generate ~seed:42 ~index)
-         (Check.Scenario.generate ~seed:42 ~index))
+         (Check.Scenario.generate ~seed:42 ~index ())
+         (Check.Scenario.generate ~seed:42 ~index ()))
   done;
   let sample seed =
-    List.init 10 (fun index -> Check.Scenario.generate ~seed ~index)
+    List.init 10 (fun index -> Check.Scenario.generate ~seed ~index ())
   in
   Alcotest.(check bool) "indices vary" true
     (List.length (List.sort_uniq compare (sample 42)) > 1);
   Alcotest.(check bool) "seeds vary" true (sample 42 <> sample 43)
 
 let test_shrink_candidates_simplify () =
-  let sc = Check.Scenario.generate ~seed:42 ~index:0 in
+  let sc = Check.Scenario.generate ~seed:42 ~index:0 () in
   List.iter
     (fun c ->
       Alcotest.(check bool) "candidate differs from parent" true
@@ -71,7 +71,7 @@ let test_selection_parsing () =
 
 let test_clean_scenarios_pass () =
   for index = 0 to 3 do
-    let sc = Check.Scenario.generate ~seed:42 ~index in
+    let sc = Check.Scenario.generate ~seed:42 ~index () in
     match check sc with
     | Ok _ -> ()
     | Error reason ->
@@ -91,7 +91,7 @@ let test_harness_run_smoke () =
     (contains ~needle:"5/5 scenarios passed" (Buffer.contents buf))
 
 let test_replay_round_trip () =
-  let sc = Check.Scenario.generate ~seed:42 ~index:1 in
+  let sc = Check.Scenario.generate ~seed:42 ~index:1 () in
   let buf = Buffer.create 256 in
   let ppf = Format.formatter_of_buffer buf in
   (match Check.Harness.replay ~selection (Check.Scenario.to_string sc) ppf with
@@ -165,6 +165,12 @@ let stale_prone =
     oload_kib = 0;
     arrival_ms = 0;
     lifet = 0;
+    leave_pm = 0;
+    join_pm = 0;
+    crashpct = 0;
+    grace_ms = 0;
+    epoch_ms = 0;
+    spares = 0;
   }
 
 (* With the guard disabled, find a scenario the oracles reject: the
@@ -175,7 +181,7 @@ let find_failing () =
     let rec go index =
       if index >= 40 then None
       else
-        let sc = Check.Scenario.generate ~seed:42 ~index in
+        let sc = Check.Scenario.generate ~seed:42 ~index () in
         if Result.is_error (check sc) then Some sc else go (index + 1)
     in
     go 0
@@ -244,6 +250,12 @@ let budget_prone =
     oload_kib = 8;  (* 8 KiB: a doubling window alone blows past it *)
     arrival_ms = 20;
     lifet = 0;
+    leave_pm = 0;
+    join_pm = 0;
+    crashpct = 0;
+    grace_ms = 0;
+    epoch_ms = 0;
+    spares = 0;
   }
 
 let find_failing_budget () =
@@ -252,7 +264,7 @@ let find_failing_budget () =
     let rec go index =
       if index >= 40 then None
       else
-        let sc = Check.Scenario.generate ~seed:42 ~index in
+        let sc = Check.Scenario.generate ~seed:42 ~index () in
         if
           sc.Check.Scenario.kind = Check.Scenario.Overload
           && Result.is_error (check sc)
@@ -301,7 +313,7 @@ let test_disabled_budget_is_caught () =
    by the pool tests: run one scenario's config through the shared
    jobs-determinism helper as well, tying the two harnesses together. *)
 let test_scenario_config_jobs_deterministic () =
-  let sc = Check.Scenario.generate ~seed:42 ~index:2 in
+  let sc = Check.Scenario.generate ~seed:42 ~index:2 () in
   match sc.Check.Scenario.kind with
   | Check.Scenario.Faults ->
       Test_util.check_jobs_deterministic (fun jobs ->
@@ -319,6 +331,10 @@ let test_scenario_config_jobs_deterministic () =
       Test_util.check_jobs_deterministic (fun jobs ->
           Workload.Network_experiment.run_many ~jobs
             [ (sc.Check.Scenario.seed, Check.Scenario.network_config sc) ])
+  | Check.Scenario.Churn ->
+      Test_util.check_jobs_deterministic (fun jobs ->
+          Workload.Network_experiment.run_many ~jobs
+            [ (sc.Check.Scenario.seed, Check.Scenario.churn_config sc) ])
 
 let () =
   Alcotest.run "check"

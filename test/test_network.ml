@@ -228,6 +228,12 @@ let pool_prone =
     oload_kib = 0;
     arrival_ms = 20;
     lifet = 40;
+    leave_pm = 0;
+    join_pm = 0;
+    crashpct = 0;
+    grace_ms = 0;
+    epoch_ms = 0;
+    spares = 0;
   }
 
 let find_failing_network () =
@@ -236,7 +242,7 @@ let find_failing_network () =
     let rec go index =
       if index >= 40 then None
       else
-        let sc = Check.Scenario.generate ~seed:42 ~index in
+        let sc = Check.Scenario.generate ~seed:42 ~index () in
         if
           sc.Check.Scenario.kind = Check.Scenario.Network
           && Result.is_error (check sc)

@@ -368,6 +368,7 @@ let test_circuit_establishment () =
       Alcotest.(check bool) "took multiple RTTs" true Engine.Time.(at > Engine.Time.ms 60)
   | Some (Tor_model.Circuit_builder.Failed msg) -> Alcotest.fail msg
   | Some (Tor_model.Circuit_builder.Refused _) -> Alcotest.fail "refused"
+  | Some (Tor_model.Circuit_builder.Gone _) -> Alcotest.fail "gone"
   | None -> Alcotest.fail "never finished");
   (* Each relay knows its predecessor and successor. *)
   for i = 1 to 3 do
