@@ -971,6 +971,100 @@ let write_network_json path
   close_out oc;
   Printf.printf "[json] %s\n" path
 
+(* PR 9: the sharded-engine speedup probe.  The same consensus-scale
+   workload once on the classic engine (the sequential baseline) and
+   once per shard count.  The sharded digests must agree byte-for-byte
+   — the shard count chooses how the schedule executes, never what it
+   computes — and the wall-clock ratios are the headline speedups of
+   BENCH_pr9.json.  On hosts with fewer cores than shards the ratios
+   record honest slowdowns; the speedup floors carry min-cores markers
+   so the trajectory gate skips them there and enforces them on the
+   multi-core reference runner. *)
+
+let result_digest (r : Workload.Network_experiment.result) =
+  Digest.to_hex (Digest.string (Marshal.to_string r []))
+
+let write_shard_json path ~(config : Workload.Network_experiment.config)
+    ~(s4 : Workload.Network_experiment.result) ~seq_s ~s1_s ~s2_s ~s4_s
+    ~words4 ~digest =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"pr\": 9,\n  \"host_cores\": %d,\n"
+       (Domain.recommended_domain_count ()));
+  (* Headline metrics first and exactly once (the gate's key scanner
+     takes the first occurrence): throughput and allocation rate of
+     the 4-shard run, then the seq-over-sharded wall-clock ratios. *)
+  Buffer.add_string buf
+    (Printf.sprintf "  \"events_per_sec\": %.1f,\n"
+       (if s4_s > 0. then float_of_int s4.wall_events /. s4_s else 0.));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"minor_words_per_event\": %.4f,\n"
+       (if s4.wall_events > 0 then words4 /. float_of_int s4.wall_events
+        else 0.));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"speedup_2\": %.4f,\n  \"speedup_4\": %.4f,\n"
+       (if s2_s > 0. then seq_s /. s2_s else 0.)
+       (if s4_s > 0. then seq_s /. s4_s else 0.));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"shard_probe\": {\"relays\": %d, \"slots\": %d, \"lifetimes\": %d, \
+        \"seq_seconds\": %.3f, \"shard1_seconds\": %.3f, \"shard2_seconds\": \
+        %.3f, \"shard4_seconds\": %.3f, \"sim_events\": %d, \"digest\": \
+        \"%s\"}\n"
+       config.relays config.slots
+       (Workload.Network_experiment.lifetimes_goal config)
+       seq_s s1_s s2_s s4_s s4.wall_events digest);
+  Buffer.add_string buf "}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "[json] %s\n" path
+
+let shard_probe () =
+  section "Sharded-engine speedup probe (BENCH_pr9.json)";
+  let config =
+    { Workload.Network_experiment.default_config with
+      relays = 2_000;
+      slots = 100_000;
+      target_lifetimes = 500_000;
+      mean_think = Engine.Time.ms 200;
+    }
+  in
+  let timed_run shards =
+    let config = { config with Workload.Network_experiment.shards } in
+    let t0 = Unix.gettimeofday () in
+    let r, words =
+      Workload.Network_experiment.run_instrumented ~seed:7 config
+    in
+    let seconds = Unix.gettimeofday () -. t0 in
+    note_events r.wall_events;
+    (r, seconds, words)
+  in
+  let seq, seq_s, _ = timed_run 0 in
+  let s1, s1_s, _ = timed_run 1 in
+  let s2, s2_s, _ = timed_run 2 in
+  let s4, s4_s, words4 = timed_run 4 in
+  let d1 = result_digest s1 in
+  let d2 = result_digest s2 in
+  let d4 = result_digest s4 in
+  if d1 <> d2 || d1 <> d4 then
+    failwith
+      (Printf.sprintf
+         "shard probe: sharded results diverge (shards=1 %s, shards=2 %s, \
+          shards=4 %s)"
+         d1 d2 d4);
+  Printf.printf
+    "seq: %.1fs (%d done)  shards=1: %.1fs  shards=2: %.1fs (%.2fx)  \
+     shards=4: %.1fs (%.2fx)  digests agree (%d cores)\n"
+    seq_s seq.completed s1_s s2_s
+    (if s2_s > 0. then seq_s /. s2_s else 0.)
+    s4_s
+    (if s4_s > 0. then seq_s /. s4_s else 0.)
+    (Domain.recommended_domain_count ());
+  write_shard_json "BENCH_pr9.json" ~config ~s4 ~seq_s ~s1_s ~s2_s ~s4_s
+    ~words4 ~digest:d1
+
 let table_network () =
   section
     "Table T-network (extra): consensus-scale round-level workload (paired + \
@@ -1036,7 +1130,8 @@ let table_network () =
     (float_of_int scale.wall_events /. scale_seconds)
     (minor_words /. float_of_int scale.wall_events);
   write_network_json "BENCH_pr7.json" ~paired ~cs:c.circuit_start
-    ~ss:c.slow_start ~scale ~scale_seconds ~minor_words
+    ~ss:c.slow_start ~scale ~scale_seconds ~minor_words;
+  shard_probe ()
 
 (* ------------------------------------------------------------------ *)
 (* table-churn-scale: the same consensus-scale workload with the relay

@@ -65,26 +65,49 @@ let () =
     Printf.eprintf "trajectory: no BENCH_*.json reports in %s\n" !dir;
     exit 1
   end;
+  let rows = Analysis.Perf_gate.trajectory reports in
+  (* Only reports from the sharded-engine era carry speedup keys; hide
+     the column entirely when none do. *)
+  let have_speedup =
+    List.exists
+      (fun (r : Analysis.Perf_gate.row) ->
+        r.speedup_2 <> None || r.speedup_4 <> None)
+      rows
+  in
+  let base_columns =
+    [ "report"; "events/s"; "minor words/event"; "sim events"; "cumulative" ]
+  in
   let t =
     Analysis.Table.create
       ~columns:
-        [ "report"; "events/s"; "minor words/event"; "sim events"; "cumulative" ]
+        (if have_speedup then base_columns @ [ "speedup x2/x4" ]
+         else base_columns)
   in
   List.iter
     (fun (r : Analysis.Perf_gate.row) ->
-      Analysis.Table.add_row t
-        [
-          r.report;
-          (match r.events_per_sec with
-          | Some v -> Printf.sprintf "%.0f" v
-          | None -> "-");
-          (match r.minor_words_per_event with
+      let speedup =
+        let part = function
           | Some v -> Printf.sprintf "%.2f" v
-          | None -> "-");
-          Printf.sprintf "%.0f" r.sim_events;
-          Printf.sprintf "%.0f" r.cumulative_events;
-        ])
-    (Analysis.Perf_gate.trajectory reports);
+          | None -> "-"
+        in
+        match (r.speedup_2, r.speedup_4) with
+        | None, None -> "-"
+        | s2, s4 -> Printf.sprintf "%s/%s" (part s2) (part s4)
+      in
+      Analysis.Table.add_row t
+        ([
+           r.report;
+           (match r.events_per_sec with
+           | Some v -> Printf.sprintf "%.0f" v
+           | None -> "-");
+           (match r.minor_words_per_event with
+           | Some v -> Printf.sprintf "%.2f" v
+           | None -> "-");
+           Printf.sprintf "%.0f" r.sim_events;
+           Printf.sprintf "%.0f" r.cumulative_events;
+         ]
+        @ if have_speedup then [ speedup ] else []))
+    rows;
   print_string (Analysis.Table.render t);
   match read_file !floors_path with
   | None ->
@@ -108,10 +131,18 @@ let () =
             (fun o -> Format.printf "%a@." Analysis.Perf_gate.pp_outcome o)
             outcomes;
           let failed = List.filter (fun o -> not o.Analysis.Perf_gate.ok) outcomes in
+          let skipped =
+            List.filter (fun o -> o.Analysis.Perf_gate.skipped) outcomes
+          in
           if failed = [] then
-            Printf.printf "trajectory: %d floor%s hold (tolerance %.0f%%)\n"
+            Printf.printf "trajectory: %d floor%s hold%s (tolerance %.0f%%)\n"
               (List.length outcomes)
               (if List.length outcomes = 1 then "" else "s")
+              (match skipped with
+              | [] -> ""
+              | s ->
+                  Printf.sprintf ", %d skipped (host below min-cores)"
+                    (List.length s))
               (!tolerance *. 100.)
           else begin
             Printf.printf "trajectory: %d/%d floors FAILED\n" (List.length failed)

@@ -70,6 +70,26 @@ let jobs_arg =
     & opt positive_int (Engine.Pool.default_jobs ())
     & info [ "j"; "jobs" ] ~docv:"N" ~doc ~env:(Cmd.Env.info "TORSIM_JOBS"))
 
+let shards_arg =
+  let doc =
+    "Shards for within-run parallelism: 0 = the classic single-domain \
+     engine, N >= 1 = partition the run across N domains (results are \
+     identical for every positive N), $(b,auto) = one shard per worker \
+     (honors \\$(b,CIRCUITSTART_JOBS))."
+  in
+  let shard_count =
+    let parse s =
+      match s with
+      | "auto" -> Ok (Engine.Pool.default_jobs ())
+      | _ -> (
+          match int_of_string_opt s with
+          | Some n when n >= 0 -> Ok n
+          | _ -> Error (`Msg "expected a non-negative integer or 'auto'"))
+    in
+    Arg.conv (parse, Format.pp_print_int)
+  in
+  Arg.(value & opt shard_count 0 & info [ "shards" ] ~docv:"N" ~doc)
+
 let csv_arg =
   let doc = "Write the raw series as CSV to $(docv)." in
   Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
@@ -826,7 +846,7 @@ let network_flag_errors ~relays ~circuits ~lifetimes ~duration_s ~think_ms
     ]
 
 let run_network relays circuits lifetimes duration_s think_ms budget_kib
-    max_circuits seed jobs profile =
+    max_circuits shards seed jobs profile =
   match
     network_flag_errors ~relays ~circuits ~lifetimes ~duration_s ~think_ms
       ~budget_kib ~max_circuits
@@ -849,19 +869,21 @@ let run_network relays circuits lifetimes duration_s think_ms budget_kib
             (if budget_kib <= 0 then None
              else Some (Engine.Units.kib budget_kib));
         };
+      shards;
     }
   in
   match Workload.Network_experiment.validate_config config with
   | Error msg -> `Error (false, msg)
   | Ok config ->
       if profile then begin
-        (* One sequential run on the main domain, so the wall clock and
-           the minor-GC counter are attributable to it alone. *)
-        let minor0 = Gc.minor_words () in
+        (* [run_instrumented] sums the minor-GC deltas of every
+           participating domain, so the per-event figure stays honest
+           for sharded runs. *)
         let t0 = Unix.gettimeofday () in
-        let r = Workload.Network_experiment.run ~seed config in
+        let r, minor_words =
+          Workload.Network_experiment.run_instrumented ~seed config
+        in
         let seconds = Unix.gettimeofday () -. t0 in
-        let minor_words = Gc.minor_words () -. minor0 in
         Format.printf "%a@." Workload.Network_experiment.pp_result r;
         Printf.printf
           "profile: %.1fs wall, %d events, %.0f events/sec, %.2f minor \
@@ -971,14 +993,15 @@ let network_cmd =
     Term.(
       ret
         (const run_network $ relays $ circuits $ lifetimes $ duration
-       $ think_ms $ budget_kib $ max_circuits $ seed_arg $ jobs_arg $ profile))
+       $ think_ms $ budget_kib $ max_circuits $ shards_arg $ seed_arg
+       $ jobs_arg $ profile))
 
 (* ------------------------------------------------------------------ *)
 (* churn-scale *)
 
 let run_churn_scale relays circuits lifetimes duration_s think_ms budget_kib
     max_circuits leave_rate join_rate crash_fraction grace_ms epoch_ms spares
-    seed jobs =
+    shards seed jobs =
   match
     network_flag_errors ~relays ~circuits ~lifetimes ~duration_s ~think_ms
       ~budget_kib ~max_circuits
@@ -1028,6 +1051,7 @@ let run_churn_scale relays circuits lifetimes duration_s think_ms budget_kib
                 drain_grace = Engine.Time.ms grace_ms;
                 epoch_period = Engine.Time.ms epoch_ms;
                 spare_relays = spares;
+                shards;
               }
             in
             match Workload.Network_experiment.validate_config config with
@@ -1178,7 +1202,8 @@ let churn_scale_cmd =
       ret
         (const run_churn_scale $ relays $ circuits $ lifetimes $ duration
        $ think_ms $ budget_kib $ max_circuits $ leave_rate $ join_rate
-       $ crash_fraction $ grace_ms $ epoch_ms $ spares $ seed_arg $ jobs_arg))
+       $ crash_fraction $ grace_ms $ epoch_ms $ spares $ shards_arg
+       $ seed_arg $ jobs_arg))
 
 (* ------------------------------------------------------------------ *)
 
@@ -1268,6 +1293,15 @@ let check_cmd =
     Term.(ret (const run_check $ runs $ seed_arg $ oracles $ kind $ replay $ out))
 
 let () =
+  (* Fail fast on a malformed CIRCUITSTART_JOBS: [Pool.default_jobs]
+     itself stays total (it silently falls back), so the CLI is where a
+     typo gets its one-line error instead of a quietly wrong core
+     count. *)
+  (match Engine.Pool.env_jobs () with
+  | Ok _ -> ()
+  | Error msg ->
+      prerr_endline ("torsim: " ^ msg);
+      exit 2);
   let doc = "CircuitStart: a slow start for multi-hop anonymity systems (simulator)" in
   let info = Cmd.info "torsim" ~version:"1.0.0" ~doc in
   exit

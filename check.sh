@@ -27,6 +27,15 @@ dune exec bin/torsim.exe -- network --relays 100 --circuits 400 --lifetimes 2000
 echo "== churn smoke: torsim churn-scale (moving consensus, small) =="
 dune exec bin/torsim.exe -- churn-scale --relays 40 --circuits 200 --lifetimes 2000 --seed 7
 
+echo "== shard smoke: --shards 2 --jobs 2 byte-identical to --shards 1 =="
+# The sharded engine must compute the same result for every positive
+# shard count, whatever the domain count underneath.
+s1=$(mktemp) && s2=$(mktemp)
+dune exec bin/torsim.exe -- network --relays 100 --circuits 400 --lifetimes 2000 --seed 7 --shards 1 > "$s1"
+dune exec bin/torsim.exe -- network --relays 100 --circuits 400 --lifetimes 2000 --seed 7 --shards 2 --jobs 2 > "$s2"
+diff "$s1" "$s2"
+rm -f "$s1" "$s2"
+
 echo "== scheduler smoke: ubench --smoke (wheel vs heap A/B) =="
 dune exec bench/ubench.exe -- --smoke --json /dev/null | grep "ubench summary"
 

@@ -21,6 +21,10 @@ type floor = {
   key : string;  (* JSON key of a numeric scalar in that report *)
   direction : direction;  (* Min: higher is better; Max: lower is better *)
   bound : float;  (* the blessed value *)
+  min_cores : int option;
+      (* speedup floors are meaningless on hosts with fewer cores than
+         shards: [Some n] skips the floor (ok, flagged) when the
+         report's own "host_cores" records fewer than [n] cores *)
 }
 
 type outcome = {
@@ -28,6 +32,7 @@ type outcome = {
   value : float option;  (* None: file unreadable or key absent *)
   limit : float;  (* bound with the tolerance applied *)
   ok : bool;
+  skipped : bool;  (* min_cores unmet: passes without proving anything *)
 }
 
 (* --- the scalar scanner ------------------------------------------- *)
@@ -75,8 +80,8 @@ let find_number ~key text =
 
 (* --- the floors file ---------------------------------------------- *)
 
-(* One floor per line: [file key min|max bound].  '#' starts a
-   comment; blank lines are ignored. *)
+(* One floor per line: [file key min|max bound [min-cores=N]].  '#'
+   starts a comment; blank lines are ignored. *)
 let parse_floors text =
   let parse_line lineno line =
     let line =
@@ -84,32 +89,54 @@ let parse_floors text =
       | Some i -> String.sub line 0 i
       | None -> line
     in
+    let parse4 file key dir bound ~min_cores =
+      let direction =
+        match dir with
+        | "min" -> Ok Min
+        | "max" -> Ok Max
+        | other ->
+            Error
+              (Printf.sprintf "floors line %d: direction %S is not min/max"
+                 lineno other)
+      in
+      match (direction, float_of_string_opt bound) with
+      | Error e, _ -> Error e
+      | Ok _, None ->
+          Error
+            (Printf.sprintf "floors line %d: bound %S is not a number" lineno
+               bound)
+      | Ok direction, Some bound ->
+          Ok (Some { file; key; direction; bound; min_cores })
+    in
     match
       String.split_on_char ' ' (String.trim line)
       |> List.filter (fun s -> s <> "")
     with
     | [] -> Ok None
-    | [ file; key; dir; bound ] -> (
-        let direction =
-          match dir with
-          | "min" -> Ok Min
-          | "max" -> Ok Max
-          | other ->
-              Error
-                (Printf.sprintf "floors line %d: direction %S is not min/max"
-                   lineno other)
-        in
-        match (direction, float_of_string_opt bound) with
-        | Error e, _ -> Error e
-        | Ok _, None ->
+    | [ file; key; dir; bound ] -> parse4 file key dir bound ~min_cores:None
+    | [ file; key; dir; bound; extra ] -> (
+        match String.index_opt extra '=' with
+        | Some i
+          when String.sub extra 0 i = "min-cores" -> (
+            let v = String.sub extra (i + 1) (String.length extra - i - 1) in
+            match int_of_string_opt v with
+            | Some n when n >= 1 ->
+                parse4 file key dir bound ~min_cores:(Some n)
+            | _ ->
+                Error
+                  (Printf.sprintf
+                     "floors line %d: min-cores %S is not a positive integer"
+                     lineno v))
+        | _ ->
             Error
-              (Printf.sprintf "floors line %d: bound %S is not a number" lineno
-                 bound)
-        | Ok direction, Some bound -> Ok (Some { file; key; direction; bound }))
+              (Printf.sprintf
+                 "floors line %d: fifth token %S is not 'min-cores=N'" lineno
+                 extra))
     | _ ->
         Error
           (Printf.sprintf
-             "floors line %d: expected 'file key min|max bound'" lineno)
+             "floors line %d: expected 'file key min|max bound [min-cores=N]'"
+             lineno)
   in
   let rec go lineno acc = function
     | [] -> Ok (List.rev acc)
@@ -127,14 +154,19 @@ let parse_floors text =
    [bound * (1 + tolerance)]: the tolerance always loosens the gate,
    so it absorbs machine variance without ever tightening a blessing.
    A missing file or key fails — a gate that silently skips a metric
-   is not a gate. *)
+   is not a gate.  The one sanctioned skip is [min-cores=N]: a
+   parallel-speedup floor measured on a host with fewer cores than
+   shards proves nothing, so when the report's own "host_cores" falls
+   short the floor passes flagged as [skipped] (the reference runner
+   with enough cores still enforces it). *)
 let check ~tolerance ~read floors =
   if not (Float.is_finite tolerance) || tolerance < 0. then
     invalid_arg "Perf_gate.check: tolerance must be >= 0";
   List.map
     (fun f ->
+      let text = read f.file in
       let value =
-        match read f.file with
+        match text with
         | None -> None
         | Some text -> find_number ~key:f.key text
       in
@@ -143,24 +175,41 @@ let check ~tolerance ~read floors =
         | Min -> f.bound *. (1. -. tolerance)
         | Max -> f.bound *. (1. +. tolerance)
       in
+      let skipped =
+        match (f.min_cores, text) with
+        | Some need, Some text -> (
+            match find_number ~key:"host_cores" text with
+            | Some cores -> cores < float_of_int need
+            | None -> true)
+        | Some _, None -> false (* unreadable report still fails *)
+        | None, _ -> false
+      in
       let ok =
+        skipped
+        ||
         match value with
         | None -> false
         | Some v -> ( match f.direction with Min -> v >= limit | Max -> v <= limit)
       in
-      { floor = f; value; limit; ok })
+      { floor = f; value; limit; ok; skipped })
     floors
 
 let pp_outcome fmt o =
   let dir = match o.floor.direction with Min -> ">=" | Max -> "<=" in
-  match o.value with
-  | None ->
-      Format.fprintf fmt "FAIL %s %s: metric missing (floor %s %g)" o.floor.file
-        o.floor.key dir o.floor.bound
-  | Some v ->
-      Format.fprintf fmt "%s %s %s: %g %s %g (blessed %g)"
-        (if o.ok then "ok  " else "FAIL")
-        o.floor.file o.floor.key v dir o.limit o.floor.bound
+  if o.skipped then
+    Format.fprintf fmt "skip %s %s: host has fewer than %d cores (floor %s %g)"
+      o.floor.file o.floor.key
+      (Option.value o.floor.min_cores ~default:0)
+      dir o.floor.bound
+  else
+    match o.value with
+    | None ->
+        Format.fprintf fmt "FAIL %s %s: metric missing (floor %s %g)"
+          o.floor.file o.floor.key dir o.floor.bound
+    | Some v ->
+        Format.fprintf fmt "%s %s %s: %g %s %g (blessed %g)"
+          (if o.ok then "ok  " else "FAIL")
+          o.floor.file o.floor.key v dir o.limit o.floor.bound
 
 (* --- the trajectory ------------------------------------------------ *)
 
@@ -168,6 +217,8 @@ type row = {
   report : string;
   events_per_sec : float option;
   minor_words_per_event : float option;
+  speedup_2 : float option;  (* sharded events/sec over sequential, 2 shards *)
+  speedup_4 : float option;
   sim_events : float;  (* all "sim_events" occurrences + totals *)
   cumulative_events : float;  (* running sum across the PR sequence *)
 }
@@ -197,6 +248,8 @@ let trajectory reports =
         report;
         events_per_sec = find_number ~key:"events_per_sec" text;
         minor_words_per_event = find_number ~key:"minor_words_per_event" text;
+        speedup_2 = find_number ~key:"speedup_2" text;
+        speedup_4 = find_number ~key:"speedup_4" text;
         sim_events;
         cumulative_events = !total;
       })

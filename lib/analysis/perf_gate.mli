@@ -20,6 +20,12 @@ type floor = {
   key : string;  (** JSON key of a numeric scalar in that report *)
   direction : direction;
   bound : float;  (** the blessed value *)
+  min_cores : int option;
+      (** [Some n]: skip (pass, flagged) when the report's own
+          ["host_cores"] value is absent or below [n] — a parallel
+          speedup measured on a smaller host proves nothing either
+          way.  Written as a fifth [min-cores=N] token in the floors
+          file. *)
 }
 
 type outcome = {
@@ -27,6 +33,9 @@ type outcome = {
   value : float option;  (** [None]: file unreadable or key absent *)
   limit : float;  (** bound with the tolerance applied *)
   ok : bool;
+  skipped : bool;
+      (** The floor's [min_cores] requirement was unmet: [ok] is true
+          but the metric was not actually enforced on this host. *)
 }
 
 val find_number : key:string -> string -> float option
@@ -38,8 +47,9 @@ val find_numbers : key:string -> string -> float list
     order. *)
 
 val parse_floors : string -> (floor list, string) result
-(** Parse a floors file: one [file key min|max bound] per line, ['#']
-    comments, blank lines ignored.  Errors carry the line number. *)
+(** Parse a floors file: one [file key min|max bound [min-cores=N]]
+    per line, ['#'] comments, blank lines ignored.  Errors carry the
+    line number. *)
 
 val check :
   tolerance:float -> read:(string -> string option) -> floor list -> outcome list
@@ -55,6 +65,10 @@ type row = {
   report : string;
   events_per_sec : float option;
   minor_words_per_event : float option;
+  speedup_2 : float option;
+      (** Sharded-over-sequential events/sec ratio at 2 shards, where
+          the report records one. *)
+  speedup_4 : float option;
   sim_events : float;
       (** Sum of the report's per-target counts (prefers
           ["total_sim_events"] where present). *)

@@ -150,7 +150,31 @@ let plain_run_jobs1 sc =
            (Workload.Network_experiment.run_many ~jobs:1
               [ (sc.Scenario.seed, Scenario.churn_config sc) ]))
 
-(* The per-scenario checks (runs 1-3).  [Ok digest] if all pass. *)
+(* The sharded engine promises identical results for every positive
+   shard count; audit it by running the round-level scenario at
+   shards=1 and shards=4 and comparing result digests.  This is the
+   differential that catches exchange-ordering bugs — see
+   [Network_experiment.unsafe_unordered_exchange]. *)
+let shard_differential sc =
+  match sc.Scenario.kind with
+  | (Scenario.Network | Scenario.Churn) when sc.Scenario.shards > 0 ->
+      let config =
+        match sc.Scenario.kind with
+        | Scenario.Network -> Scenario.network_config sc
+        | _ -> Scenario.churn_config sc
+      in
+      let digest_at shards =
+        digest
+          (Workload.Network_experiment.run ~seed:sc.Scenario.seed
+             { config with Workload.Network_experiment.shards })
+      in
+      if digest_at 1 <> digest_at 4 then
+        Some "shard differential: shards=4 result differs from shards=1"
+      else None
+  | _ -> None
+
+(* The per-scenario checks (runs 1-3, plus the shard differential for
+   sharded round-level scenarios).  [Ok digest] if all pass. *)
 let check_scenario ~selection sc =
   let d1, v1 = instrumented_run ~selection sc in
   if v1 <> [] then
@@ -169,7 +193,10 @@ let check_scenario ~selection sc =
         Error
           "oracle probes perturbed the run: instrumented result differs from \
            the plain run"
-      else Ok d1
+      else
+        match shard_differential sc with
+        | Some reason -> Error reason
+        | None -> Ok d1
 
 (* Run 4: the whole batch of surviving scenarios through the domain
    pool with 4 workers; each result must match its jobs=1 digest. *)

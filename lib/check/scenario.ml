@@ -36,6 +36,12 @@ type t = {
   grace_ms : int;  (* drain grace before survivors are killed *)
   epoch_ms : int;  (* directory snapshot refresh period *)
   spares : int;  (* relays that start down and join under join_pm *)
+  (* Network/churn-only: the sharded-engine dimension.  0 = classic
+     single-domain engine; k >= 1 runs the same scenario on the
+     windowed sharded engine, whose results must be identical for
+     every positive k — audited by the harness's shards=1-vs-4
+     differential. *)
+  shards : int;
 }
 
 let recovery_hops = 3
@@ -68,7 +74,7 @@ let to_string t =
     "k=%s seed=%d relays=%d pos=%d bytes=%d loss=%d burst=%d odown=%d oup=%d \
      crash=%d queue=%d strat=%s bn=%d fast=%d ep=%d rebuilds=%d sess=%d \
      ocirc=%d okib=%d arr=%d lifet=%d lpm=%d jpm=%d crashpct=%d grace=%d \
-     epochms=%d spares=%d"
+     epochms=%d spares=%d shards=%d"
     (kind_code t.kind) t.seed t.relays t.position t.bytes t.loss_ppm
     (if t.burst then 1 else 0)
     outage_down outage_up
@@ -76,7 +82,7 @@ let to_string t =
     t.queue_cells (strategy_code t.strategy) t.bottleneck_kbps t.fast_kbps
     t.endpoint_kbps t.max_rebuilds t.sessions t.oload_circuits t.oload_kib
     t.arrival_ms t.lifet t.leave_pm t.join_pm t.crashpct t.grace_ms t.epoch_ms
-    t.spares
+    t.spares t.shards
 
 let of_string line =
   let ( let* ) = Result.bind in
@@ -151,6 +157,7 @@ let of_string line =
   let* grace_ms = int_default "grace" 0 in
   let* epoch_ms = int_default "epochms" 0 in
   let* spares = int_default "spares" 0 in
+  let* shards = int_default "shards" 0 in
   Ok
     {
       kind;
@@ -179,6 +186,7 @@ let of_string line =
       grace_ms;
       epoch_ms;
       spares;
+      shards;
     }
 
 let pp fmt t = Format.pp_print_string fmt (to_string t)
@@ -316,6 +324,14 @@ let gen_kind (only : kind option) : t QCheck2.Gen.t =
   let* grace_ms = match kind with Churn -> int_range 200 2_000 | _ -> pure 0 in
   let* epoch_ms = match kind with Churn -> int_range 500 5_000 | _ -> pure 0 in
   let* spares = match kind with Churn -> int_range 0 3 | _ -> pure 0 in
+  (* Half the round-level scenarios run on the classic engine, the
+     rest exercise the sharded one — whose shards=1-vs-4 differential
+     is what catches exchange-ordering bugs. *)
+  let* shards =
+    match kind with
+    | Network | Churn -> frequencyl [ (2, 0); (1, 1); (1, 2); (1, 4) ]
+    | _ -> pure 0
+  in
   (* A third of the population gets a crawling client access link.
      Slow clients are the norm in deployed anonymity networks, and they
      are the only place the sender's own access queue can congest — the
@@ -353,6 +369,7 @@ let gen_kind (only : kind option) : t QCheck2.Gen.t =
     grace_ms;
     epoch_ms;
     spares;
+    shards;
   }
 
 let gen = gen_kind None
@@ -420,6 +437,11 @@ let shrink_candidates t =
     add { t with epoch_ms = Stdlib.max 500 (t.epoch_ms / 2) };
   if t.position > 1 then add { t with position = 1 };
   if t.strategy = Ss then add { t with strategy = Cs };
+  (* Dropping to the classic engine is the biggest simplification, but
+     a shard-differential failure needs shards > 0 to reproduce, so
+     also offer the minimal sharded form. *)
+  if t.shards > 0 then add { t with shards = 0 };
+  if t.shards > 1 then add { t with shards = 1 };
   List.rev !cands
 
 (* --- experiment configs ------------------------------------------ *)
@@ -527,6 +549,7 @@ let base_network_config t =
     strategy = controller_strategy t;
     sketch_bins = 256;
     sketch_max = Engine.Time.s 120;
+    shards = t.shards;
   }
 
 let network_config t =

@@ -72,6 +72,12 @@ type t = {
   epoch_ms : int;  (** Churn: directory snapshot refresh period. *)
   spares : int;
       (** Churn: relays that start down and join under [join_pm]. *)
+  shards : int;
+      (** Network/churn: the engine dimension — 0 runs the classic
+          single-domain engine, [k >= 1] the windowed sharded engine,
+          whose results must be identical for every positive [k].  The
+          harness audits this with a shards=1-vs-4 result-digest
+          differential. *)
 }
 
 val recovery_hops : int

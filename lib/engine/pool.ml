@@ -1,7 +1,33 @@
+let jobs_env_var = "CIRCUITSTART_JOBS"
+let max_jobs = 128
+
+let env_jobs () =
+  match Sys.getenv_opt jobs_env_var with
+  | None | Some "" -> Ok None
+  | Some raw -> (
+      match int_of_string_opt (String.trim raw) with
+      | Some n when n >= 1 -> Ok (Some (Stdlib.min n max_jobs))
+      | Some n ->
+          Error
+            (Printf.sprintf "%s must be a positive integer (got %d)"
+               jobs_env_var n)
+      | None ->
+          Error
+            (Printf.sprintf "%s must be a positive integer (got %S)"
+               jobs_env_var raw))
+
 let default_jobs () =
+  (* Precedence: TORSIM_JOBS (tied to --jobs via cmdliner) over
+     CIRCUITSTART_JOBS over the detected core count.  [default_jobs]
+     must stay total, so a malformed CIRCUITSTART_JOBS falls through to
+     the detected count here; the CLIs call [env_jobs] at startup and
+     turn the [Error] into a friendly exit instead. *)
   match Option.bind (Sys.getenv_opt "TORSIM_JOBS") int_of_string_opt with
   | Some n when n > 0 -> n
-  | Some _ | None -> Domain.recommended_domain_count ()
+  | Some _ | None -> (
+      match env_jobs () with
+      | Ok (Some n) -> n
+      | Ok None | Error _ -> Domain.recommended_domain_count ())
 
 (* A finished task is either a value or the exception it raised; the
    distinction is resolved only after every domain has joined, so a
@@ -25,38 +51,184 @@ let finish results =
     (function Some (Value v) -> v | Some (Raised _) | None -> assert false)
     results
 
-let map ?jobs f tasks =
-  let n = Array.length tasks in
+let resolve_jobs ~who jobs n =
   let jobs =
     match jobs with
     | Some j when j >= 1 -> j
-    | Some _ -> invalid_arg "Pool.map: jobs must be positive"
+    | Some _ -> invalid_arg (who ^ ": jobs must be positive")
     | None -> default_jobs ()
   in
-  let jobs = Stdlib.min jobs n in
+  Stdlib.min jobs n
+
+let map_outcomes ~jobs f tasks =
+  (* Shared driver for [map] and [map_counted]: every task runs, every
+     domain joins, and the per-domain minor-allocation deltas land in
+     [words] (slot 0 is the calling domain's own task work). *)
+  let n = Array.length tasks in
+  let results = Array.make n None in
+  let words = Array.make (Stdlib.max 1 jobs) 0. in
+  let cursor = Atomic.make 0 in
+  (* Each slot is written by exactly one domain (the one that won the
+     index at the cursor) and read only after the joins below — no
+     data race under the OCaml memory model. *)
+  let worker slot () =
+    let w0 = Gc.minor_words () in
+    let rec loop () =
+      let i = Atomic.fetch_and_add cursor 1 in
+      if i < n then begin
+        results.(i) <- Some (run_task f tasks.(i));
+        loop ()
+      end
+    in
+    loop ();
+    words.(slot) <- Gc.minor_words () -. w0
+  in
+  if jobs <= 1 then worker 0 ()
+  else begin
+    let domains =
+      Array.init (jobs - 1) (fun i -> Domain.spawn (worker (i + 1)))
+    in
+    worker 0 ();
+    Array.iter Domain.join domains
+  end;
+  (results, Array.fold_left ( +. ) 0. words)
+
+let map ?jobs f tasks =
+  let jobs = resolve_jobs ~who:"Pool.map" jobs (Array.length tasks) in
   (* Sequential evaluation already fails on the lowest-indexed raising
      task, matching the parallel contract. *)
   if jobs <= 1 then Array.map f tasks
-  else begin
-    let results = Array.make n None in
-    let cursor = Atomic.make 0 in
-    (* Each slot is written by exactly one domain (the one that won the
-       index at the cursor) and read only after the joins below — no
-       data race under the OCaml memory model. *)
-    let worker () =
-      let rec loop () =
-        let i = Atomic.fetch_and_add cursor 1 in
-        if i < n then begin
-          results.(i) <- Some (run_task f tasks.(i));
-          loop ()
-        end
-      in
-      loop ()
-    in
-    let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
-    Array.iter Domain.join domains;
-    finish results
-  end
+  else finish (fst (map_outcomes ~jobs f tasks))
+
+let map_counted ?jobs f tasks =
+  let jobs = resolve_jobs ~who:"Pool.map_counted" jobs (Array.length tasks) in
+  let results, words = map_outcomes ~jobs f tasks in
+  (finish results, words)
 
 let map_list ?jobs f xs = Array.to_list (map ?jobs f (Array.of_list xs))
+
+module Team = struct
+  (* A reusable squad of [shards - 1] long-lived worker domains plus
+     the calling domain.  Each [run] is one rendezvous: the caller
+     publishes a job under the mutex, every member executes it for its
+     own shard id, and the caller blocks until all workers check back
+     in.  Workers park on a condition variable between jobs — no
+     spinning — which matters when the host has fewer cores than
+     shards (CI runners, laptops on battery): a spinning barrier would
+     starve the very domains it is waiting for. *)
+  type t = {
+    shards : int;
+    mutex : Mutex.t;
+    work_ready : Condition.t;  (* workers wait here for a new epoch *)
+    work_done : Condition.t;  (* the caller waits here for the joins *)
+    mutable job : (int -> unit) option;
+    mutable epoch : int;
+    mutable pending : int;
+    mutable stopped : bool;
+    fails : (exn * Printexc.raw_backtrace) option array;
+    (* Minor words allocated by each worker domain while running jobs;
+       slot 0 (the calling domain) stays 0 — the caller observes its
+       own allocation directly via [Gc.minor_words]. *)
+    words : float array;
+    mutable domains : unit Domain.t array;
+  }
+
+  let worker t shard () =
+    let last = ref 0 in
+    let running = ref true in
+    while !running do
+      Mutex.lock t.mutex;
+      while t.epoch = !last && not t.stopped do
+        Condition.wait t.work_ready t.mutex
+      done;
+      if t.stopped then begin
+        Mutex.unlock t.mutex;
+        running := false
+      end
+      else begin
+        last := t.epoch;
+        let job = Option.get t.job in
+        Mutex.unlock t.mutex;
+        let w0 = Gc.minor_words () in
+        (match job shard with
+        | () -> ()
+        | exception e ->
+            t.fails.(shard) <- Some (e, Printexc.get_raw_backtrace ()));
+        t.words.(shard) <- t.words.(shard) +. (Gc.minor_words () -. w0);
+        Mutex.lock t.mutex;
+        t.pending <- t.pending - 1;
+        if t.pending = 0 then Condition.signal t.work_done;
+        Mutex.unlock t.mutex
+      end
+    done
+
+  let create ?shards () =
+    let shards =
+      match shards with
+      | Some k when k >= 1 -> k
+      | Some _ -> invalid_arg "Pool.Team.create: shards must be positive"
+      | None -> default_jobs ()
+    in
+    let t =
+      {
+        shards;
+        mutex = Mutex.create ();
+        work_ready = Condition.create ();
+        work_done = Condition.create ();
+        job = None;
+        epoch = 0;
+        pending = 0;
+        stopped = false;
+        fails = Array.make shards None;
+        words = Array.make shards 0.;
+        domains = [||];
+      }
+    in
+    t.domains <-
+      Array.init (shards - 1) (fun i -> Domain.spawn (worker t (i + 1)));
+    t
+
+  let shards t = t.shards
+
+  let run t f =
+    if t.stopped then invalid_arg "Pool.Team.run: team is shut down";
+    if t.shards > 1 then begin
+      Mutex.lock t.mutex;
+      t.job <- Some f;
+      t.epoch <- t.epoch + 1;
+      t.pending <- t.shards - 1;
+      Condition.broadcast t.work_ready;
+      Mutex.unlock t.mutex
+    end;
+    (* The caller is shard 0's runner; its failure still waits for the
+       workers so no job is abandoned mid-flight. *)
+    (match f 0 with
+    | () -> ()
+    | exception e -> t.fails.(0) <- Some (e, Printexc.get_raw_backtrace ()));
+    if t.shards > 1 then begin
+      Mutex.lock t.mutex;
+      while t.pending > 0 do
+        Condition.wait t.work_done t.mutex
+      done;
+      Mutex.unlock t.mutex
+    end;
+    (* Lowest shard's exception wins, same protocol as [Pool.map]. *)
+    Array.iter
+      (function
+        | Some (e, bt) ->
+            Array.fill t.fails 0 (Array.length t.fails) None;
+            Printexc.raise_with_backtrace e bt
+        | None -> ())
+      t.fails
+
+  let minor_words t = Array.fold_left ( +. ) 0. t.words
+
+  let shutdown t =
+    if not t.stopped then begin
+      Mutex.lock t.mutex;
+      t.stopped <- true;
+      Condition.broadcast t.work_ready;
+      Mutex.unlock t.mutex;
+      Array.iter Domain.join t.domains
+    end
+end

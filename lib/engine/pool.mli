@@ -1,4 +1,5 @@
-(** A fixed pool of OCaml 5 domains for embarrassingly parallel sweeps.
+(** A fixed pool of OCaml 5 domains for embarrassingly parallel sweeps,
+    plus a reusable shard team for within-run parallelism.
 
     Every figure and table of the reproduction is a grid of independent
     simulations (seeds x configs); each replicate builds its own
@@ -11,13 +12,26 @@
     byte-identical to a sequential one.
 
     The pool is for coarse tasks — whole simulations, hundreds of
-    milliseconds each — not for fine-grained data parallelism: one
-    atomic increment per task is the only coordination. *)
+    milliseconds each — not for fine-grained data parallelism.  For
+    splitting {e one} simulation across domains, {!Team} keeps a set of
+    long-lived workers parked between barriers so a run can rendezvous
+    thousands of times without respawning domains. *)
+
+val env_jobs : unit -> (int option, string) result
+(** The [CIRCUITSTART_JOBS] environment variable, parsed and validated:
+    [Ok None] when unset or empty, [Ok (Some n)] for a positive integer
+    (clamped to 128), and [Error msg] — a friendly one-line message in
+    the CLI flag-validation style — when set to anything else.  CLIs
+    call this at startup so a typo fails fast instead of silently
+    falling back. *)
 
 val default_jobs : unit -> int
 (** Worker count used when [?jobs] is omitted: [TORSIM_JOBS] from the
-    environment if set to a positive integer, otherwise
-    [Domain.recommended_domain_count ()]. *)
+    environment if set to a positive integer (it backs the [--jobs]
+    flag), else a valid [CIRCUITSTART_JOBS], else
+    [Domain.recommended_domain_count ()].  A malformed
+    [CIRCUITSTART_JOBS] is ignored here — [default_jobs] stays total —
+    and reported by {!env_jobs}. *)
 
 val map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
 (** [map ~jobs f tasks] is [Array.map f tasks], computed by [jobs]
@@ -30,5 +44,50 @@ val map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
     backtrace) — deterministic regardless of scheduling.  Raises
     [Invalid_argument] if [jobs < 1]. *)
 
+val map_counted : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array * float
+(** [map] plus allocation accounting: the second component is the sum
+    of the [Gc.minor_words] deltas of {e every} participating domain
+    (the spawned workers and the calling domain's own task work).  A
+    plain [Gc.minor_words] delta around a parallel [map] only sees the
+    calling domain and silently understates allocation — this is the
+    honest version behind the [minor_words_per_event] bench metric. *)
+
 val map_list : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map] over lists, preserving order. *)
+
+(** A reusable team of dedicated worker domains for sharded runs.
+
+    [create ~shards:k] spawns [k - 1] long-lived domains; each
+    {!Team.run} is one barrier-to-barrier step in which member [i]
+    (the caller is member 0) executes the job for shard [i].  Workers
+    park on a condition variable between runs — a blocking rendezvous,
+    not a spin barrier, so oversubscribed hosts (fewer cores than
+    shards) degrade gracefully instead of livelocking.  A sharded
+    simulation calls [run] once per exchange window, thousands of
+    times per run, against the same team. *)
+module Team : sig
+  type t
+
+  val create : ?shards:int -> unit -> t
+  (** [shards] defaults to {!default_jobs}; raises [Invalid_argument]
+      if [shards < 1].  [shards = 1] spawns nothing and [run] executes
+      entirely in the calling domain. *)
+
+  val shards : t -> int
+
+  val run : t -> (int -> unit) -> unit
+  (** Execute [f shard] on every member concurrently (the caller runs
+      shard 0) and return once all have finished.  If members raise,
+      the {e lowest} shard's exception is re-raised with its backtrace
+      after every member has checked in, and the team remains usable.
+      Raises [Invalid_argument] after {!shutdown}. *)
+
+  val minor_words : t -> float
+  (** Total minor words allocated by the {e worker} domains across all
+      [run]s so far.  The calling domain's share is deliberately
+      excluded — the caller reads its own [Gc.minor_words] delta and
+      adds this, so nothing is counted twice. *)
+
+  val shutdown : t -> unit
+  (** Stop and join the worker domains.  Idempotent. *)
+end

@@ -178,6 +178,17 @@ module Sketch = struct
       sum = a.sum +. b.sum;
     }
 
+  (* Float addition is not associative, so a sum accumulated shard by
+     shard and re-added by [merge] can differ in the last ulp from the
+     same samples summed in one stream — enough to break byte-identical
+     digests across shard counts.  Sharded runs therefore accumulate
+     exact integer tallies on the side and install the derived float
+     sum here after merging. *)
+  let set_sum t sum =
+    if not (Float.is_finite sum) then
+      invalid_arg "Sketch.set_sum: non-finite sum";
+    t.sum <- sum
+
   (* Smallest x with (estimated) fraction-below >= q — the same
      convention as {!Cdf.quantile}, with linear interpolation inside
      the bin holding the target rank.  Results are clamped to the exact

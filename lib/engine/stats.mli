@@ -100,6 +100,15 @@ module Sketch : sig
   (** Fresh sketch equivalent to having seen both streams.  Raises
       [Invalid_argument] if the bin layouts differ. *)
 
+  val set_sum : t -> float -> unit
+  (** Overwrite the running sum (and hence {!mean}).  Float addition is
+      not associative, so a sum reassembled by {!merge} from per-shard
+      sketches can differ in the last ulp from the sequential
+      accumulation; a sharded run that tallies the exact sum on the
+      side (e.g. in integer nanoseconds) installs the
+      order-independent value here so digests stay identical across
+      shard counts.  Raises [Invalid_argument] on non-finite sums. *)
+
   val quantile : t -> float -> float
   (** [quantile t q] for [q] in [\[0, 1\]]: estimated smallest x with
       fraction-below [>= q] (the {!Cdf.quantile} convention), clamped

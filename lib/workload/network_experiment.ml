@@ -65,6 +65,16 @@ type config = {
   sketch_bins : int;
   sketch_max : Engine.Time.t;
   retain_exact : bool;
+  (* Within-run parallelism: 0 = the classic single-domain engine
+     (byte-identical to pre-shard releases); k >= 1 = the sharded
+     engine, which partitions circuit slots into [min k slots]
+     contiguous shards driven in lockstep exchange windows.  The
+     sharded engine's results are identical for every positive k —
+     shards choose only how the same schedule is executed — but differ
+     (deterministically) from the classic engine's, whose relay
+     occupancy updates are applied mid-window instead of at window
+     boundaries. *)
+  shards : int;
 }
 
 let default_config =
@@ -96,6 +106,7 @@ let default_config =
     sketch_bins = 2_048;
     sketch_max = Engine.Time.s 600;
     retain_exact = false;
+    shards = 0;
   }
 
 let validate_config c =
@@ -141,6 +152,7 @@ let validate_config c =
   else if (match c.budget.Tor_model.Switchboard.max_queued_bytes with
            | Some n -> n < 1 | None -> false)
   then Error "budget.max_queued_bytes must be positive when set"
+  else if c.shards < 0 then Error "shards must be >= 0"
   else if c.sketch_bins < 1 then Error "sketch_bins must be positive"
   else if Engine.Time.(c.sketch_max <= Engine.Time.zero) then
     Error "sketch_max must be positive"
@@ -202,6 +214,15 @@ let unsafe_disable_pool_release = ref false
    two regressions the churn oracles exist to catch
    ([rounds_through_down] and [depart_residue] go nonzero). *)
 let unsafe_disable_churn_kill = ref false
+
+(* Test/fuzz hook: when set, sharded runs skip the deferred outbox and
+   apply relay occupancy deltas immediately during the parallel window
+   — the broken exchange ordering the barrier protocol exists to
+   prevent.  Mid-window application makes each shard's view depend on
+   which slots it co-hosts, so shards=1 and shards=4 runs diverge; the
+   check harness's shard differential catches the divergence and
+   shrinks it to a replayable line. *)
+let unsafe_unordered_exchange = ref false
 
 (* Live relay status at round level (mirrors [Tor_model.Directory.status]). *)
 let st_down = 0
@@ -311,8 +332,30 @@ type state = {
   ttlb_all : Engine.Stats.Sketch.t;
   ttlb_mice : Engine.Stats.Sketch.t;
   ttlb_elephants : Engine.Stats.Sketch.t;
+  (* Exact TTLB tallies in integer nanoseconds, kept alongside the
+     sketches' float sums: integer addition is associative, so the
+     merged sketch's sum can be installed from these and stay
+     bit-identical across shard counts ({!Stats.Sketch.set_sum}). *)
+  mutable ns_all : int;
+  mutable ns_mice : int;
+  mutable ns_elephants : int;
   exact : Engine.Stats.Samples.t option;
   cell_bytes : int;
+  (* Sharded-engine plumbing; inert on the classic path.  [sharded]
+     states own the contiguous slot range [shard_lo, shard_hi) and
+     share every relay-level array (and the slot-level stash/record
+     arrays) with their [peers]; each has its own [sim], counters and
+     sketches.  While [defer] is set — the parallel phase of an
+     exchange window — relay occupancy writes are appended to the
+     shard-local [ob_buf] outbox as (relay, d_active, d_load) int
+     triples and applied at the barrier, so every shard reads the same
+     frozen snapshot regardless of what its peers are doing. *)
+  sharded : bool;
+  mutable defer : bool;
+  mutable peers : state array;
+  slot_shard : int array;  (* slot -> owning shard; [||] classic *)
+  mutable ob_buf : int array;
+  mutable ob_len : int;
 }
 
 let now_ns st = Int64.to_int (Engine.Time.to_ns (Engine.Sim.now st.sim))
@@ -405,15 +448,34 @@ let hop_ok st r =
   end
   else admits st r
 
+(* Append one occupancy delta to the shard's outbox.  The buffer only
+   ever grows (length reset per window), so after the first few windows
+   the hot path is three int stores — allocation-free. *)
+let ob_push st r d_active d_load =
+  let len = st.ob_len in
+  if len + 3 > Array.length st.ob_buf then begin
+    let grown = Array.make (Stdlib.max 192 (2 * Array.length st.ob_buf)) 0 in
+    Array.blit st.ob_buf 0 grown 0 len;
+    st.ob_buf <- grown
+  end;
+  st.ob_buf.(len) <- r;
+  st.ob_buf.(len + 1) <- d_active;
+  st.ob_buf.(len + 2) <- d_load;
+  st.ob_len <- len + 3
+
 let charge_hop st r delta_cells =
-  st.load_cells.(r) <- st.load_cells.(r) + delta_cells
+  if st.defer then ob_push st r 0 delta_cells
+  else st.load_cells.(r) <- st.load_cells.(r) + delta_cells
 
 (* Return a circuit record to the pool.  Crediting the occupancy back
    to the relays is the part a recycling bug forgets — modeled by the
    [unsafe_disable_pool_release] hook. *)
 let unregister st r cwnd =
-  st.active.(r) <- st.active.(r) - 1;
-  charge_hop st r (-cwnd)
+  if st.defer then ob_push st r (-1) (-cwnd)
+  else begin
+    st.active.(r) <- st.active.(r) - 1;
+    st.load_cells.(r) <- st.load_cells.(r) - cwnd
+  end
 
 (* [p] is the record's base offset into [st.circ] (slot * stride) —
    the free list and the session slots store base offsets directly, so
@@ -426,8 +488,14 @@ let release st p =
     unregister st st.circ.(p + f_hop2) cwnd
   end;
   st.live <- st.live - 1;
-  st.free.(st.free_top) <- p;
-  st.free_top <- st.free_top + 1
+  (* Sharded states pin slot [i]'s circuit to record [i * stride] (a
+     slot hosts at most one circuit, and a shared free list would make
+     pop order depend on the shard count), so only the classic engine
+     recycles through the free list. *)
+  if not st.sharded then begin
+    st.free.(st.free_top) <- p;
+    st.free_top <- st.free_top + 1
+  end
 
 let diurnal_factor st =
   let a = st.config.diurnal_amplitude in
@@ -445,16 +513,18 @@ let think st i =
   Engine.Sim.Timer.arm_after st.sim st.s_timer.(i) (Engine.Time.of_sec_f delay)
 
 let complete st i p =
-  let ttlb =
-    float_of_int (now_ns st - st.circ.(p + f_started_ns)) *. 1e-9
-  in
+  let dt_ns = now_ns st - st.circ.(p + f_started_ns) in
+  let ttlb = float_of_int dt_ns *. 1e-9 in
+  st.ns_all <- st.ns_all + dt_ns;
   Engine.Stats.Sketch.add st.ttlb_all ttlb;
   if st.circ.(p + f_kind) = 1 then begin
     st.elephants_done <- st.elephants_done + 1;
+    st.ns_elephants <- st.ns_elephants + dt_ns;
     Engine.Stats.Sketch.add st.ttlb_elephants ttlb
   end
   else begin
     st.mice_done <- st.mice_done + 1;
+    st.ns_mice <- st.ns_mice + dt_ns;
     Engine.Stats.Sketch.add st.ttlb_mice ttlb
   end;
   (match st.exact with
@@ -538,8 +608,11 @@ let round st i p =
   end
 
 let register st r cwnd =
-  st.active.(r) <- st.active.(r) + 1;
-  charge_hop st r cwnd
+  if st.defer then ob_push st r 1 cwnd
+  else begin
+    st.active.(r) <- st.active.(r) + 1;
+    st.load_cells.(r) <- st.load_cells.(r) + cwnd
+  end
 
 (* A departure completed at relay [r] (crash, or drain deadline): kill
    every circuit routed through it.  Each victim stashes a resume
@@ -560,9 +633,13 @@ let kill_through st r =
         st.s_res_rem.(i) <- st.circ.(p + f_remaining);
         st.s_res_kind.(i) <- st.circ.(p + f_kind);
         st.s_res_started.(i) <- st.circ.(p + f_started_ns);
-        release st p;
+        (* Timers are bound to their creating sim, so the release and
+           the rearm must go through the slot's owning shard's state
+           (the classic engine owns every slot). *)
+        let ow = if st.sharded then st.peers.(st.slot_shard.(i)) else st in
+        release ow p;
         st.s_circ.(i) <- -1;
-        think st i
+        think ow i
       end
     done;
   (* Churn oracle 2's counter: a finished departure leaves zero circuit
@@ -654,9 +731,14 @@ let try_arrival st i =
     think st i
   end
   else begin
-    assert (st.free_top > 0);
-    st.free_top <- st.free_top - 1;
-    let p = st.free.(st.free_top) in
+    let p =
+      if st.sharded then i * stride
+      else begin
+        assert (st.free_top > 0);
+        st.free_top <- st.free_top - 1;
+        st.free.(st.free_top)
+      end
+    in
     if st.circ.(p + f_used) = 1 then st.pool_recycles <- st.pool_recycles + 1
     else st.circ.(p + f_used) <- 1;
     (* A pending resume (this slot's transfer was killed by a
@@ -715,31 +797,23 @@ let step st i =
   let p = st.s_circ.(i) in
   if p < 0 then try_arrival st i else round st i p
 
-let run ?(seed = 42) config =
-  let config =
-    match validate_config config with
-    | Ok c -> c
-    | Error msg -> invalid_arg ("Network_experiment.run: " ^ msg)
-  in
+(* Shared construction for both engines: the population, the weight
+   tables, the slot/relay arrays and the per-slot timers.  The RNG
+   split order (population, then one stream per slot, then churn) is
+   fixed and engine-independent, so the classic engine stays
+   byte-identical to historical seeds and the sharded engine's draws
+   are a pure function of (seed, slot) — independent of the shard
+   count.  Returns the states in shard order; the classic engine is
+   the single-state case. *)
+let build_states ~seed config =
+  let shards = config.shards in
   let rng = Engine.Rng.create seed in
-  (* Fixed draw order: population first, then one stream per slot, then
-     the churn stream — appended last so churn-free runs stay
-     byte-identical to historical seeds. *)
   let pop_rng = Engine.Rng.split rng in
   let slot_rngs = Array.init config.slots (fun _ -> Engine.Rng.split rng) in
   let churn_rng = Engine.Rng.split rng in
   let n_total = config.relays + config.spare_relays in
   let specs =
     Array.of_list (Relay_gen.generate pop_rng config.population ~n:n_total)
-  in
-  (* RTT-scale round timers and sub-second think timers dominate this
-     workload; widen the wheel window to ~1.07 s (2^20 ns ticks, 1024
-     slots) so the 10^5-strong steady-state timer population stays O(1)
-     slot inserts instead of overflow-heap churn.  Geometry never
-     affects firing order, only speed. *)
-  let sim =
-    Engine.Sim.create ~capacity:(Stdlib.max 256 config.slots) ~tick_bits:20
-      ~wheel_slots:1024 ()
   in
   let n = n_total in
   let cap_cps =
@@ -788,81 +862,172 @@ let run ?(seed = 42) config =
       ()
   in
   let slots = config.slots in
-  let st =
-    {
-      config;
-      sim;
-      cap_cps;
-      lat_ns;
-      active = Array.make n 0;
-      load_cells = Array.make n 0;
-      cum_all;
-      exit_ids;
-      cum_exit;
-      churn = config.leave_hazard > 0. || config.join_hazard > 0.;
-      n_total;
-      rstatus =
-        Array.init n_total (fun r -> if r < config.relays then st_up else st_down);
-      vis = Array.init n_total (fun r -> if r < config.relays then 1 else 0);
-      is_exit =
-        (let a = Array.make n_total false in
-         Array.iter (fun id -> a.(id) <- true) exit_ids;
-         a);
-      drain_deadline_ns = Array.make n_total 0;
-      churn_rng;
-      up_relays = config.relays;
-      up_exits =
-        Array.fold_left
-          (fun acc id -> if id < config.relays then acc + 1 else acc)
-          0 exit_ids;
-      s_res_rem = Array.make slots (-1);
-      s_res_kind = Array.make slots 0;
-      s_res_started = Array.make slots 0;
-      circ = Array.make (slots * stride) 0;
-      c_rtt = Array.make slots Engine.Time.zero;
-      free = Array.init slots (fun i -> (slots - 1 - i) * stride);
-      free_top = slots;
-      s_timer = [||];
-      s_rng = slot_rngs;
-      s_circ = Array.make slots (-1);
-      completed = 0;
-      mice_done = 0;
-      elephants_done = 0;
-      arrivals = 0;
-      elephant_arrivals = 0;
-      refused_arrivals = 0;
-      admission_redraws = 0;
-      delivered_cells = 0;
-      rounds = 0;
-      pool_recycles = 0;
-      churn_departs = 0;
-      churn_crashes = 0;
-      churn_drains_completed = 0;
-      churn_restarts = 0;
-      churn_epochs = 0;
-      churn_kills = 0;
-      resumed = 0;
-      gone_draws = 0;
-      draining_refusals = 0;
-      rounds_through_down = 0;
-      depart_residue = 0;
-      live = 0;
-      peak_active = 0;
-      goal = lifetimes_goal config;
-      ttlb_all = sketch ();
-      ttlb_mice = sketch ();
-      ttlb_elephants = sketch ();
-      exact =
-        (if config.retain_exact then Some (Engine.Stats.Samples.create ())
-         else None);
-      cell_bytes = Backtap.Wire.cell_size;
-    }
+  let sharded = shards > 0 in
+  let k = if sharded then Shard.count ~slots ~shards else 1 in
+  let slot_shard =
+    if sharded then
+      Array.init slots (fun i -> Shard.owner_of_slot ~slots ~shards i)
+    else [||]
   in
-  st.s_timer <-
-    Array.init slots (fun i -> Engine.Sim.Timer.create sim (fun () -> step st i));
+  (* Relay-level and slot-level arrays are shared by every shard state:
+     relay occupancy is frozen during parallel windows (writes go
+     through the outboxes), and each slot's record/stash/rng cells are
+     touched only by its owning shard between barriers. *)
+  let active = Array.make n 0 in
+  let load_cells = Array.make n 0 in
+  let rstatus =
+    Array.init n_total (fun r -> if r < config.relays then st_up else st_down)
+  in
+  let vis = Array.init n_total (fun r -> if r < config.relays then 1 else 0) in
+  let is_exit =
+    let a = Array.make n_total false in
+    Array.iter (fun id -> a.(id) <- true) exit_ids;
+    a
+  in
+  let drain_deadline_ns = Array.make n_total 0 in
+  let up_exits =
+    Array.fold_left
+      (fun acc id -> if id < config.relays then acc + 1 else acc)
+      0 exit_ids
+  in
+  let s_res_rem = Array.make slots (-1) in
+  let s_res_kind = Array.make slots 0 in
+  let s_res_started = Array.make slots 0 in
+  let circ = Array.make (slots * stride) 0 in
+  let c_rtt = Array.make slots Engine.Time.zero in
+  let s_circ = Array.make slots (-1) in
+  let states =
+    Array.init k (fun j ->
+        let span =
+          if sharded then
+            let lo, hi = Shard.slot_range ~slots ~shards j in
+            hi - lo
+          else slots
+        in
+        (* RTT-scale round timers and sub-second think timers dominate
+           this workload; widen the wheel window to ~1.07 s (2^20 ns
+           ticks, 1024 slots) so the 10^5-strong steady-state timer
+           population stays O(1) slot inserts instead of overflow-heap
+           churn.  Geometry never affects firing order, only speed. *)
+        let sim =
+          Engine.Sim.create ~capacity:(Stdlib.max 256 span) ~tick_bits:20
+            ~wheel_slots:1024 ()
+        in
+        {
+          config;
+          sim;
+          cap_cps;
+          lat_ns;
+          active;
+          load_cells;
+          cum_all;
+          exit_ids;
+          cum_exit;
+          churn = config.leave_hazard > 0. || config.join_hazard > 0.;
+          n_total;
+          rstatus;
+          vis;
+          is_exit;
+          drain_deadline_ns;
+          churn_rng;
+          up_relays = config.relays;
+          up_exits;
+          s_res_rem;
+          s_res_kind;
+          s_res_started;
+          circ;
+          c_rtt;
+          free =
+            (if sharded then [||]
+             else Array.init slots (fun i -> (slots - 1 - i) * stride));
+          free_top = (if sharded then 0 else slots);
+          s_timer = [||];
+          s_rng = slot_rngs;
+          s_circ;
+          completed = 0;
+          mice_done = 0;
+          elephants_done = 0;
+          arrivals = 0;
+          elephant_arrivals = 0;
+          refused_arrivals = 0;
+          admission_redraws = 0;
+          delivered_cells = 0;
+          rounds = 0;
+          pool_recycles = 0;
+          churn_departs = 0;
+          churn_crashes = 0;
+          churn_drains_completed = 0;
+          churn_restarts = 0;
+          churn_epochs = 0;
+          churn_kills = 0;
+          resumed = 0;
+          gone_draws = 0;
+          draining_refusals = 0;
+          rounds_through_down = 0;
+          depart_residue = 0;
+          live = 0;
+          peak_active = 0;
+          goal = (if sharded then max_int else lifetimes_goal config);
+          ttlb_all = sketch ();
+          ttlb_mice = sketch ();
+          ttlb_elephants = sketch ();
+          ns_all = 0;
+          ns_mice = 0;
+          ns_elephants = 0;
+          exact =
+            (if config.retain_exact then Some (Engine.Stats.Samples.create ())
+             else None);
+          cell_bytes = Backtap.Wire.cell_size;
+          sharded;
+          defer = false;
+          peers = [||];
+          slot_shard;
+          ob_buf = [||];
+          ob_len = 0;
+        })
+  in
+  Array.iter (fun st -> st.peers <- states) states;
+  let owner i = states.(if sharded then slot_shard.(i) else 0) in
+  (* One timer per slot, created on the owning shard's sim (a timer is
+     bound to the sim that made it), in slot order — the same creation
+     order the classic engine has always used. *)
+  let s_timer =
+    Array.init slots (fun i ->
+        let ow = owner i in
+        Engine.Sim.Timer.create ow.sim (fun () -> step ow i))
+  in
+  Array.iter (fun st -> st.s_timer <- s_timer) states;
   for i = 0 to slots - 1 do
-    think st i
+    think (owner i) i
   done;
+  states
+
+(* Teardown shared by both engines: release whatever was still in
+   flight at the horizon through each slot's owning state, then audit
+   the pool — with correct recycling every relay's occupancy returns to
+   zero. *)
+let teardown states =
+  let st0 = states.(0) in
+  let abandoned = ref 0 in
+  for i = 0 to Array.length st0.s_circ - 1 do
+    let p = st0.s_circ.(i) in
+    if p >= 0 then begin
+      incr abandoned;
+      let ow = if st0.sharded then states.(st0.slot_shard.(i)) else st0 in
+      release ow p;
+      st0.s_circ.(i) <- -1
+    end
+  done;
+  let orphaned_circuits = Array.fold_left ( + ) 0 st0.active in
+  let orphaned_cells = Array.fold_left ( + ) 0 st0.load_cells in
+  (!abandoned, orphaned_circuits, orphaned_cells)
+
+(* The historical single-domain drive loop, byte-identical to pre-shard
+   releases: churn rides the sim's own [every] timers and occupancy
+   updates apply in place as events execute. *)
+let run_classic st =
+  let config = st.config in
+  let sim = st.sim in
   (* Churn timers only exist when a hazard is set: churn-free runs add
      zero events and zero per-event work beyond one boolean guard. *)
   if st.churn then begin
@@ -875,20 +1040,7 @@ let run ?(seed = 42) config =
   if Engine.Time.(config.duration > Engine.Time.zero) then
     Engine.Sim.run sim ~until:config.duration
   else Engine.Sim.run sim;
-  (* Tear down whatever was still in flight at the horizon, then audit
-     the pool: with correct recycling every relay's occupancy returns
-     to zero and the free list is full again. *)
-  let abandoned = ref 0 in
-  for i = 0 to slots - 1 do
-    let p = st.s_circ.(i) in
-    if p >= 0 then begin
-      incr abandoned;
-      release st p;
-      st.s_circ.(i) <- -1
-    end
-  done;
-  let orphaned_circuits = Array.fold_left ( + ) 0 st.active in
-  let orphaned_cells = Array.fold_left ( + ) 0 st.load_cells in
+  let abandoned, orphaned_circuits, orphaned_cells = teardown [| st |] in
   {
     relays = config.relays;
     slots = config.slots;
@@ -899,7 +1051,7 @@ let run ?(seed = 42) config =
     elephant_arrivals = st.elephant_arrivals;
     refused_arrivals = st.refused_arrivals;
     admission_redraws = st.admission_redraws;
-    abandoned = !abandoned;
+    abandoned;
     delivered_cells = st.delivered_cells;
     rounds = st.rounds;
     pool_recycles = st.pool_recycles;
@@ -927,6 +1079,186 @@ let run ?(seed = 42) config =
     end_time = Engine.Sim.now sim;
     wall_events = Engine.Sim.events_executed sim;
   }
+
+(* The sharded drive loop.  Time advances in exchange windows no wider
+   than the smallest achievable circuit RTT: within a window every
+   shard runs its own sim against the relay occupancy snapshot frozen
+   at the last barrier (occupancy writes divert to per-shard outboxes),
+   and at the barrier the outboxes — additive (relay, d_active,
+   d_load) deltas — are applied by relay ownership, churn and epoch
+   ticks fire at their exact times, and the stop conditions are
+   evaluated.  The window bound guarantees a circuit's first round
+   lands in a later window than its arrival, so every round already
+   sees its own registration; everything else a round reads is either
+   frozen shared state or slot-local, making the result a pure function
+   of (seed, config) — the same for every positive shard count.
+   Returns the result plus the worker domains' minor-words total. *)
+let run_sharded ~seed states =
+  let st0 = states.(0) in
+  let k = Array.length states in
+  let c = st0.config in
+  let goal = lifetimes_goal c in
+  let churn = st0.churn in
+  let window_ns =
+    let min_lat = Array.fold_left Stdlib.min max_int st0.lat_ns in
+    let access = Int64.to_int (Engine.Time.to_ns c.access_delay) in
+    Stdlib.max 1 (2 * ((3 * min_lat) + (2 * access)))
+  in
+  let tick_ns = Int64.to_int (Engine.Time.to_ns c.churn_tick) in
+  let epoch_ns = Int64.to_int (Engine.Time.to_ns c.epoch_period) in
+  let duration_ns = Int64.to_int (Engine.Time.to_ns c.duration) in
+  let relay_owner =
+    Array.init st0.n_total (fun r -> Shard.relay_shard ~seed ~shards:k r)
+  in
+  let team = Engine.Pool.Team.create ~shards:k () in
+  Fun.protect ~finally:(fun () -> Engine.Pool.Team.shutdown team) @@ fun () ->
+  let next_churn = ref tick_ns in
+  let next_epoch = ref epoch_ns in
+  let peak = ref 0 in
+  let extra_events = ref 0 in
+  let running = ref true in
+  while !running do
+    let now = now_ns st0 in
+    let b = ref (now + window_ns) in
+    if churn then begin
+      if !next_churn < !b then b := !next_churn;
+      if !next_epoch < !b then b := !next_epoch
+    end;
+    if duration_ns > 0 && duration_ns < !b then b := duration_ns;
+    let b = !b in
+    let until = Engine.Time.ns b in
+    (* The [unsafe_unordered_exchange] hook reverts to mid-window
+       in-place application — the broken ordering the barrier protocol
+       exists to prevent; see the hook's comment. *)
+    let defer = not !unsafe_unordered_exchange in
+    Array.iter (fun st -> st.defer <- defer) states;
+    Engine.Pool.Team.run team (fun j -> Engine.Sim.run states.(j).sim ~until);
+    Array.iter (fun st -> st.defer <- false) states;
+    if defer then begin
+      (* Exchange: deltas are additive ints, so applying every outbox's
+         entries for the relays a shard owns — disjoint writes by
+         ownership — lands totals independent of application order and
+         of the shard count. *)
+      Engine.Pool.Team.run team (fun j ->
+          let active = st0.active and load = st0.load_cells in
+          for s = 0 to k - 1 do
+            let src = states.(s) in
+            let buf = src.ob_buf and len = src.ob_len in
+            let idx = ref 0 in
+            while !idx < len do
+              let r = buf.(!idx) in
+              if relay_owner.(r) = j then begin
+                active.(r) <- active.(r) + buf.(!idx + 1);
+                load.(r) <- load.(r) + buf.(!idx + 2)
+              end;
+              idx := !idx + 3
+            done
+          done)
+    end;
+    Array.iter (fun st -> st.ob_len <- 0) states;
+    let live = Array.fold_left (fun acc st -> acc + st.live) 0 states in
+    if live > !peak then peak := live;
+    if churn && b = !next_churn then begin
+      churn_step st0;
+      incr extra_events;
+      next_churn := !next_churn + tick_ns
+    end;
+    if churn && b = !next_epoch then begin
+      advance_epoch st0;
+      incr extra_events;
+      next_epoch := !next_epoch + epoch_ns
+    end;
+    let completed =
+      Array.fold_left (fun acc st -> acc + st.completed) 0 states
+    in
+    if completed >= goal || (duration_ns > 0 && b >= duration_ns) then
+      running := false
+  done;
+  let abandoned, orphaned_circuits, orphaned_cells = teardown states in
+  let sum f = Array.fold_left (fun acc st -> acc + f st) 0 states in
+  let merged ns_total f =
+    let acc = ref (f states.(0)) in
+    for j = 1 to k - 1 do
+      acc := Engine.Stats.Sketch.merge !acc (f states.(j))
+    done;
+    (* Install the order-independent sum from the integer tallies; the
+       float sums the shards accumulated depend on completion order
+       within each shard, which depends on the partition. *)
+    Engine.Stats.Sketch.set_sum !acc (float_of_int ns_total *. 1e-9);
+    !acc
+  in
+  let ttlb_exact =
+    let parts =
+      Array.map
+        (fun st ->
+          match st.exact with
+          | Some samples -> Engine.Stats.Samples.to_array samples
+          | None -> [||])
+        states
+    in
+    let all = Array.concat (Array.to_list parts) in
+    (* Per-shard completion order is partition-dependent; the sorted
+       multiset is not. *)
+    Array.sort Float.compare all;
+    all
+  in
+  ( {
+      relays = c.relays;
+      slots = c.slots;
+      completed = sum (fun st -> st.completed);
+      mice = sum (fun st -> st.mice_done);
+      elephants = sum (fun st -> st.elephants_done);
+      arrivals = sum (fun st -> st.arrivals);
+      elephant_arrivals = sum (fun st -> st.elephant_arrivals);
+      refused_arrivals = sum (fun st -> st.refused_arrivals);
+      admission_redraws = sum (fun st -> st.admission_redraws);
+      abandoned;
+      delivered_cells = sum (fun st -> st.delivered_cells);
+      rounds = sum (fun st -> st.rounds);
+      pool_recycles = sum (fun st -> st.pool_recycles);
+      peak_active = !peak;
+      ttlb_all = merged (sum (fun st -> st.ns_all)) (fun st -> st.ttlb_all);
+      ttlb_mice = merged (sum (fun st -> st.ns_mice)) (fun st -> st.ttlb_mice);
+      ttlb_elephants =
+        merged
+          (sum (fun st -> st.ns_elephants))
+          (fun st -> st.ttlb_elephants);
+      ttlb_exact;
+      orphaned_circuits;
+      orphaned_cells;
+      churn_departs = sum (fun st -> st.churn_departs);
+      churn_crashes = sum (fun st -> st.churn_crashes);
+      churn_drains_completed = sum (fun st -> st.churn_drains_completed);
+      churn_restarts = sum (fun st -> st.churn_restarts);
+      churn_epochs = sum (fun st -> st.churn_epochs);
+      churn_kills = sum (fun st -> st.churn_kills);
+      resumed = sum (fun st -> st.resumed);
+      gone_draws = sum (fun st -> st.gone_draws);
+      draining_refusals = sum (fun st -> st.draining_refusals);
+      rounds_through_down = sum (fun st -> st.rounds_through_down);
+      depart_residue = sum (fun st -> st.depart_residue);
+      end_time = Engine.Sim.now st0.sim;
+      wall_events =
+        sum (fun st -> Engine.Sim.events_executed st.sim) + !extra_events;
+    },
+    Engine.Pool.Team.minor_words team )
+
+let run_with_words ~seed config =
+  let config =
+    match validate_config config with
+    | Ok c -> c
+    | Error msg -> invalid_arg ("Network_experiment.run: " ^ msg)
+  in
+  let states = build_states ~seed config in
+  if config.shards = 0 then (run_classic states.(0), 0.)
+  else run_sharded ~seed states
+
+let run ?(seed = 42) config = fst (run_with_words ~seed config)
+
+let run_instrumented ?(seed = 42) config =
+  let w0 = Gc.minor_words () in
+  let result, team_words = run_with_words ~seed config in
+  (result, Gc.minor_words () -. w0 +. team_words)
 
 let run_many ?jobs tasks =
   Engine.Pool.map_list ?jobs (fun (seed, config) -> run ~seed config) tasks

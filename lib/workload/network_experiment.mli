@@ -88,6 +88,17 @@ type config = {
   sketch_max : Engine.Time.t;  (** Upper edge of the TTLB sketches. *)
   retain_exact : bool;
       (** Also retain exact TTLBs (small scale only — O(n) memory). *)
+  shards : int;
+      (** Within-run parallelism.  [0] (the default) is the classic
+          single-domain engine, byte-identical to pre-shard releases.
+          [k >= 1] partitions the circuit slots into [min k slots]
+          contiguous shards ({!Shard.slot_range}), each driven by its
+          own sim on its own domain, advancing in lockstep exchange
+          windows with a barrier at every boundary.  Results are
+          identical for {e every} positive [k] — the shard count
+          chooses how the schedule executes, never what it computes —
+          but deterministically different from [shards = 0], whose
+          occupancy updates apply mid-window. *)
 }
 
 val default_config : config
@@ -172,9 +183,26 @@ val unsafe_disable_churn_kill : bool ref
     occupancy survives.  [rounds_through_down] and [depart_residue] go
     nonzero, which the churn oracles flag (and shrink).  Reset it. *)
 
+val unsafe_unordered_exchange : bool ref
+(** Test/fuzz hook: when [true], sharded runs apply relay occupancy
+    deltas in place mid-window instead of deferring them to the
+    barrier exchange, so what a shard observes depends on which slots
+    it co-hosts and runs with different shard counts diverge.  The
+    check harness's shards=1-vs-4 differential catches the divergence
+    and shrinks it to a replayable line.  No effect on [shards = 0].
+    Reset it. *)
+
 val run : ?seed:int -> config -> result
 (** Deterministic per [(seed, config)].  Raises [Invalid_argument] if
     the config does not validate or the population draws no exit. *)
+
+val run_instrumented : ?seed:int -> config -> result * float
+(** {!run} plus honest allocation accounting: the float is the total
+    minor words allocated during the run summed over {e all}
+    participating domains — the calling domain plus, for sharded runs,
+    every worker domain of the shard team.  Kept out of {!result} so
+    result digests stay comparable across instrumented and plain
+    runs. *)
 
 val run_many : ?jobs:int -> (int * config) list -> result list
 (** One {!run} per task on a domain pool; results in task order,

@@ -171,6 +171,7 @@ let stale_prone =
     grace_ms = 0;
     epoch_ms = 0;
     spares = 0;
+    shards = 0;
   }
 
 (* With the guard disabled, find a scenario the oracles reject: the
@@ -256,6 +257,7 @@ let budget_prone =
     grace_ms = 0;
     epoch_ms = 0;
     spares = 0;
+    shards = 0;
   }
 
 let find_failing_budget () =

@@ -469,6 +469,7 @@ let churn_prone =
     grace_ms = 200;
     epoch_ms = 500;
     spares = 2;
+    shards = 0;
   }
 
 let test_churn_scenario_passes_clean () =

@@ -199,6 +199,83 @@ let test_small_scale_shape_and_sketch_agreement () =
     [ 0.25; 0.5; 0.9; 0.99 ]
 
 (* ------------------------------------------------------------------ *)
+(* Shard: deterministic partitions and the sharded engine *)
+
+let prop_relay_shard_true_partition =
+  QCheck2.Test.make
+    ~name:"relay_shard: every relay in exactly one shard, stable under seed"
+    QCheck2.Gen.(
+      triple (int_range 0 100_000) (int_range 1 8) (int_range 0 10_000))
+    (fun (seed, shards, r) ->
+      let s = Workload.Shard.relay_shard ~seed ~shards r in
+      (* In range, and a pure function of (seed, shards, r). *)
+      s >= 0 && s < shards && s = Workload.Shard.relay_shard ~seed ~shards r)
+
+let prop_slot_ranges_tile =
+  QCheck2.Test.make
+    ~name:"slot_range: shards tile [0, slots) exactly; owner_of_slot inverts"
+    QCheck2.Gen.(pair (int_range 1 400) (int_range 1 10))
+    (fun (slots, shards) ->
+      let n = Workload.Shard.count ~slots ~shards in
+      let ok = ref (n >= 1 && n <= Stdlib.min slots shards) in
+      let next = ref 0 in
+      for k = 0 to n - 1 do
+        let lo, hi = Workload.Shard.slot_range ~slots ~shards k in
+        if lo <> !next || hi < lo then ok := false;
+        next := hi;
+        for i = lo to hi - 1 do
+          if Workload.Shard.owner_of_slot ~slots ~shards i <> k then ok := false
+        done
+      done;
+      !ok && !next = slots)
+
+let test_sharded_results_identical () =
+  (* The tentpole guarantee: every positive shard count computes the
+     same result — not statistically close, structurally identical. *)
+  let run shards =
+    Workload.Network_experiment.run ~seed:11
+      { small_config with Workload.Network_experiment.shards }
+  in
+  let r1 = run 1 in
+  List.iter
+    (fun k ->
+      Alcotest.(check bool)
+        (Printf.sprintf "shards=%d identical to shards=1" k)
+        true
+        (compare r1 (run k) = 0))
+    [ 2; 3; 4 ];
+  Alcotest.(check bool) "shards > slots clamps to the slot count" true
+    (compare r1 (run 1_000) = 0)
+
+let test_sharded_with_churn_identical () =
+  (* Churn and epoch boundaries fire single-threaded at barriers; the
+     sharded engine must agree with itself across shard counts when
+     relays leave, crash, drain, and rejoin mid-run. *)
+  let churned =
+    {
+      small_config with
+      Workload.Network_experiment.leave_hazard = 0.02;
+      join_hazard = 0.2;
+      crash_fraction = 0.5;
+      drain_grace = Engine.Time.ms 200;
+      epoch_period = Engine.Time.s 2;
+      spare_relays = 4;
+    }
+  in
+  let run shards =
+    Workload.Network_experiment.run ~seed:7
+      { churned with Workload.Network_experiment.shards }
+  in
+  let r1 = run 1 in
+  List.iter
+    (fun k ->
+      Alcotest.(check bool)
+        (Printf.sprintf "churned shards=%d identical to shards=1" k)
+        true
+        (compare r1 (run k) = 0))
+    [ 2; 4 ]
+
+(* ------------------------------------------------------------------ *)
 (* The Network check kind catches a reintroduced pool-recycling bug *)
 
 let selection = Check.Oracle.all
@@ -234,6 +311,7 @@ let pool_prone =
     grace_ms = 0;
     epoch_ms = 0;
     spares = 0;
+    shards = 0;
   }
 
 let find_failing_network () =
@@ -288,6 +366,147 @@ let test_disabled_pool_release_is_caught () =
   | Ok true -> ()
   | Ok false -> Alcotest.fail "reproducer still fails with release restored"
   | Error e -> Alcotest.fail e
+
+(* ------------------------------------------------------------------ *)
+(* The shard differential catches an unordered exchange *)
+
+(* A sharded scenario busy enough that occupancy changes mid-window:
+   with the exchange applied in place instead of deferred to the
+   barrier, path draws observe half-updated counters and the result
+   becomes shard-count-dependent — exactly what the harness's
+   shards=1-vs-4 differential exists to catch. *)
+let find_failing_sharded () =
+  let direct =
+    List.filter_map
+      (fun (seed, sessions) ->
+        let sc =
+          { pool_prone with Check.Scenario.seed; sessions; shards = 2 }
+        in
+        if Result.is_error (check sc) then Some sc else None)
+      [ (5, 8); (11, 12); (3, 16) ]
+  in
+  match direct with
+  | sc :: _ -> Some sc
+  | [] ->
+      let rec go index =
+        if index >= 60 then None
+        else
+          let sc = Check.Scenario.generate ~seed:99 ~index () in
+          let sc =
+            match sc.Check.Scenario.kind with
+            | (Check.Scenario.Network | Check.Scenario.Churn)
+              when sc.Check.Scenario.shards = 0 ->
+                { sc with Check.Scenario.shards = 2 }
+            | _ -> sc
+          in
+          match sc.Check.Scenario.kind with
+          | (Check.Scenario.Network | Check.Scenario.Churn)
+            when Result.is_error (check sc) ->
+              Some sc
+          | _ -> go (index + 1)
+      in
+      go 0
+
+let test_unordered_exchange_is_caught () =
+  Workload.Network_experiment.unsafe_unordered_exchange := true;
+  let line =
+    Fun.protect
+      ~finally:(fun () ->
+        Workload.Network_experiment.unsafe_unordered_exchange := false)
+      (fun () ->
+        match find_failing_sharded () with
+        | None ->
+            Alcotest.fail
+              "no scenario tripped the shard differential with the exchange \
+               unordered"
+        | Some sc ->
+            (match check sc with
+            | Ok _ -> Alcotest.fail "scenario stopped failing on re-run"
+            | Error reason ->
+                Alcotest.(check bool)
+                  (Printf.sprintf "shard differential named in: %s" reason)
+                  true
+                  (contains ~needle:"shard" reason));
+            (* The failure shrinks to a replayable one-line reproducer
+               that still fails. *)
+            let shrunk = Check.Harness.shrink ~selection sc in
+            Alcotest.(check bool) "shrunk scenario stays sharded" true
+              (shrunk.Check.Scenario.shards > 0);
+            let line = Check.Scenario.to_string shrunk in
+            let buf = Buffer.create 256 in
+            let ppf = Format.formatter_of_buffer buf in
+            (match Check.Harness.replay ~selection line ppf with
+            | Ok false -> ()
+            | Ok true -> Alcotest.fail "shrunk reproducer passed on replay"
+            | Error e -> Alcotest.fail e);
+            line)
+  in
+  (* Ordered exchange restored: the same reproducer line passes. *)
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  match Check.Harness.replay ~selection line ppf with
+  | Ok true -> ()
+  | Ok false ->
+      Alcotest.fail "reproducer still fails with the ordered exchange restored"
+  | Error e -> Alcotest.fail e
+
+(* ------------------------------------------------------------------ *)
+(* torsim CLI: sharded runs are byte-identical across shards x jobs *)
+
+let torsim_exe =
+  match
+    List.find_opt Sys.file_exists
+      [ "../bin/torsim.exe"; "_build/default/bin/torsim.exe" ]
+  with
+  | Some p -> p
+  | None -> Alcotest.fail "torsim.exe not built"
+
+let torsim_out ?(env = "") args =
+  let out = Filename.temp_file "torsim" ".out" in
+  let rc =
+    Sys.command (Printf.sprintf "%s %s %s > %s 2>&1" env torsim_exe args out)
+  in
+  let ic = open_in_bin out in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  Sys.remove out;
+  (rc, text)
+
+let test_cli_sharded_byte_identical () =
+  let base =
+    "network --relays 10 --circuits 24 --lifetimes 120 --think-ms 20 --seed 3"
+  in
+  let rc, reference = torsim_out (base ^ " --shards 1 --jobs 1") in
+  Alcotest.(check int) "reference run exits 0" 0 rc;
+  Alcotest.(check bool) "reference run prints a table" true
+    (String.length reference > 0);
+  List.iter
+    (fun (shards, jobs) ->
+      let rc, out =
+        torsim_out (Printf.sprintf "%s --shards %d --jobs %d" base shards jobs)
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "--shards %d --jobs %d exits 0" shards jobs)
+        0 rc;
+      Alcotest.(check string)
+        (Printf.sprintf "--shards %d --jobs %d byte-identical" shards jobs)
+        reference out)
+    [ (1, 2); (1, 4); (2, 1); (2, 2); (2, 4); (4, 1); (4, 2); (4, 4) ];
+  (* shards=0 selects the classic engine: it must still run cleanly,
+     but its output is the pre-shard engine's (pinned by the golden
+     tests), deliberately not compared against the sharded runs. *)
+  let rc, _ = torsim_out (base ^ " --shards 0") in
+  Alcotest.(check int) "--shards 0 (classic) exits 0" 0 rc
+
+let test_cli_rejects_bad_jobs_env () =
+  let rc, text =
+    torsim_out ~env:"CIRCUITSTART_JOBS=lots"
+      "network --relays 10 --circuits 8 --lifetimes 20 --think-ms 20"
+  in
+  Alcotest.(check int) "bad CIRCUITSTART_JOBS exits 2" 2 rc;
+  Alcotest.(check bool) "friendly one-line error" true
+    (contains ~needle:"CIRCUITSTART_JOBS must be a positive integer" text)
 
 (* ------------------------------------------------------------------ *)
 (* Perf_gate: the scanner, the floors file, the ratchet *)
@@ -348,12 +567,14 @@ let gate_floors =
       key = "events_per_sec";
       direction = Analysis.Perf_gate.Min;
       bound = 1.0e6;
+      min_cores = None;
     };
     {
       Analysis.Perf_gate.file = "BENCH_pr7.json";
       key = "minor_words_per_event";
       direction = Analysis.Perf_gate.Max;
       bound = 5.0;
+      min_cores = None;
     };
   ]
 
@@ -390,6 +611,60 @@ let test_check_floors () =
       Alcotest.(check bool) "regression caught" false min_o.Analysis.Perf_gate.ok
   | [] -> Alcotest.fail "no outcomes"
 
+let test_min_cores_floors () =
+  (* Parsing: the optional fifth token. *)
+  (match
+     Analysis.Perf_gate.parse_floors
+       "BENCH_pr9.json speedup_4 min 1.6 min-cores=4"
+   with
+  | Ok [ f ] ->
+      Alcotest.(check (option int)) "min-cores parsed" (Some 4)
+        f.Analysis.Perf_gate.min_cores
+  | Ok _ -> Alcotest.fail "wrong floor count"
+  | Error e -> Alcotest.fail e);
+  List.iter
+    (fun bad ->
+      match Analysis.Perf_gate.parse_floors bad with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail ("accepted bad fifth token: " ^ bad))
+    [
+      "B.json k min 1 min-cores=0";
+      "B.json k min 1 min-cores=-2";
+      "B.json k min 1 min-cores=four";
+      "B.json k min 1 cores=4";
+    ];
+  (* The skip: enforced only when the report's own host_cores is
+     large enough. *)
+  let floor =
+    {
+      Analysis.Perf_gate.file = "B.json";
+      key = "speedup_4";
+      direction = Analysis.Perf_gate.Min;
+      bound = 1.6;
+      min_cores = Some 4;
+    }
+  in
+  let outcome report =
+    List.hd (Analysis.Perf_gate.check ~tolerance:0. ~read:(fun _ -> report) [ floor ])
+  in
+  let o = outcome (Some "{ \"host_cores\": 1, \"speedup_4\": 0.9 }") in
+  Alcotest.(check (pair bool bool)) "small host: skipped, passing" (true, true)
+    (o.Analysis.Perf_gate.ok, o.Analysis.Perf_gate.skipped);
+  let o = outcome (Some "{ \"speedup_4\": 0.9 }") in
+  Alcotest.(check (pair bool bool)) "host_cores absent: skipped" (true, true)
+    (o.Analysis.Perf_gate.ok, o.Analysis.Perf_gate.skipped);
+  let o = outcome (Some "{ \"host_cores\": 8, \"speedup_4\": 1.7 }") in
+  Alcotest.(check (pair bool bool)) "big host, good value: enforced ok"
+    (true, false)
+    (o.Analysis.Perf_gate.ok, o.Analysis.Perf_gate.skipped);
+  let o = outcome (Some "{ \"host_cores\": 8, \"speedup_4\": 0.9 }") in
+  Alcotest.(check (pair bool bool)) "big host, bad value: fails" (false, false)
+    (o.Analysis.Perf_gate.ok, o.Analysis.Perf_gate.skipped);
+  let o = outcome None in
+  Alcotest.(check (pair bool bool)) "unreadable report still fails"
+    (false, false)
+    (o.Analysis.Perf_gate.ok, o.Analysis.Perf_gate.skipped)
+
 let test_trajectory () =
   let r1 = "{ \"events_per_sec\": 2.0e5, \"total_sim_events\": 1000, \"sim_events\": 999 }" in
   let r2 = sample_report in
@@ -402,7 +677,22 @@ let test_trajectory () =
       Alcotest.(check (float 1e-9)) "cumulative running sum" 50484243.
         b.Analysis.Perf_gate.cumulative_events;
       Alcotest.(check (option (float 1e-3))) "throughput carried" (Some 1.25e6)
-        b.Analysis.Perf_gate.events_per_sec
+        b.Analysis.Perf_gate.events_per_sec;
+      Alcotest.(check (option (float 1e-9))) "no speedup keys -> None" None
+        b.Analysis.Perf_gate.speedup_4
+  | _ -> Alcotest.fail "wrong row count"
+
+let test_trajectory_speedup_row () =
+  let r =
+    "{ \"events_per_sec\": 1.0e6, \"speedup_2\": 0.84, \"speedup_4\": 1.9, \
+     \"sim_events\": 10 }"
+  in
+  match Analysis.Perf_gate.trajectory [ ("BENCH_pr9.json", r) ] with
+  | [ row ] ->
+      Alcotest.(check (option (float 1e-9))) "speedup_2" (Some 0.84)
+        row.Analysis.Perf_gate.speedup_2;
+      Alcotest.(check (option (float 1e-9))) "speedup_4" (Some 1.9)
+        row.Analysis.Perf_gate.speedup_4
   | _ -> Alcotest.fail "wrong row count"
 
 (* ------------------------------------------------------------------ *)
@@ -428,10 +718,28 @@ let () =
           Alcotest.test_case "small-scale shape and sketch agreement" `Slow
             test_small_scale_shape_and_sketch_agreement;
         ] );
+      ( "shard",
+        [
+          QCheck_alcotest.to_alcotest prop_relay_shard_true_partition;
+          QCheck_alcotest.to_alcotest prop_slot_ranges_tile;
+          Alcotest.test_case "shards 1-4 identical" `Slow
+            test_sharded_results_identical;
+          Alcotest.test_case "shards identical under churn" `Slow
+            test_sharded_with_churn_identical;
+        ] );
       ( "check",
         [
           Alcotest.test_case "reintroduced pool bug is caught" `Slow
             test_disabled_pool_release_is_caught;
+          Alcotest.test_case "unordered exchange is caught" `Slow
+            test_unordered_exchange_is_caught;
+        ] );
+      ( "cli",
+        [
+          Alcotest.test_case "sharded runs byte-identical" `Slow
+            test_cli_sharded_byte_identical;
+          Alcotest.test_case "bad CIRCUITSTART_JOBS rejected" `Quick
+            test_cli_rejects_bad_jobs_env;
         ] );
       ( "perf-gate",
         [
@@ -439,6 +747,9 @@ let () =
           Alcotest.test_case "floors file parsing" `Quick test_parse_floors;
           Alcotest.test_case "floors, tolerance, regression" `Quick
             test_check_floors;
+          Alcotest.test_case "min-cores floors" `Quick test_min_cores_floors;
           Alcotest.test_case "trajectory rows" `Quick test_trajectory;
+          Alcotest.test_case "trajectory speedup row" `Quick
+            test_trajectory_speedup_row;
         ] );
     ]

@@ -45,6 +45,138 @@ let test_exception_propagation () =
   Alcotest.check_raises "sequential path too" (Failure "boom7") (fun () ->
       ignore (Engine.Pool.map ~jobs:1 f (Array.init 100 Fun.id)))
 
+let test_map_counted_sees_worker_allocation () =
+  (* A naive [Gc.minor_words] delta around a parallel map only observes
+     the calling domain; [map_counted] must charge the words a task
+     allocates on a *spawned* domain too.  Each task below allocates
+     ~30k minor words of boxed floats and list cells, and with four
+     tasks on two domains at least one task runs on a worker — so a
+     caller-only count would report well under the real total. *)
+  let alloc _ =
+    Sys.opaque_identity (List.init 10_000 (fun i -> float_of_int i))
+  in
+  let results, words = Engine.Pool.map_counted ~jobs:2 alloc (Array.init 4 Fun.id) in
+  Alcotest.(check int) "all tasks ran" 4 (Array.length results);
+  Alcotest.(check bool)
+    (Printf.sprintf "worker-domain allocation counted (got %.0f words)" words)
+    true
+    (words > 4. *. 20_000.)
+
+(* ------------------------------------------------------------------ *)
+(* CIRCUITSTART_JOBS *)
+
+(* [Unix.putenv] cannot unset, but [env_jobs] treats the empty string
+   as unset, so restoring to "" round-trips correctly. *)
+let with_env var value f =
+  let old = Option.value (Sys.getenv_opt var) ~default:"" in
+  Unix.putenv var value;
+  Fun.protect ~finally:(fun () -> Unix.putenv var old) f
+
+let env_jobs_result =
+  Alcotest.(result (option int) string)
+
+let check_env_jobs name value expected =
+  with_env "CIRCUITSTART_JOBS" value (fun () ->
+      Alcotest.check env_jobs_result name expected (Engine.Pool.env_jobs ()))
+
+let test_env_jobs_parsing () =
+  check_env_jobs "empty means unset" "" (Ok None);
+  check_env_jobs "plain integer" "3" (Ok (Some 3));
+  check_env_jobs "whitespace tolerated" " 5 " (Ok (Some 5));
+  check_env_jobs "clamped to 128" "9999" (Ok (Some 128));
+  check_env_jobs "zero rejected" "0"
+    (Error "CIRCUITSTART_JOBS must be a positive integer (got 0)");
+  check_env_jobs "negative rejected" "-2"
+    (Error "CIRCUITSTART_JOBS must be a positive integer (got -2)");
+  check_env_jobs "garbage rejected" "lots"
+    (Error "CIRCUITSTART_JOBS must be a positive integer (got \"lots\")")
+
+let test_env_jobs_feeds_default_jobs () =
+  (* TORSIM_JOBS (the --jobs flag's backing variable) outranks
+     CIRCUITSTART_JOBS, which outranks the detected core count; a
+     malformed CIRCUITSTART_JOBS must not make [default_jobs] raise. *)
+  with_env "TORSIM_JOBS" "" (fun () ->
+      with_env "CIRCUITSTART_JOBS" "3" (fun () ->
+          Alcotest.(check int) "env var honored" 3 (Engine.Pool.default_jobs ()));
+      with_env "CIRCUITSTART_JOBS" "nope" (fun () ->
+          Alcotest.(check bool) "malformed value ignored, stays total" true
+            (Engine.Pool.default_jobs () >= 1)));
+  with_env "TORSIM_JOBS" "7" (fun () ->
+      with_env "CIRCUITSTART_JOBS" "3" (fun () ->
+          Alcotest.(check int) "TORSIM_JOBS outranks" 7
+            (Engine.Pool.default_jobs ())))
+
+(* ------------------------------------------------------------------ *)
+(* Team: the reusable rendezvous behind sharded runs *)
+
+let test_team_run_and_reuse () =
+  let team = Engine.Pool.Team.create ~shards:4 () in
+  Alcotest.(check int) "shards" 4 (Engine.Pool.Team.shards team);
+  let acc = Array.make 4 0 in
+  (* Thousands of rendezvous against the same team — the shape of one
+     sharded simulation's window loop. *)
+  for _ = 1 to 2_000 do
+    Engine.Pool.Team.run team (fun i -> acc.(i) <- acc.(i) + i + 1)
+  done;
+  Engine.Pool.Team.shutdown team;
+  Alcotest.(check (array int)) "every shard ran every rendezvous"
+    [| 2_000; 4_000; 6_000; 8_000 |] acc
+
+let test_team_single_shard_in_caller () =
+  let team = Engine.Pool.Team.create ~shards:1 () in
+  let self = Domain.self () in
+  let ok = ref false in
+  Engine.Pool.Team.run team (fun i -> ok := i = 0 && Domain.self () = self);
+  Engine.Pool.Team.shutdown team;
+  Alcotest.(check bool) "shards=1 runs in the calling domain" true !ok
+
+let test_team_invalid_shards () =
+  Alcotest.check_raises "shards=0"
+    (Invalid_argument "Pool.Team.create: shards must be positive") (fun () ->
+      ignore (Engine.Pool.Team.create ~shards:0 ()))
+
+let test_team_exception_protocol () =
+  let team = Engine.Pool.Team.create ~shards:4 () in
+  let ran = Array.make 4 false in
+  Alcotest.check_raises "lowest shard's exception wins" (Failure "shard1")
+    (fun () ->
+      Engine.Pool.Team.run team (fun i ->
+          ran.(i) <- true;
+          if i = 1 then failwith "shard1";
+          if i = 3 then failwith "shard3"));
+  Alcotest.(check (array bool)) "every shard still checked in"
+    [| true; true; true; true |] ran;
+  (* A failed rendezvous must not poison the team. *)
+  let acc = Array.make 4 (-1) in
+  Engine.Pool.Team.run team (fun i -> acc.(i) <- i);
+  Engine.Pool.Team.shutdown team;
+  Alcotest.(check (array int)) "team usable after a failure" [| 0; 1; 2; 3 |] acc
+
+let test_team_counts_worker_allocation () =
+  (* Same honesty requirement as [map_counted]: words allocated by the
+     parked worker domains must show up in [minor_words] (the caller's
+     own share is deliberately excluded — shard 0 allocates nothing
+     here). *)
+  let team = Engine.Pool.Team.create ~shards:2 () in
+  Engine.Pool.Team.run team (fun shard ->
+      if shard > 0 then
+        ignore (Sys.opaque_identity (List.init 10_000 (fun i -> float_of_int i))));
+  let words = Engine.Pool.Team.minor_words team in
+  Engine.Pool.Team.shutdown team;
+  Alcotest.(check bool)
+    (Printf.sprintf "worker allocation visible (got %.0f words)" words)
+    true (words > 20_000.)
+
+let test_team_shutdown () =
+  let team = Engine.Pool.Team.create ~shards:2 () in
+  Engine.Pool.Team.run team (fun _ -> ());
+  Engine.Pool.Team.shutdown team;
+  Engine.Pool.Team.shutdown team;
+  (* idempotent *)
+  Alcotest.check_raises "run after shutdown"
+    (Invalid_argument "Pool.Team.run: team is shut down") (fun () ->
+      Engine.Pool.Team.run team (fun _ -> ()))
+
 (* ------------------------------------------------------------------ *)
 (* Parallel sweeps are byte-identical to sequential ones *)
 
@@ -122,6 +254,28 @@ let () =
           Alcotest.test_case "invalid jobs rejected" `Quick test_invalid_jobs;
           Alcotest.test_case "default jobs positive" `Quick test_default_jobs_positive;
           Alcotest.test_case "exception propagation" `Quick test_exception_propagation;
+          Alcotest.test_case "map_counted sees worker allocation" `Quick
+            test_map_counted_sees_worker_allocation;
+        ] );
+      ( "env",
+        [
+          Alcotest.test_case "CIRCUITSTART_JOBS parsing" `Quick
+            test_env_jobs_parsing;
+          Alcotest.test_case "CIRCUITSTART_JOBS feeds default_jobs" `Quick
+            test_env_jobs_feeds_default_jobs;
+        ] );
+      ( "team",
+        [
+          Alcotest.test_case "run and reuse" `Quick test_team_run_and_reuse;
+          Alcotest.test_case "single shard stays in caller" `Quick
+            test_team_single_shard_in_caller;
+          Alcotest.test_case "invalid shards rejected" `Quick
+            test_team_invalid_shards;
+          Alcotest.test_case "exception protocol" `Quick
+            test_team_exception_protocol;
+          Alcotest.test_case "worker allocation counted" `Quick
+            test_team_counts_worker_allocation;
+          Alcotest.test_case "shutdown" `Quick test_team_shutdown;
         ] );
       ( "determinism",
         [
