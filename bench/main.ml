@@ -826,7 +826,8 @@ let table_recovery () =
 
 let write_overload_json path ~(config : Workload.Overload_experiment.config)
     ~(cs : Workload.Overload_experiment.result)
-    ~(ss : Workload.Overload_experiment.result) =
+    ~(ss : Workload.Overload_experiment.result)
+    ~(pr : Workload.Overload_experiment.result) =
   let side (r : Workload.Overload_experiment.result) =
     Printf.sprintf
       "{\"completed\": %d, \"sessions\": %d, \"refusals\": %d, \
@@ -860,8 +861,9 @@ let write_overload_json path ~(config : Workload.Overload_experiment.config)
        | None -> "null")
        (Engine.Time.to_ms_f config.mean_interarrival));
   Buffer.add_string buf
-    (Printf.sprintf "  \"circuitstart\": %s,\n  \"slowstart\": %s\n" (side cs)
-       (side ss));
+    (Printf.sprintf
+       "  \"circuitstart\": %s,\n  \"slowstart\": %s,\n  \"predictive\": %s\n"
+       (side cs) (side ss) (side pr));
   Buffer.add_string buf "}\n";
   let oc = open_out path in
   output_string oc (Buffer.contents buf);
@@ -876,6 +878,7 @@ let table_overload () =
   in
   note_events c.circuit_start.wall_events;
   note_events c.slow_start.wall_events;
+  note_events c.predictive.wall_events;
   let t =
     Analysis.Table.create
       ~columns:
@@ -900,13 +903,14 @@ let table_overload () =
   in
   row "circuitstart" c.circuit_start;
   row "slowstart" c.slow_start;
+  row "predictive" c.predictive;
   print_string (Analysis.Table.render t);
   print_string
     "Budgeted relays refuse CREATEs while overloaded (the session redraws\n\
      without excluding them) and destroy their heaviest circuit when the\n\
      byte budget overflows - the crowd degrades, it does not collapse.\n";
   write_overload_json "BENCH_pr6.json" ~config ~cs:c.circuit_start
-    ~ss:c.slow_start
+    ~ss:c.slow_start ~pr:c.predictive
 
 (* ------------------------------------------------------------------ *)
 (* table-network: the consensus-scale round-level workload — paired
@@ -923,6 +927,7 @@ let write_network_json path
     ~(paired : Workload.Network_experiment.config)
     ~(cs : Workload.Network_experiment.result)
     ~(ss : Workload.Network_experiment.result)
+    ~(pr : Workload.Network_experiment.result)
     ~(scale : Workload.Network_experiment.result) ~scale_seconds ~minor_words =
   let side (r : Workload.Network_experiment.result) =
     Printf.sprintf
@@ -961,10 +966,11 @@ let write_network_json path
   Buffer.add_string buf
     (Printf.sprintf
        "  \"paired\": {\"relays\": %d, \"slots\": %d, \"lifetimes\": %d,\n\
-       \    \"circuitstart\": %s,\n    \"slowstart\": %s}\n"
+       \    \"circuitstart\": %s,\n    \"slowstart\": %s,\n\
+       \    \"predictive\": %s}\n"
        paired.relays paired.slots
        (Workload.Network_experiment.lifetimes_goal paired)
-       (side cs) (side ss));
+       (side cs) (side ss) (side pr));
   Buffer.add_string buf "}\n";
   let oc = open_out path in
   output_string oc (Buffer.contents buf);
@@ -1075,6 +1081,7 @@ let table_network () =
   in
   note_events c.circuit_start.wall_events;
   note_events c.slow_start.wall_events;
+  note_events c.predictive.wall_events;
   let t =
     Analysis.Table.create
       ~columns:
@@ -1097,6 +1104,7 @@ let table_network () =
   in
   row "circuitstart" c.circuit_start;
   row "slowstart" c.slow_start;
+  row "predictive" c.predictive;
   print_string (Analysis.Table.render t);
   let gap =
     Analysis.Cdf.horizontal_gap
@@ -1130,7 +1138,7 @@ let table_network () =
     (float_of_int scale.wall_events /. scale_seconds)
     (minor_words /. float_of_int scale.wall_events);
   write_network_json "BENCH_pr7.json" ~paired ~cs:c.circuit_start
-    ~ss:c.slow_start ~scale ~scale_seconds ~minor_words;
+    ~ss:c.slow_start ~pr:c.predictive ~scale ~scale_seconds ~minor_words;
   shard_probe ()
 
 (* ------------------------------------------------------------------ *)
@@ -1145,6 +1153,7 @@ let write_churn_json path
     ~(paired : Workload.Network_experiment.config)
     ~(cs : Workload.Network_experiment.result)
     ~(ss : Workload.Network_experiment.result)
+    ~(pr : Workload.Network_experiment.result)
     ~(scale : Workload.Network_experiment.result) ~scale_seconds ~minor_words =
   let side (r : Workload.Network_experiment.result) =
     Printf.sprintf
@@ -1189,10 +1198,11 @@ let write_churn_json path
   Buffer.add_string buf
     (Printf.sprintf
        "  \"paired\": {\"relays\": %d, \"slots\": %d, \"lifetimes\": %d,\n\
-       \    \"circuitstart\": %s,\n    \"slowstart\": %s}\n"
+       \    \"circuitstart\": %s,\n    \"slowstart\": %s,\n\
+       \    \"predictive\": %s}\n"
        paired.relays paired.slots
        (Workload.Network_experiment.lifetimes_goal paired)
-       (side cs) (side ss));
+       (side cs) (side ss) (side pr));
   Buffer.add_string buf "}\n";
   let oc = open_out path in
   output_string oc (Buffer.contents buf);
@@ -1224,6 +1234,7 @@ let table_churn_scale () =
   in
   note_events c.circuit_start.wall_events;
   note_events c.slow_start.wall_events;
+  note_events c.predictive.wall_events;
   let t =
     Analysis.Table.create
       ~columns:
@@ -1247,6 +1258,7 @@ let table_churn_scale () =
   in
   row "circuitstart" c.circuit_start;
   row "slowstart" c.slow_start;
+  row "predictive" c.predictive;
   print_string (Analysis.Table.render t);
   let gap =
     Analysis.Cdf.horizontal_gap
@@ -1288,7 +1300,130 @@ let table_churn_scale () =
     (float_of_int scale.wall_events /. scale_seconds)
     (minor_words /. float_of_int scale.wall_events);
   write_churn_json "BENCH_pr8.json" ~paired ~cs:c.circuit_start
-    ~ss:c.slow_start ~scale ~scale_seconds ~minor_words
+    ~ss:c.slow_start ~pr:c.predictive ~scale ~scale_seconds ~minor_words
+
+(* ------------------------------------------------------------------ *)
+(* table-predictive: the predictive receding-horizon controller under
+   the consensus-scale workload — a three-strategy paired table, then
+   one full-scale predictive run whose throughput and allocation rate
+   are the headline metrics of BENCH_pr10.json (gated by
+   bench/trajectory.exe against bench/perf_floors.txt, so planning
+   stays off the per-feedback hot path: the planner runs once per
+   round and its commit is allocation-free). *)
+
+let write_predictive_json path
+    ~(paired : Workload.Network_experiment.config)
+    ~(cs : Workload.Network_experiment.result)
+    ~(ss : Workload.Network_experiment.result)
+    ~(pr : Workload.Network_experiment.result)
+    ~(scale : Workload.Network_experiment.result) ~scale_seconds ~minor_words =
+  let side (r : Workload.Network_experiment.result) =
+    Printf.sprintf
+      "{\"completed\": %d, \"arrivals\": %d, \"refused\": %d, \"abandoned\": \
+       %d, \"ttlb_p50_s\": %.6f, \"ttlb_p90_s\": %.6f, \"ttlb_p99_s\": %.6f, \
+       \"rounds\": %d, \"sim_events\": %d}"
+      r.completed r.arrivals r.refused_arrivals r.abandoned
+      (sketch_q r.ttlb_all 0.5) (sketch_q r.ttlb_all 0.9)
+      (sketch_q r.ttlb_all 0.99) r.rounds r.wall_events
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf (Printf.sprintf "  \"pr\": 10,\n  \"jobs\": %d,\n" !jobs);
+  (* Headline metrics first and exactly once: the trajectory gate's
+     key scanner takes the first occurrence. *)
+  Buffer.add_string buf
+    (Printf.sprintf "  \"events_per_sec\": %.1f,\n"
+       (if scale_seconds > 0. then
+          float_of_int scale.wall_events /. scale_seconds
+        else 0.));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"minor_words_per_event\": %.4f,\n"
+       (if scale.wall_events > 0 then
+          minor_words /. float_of_int scale.wall_events
+        else 0.));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"scale\": {\"strategy\": \"predictive\", \"relays\": %d, \
+        \"slots\": %d, \"completed\": %d, \"peak_active\": %d, \
+        \"pool_recycles\": %d, \"seconds\": %.3f, \"sim_events\": %d, \
+        \"ttlb_p50_s\": %.6f, \"ttlb_p90_s\": %.6f, \"ttlb_p99_s\": %.6f},\n"
+       scale.relays scale.slots scale.completed scale.peak_active
+       scale.pool_recycles scale_seconds scale.wall_events
+       (sketch_q scale.ttlb_all 0.5) (sketch_q scale.ttlb_all 0.9)
+       (sketch_q scale.ttlb_all 0.99));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"paired\": {\"relays\": %d, \"slots\": %d, \"lifetimes\": %d,\n\
+       \    \"circuitstart\": %s,\n    \"slowstart\": %s,\n\
+       \    \"predictive\": %s}\n"
+       paired.relays paired.slots
+       (Workload.Network_experiment.lifetimes_goal paired)
+       (side cs) (side ss) (side pr));
+  Buffer.add_string buf "}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "[json] %s\n" path
+
+let table_predictive () =
+  section
+    "Table T-predictive (extra): receding-horizon controller, three-strategy \
+     paired + full scale";
+  let paired = Workload.Network_experiment.default_config in
+  let c =
+    Workload.Network_experiment.compare_strategies ~jobs:!jobs ~seed:42 paired
+  in
+  note_events c.circuit_start.wall_events;
+  note_events c.slow_start.wall_events;
+  note_events c.predictive.wall_events;
+  let t =
+    Analysis.Table.create
+      ~columns:
+        [ "strategy"; "done"; "arrivals"; "abandoned"; "p50 ttlb"; "p90 ttlb";
+          "p99 ttlb"; "rounds" ]
+  in
+  let row label (r : Workload.Network_experiment.result) =
+    Analysis.Table.add_row t
+      [
+        label;
+        string_of_int r.completed;
+        string_of_int r.arrivals;
+        string_of_int r.abandoned;
+        Printf.sprintf "%.3fs" (sketch_q r.ttlb_all 0.5);
+        Printf.sprintf "%.3fs" (sketch_q r.ttlb_all 0.9);
+        Printf.sprintf "%.3fs" (sketch_q r.ttlb_all 0.99);
+        string_of_int r.rounds;
+      ]
+  in
+  row "circuitstart" c.circuit_start;
+  row "slowstart" c.slow_start;
+  row "predictive" c.predictive;
+  print_string (Analysis.Table.render t);
+  (* The full-scale predictive run: sequential on the main domain so
+     the minor-GC counter is attributable to this run alone. *)
+  let scale_config =
+    { Workload.Network_experiment.default_config with
+      strategy = Circuitstart.Controller.Predictive;
+      relays = 2_000;
+      slots = 100_000;
+      target_lifetimes = 1_000_000;
+      mean_think = Engine.Time.ms 200;
+    }
+  in
+  let minor0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  let scale = Workload.Network_experiment.run ~seed:7 scale_config in
+  let scale_seconds = Unix.gettimeofday () -. t0 in
+  let minor_words = Gc.minor_words () -. minor0 in
+  note_events scale.wall_events;
+  Format.printf "scale: %a@." Workload.Network_experiment.pp_result scale;
+  Printf.printf
+    "scale: %.1fs wall, %d events, %.0f events/sec, %.2f minor words/event\n"
+    scale_seconds scale.wall_events
+    (float_of_int scale.wall_events /. scale_seconds)
+    (minor_words /. float_of_int scale.wall_events);
+  write_predictive_json "BENCH_pr10.json" ~paired ~cs:c.circuit_start
+    ~ss:c.slow_start ~pr:c.predictive ~scale ~scale_seconds ~minor_words
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per experiment plus the
@@ -1474,6 +1609,7 @@ let all_targets =
     ("table-overload", table_overload);
     ("table-network", table_network);
     ("table-churn-scale", table_churn_scale);
+    ("table-predictive", table_predictive);
   ]
 
 let () =

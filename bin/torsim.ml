@@ -17,31 +17,52 @@ open Cmdliner
 (* ------------------------------------------------------------------ *)
 (* Shared argument parsers *)
 
+let strategy_label = function
+  | Circuitstart.Controller.Circuit_start -> "circuitstart"
+  | Circuitstart.Controller.Slow_start -> "slowstart"
+  | Circuitstart.Controller.Predictive -> "predictive"
+  | Circuitstart.Controller.Fixed n -> Printf.sprintf "fixed:%d" n
+
 let strategy_conv =
   let parse s =
     match String.lowercase_ascii s with
     | "circuitstart" | "cs" -> Ok Circuitstart.Controller.Circuit_start
     | "slowstart" | "ss" -> Ok Circuitstart.Controller.Slow_start
+    | "predictive" | "pr" -> Ok Circuitstart.Controller.Predictive
     | s -> (
         match String.index_opt s ':' with
         | Some i when String.sub s 0 i = "fixed" -> (
             match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
             | Some n when n > 0 -> Ok (Circuitstart.Controller.Fixed n)
             | _ -> Error (`Msg "fixed:<n> needs a positive integer"))
-        | _ -> Error (`Msg (Printf.sprintf "unknown strategy %S" s)))
+        | _ ->
+            Error
+              (`Msg
+                 (Printf.sprintf
+                    "unknown strategy %S (expected circuitstart, slowstart, \
+                     predictive or fixed:N)"
+                    s)))
   in
-  let print fmt = function
-    | Circuitstart.Controller.Circuit_start -> Format.pp_print_string fmt "circuitstart"
-    | Circuitstart.Controller.Slow_start -> Format.pp_print_string fmt "slowstart"
-    | Circuitstart.Controller.Fixed n -> Format.fprintf fmt "fixed:%d" n
-  in
+  let print fmt s = Format.pp_print_string fmt (strategy_label s) in
   Arg.conv (parse, print)
 
 let strategy_arg =
-  let doc = "Startup strategy: circuitstart, slowstart or fixed:N." in
+  let doc = "Startup strategy: circuitstart, slowstart, predictive or fixed:N." in
   Arg.(
     value
     & opt strategy_conv Circuitstart.Controller.Circuit_start
+    & info [ "strategy" ] ~docv:"STRATEGY" ~doc)
+
+(* Paired experiments print all three startup strategies by default;
+   [--strategy X] restricts the table to one. *)
+let strategy_opt_arg =
+  let doc =
+    "Restrict the comparison to one startup strategy (circuitstart, \
+     slowstart, predictive or fixed:N); default: all three."
+  in
+  Arg.(
+    value
+    & opt (some strategy_conv) None
     & info [ "strategy" ] ~docv:"STRATEGY" ~doc)
 
 let gamma_arg =
@@ -191,6 +212,8 @@ let transport_conv =
         Ok (Workload.Star_experiment.Backtap Circuitstart.Controller.Circuit_start)
     | "slowstart" | "ss" ->
         Ok (Workload.Star_experiment.Backtap Circuitstart.Controller.Slow_start)
+    | "predictive" | "pr" ->
+        Ok (Workload.Star_experiment.Backtap Circuitstart.Controller.Predictive)
     | "sendme" -> Ok Workload.Star_experiment.Legacy_sendme
     | s -> Error (`Msg (Printf.sprintf "unknown transport %S" s))
   in
@@ -199,6 +222,8 @@ let transport_conv =
         Format.pp_print_string fmt "circuitstart"
     | Workload.Star_experiment.Backtap Circuitstart.Controller.Slow_start ->
         Format.pp_print_string fmt "slowstart"
+    | Workload.Star_experiment.Backtap Circuitstart.Controller.Predictive ->
+        Format.pp_print_string fmt "predictive"
     | Workload.Star_experiment.Backtap (Circuitstart.Controller.Fixed n) ->
         Format.fprintf fmt "fixed:%d" n
     | Workload.Star_experiment.Legacy_sendme -> Format.pp_print_string fmt "sendme"
@@ -396,7 +421,7 @@ let cross_cmd =
 (* ------------------------------------------------------------------ *)
 (* sweep *)
 
-let run_sweep param values jobs =
+let run_sweep param values strategy jobs =
   let values =
     try List.map float_of_string (String.split_on_char ',' values)
     with Failure _ ->
@@ -413,7 +438,8 @@ let run_sweep param values jobs =
           (fun g ->
             ( Printf.sprintf "%.0f" g,
               { Workload.Trace_experiment.default_config with
-                Workload.Trace_experiment.bottleneck_distance = 2;
+                Workload.Trace_experiment.strategy;
+                bottleneck_distance = 2;
                 params = params_with_gamma g;
               } ))
           values
@@ -422,7 +448,8 @@ let run_sweep param values jobs =
           (fun d ->
             ( Printf.sprintf "%.0f" d,
               { Workload.Trace_experiment.default_config with
-                Workload.Trace_experiment.relay_count = 4;
+                Workload.Trace_experiment.strategy;
+                relay_count = 4;
                 bottleneck_distance = int_of_float d;
               } ))
           values
@@ -463,12 +490,13 @@ let sweep_cmd =
       & info [ "values" ] ~docv:"LIST" ~doc:"Comma-separated values.")
   in
   let doc = "Parameter sweeps over the single-circuit trace experiment." in
-  Cmd.v (Cmd.info "sweep" ~doc) Term.(ret (const run_sweep $ param $ values $ jobs_arg))
+  Cmd.v (Cmd.info "sweep" ~doc)
+    Term.(ret (const run_sweep $ param $ values $ strategy_arg $ jobs_arg))
 
 (* ------------------------------------------------------------------ *)
 (* faults *)
 
-let run_faults loss burst outage crash distance kib seed jobs verbose =
+let run_faults loss burst outage crash distance kib strat seed jobs verbose =
   let loss_model =
     match (loss, burst) with
     | Some _, Some _ -> Error "use either --loss or --burst-loss, not both"
@@ -501,7 +529,22 @@ let run_faults loss burst outage crash distance kib seed jobs verbose =
       match Workload.Fault_experiment.validate_config config with
       | Error msg -> `Error (false, msg)
       | Ok config ->
-          let c = Workload.Fault_experiment.compare_strategies ~jobs ~seed config in
+          let rows =
+            match strat with
+            | None ->
+                let c =
+                  Workload.Fault_experiment.compare_strategies ~jobs ~seed config
+                in
+                [ ("circuitstart", c.Workload.Fault_experiment.circuit_start);
+                  ("slowstart", c.slow_start); ("predictive", c.predictive) ]
+            | Some s -> (
+                match
+                  Workload.Fault_experiment.run_many ~jobs
+                    [ (seed, { config with Workload.Fault_experiment.strategy = s }) ]
+                with
+                | [ r ] -> [ (strategy_label s, r) ]
+                | _ -> assert false)
+          in
           let t =
             Analysis.Table.create
               ~columns:
@@ -526,13 +569,15 @@ let run_faults loss burst outage crash distance kib seed jobs verbose =
                 | None -> "-");
               ]
           in
-          row "circuitstart" c.circuit_start;
-          row "slowstart" c.slow_start;
+          List.iter (fun (label, r) -> row label r) rows;
           print_string (Analysis.Table.render t);
-          if verbose then
-            List.iter
-              (fun e -> Format.printf "%a@." Engine.Trace.pp_event e)
-              c.circuit_start.events;
+          (if verbose then
+             match rows with
+             | (_, (r : Workload.Fault_experiment.result)) :: _ ->
+                 List.iter
+                   (fun e -> Format.printf "%a@." Engine.Trace.pp_event e)
+                   r.events
+             | [] -> ());
           `Ok ())
 
 let faults_cmd =
@@ -580,12 +625,12 @@ let faults_cmd =
     Term.(
       ret
         (const run_faults $ loss $ burst $ outage $ crash $ distance $ bytes_arg 512
-       $ seed_arg $ jobs_arg $ verbose))
+       $ strategy_opt_arg $ seed_arg $ jobs_arg $ verbose))
 
 (* ------------------------------------------------------------------ *)
 (* recover *)
 
-let run_recover crash position selection max_rebuilds kib seed jobs verbose =
+let run_recover crash position selection max_rebuilds kib strat seed jobs verbose =
   match Tor_model.Directory.selection_of_string selection with
   | None ->
       `Error
@@ -603,7 +648,30 @@ let run_recover crash position selection max_rebuilds kib seed jobs verbose =
       match Workload.Recovery_experiment.validate_config config with
       | Error msg -> `Error (false, msg)
       | Ok config ->
-          let c = Workload.Recovery_experiment.compare_strategies ~jobs ~seed config in
+          let comparison =
+            match strat with
+            | None ->
+                Some
+                  (Workload.Recovery_experiment.compare_strategies ~jobs ~seed
+                     config)
+            | Some _ -> None
+          in
+          let rows =
+            match (comparison, strat) with
+            | Some c, _ ->
+                [ ("circuitstart", c.Workload.Recovery_experiment.circuit_start);
+                  ("slowstart", c.slow_start); ("predictive", c.predictive) ]
+            | None, Some s -> (
+                match
+                  Workload.Recovery_experiment.run_many ~jobs
+                    [ (seed,
+                       { config with Workload.Recovery_experiment.strategy = s })
+                    ]
+                with
+                | [ r ] -> [ (strategy_label s, r) ]
+                | _ -> assert false)
+            | None, None -> assert false
+          in
           let t =
             Analysis.Table.create
               ~columns:
@@ -631,20 +699,26 @@ let run_recover crash position selection max_rebuilds kib seed jobs verbose =
                 Printf.sprintf "%.2f Mbit/s" (r.goodput_bps /. 1e6);
               ]
           in
-          row "circuitstart" c.circuit_start;
-          row "slowstart" c.slow_start;
+          List.iter (fun (label, r) -> row label r) rows;
           print_string (Analysis.Table.render t);
-          (match
-             ( c.circuit_start.Workload.Recovery_experiment.goodput_bps,
-               c.slow_start.Workload.Recovery_experiment.goodput_bps )
-           with
-          | cs, ss when cs > 0. && ss > 0. ->
-              Printf.printf "goodput gap (circuitstart / slowstart): %.2fx\n" (cs /. ss)
-          | _ -> ());
-          if verbose then
-            List.iter
-              (fun e -> Format.printf "%a@." Engine.Trace.pp_event e)
-              c.circuit_start.events;
+          (match comparison with
+          | Some c -> (
+              match
+                ( c.circuit_start.Workload.Recovery_experiment.goodput_bps,
+                  c.slow_start.Workload.Recovery_experiment.goodput_bps )
+              with
+              | cs, ss when cs > 0. && ss > 0. ->
+                  Printf.printf "goodput gap (circuitstart / slowstart): %.2fx\n"
+                    (cs /. ss)
+              | _ -> ())
+          | None -> ());
+          (if verbose then
+             match rows with
+             | (_, (r : Workload.Recovery_experiment.result)) :: _ ->
+                 List.iter
+                   (fun e -> Format.printf "%a@." Engine.Trace.pp_event e)
+                   r.events
+             | [] -> ());
           `Ok ())
 
 let recover_cmd =
@@ -685,7 +759,7 @@ let recover_cmd =
     Term.(
       ret
         (const run_recover $ crash $ position $ selection $ max_rebuilds
-       $ bytes_arg 512 $ seed_arg $ jobs_arg $ verbose))
+       $ bytes_arg 512 $ strategy_opt_arg $ seed_arg $ jobs_arg $ verbose))
 
 (* ------------------------------------------------------------------ *)
 (* overload *)
@@ -700,8 +774,8 @@ let flag_errors checks =
       else Some (Printf.sprintf "%s must be %s (got %d)" flag want got))
     checks
 
-let run_overload sessions kib relays budget_kib max_circuits arrival_ms seed
-    jobs verbose =
+let run_overload sessions kib relays budget_kib max_circuits arrival_ms strat
+    seed jobs verbose =
   match
     flag_errors
       [
@@ -730,7 +804,22 @@ let run_overload sessions kib relays budget_kib max_circuits arrival_ms seed
   match Workload.Overload_experiment.validate_config config with
   | Error msg -> `Error (false, msg)
   | Ok config ->
-      let c = Workload.Overload_experiment.compare_strategies ~jobs ~seed config in
+      let rows =
+        match strat with
+        | None ->
+            let c =
+              Workload.Overload_experiment.compare_strategies ~jobs ~seed config
+            in
+            [ ("circuitstart", c.Workload.Overload_experiment.circuit_start);
+              ("slowstart", c.slow_start); ("predictive", c.predictive) ]
+        | Some s -> (
+            match
+              Workload.Overload_experiment.run_many ~jobs
+                [ (seed, { config with Workload.Overload_experiment.strategy = s }) ]
+            with
+            | [ r ] -> [ (strategy_label s, r) ]
+            | _ -> assert false)
+      in
       let t =
         Analysis.Table.create
           ~columns:
@@ -755,13 +844,15 @@ let run_overload sessions kib relays budget_kib max_circuits arrival_ms seed
             Format.asprintf "%a" Engine.Units.pp_bytes r.relay_byte_hwm;
           ]
       in
-      row "circuitstart" c.circuit_start;
-      row "slowstart" c.slow_start;
+      List.iter (fun (label, r) -> row label r) rows;
       print_string (Analysis.Table.render t);
-      if verbose then
-        List.iter
-          (fun e -> Format.printf "%a@." Engine.Trace.pp_event e)
-          c.circuit_start.events;
+      (if verbose then
+         match rows with
+         | (_, (r : Workload.Overload_experiment.result)) :: _ ->
+             List.iter
+               (fun e -> Format.printf "%a@." Engine.Trace.pp_event e)
+               r.events
+         | [] -> ());
       `Ok ()
 
 let overload_cmd =
@@ -808,7 +899,8 @@ let overload_cmd =
     Term.(
       ret
         (const run_overload $ sessions $ bytes_arg 64 $ relays $ budget_kib
-       $ max_circuits $ arrival_ms $ seed_arg $ jobs_arg $ verbose))
+       $ max_circuits $ arrival_ms $ strategy_opt_arg $ seed_arg $ jobs_arg
+       $ verbose))
 
 (* ------------------------------------------------------------------ *)
 (* network *)
@@ -846,7 +938,7 @@ let network_flag_errors ~relays ~circuits ~lifetimes ~duration_s ~think_ms
     ]
 
 let run_network relays circuits lifetimes duration_s think_ms budget_kib
-    max_circuits shards seed jobs profile =
+    max_circuits shards strat seed jobs profile =
   match
     network_flag_errors ~relays ~circuits ~lifetimes ~duration_s ~think_ms
       ~budget_kib ~max_circuits
@@ -897,8 +989,28 @@ let run_network relays circuits lifetimes duration_s think_ms budget_kib
         `Ok ()
       end
       else begin
-        let c =
-          Workload.Network_experiment.compare_strategies ~jobs ~seed config
+        let comparison =
+          match strat with
+          | None ->
+              Some
+                (Workload.Network_experiment.compare_strategies ~jobs ~seed
+                   config)
+          | Some _ -> None
+        in
+        let rows =
+          match (comparison, strat) with
+          | Some c, _ ->
+              [ ("circuitstart", c.Workload.Network_experiment.circuit_start);
+                ("slowstart", c.slow_start); ("predictive", c.predictive) ]
+          | None, Some s -> (
+              match
+                Workload.Network_experiment.run_many ~jobs
+                  [ (seed,
+                     { config with Workload.Network_experiment.strategy = s }) ]
+              with
+              | [ r ] -> [ (strategy_label s, r) ]
+              | _ -> assert false)
+          | None, None -> assert false
         in
         let t =
           Analysis.Table.create
@@ -920,11 +1032,13 @@ let run_network relays circuits lifetimes duration_s think_ms budget_kib
               string_of_int r.peak_active;
             ]
         in
-        row "circuitstart" c.circuit_start;
-        row "slowstart" c.slow_start;
+        List.iter (fun (label, r) -> row label r) rows;
         print_string (Analysis.Table.render t);
-        network_gap ~better:c.circuit_start.ttlb_all
-          ~worse:c.slow_start.ttlb_all;
+        (match comparison with
+        | Some c ->
+            network_gap ~better:c.circuit_start.ttlb_all
+              ~worse:c.slow_start.ttlb_all
+        | None -> ());
         `Ok ()
       end
 
@@ -993,15 +1107,15 @@ let network_cmd =
     Term.(
       ret
         (const run_network $ relays $ circuits $ lifetimes $ duration
-       $ think_ms $ budget_kib $ max_circuits $ shards_arg $ seed_arg
-       $ jobs_arg $ profile))
+       $ think_ms $ budget_kib $ max_circuits $ shards_arg $ strategy_opt_arg
+       $ seed_arg $ jobs_arg $ profile))
 
 (* ------------------------------------------------------------------ *)
 (* churn-scale *)
 
 let run_churn_scale relays circuits lifetimes duration_s think_ms budget_kib
     max_circuits leave_rate join_rate crash_fraction grace_ms epoch_ms spares
-    shards seed jobs =
+    shards strat seed jobs =
   match
     network_flag_errors ~relays ~circuits ~lifetimes ~duration_s ~think_ms
       ~budget_kib ~max_circuits
@@ -1057,9 +1171,31 @@ let run_churn_scale relays circuits lifetimes duration_s think_ms budget_kib
             match Workload.Network_experiment.validate_config config with
             | Error msg -> `Error (false, msg)
             | Ok config ->
-                let c =
-                  Workload.Network_experiment.compare_strategies ~jobs ~seed
-                    config
+                let comparison =
+                  match strat with
+                  | None ->
+                      Some
+                        (Workload.Network_experiment.compare_strategies ~jobs
+                           ~seed config)
+                  | Some _ -> None
+                in
+                let rows =
+                  match (comparison, strat) with
+                  | Some c, _ ->
+                      [ ("circuitstart",
+                         c.Workload.Network_experiment.circuit_start);
+                        ("slowstart", c.slow_start);
+                        ("predictive", c.predictive) ]
+                  | None, Some s -> (
+                      match
+                        Workload.Network_experiment.run_many ~jobs
+                          [ (seed,
+                             { config with
+                               Workload.Network_experiment.strategy = s }) ]
+                      with
+                      | [ r ] -> [ (strategy_label s, r) ]
+                      | _ -> assert false)
+                  | None, None -> assert false
                 in
                 let t =
                   Analysis.Table.create
@@ -1084,12 +1220,11 @@ let run_churn_scale relays circuits lifetimes duration_s think_ms budget_kib
                       network_q r.ttlb_all 0.99;
                     ]
                 in
-                row "circuitstart" c.circuit_start;
-                row "slowstart" c.slow_start;
+                List.iter (fun (label, r) -> row label r) rows;
                 print_string (Analysis.Table.render t);
                 (* The schedule is seeded per strategy run, but each run
                    ends at its own goal time, so the counts can differ —
-                   print both. *)
+                   print each. *)
                 let schedule label (r : Workload.Network_experiment.result) =
                   Printf.printf
                     "churn (%s): %d departs (%d crashes, %d drains done), %d \
@@ -1097,10 +1232,12 @@ let run_churn_scale relays circuits lifetimes duration_s think_ms budget_kib
                     label r.churn_departs r.churn_crashes
                     r.churn_drains_completed r.churn_restarts r.churn_epochs
                 in
-                schedule "circuitstart" c.circuit_start;
-                schedule "slowstart" c.slow_start;
-                network_gap ~better:c.circuit_start.ttlb_all
-                  ~worse:c.slow_start.ttlb_all;
+                List.iter (fun (label, r) -> schedule label r) rows;
+                (match comparison with
+                | Some c ->
+                    network_gap ~better:c.circuit_start.ttlb_all
+                      ~worse:c.slow_start.ttlb_all
+                | None -> ());
                 `Ok ())
 
 let churn_scale_cmd =
@@ -1203,11 +1340,11 @@ let churn_scale_cmd =
         (const run_churn_scale $ relays $ circuits $ lifetimes $ duration
        $ think_ms $ budget_kib $ max_circuits $ leave_rate $ join_rate
        $ crash_fraction $ grace_ms $ epoch_ms $ spares $ shards_arg
-       $ seed_arg $ jobs_arg))
+       $ strategy_opt_arg $ seed_arg $ jobs_arg))
 
 (* ------------------------------------------------------------------ *)
 
-let run_check runs seed oracles kind replay out =
+let run_check runs seed oracles kind strategy replay out =
   if runs < 1 then `Error (false, "--runs must be positive")
   else
     let only =
@@ -1223,9 +1360,22 @@ let run_check runs seed oracles kind replay out =
                     overload, network or churn)"
                    k))
     in
-    match only with
-    | Error msg -> `Error (false, msg)
-    | Ok only -> (
+    let strat =
+      match strategy with
+      | None -> Ok None
+      | Some s -> (
+          match Check.Scenario.strategy_of_string s with
+          | Some parsed -> Ok (Some parsed)
+          | None ->
+              Error
+                (Printf.sprintf
+                   "--strategy: unknown strategy %S (want circuitstart, \
+                    slowstart or predictive)"
+                   s))
+    in
+    match (only, strat) with
+    | Error msg, _ | _, Error msg -> `Error (false, msg)
+    | Ok only, Ok strat -> (
         match Check.Oracle.selection_of_string oracles with
         | Error msg -> `Error (false, msg)
         | Ok selection -> (
@@ -1238,7 +1388,7 @@ let run_check runs seed oracles kind replay out =
                 | Ok false -> `Error (false, "replayed scenario fails"))
             | None ->
                 let report =
-                  Check.Harness.run ~selection ?only ?out ~runs ~seed ppf
+                  Check.Harness.run ~selection ?only ?strat ?out ~runs ~seed ppf
                 in
                 if report.Check.Harness.failures = [] then `Ok ()
                 else `Error (false, "invariant checks failed")))
@@ -1268,6 +1418,16 @@ let check_cmd =
              $(b,recovery), $(b,overload), $(b,network) or $(b,churn) \
              (default: the mixed population).")
   in
+  let strategy =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "strategy" ] ~docv:"STRATEGY"
+          ~doc:
+            "Pin every sampled scenario's startup strategy: \
+             $(b,circuitstart), $(b,slowstart) or $(b,predictive) \
+             (default: the mixed population).")
+  in
   let replay =
     Arg.(
       value
@@ -1290,7 +1450,10 @@ let check_cmd =
      determinism, and shrink any failure to a replayable line."
   in
   Cmd.v (Cmd.info "check" ~doc)
-    Term.(ret (const run_check $ runs $ seed_arg $ oracles $ kind $ replay $ out))
+    Term.(
+      ret
+        (const run_check $ runs $ seed_arg $ oracles $ kind $ strategy $ replay
+       $ out))
 
 let () =
   (* Fail fast on a malformed CIRCUITSTART_JOBS: [Pool.default_jobs]

@@ -27,6 +27,11 @@ dune exec bin/torsim.exe -- network --relays 100 --circuits 400 --lifetimes 2000
 echo "== churn smoke: torsim churn-scale (moving consensus, small) =="
 dune exec bin/torsim.exe -- churn-scale --relays 40 --circuits 200 --lifetimes 2000 --seed 7
 
+echo "== predictive smoke: torsim network --strategy predictive =="
+# The receding-horizon backend pinned end to end: a small
+# consensus-scale run must complete under the planner alone.
+dune exec bin/torsim.exe -- network --strategy predictive --relays 100 --circuits 400 --lifetimes 2000 --seed 7
+
 echo "== shard smoke: --shards 2 --jobs 2 byte-identical to --shards 1 =="
 # The sharded engine must compute the same result for every positive
 # shard count, whatever the domain count underneath.

@@ -266,11 +266,11 @@ let write_reproducers path failures =
     failures;
   close_out oc
 
-let run ?(selection = Oracle.all) ?only ?out ~runs ~seed ppf =
+let run ?(selection = Oracle.all) ?only ?strat ?out ~runs ~seed ppf =
   let failures = ref [] in
   let passed = ref [] in
   for index = 0 to runs - 1 do
-    let sc = Scenario.generate ?only ~seed ~index () in
+    let sc = Scenario.generate ?only ?strat ~seed ~index () in
     match check_scenario ~selection sc with
     | Ok d -> passed := (index, sc, d) :: !passed
     | Error reason ->

@@ -24,6 +24,7 @@ type report = { runs : int; seed : int; failures : failure list }
 val run :
   ?selection:Oracle.selection ->
   ?only:Scenario.kind ->
+  ?strat:Scenario.strategy ->
   ?out:string ->
   runs:int ->
   seed:int ->
@@ -33,9 +34,11 @@ val run :
     printing progress and failures to [ppf].  [selection] (default
     {!Oracle.all}) restricts the invariant oracles; [only] pins every
     sampled scenario to one kind ([torsim check --kind], e.g. a
-    churn-only nightly sweep); [out] names a file that receives one
-    shrunk reproducer line per failure (written only when there are
-    failures). *)
+    churn-only nightly sweep); [strat] pins every sampled scenario's
+    startup strategy ([torsim check --strategy], e.g. a
+    predictive-only nightly sweep); [out] names a file that receives
+    one shrunk reproducer line per failure (written only when there
+    are failures). *)
 
 val replay :
   ?selection:Oracle.selection ->

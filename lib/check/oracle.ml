@@ -220,6 +220,7 @@ let attach_sender t sim ~pos sender =
     in
     let prev = ref (Circuitstart.Controller.cwnd c) in
     let seen_exits = ref (Circuitstart.Controller.ramp_up_exits c) in
+    let seen_gen = ref (Circuitstart.Controller.plan_generation c) in
     Circuitstart.Controller.set_on_change c (fun ~now v ->
         let p = !prev in
         prev := v;
@@ -275,6 +276,50 @@ let attach_sender t sim ~pos sender =
                    "hop %d: slow-start ramp change %d -> %d is not +1" pos p v)
         | Circuitstart.Controller.Ramp_up, Circuitstart.Controller.Fixed _ ->
             fail (Printf.sprintf "hop %d: Fixed-window cwnd changed to %d" pos v)
+        | _, Circuitstart.Controller.Predictive ->
+            if Circuitstart.Controller.fallen_back c then begin
+              (* Fallback safety: once the model was unidentifiable the
+                 controller must behave as plain Vegas avoidance — never
+                 ramping again, never shrinking faster than one cell. *)
+              (match Circuitstart.Controller.phase c with
+              | Circuitstart.Controller.Ramp_up ->
+                  fail
+                    (Printf.sprintf
+                       "hop %d: predictive fell back but cwnd changed in \
+                        ramp-up (%d -> %d)"
+                       pos p v)
+              | Circuitstart.Controller.Avoidance -> ());
+              if v < p - 1 then
+                fail
+                  (Printf.sprintf
+                     "hop %d: fallback avoidance shrank by more than one: %d \
+                      -> %d"
+                     pos p v)
+            end
+            else begin
+              (* Plan-bounds law: every predictive window change is the
+                 head of the current plan, and plan-commit monotonicity:
+                 each commit carries a plan generation strictly newer
+                 than the last observed one (replan-before-commit, once
+                 per round). *)
+              let plan = Circuitstart.Controller.planned_trajectory c in
+              let g = Circuitstart.Controller.plan_generation c in
+              if Array.length plan = 0 then
+                fail (Printf.sprintf "hop %d: predictive change with no plan" pos)
+              else if v <> plan.(0) then
+                fail
+                  (Printf.sprintf
+                     "hop %d: predictive commit %d -> %d is not the plan's \
+                      first step (%d)"
+                     pos p v plan.(0));
+              if g <= !seen_gen then
+                fail
+                  (Printf.sprintf
+                     "hop %d: predictive commit without a fresh plan \
+                      (generation %d, last seen %d)"
+                     pos g !seen_gen);
+              seen_gen := g
+            end
         | Circuitstart.Controller.Avoidance, _ ->
             if v < p - 1 then
               fail

@@ -1,5 +1,5 @@
 type kind = Faults | Recovery | Overload | Network | Churn
-type strategy = Cs | Ss
+type strategy = Cs | Ss | Pr
 
 type t = {
   kind : kind;
@@ -64,7 +64,14 @@ let kind_of_string s =
   | "c" | "churn" -> Some Churn
   | _ -> None
 
-let strategy_code = function Cs -> "cs" | Ss -> "ss"
+let strategy_code = function Cs -> "cs" | Ss -> "ss" | Pr -> "pr"
+
+let strategy_of_string s =
+  match String.lowercase_ascii s with
+  | "cs" | "circuitstart" -> Some Cs
+  | "ss" | "slowstart" -> Some Ss
+  | "pr" | "predictive" -> Some Pr
+  | _ -> None
 
 let to_string t =
   let outage_down, outage_up =
@@ -140,6 +147,7 @@ let of_string line =
     match strat with
     | "cs" -> Ok Cs
     | "ss" -> Ok Ss
+    | "pr" -> Ok Pr
     | other -> Error (Printf.sprintf "scenario line: unknown strategy %S" other)
   in
   let* bottleneck_kbps = int "bn" in
@@ -339,7 +347,7 @@ let gen_kind (only : kind option) : t QCheck2.Gen.t =
   let* endpoint_kbps =
     frequency [ (2, pure 100_000); (1, int_range 8 48) ]
   in
-  let+ strategy = frequencyl [ (3, Cs); (1, Ss) ] in
+  let+ strategy = frequencyl [ (3, Cs); (1, Ss); (2, Pr) ] in
   let bottleneck_kbps, fast_kbps = rates_of_seed ~seed ~relays in
   let max_rebuilds = 3 in
   {
@@ -374,9 +382,13 @@ let gen_kind (only : kind option) : t QCheck2.Gen.t =
 
 let gen = gen_kind None
 
-let generate ?only ~seed ~index () =
+let generate ?only ?strat ~seed ~index () =
   let rand = Random.State.make [| 0x5eed; seed; index |] in
-  QCheck2.Gen.generate1 ~rand (gen_kind only)
+  let sc = QCheck2.Gen.generate1 ~rand (gen_kind only) in
+  (* Pinning the strategy overrides the sampled one after the fact, so
+     a pinned sweep visits the same worlds as the unpinned one — only
+     the controller under test changes. *)
+  match strat with None -> sc | Some s -> { sc with strategy = s }
 
 (* --- shrinking ---------------------------------------------------- *)
 
@@ -437,6 +449,7 @@ let shrink_candidates t =
     add { t with epoch_ms = Stdlib.max 500 (t.epoch_ms / 2) };
   if t.position > 1 then add { t with position = 1 };
   if t.strategy = Ss then add { t with strategy = Cs };
+  if t.strategy = Pr then add { t with strategy = Cs };
   (* Dropping to the classic engine is the biggest simplification, but
      a shard-differential failure needs shards > 0 to reproduce, so
      also offer the minimal sharded form. *)
@@ -467,6 +480,7 @@ let controller_strategy t =
   match t.strategy with
   | Cs -> Circuitstart.Controller.Circuit_start
   | Ss -> Circuitstart.Controller.Slow_start
+  | Pr -> Circuitstart.Controller.Predictive
 
 let fault_config t =
   if t.kind <> Faults then invalid_arg "Scenario.fault_config: not a fault scenario";

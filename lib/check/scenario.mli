@@ -19,12 +19,17 @@
     [torsim check --replay].  *)
 
 type kind = Faults | Recovery | Overload | Network | Churn
-type strategy = Cs | Ss
+type strategy = Cs | Ss | Pr
 
 val kind_of_string : string -> kind option
 (** Accepts the one-letter replay codes ([f]/[r]/[o]/[n]/[c]) and the
     full lowercase names; [None] otherwise.  Backs [torsim check
     --kind]. *)
+
+val strategy_of_string : string -> strategy option
+(** Accepts the replay codes ([cs]/[ss]/[pr]) and the full lowercase
+    names ([circuitstart]/[slowstart]/[predictive]); [None] otherwise.
+    Backs [torsim check --strategy]. *)
 
 type t = {
   kind : kind;
@@ -102,12 +107,16 @@ val gen_kind : kind option -> t QCheck2.Gen.t
 (** Like {!gen}, but [Some k] pins every scenario to kind [k] —
     the engine behind [torsim check --kind]. *)
 
-val generate : ?only:kind -> seed:int -> index:int -> unit -> t
+val generate :
+  ?only:kind -> ?strat:strategy -> seed:int -> index:int -> unit -> t
 (** The [index]-th scenario of master seed [seed] — deterministic, so
     [torsim check --runs N --seed S] samples the same scenarios on
     every machine.  [only] restricts generation to one kind (the
     per-kind stream is still deterministic, but distinct from the
-    unfiltered stream's subsequence of that kind). *)
+    unfiltered stream's subsequence of that kind).  [strat] pins the
+    startup strategy by overriding the sampled one, so a pinned sweep
+    visits the same worlds as the unpinned sweep with only the
+    controller changed (e.g. a predictive-only nightly pass). *)
 
 val shrink_candidates : t -> t list
 (** Structurally simpler variants, simplest-first: fewer bytes, no

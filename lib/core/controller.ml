@@ -1,5 +1,11 @@
-type strategy = Circuit_start | Slow_start | Fixed of int
+type strategy = Circuit_start | Slow_start | Fixed of int | Predictive
 type phase = Ramp_up | Avoidance
+
+(* Test hook: when set, a predictive commit takes the *last* step of
+   the planned trajectory instead of the first — the receding-horizon
+   discipline (plan H rounds, commit one) deliberately broken so the
+   plan-bounds oracle can prove it notices. *)
+let unsafe_disable_plan_bounds = ref false
 
 type t = {
   params : Params.t;
@@ -17,6 +23,10 @@ type t = {
   mutable acked_in_round : int;
   mutable round_rtt_sum : float;  (* seconds, for the round mean *)
   mutable round_rtt_min : float;  (* seconds, for the ramp-up exit test *)
+  mutable round_rtt_max : float;
+      (* seconds; [round_rtt_max = round_rtt_min] over a whole round is
+         the zero-variance signal that makes the predictive link model
+         unidentifiable. *)
   mutable round_started_at : Engine.Time.t option;
   (* Delivery rate of the previous ramp-up round plus consecutive-round
      counters for the exit decision — the ramp ends when the feedback
@@ -51,6 +61,16 @@ type t = {
   mutable rate_history_idx : int;
   mutable round_count1_max : int;  (* best 1-RTT feedback count this round *)
   mutable samples_total : int;
+  (* Predictive strategy: the receding-horizon plan.  Preallocated at
+     [horizon] length and refilled in place once per round — planning
+     never touches the per-feedback hot path, and committing the first
+     step allocates nothing. *)
+  plan : int array;
+  mutable plan_generation : int;
+  mutable fallen_back : bool;
+      (* Permanent: the model was unidentifiable at a planning instant
+         (or [horizon = 1] left nothing to plan) and the controller
+         degenerated to plain Vegas avoidance. *)
   (* Change hooks, fired in registration order: the transfer's cwnd
      tracer and the invariant oracles can observe independently. *)
   mutable on_change : (now:Engine.Time.t -> int -> unit) list;
@@ -72,6 +92,11 @@ let create ?(params = Params.default) strategy =
         if n < 1 then invalid_arg "Controller.create: Fixed window must be positive";
         (n, Avoidance)
     | Circuit_start | Slow_start -> (params.initial_cwnd, Ramp_up)
+    | Predictive ->
+        (* A one-step horizon cannot plan a trajectory: the strategy
+           degenerates to reactive Vegas avoidance from the start. *)
+        if params.horizon <= 1 then (params.initial_cwnd, Avoidance)
+        else (params.initial_cwnd, Ramp_up)
   in
   {
     params;
@@ -85,6 +110,7 @@ let create ?(params = Params.default) strategy =
     acked_in_round = 0;
     round_rtt_sum = 0.;
     round_rtt_min = Float.infinity;
+    round_rtt_max = 0.;
     round_started_at = None;
     prev_rate = None;
     stall_rounds = 0;
@@ -101,6 +127,12 @@ let create ?(params = Params.default) strategy =
     rate_history_idx = 0;
     round_count1_max = 0;
     samples_total = 0;
+    plan =
+      (match strategy with
+      | Predictive -> Array.make params.horizon cwnd
+      | Circuit_start | Slow_start | Fixed _ -> [||]);
+    plan_generation = 0;
+    fallen_back = (strategy = Predictive && params.horizon <= 1);
     on_change = [];
     debug_label = "?";
   }
@@ -117,17 +149,84 @@ let exit_cwnd t = t.exit_cwnd
 let exit_acked t = t.exit_acked
 let acked_in_round t = t.acked_in_round
 let round_target t = t.round_target
+let planned_trajectory t = Array.copy t.plan
+let plan_generation t = t.plan_generation
+let fallen_back t = t.fallen_back
 let set_on_change t f = t.on_change <- t.on_change @ [ f ]
 let set_debug_label t label = t.debug_label <- label
 
 let send_allowance t =
   match (t.phase, t.strategy) with
-  | Ramp_up, Circuit_start ->
-      (* Feedback-clocked doubling: each feedback admits the cell it
+  | Ramp_up, (Circuit_start | Predictive) ->
+      (* Feedback-clocked growth: each feedback admits the cell it
          freed plus one growth cell, so the round's train leaves at 2x
-         the feedback pace rather than as a line-rate burst. *)
+         the feedback pace rather than as a line-rate burst.  The
+         predictive plan never commits more than a doubling per round
+         (the candidate set tops out at 2w), so the same interpolation
+         paces its ramp. *)
       Stdlib.min t.cwnd (t.round_base + (2 * t.acked_in_round))
   | Ramp_up, (Slow_start | Fixed _) | Avoidance, _ -> t.cwnd
+
+(* --- Predictive strategy: receding-horizon planning ------------------
+
+   Once per window-limited round the controller fits a two-parameter
+   link model from its own observations — baseRtt (the propagation
+   floor already tracked for Vegas) and the bottleneck rate estimate
+   W* = recent_peak_rate_cells (the sustained 1-RTT feedback peak, the
+   same estimator Rate_based compensation uses) — and plans the next
+   [horizon] rounds' windows by greedily minimizing, step by step, a
+   quadratic queue-delay / underutilization cost against a target
+   window derived from the model.  Only the plan's first step is
+   committed; the next round refits and replans from scratch.  While
+   probing (ramp-up) the target is 2·W*: the rate estimate only lower-
+   bounds capacity until a queue is seen, so the planner aims past it,
+   which reproduces doubling while the path keeps opening.  Once
+   capacity is identified the target is W* itself — the planner walks
+   the window down to the modelled BDP, faster than Vegas's -1/round
+   when the overshoot is deep. *)
+
+(* One greedy planning step: pick, from the discrete candidate moves
+   {halve, -1, hold, +1, double}, the window minimizing the step cost
+     cost_queue·max(0, w - target)² + cost_under·max(0, target - w)².
+   Candidates are considered in ascending order with a strict
+   comparison, so ties break toward the smaller (safer) window. *)
+let plan_step ~min_cwnd ~max_cwnd ~cost_queue ~cost_under ~target w =
+  let clamp v = Stdlib.min max_cwnd (Stdlib.max min_cwnd v) in
+  let cost c =
+    let over = float_of_int (Stdlib.max 0 (c - target)) in
+    let under = float_of_int (Stdlib.max 0 (target - c)) in
+    (cost_queue *. over *. over) +. (cost_under *. under *. under)
+  in
+  let best = ref (clamp (w / 2)) in
+  let best_cost = ref (cost !best) in
+  let consider v =
+    let c = clamp v in
+    let k = cost c in
+    if k < !best_cost then begin
+      best := c;
+      best_cost := k
+    end
+  in
+  consider (w - 1);
+  consider w;
+  consider (w + 1);
+  consider (2 * w);
+  !best
+
+let fill_plan ~params ~target ~cwnd plan =
+  let w = ref cwnd in
+  for i = 0 to Array.length plan - 1 do
+    w :=
+      plan_step ~min_cwnd:params.Params.min_cwnd ~max_cwnd:params.Params.max_cwnd
+        ~cost_queue:params.Params.cost_queue ~cost_under:params.Params.cost_under
+        ~target !w;
+    plan.(i) <- !w
+  done
+
+let predictive_plan ~params ~cwnd ~target =
+  let plan = Array.make (Stdlib.max 1 params.Params.horizon) cwnd in
+  fill_plan ~params ~target ~cwnd plan;
+  plan
 
 let set_cwnd t ~now v =
   let v = Stdlib.min t.params.max_cwnd (Stdlib.max t.params.min_cwnd v) in
@@ -142,6 +241,7 @@ let start_round ?now t =
   t.acked_in_round <- 0;
   t.round_rtt_sum <- 0.;
   t.round_rtt_min <- Float.infinity;
+  t.round_rtt_max <- 0.;
   t.round_started_at <- now;
   t.round_count1_max <- 0;
   t.limited_in_round <- false
@@ -241,6 +341,36 @@ let compensated_cwnd t ~now =
   | Params.Acked_count -> t.acked_in_round
   | Params.Rate_based -> recent_peak_rate_cells t ~now
 
+(* The predictive link model is identifiable only when the round that
+   feeds it carried enough signal: at least two RTT samples whose
+   values actually differ (a zero-variance round cannot separate
+   propagation delay from queueing) and a nonzero rate estimate.
+   Anything less triggers the hard fallback to Vegas avoidance. *)
+let model_identifiable t ~now =
+  t.acked_in_round >= 2
+  && t.round_rtt_max > t.round_rtt_min
+  && recent_peak_rate_cells t ~now >= 1
+
+(* Refit, replan in place, and commit the plan's first step.  The
+   generation bumps *before* the commit so a change hook (the cwnd-law
+   oracle) always observes a fresh plan whose head equals the committed
+   window. *)
+let plan_and_commit t ~now ~target =
+  let target =
+    Stdlib.min t.params.max_cwnd (Stdlib.max t.params.min_cwnd target)
+  in
+  fill_plan ~params:t.params ~target ~cwnd:t.cwnd t.plan;
+  t.plan_generation <- t.plan_generation + 1;
+  let committed =
+    if !unsafe_disable_plan_bounds then t.plan.(Array.length t.plan - 1)
+    else t.plan.(0)
+  in
+  if debug then
+    Printf.eprintf "[%8.1fms] %s plan#%d target=%d commit %d -> %d\n"
+      (Engine.Time.to_ms_f now) t.debug_label t.plan_generation target t.cwnd
+      committed;
+  set_cwnd t ~now committed
+
 (* Ramp-up exit decision, evaluated at round boundaries.
 
    Two signals combine.  (1) The Vegas queue estimate of the paper,
@@ -293,6 +423,51 @@ let should_exit_ramp_up t ~now =
       diff_mean t.stall_rounds t.queue_rounds;
   t.queue_rounds >= 2 || t.stall_rounds >= 3
 
+(* Predictive ramp-up round end.  The exit decision reuses the
+   CircuitStart persistence test (two queueing rounds or three stalled
+   rounds) — what differs is how the window moves: the planner commits
+   the first step of a receding-horizon trajectory toward 2·W* while
+   probing, and toward W* itself on exit, instead of doubling and then
+   compensating. *)
+let predictive_ramp_round_end t ~now =
+  if not (model_identifiable t ~now) then begin
+    if debug then
+      Printf.eprintf "[%8.1fms] %s FALLBACK: model unidentifiable\n"
+        (Engine.Time.to_ms_f now) t.debug_label;
+    t.fallen_back <- true;
+    leave_ramp_up t ~now ~new_cwnd:t.cwnd ~recalibrate:false
+  end
+  else begin
+    let w_star = recent_peak_rate_cells t ~now in
+    if should_exit_ramp_up t ~now then begin
+      (* Capacity identified: plan down to the modelled BDP.  Mirrors
+         [leave_ramp_up]'s bookkeeping, with the committed window taken
+         from the plan instead of the compensation estimate. *)
+      t.exits <- t.exits + 1;
+      if t.exit_acked = None then t.exit_acked <- Some t.acked_in_round;
+      plan_and_commit t ~now ~target:w_star;
+      if t.exit_cwnd = None then t.exit_cwnd <- Some t.cwnd;
+      t.phase <- Avoidance;
+      t.recalibrate <- 0;
+      t.calm_rounds <- 0;
+      t.prev_rate <- None;
+      t.stall_rounds <- 0;
+      t.queue_rounds <- 0;
+      start_round ~now t
+    end
+    else begin
+      t.rounds <- t.rounds + 1;
+      let base = t.cwnd in
+      plan_and_commit t ~now ~target:(2 * w_star);
+      start_round ~now t;
+      (* Same pacing convention as [double_round]: one round = the
+         flight at the round's start; the allowance interpolates from
+         it up to the committed window. *)
+      t.round_base <- base;
+      t.round_target <- base
+    end
+  end
+
 let ramp_up_round_end t ~now =
   if not t.limited_in_round then begin
     t.rounds <- t.rounds + 1;
@@ -307,6 +482,7 @@ let ramp_up_round_end t ~now =
             ~new_cwnd:(compensated_cwnd t ~now)
             ~recalibrate:(t.params.compensation = Params.Rate_based)
         else double_round t ~now
+    | Predictive -> predictive_ramp_round_end t ~now
     | Slow_start ->
         (* The conventional baseline's exit happens per sample (see
            [ramp_up_feedback]); reaching the round boundary just rolls
@@ -330,7 +506,7 @@ let ramp_up_feedback t ~now ~diff_sample =
         if t.limited_in_round then set_cwnd t ~now (t.cwnd + 1);
         if t.acked_in_round >= t.round_target then ramp_up_round_end t ~now
       end
-  | Circuit_start | Fixed _ ->
+  | Circuit_start | Fixed _ | Predictive ->
       if t.acked_in_round >= t.round_target then ramp_up_round_end t ~now)
 
 let avoidance_round_end t ~now =
@@ -353,7 +529,29 @@ let avoidance_round_end t ~now =
   else begin
   (match t.strategy with
   | Fixed _ -> ()
-  | Circuit_start | Slow_start ->
+  | Predictive when not t.fallen_back ->
+      (* Avoidance keeps replanning: refit every round and commit the
+         plan's first step.  A queue signal retargets to the modelled
+         BDP (never less than a one-cell shrink), calm window-limited
+         rounds probe one cell like Vegas, and an unidentifiable round
+         triggers the permanent fallback. *)
+      t.calm_rounds <- 0;
+      if not (model_identifiable t ~now) then begin
+        if debug then
+          Printf.eprintf "[%8.1fms] %s FALLBACK: model unidentifiable\n"
+            (Engine.Time.to_ms_f now) t.debug_label;
+        t.fallen_back <- true
+      end
+      else begin
+        let w_star = recent_peak_rate_cells t ~now in
+        let target =
+          if diff > t.params.beta then Stdlib.min w_star (t.cwnd - 1)
+          else if diff < t.params.alpha && t.limited_in_round then t.cwnd + 1
+          else t.cwnd
+        in
+        plan_and_commit t ~now ~target
+      end
+  | Circuit_start | Slow_start | Predictive ->
       if diff > t.params.beta then begin
         set_cwnd t ~now (t.cwnd - 1);
         t.calm_rounds <- 0
@@ -366,7 +564,9 @@ let avoidance_round_end t ~now =
   if
     t.params.adaptive
     && t.calm_rounds >= t.params.re_probe_after
-    && (match t.strategy with Circuit_start | Slow_start -> true | Fixed _ -> false)
+    && (match t.strategy with
+       | Circuit_start | Slow_start -> true
+       | Fixed _ | Predictive -> false)
   then enter_ramp_up t ~now
   else start_round ~now t
   end
@@ -404,6 +604,7 @@ let on_feedback t ~now ~rtt ?(window_limited = true) () =
   let rtt_s = Engine.Time.to_sec_f rtt in
   t.round_rtt_sum <- t.round_rtt_sum +. rtt_s;
   if rtt_s < t.round_rtt_min then t.round_rtt_min <- rtt_s;
+  if rtt_s > t.round_rtt_max then t.round_rtt_max <- rtt_s;
   match t.phase with
   | Ramp_up ->
       let diff_sample = vegas_diff t ~rtt_s in

@@ -26,6 +26,25 @@
       CircuitStart"): cwnd += 1 per feedback (continuous doubling per
       RTT), same [gamma] exit test, and the cwnd is *halved* on exit.
     - {!strategy.Fixed} — a constant window (oracle/ablation baseline).
+    - {!strategy.Predictive} — a simplified receding-horizon planner
+      after the authors' follow-up work (Döpmann et al. 2022).  Once
+      per window-limited round it fits a link model from its own
+      observations (baseRtt and W*, the sustained 1-RTT feedback-rate
+      peak) and plans the next {!Params.t.horizon} rounds' windows by
+      greedily minimizing a quadratic queue-delay vs. underutilization
+      cost ({!Params.t.cost_queue} / {!Params.t.cost_under}) over the
+      discrete moves [{halve, -1, hold, +1, double}], committing only
+      the plan's first step and replanning every round.  Ramp-up
+      targets 2·W* (capacity is only lower-bounded until a queue is
+      seen, so doubling re-emerges while the path opens); the
+      CircuitStart persistence test then identifies capacity and the
+      planner walks the window to W*.  Avoidance keeps replanning,
+      which can shrink a deep overshoot faster than Vegas's one cell
+      per round.  If the model is ever unidentifiable at a planning
+      instant (fewer than two samples in the round, zero RTT variance,
+      no rate estimate) — or if [horizon = 1] leaves nothing to plan —
+      the controller *permanently* falls back to plain Vegas
+      avoidance ({!fallen_back}).
 
     After ramp-up every strategy performs Vegas-like congestion
     avoidance, adjusting once per round using the round's mean RTT:
@@ -40,6 +59,7 @@ type strategy =
   | Circuit_start
   | Slow_start
   | Fixed of int  (** Constant window of this many cells. *)
+  | Predictive  (** Receding-horizon planner; see above. *)
 
 type phase = Ramp_up | Avoidance
 
@@ -57,10 +77,10 @@ val cwnd : t -> int
 
 val send_allowance : t -> int
 (** How many cells may be in flight right now, [<= cwnd].  During a
-    [Circuit_start] ramp-up round this grows from the previous
-    window's worth by two cells per feedback until it reaches the
-    doubled [cwnd]; in every other phase/strategy it equals [cwnd].
-    Senders must gate on this, not on [cwnd]. *)
+    [Circuit_start] or [Predictive] ramp-up round this grows from the
+    previous window's worth by two cells per feedback until it reaches
+    the committed [cwnd]; in every other phase/strategy it equals
+    [cwnd].  Senders must gate on this, not on [cwnd]. *)
 
 val phase : t -> phase
 
@@ -98,6 +118,36 @@ val acked_in_round : t -> int
 
 val round_target : t -> int
 (** Feedback count that ends the current round. *)
+
+val planned_trajectory : t -> int array
+(** Snapshot of the current receding-horizon plan ([horizon] windows,
+    the head being the committed step).  Empty unless the strategy is
+    [Predictive].  Before the first planning instant it holds the
+    initial window. *)
+
+val plan_generation : t -> int
+(** Bumped once per replan, *before* the commit fires the change
+    hooks: a hook observing a [Predictive] window change must see a
+    generation strictly greater than at the previous change, and the
+    new window must equal [planned_trajectory.(0)] — the plan-bounds
+    law the {!Check} oracles pin. *)
+
+val fallen_back : t -> bool
+(** Whether the [Predictive] controller has permanently degenerated to
+    plain Vegas avoidance (unidentifiable model, or [horizon = 1]).
+    Always [false] for other strategies. *)
+
+val predictive_plan : params:Params.t -> cwnd:int -> target:int -> int array
+(** The pure planner behind [Predictive], exposed for the reference-
+    model property tests: the greedy minimum-cost [horizon]-step
+    trajectory from [cwnd] toward [target] over the discrete moves
+    [{halve, -1, hold, +1, double}], each step clamped to
+    [min_cwnd..max_cwnd], ties broken toward the smaller window. *)
+
+val unsafe_disable_plan_bounds : bool ref
+(** Test hook: commit the *last* planned step instead of the first,
+    breaking the receding-horizon discipline so the plan-bounds oracle
+    can prove it notices.  Never set this outside the test suite. *)
 
 val set_on_change : t -> (now:Engine.Time.t -> int -> unit) -> unit
 (** Register a hook invoked with the new window on every subsequent

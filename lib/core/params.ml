@@ -10,6 +10,9 @@ type t = {
   compensation : compensation;
   adaptive : bool;
   re_probe_after : int;
+  horizon : int;
+  cost_queue : float;
+  cost_under : float;
 }
 
 let default =
@@ -23,6 +26,9 @@ let default =
     compensation = Rate_based;
     adaptive = false;
     re_probe_after = 8;
+    horizon = 8;
+    cost_queue = 1.;
+    cost_under = 4.;
   }
 
 let validate t =
@@ -36,11 +42,18 @@ let validate t =
   else if not (Float.is_finite t.beta) || t.beta < t.alpha then
     Error "beta must be at least alpha"
   else if t.re_probe_after < 1 then Error "re_probe_after must be positive"
+  else if t.horizon < 1 then Error "horizon must be positive"
+  else if not (Float.is_finite t.cost_queue) || t.cost_queue <= 0. then
+    Error "cost_queue must be positive"
+  else if not (Float.is_finite t.cost_under) || t.cost_under <= 0. then
+    Error "cost_under must be positive"
   else Ok t
 
 let with_gamma t gamma = { t with gamma }
 
 let pp fmt t =
   Format.fprintf fmt
-    "initial=%d min=%d max=%d gamma=%.1f alpha=%.1f beta=%.1f adaptive=%b" t.initial_cwnd
-    t.min_cwnd t.max_cwnd t.gamma t.alpha t.beta t.adaptive
+    "initial=%d min=%d max=%d gamma=%.1f alpha=%.1f beta=%.1f adaptive=%b \
+     horizon=%d cq=%.1f cu=%.1f"
+    t.initial_cwnd t.min_cwnd t.max_cwnd t.gamma t.alpha t.beta t.adaptive
+    t.horizon t.cost_queue t.cost_under

@@ -46,6 +46,21 @@ type t = {
           record both behaviours. *)
   re_probe_after : int;
       (** Calm-round threshold for the adaptive re-probe.  Default 8. *)
+  horizon : int;
+      (** Predictive strategy: receding-horizon length H — the planner
+          evaluates H future rounds and commits only the first step.
+          [horizon = 1] cannot plan a trajectory and degenerates to
+          plain Vegas avoidance (see {!Controller}).  Default 8. *)
+  cost_queue : float;
+      (** Predictive strategy: per-round quadratic penalty weight on
+          planned cells *above* the modelled target window (standing
+          queue delay).  Default 1. *)
+  cost_under : float;
+      (** Predictive strategy: per-round quadratic penalty weight on
+          planned cells *below* the target (underutilized capacity).
+          The default 4:1 ratio against [cost_queue] makes the planner
+          prefer a transient queue over an idle bottleneck during
+          startup, mirroring the paper's aggressive-ramp intent. *)
 }
 
 val default : t
@@ -53,7 +68,8 @@ val default : t
 val validate : t -> (t, string) result
 (** Check internal consistency (positive windows,
     [min_cwnd <= initial_cwnd <= max_cwnd], [0 <= alpha <= beta],
-    [gamma > 0], [re_probe_after > 0]). *)
+    [gamma > 0], [re_probe_after > 0], [horizon > 0], positive finite
+    cost weights). *)
 
 val with_gamma : t -> float -> t
 (** [with_gamma p g] is [p] with [gamma = g]. *)

@@ -252,7 +252,11 @@ let run ?(seed = 42) ?probe config =
 let run_many ?jobs tasks =
   Engine.Pool.map_list ?jobs (fun (seed, config) -> run ~seed config) tasks
 
-type comparison = { circuit_start : result; slow_start : result }
+type comparison = {
+  circuit_start : result;
+  slow_start : result;
+  predictive : result;
+}
 
 (* Paired runs: the same seed drives both, so both strategies face a
    byte-identical network and the very same fault schedule — any
@@ -264,9 +268,11 @@ let compare_strategies ?jobs ?(seed = 42) config =
       [
         (seed, { config with strategy = Circuitstart.Controller.Circuit_start });
         (seed, { config with strategy = Circuitstart.Controller.Slow_start });
+        (seed, { config with strategy = Circuitstart.Controller.Predictive });
       ]
   with
-  | [ circuit_start; slow_start ] -> { circuit_start; slow_start }
+  | [ circuit_start; slow_start; predictive ] ->
+      { circuit_start; slow_start; predictive }
   | _ -> assert false
 
 let pp_result fmt r =

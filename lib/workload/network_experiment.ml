@@ -584,18 +584,50 @@ let round st i p =
         if cwnd >= bdp then begin
           st.circ.(p + f_phase) <- phase_steady;
           match st.config.strategy with
-          | Circuitstart.Controller.Circuit_start -> bdp
+          | Circuitstart.Controller.Circuit_start
+          | Circuitstart.Controller.Predictive ->
+              bdp
           | Circuitstart.Controller.Slow_start ->
               let h = cwnd / 2 in
               if h < 1 then 1 else h
           | Circuitstart.Controller.Fixed _ -> cwnd
         end
-        else
-          let d = cwnd * 2 in
-          if d > st.config.cwnd_cap then st.config.cwnd_cap else d
-      else if cwnd < bdp then cwnd + 1
-      else if cwnd > bdp then cwnd - 1
-      else cwnd
+        else begin
+          match st.config.strategy with
+          | Circuitstart.Controller.Predictive ->
+              (* Round-level receding horizon: the per-round bdp *is*
+                 the fitted model here, so the committed first step is
+                 the doubling capped at the modelled target — the ramp
+                 approaches capacity without overshooting past it. *)
+              let d = cwnd * 2 in
+              let d = if d > bdp then bdp else d in
+              if d > st.config.cwnd_cap then st.config.cwnd_cap else d
+          | Circuitstart.Controller.Circuit_start
+          | Circuitstart.Controller.Slow_start
+          | Circuitstart.Controller.Fixed _ ->
+              let d = cwnd * 2 in
+              if d > st.config.cwnd_cap then st.config.cwnd_cap else d
+        end
+      else begin
+        match st.config.strategy with
+        | Circuitstart.Controller.Predictive ->
+            (* Steady state replans every round: step half the gap to
+               the current bdp (at least one cell), converging in
+               O(log gap) rounds where the reactive tracker walks. *)
+            if cwnd < bdp then
+              let g = (bdp - cwnd) / 2 in
+              cwnd + (if g < 1 then 1 else g)
+            else if cwnd > bdp then
+              let g = (cwnd - bdp) / 2 in
+              cwnd - (if g < 1 then 1 else g)
+            else cwnd
+        | Circuitstart.Controller.Circuit_start
+        | Circuitstart.Controller.Slow_start
+        | Circuitstart.Controller.Fixed _ ->
+            if cwnd < bdp then cwnd + 1
+            else if cwnd > bdp then cwnd - 1
+            else cwnd
+      end
     in
     if cwnd' <> cwnd then begin
       let delta = cwnd' - cwnd in
@@ -767,7 +799,7 @@ let try_arrival st i =
           Stdlib.min st.config.cwnd_cap (Stdlib.max 1 w);
         st.circ.(p + f_phase) <- phase_fixed
     | Circuitstart.Controller.Circuit_start | Circuitstart.Controller.Slow_start
-      ->
+    | Circuitstart.Controller.Predictive ->
         st.circ.(p + f_cwnd) <- st.config.initial_cwnd;
         st.circ.(p + f_phase) <- phase_ramp);
     st.circ.(p + f_kind) <- (if elephant then 1 else 0);
@@ -1263,7 +1295,11 @@ let run_instrumented ?(seed = 42) config =
 let run_many ?jobs tasks =
   Engine.Pool.map_list ?jobs (fun (seed, config) -> run ~seed config) tasks
 
-type comparison = { circuit_start : result; slow_start : result }
+type comparison = {
+  circuit_start : result;
+  slow_start : result;
+  predictive : result;
+}
 
 (* Paired on the seed: identical population, arrival schedule, path and
    size draws — the curves differ only through the startup strategy's
@@ -1274,9 +1310,11 @@ let compare_strategies ?jobs ?(seed = 42) config =
       [
         (seed, { config with strategy = Circuitstart.Controller.Circuit_start });
         (seed, { config with strategy = Circuitstart.Controller.Slow_start });
+        (seed, { config with strategy = Circuitstart.Controller.Predictive });
       ]
   with
-  | [ circuit_start; slow_start ] -> { circuit_start; slow_start }
+  | [ circuit_start; slow_start; predictive ] ->
+      { circuit_start; slow_start; predictive }
   | _ -> assert false
 
 let q sk qq =

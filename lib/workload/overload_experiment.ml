@@ -286,7 +286,11 @@ let run ?(seed = 42) ?probe ?relay_probe config =
 let run_many ?jobs tasks =
   Engine.Pool.map_list ?jobs (fun (seed, config) -> run ~seed config) tasks
 
-type comparison = { circuit_start : result; slow_start : result }
+type comparison = {
+  circuit_start : result;
+  slow_start : result;
+  predictive : result;
+}
 
 (* Paired on the seed: both strategies face the identical arrival
    schedule and path draws — refusal rate, OOM kills and goodput differ
@@ -298,9 +302,11 @@ let compare_strategies ?jobs ?(seed = 42) config =
       [
         (seed, { config with strategy = Circuitstart.Controller.Circuit_start });
         (seed, { config with strategy = Circuitstart.Controller.Slow_start });
+        (seed, { config with strategy = Circuitstart.Controller.Predictive });
       ]
   with
-  | [ circuit_start; slow_start ] -> { circuit_start; slow_start }
+  | [ circuit_start; slow_start; predictive ] ->
+      { circuit_start; slow_start; predictive }
   | _ -> assert false
 
 let pp_result fmt r =

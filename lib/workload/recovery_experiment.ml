@@ -245,7 +245,11 @@ let run ?(seed = 42) ?probe config =
 let run_many ?jobs tasks =
   Engine.Pool.map_list ?jobs (fun (seed, config) -> run ~seed config) tasks
 
-type comparison = { circuit_start : result; slow_start : result }
+type comparison = {
+  circuit_start : result;
+  slow_start : result;
+  predictive : result;
+}
 
 (* Paired on the seed: both strategies draw the same paths, suffer the
    same crash, and differ only in how fast their windows open — the
@@ -256,9 +260,11 @@ let compare_strategies ?jobs ?(seed = 42) config =
       [
         (seed, { config with strategy = Circuitstart.Controller.Circuit_start });
         (seed, { config with strategy = Circuitstart.Controller.Slow_start });
+        (seed, { config with strategy = Circuitstart.Controller.Predictive });
       ]
   with
-  | [ circuit_start; slow_start ] -> { circuit_start; slow_start }
+  | [ circuit_start; slow_start; predictive ] ->
+      { circuit_start; slow_start; predictive }
   | _ -> assert false
 
 let pp_result fmt r =

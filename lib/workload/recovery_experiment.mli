@@ -109,11 +109,15 @@ val run_many : ?jobs:int -> (int * config) list -> result list
     Results are in task order and byte-identical to mapping {!run}
     sequentially. *)
 
-type comparison = { circuit_start : result; slow_start : result }
+type comparison = {
+  circuit_start : result;
+  slow_start : result;
+  predictive : result;
+}
 
 val compare_strategies : ?jobs:int -> ?seed:int -> config -> comparison
-(** Run the config twice with the same seed (default 42) — once per
-    startup strategy — so both face the identical crash schedule.  The
-    config's own [strategy] field is ignored. *)
+(** Run the config three times with the same seed (default 42) — once
+    per startup strategy — so all face the identical crash schedule.
+    The config's own [strategy] field is ignored. *)
 
 val pp_result : Format.formatter -> result -> unit

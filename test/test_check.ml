@@ -311,6 +311,109 @@ let test_disabled_budget_is_caught () =
   | Ok false -> Alcotest.fail "reproducer still fails with enforcement restored"
   | Error e -> Alcotest.fail e
 
+(* Acceptance criterion for the predictive controller, mirroring the
+   PR-4 test: breaking the receding-horizon discipline (flipping
+   [Circuitstart.Controller.unsafe_disable_plan_bounds] makes a commit
+   take the plan's *last* step instead of its first) must make the
+   cwnd-law oracle fail on a predictive scenario, and the failure must
+   shrink to a replayable reproducer.  The flip is invisible while
+   every plan is flat (a target one step away plans [t; t; ...]), so
+   the crafted scenario needs a deep ramp overshoot: the exit then
+   plans a multi-step descent toward W* and the flipped commit skips
+   straight to the tail. *)
+let plan_prone =
+  { stale_prone with
+    Check.Scenario.strategy = Check.Scenario.Pr;
+    seed = 2;
+    bytes = 64 * 1024;
+    bottleneck_kbps = 500;
+    fast_kbps = 10_000;
+    endpoint_kbps = 100_000;
+  }
+
+let find_failing_plan () =
+  if Result.is_error (check plan_prone) then Some plan_prone
+  else
+    let rec go index =
+      if index >= 40 then None
+      else
+        let sc =
+          Check.Scenario.generate ~strat:Check.Scenario.Pr ~seed:42 ~index ()
+        in
+        if Result.is_error (check sc) then Some sc else go (index + 1)
+    in
+    go 0
+
+let test_disabled_plan_bounds_is_caught () =
+  Circuitstart.Controller.unsafe_disable_plan_bounds := true;
+  let line =
+    Fun.protect
+      ~finally:(fun () ->
+        Circuitstart.Controller.unsafe_disable_plan_bounds := false)
+      (fun () ->
+        match find_failing_plan () with
+        | None ->
+            Alcotest.fail
+              "no scenario tripped the oracles with plan bounds off"
+        | Some sc ->
+            (match check sc with
+            | Ok _ -> Alcotest.fail "scenario stopped failing on re-run"
+            | Error reason ->
+                Alcotest.(check bool)
+                  (Printf.sprintf "plan law named in: %s" reason)
+                  true
+                  (contains ~needle:"predictive" reason));
+            (* The failure shrinks to a line that still fails on replay. *)
+            let shrunk = Check.Harness.shrink ~selection sc in
+            let line = Check.Scenario.to_string shrunk in
+            let buf = Buffer.create 256 in
+            let ppf = Format.formatter_of_buffer buf in
+            (match Check.Harness.replay ~selection line ppf with
+            | Ok false -> ()
+            | Ok true -> Alcotest.fail "shrunk reproducer passed on replay"
+            | Error e -> Alcotest.fail e);
+            line)
+  in
+  (* Discipline restored: the very same reproducer is law-abiding. *)
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  match Check.Harness.replay ~selection line ppf with
+  | Ok true -> ()
+  | Ok false -> Alcotest.fail "reproducer still fails with the guard restored"
+  | Error e -> Alcotest.fail e
+
+(* The --strategy dimension of the codec: "strat=pr" lines round-trip
+   (the round-trip property already samples Pr), the CLI spellings
+   parse, and a pinned generation stream really is the unpinned stream
+   with only the strategy overridden. *)
+let test_strategy_dimension () =
+  List.iter
+    (fun (s, want) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%S parses" s)
+        true
+        (Check.Scenario.strategy_of_string s = want))
+    [
+      ("cs", Some Check.Scenario.Cs);
+      ("circuitstart", Some Check.Scenario.Cs);
+      ("ss", Some Check.Scenario.Ss);
+      ("slowstart", Some Check.Scenario.Ss);
+      ("pr", Some Check.Scenario.Pr);
+      ("predictive", Some Check.Scenario.Pr);
+      ("bogus", None);
+    ];
+  for index = 0 to 9 do
+    let free = Check.Scenario.generate ~seed:42 ~index () in
+    let pinned =
+      Check.Scenario.generate ~strat:Check.Scenario.Pr ~seed:42 ~index ()
+    in
+    Alcotest.(check bool) "pinned strategy" true
+      (pinned.Check.Scenario.strategy = Check.Scenario.Pr);
+    Alcotest.(check bool) "same world otherwise" true
+      (Check.Scenario.equal pinned
+         { free with Check.Scenario.strategy = Check.Scenario.Pr })
+  done
+
 (* The oracles in the harness agree with the per-jobs differential used
    by the pool tests: run one scenario's config through the shared
    jobs-determinism helper as well, tying the two harnesses together. *)
@@ -360,6 +463,7 @@ let () =
             test_replay_rejects_invalid_config;
           Alcotest.test_case "pre-overload lines parse" `Quick
             test_of_string_accepts_pre_overload_lines;
+          Alcotest.test_case "strategy dimension" `Quick test_strategy_dimension;
           Alcotest.test_case "jobs-deterministic config" `Slow
             test_scenario_config_jobs_deterministic;
         ] );
@@ -369,5 +473,7 @@ let () =
             test_reintroduced_stale_bug_is_caught;
           Alcotest.test_case "disabled budget enforcement is caught" `Slow
             test_disabled_budget_is_caught;
+          Alcotest.test_case "disabled plan bounds is caught" `Slow
+            test_disabled_plan_bounds_is_caught;
         ] );
     ]

@@ -357,6 +357,146 @@ let prop_exit_compensation_tracks_bdp =
       | Some e -> e >= bdp / 2 && e <= 2 * bdp + 2
       | None -> false)
 
+(* --- predictive reference model ----------------------------------- *)
+
+(* An executable restatement of the predictive planner's spec
+   (controller.mli): from window [w], the candidate moves are
+   {halve, -1, hold, +1, double} clamped to [min_cwnd, max_cwnd]; the
+   chosen move minimizes cost_queue·over² + cost_under·under² against
+   the target, ties breaking toward the smaller window; the plan is the
+   [horizon]-step greedy unrolling.  Formulated as a list fold rather
+   than the implementation's imperative loop, and checked against
+   [C.predictive_plan] trajectory-for-trajectory. *)
+let ref_predictive_plan ~(params : P.t) ~cwnd ~target =
+  let clamp v = Stdlib.min params.P.max_cwnd (Stdlib.max params.P.min_cwnd v) in
+  let cost c =
+    let over = float_of_int (Stdlib.max 0 (c - target)) in
+    let under = float_of_int (Stdlib.max 0 (target - c)) in
+    (params.P.cost_queue *. over *. over)
+    +. (params.P.cost_under *. under *. under)
+  in
+  let step w =
+    List.fold_left
+      (fun best v ->
+        let c = clamp v in
+        if cost c < cost best then c else best)
+      (clamp (w / 2))
+      [ w - 1; w; w + 1; 2 * w ]
+  in
+  List.init (Stdlib.max 1 params.P.horizon) Fun.id
+  |> List.fold_left (fun (w, acc) _ -> let w' = step w in (w', w' :: acc)) (cwnd, [])
+  |> fun (_, rev) -> Array.of_list (List.rev rev)
+
+let gen_planner_case =
+  QCheck2.Gen.(
+    let* horizon = int_range 1 12 in
+    let* cq = int_range 1 16 in
+    let* cu = int_range 1 16 in
+    let* cwnd = int_range 1 1_000 in
+    let* target = int_range 1 1_000 in
+    return (horizon, float_of_int cq /. 4., float_of_int cu /. 4., cwnd, target))
+
+let prop_predictive_plan_matches_reference =
+  QCheck2.Test.make
+    ~name:"predictive planner matches the executable spec step-for-step"
+    gen_planner_case
+    (fun (horizon, cost_queue, cost_under, cwnd, target) ->
+      let params = { P.default with P.horizon; cost_queue; cost_under } in
+      C.predictive_plan ~params ~cwnd ~target
+      = ref_predictive_plan ~params ~cwnd ~target)
+
+(* Saturated feedback with per-sample jitter: like [saturated_feedback]
+   but every other sample carries +200 us, so each round has RTT
+   variance and the predictive link model stays identifiable. *)
+let noisy_saturated_feedback ctrl ~from_ ~bdp n =
+  let now = ref from_ in
+  for i = 1 to n do
+    let w = C.cwnd ctrl in
+    let queue = Stdlib.max 0 (w - bdp) in
+    let rtt =
+      Engine.Time.add base
+        (Engine.Time.mul_int (Engine.Time.div_int base bdp) queue)
+    in
+    let rtt =
+      if i land 1 = 0 then Engine.Time.add rtt (Engine.Time.us 200) else rtt
+    in
+    let pace = Engine.Time.div_int base (Stdlib.min w bdp) in
+    now := Engine.Time.add !now pace;
+    C.on_feedback ctrl ~now:!now ~rtt ()
+  done;
+  !now
+
+let prop_predictive_commits_plan_head =
+  QCheck2.Test.make
+    ~name:"predictive commits exactly the plan's first step until fallback"
+    QCheck2.Gen.(int_range 5 40)
+    (fun bdp ->
+      let ctrl = C.create C.Predictive in
+      let law_ok = ref true in
+      let seen_gen = ref (C.plan_generation ctrl) in
+      C.set_on_change ctrl (fun ~now:_ v ->
+          if not (C.fallen_back ctrl) then begin
+            let p = C.planned_trajectory ctrl in
+            let g = C.plan_generation ctrl in
+            if g <= !seen_gen then law_ok := false
+            else begin
+              seen_gen := g;
+              if Array.length p = 0 || v <> p.(0) then law_ok := false
+            end
+          end);
+      let _ = noisy_saturated_feedback ctrl ~from_:Engine.Time.zero ~bdp 600 in
+      !law_ok
+      && C.phase ctrl = C.Avoidance
+      && (not (C.fallen_back ctrl))
+      && C.ramp_up_exits ctrl = 1
+      && C.cwnd ctrl >= P.default.P.min_cwnd
+      && C.cwnd ctrl <= P.default.P.max_cwnd
+      &&
+      (* The planner walks the window to the modelled BDP. *)
+      let w = C.cwnd ctrl in
+      w >= bdp / 2 && w <= 2 * bdp + 2)
+
+let prop_predictive_zero_variance_falls_back =
+  QCheck2.Test.make
+    ~name:"zero-variance rounds trigger permanent fallback to Vegas +-1"
+    QCheck2.Gen.(int_range 1 30)
+    (fun rounds ->
+      (* Constant-RTT clean rounds carry no queueing signal: the very
+         first round end is unidentifiable, so the controller drops to
+         Avoidance at the initial window and thereafter probes one cell
+         per calm round like plain Vegas. *)
+      let ctrl = C.create C.Predictive in
+      let t = ref Engine.Time.zero in
+      for _ = 1 to rounds do
+        t := clean_round ctrl ~from_:!t
+      done;
+      C.fallen_back ctrl
+      && C.phase ctrl = C.Avoidance
+      && C.cwnd ctrl = P.default.P.initial_cwnd + (rounds - 1))
+
+let test_predictive_horizon_one_degenerates () =
+  let params = { P.default with P.horizon = 1 } in
+  let ctrl = C.create ~params C.Predictive in
+  Alcotest.(check bool) "avoidance from the start" true (C.phase ctrl = C.Avoidance);
+  Alcotest.(check bool) "fallen back at create" true (C.fallen_back ctrl);
+  let t = clean_round ctrl ~from_:Engine.Time.zero in
+  let _ = clean_round ctrl ~from_:t in
+  (* Plain Vegas avoidance: one cell per calm window-limited round. *)
+  Alcotest.(check int) "+1 per clean round" (P.default.P.initial_cwnd + 2)
+    (C.cwnd ctrl)
+
+let test_predictive_params_validation () =
+  let bad f = match P.validate f with Error _ -> true | Ok _ -> false in
+  Alcotest.(check bool) "horizon 0" true (bad { P.default with P.horizon = 0 });
+  Alcotest.(check bool) "cost_queue 0" true
+    (bad { P.default with P.cost_queue = 0. });
+  Alcotest.(check bool) "cost_under nan" true
+    (bad { P.default with P.cost_under = Float.nan });
+  Alcotest.(check bool) "horizon 1 ok" true
+    (match P.validate { P.default with P.horizon = 1 } with
+    | Ok _ -> true
+    | Error _ -> false)
+
 let prop_exit_recorded_once =
   QCheck2.Test.make ~name:"exit_cwnd is stable after the first exit" gen_feedback_script
     (fun script ->
@@ -378,7 +518,11 @@ let qtests =
     [
       prop_cwnd_bounded C.Circuit_start "circuitstart cwnd stays in [min, max]";
       prop_cwnd_bounded C.Slow_start "slow start cwnd stays in [min, max]";
+      prop_cwnd_bounded C.Predictive "predictive cwnd stays in [min, max]";
       prop_allowance_bounded;
+      prop_predictive_plan_matches_reference;
+      prop_predictive_commits_plan_head;
+      prop_predictive_zero_variance_falls_back;
       prop_base_rtt_is_min;
       prop_exit_recorded_once;
       prop_circuitstart_ramp_matches_reference;
@@ -422,6 +566,13 @@ let () =
         [
           Alcotest.test_case "fixed allowance" `Quick test_fixed_allowance_equals_cwnd;
           Alcotest.test_case "gamma boundary" `Quick test_gamma_boundary_not_exceeded;
+        ] );
+      ( "predictive",
+        [
+          Alcotest.test_case "horizon one degenerates" `Quick
+            test_predictive_horizon_one_degenerates;
+          Alcotest.test_case "planner params validation" `Quick
+            test_predictive_params_validation;
         ] );
       ("params", [ Alcotest.test_case "validation" `Quick test_params_validation ]);
       ("properties", qtests);

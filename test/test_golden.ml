@@ -31,9 +31,11 @@ let recovery_run () =
   Workload.Recovery_experiment.run ~seed:Test_util.golden_seed
     Test_util.golden_recovery_config
 
-let trace_run () =
-  Workload.Trace_experiment.run ~seed:Test_util.golden_seed
-    Test_util.golden_trace_config
+let trace_run config () =
+  Workload.Trace_experiment.run ~seed:Test_util.golden_seed config
+
+let trace_fixture config () =
+  Test_util.cwnd_csv (trace_run config ()).Workload.Trace_experiment.source_cwnd
 
 let fixtures =
   [
@@ -44,10 +46,13 @@ let fixtures =
       fun () ->
         Test_util.events_csv
           (recovery_run ()).Workload.Recovery_experiment.events );
-    ( "trace_cwnd.csv",
-      fun () ->
-        Test_util.cwnd_csv (trace_run ()).Workload.Trace_experiment.source_cwnd
-    );
+    (* One cwnd trace per startup strategy over the same seeded world, so
+       a behaviour change in one controller diffs exactly one fixture. *)
+    ("trace_cwnd.csv", trace_fixture Test_util.golden_trace_config);
+    ( "trace_cwnd_slowstart.csv",
+      trace_fixture Test_util.golden_trace_config_slowstart );
+    ( "trace_cwnd_predictive.csv",
+      trace_fixture Test_util.golden_trace_config_predictive );
   ]
 
 let update_dir = Sys.getenv_opt "CIRCUITSTART_UPDATE_GOLDEN"

@@ -138,6 +138,44 @@ let test_network_jobs_deterministic () =
           (7, { small_config with diurnal_amplitude = 0.5 });
         ])
 
+(* The predictive controller replans every round from per-round RTT
+   extremes; if any of that state leaked across tasks or shards the
+   planner would be the first place determinism broke.  Pin it the same
+   way as the reactive strategies: jobs 1/2/4 byte-identical, and every
+   positive shard count structurally identical. *)
+let predictive_config =
+  {
+    small_config with
+    Workload.Network_experiment.strategy = Circuitstart.Controller.Predictive;
+  }
+
+let test_predictive_jobs_deterministic () =
+  Test_util.check_jobs_deterministic (fun jobs ->
+      Workload.Network_experiment.run_many ~jobs
+        [
+          (3, predictive_config);
+          (7, { predictive_config with diurnal_amplitude = 0.5 });
+        ])
+
+let test_predictive_sharded_identical () =
+  let run shards =
+    Workload.Network_experiment.run ~seed:11
+      { predictive_config with Workload.Network_experiment.shards }
+  in
+  let r1 = run 1 in
+  List.iter
+    (fun k ->
+      Alcotest.(check bool)
+        (Printf.sprintf "predictive shards=%d identical to shards=1" k)
+        true
+        (compare r1 (run k) = 0))
+    [ 2; 4 ];
+  (* The classic engine must also complete the predictive workload. *)
+  let r0 = run 0 in
+  Alcotest.(check int) "classic engine hits the lifetime goal"
+    (Workload.Network_experiment.lifetimes_goal predictive_config)
+    r0.Workload.Network_experiment.completed
+
 let test_validate_config_rejects () =
   let bad msg c =
     match Workload.Network_experiment.validate_config c with
@@ -423,10 +461,17 @@ let test_unordered_exchange_is_caught () =
             (match check sc with
             | Ok _ -> Alcotest.fail "scenario stopped failing on re-run"
             | Error reason ->
+                (* The planted bug is a data race (in-place cross-domain
+                   writes), so either differential may trip first: the
+                   shards=1-vs-4 digest comparison, or — when the racy
+                   runs happen to diverge between themselves — the
+                   same-seed repeat.  Both are the harness catching the
+                   unordered exchange. *)
                 Alcotest.(check bool)
-                  (Printf.sprintf "shard differential named in: %s" reason)
+                  (Printf.sprintf "a differential named in: %s" reason)
                   true
-                  (contains ~needle:"shard" reason));
+                  (contains ~needle:"shard" reason
+                  || contains ~needle:"nondeterminism" reason));
             (* The failure shrinks to a replayable one-line reproducer
                that still fails. *)
             let shrunk = Check.Harness.shrink ~selection sc in
@@ -507,6 +552,42 @@ let test_cli_rejects_bad_jobs_env () =
   Alcotest.(check int) "bad CIRCUITSTART_JOBS exits 2" 2 rc;
   Alcotest.(check bool) "friendly one-line error" true
     (contains ~needle:"CIRCUITSTART_JOBS must be a positive integer" text)
+
+let test_cli_rejects_bad_strategy () =
+  (* Every near-miss spelling of --strategy dies with a nonzero exit and
+     a one-line error naming the accepted spellings, on every paired
+     command that takes the flag. *)
+  List.iter
+    (fun cmd ->
+      List.iter
+        (fun bogus ->
+          let rc, text =
+            torsim_out (Printf.sprintf "%s --strategy %s" cmd bogus)
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s --strategy %s exits nonzero" cmd bogus)
+            true (rc <> 0);
+          Alcotest.(check bool)
+            (Printf.sprintf "%s --strategy %s names the problem" cmd bogus)
+            true
+            (contains ~needle:"unknown strategy" text
+            && contains ~needle:"circuitstart" text))
+        [ "predicitve"; "vegas"; "pred" ])
+    [
+      "faults --kib 4";
+      "recover --kib 4";
+      "network --relays 10 --circuits 8 --lifetimes 20 --think-ms 20";
+    ];
+  (* The check command parses the strategy itself (it needs the
+     scenario-codec spellings), so its error path is separate. *)
+  let rc, text = torsim_out "check --runs 1 --strategy predicitve" in
+  Alcotest.(check bool) "check --strategy predicitve exits nonzero" true
+    (rc <> 0);
+  Alcotest.(check bool) "check --strategy error names the problem" true
+    (contains ~needle:"unknown strategy" text);
+  (* And the accepted spellings do parse: a 1-run pinned check is fast. *)
+  let rc, _ = torsim_out "check --runs 1 --seed 5 --strategy predictive" in
+  Alcotest.(check int) "check --strategy predictive runs" 0 rc
 
 (* ------------------------------------------------------------------ *)
 (* Perf_gate: the scanner, the floors file, the ratchet *)
@@ -713,6 +794,8 @@ let () =
             test_pool_recycles_no_orphans;
           Alcotest.test_case "jobs 1/2/4 byte-identical" `Slow
             test_network_jobs_deterministic;
+          Alcotest.test_case "predictive jobs 1/2/4 byte-identical" `Slow
+            test_predictive_jobs_deterministic;
           Alcotest.test_case "invalid configs rejected" `Quick
             test_validate_config_rejects;
           Alcotest.test_case "small-scale shape and sketch agreement" `Slow
@@ -726,6 +809,8 @@ let () =
             test_sharded_results_identical;
           Alcotest.test_case "shards identical under churn" `Slow
             test_sharded_with_churn_identical;
+          Alcotest.test_case "predictive shards identical" `Slow
+            test_predictive_sharded_identical;
         ] );
       ( "check",
         [
@@ -740,6 +825,8 @@ let () =
             test_cli_sharded_byte_identical;
           Alcotest.test_case "bad CIRCUITSTART_JOBS rejected" `Quick
             test_cli_rejects_bad_jobs_env;
+          Alcotest.test_case "bad --strategy rejected" `Slow
+            test_cli_rejects_bad_strategy;
         ] );
       ( "perf-gate",
         [

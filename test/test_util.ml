@@ -78,3 +78,16 @@ let golden_trace_config =
     Workload.Trace_experiment.transfer_bytes = Engine.Units.kib 128;
     horizon = Engine.Time.s 5;
   }
+
+(* The same seeded world under the other two startup strategies: the
+   three trace fixtures differ only in the controller, so a diff in one
+   of them localizes a behaviour change to that strategy. *)
+let golden_trace_config_slowstart =
+  { golden_trace_config with
+    Workload.Trace_experiment.strategy = Circuitstart.Controller.Slow_start;
+  }
+
+let golden_trace_config_predictive =
+  { golden_trace_config with
+    Workload.Trace_experiment.strategy = Circuitstart.Controller.Predictive;
+  }
